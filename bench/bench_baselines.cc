@@ -1,0 +1,146 @@
+// E7 + E8 — enforcement strategy comparison.
+//
+// E7 (Section 5.2.1 ablation): differential transaction modification vs
+// full-relation checking, sweeping relation size at a fixed small batch.
+// Expected shape: differential cost tracks the batch (flat in relation
+// size once past hashing effects); full-check cost grows linearly with
+// the relation; the advantage is roughly |R| / |ΔR|.
+//
+// E8 (Section 1 comparison): transaction modification vs post-hoc
+// checking vs Stonebraker-style query modification on the same insert
+// workload. TM and post-hoc make identical decisions (tested in
+// tests/baseline_test.cc); query modification silently filters and only
+// supports domain rules — it is the cheapest *and* the least capable.
+
+#include "benchmark/benchmark.h"
+#include "bench/workload.h"
+#include "src/baseline/posthoc_checker.h"
+#include "src/baseline/query_modification.h"
+#include "src/txn/executor.h"
+
+namespace txmod::bench {
+namespace {
+
+constexpr int kBatch = 100;
+
+// --- E7: differential vs full check, relation size sweep -------------------
+
+void RunScaling(benchmark::State& state, core::OptimizationLevel level) {
+  const int fks = static_cast<int>(state.range(0));
+  const int keys = fks / 10;
+  Database db = MakeKeyFkDatabase(keys, fks);
+  core::SubsystemOptions options;
+  options.optimization = level;
+  core::IntegritySubsystem ics(&db, options);
+  TXMOD_BENCH_CHECK_OK(ics.DefineConstraint("refint", RefIntConstraint()));
+  const algebra::Transaction txn = MakeFkInsertBatch(kBatch, keys);
+  auto modified = ics.Modify(txn);
+  TXMOD_BENCH_CHECK_OK(modified.status());
+  algebra::Transaction undo;
+  undo.program.statements.push_back(algebra::Statement::Delete(
+      "fk_rel", txn.program.statements[0].expr));
+  for (auto _ : state) {
+    auto result = txn::ExecuteTransaction(*modified, &db);
+    TXMOD_BENCH_CHECK_OK(result.status());
+    state.PauseTiming();
+    TXMOD_BENCH_CHECK_OK(txn::ExecuteTransaction(undo, &db).status());
+    state.ResumeTiming();
+  }
+  state.counters["fk_tuples"] = fks;
+  state.counters["batch"] = kBatch;
+}
+
+void BM_ScalingDifferential(benchmark::State& state) {
+  RunScaling(state, core::OptimizationLevel::kDifferential);
+}
+void BM_ScalingFullCheck(benchmark::State& state) {
+  RunScaling(state, core::OptimizationLevel::kNone);
+}
+
+BENCHMARK(BM_ScalingDifferential)
+    ->RangeMultiplier(4)
+    ->Range(1000, 256000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_ScalingFullCheck)
+    ->RangeMultiplier(4)
+    ->Range(1000, 256000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// --- E8: strategy comparison on one configuration ---------------------------
+
+constexpr int kE8Keys = 1000;
+constexpr int kE8Fks = 10000;
+
+void BM_StrategyTxnModification(benchmark::State& state) {
+  Database db = MakeKeyFkDatabase(kE8Keys, kE8Fks);
+  core::IntegritySubsystem ics(&db);
+  TXMOD_BENCH_CHECK_OK(ics.DefineConstraint("refint", RefIntConstraint()));
+  TXMOD_BENCH_CHECK_OK(ics.DefineConstraint("domain", DomainConstraint()));
+  const algebra::Transaction txn = MakeFkInsertBatch(kBatch, kE8Keys);
+  algebra::Transaction undo;
+  undo.program.statements.push_back(algebra::Statement::Delete(
+      "fk_rel", txn.program.statements[0].expr));
+  for (auto _ : state) {
+    auto result = ics.Execute(txn);  // modify + execute
+    TXMOD_BENCH_CHECK_OK(result.status());
+    state.PauseTiming();
+    TXMOD_BENCH_CHECK_OK(txn::ExecuteTransaction(undo, &db).status());
+    state.ResumeTiming();
+  }
+}
+
+void BM_StrategyPostHoc(benchmark::State& state) {
+  Database db = MakeKeyFkDatabase(kE8Keys, kE8Fks);
+  core::IntegritySubsystem ics(&db);
+  TXMOD_BENCH_CHECK_OK(ics.DefineConstraint("refint", RefIntConstraint()));
+  TXMOD_BENCH_CHECK_OK(ics.DefineConstraint("domain", DomainConstraint()));
+  baseline::PostHocChecker checker(&ics);
+  const algebra::Transaction txn = MakeFkInsertBatch(kBatch, kE8Keys);
+  algebra::Transaction undo;
+  undo.program.statements.push_back(algebra::Statement::Delete(
+      "fk_rel", txn.program.statements[0].expr));
+  for (auto _ : state) {
+    auto result = checker.Execute(txn);
+    TXMOD_BENCH_CHECK_OK(result.status());
+    state.PauseTiming();
+    TXMOD_BENCH_CHECK_OK(txn::ExecuteTransaction(undo, &db).status());
+    state.ResumeTiming();
+  }
+}
+
+void BM_StrategyQueryModification(benchmark::State& state) {
+  Database db = MakeKeyFkDatabase(kE8Keys, kE8Fks);
+  core::IntegritySubsystem ics(&db);
+  // Query modification can only express the domain rule; the referential
+  // rule would land in UnsupportedRules() — an enforcement gap, which is
+  // exactly the comparison the paper draws (Section 1).
+  TXMOD_BENCH_CHECK_OK(ics.DefineConstraint("domain", DomainConstraint()));
+  baseline::QueryModifier qm(&ics);
+  const algebra::Transaction txn = MakeFkInsertBatch(kBatch, kE8Keys);
+  algebra::Transaction undo;
+  undo.program.statements.push_back(algebra::Statement::Delete(
+      "fk_rel", txn.program.statements[0].expr));
+  for (auto _ : state) {
+    auto result = qm.Execute(txn);
+    TXMOD_BENCH_CHECK_OK(result.status());
+    state.PauseTiming();
+    TXMOD_BENCH_CHECK_OK(txn::ExecuteTransaction(undo, &db).status());
+    state.ResumeTiming();
+  }
+  state.SetLabel("domain rules only (refint inexpressible)");
+}
+
+BENCHMARK(BM_StrategyTxnModification)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_StrategyPostHoc)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_StrategyQueryModification)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+}  // namespace
+}  // namespace txmod::bench
+
+BENCHMARK_MAIN();

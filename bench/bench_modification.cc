@@ -1,0 +1,146 @@
+// E6 — static compilation vs dynamic optimize+translate (Section 6.2).
+//
+// The paper's operational argument: integrity rules should be optimized
+// and translated once, at definition time, into integrity programs
+// (Definition 6.3); the literal Algorithm 5.1 re-runs TrOptRS on every
+// modification. This bench measures ModT itself (no execution) for both
+// paths, sweeping the rule-catalog size and the transaction length.
+// Expected shape: static wins, and the gap grows with the rule count.
+
+#include "benchmark/benchmark.h"
+#include "bench/workload.h"
+#include "src/core/modifier.h"
+
+namespace txmod::bench {
+namespace {
+
+/// A catalog of `n` domain rules on fk_rel (every one triggered by the
+/// insert workload, the worst case for modification cost).
+void DefineRules(core::IntegritySubsystem* ics, int n) {
+  for (int i = 0; i < n; ++i) {
+    TXMOD_BENCH_CHECK_OK(ics->DefineConstraint(
+        StrCat("amount_ge_", i),
+        StrCat("forall x (x in fk_rel implies x.amount >= ", -1 - i, ")")));
+  }
+}
+
+algebra::Transaction MakeTxn(int statements) {
+  algebra::Transaction txn;
+  for (int i = 0; i < statements; ++i) {
+    txn.program.statements.push_back(algebra::Statement::Insert(
+        "fk_rel",
+        algebra::RelExpr::Literal(
+            {Tuple({Value::Int(1'000'000 + i), Value::String("k0"),
+                    Value::Double(2.5)})},
+            3)));
+  }
+  return txn;
+}
+
+void BM_ModifyStatic(benchmark::State& state) {
+  Database db = MakeKeyFkDatabase(10, 10);
+  core::IntegritySubsystem ics(&db);
+  DefineRules(&ics, static_cast<int>(state.range(0)));
+  const algebra::Transaction txn = MakeTxn(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    core::ModifyStats stats;
+    auto modified = ics.Modify(txn, &stats);
+    TXMOD_BENCH_CHECK_OK(modified.status());
+    benchmark::DoNotOptimize(modified);
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+  state.counters["stmts"] = static_cast<double>(state.range(1));
+}
+
+void BM_ModifyDynamic(benchmark::State& state) {
+  Database db = MakeKeyFkDatabase(10, 10);
+  core::IntegritySubsystem ics(&db);
+  DefineRules(&ics, static_cast<int>(state.range(0)));
+  const algebra::Transaction txn = MakeTxn(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto modified = core::ModifyTransactionDynamic(
+        txn, ics.rules(), db.schema(),
+        core::OptimizationLevel::kDifferential);
+    TXMOD_BENCH_CHECK_OK(modified.status());
+    benchmark::DoNotOptimize(modified);
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+  state.counters["stmts"] = static_cast<double>(state.range(1));
+}
+
+BENCHMARK(BM_ModifyStatic)
+    ->ArgsProduct({{1, 4, 16, 64}, {1, 8, 64}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ModifyDynamic)
+    ->ArgsProduct({{1, 4, 16, 64}, {1, 8, 64}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Detection latency ablation: immediate vs deferred check placement on a
+// violating transaction (first statement offends, many follow). Deferred
+// placement (the paper's ModP) executes the whole batch before the check
+// aborts it; immediate placement aborts right after the first statement.
+void RunDetectionLatency(benchmark::State& state, bool immediate) {
+  const int tail_statements = 64;
+  Database db = MakeKeyFkDatabase(1000, 10000);
+  core::IntegritySubsystem ics(&db);
+  TXMOD_BENCH_CHECK_OK(ics.DefineConstraint(
+      "domain", "forall x (x in fk_rel implies x.amount >= 0)"));
+  algebra::Transaction txn;
+  txn.program.statements.push_back(algebra::Statement::Insert(
+      "fk_rel",
+      algebra::RelExpr::Literal(
+          {Tuple({Value::Int(999'999), Value::String("k0"),
+                  Value::Double(-1.0)})},
+          3)));
+  for (int i = 0; i < tail_statements; ++i) {
+    std::vector<Tuple> batch;
+    for (int j = 0; j < 50; ++j) {
+      batch.push_back(Tuple({Value::Int(1'000'000 + i * 50 + j),
+                             Value::String("k1"), Value::Double(1.0)}));
+    }
+    txn.program.statements.push_back(algebra::Statement::Insert(
+        "fk_rel", algebra::RelExpr::Literal(std::move(batch), 3)));
+  }
+  Result<algebra::Transaction> modified =
+      immediate ? core::ModifyTransactionImmediate(txn, ics.compiled())
+                : ics.Modify(txn);
+  TXMOD_BENCH_CHECK_OK(modified.status());
+  for (auto _ : state) {
+    auto result = txn::ExecuteTransaction(*modified, &db);
+    TXMOD_BENCH_CHECK_OK(result.status());
+    if (result->committed) {
+      state.SkipWithError("violation not detected");
+      return;
+    }
+  }
+}
+void BM_DetectionDeferred(benchmark::State& state) {
+  RunDetectionLatency(state, /*immediate=*/false);
+}
+void BM_DetectionImmediate(benchmark::State& state) {
+  RunDetectionLatency(state, /*immediate=*/true);
+}
+BENCHMARK(BM_DetectionDeferred)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DetectionImmediate)->Unit(benchmark::kMicrosecond);
+
+// Rule definition cost (parse + analyze + compile + graph validation) —
+// the price paid once, at definition time, to make the static path cheap.
+void BM_DefineRule(benchmark::State& state) {
+  Database db = MakeKeyFkDatabase(10, 10);
+  int i = 0;
+  core::IntegritySubsystem ics(&db);
+  for (auto _ : state) {
+    TXMOD_BENCH_CHECK_OK(ics.DefineConstraint(
+        StrCat("r", i), RefIntConstraint()));
+    state.PauseTiming();
+    TXMOD_BENCH_CHECK_OK(ics.DropRule(StrCat("r", i)));
+    ++i;
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_DefineRule)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace txmod::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// E5 — parallel enforcement scaling on the simulated POOMA machine
+// ([7, 9], cited by Section 7; the 8-node numbers of the paper are
+// measured on this configuration).
+//
+// Sweeps node count {1, 2, 4, 8} for both constraint classes on the
+// 5000/50000(+5000) workload. Reported metric: the deterministic
+// simulated makespan (see src/parallel/cost_model.h — the host has one
+// core, so wall-clock parallel speedup is impossible; the cost model is
+// the documented substitution for the POOMA hardware). Expected shape:
+//  * domain constraint: near-ideal speedup (fragment-local);
+//  * referential constraint with key/foreign-key fragmentation:
+//    node-local checks, speedup close to domain;
+//  * referential with round-robin fragmentation: sub-linear (pays
+//    redistribution), the gap growing with node count.
+
+#include "benchmark/benchmark.h"
+#include "bench/workload.h"
+#include "src/parallel/executor.h"
+
+namespace txmod::bench {
+namespace {
+
+using parallel::FragmentationKind;
+using parallel::FragmentationScheme;
+
+enum class Constraint { kDomain, kRefInt };
+enum class Placement { kKeyFk, kRoundRobin };
+
+void RunParallel(benchmark::State& state, Constraint constraint,
+                 Placement placement) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int keys = 5000, fks = 50000, batch = 5000;
+
+  Database db = MakeKeyFkDatabase(keys, fks);
+  core::IntegritySubsystem ics(&db);
+  TXMOD_BENCH_CHECK_OK(ics.DefineConstraint(
+      "c", constraint == Constraint::kDomain ? DomainConstraint()
+                                             : RefIntConstraint()));
+  const algebra::Transaction plain = MakeFkInsertBatch(batch, keys);
+  auto modified = ics.Modify(plain);
+  TXMOD_BENCH_CHECK_OK(modified.status());
+
+  std::map<std::string, FragmentationScheme> schemes;
+  if (placement == Placement::kKeyFk) {
+    schemes = {{"fk_rel", FragmentationScheme{FragmentationKind::kHash, 1}},
+               {"key_rel", FragmentationScheme{FragmentationKind::kHash, 0}}};
+  } else {
+    schemes = {
+        {"fk_rel", FragmentationScheme{FragmentationKind::kRoundRobin, 0}},
+        {"key_rel", FragmentationScheme{FragmentationKind::kRoundRobin, 0}}};
+  }
+
+  double check_ms = 0;
+  double total_ms = 0;
+  uint64_t transferred = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pdb = parallel::ParallelDatabase::Partition(db, schemes, nodes);
+    TXMOD_BENCH_CHECK_OK(pdb.status());
+    // The insert routing alone: its makespan is subtracted so the series
+    // isolates *enforcement* cost, which is what the paper reports
+    // ("checking ... after the insertion ...").
+    auto insert_only = parallel::ParallelExecutor(
+        &*pdb, parallel::ParallelOptions{}).Execute(plain);
+    TXMOD_BENCH_CHECK_OK(insert_only.status());
+    const double insert_ms = insert_only->stats.simulated_us() / 1000.0;
+    auto pdb2 = parallel::ParallelDatabase::Partition(db, schemes, nodes);
+    TXMOD_BENCH_CHECK_OK(pdb2.status());
+    state.ResumeTiming();
+    parallel::ParallelExecutor exec(&*pdb2, parallel::ParallelOptions{});
+    auto result = exec.Execute(*modified);
+    TXMOD_BENCH_CHECK_OK(result.status());
+    if (!result->committed) {
+      state.SkipWithError("unexpected abort");
+      return;
+    }
+    total_ms = result->stats.simulated_us() / 1000.0;
+    check_ms = total_ms - insert_ms;
+    transferred = result->stats.tuples_transferred();
+  }
+  // The series the harness exists for: simulated enforcement makespan per
+  // node count (total transaction makespan alongside).
+  state.counters["check_sim_ms"] = check_ms;
+  state.counters["total_sim_ms"] = total_ms;
+  state.counters["transferred"] = static_cast<double>(transferred);
+  state.counters["nodes"] = nodes;
+}
+
+void BM_ParallelDomain(benchmark::State& state) {
+  RunParallel(state, Constraint::kDomain, Placement::kKeyFk);
+}
+void BM_ParallelRefIntKeyFk(benchmark::State& state) {
+  RunParallel(state, Constraint::kRefInt, Placement::kKeyFk);
+}
+void BM_ParallelRefIntRoundRobin(benchmark::State& state) {
+  RunParallel(state, Constraint::kRefInt, Placement::kRoundRobin);
+}
+
+BENCHMARK(BM_ParallelDomain)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_ParallelRefIntKeyFk)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_ParallelRefIntRoundRobin)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace txmod::bench
+
+BENCHMARK_MAIN();

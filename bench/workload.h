@@ -1,0 +1,86 @@
+#ifndef TXMOD_BENCH_WORKLOAD_H_
+#define TXMOD_BENCH_WORKLOAD_H_
+
+// Shared workload generator for the benchmark harness (DESIGN.md §4).
+//
+// The paper's Section 7 test database: a key relation (brewery-like,
+// playing the referenced side) and a foreign-key relation (beer-like,
+// the referencing side). Sizes are parameters; the paper's headline
+// configuration is keys=5000, fks=50000, insert batch=5000.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/algebra/statement.h"
+#include "src/common/str_util.h"
+#include "src/core/subsystem.h"
+
+namespace txmod::bench {
+
+#define TXMOD_BENCH_CHECK_OK(expr)                          \
+  do {                                                      \
+    const ::txmod::Status _st = (expr);                     \
+    if (!_st.ok()) {                                        \
+      std::cerr << "BENCH FATAL: " << _st << "\n";          \
+      std::exit(1);                                         \
+    }                                                       \
+  } while (false)
+
+/// key_rel(key string, payload string)
+/// fk_rel(id int, ref string, amount double)
+inline Database MakeKeyFkDatabase(int keys, int fks) {
+  Database db;
+  TXMOD_BENCH_CHECK_OK(db.CreateRelation(RelationSchema(
+      "key_rel", {Attribute{"key", AttrType::kString},
+                  Attribute{"payload", AttrType::kString}})));
+  TXMOD_BENCH_CHECK_OK(db.CreateRelation(RelationSchema(
+      "fk_rel", {Attribute{"id", AttrType::kInt},
+                 Attribute{"ref", AttrType::kString},
+                 Attribute{"amount", AttrType::kDouble}})));
+  Relation* key_rel = *db.FindMutable("key_rel");
+  for (int i = 0; i < keys; ++i) {
+    key_rel->Insert(Tuple({Value::String(StrCat("k", i)),
+                           Value::String("payload")}));
+  }
+  Relation* fk_rel = *db.FindMutable("fk_rel");
+  for (int i = 0; i < fks; ++i) {
+    fk_rel->Insert(Tuple({Value::Int(i),
+                          Value::String(StrCat("k", i % (keys > 0 ? keys : 1))),
+                          Value::Double(1.0 + i % 10)}));
+  }
+  return db;
+}
+
+/// A transaction inserting `batch` fresh, valid fk_rel tuples (ids start
+/// above the existing range; refs cycle through existing keys).
+inline algebra::Transaction MakeFkInsertBatch(int batch, int keys,
+                                              int id_base = 1'000'000) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    tuples.push_back(Tuple({Value::Int(id_base + i),
+                            Value::String(StrCat("k", i % (keys > 0 ? keys : 1))),
+                            Value::Double(2.5)}));
+  }
+  algebra::Transaction txn;
+  txn.program.statements.push_back(algebra::Statement::Insert(
+      "fk_rel", algebra::RelExpr::Literal(std::move(tuples), 3)));
+  return txn;
+}
+
+/// The referential integrity constraint of the Section 7 experiment.
+inline const char* RefIntConstraint() {
+  return "forall x (x in fk_rel implies exists y (y in key_rel and "
+         "x.ref = y.key))";
+}
+
+/// The domain constraint of the Section 7 experiment.
+inline const char* DomainConstraint() {
+  return "forall x (x in fk_rel implies x.amount >= 0)";
+}
+
+}  // namespace txmod::bench
+
+#endif  // TXMOD_BENCH_WORKLOAD_H_

@@ -1,0 +1,125 @@
+// Inventory: compensating rules as cascading repairs.
+//
+// An order system where integrity rules do work instead of just saying
+// no (the RL THEN-programs of Definition 4.7):
+//   * orders must reference existing products — deleting a product
+//     *cascades*: a compensating rule deletes the orphaned orders;
+//   * order quantities are positive — aborting rule;
+//   * the order book is bounded by an aggregate constraint.
+//
+// The cascade shows recursive transaction modification at work: the
+// user's delete triggers the cascade rule, whose own delete would
+// re-trigger analysis — the rule is declared NONTRIGGERING (Definition
+// 6.2) since deleting orders cannot break any other rule here.
+//
+// Run:  ./build/examples/inventory
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/subsystem.h"
+
+namespace {
+
+using txmod::AttrType;
+using txmod::Attribute;
+using txmod::Database;
+using txmod::RelationSchema;
+using txmod::Status;
+
+#define CHECK_OK(expr)                                     \
+  do {                                                     \
+    const Status _st = (expr);                             \
+    if (!_st.ok()) {                                       \
+      std::cerr << "FATAL: " << _st << "\n";               \
+      std::exit(1);                                        \
+    }                                                      \
+  } while (false)
+
+void Report(const char* label, const txmod::Result<txmod::txn::TxnResult>& r,
+            const Database& db) {
+  CHECK_OK(r.status());
+  std::cout << label << ": "
+            << (r->committed ? "committed" : "aborted — " + r->abort_reason)
+            << "\n  products: " << (*db.Find("products"))->ToString()
+            << "\n  orders:   " << (*db.Find("orders"))->ToString() << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  CHECK_OK(db.CreateRelation(RelationSchema(
+      "products", {Attribute{"sku", AttrType::kString},
+                   Attribute{"label", AttrType::kString},
+                   Attribute{"stock", AttrType::kInt}})));
+  CHECK_OK(db.CreateRelation(RelationSchema(
+      "orders", {Attribute{"id", AttrType::kInt},
+                 Attribute{"sku", AttrType::kString},
+                 Attribute{"qty", AttrType::kInt}})));
+
+  txmod::core::IntegritySubsystem ics(&db);
+
+  // New orders must reference existing products (abort).
+  CHECK_OK(ics.DefineRule(
+      "order_needs_product",
+      "WHEN INS(orders) "
+      "IF NOT forall o (o in orders implies exists p (p in products and "
+      "o.sku = p.sku)) "
+      "THEN abort"));
+
+  // Deleting a product cascades to its orders (compensate). The action
+  // deletes exactly the orphans: orders whose sku has no product.
+  CHECK_OK(ics.DefineRule(
+      "cascade_orders",
+      "WHEN DEL(products) "
+      "IF NOT forall o (o in orders implies exists p (p in products and "
+      "o.sku = p.sku)) "
+      "THEN NONTRIGGERING "
+      "delete(orders, antijoin[l.sku = r.sku](orders, products))"));
+
+  // Sanity rules.
+  CHECK_OK(ics.DefineConstraint(
+      "positive_qty", "forall o (o in orders implies o.qty > 0)"));
+  CHECK_OK(ics.DefineConstraint(
+      "stock_not_negative",
+      "forall p (p in products implies p.stock >= 0)"));
+  CHECK_OK(ics.DefineConstraint("order_book_bound", "cnt(orders) <= 100"));
+
+  std::cout << "=== Triggering graph (dot) ===\n"
+            << ics.graph().ToDot() << "\n";
+
+  Report("stock products",
+         ics.ExecuteText("insert(products, {(\"A1\", \"anvil\", 3), "
+                         "(\"B2\", \"bellows\", 5), "
+                         "(\"C3\", \"crowbar\", 2)});"),
+         db);
+
+  Report("place orders",
+         ics.ExecuteText("insert(orders, {(1, \"A1\", 2), (2, \"B2\", 1), "
+                         "(3, \"A1\", 1)});"),
+         db);
+
+  Report("order for unknown product",
+         ics.ExecuteText("insert(orders, {(4, \"Z9\", 1)});"), db);
+
+  Report("zero-quantity order",
+         ics.ExecuteText("insert(orders, {(5, \"B2\", 0)});"), db);
+
+  // The cascade: discontinuing the anvil silently removes orders 1 and 3.
+  Report("discontinue product A1 (cascades to its orders)",
+         ics.ExecuteText(
+             "delete(products, select[sku = \"A1\"](products));"),
+         db);
+
+  // Stock update through the domain rule.
+  Report("receive stock",
+         ics.ExecuteText(
+             "update(products, sku = \"C3\", stock := stock + 10);"),
+         db);
+  Report("ship more than we have",
+         ics.ExecuteText(
+             "update(products, sku = \"B2\", stock := stock - 9);"),
+         db);
+  return 0;
+}

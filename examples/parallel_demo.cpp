@@ -1,0 +1,146 @@
+// Parallel enforcement on the simulated POOMA machine.
+//
+// Reproduces the flavour of the paper's prototype (Section 7 / [7]):
+// relations fragmented across nodes, beer on its foreign-key attribute
+// and brewery on its key attribute, so the referential-integrity check
+// runs without any tuple crossing the interconnect. A second, badly
+// fragmented configuration shows the communication cost appearing.
+//
+// Run:  ./build/examples/parallel_demo
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/algebra/parser.h"
+#include "src/common/str_util.h"
+#include "src/core/subsystem.h"
+#include "src/parallel/executor.h"
+
+namespace {
+
+using txmod::AttrType;
+using txmod::Attribute;
+using txmod::Database;
+using txmod::RelationSchema;
+using txmod::Status;
+using txmod::StrCat;
+namespace parallel = txmod::parallel;
+
+#define CHECK_OK(expr)                                     \
+  do {                                                     \
+    const Status _st = (expr);                             \
+    if (!_st.ok()) {                                       \
+      std::cerr << "FATAL: " << _st << "\n";               \
+      std::exit(1);                                        \
+    }                                                      \
+  } while (false)
+
+constexpr int kBreweries = 64;
+constexpr int kBeersPerBrewery = 32;
+
+Database MakeData() {
+  Database db;
+  CHECK_OK(db.CreateRelation(RelationSchema(
+      "beer", {Attribute{"name", AttrType::kString},
+               Attribute{"type", AttrType::kString},
+               Attribute{"brewery", AttrType::kString},
+               Attribute{"alcohol", AttrType::kDouble}})));
+  CHECK_OK(db.CreateRelation(RelationSchema(
+      "brewery", {Attribute{"name", AttrType::kString},
+                  Attribute{"city", AttrType::kString},
+                  Attribute{"country", AttrType::kString}})));
+  auto* brewery = *db.FindMutable("brewery");
+  auto* beer = *db.FindMutable("beer");
+  for (int b = 0; b < kBreweries; ++b) {
+    const std::string name = StrCat("brewery", b);
+    brewery->Insert({txmod::Value::String(name),
+                     txmod::Value::String("city"),
+                     txmod::Value::String("nl")});
+    for (int i = 0; i < kBeersPerBrewery; ++i) {
+      beer->Insert({txmod::Value::String(StrCat("beer", b, "_", i)),
+                    txmod::Value::String("lager"),
+                    txmod::Value::String(name),
+                    txmod::Value::Double(4.0 + i % 7)});
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  Database db = MakeData();
+  std::cout << "beer: " << (*db.Find("beer"))->size()
+            << " tuples, brewery: " << (*db.Find("brewery"))->size()
+            << " tuples\n\n";
+
+  txmod::core::IntegritySubsystem ics(&db);
+  CHECK_OK(ics.DefineConstraint(
+      "refint",
+      "forall x (x in beer implies exists y (y in brewery and "
+      "x.brewery = y.name))"));
+  CHECK_OK(ics.DefineConstraint(
+      "domain", "forall x (x in beer implies x.alcohol >= 0)"));
+
+  // One transaction inserting a batch of new beers (all valid).
+  std::string inserts = "insert(beer, {";
+  for (int i = 0; i < 100; ++i) {
+    if (i > 0) inserts += ", ";
+    inserts += StrCat("(\"new", i, "\", \"ale\", \"brewery", i % kBreweries,
+                      "\", 5.5)");
+  }
+  inserts += "});";
+  txmod::algebra::AlgebraParser parser(&db.schema());
+  auto txn = parser.ParseTransaction(inserts);
+  CHECK_OK(txn.status());
+  auto modified = ics.Modify(*txn);
+  CHECK_OK(modified.status());
+
+  const std::map<std::string, parallel::FragmentationScheme> kGood = {
+      {"beer",
+       parallel::FragmentationScheme{parallel::FragmentationKind::kHash, 2}},
+      {"brewery",
+       parallel::FragmentationScheme{parallel::FragmentationKind::kHash, 0}},
+  };
+  const std::map<std::string, parallel::FragmentationScheme> kBad = {
+      {"beer", parallel::FragmentationScheme{
+                   parallel::FragmentationKind::kRoundRobin, 0}},
+      {"brewery", parallel::FragmentationScheme{
+                      parallel::FragmentationKind::kRoundRobin, 0}},
+  };
+
+  for (const auto& [label, schemes] :
+       {std::pair{"key/foreign-key fragmentation (the PRISMA setup)", kGood},
+        std::pair{"round-robin fragmentation (needs redistribution)",
+                  kBad}}) {
+    std::cout << "=== " << label << " ===\n";
+    std::printf("%6s %14s %14s %12s %10s\n", "nodes", "simulated_ms",
+                "speedup", "transferred", "messages");
+    double base_ms = 0;
+    for (int nodes : {1, 2, 4, 8}) {
+      Database copy = db.Clone();
+      auto pdb = parallel::ParallelDatabase::Partition(copy, schemes, nodes);
+      CHECK_OK(pdb.status());
+      parallel::ParallelExecutor exec(&*pdb, parallel::ParallelOptions{});
+      auto result = exec.Execute(*modified);
+      CHECK_OK(result.status());
+      if (!result->committed) {
+        std::cerr << "unexpected abort: " << result->abort_reason << "\n";
+        return 1;
+      }
+      const double ms = result->stats.simulated_us() / 1000.0;
+      if (nodes == 1) base_ms = ms;
+      std::printf("%6d %14.2f %13.2fx %12llu %10llu\n", nodes, ms,
+                  base_ms / ms,
+                  static_cast<unsigned long long>(
+                      result->stats.tuples_transferred()),
+                  static_cast<unsigned long long>(result->stats.messages()));
+    }
+    std::cout << "\n";
+  }
+  std::cout << "The key/foreign-key fragmentation keeps the referential\n"
+               "check node-local (near-ideal speedup); round-robin pays\n"
+               "redistribution on every check.\n";
+  return 0;
+}

@@ -1,0 +1,238 @@
+// An interactive integrity-control shell.
+//
+// Drives the whole subsystem from a prompt: define relations, constraints
+// and rules, inspect the catalog and the triggering graph, preview the
+// modified form of a transaction (ModT), and execute transactions with
+// enforcement.
+//
+//   $ ./build/examples/repl
+//   txmod> relation beer(name string, type string, brewery string,
+//          alcohol double)
+//   txmod> constraint domain forall x (x in beer implies x.alcohol >= 0)
+//   txmod> run insert(beer, {("pils", "lager", "heineken", 5.0)});
+//   committed (logical time 1)
+//   txmod> help
+//
+// Also scriptable:  ./build/examples/repl < script.txt
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/algebra/parser.h"
+#include "src/common/lexer.h"
+#include "src/common/str_util.h"
+#include "src/core/subsystem.h"
+#include "src/relational/persist.h"
+
+namespace {
+
+using txmod::AttrType;
+using txmod::Attribute;
+using txmod::Database;
+using txmod::RelationSchema;
+using txmod::Result;
+using txmod::Status;
+using txmod::StrCat;
+
+constexpr char kHelp[] = R"(commands:
+  relation NAME(attr type, ...)   create a relation (types: int, double,
+                                  string)
+  constraint NAME FORMULA         declarative CL constraint (aborting rule,
+                                  generated triggers)
+  rule NAME RULE_TEXT             full RL rule: [WHEN ...] IF NOT ... THEN ...
+  drop NAME                       drop a rule
+  rules                           print the rule catalog
+  graph                           print the triggering graph (dot)
+  modify TXN                      show the modified transaction (no execute)
+  run TXN                         modify + execute a transaction
+  show NAME                       print a relation's contents
+  schema                          list relations
+  save PATH                       checkpoint the database to a file
+  load PATH                       restore a checkpoint (replaces data;
+                                  rules must be re-defined)
+  help                            this text
+  quit                            exit
+)";
+
+/// Parses "name(attr type, attr type, ...)".
+Result<RelationSchema> ParseRelationDecl(const std::string& text) {
+  TXMOD_ASSIGN_OR_RETURN(auto tokens, txmod::Tokenize(text));
+  std::size_t i = 0;
+  if (tokens[i].kind != txmod::TokenKind::kIdent) {
+    return Status::InvalidArgument("expected relation name");
+  }
+  const std::string name = tokens[i++].text;
+  if (!tokens[i].IsOp("(")) {
+    return Status::InvalidArgument("expected '(' after relation name");
+  }
+  ++i;
+  std::vector<Attribute> attrs;
+  while (true) {
+    if (tokens[i].kind != txmod::TokenKind::kIdent) {
+      return Status::InvalidArgument("expected attribute name");
+    }
+    const std::string attr = tokens[i++].text;
+    if (tokens[i].kind != txmod::TokenKind::kIdent) {
+      return Status::InvalidArgument("expected attribute type");
+    }
+    const std::string type = txmod::AsciiToLower(tokens[i++].text);
+    AttrType at;
+    if (type == "int") {
+      at = AttrType::kInt;
+    } else if (type == "double") {
+      at = AttrType::kDouble;
+    } else if (type == "string") {
+      at = AttrType::kString;
+    } else {
+      return Status::InvalidArgument(StrCat("unknown type ", type));
+    }
+    attrs.push_back(Attribute{attr, at});
+    if (tokens[i].IsOp(",")) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (!tokens[i].IsOp(")")) {
+    return Status::InvalidArgument("expected ')' closing the attribute list");
+  }
+  ++i;
+  if (tokens[i].kind != txmod::TokenKind::kEnd) {
+    return Status::InvalidArgument("unexpected input after ')'");
+  }
+  return RelationSchema(name, std::move(attrs));
+}
+
+class Repl {
+ public:
+  Repl() : ics_(&db_) {}
+
+  void Run() {
+    std::string line;
+    std::cout << "txmod — transaction modification integrity subsystem\n"
+              << "type 'help' for commands\n";
+    while (true) {
+      std::cout << "txmod> " << std::flush;
+      if (!std::getline(std::cin, line)) break;
+      if (!Dispatch(line)) break;
+    }
+    std::cout << "bye\n";
+  }
+
+ private:
+  static std::pair<std::string, std::string> SplitCommand(
+      const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    std::string rest;
+    std::getline(in, rest);
+    const std::size_t start = rest.find_first_not_of(" \t");
+    rest = start == std::string::npos ? "" : rest.substr(start);
+    return {txmod::AsciiToLower(command), rest};
+  }
+
+  void Report(const Status& st) {
+    if (st.ok()) {
+      std::cout << "ok\n";
+    } else {
+      std::cout << "error: " << st.ToString() << "\n";
+    }
+  }
+
+  bool Dispatch(const std::string& line) {
+    const auto [command, rest] = SplitCommand(line);
+    if (command.empty()) return true;
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") {
+      std::cout << kHelp;
+    } else if (command == "relation") {
+      auto schema = ParseRelationDecl(rest);
+      if (!schema.ok()) {
+        Report(schema.status());
+        return true;
+      }
+      Report(db_.CreateRelation(*schema));
+    } else if (command == "constraint") {
+      const auto [name, formula] = SplitCommand(rest);
+      Report(ics_.DefineConstraint(name, formula));
+    } else if (command == "rule") {
+      const auto [name, rule] = SplitCommand(rest);
+      Report(ics_.DefineRule(name, rule));
+    } else if (command == "drop") {
+      Report(ics_.DropRule(rest));
+    } else if (command == "rules") {
+      for (const auto& rule : ics_.rules()) {
+        std::cout << "-- " << rule.name << "\n" << rule.ToString() << "\n";
+      }
+      for (const std::string& warning : ics_.ValidateRuleTriggers()) {
+        std::cout << "warning: " << warning << "\n";
+      }
+    } else if (command == "graph") {
+      std::cout << ics_.graph().ToDot();
+    } else if (command == "schema") {
+      for (const auto& rs : db_.schema().relations()) {
+        std::cout << rs.ToString() << "\n";
+      }
+    } else if (command == "save") {
+      Report(txmod::SaveDatabaseToFile(db_, rest));
+    } else if (command == "load") {
+      auto loaded = txmod::LoadDatabaseFromFile(rest);
+      if (!loaded.ok()) {
+        Report(loaded.status());
+        return true;
+      }
+      db_ = *std::move(loaded);
+      ics_ = txmod::core::IntegritySubsystem(&db_);
+      std::cout << "ok (rule catalog cleared; re-define rules)\n";
+    } else if (command == "show") {
+      auto rel = db_.Find(rest);
+      if (!rel.ok()) {
+        Report(rel.status());
+        return true;
+      }
+      std::cout << (*rel)->ToString(64) << "\n";
+    } else if (command == "modify") {
+      txmod::algebra::AlgebraParser parser(&db_.schema());
+      auto txn = parser.ParseTransaction(rest);
+      if (!txn.ok()) {
+        Report(txn.status());
+        return true;
+      }
+      auto modified = ics_.Modify(*txn);
+      if (!modified.ok()) {
+        Report(modified.status());
+        return true;
+      }
+      std::cout << modified->ToString();
+    } else if (command == "run") {
+      auto result = ics_.ExecuteText(rest);
+      if (!result.ok()) {
+        Report(result.status());
+        return true;
+      }
+      if (result->committed) {
+        std::cout << "committed (logical time " << db_.logical_time()
+                  << ")\n";
+      } else {
+        std::cout << "aborted: " << result->abort_reason << "\n";
+      }
+    } else {
+      std::cout << "unknown command '" << command
+                << "' — type 'help' for the list\n";
+    }
+    return true;
+  }
+
+  Database db_;
+  txmod::core::IntegritySubsystem ics_;
+};
+
+}  // namespace
+
+int main() {
+  Repl repl;
+  repl.Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef TXMOD_ALGEBRA_EVAL_CONTEXT_H_
+#define TXMOD_ALGEBRA_EVAL_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/algebra/rel_expr.h"
+#include "src/common/result.h"
+#include "src/relational/relation.h"
+
+namespace txmod::algebra {
+
+/// Supplies relation states to the evaluator. Implemented by the
+/// transaction executor (src/txn), which resolves base relations against
+/// the current intermediate state D^{t,i}, temporaries against the
+/// transaction-local environment, and the auxiliary relations old(R) /
+/// dplus(R) / dminus(R) against its differential bookkeeping.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+
+  /// The relation currently denoted by (kind, name); errors with kNotFound
+  /// for unknown names, kFailedPrecondition for unsupported kinds.
+  virtual Result<const Relation*> Resolve(RelRefKind kind,
+                                          const std::string& name) const = 0;
+};
+
+/// Work counters filled during evaluation; the bench harness and the
+/// parallel cost model consume these.
+struct EvalStats {
+  uint64_t tuples_scanned = 0;   // tuples read from any input
+  uint64_t tuples_emitted = 0;   // tuples produced by any operator
+  uint64_t operators = 0;        // operator nodes evaluated
+
+  void Add(const EvalStats& other) {
+    tuples_scanned += other.tuples_scanned;
+    tuples_emitted += other.tuples_emitted;
+    operators += other.operators;
+  }
+};
+
+}  // namespace txmod::algebra
+
+#endif  // TXMOD_ALGEBRA_EVAL_CONTEXT_H_

@@ -1,0 +1,585 @@
+#include "src/algebra/evaluator.h"
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/str_util.h"
+
+namespace txmod::algebra {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Borrow-or-own handle: kRef inputs are borrowed from the context (no copy);
+// computed inputs are owned by the handle.
+// ---------------------------------------------------------------------------
+
+class RelHandle {
+ public:
+  static RelHandle Borrowed(const Relation* rel) {
+    RelHandle h;
+    h.ptr_ = rel;
+    return h;
+  }
+  static RelHandle Owned(Relation rel) {
+    RelHandle h;
+    h.owned_ = std::move(rel);
+    h.ptr_ = &*h.owned_;
+    return h;
+  }
+  RelHandle() = default;
+  RelHandle(RelHandle&& other) noexcept { *this = std::move(other); }
+  RelHandle& operator=(RelHandle&& other) noexcept {
+    owned_ = std::move(other.owned_);
+    ptr_ = owned_.has_value() ? &*owned_ : other.ptr_;
+    return *this;
+  }
+
+  const Relation& get() const { return *ptr_; }
+
+  /// Moves the relation out, copying when it was merely borrowed.
+  Relation Take() && {
+    if (owned_.has_value()) return *std::move(owned_);
+    return *ptr_;  // deep copy
+  }
+
+ private:
+  const Relation* ptr_ = nullptr;
+  std::optional<Relation> owned_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema synthesis helpers.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const RelationSchema> MakeSchema(
+    std::vector<Attribute> attrs, std::string name = "") {
+  return std::make_shared<const RelationSchema>(std::move(name),
+                                                std::move(attrs));
+}
+
+AttrType ValueAttrType(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      return AttrType::kInt;
+    case ValueType::kDouble:
+      return AttrType::kDouble;
+    case ValueType::kString:
+      return AttrType::kString;
+    case ValueType::kNull:
+      break;
+  }
+  return AttrType::kString;  // fallback for untyped (all-null) columns
+}
+
+// Best-effort static type of a scalar expression over `input` attributes.
+AttrType InferExprType(const ScalarExpr& e, const RelationSchema& input) {
+  switch (e.op()) {
+    case ScalarOp::kConst:
+      return ValueAttrType(e.constant());
+    case ScalarOp::kAttrRef: {
+      const int i = e.attr_index();
+      if (i >= 0 && i < static_cast<int>(input.arity())) {
+        return input.attribute(i).type;
+      }
+      return AttrType::kString;
+    }
+    case ScalarOp::kAdd:
+    case ScalarOp::kSub:
+    case ScalarOp::kMul:
+    case ScalarOp::kDiv: {
+      const AttrType a = InferExprType(e.children()[0], input);
+      const AttrType b = InferExprType(e.children()[1], input);
+      return (a == AttrType::kDouble || b == AttrType::kDouble)
+                 ? AttrType::kDouble
+                 : AttrType::kInt;
+    }
+    default:
+      return AttrType::kInt;  // predicates materialize as 0/1
+  }
+}
+
+std::string ProjectionName(const ProjectionItem& item,
+                           const RelationSchema& input, std::size_t i) {
+  if (!item.name.empty()) return item.name;
+  if (item.expr.op() == ScalarOp::kAttrRef && item.expr.side() == 0) {
+    const int idx = item.expr.attr_index();
+    if (idx >= 0 && idx < static_cast<int>(input.arity())) {
+      return input.attribute(idx).name;
+    }
+  }
+  return StrCat("c", i);
+}
+
+std::vector<Attribute> ConcatAttrs(const RelationSchema& a,
+                                   const RelationSchema& b) {
+  std::vector<Attribute> attrs = a.attributes();
+  attrs.insert(attrs.end(), b.attributes().begin(), b.attributes().end());
+  return attrs;
+}
+
+// ---------------------------------------------------------------------------
+// Hash-join support: extract equality conjuncts attr(0,i) = attr(1,j).
+// ---------------------------------------------------------------------------
+
+void CollectEquiPairs(const ScalarExpr& pred,
+                      std::vector<std::pair<int, int>>* pairs) {
+  if (pred.op() == ScalarOp::kAnd) {
+    CollectEquiPairs(pred.children()[0], pairs);
+    CollectEquiPairs(pred.children()[1], pairs);
+    return;
+  }
+  if (pred.op() != ScalarOp::kEq) return;
+  const ScalarExpr& a = pred.children()[0];
+  const ScalarExpr& b = pred.children()[1];
+  if (a.op() != ScalarOp::kAttrRef || b.op() != ScalarOp::kAttrRef) return;
+  if (a.side() == 0 && b.side() == 1) {
+    pairs->emplace_back(a.attr_index(), b.attr_index());
+  } else if (a.side() == 1 && b.side() == 0) {
+    pairs->emplace_back(b.attr_index(), a.attr_index());
+  }
+}
+
+// Normalizes a key value so that hash identity agrees with predicate
+// equality: ints widen to double (Compare coerces numerics).
+Value NormalizeKeyValue(const Value& v) {
+  if (v.is_int()) return Value::Double(static_cast<double>(v.as_int()));
+  return v;
+}
+
+Tuple MakeKey(const Tuple& t, const std::vector<int>& attrs) {
+  std::vector<Value> vs;
+  vs.reserve(attrs.size());
+  for (int a : attrs) vs.push_back(NormalizeKeyValue(t.at(a)));
+  return Tuple(std::move(vs));
+}
+
+using HashTable = std::unordered_multimap<Tuple, const Tuple*, TupleHasher>;
+
+// ---------------------------------------------------------------------------
+// The evaluator proper.
+// ---------------------------------------------------------------------------
+
+class Evaluator {
+ public:
+  Evaluator(const EvalContext& ctx, EvalStats* stats)
+      : ctx_(ctx), stats_(stats) {}
+
+  Result<RelHandle> Eval(const RelExpr& e) {
+    if (stats_ != nullptr) ++stats_->operators;
+    switch (e.kind()) {
+      case RelExprKind::kRef: {
+        TXMOD_ASSIGN_OR_RETURN(const Relation* rel,
+                               ctx_.Resolve(e.ref_kind(), e.rel_name()));
+        return RelHandle::Borrowed(rel);
+      }
+      case RelExprKind::kLiteral:
+        return EvalLiteral(e);
+      case RelExprKind::kSelect:
+        return EvalSelect(e);
+      case RelExprKind::kProject:
+        return EvalProject(e);
+      case RelExprKind::kProduct:
+        return EvalProduct(e);
+      case RelExprKind::kJoin:
+      case RelExprKind::kSemiJoin:
+      case RelExprKind::kAntiJoin:
+        return EvalJoinLike(e);
+      case RelExprKind::kUnion:
+      case RelExprKind::kDifference:
+      case RelExprKind::kIntersect:
+        return EvalSetOp(e);
+      case RelExprKind::kAggregate:
+        return EvalAggregate(e);
+    }
+    return Status::Internal("unknown RelExpr kind");
+  }
+
+ private:
+  void CountScan(std::size_t n) {
+    if (stats_ != nullptr) stats_->tuples_scanned += n;
+  }
+  void CountEmit(std::size_t n) {
+    if (stats_ != nullptr) stats_->tuples_emitted += n;
+  }
+
+  Result<RelHandle> EvalLiteral(const RelExpr& e) {
+    std::vector<Attribute> attrs;
+    for (int i = 0; i < e.literal_arity(); ++i) {
+      AttrType type = AttrType::kString;
+      for (const Tuple& t : e.literal_tuples()) {
+        if (!t.at(i).is_null()) {
+          type = ValueAttrType(t.at(i));
+          break;
+        }
+      }
+      attrs.push_back(Attribute{StrCat("c", i), type});
+    }
+    Relation out(MakeSchema(std::move(attrs)));
+    for (const Tuple& t : e.literal_tuples()) {
+      if (static_cast<int>(t.arity()) != e.literal_arity()) {
+        return Status::InvalidArgument(
+            StrCat("literal tuple ", t.ToString(), " has arity ", t.arity(),
+                   ", expected ", e.literal_arity()));
+      }
+      out.Insert(t);
+    }
+    CountEmit(out.size());
+    return RelHandle::Owned(std::move(out));
+  }
+
+  Result<RelHandle> EvalSelect(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(RelHandle in, Eval(*e.left()));
+    const Relation& input = in.get();
+    Relation out(input.schema_ptr());
+    CountScan(input.size());
+    for (const Tuple& t : input) {
+      TXMOD_ASSIGN_OR_RETURN(bool keep,
+                             e.predicate().EvalPredicate(&t, nullptr));
+      if (keep) out.Insert(t);
+    }
+    CountEmit(out.size());
+    return RelHandle::Owned(std::move(out));
+  }
+
+  Result<RelHandle> EvalProject(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(RelHandle in, Eval(*e.left()));
+    const Relation& input = in.get();
+    const RelationSchema& in_schema = input.schema();
+    std::vector<Attribute> attrs;
+    for (std::size_t i = 0; i < e.projections().size(); ++i) {
+      attrs.push_back(
+          Attribute{ProjectionName(e.projections()[i], in_schema, i),
+                    InferExprType(e.projections()[i].expr, in_schema)});
+    }
+    Relation out(MakeSchema(std::move(attrs)));
+    CountScan(input.size());
+    for (const Tuple& t : input) {
+      std::vector<Value> values;
+      values.reserve(e.projections().size());
+      for (const ProjectionItem& item : e.projections()) {
+        TXMOD_ASSIGN_OR_RETURN(Value v, item.expr.EvalValue(&t, nullptr));
+        values.push_back(std::move(v));
+      }
+      out.Insert(Tuple(std::move(values)));
+    }
+    CountEmit(out.size());
+    return RelHandle::Owned(std::move(out));
+  }
+
+  Result<RelHandle> EvalProduct(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
+    TXMOD_ASSIGN_OR_RETURN(RelHandle rh, Eval(*e.right()));
+    const Relation& l = lh.get();
+    const Relation& r = rh.get();
+    Relation out(MakeSchema(ConcatAttrs(l.schema(), r.schema())));
+    CountScan(l.size() + r.size());
+    for (const Tuple& lt : l) {
+      for (const Tuple& rt : r) {
+        out.Insert(Tuple::Concat(lt, rt));
+      }
+    }
+    CountEmit(out.size());
+    return RelHandle::Owned(std::move(out));
+  }
+
+  Result<RelHandle> EvalJoinLike(const RelExpr& e) {
+    // Short-circuit on an empty right operand before touching the left
+    // side: a join or semijoin with nothing to match is empty, and an
+    // antijoin with nothing to exclude is the left side itself. This is
+    // what makes differential checks (semijoins against dplus/dminus)
+    // effectively free when the transaction did not touch the relation.
+    TXMOD_ASSIGN_OR_RETURN(RelHandle rh, Eval(*e.right()));
+    if (rh.get().empty()) {
+      if (e.kind() == RelExprKind::kAntiJoin) return Eval(*e.left());
+      if (e.kind() == RelExprKind::kSemiJoin) {
+        TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
+        return RelHandle::Owned(Relation(lh.get().schema_ptr()));
+      }
+      // kJoin: empty output with the concatenated schema.
+      TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
+      return RelHandle::Owned(Relation(
+          MakeSchema(ConcatAttrs(lh.get().schema(), rh.get().schema()))));
+    }
+    TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
+    const Relation& l = lh.get();
+    const Relation& r = rh.get();
+    if (l.empty()) {
+      if (e.kind() == RelExprKind::kJoin) {
+        return RelHandle::Owned(
+            Relation(MakeSchema(ConcatAttrs(l.schema(), r.schema()))));
+      }
+      return RelHandle::Owned(Relation(l.schema_ptr()));
+    }
+    CountScan(l.size() + r.size());
+
+    std::vector<std::pair<int, int>> equi;
+    CollectEquiPairs(e.predicate(), &equi);
+    std::vector<int> lattrs, rattrs;
+    for (const auto& [a, b] : equi) {
+      lattrs.push_back(a);
+      rattrs.push_back(b);
+    }
+
+    std::shared_ptr<const RelationSchema> out_schema;
+    const bool is_join = e.kind() == RelExprKind::kJoin;
+    if (is_join) {
+      out_schema = MakeSchema(ConcatAttrs(l.schema(), r.schema()));
+    } else {
+      out_schema = l.schema_ptr();
+    }
+    Relation out(out_schema);
+
+    auto emit = [&](const Tuple& lt, const Tuple* rt) {
+      if (is_join) {
+        out.Insert(Tuple::Concat(lt, *rt));
+      } else {
+        out.Insert(lt);
+      }
+    };
+
+    if (!equi.empty()) {
+      HashTable table;
+      table.reserve(r.size());
+      for (const Tuple& rt : r) {
+        table.emplace(MakeKey(rt, rattrs), &rt);
+      }
+      for (const Tuple& lt : l) {
+        const Tuple key = MakeKey(lt, lattrs);
+        auto [begin, end] = table.equal_range(key);
+        bool matched = false;
+        for (auto it = begin; it != end; ++it) {
+          TXMOD_ASSIGN_OR_RETURN(
+              bool match, e.predicate().EvalPredicate(&lt, it->second));
+          if (!match) continue;
+          matched = true;
+          if (e.kind() == RelExprKind::kJoin) {
+            emit(lt, it->second);
+          } else {
+            break;  // semi/anti joins only need existence
+          }
+        }
+        if (e.kind() == RelExprKind::kSemiJoin && matched) emit(lt, nullptr);
+        if (e.kind() == RelExprKind::kAntiJoin && !matched) emit(lt, nullptr);
+      }
+    } else {
+      for (const Tuple& lt : l) {
+        bool matched = false;
+        for (const Tuple& rt : r) {
+          TXMOD_ASSIGN_OR_RETURN(bool match,
+                                 e.predicate().EvalPredicate(&lt, &rt));
+          if (!match) continue;
+          matched = true;
+          if (e.kind() == RelExprKind::kJoin) {
+            emit(lt, &rt);
+          } else {
+            break;
+          }
+        }
+        if (e.kind() == RelExprKind::kSemiJoin && matched) emit(lt, nullptr);
+        if (e.kind() == RelExprKind::kAntiJoin && !matched) emit(lt, nullptr);
+      }
+    }
+    CountEmit(out.size());
+    return RelHandle::Owned(std::move(out));
+  }
+
+  Result<RelHandle> EvalSetOp(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
+    TXMOD_ASSIGN_OR_RETURN(RelHandle rh, Eval(*e.right()));
+    const Relation& l = lh.get();
+    const Relation& r = rh.get();
+    if (l.arity() != r.arity()) {
+      return Status::InvalidArgument(
+          StrCat("set operation over different arities: ", l.arity(),
+                 " vs ", r.arity()));
+    }
+    // Difference/intersection against an empty right side need no scan.
+    if (r.empty() && e.kind() == RelExprKind::kDifference) {
+      return lh;
+    }
+    if (r.empty() && e.kind() == RelExprKind::kIntersect) {
+      return RelHandle::Owned(Relation(l.schema_ptr()));
+    }
+    CountScan(l.size() + r.size());
+    Relation out(l.schema_ptr());
+    switch (e.kind()) {
+      case RelExprKind::kUnion:
+        for (const Tuple& t : l) out.Insert(t);
+        for (const Tuple& t : r) out.Insert(t);
+        break;
+      case RelExprKind::kDifference:
+        for (const Tuple& t : l) {
+          if (!r.Contains(t)) out.Insert(t);
+        }
+        break;
+      case RelExprKind::kIntersect:
+        for (const Tuple& t : l) {
+          if (r.Contains(t)) out.Insert(t);
+        }
+        break;
+      default:
+        return Status::Internal("EvalSetOp on non-set-op");
+    }
+    CountEmit(out.size());
+    return RelHandle::Owned(std::move(out));
+  }
+
+  struct GroupAcc {
+    int64_t count = 0;
+    int64_t isum = 0;
+    double dsum = 0.0;
+    bool any_double = false;
+    int64_t non_null = 0;
+    std::optional<Value> min;
+    std::optional<Value> max;
+  };
+
+  static Status Accumulate(GroupAcc* acc, const Value& v) {
+    acc->count += 1;
+    if (v.is_null()) return Status::OK();
+    acc->non_null += 1;
+    if (v.is_numeric()) {
+      if (v.is_int()) {
+        acc->isum += v.as_int();
+        acc->dsum += static_cast<double>(v.as_int());
+      } else {
+        acc->any_double = true;
+        acc->dsum += v.as_double();
+      }
+    }
+    if (!acc->min.has_value() ||
+        Value::Compare(v, *acc->min) == Value::Ordering::kLess) {
+      acc->min = v;
+    }
+    if (!acc->max.has_value() ||
+        Value::Compare(v, *acc->max) == Value::Ordering::kGreater) {
+      acc->max = v;
+    }
+    return Status::OK();
+  }
+
+  static Result<Value> Finalize(const GroupAcc& acc, AggFunc func,
+                                bool saw_non_numeric) {
+    switch (func) {
+      case AggFunc::kCnt:
+        return Value::Int(acc.count);
+      case AggFunc::kSum:
+        if (saw_non_numeric) {
+          return Status::InvalidArgument("SUM over non-numeric attribute");
+        }
+        return acc.any_double ? Value::Double(acc.dsum)
+                              : Value::Int(acc.isum);
+      case AggFunc::kAvg:
+        if (saw_non_numeric) {
+          return Status::InvalidArgument("AVG over non-numeric attribute");
+        }
+        if (acc.non_null == 0) return Value::Null();
+        return Value::Double(acc.dsum / static_cast<double>(acc.non_null));
+      case AggFunc::kMin:
+        return acc.min.has_value() ? *acc.min : Value::Null();
+      case AggFunc::kMax:
+        return acc.max.has_value() ? *acc.max : Value::Null();
+    }
+    return Status::Internal("unknown aggregate function");
+  }
+
+  Result<RelHandle> EvalAggregate(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(RelHandle in, Eval(*e.left()));
+    const Relation& input = in.get();
+    const RelationSchema& in_schema = input.schema();
+    CountScan(input.size());
+
+    const int attr = e.agg_attr();
+    const bool needs_attr = e.agg_func() != AggFunc::kCnt;
+    if (needs_attr &&
+        (attr < 0 || attr >= static_cast<int>(in_schema.arity()))) {
+      return Status::InvalidArgument(
+          StrCat("aggregate attribute #", attr, " out of range for arity ",
+                 in_schema.arity()));
+    }
+
+    // Output schema: group attrs then the aggregate column.
+    std::vector<Attribute> attrs;
+    for (int g : e.group_by()) {
+      if (g < 0 || g >= static_cast<int>(in_schema.arity())) {
+        return Status::InvalidArgument(
+            StrCat("group-by attribute #", g, " out of range"));
+      }
+      attrs.push_back(in_schema.attribute(g));
+    }
+    AttrType agg_type = AttrType::kInt;
+    switch (e.agg_func()) {
+      case AggFunc::kCnt:
+        agg_type = AttrType::kInt;
+        break;
+      case AggFunc::kAvg:
+        agg_type = AttrType::kDouble;
+        break;
+      default:
+        agg_type = needs_attr ? in_schema.attribute(attr).type
+                              : AttrType::kInt;
+        break;
+    }
+    attrs.push_back(Attribute{AggFuncToString(e.agg_func()), agg_type});
+    Relation out(MakeSchema(std::move(attrs)));
+
+    bool saw_non_numeric = false;
+    auto observe = [&](GroupAcc* acc, const Tuple& t) -> Status {
+      if (!needs_attr) {
+        acc->count += 1;
+        return Status::OK();
+      }
+      const Value& v = t.at(attr);
+      if (!v.is_null() && !v.is_numeric() &&
+          (e.agg_func() == AggFunc::kSum || e.agg_func() == AggFunc::kAvg)) {
+        saw_non_numeric = true;
+      }
+      return Accumulate(acc, v);
+    };
+
+    if (e.group_by().empty()) {
+      GroupAcc acc;
+      for (const Tuple& t : input) {
+        TXMOD_RETURN_IF_ERROR(observe(&acc, t));
+      }
+      TXMOD_ASSIGN_OR_RETURN(Value v,
+                             Finalize(acc, e.agg_func(), saw_non_numeric));
+      out.Insert(Tuple({std::move(v)}));
+    } else {
+      std::unordered_map<Tuple, GroupAcc, TupleHasher> groups;
+      for (const Tuple& t : input) {
+        std::vector<Value> key_vals;
+        key_vals.reserve(e.group_by().size());
+        for (int g : e.group_by()) key_vals.push_back(t.at(g));
+        TXMOD_RETURN_IF_ERROR(
+            observe(&groups[Tuple(std::move(key_vals))], t));
+      }
+      for (const auto& [key, acc] : groups) {
+        TXMOD_ASSIGN_OR_RETURN(Value v,
+                               Finalize(acc, e.agg_func(), saw_non_numeric));
+        Tuple row = key;
+        row.Append(std::move(v));
+        out.Insert(std::move(row));
+      }
+    }
+    CountEmit(out.size());
+    return RelHandle::Owned(std::move(out));
+  }
+
+  const EvalContext& ctx_;
+  EvalStats* stats_;
+};
+
+}  // namespace
+
+Result<Relation> EvaluateRelExpr(const RelExpr& expr, const EvalContext& ctx,
+                                 EvalStats* stats) {
+  Evaluator ev(ctx, stats);
+  TXMOD_ASSIGN_OR_RETURN(RelHandle h, ev.Eval(expr));
+  return std::move(h).Take();
+}
+
+}  // namespace txmod::algebra

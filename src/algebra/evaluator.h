@@ -1,0 +1,30 @@
+#ifndef TXMOD_ALGEBRA_EVALUATOR_H_
+#define TXMOD_ALGEBRA_EVALUATOR_H_
+
+#include "src/algebra/eval_context.h"
+#include "src/algebra/rel_expr.h"
+#include "src/common/result.h"
+#include "src/relational/relation.h"
+
+namespace txmod::algebra {
+
+/// Evaluates `expr` against the relations supplied by `ctx`, materializing
+/// the result (operation-at-a-time evaluation, as in PRISMA/DB's XRA
+/// engine). `stats` (optional) accumulates work counters.
+///
+/// Implementation notes:
+///  * joins/semijoins/antijoins use a hash join on the equality conjuncts
+///    of the predicate when present (numeric keys normalized to double so
+///    hash matching agrees with predicate comparison), falling back to
+///    nested loops;
+///  * set operations (union/difference/intersect) use type-exact tuple
+///    identity, matching Relation's set semantics;
+///  * scalar aggregates produce a single one-attribute tuple; CNT of the
+///    empty relation is 0, SUM of the empty relation is 0, AVG/MIN/MAX of
+///    the empty relation are null.
+Result<Relation> EvaluateRelExpr(const RelExpr& expr, const EvalContext& ctx,
+                                 EvalStats* stats = nullptr);
+
+}  // namespace txmod::algebra
+
+#endif  // TXMOD_ALGEBRA_EVALUATOR_H_

@@ -1,0 +1,760 @@
+#include "src/algebra/parser.h"
+
+#include <optional>
+
+#include "src/algebra/schema_infer.h"
+#include "src/common/lexer.h"
+#include "src/common/str_util.h"
+
+namespace txmod::algebra {
+
+namespace {
+
+/// Recursive-descent parser over a token stream. Attribute references are
+/// parsed with names (or explicit positions) and resolved against inferred
+/// input schemas immediately after each operator's inputs are known.
+class ParserImpl {
+ public:
+  ParserImpl(const std::string& text, const DatabaseSchema* db,
+             std::map<std::string, RelationSchema>* temps)
+      : text_(text), db_(db), temps_(temps) {}
+
+  Status Init() {
+    TXMOD_ASSIGN_OR_RETURN(tokens_, Tokenize(text_));
+    return Status::OK();
+  }
+
+  Result<Program> ParseProgram() {
+    Program program;
+    SkipSemicolons();
+    while (!Peek().IsOp(")") && Peek().kind != TokenKind::kEnd &&
+           !Peek().IsKeyword("end")) {
+      TXMOD_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      program.statements.push_back(std::move(stmt));
+      if (!Peek().IsOp(";")) break;
+      SkipSemicolons();
+    }
+    return program;
+  }
+
+  Result<Program> ParseProgramOnly() {
+    TXMOD_ASSIGN_OR_RETURN(Program p, ParseProgram());
+    TXMOD_RETURN_IF_ERROR(ExpectEnd());
+    return p;
+  }
+
+  Result<Transaction> ParseTransaction() {
+    Transaction txn;
+    const bool bracketed = Peek().IsKeyword("begin");
+    if (bracketed) Advance();
+    TXMOD_ASSIGN_OR_RETURN(txn.program, ParseProgram());
+    if (bracketed) {
+      if (!Peek().IsKeyword("end")) {
+        return Error("expected 'end' closing the transaction");
+      }
+      Advance();
+      SkipSemicolons();
+    }
+    TXMOD_RETURN_IF_ERROR(ExpectEnd());
+    return txn;
+  }
+
+  Result<RelExprPtr> ParseExpressionOnly() {
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr e, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectEnd());
+    return e;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+
+  const Token& Peek(int ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrCat(message, " at ", DescribePosition(text_, Peek()),
+               Peek().kind == TokenKind::kEnd
+                   ? ""
+                   : StrCat(" (near '", Peek().text, "')")));
+  }
+
+  Status ExpectOp(const char* op) {
+    if (!Peek().IsOp(op)) return Error(StrCat("expected '", op, "'"));
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectEnd() {
+    if (Peek().kind != TokenKind::kEnd) return Error("unexpected input");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument(
+          StrCat("expected ", what, " at ", DescribePosition(text_, Peek())));
+    }
+    return Advance().text;
+  }
+
+  void SkipSemicolons() {
+    while (Peek().IsOp(";")) Advance();
+  }
+
+  bool PeekKeyword(const char* kw, int ahead = 0) const {
+    return Peek(ahead).IsKeyword(kw);
+  }
+
+  // --- schemas ------------------------------------------------------------
+
+  SchemaResolver MakeResolver() const {
+    return [this](RelRefKind kind,
+                  const std::string& name) -> Result<RelationSchema> {
+      if (kind == RelRefKind::kTemp) {
+        auto it = temps_->find(name);
+        if (it == temps_->end()) {
+          return Status::NotFound(StrCat("unknown temporary ", name));
+        }
+        return it->second;
+      }
+      TXMOD_ASSIGN_OR_RETURN(const RelationSchema* s, db_->Find(name));
+      return *s;
+    };
+  }
+
+  Result<RelationSchema> SchemaOf(const RelExprPtr& e) const {
+    return InferSchema(*e, MakeResolver());
+  }
+
+  // --- scalar expressions -------------------------------------------------
+  //
+  // Attribute references are parsed unresolved (side -1 for bare names)
+  // and fixed up by ResolveScalar once input schemas are known.
+
+  Result<ScalarExpr> ParseScalarOr() {
+    TXMOD_ASSIGN_OR_RETURN(ScalarExpr lhs, ParseScalarAnd());
+    while (PeekKeyword("or")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr rhs, ParseScalarAnd());
+      lhs = ScalarExpr::Binary(ScalarOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ScalarExpr> ParseScalarAnd() {
+    TXMOD_ASSIGN_OR_RETURN(ScalarExpr lhs, ParseScalarNot());
+    while (PeekKeyword("and")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr rhs, ParseScalarNot());
+      lhs = ScalarExpr::Binary(ScalarOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ScalarExpr> ParseScalarNot() {
+    if (PeekKeyword("not")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr inner, ParseScalarNot());
+      return ScalarExpr::Not(std::move(inner));
+    }
+    return ParseScalarCmp();
+  }
+
+  Result<ScalarExpr> ParseScalarCmp() {
+    TXMOD_ASSIGN_OR_RETURN(ScalarExpr lhs, ParseScalarSum());
+    ScalarOp op;
+    if (Peek().IsOp("=")) {
+      op = ScalarOp::kEq;
+    } else if (Peek().IsOp("!=") || Peek().IsOp("<>")) {
+      op = ScalarOp::kNe;
+    } else if (Peek().IsOp("<=")) {
+      op = ScalarOp::kLe;
+    } else if (Peek().IsOp("<")) {
+      op = ScalarOp::kLt;
+    } else if (Peek().IsOp(">=")) {
+      op = ScalarOp::kGe;
+    } else if (Peek().IsOp(">")) {
+      op = ScalarOp::kGt;
+    } else {
+      return lhs;
+    }
+    Advance();
+    TXMOD_ASSIGN_OR_RETURN(ScalarExpr rhs, ParseScalarSum());
+    return ScalarExpr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ScalarExpr> ParseScalarSum() {
+    TXMOD_ASSIGN_OR_RETURN(ScalarExpr lhs, ParseScalarTerm());
+    while (Peek().IsOp("+") || Peek().IsOp("-")) {
+      const ScalarOp op =
+          Peek().IsOp("+") ? ScalarOp::kAdd : ScalarOp::kSub;
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr rhs, ParseScalarTerm());
+      lhs = ScalarExpr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ScalarExpr> ParseScalarTerm() {
+    TXMOD_ASSIGN_OR_RETURN(ScalarExpr lhs, ParseScalarFactor());
+    while (Peek().IsOp("*") || Peek().IsOp("/")) {
+      const ScalarOp op =
+          Peek().IsOp("*") ? ScalarOp::kMul : ScalarOp::kDiv;
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr rhs, ParseScalarFactor());
+      lhs = ScalarExpr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ScalarExpr> ParseScalarFactor() {
+    const Token& tok = Peek();
+    if (tok.IsOp("(")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr inner, ParseScalarOr());
+      TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    if (tok.IsOp("-")) {  // unary minus on literals
+      Advance();
+      const Token& num = Peek();
+      if (num.kind == TokenKind::kInt) {
+        Advance();
+        return ScalarExpr::Const(Value::Int(-num.int_value));
+      }
+      if (num.kind == TokenKind::kFloat) {
+        Advance();
+        return ScalarExpr::Const(Value::Double(-num.float_value));
+      }
+      return Error("expected numeric literal after unary '-'");
+    }
+    if (tok.kind == TokenKind::kInt) {
+      Advance();
+      return ScalarExpr::Const(Value::Int(tok.int_value));
+    }
+    if (tok.kind == TokenKind::kFloat) {
+      Advance();
+      return ScalarExpr::Const(Value::Double(tok.float_value));
+    }
+    if (tok.kind == TokenKind::kString) {
+      Advance();
+      return ScalarExpr::Const(Value::String(tok.string_value));
+    }
+    if (tok.IsOp("#")) {  // positional reference #i (unary side)
+      Advance();
+      if (Peek().kind != TokenKind::kInt) {
+        return Error("expected attribute index after '#'");
+      }
+      const int idx = static_cast<int>(Advance().int_value);
+      return ScalarExpr::Attr(0, idx);
+    }
+    if (tok.kind == TokenKind::kIdent) {
+      if (tok.IsKeyword("null")) {
+        Advance();
+        return ScalarExpr::Const(Value::Null());
+      }
+      const std::string first = Advance().text;
+      // l.x / r.x side-qualified references; l.0 positional.
+      if ((AsciiToLower(first) == "l" || AsciiToLower(first) == "r") &&
+          Peek().IsOp(".")) {
+        const int side = AsciiToLower(first) == "l" ? 0 : 1;
+        Advance();  // '.'
+        if (Peek().kind == TokenKind::kInt) {
+          return ScalarExpr::Attr(side,
+                                  static_cast<int>(Advance().int_value));
+        }
+        TXMOD_ASSIGN_OR_RETURN(std::string name,
+                               ExpectIdent("attribute name"));
+        ScalarExpr e = ScalarExpr::Attr(side, -1, name);
+        return e;
+      }
+      // Bare attribute name: side unresolved (-1) until schemas known.
+      ScalarExpr e = ScalarExpr::Attr(-1, -1, first);
+      return e;
+    }
+    return Error("expected scalar expression");
+  }
+
+  /// Resolves names/sides of attribute references in `e` against the input
+  /// schema(s). `right` is null in unary contexts.
+  Status ResolveScalar(ScalarExpr* e, const RelationSchema* left,
+                       const RelationSchema* right) {
+    if (e->op() == ScalarOp::kAttrRef) {
+      // Explicit positional references: validate range, infer side 0 names.
+      if (e->attr_index() >= 0) {
+        const RelationSchema* s = e->side() == 1 ? right : left;
+        if (s == nullptr) {
+          return Status::InvalidArgument(
+              "right-side attribute reference in unary context");
+        }
+        if (e->attr_index() >= static_cast<int>(s->arity())) {
+          return Status::InvalidArgument(
+              StrCat("attribute #", e->attr_index(),
+                     " out of range (arity ", s->arity(), ")"));
+        }
+        return Status::OK();
+      }
+      const std::string& name = e->attr_name();
+      const bool side_fixed = e->side() == 0 || e->side() == 1;
+      if (side_fixed) {
+        const RelationSchema* s = e->side() == 1 ? right : left;
+        if (s == nullptr) {
+          return Status::InvalidArgument(
+              StrCat("attribute ", name, ": no such input side"));
+        }
+        Result<int> idx = s->AttributeIndex(name);
+        if (!idx.ok()) return idx.status();
+        e->set_attr_index(*idx);
+        return Status::OK();
+      }
+      // Bare name: search left then right; ambiguity is an error.
+      Result<int> li = left != nullptr
+                           ? left->AttributeIndex(name)
+                           : Result<int>(Status::NotFound("no left input"));
+      Result<int> ri = right != nullptr
+                           ? right->AttributeIndex(name)
+                           : Result<int>(Status::NotFound("no right input"));
+      if (li.ok() && ri.ok()) {
+        return Status::InvalidArgument(
+            StrCat("attribute ", name,
+                   " is ambiguous; qualify with l. or r."));
+      }
+      if (li.ok()) {
+        *e = ScalarExpr::Attr(0, *li, name);
+        return Status::OK();
+      }
+      if (ri.ok()) {
+        *e = ScalarExpr::Attr(1, *ri, name);
+        return Status::OK();
+      }
+      return Status::NotFound(StrCat("unknown attribute ", name));
+    }
+    for (ScalarExpr& child : e->mutable_children()) {
+      TXMOD_RETURN_IF_ERROR(ResolveScalar(&child, left, right));
+    }
+    return Status::OK();
+  }
+
+  // --- relational expressions ----------------------------------------------
+
+  Result<RelExprPtr> ParseRelExpr() {
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr lhs, ParseRelDiff());
+    while (PeekKeyword("union")) {
+      // Function-style union(...) is handled in ParseRelPrimary; infix here.
+      if (Peek(1).IsOp("(")) break;
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(RelExprPtr rhs, ParseRelDiff());
+      TXMOD_RETURN_IF_ERROR(CheckSameArity(lhs, rhs, "union"));
+      lhs = RelExpr::Union(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<RelExprPtr> ParseRelDiff() {
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr lhs, ParseRelIntersect());
+    while (Peek().IsOp("-")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(RelExprPtr rhs, ParseRelIntersect());
+      TXMOD_RETURN_IF_ERROR(CheckSameArity(lhs, rhs, "difference"));
+      lhs = RelExpr::Difference(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<RelExprPtr> ParseRelIntersect() {
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr lhs, ParseRelPrimary());
+    while (PeekKeyword("intersect")) {
+      if (Peek(1).IsOp("(")) break;
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(RelExprPtr rhs, ParseRelPrimary());
+      TXMOD_RETURN_IF_ERROR(CheckSameArity(lhs, rhs, "intersect"));
+      lhs = RelExpr::Intersect(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Status CheckSameArity(const RelExprPtr& l, const RelExprPtr& r,
+                        const char* what) {
+    TXMOD_ASSIGN_OR_RETURN(RelationSchema ls, SchemaOf(l));
+    TXMOD_ASSIGN_OR_RETURN(RelationSchema rs, SchemaOf(r));
+    if (ls.arity() != rs.arity()) {
+      return Status::InvalidArgument(
+          StrCat(what, " over different arities: ", ls.arity(), " vs ",
+                 rs.arity()));
+    }
+    return Status::OK();
+  }
+
+  Result<RelExprPtr> ParseRelPrimary() {
+    const Token& tok = Peek();
+    if (tok.IsOp("(")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(RelExprPtr inner, ParseRelExpr());
+      TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    if (tok.IsOp("{")) return ParseLiteral();
+    if (tok.kind != TokenKind::kIdent) {
+      return Error("expected relational expression");
+    }
+    const std::string kw = AsciiToLower(tok.text);
+    if (kw == "select") return ParseSelect();
+    if (kw == "project") return ParseProject();
+    if (kw == "join" || kw == "semijoin" || kw == "antijoin") {
+      return ParseJoinLike(kw);
+    }
+    if (kw == "product" || kw == "union" || kw == "diff" ||
+        kw == "intersect") {
+      return ParseBinaryFunction(kw);
+    }
+    if (kw == "sum" || kw == "avg" || kw == "min" || kw == "max") {
+      return ParseAggregate(kw);
+    }
+    if (kw == "cnt") return ParseCnt();
+    if (kw == "old" || kw == "dplus" || kw == "dminus") {
+      return ParseAuxRef(kw);
+    }
+    // Plain relation or temporary reference.
+    Advance();
+    const std::string name = tok.text;
+    if (temps_->count(name) > 0) return RelExpr::Temp(name);
+    if (db_->Contains(name)) return RelExpr::Base(name);
+    return Status::NotFound(
+        StrCat("unknown relation or temporary '", name, "' at ",
+               DescribePosition(text_, tok)));
+  }
+
+  Result<RelExprPtr> ParseSelect() {
+    Advance();  // select
+    TXMOD_RETURN_IF_ERROR(ExpectOp("["));
+    TXMOD_ASSIGN_OR_RETURN(ScalarExpr pred, ParseScalarOr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp("]"));
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr input, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    TXMOD_ASSIGN_OR_RETURN(RelationSchema schema, SchemaOf(input));
+    TXMOD_RETURN_IF_ERROR(ResolveScalar(&pred, &schema, nullptr));
+    return RelExpr::Select(std::move(pred), std::move(input));
+  }
+
+  Result<RelExprPtr> ParseProject() {
+    Advance();  // project
+    TXMOD_RETURN_IF_ERROR(ExpectOp("["));
+    std::vector<ProjectionItem> items;
+    while (true) {
+      ProjectionItem item;
+      TXMOD_ASSIGN_OR_RETURN(item.expr, ParseScalarOr());
+      if (PeekKeyword("as")) {
+        Advance();
+        TXMOD_ASSIGN_OR_RETURN(item.name, ExpectIdent("projection name"));
+      }
+      items.push_back(std::move(item));
+      if (!Peek().IsOp(",")) break;
+      Advance();
+    }
+    TXMOD_RETURN_IF_ERROR(ExpectOp("]"));
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr input, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    TXMOD_ASSIGN_OR_RETURN(RelationSchema schema, SchemaOf(input));
+    for (ProjectionItem& item : items) {
+      TXMOD_RETURN_IF_ERROR(ResolveScalar(&item.expr, &schema, nullptr));
+    }
+    return RelExpr::Project(std::move(items), std::move(input));
+  }
+
+  Result<RelExprPtr> ParseJoinLike(const std::string& kw) {
+    Advance();  // join/semijoin/antijoin
+    TXMOD_RETURN_IF_ERROR(ExpectOp("["));
+    TXMOD_ASSIGN_OR_RETURN(ScalarExpr pred, ParseScalarOr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp("]"));
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr left, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(","));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr right, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    TXMOD_ASSIGN_OR_RETURN(RelationSchema ls, SchemaOf(left));
+    TXMOD_ASSIGN_OR_RETURN(RelationSchema rs, SchemaOf(right));
+    TXMOD_RETURN_IF_ERROR(ResolveScalar(&pred, &ls, &rs));
+    if (kw == "join") {
+      return RelExpr::Join(std::move(pred), std::move(left),
+                           std::move(right));
+    }
+    if (kw == "semijoin") {
+      return RelExpr::SemiJoin(std::move(pred), std::move(left),
+                               std::move(right));
+    }
+    return RelExpr::AntiJoin(std::move(pred), std::move(left),
+                             std::move(right));
+  }
+
+  Result<RelExprPtr> ParseBinaryFunction(const std::string& kw) {
+    Advance();
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr left, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(","));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr right, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    if (kw == "product") {
+      return RelExpr::Product(std::move(left), std::move(right));
+    }
+    TXMOD_RETURN_IF_ERROR(CheckSameArity(left, right, kw.c_str()));
+    if (kw == "union") {
+      return RelExpr::Union(std::move(left), std::move(right));
+    }
+    if (kw == "diff") {
+      return RelExpr::Difference(std::move(left), std::move(right));
+    }
+    return RelExpr::Intersect(std::move(left), std::move(right));
+  }
+
+  Result<RelExprPtr> ParseAggregate(const std::string& kw) {
+    Advance();
+    TXMOD_RETURN_IF_ERROR(ExpectOp("["));
+    // Attribute: name, bare index, or #index; resolved after the input.
+    std::string attr_name;
+    int attr_index = -1;
+    if (Peek().kind == TokenKind::kInt) {
+      attr_index = static_cast<int>(Advance().int_value);
+    } else if (Peek().IsOp("#")) {
+      Advance();
+      if (Peek().kind != TokenKind::kInt) {
+        return Error("expected attribute index after '#'");
+      }
+      attr_index = static_cast<int>(Advance().int_value);
+    } else {
+      TXMOD_ASSIGN_OR_RETURN(attr_name, ExpectIdent("aggregate attribute"));
+    }
+    TXMOD_RETURN_IF_ERROR(ExpectOp("]"));
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr input, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    if (!attr_name.empty()) {
+      TXMOD_ASSIGN_OR_RETURN(RelationSchema schema, SchemaOf(input));
+      TXMOD_ASSIGN_OR_RETURN(attr_index, schema.AttributeIndex(attr_name));
+    }
+    AggFunc func = AggFunc::kSum;
+    if (kw == "avg") func = AggFunc::kAvg;
+    if (kw == "min") func = AggFunc::kMin;
+    if (kw == "max") func = AggFunc::kMax;
+    return RelExpr::Aggregate(func, attr_index, std::move(input));
+  }
+
+  Result<RelExprPtr> ParseCnt() {
+    Advance();
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr input, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    return RelExpr::Aggregate(AggFunc::kCnt, -1, std::move(input));
+  }
+
+  Result<RelExprPtr> ParseAuxRef(const std::string& kw) {
+    Advance();
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(std::string name, ExpectIdent("relation name"));
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    if (!db_->Contains(name)) {
+      return Status::NotFound(
+          StrCat("unknown relation ", name, " in ", kw, "(...)"));
+    }
+    if (kw == "old") return RelExpr::Old(name);
+    if (kw == "dplus") return RelExpr::DeltaPlus(name);
+    return RelExpr::DeltaMinus(name);
+  }
+
+  Result<Value> ParseLiteralValue() {
+    const Token& tok = Peek();
+    if (tok.IsOp("-")) {
+      Advance();
+      if (Peek().kind == TokenKind::kInt) {
+        return Value::Int(-Advance().int_value);
+      }
+      if (Peek().kind == TokenKind::kFloat) {
+        return Value::Double(-Advance().float_value);
+      }
+      return Error("expected number after '-'");
+    }
+    if (tok.kind == TokenKind::kInt) {
+      return Value::Int(Advance().int_value);
+    }
+    if (tok.kind == TokenKind::kFloat) {
+      return Value::Double(Advance().float_value);
+    }
+    if (tok.kind == TokenKind::kString) {
+      return Value::String(Advance().string_value);
+    }
+    if (tok.IsKeyword("null")) {
+      Advance();
+      return Value::Null();
+    }
+    return Error("expected literal value");
+  }
+
+  Result<RelExprPtr> ParseLiteral() {
+    TXMOD_RETURN_IF_ERROR(ExpectOp("{"));
+    std::vector<Tuple> tuples;
+    int arity = -1;
+    while (true) {
+      TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+      std::vector<Value> values;
+      while (true) {
+        TXMOD_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        values.push_back(std::move(v));
+        if (!Peek().IsOp(",")) break;
+        Advance();
+      }
+      TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+      if (arity < 0) {
+        arity = static_cast<int>(values.size());
+      } else if (arity != static_cast<int>(values.size())) {
+        return Error("literal tuples have inconsistent arity");
+      }
+      tuples.emplace_back(std::move(values));
+      if (!Peek().IsOp(",")) break;
+      Advance();
+    }
+    TXMOD_RETURN_IF_ERROR(ExpectOp("}"));
+    return RelExpr::Literal(std::move(tuples), arity);
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  Result<Statement> ParseStatement() {
+    const Token& tok = Peek();
+    if (tok.kind != TokenKind::kIdent) return Error("expected statement");
+    const std::string kw = AsciiToLower(tok.text);
+    if (kw == "insert" || kw == "delete") return ParseInsertDelete(kw);
+    if (kw == "update") return ParseUpdate();
+    if (kw == "alarm") return ParseAlarm();
+    if (kw == "abort") return ParseAbort();
+    // Assignment: IDENT ':=' relexpr.
+    if (Peek(1).IsOp(":=")) return ParseAssign();
+    return Error("expected statement (insert/delete/update/alarm/abort/:=)");
+  }
+
+  Result<Statement> ParseAssign() {
+    TXMOD_ASSIGN_OR_RETURN(std::string name, ExpectIdent("temporary name"));
+    if (db_->Contains(name)) {
+      return Status::InvalidArgument(
+          StrCat("cannot assign to base relation ", name,
+                 "; use insert/delete/update"));
+    }
+    TXMOD_RETURN_IF_ERROR(ExpectOp(":="));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr e, ParseRelExpr());
+    TXMOD_ASSIGN_OR_RETURN(RelationSchema schema, SchemaOf(e));
+    (*temps_)[name] =
+        RelationSchema(name, schema.attributes());
+    return Statement::Assign(std::move(name), std::move(e));
+  }
+
+  Result<Statement> ParseInsertDelete(const std::string& kw) {
+    Advance();
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(std::string rel, ExpectIdent("relation name"));
+    TXMOD_ASSIGN_OR_RETURN(const RelationSchema* rel_schema,
+                           db_->Find(rel));
+    TXMOD_RETURN_IF_ERROR(ExpectOp(","));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr e, ParseRelExpr());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    TXMOD_ASSIGN_OR_RETURN(RelationSchema es, SchemaOf(e));
+    if (es.arity() != rel_schema->arity()) {
+      return Status::InvalidArgument(
+          StrCat(kw, " into ", rel, ": expression arity ", es.arity(),
+                 " does not match relation arity ", rel_schema->arity()));
+    }
+    if (kw == "insert") return Statement::Insert(std::move(rel), std::move(e));
+    return Statement::Delete(std::move(rel), std::move(e));
+  }
+
+  Result<Statement> ParseUpdate() {
+    Advance();
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(std::string rel, ExpectIdent("relation name"));
+    TXMOD_ASSIGN_OR_RETURN(const RelationSchema* schema, db_->Find(rel));
+    TXMOD_RETURN_IF_ERROR(ExpectOp(","));
+    TXMOD_ASSIGN_OR_RETURN(ScalarExpr pred, ParseScalarOr());
+    TXMOD_RETURN_IF_ERROR(ResolveScalar(&pred, schema, nullptr));
+    std::vector<UpdateSet> sets;
+    while (Peek().IsOp(",")) {
+      Advance();
+      UpdateSet u;
+      TXMOD_ASSIGN_OR_RETURN(u.attr_name, ExpectIdent("attribute name"));
+      TXMOD_ASSIGN_OR_RETURN(u.attr, schema->AttributeIndex(u.attr_name));
+      TXMOD_RETURN_IF_ERROR(ExpectOp(":="));
+      TXMOD_ASSIGN_OR_RETURN(u.expr, ParseScalarOr());
+      TXMOD_RETURN_IF_ERROR(ResolveScalar(&u.expr, schema, nullptr));
+      sets.push_back(std::move(u));
+    }
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    if (sets.empty()) {
+      return Status::InvalidArgument(
+          StrCat("update(", rel, ", ...) needs at least one assignment"));
+    }
+    return Statement::Update(std::move(rel), std::move(pred),
+                             std::move(sets));
+  }
+
+  Result<Statement> ParseAlarm() {
+    Advance();
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr e, ParseRelExpr());
+    std::string message;
+    if (Peek().IsOp(",")) {
+      Advance();
+      if (Peek().kind != TokenKind::kString) {
+        return Error("expected string message in alarm(...)");
+      }
+      message = Advance().string_value;
+    }
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    return Statement::Alarm(std::move(e), std::move(message));
+  }
+
+  Result<Statement> ParseAbort() {
+    Advance();
+    std::string message;
+    if (Peek().IsOp("(")) {
+      Advance();
+      if (Peek().kind == TokenKind::kString) {
+        message = Advance().string_value;
+      }
+      TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    return Statement::Abort(std::move(message));
+  }
+
+  const std::string& text_;
+  const DatabaseSchema* db_;
+  std::map<std::string, RelationSchema>* temps_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> AlgebraParser::ParseProgram(const std::string& text) {
+  std::map<std::string, RelationSchema> temps = temp_schemas_;
+  ParserImpl impl(text, db_schema_, &temps);
+  TXMOD_RETURN_IF_ERROR(impl.Init());
+  return impl.ParseProgramOnly();
+}
+
+Result<RelExprPtr> AlgebraParser::ParseExpression(const std::string& text) {
+  std::map<std::string, RelationSchema> temps = temp_schemas_;
+  ParserImpl impl(text, db_schema_, &temps);
+  TXMOD_RETURN_IF_ERROR(impl.Init());
+  return impl.ParseExpressionOnly();
+}
+
+Result<Transaction> AlgebraParser::ParseTransaction(const std::string& text) {
+  std::map<std::string, RelationSchema> temps = temp_schemas_;
+  ParserImpl impl(text, db_schema_, &temps);
+  TXMOD_RETURN_IF_ERROR(impl.Init());
+  return impl.ParseTransaction();
+}
+
+}  // namespace txmod::algebra

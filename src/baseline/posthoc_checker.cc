@@ -1,0 +1,76 @@
+#include "src/baseline/posthoc_checker.h"
+
+#include "src/algebra/evaluator.h"
+#include "src/common/str_util.h"
+#include "src/core/translate.h"
+#include "src/txn/executor.h"
+
+namespace txmod::baseline {
+
+PostHocChecker::PostHocChecker(core::IntegritySubsystem* subsystem,
+                               PostHocOptions options)
+    : subsystem_(subsystem), options_(options) {}
+
+Result<txn::TxnResult> PostHocChecker::Execute(
+    const algebra::Transaction& txn) {
+  Database* db = subsystem_->database();
+  txn::TxnContext ctx(db);
+  txn::TxnResult result;
+
+  // Phase 1: run the transaction unmodified.
+  for (std::size_t i = 0; i < txn.program.statements.size(); ++i) {
+    const Status st =
+        txn::ExecuteStatement(txn.program.statements[i], &ctx, &result);
+    if (st.ok()) {
+      ++result.statements_executed;
+      continue;
+    }
+    ctx.Rollback();
+    if (st.code() == StatusCode::kAborted) {
+      result.committed = false;
+      result.abort_reason = st.message();
+      result.aborting_statement = static_cast<int>(i);
+      return result;
+    }
+    return st;
+  }
+
+  // Phase 2: evaluate the (relevant) constraints in full against the
+  // tentative post-state.
+  const rules::TriggerSet txn_triggers = rules::GetTrigP(txn.program);
+  for (const rules::IntegrityRule& rule : subsystem_->rules()) {
+    if (rule.action_kind != rules::ActionKind::kAbort) {
+      ctx.Rollback();
+      return Status::FailedPrecondition(
+          StrCat("post-hoc checking cannot run compensating rule ",
+                 rule.name,
+                 "; compensation requires transaction modification"));
+    }
+    if (options_.use_triggers && !rule.triggers.Intersects(txn_triggers)) {
+      continue;
+    }
+    // Full-relation check: translate without differential optimization.
+    TXMOD_ASSIGN_OR_RETURN(
+        algebra::RelExprPtr query,
+        core::ViolationQuery(rule.condition, db->schema(),
+                             subsystem_->options().translate));
+    auto violations = algebra::EvaluateRelExpr(*query, ctx, &result.stats);
+    if (!violations.ok()) {
+      ctx.Rollback();
+      return violations.status();
+    }
+    if (!violations->empty()) {
+      ctx.Rollback();
+      result.committed = false;
+      result.abort_reason =
+          StrCat("integrity violation: rule ", rule.name);
+      return result;
+    }
+  }
+
+  ctx.Commit();
+  result.committed = true;
+  return result;
+}
+
+}  // namespace txmod::baseline

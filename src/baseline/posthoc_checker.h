@@ -1,0 +1,46 @@
+#ifndef TXMOD_BASELINE_POSTHOC_CHECKER_H_
+#define TXMOD_BASELINE_POSTHOC_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/subsystem.h"
+
+namespace txmod::baseline {
+
+/// The classical alternative the paper's differential optimization is
+/// motivated against: execute the transaction without modification, then
+/// evaluate every (relevant) constraint in full against the tentative
+/// post-state, and roll back on violation.
+///
+/// For aborting rules this baseline makes exactly the same accept/reject
+/// decisions as transaction modification (property-tested); the cost
+/// differs — full-relation scans instead of differential checks. Rule
+/// selection can optionally use the trigger sets (`use_triggers`), which
+/// is the half-way design point between naive and differential checking.
+struct PostHocOptions {
+  /// Check only rules whose trigger set intersects the transaction's
+  /// updates; with false, every rule is checked on every transaction.
+  bool use_triggers = true;
+};
+
+class PostHocChecker {
+ public:
+  /// `subsystem` provides the rule catalog and the database; only
+  /// aborting rules are supported (compensating actions need the
+  /// modification machinery — that asymmetry is the point of the paper).
+  explicit PostHocChecker(core::IntegritySubsystem* subsystem,
+                          PostHocOptions options = {});
+
+  /// Executes `txn` unmodified, evaluates the constraints on the
+  /// tentative post-state, commits or rolls back.
+  Result<txn::TxnResult> Execute(const algebra::Transaction& txn);
+
+ private:
+  core::IntegritySubsystem* subsystem_;
+  PostHocOptions options_;
+};
+
+}  // namespace txmod::baseline
+
+#endif  // TXMOD_BASELINE_POSTHOC_CHECKER_H_

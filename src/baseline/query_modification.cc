@@ -1,0 +1,182 @@
+#include "src/baseline/query_modification.h"
+
+#include <set>
+
+#include "src/core/formula_util.h"
+#include "src/txn/executor.h"
+
+namespace txmod::baseline {
+
+using algebra::ScalarExpr;
+using algebra::ScalarOp;
+using calculus::CompareOp;
+using calculus::Formula;
+using calculus::Term;
+
+namespace {
+
+ScalarOp ToScalarOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return ScalarOp::kEq;
+    case CompareOp::kNe:
+      return ScalarOp::kNe;
+    case CompareOp::kLt:
+      return ScalarOp::kLt;
+    case CompareOp::kLe:
+      return ScalarOp::kLe;
+    case CompareOp::kGt:
+      return ScalarOp::kGt;
+    case CompareOp::kGe:
+      return ScalarOp::kGe;
+  }
+  return ScalarOp::kEq;
+}
+
+ScalarOp ToScalarOp(calculus::ArithOp op) {
+  switch (op) {
+    case calculus::ArithOp::kAdd:
+      return ScalarOp::kAdd;
+    case calculus::ArithOp::kSub:
+      return ScalarOp::kSub;
+    case calculus::ArithOp::kMul:
+      return ScalarOp::kMul;
+    case calculus::ArithOp::kDiv:
+      return ScalarOp::kDiv;
+  }
+  return ScalarOp::kAdd;
+}
+
+/// Translates a quantifier-free single-variable formula over `var` into a
+/// tuple predicate. Aggregates and memberships are out of reach for query
+/// modification (no subqueries in a statement qualification).
+Result<ScalarExpr> QualificationOf(const Formula& f, const std::string& var) {
+  switch (f.kind) {
+    case Formula::Kind::kCompare: {
+      std::vector<ScalarExpr> sides;
+      for (const Term& t : f.terms) {
+        switch (t.kind) {
+          case Term::Kind::kConst:
+            sides.push_back(ScalarExpr::Const(t.constant));
+            break;
+          case Term::Kind::kAttrSel:
+            if (t.var != var) {
+              return Status::Unimplemented("foreign variable");
+            }
+            sides.push_back(
+                ScalarExpr::Attr(0, t.attr_index, t.attr_name));
+            break;
+          case Term::Kind::kArith: {
+            // Recurse through a synthetic comparison to reuse this path.
+            Formula sub = Formula::Compare(CompareOp::kEq, t.children[0],
+                                           t.children[1]);
+            TXMOD_ASSIGN_OR_RETURN(ScalarExpr pair,
+                                   QualificationOf(sub, var));
+            sides.push_back(ScalarExpr::Binary(ToScalarOp(t.arith_op),
+                                               pair.children()[0],
+                                               pair.children()[1]));
+            break;
+          }
+          case Term::Kind::kAggregate:
+            return Status::Unimplemented(
+                "aggregates cannot be attached to a statement");
+        }
+      }
+      return ScalarExpr::Binary(ToScalarOp(f.cmp), std::move(sides[0]),
+                                std::move(sides[1]));
+    }
+    case Formula::Kind::kNot: {
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr inner,
+                             QualificationOf(f.children[0], var));
+      return ScalarExpr::Not(std::move(inner));
+    }
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr a,
+                             QualificationOf(f.children[0], var));
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr b,
+                             QualificationOf(f.children[1], var));
+      return ScalarExpr::Binary(
+          f.kind == Formula::Kind::kAnd ? ScalarOp::kAnd : ScalarOp::kOr,
+          std::move(a), std::move(b));
+    }
+    default:
+      return Status::Unimplemented("not a statement-level qualification");
+  }
+}
+
+}  // namespace
+
+QueryModifier::QueryModifier(core::IntegritySubsystem* subsystem)
+    : subsystem_(subsystem) {
+  // Compile each domain-style rule ∀x(x∈R ∧ C(x) ⇒ M(x)) into the
+  // per-relation qualification (¬C ∨ M); everything else is unsupported.
+  for (const rules::IntegrityRule& rule : subsystem->rules()) {
+    const Formula& f = rule.condition.formula;
+    bool compiled = false;
+    if (rule.action_kind == rules::ActionKind::kAbort &&
+        f.kind == Formula::Kind::kForall &&
+        f.children[0].kind == Formula::Kind::kImplies) {
+      const std::string& var = f.var;
+      std::vector<Formula> ante;
+      core::FlattenAnd(f.children[0].children[0], &ante);
+      const Formula& consequent = f.children[0].children[1];
+      // Antecedent: the range membership plus optional scalar conjuncts.
+      std::string relation;
+      std::vector<ScalarExpr> pre;
+      bool ok = true;
+      for (const Formula& c : ante) {
+        if (c.kind == Formula::Kind::kMembership && c.var == var &&
+            c.rel.kind == calculus::CalcRelKind::kBase && relation.empty()) {
+          relation = c.rel.name;
+          continue;
+        }
+        auto q = QualificationOf(c, var);
+        if (!q.ok()) {
+          ok = false;
+          break;
+        }
+        pre.push_back(*std::move(q));
+      }
+      if (ok && !relation.empty()) {
+        auto m = QualificationOf(consequent, var);
+        if (m.ok()) {
+          // keep tuple iff (C ⇒ M) = ¬C ∨ M.
+          ScalarExpr qual = *std::move(m);
+          if (!pre.empty()) {
+            qual = ScalarExpr::Binary(ScalarOp::kOr,
+                                      ScalarExpr::Not(ScalarExpr::And(pre)),
+                                      std::move(qual));
+          }
+          qualifications_.emplace_back(relation, std::move(qual));
+          compiled = true;
+        }
+      }
+    }
+    if (!compiled) unsupported_.push_back(rule.name);
+  }
+}
+
+Result<algebra::Transaction> QueryModifier::Modify(
+    const algebra::Transaction& txn) const {
+  algebra::Transaction out = txn;
+  for (algebra::Statement& stmt : out.program.statements) {
+    if (stmt.kind != algebra::StatementKind::kInsert) continue;
+    std::vector<ScalarExpr> quals;
+    for (const auto& [relation, qual] : qualifications_) {
+      if (relation == stmt.target) quals.push_back(qual);
+    }
+    if (quals.empty()) continue;
+    stmt.expr = algebra::RelExpr::Select(ScalarExpr::And(std::move(quals)),
+                                         stmt.expr);
+  }
+  return out;
+}
+
+Result<txn::TxnResult> QueryModifier::Execute(
+    const algebra::Transaction& txn) {
+  TXMOD_ASSIGN_OR_RETURN(algebra::Transaction modified, Modify(txn));
+  return txn::ExecuteTransaction(modified, subsystem_->database());
+}
+
+}  // namespace txmod::baseline

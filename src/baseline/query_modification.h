@@ -1,0 +1,49 @@
+#ifndef TXMOD_BASELINE_QUERY_MODIFICATION_H_
+#define TXMOD_BASELINE_QUERY_MODIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/subsystem.h"
+
+namespace txmod::baseline {
+
+/// Stonebraker-style query modification ([19], INGRES): integrity is
+/// enforced by appending the constraint's qualification to each *update
+/// statement*, so that violating tuples are silently filtered out.
+///
+/// This is the system-oriented comparator the paper's introduction
+/// criticizes: it has no transaction awareness and different semantics —
+/// a violating insert simply inserts nothing rather than aborting the
+/// transaction, and only single-tuple-variable (domain-style) constraints
+/// can be attached to a statement at all. Referential, aggregate, and
+/// transition constraints are out of reach; UnsupportedRules() lists the
+/// rules this baseline silently cannot enforce.
+class QueryModifier {
+ public:
+  explicit QueryModifier(core::IntegritySubsystem* subsystem);
+
+  /// Rewrites every insert(R, E) into insert(R, select[q](E)) where q is
+  /// the conjunction of the domain-constraint qualifications on R.
+  /// Deletes and updates pass through unmodified (deletes cannot violate
+  /// domain constraints; update support mirrors inserts).
+  Result<algebra::Transaction> Modify(const algebra::Transaction& txn) const;
+
+  /// Modify + execute (commits unless an explicit abort statement ran).
+  Result<txn::TxnResult> Execute(const algebra::Transaction& txn);
+
+  /// Names of catalog rules query modification cannot express.
+  const std::vector<std::string>& UnsupportedRules() const {
+    return unsupported_;
+  }
+
+ private:
+  core::IntegritySubsystem* subsystem_;
+  /// Per-relation qualification predicates compiled from domain rules.
+  std::vector<std::pair<std::string, algebra::ScalarExpr>> qualifications_;
+  std::vector<std::string> unsupported_;
+};
+
+}  // namespace txmod::baseline
+
+#endif  // TXMOD_BASELINE_QUERY_MODIFICATION_H_

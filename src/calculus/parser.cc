@@ -1,0 +1,344 @@
+#include "src/calculus/parser.h"
+
+#include "src/common/lexer.h"
+#include "src/common/str_util.h"
+
+namespace txmod::calculus {
+
+namespace {
+
+bool IsReservedWord(const std::string& lower) {
+  static const char* kWords[] = {"forall", "exists", "in",   "and", "or",
+                                 "not",    "implies", "null", "old", "dplus",
+                                 "dminus", "sum",     "avg",  "min", "max",
+                                 "cnt",    "mlt"};
+  for (const char* w : kWords) {
+    if (lower == w) return true;
+  }
+  return false;
+}
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(const std::string& text) : text_(text) {}
+
+  Status Init() {
+    TXMOD_ASSIGN_OR_RETURN(tokens_, Tokenize(text_));
+    return Status::OK();
+  }
+
+  Result<Formula> ParseAll() {
+    TXMOD_ASSIGN_OR_RETURN(Formula f, ParseFormula());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected input after formula");
+    }
+    return f;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrCat(message, " at ", DescribePosition(text_, Peek()),
+               Peek().kind == TokenKind::kEnd
+                   ? ""
+                   : StrCat(" (near '", Peek().text, "')")));
+  }
+
+  Status ExpectOp(const char* op) {
+    if (!Peek().IsOp(op)) return Error(StrCat("expected '", op, "'"));
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectName(const char* what) {
+    if (Peek().kind != TokenKind::kIdent ||
+        IsReservedWord(AsciiToLower(Peek().text))) {
+      return Error(StrCat("expected ", what));
+    }
+    return Advance().text;
+  }
+
+  Result<Formula> ParseFormula() { return ParseImplies(); }
+
+  /// 'forall'|'exists' var {',' var} '(' formula ')'. The parenthesized
+  /// body makes the quantification self-delimiting, so it behaves as an
+  /// atom for the connectives around it.
+  Result<Formula> ParseQuantified() {
+    const bool forall = Peek().IsKeyword("forall");
+    Advance();
+    std::vector<std::string> vars;
+    TXMOD_ASSIGN_OR_RETURN(std::string v, ExpectName("variable"));
+    vars.push_back(std::move(v));
+    while (Peek().IsOp(",")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(std::string more, ExpectName("variable"));
+      vars.push_back(std::move(more));
+    }
+    TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+    TXMOD_ASSIGN_OR_RETURN(Formula body, ParseFormula());
+    TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+    // (∀x,y)(W) desugars to (∀x)((∀y)(W)).
+    for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+      body = forall ? Formula::Forall(*it, std::move(body))
+                    : Formula::Exists(*it, std::move(body));
+    }
+    return body;
+  }
+
+  Result<Formula> ParseImplies() {
+    TXMOD_ASSIGN_OR_RETURN(Formula lhs, ParseOr());
+    if (Peek().IsKeyword("implies") || Peek().IsOp("=>")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(Formula rhs, ParseImplies());  // right-assoc
+      return Formula::Implies(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseOr() {
+    TXMOD_ASSIGN_OR_RETURN(Formula lhs, ParseAnd());
+    while (Peek().IsKeyword("or")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(Formula rhs, ParseAnd());
+      lhs = Formula::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseAnd() {
+    TXMOD_ASSIGN_OR_RETURN(Formula lhs, ParseNot());
+    while (Peek().IsKeyword("and")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(Formula rhs, ParseNot());
+      lhs = Formula::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseNot() {
+    if (Peek().IsKeyword("not")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(Formula inner, ParseNot());
+      return Formula::Not(std::move(inner));
+    }
+    // Quantifications may appear wherever an atom may (e.g. as the
+    // consequent of an implication); their bodies are parenthesized, so
+    // there is no ambiguity.
+    if (Peek().IsKeyword("forall") || Peek().IsKeyword("exists")) {
+      return ParseQuantified();
+    }
+    return ParseAtom();
+  }
+
+  // Looks ahead to decide whether a '(' starts a sub*formula* or a
+  // parenthesized *term* (e.g. "(x.a + 1) > 0").
+  bool ParenStartsFormula() const {
+    // Scan to the matching ')' at depth 0; a comparison operator or
+    // logical keyword at depth >= 1 before any term-only context decides.
+    int depth = 0;
+    for (int i = 0;; ++i) {
+      const Token& t = Peek(i);
+      if (t.kind == TokenKind::kEnd) return true;
+      if (t.IsOp("(")) {
+        ++depth;
+      } else if (t.IsOp(")")) {
+        --depth;
+        if (depth == 0) return false;  // closed without formula evidence
+      } else if (depth >= 1) {
+        if (t.IsKeyword("forall") || t.IsKeyword("exists") ||
+            t.IsKeyword("in") || t.IsKeyword("and") || t.IsKeyword("or") ||
+            t.IsKeyword("not") || t.IsKeyword("implies") || t.IsOp("=>") ||
+            t.IsOp("=") || t.IsOp("!=") || t.IsOp("<>") || t.IsOp("<") ||
+            t.IsOp("<=") || t.IsOp(">") || t.IsOp(">=")) {
+          return true;
+        }
+      }
+    }
+  }
+
+  Result<Formula> ParseAtom() {
+    if (Peek().IsOp("(") && ParenStartsFormula()) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(Formula inner, ParseFormula());
+      TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    // Membership: var 'in' relref.
+    if (Peek().kind == TokenKind::kIdent &&
+        !IsReservedWord(AsciiToLower(Peek().text)) &&
+        Peek(1).IsKeyword("in")) {
+      const std::string var = Advance().text;
+      Advance();  // in
+      TXMOD_ASSIGN_OR_RETURN(CalcRelRef rel, ParseRelRef());
+      return Formula::Membership(var, std::move(rel));
+    }
+    // Tuple equality: var '=' var (both bare names, no '.').
+    if (Peek().kind == TokenKind::kIdent &&
+        !IsReservedWord(AsciiToLower(Peek().text)) && Peek(1).IsOp("=") &&
+        Peek(2).kind == TokenKind::kIdent &&
+        !IsReservedWord(AsciiToLower(Peek(2).text)) && !Peek(3).IsOp(".")) {
+      const std::string v1 = Advance().text;
+      Advance();  // =
+      const std::string v2 = Advance().text;
+      return Formula::TupleEq(v1, v2);
+    }
+    // Comparison: term cmp term.
+    TXMOD_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    CompareOp op;
+    if (Peek().IsOp("=")) {
+      op = CompareOp::kEq;
+    } else if (Peek().IsOp("!=") || Peek().IsOp("<>")) {
+      op = CompareOp::kNe;
+    } else if (Peek().IsOp("<=")) {
+      op = CompareOp::kLe;
+    } else if (Peek().IsOp("<")) {
+      op = CompareOp::kLt;
+    } else if (Peek().IsOp(">=")) {
+      op = CompareOp::kGe;
+    } else if (Peek().IsOp(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Error("expected comparison operator");
+    }
+    Advance();
+    TXMOD_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return Formula::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<CalcRelRef> ParseRelRef() {
+    CalcRelRef ref;
+    if (Peek().IsKeyword("old") || Peek().IsKeyword("dplus") ||
+        Peek().IsKeyword("dminus")) {
+      const std::string kw = AsciiToLower(Advance().text);
+      ref.kind = kw == "old" ? CalcRelKind::kOld
+                 : kw == "dplus" ? CalcRelKind::kDeltaPlus
+                                 : CalcRelKind::kDeltaMinus;
+      TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+      TXMOD_ASSIGN_OR_RETURN(ref.name, ExpectName("relation name"));
+      TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+      return ref;
+    }
+    ref.kind = CalcRelKind::kBase;
+    TXMOD_ASSIGN_OR_RETURN(ref.name, ExpectName("relation name"));
+    return ref;
+  }
+
+  Result<Term> ParseTerm() { return ParseSum(); }
+
+  Result<Term> ParseSum() {
+    TXMOD_ASSIGN_OR_RETURN(Term lhs, ParseProduct());
+    while (Peek().IsOp("+") || Peek().IsOp("-")) {
+      const ArithOp op = Peek().IsOp("+") ? ArithOp::kAdd : ArithOp::kSub;
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(Term rhs, ParseProduct());
+      lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Term> ParseProduct() {
+    TXMOD_ASSIGN_OR_RETURN(Term lhs, ParseFactor());
+    while (Peek().IsOp("*") || Peek().IsOp("/")) {
+      const ArithOp op = Peek().IsOp("*") ? ArithOp::kMul : ArithOp::kDiv;
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(Term rhs, ParseFactor());
+      lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Term> ParseFactor() {
+    const Token& tok = Peek();
+    if (tok.IsOp("(")) {
+      Advance();
+      TXMOD_ASSIGN_OR_RETURN(Term inner, ParseTerm());
+      TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    if (tok.IsOp("-")) {
+      Advance();
+      if (Peek().kind == TokenKind::kInt) {
+        return Term::Const(Value::Int(-Advance().int_value));
+      }
+      if (Peek().kind == TokenKind::kFloat) {
+        return Term::Const(Value::Double(-Advance().float_value));
+      }
+      return Error("expected number after unary '-'");
+    }
+    if (tok.kind == TokenKind::kInt) {
+      return Term::Const(Value::Int(Advance().int_value));
+    }
+    if (tok.kind == TokenKind::kFloat) {
+      return Term::Const(Value::Double(Advance().float_value));
+    }
+    if (tok.kind == TokenKind::kString) {
+      return Term::Const(Value::String(Advance().string_value));
+    }
+    if (tok.IsKeyword("null")) {
+      Advance();
+      return Term::Const(Value::Null());
+    }
+    // Aggregates.
+    if (tok.IsKeyword("cnt") || tok.IsKeyword("mlt")) {
+      const CalcAgg agg =
+          tok.IsKeyword("cnt") ? CalcAgg::kCnt : CalcAgg::kMlt;
+      Advance();
+      TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+      TXMOD_ASSIGN_OR_RETURN(CalcRelRef rel, ParseRelRef());
+      TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+      return Term::Aggregate(agg, std::move(rel));
+    }
+    if (tok.IsKeyword("sum") || tok.IsKeyword("avg") ||
+        tok.IsKeyword("min") || tok.IsKeyword("max")) {
+      const std::string kw = AsciiToLower(Advance().text);
+      const CalcAgg agg = kw == "sum"   ? CalcAgg::kSum
+                          : kw == "avg" ? CalcAgg::kAvg
+                          : kw == "min" ? CalcAgg::kMin
+                                        : CalcAgg::kMax;
+      TXMOD_RETURN_IF_ERROR(ExpectOp("("));
+      TXMOD_ASSIGN_OR_RETURN(CalcRelRef rel, ParseRelRef());
+      TXMOD_RETURN_IF_ERROR(ExpectOp(","));
+      Term t = Term::Aggregate(agg, std::move(rel));
+      if (Peek().kind == TokenKind::kInt) {
+        t.agg_attr_index = static_cast<int>(Advance().int_value);
+      } else {
+        TXMOD_ASSIGN_OR_RETURN(t.agg_attr_name,
+                               ExpectName("aggregate attribute"));
+      }
+      TXMOD_RETURN_IF_ERROR(ExpectOp(")"));
+      return t;
+    }
+    // Attribute selection: var '.' (name | index).
+    if (tok.kind == TokenKind::kIdent &&
+        !IsReservedWord(AsciiToLower(tok.text))) {
+      const std::string var = Advance().text;
+      TXMOD_RETURN_IF_ERROR(ExpectOp("."));
+      if (Peek().kind == TokenKind::kInt) {
+        return Term::AttrSelIndex(var, static_cast<int>(Advance().int_value));
+      }
+      TXMOD_ASSIGN_OR_RETURN(std::string attr, ExpectName("attribute name"));
+      return Term::AttrSel(var, attr);
+    }
+    return Error("expected term");
+  }
+
+  const std::string& text_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Formula> ParseFormula(const std::string& text) {
+  ParserImpl impl(text);
+  TXMOD_RETURN_IF_ERROR(impl.Init());
+  return impl.ParseAll();
+}
+
+}  // namespace txmod::calculus

@@ -1,0 +1,40 @@
+#ifndef TXMOD_CALCULUS_PARSER_H_
+#define TXMOD_CALCULUS_PARSER_H_
+
+#include <string>
+
+#include "src/calculus/ast.h"
+#include "src/common/result.h"
+
+namespace txmod::calculus {
+
+/// Parses a CL well-formed formula from its textual syntax.
+///
+/// Grammar (keywords case-insensitive):
+///
+///   formula   := ('forall' | 'exists') var {',' var} '(' formula ')'
+///              | implied
+///   implied   := orf ['implies' implied]              (also accepts '=>')
+///   orf       := andf {'or' andf}
+///   andf      := notf {'and' notf}
+///   notf      := 'not' notf | atom
+///   atom      := '(' formula ')'
+///              | var 'in' relref
+///              | term cmp term                         (cmp: = != <> < <= > >=)
+///              | var '=' var                           (tuple equality)
+///   term      := sum
+///   sum       := product {('+'|'-') product}
+///   product   := factor {('*'|'/') factor}
+///   factor    := const | var '.' (attr | index)
+///              | ('sum'|'avg'|'min'|'max'|'mlt') '(' relref ',' attr ')'
+///              | 'cnt' '(' relref ')'
+///              | '(' term ')'
+///   relref    := name | ('old'|'dplus'|'dminus') '(' name ')'
+///
+/// Name resolution, typing, and safety checks are done separately by
+/// AnalyzeFormula (analyzer.h); the parser is purely syntactic.
+Result<Formula> ParseFormula(const std::string& text);
+
+}  // namespace txmod::calculus
+
+#endif  // TXMOD_CALCULUS_PARSER_H_

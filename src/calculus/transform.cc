@@ -1,0 +1,62 @@
+#include "src/calculus/transform.h"
+
+namespace txmod::calculus {
+
+Formula ToNnf(const Formula& f, bool negate) {
+  switch (f.kind) {
+    case Formula::Kind::kCompare:
+    case Formula::Kind::kMembership:
+    case Formula::Kind::kTupleEq: {
+      Formula atom = f;
+      return negate ? Formula::Not(std::move(atom)) : atom;
+    }
+    case Formula::Kind::kNot:
+      return ToNnf(f.children[0], !negate);
+    case Formula::Kind::kAnd:
+      // ¬(a ∧ b) = ¬a ∨ ¬b.
+      if (negate) {
+        return Formula::Or(ToNnf(f.children[0], true),
+                           ToNnf(f.children[1], true));
+      }
+      return Formula::And(ToNnf(f.children[0], false),
+                          ToNnf(f.children[1], false));
+    case Formula::Kind::kOr:
+      if (negate) {
+        return Formula::And(ToNnf(f.children[0], true),
+                            ToNnf(f.children[1], true));
+      }
+      return Formula::Or(ToNnf(f.children[0], false),
+                         ToNnf(f.children[1], false));
+    case Formula::Kind::kImplies:
+      // a ⇒ b = ¬a ∨ b;   ¬(a ⇒ b) = a ∧ ¬b.
+      if (negate) {
+        return Formula::And(ToNnf(f.children[0], false),
+                            ToNnf(f.children[1], true));
+      }
+      return Formula::Or(ToNnf(f.children[0], true),
+                         ToNnf(f.children[1], false));
+    case Formula::Kind::kForall:
+      // ¬(∀x)(W) = (∃x)(¬W).
+      if (negate) {
+        return Formula::Exists(f.var, ToNnf(f.children[0], true));
+      }
+      return Formula::Forall(f.var, ToNnf(f.children[0], false));
+    case Formula::Kind::kExists:
+      if (negate) {
+        return Formula::Forall(f.var, ToNnf(f.children[0], true));
+      }
+      return Formula::Exists(f.var, ToNnf(f.children[0], false));
+  }
+  return f;
+}
+
+Formula SimplifyNnf(Formula f) {
+  if (f.kind == Formula::Kind::kNot &&
+      f.children[0].kind == Formula::Kind::kNot) {
+    return SimplifyNnf(f.children[0].children[0]);
+  }
+  for (Formula& c : f.children) c = SimplifyNnf(std::move(c));
+  return f;
+}
+
+}  // namespace txmod::calculus

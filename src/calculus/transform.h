@@ -1,0 +1,27 @@
+#ifndef TXMOD_CALCULUS_TRANSFORM_H_
+#define TXMOD_CALCULUS_TRANSFORM_H_
+
+#include "src/calculus/ast.h"
+
+namespace txmod::calculus {
+
+/// Negation normal form: implications are rewritten (a ⇒ b  ≡  ¬a ∨ b)
+/// and negations pushed inward (De Morgan, quantifier duality) until they
+/// sit directly on atoms. With `negate` the result is the NNF of ¬f —
+/// used by the translator, which computes *violation* queries.
+///
+/// Comparisons under negation keep an explicit kNot wrapper rather than a
+/// flipped operator: with null values, ¬(a < b) is *not* equivalent to
+/// a >= b (both are false when a or b is null), and the translation must
+/// preserve CL's exact semantics.
+Formula ToNnf(const Formula& f, bool negate);
+
+/// Simplifications that preserve semantics and normal form: flattening of
+/// double negations and removal of constant-true conjuncts produced by
+/// rewriting. (Kept intentionally small; relational-level optimization is
+/// the job of query optimization, Section 5.2.1.)
+Formula SimplifyNnf(Formula f);
+
+}  // namespace txmod::calculus
+
+#endif  // TXMOD_CALCULUS_TRANSFORM_H_

@@ -1,0 +1,23 @@
+#ifndef TXMOD_COMMON_HASH_H_
+#define TXMOD_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace txmod {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit variant).
+inline void HashCombine(std::size_t* seed, std::size_t value) {
+  *seed ^= value + UINT64_C(0x9e3779b97f4a7c15) + (*seed << 12) + (*seed >> 4);
+}
+
+/// Hashes `v` with std::hash and mixes it into `seed`.
+template <typename T>
+void HashCombineValue(std::size_t* seed, const T& v) {
+  HashCombine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace txmod
+
+#endif  // TXMOD_COMMON_HASH_H_

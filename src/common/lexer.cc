@@ -1,0 +1,175 @@
+#include "src/common/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/str_util.h"
+
+namespace txmod {
+
+bool Token::IsKeyword(const char* keyword) const {
+  if (kind != TokenKind::kIdent) return false;
+  return AsciiToLower(text) == AsciiToLower(keyword);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comment: '--' to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      tok.kind = TokenKind::kIdent;
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      // A '.' starts a fraction only when followed by a digit, so that
+      // "x.1" stays an attribute selection and "1.5" is a float.
+      if (j + 1 < n && input[j] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          is_float = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+            ++j;
+          }
+        }
+      }
+      const std::string text = input.substr(i, j - i);
+      tok.text = text;
+      if (is_float) {
+        tok.kind = TokenKind::kFloat;
+        tok.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      i = j;
+    } else if (c == '"') {
+      std::string value;
+      std::size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\\' && j + 1 < n) {
+          const char esc = input[j + 1];
+          switch (esc) {
+            case 'n':
+              value += '\n';
+              break;
+            case 't':
+              value += '\t';
+              break;
+            case '"':
+              value += '"';
+              break;
+            case '\\':
+              value += '\\';
+              break;
+            default:
+              return Status::InvalidArgument(
+                  StrCat("unknown escape \\", std::string(1, esc),
+                         " at offset ", j));
+          }
+          j += 2;
+        } else if (input[j] == '"') {
+          closed = true;
+          ++j;
+          break;
+        } else {
+          value += input[j];
+          ++j;
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrCat("unterminated string literal at offset ", i));
+      }
+      tok.kind = TokenKind::kString;
+      tok.string_value = std::move(value);
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else {
+      // Multi-character operators first.
+      static const char* kTwoCharOps[] = {":=", "!=", "<>", "<=", ">=", "=>"};
+      std::string two = input.substr(i, 2);
+      bool matched = false;
+      for (const char* op : kTwoCharOps) {
+        if (two == op) {
+          tok.kind = TokenKind::kOp;
+          tok.text = op;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kOneCharOps = "()[]{},;.+-*/%=<>#$";
+        if (kOneCharOps.find(c) == std::string::npos) {
+          return Status::InvalidArgument(
+              StrCat("unexpected character '", std::string(1, c),
+                     "' at offset ", i));
+        }
+        tok.kind = TokenKind::kOp;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+std::string DescribePosition(const std::string& input, const Token& token) {
+  int line = 1;
+  int column = 1;
+  for (int i = 0; i < token.position && i < static_cast<int>(input.size());
+       ++i) {
+    if (input[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return StrCat("line ", line, ", column ", column);
+}
+
+}  // namespace txmod

@@ -1,0 +1,49 @@
+#ifndef TXMOD_COMMON_LEXER_H_
+#define TXMOD_COMMON_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace txmod {
+
+/// Token categories shared by the CL constraint language, the RL rule
+/// language, and the textual extended-relational-algebra syntax.
+enum class TokenKind {
+  kEnd,        // end of input
+  kIdent,      // identifiers / keywords (case preserved; parsers lowercase)
+  kInt,        // integer literal
+  kFloat,      // floating point literal
+  kString,     // double-quoted string literal (escapes: \" \\ \n \t)
+  kOp,         // operator or punctuation, one of the lexemes below
+};
+
+/// A single token with its source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier text, operator lexeme, or raw literal
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string string_value;
+  int position = 0;     // byte offset in the input
+
+  bool IsOp(const char* lexeme) const {
+    return kind == TokenKind::kOp && text == lexeme;
+  }
+  /// Case-insensitive keyword test for identifier tokens.
+  bool IsKeyword(const char* keyword) const;
+};
+
+/// Splits `input` into tokens. Recognized operators:
+///   ( ) [ ] { } , ; . + - * / % = != <> < <= > >= := => # $
+/// Comments run from '--' to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// Renders the position of `token` within `input` as "line L, column C".
+std::string DescribePosition(const std::string& input, const Token& token);
+
+}  // namespace txmod
+
+#endif  // TXMOD_COMMON_LEXER_H_

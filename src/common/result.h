@@ -1,0 +1,79 @@
+#ifndef TXMOD_COMMON_RESULT_H_
+#define TXMOD_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace txmod {
+
+/// Either a value of type T or a non-OK Status (never both, never neither).
+///
+/// The exception-free analogue of absl::StatusOr / arrow::Result. Access to
+/// the value when `!ok()` is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK() when a value is held.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+/// value to `lhs`. Usage: TXMOD_ASSIGN_OR_RETURN(auto v, ComputeV());
+#define TXMOD_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  TXMOD_ASSIGN_OR_RETURN_IMPL_(                                         \
+      TXMOD_RESULT_CONCAT_(_txmod_result, __LINE__), lhs, rexpr)
+
+#define TXMOD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define TXMOD_RESULT_CONCAT_(a, b) TXMOD_RESULT_CONCAT_IMPL_(a, b)
+#define TXMOD_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace txmod
+
+#endif  // TXMOD_COMMON_RESULT_H_

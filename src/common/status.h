@@ -1,0 +1,97 @@
+#ifndef TXMOD_COMMON_STATUS_H_
+#define TXMOD_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace txmod {
+
+/// Error category for a failed operation.
+///
+/// The library does not use C++ exceptions (per the project style rules);
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller supplied a malformed argument (bad syntax, arity mismatch, ...).
+  kInvalidArgument = 1,
+  /// A named entity (relation, rule, attribute, ...) does not exist.
+  kNotFound = 2,
+  /// A named entity already exists and may not be redefined.
+  kAlreadyExists = 3,
+  /// The operation is valid but the object is in the wrong state for it.
+  kFailedPrecondition = 4,
+  /// The requested construct is outside the supported fragment.
+  kUnimplemented = 5,
+  /// Invariant violation inside the library itself (a bug if ever seen).
+  kInternal = 6,
+  /// A transaction was aborted (by an alarm statement or abort statement).
+  kAborted = 7,
+};
+
+/// Returns the canonical lowercase name of a status code, e.g. "not found".
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-type carrying either success (`ok()`) or an error code + message.
+///
+/// Mirrors the Status idiom of Arrow / RocksDB / absl. Statuses are cheap to
+/// copy in the OK case and must be checked by the caller.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "invalid argument: bad arity".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status to the caller.
+#define TXMOD_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::txmod::Status _txmod_st = (expr);        \
+    if (!_txmod_st.ok()) return _txmod_st;     \
+  } while (false)
+
+}  // namespace txmod
+
+#endif  // TXMOD_COMMON_STATUS_H_

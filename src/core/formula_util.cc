@@ -1,0 +1,181 @@
+#include "src/core/formula_util.h"
+
+namespace txmod::core {
+
+using calculus::CalcRelKind;
+using calculus::Formula;
+using calculus::Term;
+
+void FlattenAnd(const Formula& f, std::vector<Formula>* out) {
+  if (f.kind == Formula::Kind::kAnd) {
+    FlattenAnd(f.children[0], out);
+    FlattenAnd(f.children[1], out);
+    return;
+  }
+  out->push_back(f);
+}
+
+Formula BuildAnd(std::vector<Formula> conjuncts) {
+  Formula acc = std::move(conjuncts[0]);
+  for (std::size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = Formula::And(std::move(acc), std::move(conjuncts[i]));
+  }
+  return acc;
+}
+
+namespace {
+
+void CollectTermVars(const Term& t, std::set<std::string>* vars) {
+  switch (t.kind) {
+    case Term::Kind::kAttrSel:
+      vars->insert(t.var);
+      break;
+    case Term::Kind::kArith:
+      for (const Term& c : t.children) CollectTermVars(c, vars);
+      break;
+    default:
+      break;
+  }
+}
+
+bool TermContainsAggregate(const Term& t) {
+  switch (t.kind) {
+    case Term::Kind::kAggregate:
+      return true;
+    case Term::Kind::kArith:
+      for (const Term& c : t.children) {
+        if (TermContainsAggregate(c)) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+bool TermContainsAuxRef(const Term& t) {
+  switch (t.kind) {
+    case Term::Kind::kAggregate:
+      return t.rel.kind != CalcRelKind::kBase;
+    case Term::Kind::kArith:
+      for (const Term& c : t.children) {
+        if (TermContainsAuxRef(c)) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+void RenameTermVar(Term* t, const std::string& from, const std::string& to) {
+  switch (t->kind) {
+    case Term::Kind::kAttrSel:
+      if (t->var == from) t->var = to;
+      break;
+    case Term::Kind::kArith:
+      for (Term& c : t->children) RenameTermVar(&c, from, to);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void CollectFreeVars(const Formula& f, std::set<std::string>* vars) {
+  switch (f.kind) {
+    case Formula::Kind::kCompare:
+      for (const Term& t : f.terms) CollectTermVars(t, vars);
+      return;
+    case Formula::Kind::kMembership:
+      vars->insert(f.var);
+      return;
+    case Formula::Kind::kTupleEq:
+      vars->insert(f.var);
+      vars->insert(f.var2);
+      return;
+    case Formula::Kind::kForall:
+    case Formula::Kind::kExists: {
+      std::set<std::string> inner;
+      CollectFreeVars(f.children[0], &inner);
+      inner.erase(f.var);
+      vars->insert(inner.begin(), inner.end());
+      return;
+    }
+    default:
+      for (const Formula& c : f.children) CollectFreeVars(c, vars);
+      return;
+  }
+}
+
+bool ContainsQuantifier(const Formula& f) {
+  if (f.IsQuantifier()) return true;
+  for (const Formula& c : f.children) {
+    if (ContainsQuantifier(c)) return true;
+  }
+  return false;
+}
+
+bool ContainsMembership(const Formula& f) {
+  if (f.kind == Formula::Kind::kMembership) return true;
+  for (const Formula& c : f.children) {
+    if (ContainsMembership(c)) return true;
+  }
+  return false;
+}
+
+bool ContainsAggregate(const Formula& f) {
+  if (f.kind == Formula::Kind::kCompare) {
+    for (const Term& t : f.terms) {
+      if (TermContainsAggregate(t)) return true;
+    }
+  }
+  for (const Formula& c : f.children) {
+    if (ContainsAggregate(c)) return true;
+  }
+  return false;
+}
+
+bool ContainsAuxRef(const Formula& f) {
+  if (f.kind == Formula::Kind::kMembership &&
+      f.rel.kind != CalcRelKind::kBase) {
+    return true;
+  }
+  if (f.kind == Formula::Kind::kCompare) {
+    for (const Term& t : f.terms) {
+      if (TermContainsAuxRef(t)) return true;
+    }
+  }
+  for (const Formula& c : f.children) {
+    if (ContainsAuxRef(c)) return true;
+  }
+  return false;
+}
+
+bool IsScalarFormula(const Formula& f) {
+  return !ContainsQuantifier(f) && !ContainsMembership(f);
+}
+
+Formula RenameVar(Formula f, const std::string& from, const std::string& to) {
+  switch (f.kind) {
+    case Formula::Kind::kMembership:
+      if (f.var == from) f.var = to;
+      break;
+    case Formula::Kind::kTupleEq:
+      if (f.var == from) f.var = to;
+      if (f.var2 == from) f.var2 = to;
+      break;
+    case Formula::Kind::kCompare:
+      for (Term& t : f.terms) RenameTermVar(&t, from, to);
+      break;
+    case Formula::Kind::kForall:
+    case Formula::Kind::kExists:
+      if (f.var == from) f.var = to;
+      break;
+    default:
+      break;
+  }
+  for (Formula& c : f.children) c = RenameVar(std::move(c), from, to);
+  return f;
+}
+
+}  // namespace txmod::core

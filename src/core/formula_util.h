@@ -1,0 +1,42 @@
+#ifndef TXMOD_CORE_FORMULA_UTIL_H_
+#define TXMOD_CORE_FORMULA_UTIL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/calculus/ast.h"
+
+namespace txmod::core {
+
+/// Flattens nested conjunctions into a conjunct list (left-to-right order).
+void FlattenAnd(const calculus::Formula& f,
+                std::vector<calculus::Formula>* out);
+
+/// Rebuilds a conjunction from a non-empty conjunct list.
+calculus::Formula BuildAnd(std::vector<calculus::Formula> conjuncts);
+
+/// Free tuple variables of `f` (variables used but not quantified in `f`).
+void CollectFreeVars(const calculus::Formula& f,
+                     std::set<std::string>* vars);
+
+bool ContainsQuantifier(const calculus::Formula& f);
+bool ContainsMembership(const calculus::Formula& f);
+
+/// True when `f` contains an aggregate or count term anywhere.
+bool ContainsAggregate(const calculus::Formula& f);
+
+/// True when `f` references any auxiliary relation (old/dplus/dminus).
+bool ContainsAuxRef(const calculus::Formula& f);
+
+/// Quantifier-free and membership-free: translatable to one scalar
+/// predicate.
+bool IsScalarFormula(const calculus::Formula& f);
+
+/// Renames every binding and use of tuple variable `from` to `to`.
+calculus::Formula RenameVar(calculus::Formula f, const std::string& from,
+                            const std::string& to);
+
+}  // namespace txmod::core
+
+#endif  // TXMOD_CORE_FORMULA_UTIL_H_

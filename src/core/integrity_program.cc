@@ -1,0 +1,52 @@
+#include "src/core/integrity_program.h"
+
+#include "src/common/str_util.h"
+
+namespace txmod::core {
+
+std::string IntegrityProgram::ToString() const {
+  std::string out = StrCat("integrity program ", rule_name, " [",
+                           triggers.ToString(), "]");
+  if (non_triggering) out += " (non-triggering)";
+  if (differential) out += " (differential)";
+  out += ":\n";
+  out += program.ToString();
+  return out;
+}
+
+Result<IntegrityProgram> GetIntP(const rules::IntegrityRule& rule,
+                                 const DatabaseSchema& schema,
+                                 OptimizationLevel level,
+                                 const TranslateOptions& options) {
+  IntegrityProgram out;
+  out.rule_name = rule.name;
+  out.triggers = rule.triggers;
+
+  if (rule.action_kind == rules::ActionKind::kCompensate) {
+    // TransCA: the compensating program is the action (Section 5.2.2).
+    out.program = rule.action;
+    out.non_triggering = rule.action_non_triggering;
+    return out;
+  }
+
+  const OptimizedRule optimized = OptR(rule, level);
+  out.differential = optimized.condition.differential;
+  algebra::Program program;
+  program.non_triggering = true;  // alarm-only programs never trigger
+  for (const calculus::Formula& part : optimized.condition.parts) {
+    calculus::AnalyzedFormula analyzed;
+    analyzed.formula = part;
+    analyzed.ranges = rule.condition.ranges;
+    TXMOD_ASSIGN_OR_RETURN(
+        algebra::Program translated,
+        TransC(analyzed, schema,
+               StrCat("integrity violation: rule ", rule.name), options));
+    program = algebra::Program::Concat(std::move(program),
+                                       std::move(translated));
+  }
+  out.program = std::move(program);
+  out.non_triggering = true;
+  return out;
+}
+
+}  // namespace txmod::core

@@ -1,0 +1,59 @@
+#ifndef TXMOD_CORE_INTEGRITY_PROGRAM_H_
+#define TXMOD_CORE_INTEGRITY_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/algebra/statement.h"
+#include "src/core/optimize.h"
+#include "src/core/translate.h"
+#include "src/rules/rule.h"
+#include "src/rules/trigger.h"
+
+namespace txmod::core {
+
+/// An integrity program (Definition 6.3): the statically compiled form of
+/// an integrity rule — trigger set plus translated/optimized triggered
+/// program, stored at rule definition time so that constraint enforcement
+/// time does no optimization or translation (Section 6.2).
+struct IntegrityProgram {
+  std::string rule_name;
+  rules::TriggerSet triggers;
+  algebra::Program program;
+  /// Definition 6.2 / 6.3 extension flag: a non-triggering program is
+  /// skipped by trigger extraction during modification.
+  bool non_triggering = false;
+  /// True when the program uses differential relations (E7 diagnostics).
+  bool differential = false;
+
+  std::string ToString() const;
+};
+
+/// GetIntP (Algorithm 6.1): compiles one rule into its integrity program:
+/// GetIntP(J) = (triggers(J), TransR(OptR(J))).
+Result<IntegrityProgram> GetIntP(const rules::IntegrityRule& rule,
+                                 const DatabaseSchema& schema,
+                                 OptimizationLevel level,
+                                 const TranslateOptions& options = {});
+
+/// The compiled rule catalog: integrity programs in rule-definition order
+/// (the paper's Section 6.2 note — the set is interpreted as a list by
+/// imposing an order; definition order makes modification deterministic).
+class CompiledRuleSet {
+ public:
+  void Add(IntegrityProgram program) {
+    programs_.push_back(std::move(program));
+  }
+  void Clear() { programs_.clear(); }
+
+  const std::vector<IntegrityProgram>& programs() const { return programs_; }
+  bool empty() const { return programs_.empty(); }
+  std::size_t size() const { return programs_.size(); }
+
+ private:
+  std::vector<IntegrityProgram> programs_;
+};
+
+}  // namespace txmod::core
+
+#endif  // TXMOD_CORE_INTEGRITY_PROGRAM_H_

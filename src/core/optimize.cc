@@ -1,0 +1,291 @@
+#include "src/core/optimize.h"
+
+#include <set>
+#include <string>
+
+#include "src/core/formula_util.h"
+
+namespace txmod::core {
+
+using calculus::CalcRelKind;
+using calculus::CalcRelRef;
+using calculus::Formula;
+using rules::Trigger;
+using rules::TriggerSet;
+using rules::UpdateType;
+
+namespace {
+
+/// A universally quantified implication, destructured:
+///   (∀v1)...(∀vk)(A1 ∧ ... ∧ An ⇒ C)
+struct UniversalPattern {
+  std::vector<std::string> vars;
+  std::vector<Formula> antecedent;
+  Formula consequent;
+};
+
+bool Destructure(const Formula& f, UniversalPattern* out) {
+  const Formula* cur = &f;
+  while (cur->kind == Formula::Kind::kForall) {
+    out->vars.push_back(cur->var);
+    cur = &cur->children[0];
+  }
+  if (out->vars.empty() || cur->kind != Formula::Kind::kImplies) {
+    return false;
+  }
+  FlattenAnd(cur->children[0], &out->antecedent);
+  out->consequent = cur->children[1];
+  return true;
+}
+
+/// Finds the unique base-relation membership atom for `var` among
+/// `conjuncts`; returns its index or -1.
+int FindBaseMembership(const std::vector<Formula>& conjuncts,
+                       const std::string& var) {
+  int found = -1;
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    const Formula& c = conjuncts[i];
+    if (c.kind == Formula::Kind::kMembership && c.var == var) {
+      if (c.rel.kind != CalcRelKind::kBase || found >= 0) return -1;
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+/// True when every conjunct except those at `skip` indices is scalar with
+/// free variables within `allowed`.
+bool RestAreScalarOver(const std::vector<Formula>& conjuncts,
+                       const std::set<int>& skip,
+                       const std::set<std::string>& allowed) {
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    if (skip.count(static_cast<int>(i)) > 0) continue;
+    const Formula& c = conjuncts[i];
+    if (!IsScalarFormula(c)) return false;
+    std::set<std::string> free;
+    CollectFreeVars(c, &free);
+    for (const std::string& v : free) {
+      if (allowed.count(v) == 0) return false;
+    }
+  }
+  return true;
+}
+
+bool ScalarOver(const Formula& f, const std::set<std::string>& allowed) {
+  if (!IsScalarFormula(f)) return false;
+  std::set<std::string> free;
+  CollectFreeVars(f, &free);
+  for (const std::string& v : free) {
+    if (allowed.count(v) == 0) return false;
+  }
+  return true;
+}
+
+Formula ReplaceMembershipRel(Formula f, CalcRelKind new_kind) {
+  f.rel.kind = new_kind;
+  return f;
+}
+
+/// Rebuilds (∀vars)(antecedent ⇒ consequent).
+Formula BuildUniversal(const std::vector<std::string>& vars,
+                       std::vector<Formula> antecedent, Formula consequent) {
+  Formula body = Formula::Implies(BuildAnd(std::move(antecedent)),
+                                  std::move(consequent));
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    body = Formula::Forall(*it, std::move(body));
+  }
+  return body;
+}
+
+bool FormulaMentionsAggOrAux(const Formula& f) {
+  return ContainsAggregate(f) || ContainsAuxRef(f);
+}
+
+// --- class-specific specializations ----------------------------------------
+
+/// Domain class: ∀x(x∈R ∧ pre(x) ⇒ M(x)), M scalar. Only INS(R) can
+/// violate; check the inserted tuples only.
+bool TryDomain(const UniversalPattern& p, const TriggerSet& triggers,
+               OptimizedCondition* out) {
+  if (p.vars.size() != 1) return false;
+  const std::string& x = p.vars[0];
+  const int mem = FindBaseMembership(p.antecedent, x);
+  if (mem < 0) return false;
+  const std::set<std::string> allowed = {x};
+  if (!RestAreScalarOver(p.antecedent, {mem}, allowed)) return false;
+  if (!ScalarOver(p.consequent, allowed)) return false;
+  if (FormulaMentionsAggOrAux(BuildUniversal(p.vars, p.antecedent,
+                                             p.consequent))) {
+    return false;
+  }
+  const std::string& r = p.antecedent[mem].rel.name;
+  if (triggers.Contains(Trigger{UpdateType::kIns, r})) {
+    std::vector<Formula> ante = p.antecedent;
+    ante[mem] = ReplaceMembershipRel(ante[mem], CalcRelKind::kDeltaPlus);
+    out->parts.push_back(BuildUniversal(p.vars, std::move(ante),
+                                        p.consequent));
+  }
+  // Uncovered triggers (beyond INS(R); deletions cannot violate this
+  // class) fall back to the full condition.
+  for (const Trigger& t : triggers) {
+    if (t == Trigger{UpdateType::kIns, r}) continue;
+    if (t.type == UpdateType::kDel && t.relation == r) continue;
+    out->parts.push_back(BuildUniversal(p.vars, p.antecedent, p.consequent));
+    break;
+  }
+  out->differential = true;
+  return true;
+}
+
+/// Referential class: ∀x(x∈R ∧ pre(x) ⇒ ∃y(y∈S ∧ H(x,y))), H scalar.
+bool TryReferential(const UniversalPattern& p, const TriggerSet& triggers,
+                    OptimizedCondition* out) {
+  if (p.vars.size() != 1) return false;
+  const std::string& x = p.vars[0];
+  const int mem = FindBaseMembership(p.antecedent, x);
+  if (mem < 0) return false;
+  if (!RestAreScalarOver(p.antecedent, {mem}, {x})) return false;
+  if (p.consequent.kind != Formula::Kind::kExists) return false;
+  const std::string& y = p.consequent.var;
+  std::vector<Formula> inner;
+  FlattenAnd(p.consequent.children[0], &inner);
+  const int inner_mem = FindBaseMembership(inner, y);
+  if (inner_mem < 0) return false;
+  if (!RestAreScalarOver(inner, {inner_mem}, {x, y})) return false;
+  if (FormulaMentionsAggOrAux(BuildUniversal(p.vars, p.antecedent,
+                                             p.consequent))) {
+    return false;
+  }
+  const std::string& r = p.antecedent[mem].rel.name;
+  const std::string& s = inner[inner_mem].rel.name;
+
+  if (triggers.Contains(Trigger{UpdateType::kIns, r})) {
+    std::vector<Formula> ante = p.antecedent;
+    ante[mem] = ReplaceMembershipRel(ante[mem], CalcRelKind::kDeltaPlus);
+    out->parts.push_back(BuildUniversal(p.vars, std::move(ante),
+                                        p.consequent));
+  }
+  if (triggers.Contains(Trigger{UpdateType::kDel, s})) {
+    // Old R tuples whose potential witnesses were deleted: restrict x to
+    // those matching a dminus(S) tuple, then require a surviving witness.
+    const std::string z = y + "__deleted";
+    std::vector<Formula> del_inner;
+    for (std::size_t i = 0; i < inner.size(); ++i) {
+      Formula c = inner[i];
+      if (static_cast<int>(i) == inner_mem) {
+        c = ReplaceMembershipRel(std::move(c), CalcRelKind::kDeltaMinus);
+      }
+      del_inner.push_back(RenameVar(std::move(c), y, z));
+    }
+    std::vector<Formula> ante = p.antecedent;
+    ante.push_back(Formula::Exists(z, BuildAnd(std::move(del_inner))));
+    out->parts.push_back(BuildUniversal(p.vars, std::move(ante),
+                                        p.consequent));
+  }
+  // Uncovered triggers: INS(S) and DEL(R) cannot violate; anything else
+  // (unusual explicit sets) falls back to the full condition.
+  for (const Trigger& t : triggers) {
+    const bool covered =
+        t == Trigger{UpdateType::kIns, r} ||
+        t == Trigger{UpdateType::kDel, s} ||
+        (t.type == UpdateType::kDel && t.relation == r) ||
+        (t.type == UpdateType::kIns && t.relation == s);
+    if (!covered) {
+      out->parts.push_back(
+          BuildUniversal(p.vars, p.antecedent, p.consequent));
+      break;
+    }
+  }
+  out->differential = true;
+  return true;
+}
+
+/// Pair class: ∀x∀y(x∈R ∧ y∈S ∧ C(x,y) ⇒ M(x,y)), C and M scalar.
+bool TryPair(const UniversalPattern& p, const TriggerSet& triggers,
+             OptimizedCondition* out) {
+  if (p.vars.size() != 2) return false;
+  const std::string& x = p.vars[0];
+  const std::string& y = p.vars[1];
+  const int mem_x = FindBaseMembership(p.antecedent, x);
+  const int mem_y = FindBaseMembership(p.antecedent, y);
+  if (mem_x < 0 || mem_y < 0) return false;
+  const std::set<std::string> allowed = {x, y};
+  if (!RestAreScalarOver(p.antecedent, {mem_x, mem_y}, allowed)) {
+    return false;
+  }
+  if (!ScalarOver(p.consequent, allowed)) return false;
+  if (FormulaMentionsAggOrAux(BuildUniversal(p.vars, p.antecedent,
+                                             p.consequent))) {
+    return false;
+  }
+  const std::string& r = p.antecedent[mem_x].rel.name;
+  const std::string& s = p.antecedent[mem_y].rel.name;
+
+  if (triggers.Contains(Trigger{UpdateType::kIns, r})) {
+    std::vector<Formula> ante = p.antecedent;
+    ante[mem_x] = ReplaceMembershipRel(ante[mem_x], CalcRelKind::kDeltaPlus);
+    out->parts.push_back(BuildUniversal(p.vars, std::move(ante),
+                                        p.consequent));
+  }
+  if (triggers.Contains(Trigger{UpdateType::kIns, s})) {
+    std::vector<Formula> ante = p.antecedent;
+    ante[mem_y] = ReplaceMembershipRel(ante[mem_y], CalcRelKind::kDeltaPlus);
+    out->parts.push_back(BuildUniversal(p.vars, std::move(ante),
+                                        p.consequent));
+  }
+  for (const Trigger& t : triggers) {
+    const bool covered =
+        (t.type == UpdateType::kIns && (t.relation == r || t.relation == s)) ||
+        (t.type == UpdateType::kDel && (t.relation == r || t.relation == s));
+    if (!covered) {
+      out->parts.push_back(
+          BuildUniversal(p.vars, p.antecedent, p.consequent));
+      break;
+    }
+  }
+  out->differential = true;
+  return true;
+}
+
+}  // namespace
+
+OptimizedCondition OptC(const calculus::AnalyzedFormula& condition,
+                        const TriggerSet& triggers, OptimizationLevel level) {
+  OptimizedCondition out;
+  if (level == OptimizationLevel::kDifferential) {
+    UniversalPattern p;
+    if (Destructure(condition.formula, &p)) {
+      if (TryDomain(p, triggers, &out) ||
+          TryReferential(p, triggers, &out) || TryPair(p, triggers, &out)) {
+        if (!out.parts.empty()) return out;
+        // A specialization matched but produced no parts (the trigger set
+        // excludes every relevant update type): the rule can only be
+        // triggered by updates that cannot violate the condition, so a
+        // full check is the honest remainder.
+        out.differential = false;
+      }
+    }
+  }
+  out.parts = {condition.formula};
+  out.differential = false;
+  return out;
+}
+
+OptimizedRule OptR(const rules::IntegrityRule& rule,
+                   OptimizationLevel level) {
+  OptimizedRule out;
+  out.rule = &rule;
+  // Only the condition is optimized (Algorithm 5.4); triggers and action
+  // pass through unchanged. Compensating actions are relational-algebra
+  // programs already — their optimization is classical query optimization,
+  // out of scope per Section 5.2.1.
+  if (rule.action_kind == rules::ActionKind::kAbort) {
+    out.condition = OptC(rule.condition, rule.triggers, level);
+  } else {
+    out.condition.parts = {rule.condition.formula};
+    out.condition.differential = false;
+  }
+  return out;
+}
+
+}  // namespace txmod::core

@@ -1,0 +1,147 @@
+#include "src/core/subsystem.h"
+
+#include "src/algebra/parser.h"
+#include "src/calculus/parser.h"
+#include "src/common/str_util.h"
+#include "src/rules/rule_parser.h"
+#include "src/rules/trigger_gen.h"
+
+namespace txmod::core {
+
+IntegritySubsystem::IntegritySubsystem(Database* db, SubsystemOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Status IntegritySubsystem::DefineConstraint(const std::string& name,
+                                            const std::string& cl_text) {
+  rules::IntegrityRule rule;
+  rule.name = name;
+  rule.source_text = cl_text;
+  TXMOD_ASSIGN_OR_RETURN(calculus::Formula raw,
+                         calculus::ParseFormula(cl_text));
+  TXMOD_ASSIGN_OR_RETURN(rule.condition,
+                         calculus::AnalyzeFormula(raw, db_->schema()));
+  rule.triggers = rules::GenTrigC(rule.condition.formula);
+  rule.triggers_were_generated = true;
+  if (rule.triggers.empty()) {
+    return Status::InvalidArgument(
+        StrCat("constraint ", name,
+               ": no update type can violate this condition; nothing to "
+               "enforce"));
+  }
+  rule.action_kind = rules::ActionKind::kAbort;
+  return AddRule(std::move(rule));
+}
+
+Status IntegritySubsystem::DefineRule(const std::string& name,
+                                      const std::string& rl_text) {
+  TXMOD_ASSIGN_OR_RETURN(rules::IntegrityRule rule,
+                         rules::ParseRule(name, rl_text, db_->schema()));
+  return AddRule(std::move(rule));
+}
+
+Status IntegritySubsystem::DefineRule(rules::IntegrityRule rule) {
+  if (rule.name.empty()) {
+    return Status::InvalidArgument("rule needs a name");
+  }
+  if (rule.triggers.empty()) {
+    return Status::InvalidArgument(
+        StrCat("rule ", rule.name, " has an empty trigger set"));
+  }
+  return AddRule(std::move(rule));
+}
+
+Status IntegritySubsystem::AddRule(rules::IntegrityRule rule) {
+  for (const rules::IntegrityRule& existing : rules_) {
+    if (existing.name == rule.name) {
+      return Status::AlreadyExists(
+          StrCat("rule ", rule.name, " already defined"));
+    }
+  }
+  rules_.push_back(std::move(rule));
+  const Status compile_status = Recompile();
+  if (!compile_status.ok()) {
+    rules_.pop_back();  // reject the definition, restore the catalog
+    const Status restore = Recompile();
+    if (!restore.ok()) return restore;
+    return compile_status;
+  }
+  return Status::OK();
+}
+
+Status IntegritySubsystem::DropRule(const std::string& name) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->name == name) {
+      rules_.erase(it);
+      return Recompile();
+    }
+  }
+  return Status::NotFound(StrCat("rule ", name, " not defined"));
+}
+
+Status IntegritySubsystem::Recompile() {
+  CompiledRuleSet compiled;
+  for (const rules::IntegrityRule& rule : rules_) {
+    TXMOD_ASSIGN_OR_RETURN(
+        IntegrityProgram program,
+        GetIntP(rule, db_->schema(), options_.optimization,
+                options_.translate));
+    compiled.Add(std::move(program));
+  }
+  TriggeringGraph graph = TriggeringGraph::Build(compiled);
+  if (options_.reject_cyclic_rule_sets && graph.HasCycle()) {
+    return Status::FailedPrecondition(graph.DescribeCycles());
+  }
+  compiled_ = std::move(compiled);
+  graph_ = std::move(graph);
+  return Status::OK();
+}
+
+Result<algebra::Transaction> IntegritySubsystem::Modify(
+    const algebra::Transaction& txn, ModifyStats* stats) const {
+  if (options_.placement == CheckPlacement::kImmediate) {
+    return ModifyTransactionImmediate(txn, compiled_, options_.modifier,
+                                      stats);
+  }
+  return ModifyTransaction(txn, compiled_, options_.modifier, stats);
+}
+
+Result<txn::TxnResult> IntegritySubsystem::Execute(
+    const algebra::Transaction& txn) {
+  TXMOD_ASSIGN_OR_RETURN(algebra::Transaction modified, Modify(txn));
+  return txn::ExecuteTransaction(modified, db_);
+}
+
+Result<txn::TxnResult> IntegritySubsystem::ExecuteText(
+    const std::string& txn_text) {
+  algebra::AlgebraParser parser(&db_->schema());
+  TXMOD_ASSIGN_OR_RETURN(algebra::Transaction txn,
+                         parser.ParseTransaction(txn_text));
+  return Execute(txn);
+}
+
+Result<txn::TxnResult> IntegritySubsystem::ExecuteUnchecked(
+    const algebra::Transaction& txn) {
+  return txn::ExecuteTransaction(txn, db_);
+}
+
+std::vector<std::string> IntegritySubsystem::ValidateRuleTriggers() const {
+  std::vector<std::string> warnings;
+  for (const rules::IntegrityRule& rule : rules_) {
+    if (rule.triggers_were_generated) continue;
+    const rules::TriggerSet generated = rules::GenTrigC(
+        rule.condition.formula);
+    std::vector<std::string> missing;
+    for (const rules::Trigger& t : generated) {
+      if (!rule.triggers.Contains(t)) missing.push_back(t.ToString());
+    }
+    if (!missing.empty()) {
+      warnings.push_back(
+          StrCat("rule ", rule.name, ": WHEN clause misses generated "
+                 "trigger(s) ", Join(missing, ", "),
+                 "; updates of these types will not be checked"));
+    }
+  }
+  return warnings;
+}
+
+}  // namespace txmod::core

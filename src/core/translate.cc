@@ -1,0 +1,837 @@
+#include "src/core/translate.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/calculus/transform.h"
+#include "src/common/str_util.h"
+
+namespace txmod::core {
+
+using algebra::AggFunc;
+using algebra::ProjectionItem;
+using algebra::RelExpr;
+using algebra::RelExprPtr;
+using algebra::RelRefKind;
+using algebra::ScalarExpr;
+using algebra::ScalarOp;
+using calculus::CalcAgg;
+using calculus::CalcRelKind;
+using calculus::CalcRelRef;
+using calculus::CompareOp;
+using calculus::Formula;
+using calculus::Term;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Enum mappings between the calculus and algebra layers.
+// ---------------------------------------------------------------------------
+
+RelRefKind ToRelRefKind(CalcRelKind kind) {
+  switch (kind) {
+    case CalcRelKind::kBase:
+      return RelRefKind::kBase;
+    case CalcRelKind::kOld:
+      return RelRefKind::kOld;
+    case CalcRelKind::kDeltaPlus:
+      return RelRefKind::kDeltaPlus;
+    case CalcRelKind::kDeltaMinus:
+      return RelRefKind::kDeltaMinus;
+  }
+  return RelRefKind::kBase;
+}
+
+RelExprPtr RefFor(const CalcRelRef& ref) {
+  return RelExpr::Ref(ToRelRefKind(ref.kind), ref.name);
+}
+
+ScalarOp ToScalarOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return ScalarOp::kEq;
+    case CompareOp::kNe:
+      return ScalarOp::kNe;
+    case CompareOp::kLt:
+      return ScalarOp::kLt;
+    case CompareOp::kLe:
+      return ScalarOp::kLe;
+    case CompareOp::kGt:
+      return ScalarOp::kGt;
+    case CompareOp::kGe:
+      return ScalarOp::kGe;
+  }
+  return ScalarOp::kEq;
+}
+
+ScalarOp ToScalarOp(calculus::ArithOp op) {
+  switch (op) {
+    case calculus::ArithOp::kAdd:
+      return ScalarOp::kAdd;
+    case calculus::ArithOp::kSub:
+      return ScalarOp::kSub;
+    case calculus::ArithOp::kMul:
+      return ScalarOp::kMul;
+    case calculus::ArithOp::kDiv:
+      return ScalarOp::kDiv;
+  }
+  return ScalarOp::kAdd;
+}
+
+Result<AggFunc> ToAggFunc(CalcAgg agg) {
+  switch (agg) {
+    case CalcAgg::kSum:
+      return AggFunc::kSum;
+    case CalcAgg::kAvg:
+      return AggFunc::kAvg;
+    case CalcAgg::kMin:
+      return AggFunc::kMin;
+    case CalcAgg::kMax:
+      return AggFunc::kMax;
+    case CalcAgg::kCnt:
+      return AggFunc::kCnt;
+    case CalcAgg::kMlt:
+      return Status::Unimplemented("MLT requires the multi-set extension");
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+// ---------------------------------------------------------------------------
+// Free variables and formula classification.
+// ---------------------------------------------------------------------------
+
+void CollectTermVars(const Term& t, std::set<std::string>* vars) {
+  switch (t.kind) {
+    case Term::Kind::kAttrSel:
+      vars->insert(t.var);
+      break;
+    case Term::Kind::kArith:
+      for (const Term& c : t.children) CollectTermVars(c, vars);
+      break;
+    default:
+      break;
+  }
+}
+
+void CollectFreeVars(const Formula& f, std::set<std::string>* vars) {
+  switch (f.kind) {
+    case Formula::Kind::kCompare:
+      for (const Term& t : f.terms) CollectTermVars(t, vars);
+      return;
+    case Formula::Kind::kMembership:
+      vars->insert(f.var);
+      return;
+    case Formula::Kind::kTupleEq:
+      vars->insert(f.var);
+      vars->insert(f.var2);
+      return;
+    case Formula::Kind::kForall:
+    case Formula::Kind::kExists: {
+      std::set<std::string> inner;
+      CollectFreeVars(f.children[0], &inner);
+      inner.erase(f.var);
+      vars->insert(inner.begin(), inner.end());
+      return;
+    }
+    default:
+      for (const Formula& c : f.children) CollectFreeVars(c, vars);
+      return;
+  }
+}
+
+bool ContainsQuantifier(const Formula& f) {
+  if (f.IsQuantifier()) return true;
+  for (const Formula& c : f.children) {
+    if (ContainsQuantifier(c)) return true;
+  }
+  return false;
+}
+
+bool ContainsMembership(const Formula& f) {
+  if (f.kind == Formula::Kind::kMembership) return true;
+  for (const Formula& c : f.children) {
+    if (ContainsMembership(c)) return true;
+  }
+  return false;
+}
+
+// Scalar-translatable: no quantifiers, no membership atoms.
+bool IsScalarFormula(const Formula& f) {
+  return !ContainsQuantifier(f) && !ContainsMembership(f);
+}
+
+void CollectAggTerms(const Term& t, std::vector<Term>* out) {
+  switch (t.kind) {
+    case Term::Kind::kAggregate:
+      out->push_back(t);
+      break;
+    case Term::Kind::kArith:
+      for (const Term& c : t.children) CollectAggTerms(c, out);
+      break;
+    default:
+      break;
+  }
+}
+
+void CollectAggTermsShallow(const Formula& f, std::vector<Term>* out) {
+  // Collects aggregate terms in comparisons *outside* nested quantifier
+  // bodies (aggregates inside inner quantifications are out of fragment).
+  if (f.IsQuantifier()) return;
+  if (f.kind == Formula::Kind::kCompare) {
+    for (const Term& t : f.terms) CollectAggTerms(t, out);
+    return;
+  }
+  for (const Formula& c : f.children) CollectAggTermsShallow(c, out);
+}
+
+bool FormulaHasAggInsideQuantifier(const Formula& f, bool inside) {
+  if (f.kind == Formula::Kind::kCompare) {
+    if (!inside) return false;
+    std::vector<Term> aggs;
+    for (const Term& t : f.terms) CollectAggTerms(t, &aggs);
+    return !aggs.empty();
+  }
+  const bool next_inside = inside || f.IsQuantifier();
+  for (const Formula& c : f.children) {
+    if (FormulaHasAggInsideQuantifier(c, next_inside)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Variable environment: maps tuple variables to attribute offsets in the
+// (concatenated) base relation the translator is assembling, plus columns
+// appended for aggregate terms.
+// ---------------------------------------------------------------------------
+
+struct VarBinding {
+  std::string var;
+  CalcRelRef range;
+  int offset = 0;
+  int arity = 0;
+};
+
+class VarEnv {
+ public:
+  Result<const VarBinding*> Find(const std::string& var) const {
+    for (const VarBinding& b : bindings_) {
+      if (b.var == var) return &b;
+    }
+    return Status::Internal(StrCat("unbound variable ", var,
+                                   " reached the translator"));
+  }
+
+  bool Contains(const std::string& var) const {
+    for (const VarBinding& b : bindings_) {
+      if (b.var == var) return true;
+    }
+    return false;
+  }
+
+  void Add(std::string var, CalcRelRef range, int arity) {
+    bindings_.push_back(
+        VarBinding{std::move(var), std::move(range), width_, arity});
+    width_ += arity;
+  }
+
+  /// Registers a one-column aggregate slot; returns its offset.
+  int AddAggColumn(const std::string& key) {
+    agg_offsets_[key] = width_;
+    return width_++;
+  }
+
+  Result<int> AggOffset(const std::string& key) const {
+    auto it = agg_offsets_.find(key);
+    if (it == agg_offsets_.end()) {
+      return Status::Unimplemented(
+          StrCat("aggregate term ", key,
+                 " in an unsupported position (aggregates are supported in "
+                 "the outermost matrix and in closed atoms)"));
+    }
+    return it->second;
+  }
+
+  int width() const { return width_; }
+
+ private:
+  std::vector<VarBinding> bindings_;
+  std::map<std::string, int> agg_offsets_;
+  int width_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The translator.
+// ---------------------------------------------------------------------------
+
+class Translator {
+ public:
+  Translator(const DatabaseSchema& schema, const TranslateOptions& options)
+      : schema_(schema), options_(options) {}
+
+  /// Entry: expression that is non-empty iff the *closed* NNF formula
+  /// `f` holds. The caller passes the NNF of ¬condition.
+  Result<RelExprPtr> NonEmptyIff(const Formula& f) {
+    switch (f.kind) {
+      case Formula::Kind::kExists:
+        return ExistsChain(f);
+      case Formula::Kind::kForall: {
+        // f holds iff the negated-body witness set is empty.
+        TXMOD_ASSIGN_OR_RETURN(RelExprPtr witnesses,
+                               ExistsChain(NegateForall(f)));
+        return EmptyGuard(std::move(witnesses));
+      }
+      case Formula::Kind::kAnd: {
+        TXMOD_ASSIGN_OR_RETURN(RelExprPtr a, NonEmptyIff(f.children[0]));
+        TXMOD_ASSIGN_OR_RETURN(RelExprPtr b, NonEmptyIff(f.children[1]));
+        // Non-empty iff both are: cross product of one-row guards.
+        return RelExpr::Product(Guard(std::move(a)), Guard(std::move(b)));
+      }
+      case Formula::Kind::kOr: {
+        TXMOD_ASSIGN_OR_RETURN(RelExprPtr a, NonEmptyIff(f.children[0]));
+        TXMOD_ASSIGN_OR_RETURN(RelExprPtr b, NonEmptyIff(f.children[1]));
+        return RelExpr::Union(Guard(std::move(a)), Guard(std::move(b)));
+      }
+      case Formula::Kind::kNot:
+      case Formula::Kind::kCompare:
+        return ClosedAtom(f);
+      case Formula::Kind::kMembership:
+      case Formula::Kind::kTupleEq:
+        return Status::InvalidArgument(
+            StrCat("constraint is not closed: ", f.ToString()));
+      default:
+        return Status::Internal("non-NNF formula reached the translator");
+    }
+  }
+
+ private:
+  // --- closed atoms: aggregate comparisons (Table 1 rows 6-7) -------------
+
+  Result<RelExprPtr> ClosedAtom(const Formula& f) {
+    const bool negated = f.kind == Formula::Kind::kNot;
+    const Formula& atom = negated ? f.children[0] : f;
+    if (atom.kind != Formula::Kind::kCompare) {
+      return Status::InvalidArgument(
+          StrCat("unsupported closed formula: ", f.ToString()));
+    }
+    std::vector<Term> aggs;
+    for (const Term& t : atom.terms) CollectAggTerms(t, &aggs);
+    VarEnv env;
+    RelExprPtr base;
+    for (const Term& agg : aggs) {
+      const std::string key = agg.ToString();
+      if (env.AggOffset(key).ok()) continue;  // deduplicate
+      env.AddAggColumn(key);
+      TXMOD_ASSIGN_OR_RETURN(RelExprPtr row, AggRow(agg));
+      base = base == nullptr
+                 ? std::move(row)
+                 : RelExpr::Product(std::move(base), std::move(row));
+    }
+    if (base == nullptr) {
+      // Constant comparison (degenerate): select over a one-tuple literal.
+      base = RelExpr::Literal({Tuple{}}, 0);
+    }
+    TXMOD_ASSIGN_OR_RETURN(
+        ScalarExpr pred,
+        ScalarFromFormula(atom, env, /*inner_var=*/nullptr));
+    if (negated) pred = ScalarExpr::Not(std::move(pred));
+    return RelExpr::Select(std::move(pred), std::move(base));
+  }
+
+  Result<RelExprPtr> AggRow(const Term& agg) {
+    TXMOD_ASSIGN_OR_RETURN(AggFunc func, ToAggFunc(agg.agg));
+    return RelExpr::Aggregate(func, agg.agg_attr_index, RefFor(agg.rel));
+  }
+
+  // --- existential chains ---------------------------------------------------
+
+  static Formula NegateForall(const Formula& forall) {
+    return Formula::Exists(
+        forall.var,
+        calculus::SimplifyNnf(calculus::ToNnf(forall.children[0], true)));
+  }
+
+  static void FlattenAnd(const Formula& f, std::vector<Formula>* out) {
+    if (f.kind == Formula::Kind::kAnd) {
+      FlattenAnd(f.children[0], out);
+      FlattenAnd(f.children[1], out);
+      return;
+    }
+    out->push_back(f);
+  }
+
+  Result<int> RangeArity(const CalcRelRef& ref) {
+    TXMOD_ASSIGN_OR_RETURN(const RelationSchema* s, schema_.Find(ref.name));
+    return static_cast<int>(s->arity());
+  }
+
+  /// Translates an ∃-rooted NNF formula into the set of witness tuples.
+  Result<RelExprPtr> ExistsChain(const Formula& f) {
+    // Strip the quantifier prefix.
+    std::vector<std::string> vars;
+    const Formula* body = &f;
+    while (body->kind == Formula::Kind::kExists) {
+      vars.push_back(body->var);
+      body = &body->children[0];
+    }
+    std::vector<Formula> conjuncts;
+    FlattenAnd(*body, &conjuncts);
+
+    // Locate each variable's range membership (safety).
+    VarEnv env;
+    std::vector<bool> used(conjuncts.size(), false);
+    std::vector<CalcRelRef> ranges;
+    for (const std::string& var : vars) {
+      bool found = false;
+      for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+        const Formula& c = conjuncts[i];
+        if (c.kind == Formula::Kind::kMembership && c.var == var && !used[i]) {
+          TXMOD_ASSIGN_OR_RETURN(int arity, RangeArity(c.rel));
+          env.Add(var, c.rel, arity);
+          ranges.push_back(c.rel);
+          used[i] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            StrCat("variable ", var,
+                   " has no range membership in scope; the formula is not "
+                   "range-restricted: ", f.ToString()));
+      }
+    }
+
+    // Assemble the base: R1 × R2 × ... (selects fuse into joins below).
+    RelExprPtr base = RefFor(ranges[0]);
+    int product_split = -1;  // left width of a product not yet predicated
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+      product_split = ProductSplitBefore(env, vars[i]);
+      base = RelExpr::Product(std::move(base), RefFor(ranges[i]));
+    }
+
+    // Append one-row columns for aggregate terms in the matrix.
+    std::vector<Term> aggs;
+    for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+      if (!used[i]) CollectAggTermsShallow(conjuncts[i], &aggs);
+    }
+    for (const Term& agg : aggs) {
+      const std::string key = agg.ToString();
+      if (env.AggOffset(key).ok()) continue;
+      env.AddAggColumn(key);
+      TXMOD_ASSIGN_OR_RETURN(RelExprPtr row, AggRow(agg));
+      base = RelExpr::Product(std::move(base), std::move(row));
+      product_split = -1;  // aggregate products are never join-fused
+    }
+
+    // Apply the remaining conjuncts in order.
+    for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+      if (used[i]) continue;
+      if (FormulaHasAggInsideQuantifier(conjuncts[i], false)) {
+        return Status::Unimplemented(
+            StrCat("aggregate inside a nested quantification: ",
+                   conjuncts[i].ToString()));
+      }
+      TXMOD_ASSIGN_OR_RETURN(
+          base, Apply(std::move(base), env, conjuncts[i], &product_split));
+    }
+    return base;
+  }
+
+  // Width of the env *before* `var` was added — the split point for fusing
+  // a select over a fresh product into a theta join.
+  static int ProductSplitBefore(const VarEnv& env, const std::string& var) {
+    const VarBinding* b = *env.Find(var);
+    return b->offset;
+  }
+
+  /// Filters `base` (schema described by `env`) by NNF formula `g`.
+  /// `product_split`: when >= 0, `base` is a product whose left part has
+  /// that width and carries no predicate yet — the first scalar select is
+  /// fused into a theta join (σ_p(A × B) = A ⋈_p B).
+  Result<RelExprPtr> Apply(RelExprPtr base, const VarEnv& env,
+                           const Formula& g, int* product_split) {
+    switch (g.kind) {
+      case Formula::Kind::kAnd: {
+        TXMOD_ASSIGN_OR_RETURN(
+            base, Apply(std::move(base), env, g.children[0], product_split));
+        return Apply(std::move(base), env, g.children[1], product_split);
+      }
+      case Formula::Kind::kOr: {
+        int split_a = *product_split;
+        int split_b = *product_split;
+        TXMOD_ASSIGN_OR_RETURN(RelExprPtr a,
+                               Apply(base, env, g.children[0], &split_a));
+        TXMOD_ASSIGN_OR_RETURN(
+            RelExprPtr b, Apply(std::move(base), env, g.children[1],
+                                &split_b));
+        *product_split = -1;
+        return RelExpr::Union(std::move(a), std::move(b));
+      }
+      case Formula::Kind::kExists:
+        *product_split = -1;
+        return ApplyQuantified(std::move(base), env, g, /*anti=*/false);
+      case Formula::Kind::kForall:
+        *product_split = -1;
+        return ApplyQuantified(std::move(base), env, NegateForall(g),
+                               /*anti=*/true);
+      case Formula::Kind::kMembership:
+        return Status::InvalidArgument(
+            StrCat("membership atom ", g.ToString(),
+                   " outside a range position; give the variable a unique "
+                   "range and use tuple equality for containment"));
+      case Formula::Kind::kNot:
+        if (g.children[0].kind == Formula::Kind::kMembership) {
+          return Status::InvalidArgument(
+              StrCat("negated membership ", g.ToString(),
+                     " is not range-restricted; express exclusion with a "
+                     "universal quantification"));
+        }
+        [[fallthrough]];
+      case Formula::Kind::kCompare:
+      case Formula::Kind::kTupleEq: {
+        if (!IsScalarFormula(g)) {
+          return Status::Internal(
+              StrCat("unexpected non-scalar formula: ", g.ToString()));
+        }
+        TXMOD_ASSIGN_OR_RETURN(
+            ScalarExpr pred, ScalarFromFormula(g, env, /*inner_var=*/nullptr));
+        return MakeSelect(std::move(pred), std::move(base), product_split);
+      }
+      default:
+        return Status::Internal("non-NNF formula in Apply");
+    }
+  }
+
+  /// σ_p(base), fusing into a theta join when base is a fresh product.
+  Result<RelExprPtr> MakeSelect(ScalarExpr pred, RelExprPtr base,
+                                int* product_split) {
+    if (*product_split >= 0 && base->kind() == algebra::RelExprKind::kProduct) {
+      const int split = *product_split;
+      TXMOD_ASSIGN_OR_RETURN(ScalarExpr join_pred,
+                             SplitSides(std::move(pred), split));
+      *product_split = -1;
+      return RelExpr::Join(std::move(join_pred), base->left(), base->right());
+    }
+    return RelExpr::Select(std::move(pred), std::move(base));
+  }
+
+  /// Remaps side-0 references at offsets >= split to side 1 (offset-split):
+  /// turns a predicate over a concatenated schema into a join predicate.
+  static Result<ScalarExpr> SplitSides(ScalarExpr pred, int split) {
+    if (pred.op() == ScalarOp::kAttrRef) {
+      if (pred.side() == 0 && pred.attr_index() >= split) {
+        return ScalarExpr::Attr(1, pred.attr_index() - split,
+                                pred.attr_name());
+      }
+      return pred;
+    }
+    for (ScalarExpr& c : pred.mutable_children()) {
+      TXMOD_ASSIGN_OR_RETURN(c, SplitSides(std::move(c), split));
+    }
+    return pred;
+  }
+
+  /// Handles one (anti-)existential conjunct:
+  ///   base ⋉ / ▷ (reduced range of the inner variable).
+  Result<RelExprPtr> ApplyQuantified(RelExprPtr base, const VarEnv& env,
+                                     const Formula& exists, bool anti) {
+    const std::string& var = exists.var;
+    std::vector<Formula> conjuncts;
+    FlattenAnd(exists.children[0], &conjuncts);
+
+    // The inner variable's range.
+    int range_idx = -1;
+    for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+      if (conjuncts[i].kind == Formula::Kind::kMembership &&
+          conjuncts[i].var == var) {
+        range_idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (range_idx < 0) {
+      return Status::InvalidArgument(
+          StrCat("inner variable ", var,
+                 " has no range membership: ", exists.ToString()));
+    }
+    const CalcRelRef range = conjuncts[range_idx].rel;
+    TXMOD_ASSIGN_OR_RETURN(int arity, RangeArity(range));
+
+    VarEnv inner_env;
+    inner_env.Add(var, range, arity);
+
+    RelExprPtr right = RefFor(range);
+    std::vector<ScalarExpr> join_preds;
+    for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+      if (static_cast<int>(i) == range_idx) continue;
+      const Formula& c = conjuncts[i];
+      std::set<std::string> free;
+      CollectFreeVars(c, &free);
+      free.erase(var);
+      const bool refers_outer = !free.empty();
+      if (refers_outer) {
+        // Mixed predicate: must be scalar over outer env + inner var.
+        for (const std::string& v : free) {
+          if (!env.Contains(v)) {
+            return Status::Unimplemented(
+                StrCat("variable ", v, " crosses more than one "
+                       "quantification level in ", c.ToString(),
+                       " (supported correlation depth is 1)"));
+          }
+        }
+        if (!IsScalarFormula(c)) {
+          return Status::Unimplemented(
+              StrCat("correlated subformula must be quantifier-free: ",
+                     c.ToString()));
+        }
+        TXMOD_ASSIGN_OR_RETURN(ScalarExpr p,
+                               ScalarFromFormula(c, env, &inner_env));
+        join_preds.push_back(std::move(p));
+      } else {
+        // Inner-only condition: reduce the right side.
+        int inner_split = -1;
+        TXMOD_ASSIGN_OR_RETURN(
+            right, Apply(std::move(right), inner_env, c, &inner_split));
+      }
+    }
+    ScalarExpr pred = join_preds.empty() ? ScalarExpr::True()
+                                         : ScalarExpr::And(join_preds);
+    return anti ? RelExpr::AntiJoin(std::move(pred), std::move(base),
+                                    std::move(right))
+                : RelExpr::SemiJoin(std::move(pred), std::move(base),
+                                    std::move(right));
+  }
+
+  // --- scalar translation ---------------------------------------------------
+
+  /// Translates a quantifier-free, membership-free formula into a scalar
+  /// predicate. Outer variables resolve to side 0 via `env`; when
+  /// `inner_env` is non-null its single variable resolves to side 1.
+  Result<ScalarExpr> ScalarFromFormula(const Formula& g, const VarEnv& env,
+                                       const VarEnv* inner_env) {
+    switch (g.kind) {
+      case Formula::Kind::kCompare: {
+        TXMOD_ASSIGN_OR_RETURN(ScalarExpr a,
+                               ScalarFromTerm(g.terms[0], env, inner_env));
+        TXMOD_ASSIGN_OR_RETURN(ScalarExpr b,
+                               ScalarFromTerm(g.terms[1], env, inner_env));
+        return ScalarExpr::Binary(ToScalarOp(g.cmp), std::move(a),
+                                  std::move(b));
+      }
+      case Formula::Kind::kTupleEq: {
+        TXMOD_ASSIGN_OR_RETURN(auto lhs, VarSide(g.var, env, inner_env));
+        TXMOD_ASSIGN_OR_RETURN(auto rhs, VarSide(g.var2, env, inner_env));
+        const auto [lside, loff, larity] = lhs;
+        const auto [rside, roff, rarity] = rhs;
+        if (larity != rarity) {
+          return Status::InvalidArgument(
+              StrCat("tuple equality over different arities: ",
+                     g.ToString()));
+        }
+        std::vector<ScalarExpr> eqs;
+        eqs.reserve(larity);
+        for (int i = 0; i < larity; ++i) {
+          eqs.push_back(ScalarExpr::Binary(ScalarOp::kEq,
+                                           ScalarExpr::Attr(lside, loff + i),
+                                           ScalarExpr::Attr(rside, roff + i)));
+        }
+        return ScalarExpr::And(std::move(eqs));
+      }
+      case Formula::Kind::kNot: {
+        TXMOD_ASSIGN_OR_RETURN(
+            ScalarExpr inner,
+            ScalarFromFormula(g.children[0], env, inner_env));
+        return ScalarExpr::Not(std::move(inner));
+      }
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr: {
+        TXMOD_ASSIGN_OR_RETURN(
+            ScalarExpr a, ScalarFromFormula(g.children[0], env, inner_env));
+        TXMOD_ASSIGN_OR_RETURN(
+            ScalarExpr b, ScalarFromFormula(g.children[1], env, inner_env));
+        return ScalarExpr::Binary(g.kind == Formula::Kind::kAnd
+                                      ? ScalarOp::kAnd
+                                      : ScalarOp::kOr,
+                                  std::move(a), std::move(b));
+      }
+      default:
+        return Status::Internal(
+            StrCat("non-scalar formula in scalar context: ", g.ToString()));
+    }
+  }
+
+  Result<std::tuple<int, int, int>> VarSide(const std::string& var,
+                                            const VarEnv& env,
+                                            const VarEnv* inner_env) {
+    if (inner_env != nullptr && inner_env->Contains(var)) {
+      const VarBinding* b = *inner_env->Find(var);
+      return std::tuple<int, int, int>(1, b->offset, b->arity);
+    }
+    TXMOD_ASSIGN_OR_RETURN(const VarBinding* b, env.Find(var));
+    return std::tuple<int, int, int>(0, b->offset, b->arity);
+  }
+
+  Result<ScalarExpr> ScalarFromTerm(const Term& t, const VarEnv& env,
+                                    const VarEnv* inner_env) {
+    switch (t.kind) {
+      case Term::Kind::kConst:
+        return ScalarExpr::Const(t.constant);
+      case Term::Kind::kAttrSel: {
+        if (inner_env != nullptr && inner_env->Contains(t.var)) {
+          const VarBinding* b = *inner_env->Find(t.var);
+          return ScalarExpr::Attr(1, b->offset + t.attr_index, t.attr_name);
+        }
+        TXMOD_ASSIGN_OR_RETURN(const VarBinding* b, env.Find(t.var));
+        return ScalarExpr::Attr(0, b->offset + t.attr_index, t.attr_name);
+      }
+      case Term::Kind::kArith: {
+        TXMOD_ASSIGN_OR_RETURN(ScalarExpr a,
+                               ScalarFromTerm(t.children[0], env, inner_env));
+        TXMOD_ASSIGN_OR_RETURN(ScalarExpr b,
+                               ScalarFromTerm(t.children[1], env, inner_env));
+        return ScalarExpr::Binary(ToScalarOp(t.arith_op), std::move(a),
+                                  std::move(b));
+      }
+      case Term::Kind::kAggregate: {
+        TXMOD_ASSIGN_OR_RETURN(int offset, env.AggOffset(t.ToString()));
+        return ScalarExpr::Attr(0, offset, t.ToString());
+      }
+    }
+    return Status::Internal("unknown term kind");
+  }
+
+  // --- guards ---------------------------------------------------------------
+
+  /// One 1-attribute tuple iff `e` is non-empty (else empty).
+  static RelExprPtr Guard(RelExprPtr e) {
+    return RelExpr::Select(
+        ScalarExpr::Binary(ScalarOp::kGt, ScalarExpr::Attr(0, 0, "cnt"),
+                           ScalarExpr::Const(Value::Int(0))),
+        RelExpr::Aggregate(AggFunc::kCnt, -1, std::move(e)));
+  }
+
+  /// One tuple iff `e` is empty — the paper's σ_{attr=0}(CNT(...)) form
+  /// (Algorithm 5.6, existential case).
+  static RelExprPtr EmptyGuard(RelExprPtr e) {
+    return RelExpr::Select(
+        ScalarExpr::Binary(ScalarOp::kEq, ScalarExpr::Attr(0, 0, "cnt"),
+                           ScalarExpr::Const(Value::Int(0))),
+        RelExpr::Aggregate(AggFunc::kCnt, -1, std::move(e)));
+  }
+
+  const DatabaseSchema& schema_;
+  const TranslateOptions& options_;
+};
+
+// ---------------------------------------------------------------------------
+// Emptiness-context peepholes (Table 1 rows 2 and 3).
+// ---------------------------------------------------------------------------
+
+// Recognizes a predicate that is exactly  attr(0,i) = attr(1,j), either
+// written as an equality or as not(attr != attr) — with CL's comparison
+// semantics not(a != b) is precisely a = b, null cases included.
+bool IsSingleEquiPred(const ScalarExpr& p, ScalarExpr* left_ref,
+                      ScalarExpr* right_ref) {
+  if (p.op() == ScalarOp::kNot) {
+    const ScalarExpr& inner = p.children()[0];
+    if (inner.op() != ScalarOp::kNe) return false;
+    ScalarExpr as_eq = ScalarExpr::Binary(ScalarOp::kEq, inner.children()[0],
+                                          inner.children()[1]);
+    return IsSingleEquiPred(as_eq, left_ref, right_ref);
+  }
+  if (p.op() != ScalarOp::kEq) return false;
+  const ScalarExpr& a = p.children()[0];
+  const ScalarExpr& b = p.children()[1];
+  if (a.op() != ScalarOp::kAttrRef || b.op() != ScalarOp::kAttrRef) {
+    return false;
+  }
+  if (a.side() == 0 && b.side() == 1) {
+    *left_ref = a;
+    *right_ref = b;
+    return true;
+  }
+  if (a.side() == 1 && b.side() == 0) {
+    *left_ref = b;
+    *right_ref = a;
+    return true;
+  }
+  return false;
+}
+
+// Single-item projection keeping the attribute's name for readable output.
+RelExprPtr ProjectRef(const ScalarExpr& ref, RelExprPtr input) {
+  ScalarExpr item = ScalarExpr::Attr(0, ref.attr_index(), ref.attr_name());
+  return RelExpr::Project({ProjectionItem{std::move(item), ""}},
+                          std::move(input));
+}
+
+// In emptiness context (the expression feeds an alarm), a single-equality
+// antijoin / semijoin / join can be replaced by projection difference /
+// intersection: the replacement is empty exactly when the original is.
+RelExprPtr SimplifyForEmptiness(RelExprPtr e) {
+  using algebra::RelExprKind;
+  ScalarExpr li, ri;
+  switch (e->kind()) {
+    case RelExprKind::kAntiJoin:
+      if (IsSingleEquiPred(e->predicate(), &li, &ri)) {
+        return RelExpr::Difference(ProjectRef(li, e->left()),
+                                   ProjectRef(ri, e->right()));
+      }
+      return e;
+    case RelExprKind::kSemiJoin:
+    case RelExprKind::kJoin:
+      if (IsSingleEquiPred(e->predicate(), &li, &ri)) {
+        return RelExpr::Intersect(ProjectRef(li, e->left()),
+                                  ProjectRef(ri, e->right()));
+      }
+      return e;
+    default:
+      // Union branches are left in their general forms: rewriting only one
+      // branch to a 1-column projection would break the union's arity.
+      return e;
+  }
+}
+
+}  // namespace
+
+Result<RelExprPtr> ViolationQuery(const calculus::AnalyzedFormula& condition,
+                                  const DatabaseSchema& schema,
+                                  const TranslateOptions& options) {
+  const Formula violated =
+      calculus::SimplifyNnf(calculus::ToNnf(condition.formula, true));
+  Translator translator(schema, options);
+  TXMOD_ASSIGN_OR_RETURN(RelExprPtr expr, translator.NonEmptyIff(violated));
+  if (options.table1_peepholes) expr = SimplifyForEmptiness(std::move(expr));
+  return expr;
+}
+
+Result<algebra::Program> TransC(const calculus::AnalyzedFormula& condition,
+                                const DatabaseSchema& schema,
+                                std::string alarm_message,
+                                const TranslateOptions& options) {
+  TXMOD_ASSIGN_OR_RETURN(RelExprPtr expr,
+                         ViolationQuery(condition, schema, options));
+  algebra::Program program;
+  program.statements.push_back(
+      algebra::Statement::Alarm(std::move(expr), std::move(alarm_message)));
+  // An alarm-only program performs no updates; mark it non-triggering so
+  // the triggering graph (Definition 6.1) has no spurious edges.
+  program.non_triggering = true;
+  return program;
+}
+
+Result<algebra::Program> TransR(const rules::IntegrityRule& rule,
+                                const DatabaseSchema& schema,
+                                const TranslateOptions& options) {
+  if (rule.action_kind == rules::ActionKind::kAbort) {
+    return TransC(rule.condition, schema,
+                  StrCat("integrity violation: rule ", rule.name),
+                  options);
+  }
+  // TransCA: the compensating program is the action itself.
+  return rule.action;
+}
+
+}  // namespace txmod::core

@@ -1,0 +1,106 @@
+#include "src/core/triggering_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/common/str_util.h"
+
+namespace txmod::core {
+
+TriggeringGraph TriggeringGraph::Build(const CompiledRuleSet& rules) {
+  TriggeringGraph g;
+  const auto& programs = rules.programs();
+  g.names_.reserve(programs.size());
+  for (const IntegrityProgram& p : programs) g.names_.push_back(p.rule_name);
+  g.adjacency_.resize(programs.size());
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    const rules::TriggerSet out_triggers =
+        rules::GetTrigPX(programs[i].program);
+    if (out_triggers.empty()) continue;
+    for (std::size_t j = 0; j < programs.size(); ++j) {
+      if (out_triggers.Intersects(programs[j].triggers)) {
+        g.adjacency_[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<int>> TriggeringGraph::FindCycles() const {
+  // Tarjan's strongly connected components, iteratively indexed.
+  const int n = static_cast<int>(adjacency_.size());
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> cyclic_sccs;
+  int next_index = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (int w : adjacency_[v]) {
+      if (index[w] < 0) {
+        strongconnect(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      } else if (on_stack[w]) {
+        lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<int> scc;
+      int w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc.push_back(w);
+      } while (w != v);
+      const bool self_loop =
+          scc.size() == 1 &&
+          std::find(adjacency_[v].begin(), adjacency_[v].end(), v) !=
+              adjacency_[v].end();
+      if (scc.size() > 1 || self_loop) {
+        std::sort(scc.begin(), scc.end());
+        cyclic_sccs.push_back(std::move(scc));
+      }
+    }
+  };
+
+  for (int v = 0; v < n; ++v) {
+    if (index[v] < 0) strongconnect(v);
+  }
+  return cyclic_sccs;
+}
+
+std::string TriggeringGraph::DescribeCycles() const {
+  const auto cycles = FindCycles();
+  if (cycles.empty()) return "";
+  std::string out = "cyclic triggering detected; rule cycles:";
+  for (const std::vector<int>& scc : cycles) {
+    std::vector<std::string> members;
+    members.reserve(scc.size());
+    for (int v : scc) members.push_back(names_[v]);
+    out += StrCat(" {", Join(members, " -> "), "}");
+  }
+  out +=
+      "; declare a compensating action NONTRIGGERING (Definition 6.2) or "
+      "redesign the rules";
+  return out;
+}
+
+std::string TriggeringGraph::ToDot() const {
+  std::string out = "digraph triggering {\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    out += StrCat("  \"", names_[i], "\";\n");
+  }
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    for (int j : adjacency_[i]) {
+      out += StrCat("  \"", names_[i], "\" -> \"", names_[j], "\";\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace txmod::core

@@ -1,0 +1,52 @@
+#ifndef TXMOD_CORE_TRIGGERING_GRAPH_H_
+#define TXMOD_CORE_TRIGGERING_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/integrity_program.h"
+
+namespace txmod::core {
+
+/// The triggering graph of a rule set (Definition 6.1): vertices are the
+/// integrity programs; there is an edge J1 → J2 when the action of J1 can
+/// trigger J2, i.e. GetTrigPX(action(J1)) ∩ triggers(J2) ≠ ∅. Per
+/// Definition 6.2, programs flagged non-triggering contribute no outgoing
+/// edges — declaring actions non-triggering is the paper's way to cut
+/// cycles.
+///
+/// Infinite rule triggering can only occur when the graph has a cycle
+/// (Section 6.1), so the subsystem validates rule sets by building this
+/// graph and rejecting cyclic ones.
+class TriggeringGraph {
+ public:
+  static TriggeringGraph Build(const CompiledRuleSet& rules);
+
+  std::size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<std::vector<int>>& adjacency() const {
+    return adjacency_;
+  }
+
+  /// Vertices on at least one cycle: members of non-trivial strongly
+  /// connected components plus self-loop vertices. Empty result means the
+  /// rule set cannot trigger infinitely.
+  std::vector<std::vector<int>> FindCycles() const;
+
+  bool HasCycle() const { return !FindCycles().empty(); }
+
+  /// Human-readable cycle report naming the rules involved; empty when
+  /// acyclic.
+  std::string DescribeCycles() const;
+
+  /// Graphviz dot rendering (documentation, debugging).
+  std::string ToDot() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace txmod::core
+
+#endif  // TXMOD_CORE_TRIGGERING_GRAPH_H_

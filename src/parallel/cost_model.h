@@ -1,0 +1,72 @@
+#ifndef TXMOD_PARALLEL_COST_MODEL_H_
+#define TXMOD_PARALLEL_COST_MODEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace txmod::parallel {
+
+/// Deterministic cost model of the simulated POOMA multiprocessor [22].
+///
+/// The reproduction host is a single-core machine, so the E5 scaling
+/// experiment cannot measure wall-clock speedup; instead every parallel
+/// operator phase records per-node local work and inter-node transfers,
+/// and the simulated makespan is
+///
+///   Σ_phases ( max_node(local_tuples(node)) · per_tuple_local
+///              + transferred_tuples/num_nodes · per_tuple_comm
+///              + messages · per_message )
+///
+/// The constants are calibrated loosely on late-80s hardware (the POOMA
+/// nodes were 68020-class with a custom interconnect) — their absolute
+/// values are irrelevant to the experiment; the *ratio* of communication
+/// to local work is what shapes the speedup curves.
+struct CostModel {
+  double per_tuple_local_us = 50.0;  // local processing per tuple
+  double per_tuple_comm_us = 150.0;  // transfer cost per tuple
+  double per_message_us = 1000.0;    // per node-to-node message setup
+};
+
+/// Work accounting for one parallel execution.
+class ParallelStats {
+ public:
+  explicit ParallelStats(int num_nodes = 1)
+      : num_nodes_(num_nodes) {}
+
+  /// Records one operator phase: `local` holds tuples processed per node;
+  /// `transferred` tuples crossed the interconnect in `messages` messages.
+  void AddPhase(const std::vector<uint64_t>& local, uint64_t transferred,
+                uint64_t messages, const CostModel& model) {
+    uint64_t max_local = 0;
+    for (uint64_t l : local) max_local = std::max(max_local, l);
+    simulated_us_ += static_cast<double>(max_local) * model.per_tuple_local_us;
+    simulated_us_ += static_cast<double>(transferred) /
+                     static_cast<double>(num_nodes_) *
+                     model.per_tuple_comm_us;
+    simulated_us_ += static_cast<double>(messages) * model.per_message_us;
+    tuples_transferred_ += transferred;
+    messages_ += messages;
+    ++phases_;
+    for (uint64_t l : local) total_local_tuples_ += l;
+  }
+
+  double simulated_us() const { return simulated_us_; }
+  uint64_t tuples_transferred() const { return tuples_transferred_; }
+  uint64_t messages() const { return messages_; }
+  uint64_t total_local_tuples() const { return total_local_tuples_; }
+  int phases() const { return phases_; }
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  int num_nodes_;
+  double simulated_us_ = 0;
+  uint64_t tuples_transferred_ = 0;
+  uint64_t messages_ = 0;
+  uint64_t total_local_tuples_ = 0;
+  int phases_ = 0;
+};
+
+}  // namespace txmod::parallel
+
+#endif  // TXMOD_PARALLEL_COST_MODEL_H_

@@ -1,0 +1,799 @@
+#include "src/parallel/executor.h"
+
+#include <functional>
+#include <optional>
+#include <thread>
+
+#include "src/common/str_util.h"
+
+namespace txmod::parallel {
+
+using algebra::AggFunc;
+using algebra::ProjectionItem;
+using algebra::RelExpr;
+using algebra::RelExprKind;
+using algebra::RelRefKind;
+using algebra::ScalarExpr;
+using algebra::ScalarOp;
+using algebra::Statement;
+using algebra::StatementKind;
+
+namespace {
+
+/// How the fragments of an intermediate result are aligned across nodes.
+enum class Alignment {
+  kNone,         // tuples may be anywhere (and may duplicate across nodes)
+  kAttr,         // hash-partitioned on one attribute (attr index below)
+  kWholeTuple,   // hash-partitioned on the full tuple (set-op safe)
+  kCoordinator,  // all tuples on node 0 (literals, aggregate results)
+};
+
+/// A fragmented intermediate result.
+struct FragRel {
+  std::vector<Relation> frags;
+  Alignment alignment = Alignment::kNone;
+  int attr = -1;  // kAttr only
+  /// False when tuples are globally duplicate-free under set semantics.
+  bool maybe_duplicated = false;
+};
+
+std::shared_ptr<const RelationSchema> MakeSchema(
+    std::vector<Attribute> attrs) {
+  return std::make_shared<const RelationSchema>("", std::move(attrs));
+}
+
+std::vector<Attribute> ConcatAttrs(const RelationSchema& a,
+                                   const RelationSchema& b) {
+  std::vector<Attribute> attrs = a.attributes();
+  attrs.insert(attrs.end(), b.attributes().begin(), b.attributes().end());
+  return attrs;
+}
+
+void CollectEquiPairs(const ScalarExpr& pred,
+                      std::vector<std::pair<int, int>>* pairs) {
+  if (pred.op() == ScalarOp::kAnd) {
+    CollectEquiPairs(pred.children()[0], pairs);
+    CollectEquiPairs(pred.children()[1], pairs);
+    return;
+  }
+  if (pred.op() != ScalarOp::kEq) return;
+  const ScalarExpr& a = pred.children()[0];
+  const ScalarExpr& b = pred.children()[1];
+  if (a.op() != ScalarOp::kAttrRef || b.op() != ScalarOp::kAttrRef) return;
+  if (a.side() == 0 && b.side() == 1) {
+    pairs->emplace_back(a.attr_index(), b.attr_index());
+  } else if (a.side() == 1 && b.side() == 0) {
+    pairs->emplace_back(b.attr_index(), a.attr_index());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Implementation: one Impl per transaction execution.
+// ---------------------------------------------------------------------------
+
+class ParallelExecutor::Impl {
+ public:
+  Impl(ParallelDatabase* db, const ParallelOptions& options)
+      : db_(db),
+        options_(options),
+        nodes_(db->num_nodes()),
+        result_{false, "", ParallelStats(db->num_nodes())} {}
+
+  Result<ParallelTxnResult> Run(const algebra::Transaction& txn) {
+    for (const Statement& stmt : txn.program.statements) {
+      const Status st = ExecuteStatement(stmt);
+      if (st.ok()) continue;
+      Rollback();
+      if (st.code() == StatusCode::kAborted) {
+        result_.committed = false;
+        result_.abort_reason = st.message();
+        return result_;
+      }
+      return st;
+    }
+    result_.committed = true;
+    return result_;
+  }
+
+ private:
+  // --- statement execution -------------------------------------------------
+
+  Status ExecuteStatement(const Statement& stmt) {
+    switch (stmt.kind) {
+      case StatementKind::kAssign: {
+        TXMOD_ASSIGN_OR_RETURN(FragRel value, Eval(*stmt.expr));
+        temps_.insert_or_assign(stmt.target, std::move(value));
+        return Status::OK();
+      }
+      case StatementKind::kInsert:
+        return ExecuteInsert(stmt);
+      case StatementKind::kDelete:
+        return ExecuteDelete(stmt);
+      case StatementKind::kUpdate:
+        return ExecuteUpdate(stmt);
+      case StatementKind::kAlarm: {
+        TXMOD_ASSIGN_OR_RETURN(FragRel value, Eval(*stmt.expr));
+        std::size_t total = 0;
+        for (const Relation& f : value.frags) total += f.size();
+        if (total == 0) return Status::OK();
+        return Status::Aborted(stmt.message.empty()
+                                   ? StrCat("alarm raised: ",
+                                            stmt.expr->ToString())
+                                   : stmt.message);
+      }
+      case StatementKind::kAbort:
+        return Status::Aborted(stmt.message.empty() ? "abort statement"
+                                                    : stmt.message);
+    }
+    return Status::Internal("unknown statement kind");
+  }
+
+  Status ExecuteInsert(const Statement& stmt) {
+    TXMOD_ASSIGN_OR_RETURN(FragRel value, Eval(*stmt.expr));
+    TXMOD_ASSIGN_OR_RETURN(FragmentedRelation * target,
+                           db_->FindMutable(stmt.target));
+    const RelationSchema& schema = target->fragments[0].schema();
+    // Route every produced tuple to its owning fragment; a tuple produced
+    // on a different node is a transfer.
+    uint64_t transferred = 0;
+    std::vector<uint64_t> local(nodes_, 0);
+    for (int src = 0; src < nodes_; ++src) {
+      for (const Tuple& raw : value.frags[src]) {
+        TXMOD_RETURN_IF_ERROR(schema.CheckTuple(raw));
+        Tuple t = schema.CoerceTuple(raw);
+        const int dst = FragmentOf(t, target->scheme, nodes_);
+        if (dst != src) ++transferred;
+        ++local[src];
+        ApplyInsert(stmt.target, target, dst, std::move(t));
+      }
+    }
+    result_.stats.AddPhase(local, transferred, transferred > 0 ? 1 : 0,
+                           options_.cost_model);
+    return Status::OK();
+  }
+
+  Status ExecuteDelete(const Statement& stmt) {
+    TXMOD_ASSIGN_OR_RETURN(FragRel value, Eval(*stmt.expr));
+    TXMOD_ASSIGN_OR_RETURN(FragmentedRelation * target,
+                           db_->FindMutable(stmt.target));
+    const RelationSchema& schema = target->fragments[0].schema();
+    uint64_t transferred = 0;
+    std::vector<uint64_t> local(nodes_, 0);
+    for (int src = 0; src < nodes_; ++src) {
+      for (const Tuple& raw : value.frags[src]) {
+        const Tuple t = schema.CoerceTuple(raw);
+        const int dst = FragmentOf(t, target->scheme, nodes_);
+        if (dst != src) ++transferred;
+        ++local[src];
+        ApplyDelete(stmt.target, target, dst, t);
+      }
+    }
+    result_.stats.AddPhase(local, transferred, transferred > 0 ? 1 : 0,
+                           options_.cost_model);
+    return Status::OK();
+  }
+
+  Status ExecuteUpdate(const Statement& stmt) {
+    TXMOD_ASSIGN_OR_RETURN(FragmentedRelation * target,
+                           db_->FindMutable(stmt.target));
+    const RelationSchema& schema = target->fragments[0].schema();
+    uint64_t transferred = 0;
+    std::vector<uint64_t> local(nodes_, 0);
+    for (int node = 0; node < nodes_; ++node) {
+      std::vector<Tuple> selected;
+      for (const Tuple& t : target->fragments[node]) {
+        TXMOD_ASSIGN_OR_RETURN(bool match,
+                               stmt.predicate.EvalPredicate(&t, nullptr));
+        if (match) selected.push_back(t);
+      }
+      local[node] += target->fragments[node].size();
+      for (const Tuple& old_tuple : selected) {
+        Tuple new_tuple = old_tuple;
+        for (const algebra::UpdateSet& u : stmt.sets) {
+          TXMOD_ASSIGN_OR_RETURN(Value v,
+                                 u.expr.EvalValue(&old_tuple, nullptr));
+          new_tuple.at(u.attr) = std::move(v);
+        }
+        TXMOD_RETURN_IF_ERROR(schema.CheckTuple(new_tuple));
+        new_tuple = schema.CoerceTuple(std::move(new_tuple));
+        ApplyDelete(stmt.target, target, node, old_tuple);
+        const int dst = FragmentOf(new_tuple, target->scheme, nodes_);
+        if (dst != node) ++transferred;
+        ApplyInsert(stmt.target, target, dst, std::move(new_tuple));
+      }
+    }
+    result_.stats.AddPhase(local, transferred, transferred > 0 ? 1 : 0,
+                           options_.cost_model);
+    return Status::OK();
+  }
+
+  // --- differential bookkeeping + rollback ----------------------------------
+
+  struct NodeDiff {
+    std::vector<Relation> plus;
+    std::vector<Relation> minus;
+  };
+
+  NodeDiff& DiffFor(const std::string& rel, const FragmentedRelation& f) {
+    auto it = diffs_.find(rel);
+    if (it == diffs_.end()) {
+      NodeDiff d;
+      for (int i = 0; i < nodes_; ++i) {
+        d.plus.emplace_back(f.fragments[0].schema_ptr());
+        d.minus.emplace_back(f.fragments[0].schema_ptr());
+      }
+      it = diffs_.emplace(rel, std::move(d)).first;
+    }
+    return it->second;
+  }
+
+  void ApplyInsert(const std::string& name, FragmentedRelation* rel, int node,
+                   Tuple t) {
+    if (!rel->fragments[node].Insert(t)) return;
+    NodeDiff& d = DiffFor(name, *rel);
+    if (!d.minus[node].Erase(t)) d.plus[node].Insert(std::move(t));
+  }
+
+  void ApplyDelete(const std::string& name, FragmentedRelation* rel, int node,
+                   const Tuple& t) {
+    if (!rel->fragments[node].Erase(t)) return;
+    NodeDiff& d = DiffFor(name, *rel);
+    if (!d.plus[node].Erase(t)) d.minus[node].Insert(t);
+  }
+
+  void Rollback() {
+    for (auto& [name, diff] : diffs_) {
+      FragmentedRelation* rel = *db_->FindMutable(name);
+      for (int i = 0; i < nodes_; ++i) {
+        for (const Tuple& t : diff.plus[i]) rel->fragments[i].Erase(t);
+        for (const Tuple& t : diff.minus[i]) rel->fragments[i].Insert(t);
+      }
+    }
+    diffs_.clear();
+    temps_.clear();
+  }
+
+  // --- expression evaluation -------------------------------------------------
+
+  Result<FragRel> Eval(const RelExpr& e) {
+    switch (e.kind()) {
+      case RelExprKind::kRef:
+        return EvalRef(e);
+      case RelExprKind::kLiteral:
+        return EvalLiteral(e);
+      case RelExprKind::kSelect:
+        return EvalSelect(e);
+      case RelExprKind::kProject:
+        return EvalProject(e);
+      case RelExprKind::kJoin:
+      case RelExprKind::kSemiJoin:
+      case RelExprKind::kAntiJoin:
+        return EvalJoinLike(e);
+      case RelExprKind::kUnion:
+      case RelExprKind::kDifference:
+      case RelExprKind::kIntersect:
+        return EvalSetOp(e);
+      case RelExprKind::kAggregate:
+        return EvalAggregate(e);
+      case RelExprKind::kProduct:
+        return Status::Unimplemented(
+            "cartesian products are not part of the parallel enforcement "
+            "substrate (no integrity program needs them; see executor.h)");
+    }
+    return Status::Internal("unknown RelExpr kind");
+  }
+
+  Alignment BaseAlignment(const FragmentedRelation& f, int* attr) const {
+    if (f.scheme.kind == FragmentationKind::kHash) {
+      *attr = f.scheme.attr;
+      return Alignment::kAttr;
+    }
+    *attr = -1;
+    return Alignment::kNone;
+  }
+
+  Result<FragRel> EvalRef(const RelExpr& e) {
+    if (e.ref_kind() == RelRefKind::kTemp) {
+      auto it = temps_.find(e.rel_name());
+      if (it == temps_.end()) {
+        return Status::NotFound(StrCat("unknown temporary ", e.rel_name()));
+      }
+      return it->second;
+    }
+    TXMOD_ASSIGN_OR_RETURN(const FragmentedRelation* base,
+                           db_->Find(e.rel_name()));
+    FragRel out;
+    switch (e.ref_kind()) {
+      case RelRefKind::kBase:
+        out.frags = base->fragments;  // copy; mutation safety
+        break;
+      case RelRefKind::kTemp:
+        return Status::Internal("temp handled above");
+      case RelRefKind::kDeltaPlus:
+      case RelRefKind::kDeltaMinus: {
+        auto it = diffs_.find(e.rel_name());
+        if (it == diffs_.end()) {
+          for (int i = 0; i < nodes_; ++i) {
+            out.frags.emplace_back(base->fragments[0].schema_ptr());
+          }
+        } else {
+          out.frags = e.ref_kind() == RelRefKind::kDeltaPlus
+                          ? it->second.plus
+                          : it->second.minus;
+        }
+        break;
+      }
+      case RelRefKind::kOld: {
+        // (R \ plus) ∪ minus, node-local (diffs are routed to owners).
+        auto it = diffs_.find(e.rel_name());
+        for (int i = 0; i < nodes_; ++i) {
+          Relation old_view(base->fragments[0].schema_ptr());
+          for (const Tuple& t : base->fragments[i]) {
+            if (it == diffs_.end() || !it->second.plus[i].Contains(t)) {
+              old_view.Insert(t);
+            }
+          }
+          if (it != diffs_.end()) {
+            for (const Tuple& t : it->second.minus[i]) old_view.Insert(t);
+          }
+          out.frags.push_back(std::move(old_view));
+        }
+        break;
+      }
+    }
+    out.alignment = BaseAlignment(*base, &out.attr);
+    out.maybe_duplicated = false;
+    return out;
+  }
+
+  Result<FragRel> EvalLiteral(const RelExpr& e) {
+    std::vector<Attribute> attrs;
+    for (int i = 0; i < e.literal_arity(); ++i) {
+      attrs.push_back(Attribute{StrCat("c", i), AttrType::kString});
+    }
+    auto schema = MakeSchema(std::move(attrs));
+    FragRel out;
+    for (int i = 0; i < nodes_; ++i) out.frags.emplace_back(schema);
+    for (const Tuple& t : e.literal_tuples()) out.frags[0].Insert(t);
+    out.alignment = Alignment::kCoordinator;
+    return out;
+  }
+
+  /// Runs `fn(node)` for every node, optionally on real threads, and
+  /// records the per-node scan counts as one phase.
+  Status ParallelPhase(const std::vector<uint64_t>& scanned,
+                       const std::function<Status(int)>& fn,
+                       uint64_t transferred = 0, uint64_t messages = 0) {
+    std::vector<Status> statuses(nodes_);
+    if (options_.use_threads && nodes_ > 1) {
+      std::vector<std::thread> threads;
+      threads.reserve(nodes_);
+      for (int i = 0; i < nodes_; ++i) {
+        threads.emplace_back([&, i] { statuses[i] = fn(i); });
+      }
+      for (std::thread& t : threads) t.join();
+    } else {
+      for (int i = 0; i < nodes_; ++i) statuses[i] = fn(i);
+    }
+    for (const Status& st : statuses) {
+      TXMOD_RETURN_IF_ERROR(st);
+    }
+    result_.stats.AddPhase(scanned, transferred, messages,
+                           options_.cost_model);
+    return Status::OK();
+  }
+
+  Result<FragRel> EvalSelect(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(*e.left()));
+    FragRel out;
+    out.alignment = in.alignment;
+    out.attr = in.attr;
+    out.maybe_duplicated = in.maybe_duplicated;
+    out.frags.assign(nodes_, Relation(in.frags[0].schema_ptr()));
+    std::vector<uint64_t> scanned(nodes_);
+    for (int i = 0; i < nodes_; ++i) scanned[i] = in.frags[i].size();
+    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
+      for (const Tuple& t : in.frags[i]) {
+        TXMOD_ASSIGN_OR_RETURN(bool keep,
+                               e.predicate().EvalPredicate(&t, nullptr));
+        if (keep) out.frags[i].Insert(t);
+      }
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  Result<FragRel> EvalProject(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(*e.left()));
+    const RelationSchema& in_schema = in.frags[0].schema();
+    std::vector<Attribute> attrs;
+    for (std::size_t i = 0; i < e.projections().size(); ++i) {
+      const ProjectionItem& item = e.projections()[i];
+      std::string name = item.name;
+      AttrType type = AttrType::kString;
+      if (item.expr.op() == ScalarOp::kAttrRef &&
+          item.expr.attr_index() < static_cast<int>(in_schema.arity())) {
+        if (name.empty()) {
+          name = in_schema.attribute(item.expr.attr_index()).name;
+        }
+        type = in_schema.attribute(item.expr.attr_index()).type;
+      }
+      if (name.empty()) name = StrCat("c", i);
+      attrs.push_back(Attribute{std::move(name), type});
+    }
+    auto schema = MakeSchema(std::move(attrs));
+    FragRel out;
+    out.frags.assign(nodes_, Relation(schema));
+    // Partitioning survives when some output item is exactly the input's
+    // partitioning attribute.
+    out.alignment = Alignment::kNone;
+    out.attr = -1;
+    out.maybe_duplicated = true;
+    if (in.alignment == Alignment::kAttr) {
+      for (std::size_t i = 0; i < e.projections().size(); ++i) {
+        const ScalarExpr& pe = e.projections()[i].expr;
+        if (pe.op() == ScalarOp::kAttrRef && pe.attr_index() == in.attr) {
+          out.alignment = Alignment::kAttr;
+          out.attr = static_cast<int>(i);
+          out.maybe_duplicated = false;  // equal keys co-locate; dedup local
+          break;
+        }
+      }
+    }
+    if (in.alignment == Alignment::kCoordinator) {
+      out.alignment = Alignment::kCoordinator;
+      out.maybe_duplicated = false;
+    }
+    std::vector<uint64_t> scanned(nodes_);
+    for (int i = 0; i < nodes_; ++i) scanned[i] = in.frags[i].size();
+    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
+      for (const Tuple& t : in.frags[i]) {
+        std::vector<Value> values;
+        values.reserve(e.projections().size());
+        for (const ProjectionItem& item : e.projections()) {
+          TXMOD_ASSIGN_OR_RETURN(Value v, item.expr.EvalValue(&t, nullptr));
+          values.push_back(std::move(v));
+        }
+        out.frags[i].Insert(Tuple(std::move(values)));
+      }
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  /// Hash-redistributes `in` on attribute `attr` (FragmentOfValue).
+  FragRel RedistributeOnAttr(FragRel in, int attr) {
+    FragRel out;
+    out.frags.assign(nodes_, Relation(in.frags[0].schema_ptr()));
+    out.alignment = Alignment::kAttr;
+    out.attr = attr;
+    out.maybe_duplicated = in.maybe_duplicated;
+    uint64_t transferred = 0;
+    std::vector<uint64_t> scanned(nodes_, 0);
+    std::vector<std::vector<bool>> pair_used(
+        nodes_, std::vector<bool>(nodes_, false));
+    for (int src = 0; src < nodes_; ++src) {
+      scanned[src] = in.frags[src].size();
+      for (const Tuple& t : in.frags[src]) {
+        const int dst = FragmentOfValue(t.at(attr), nodes_);
+        if (dst != src) {
+          ++transferred;
+          pair_used[src][dst] = true;
+        }
+        out.frags[dst].Insert(t);
+      }
+    }
+    uint64_t messages = 0;
+    for (int s = 0; s < nodes_; ++s) {
+      for (int d = 0; d < nodes_; ++d) {
+        if (pair_used[s][d]) ++messages;
+      }
+    }
+    result_.stats.AddPhase(scanned, transferred, messages,
+                           options_.cost_model);
+    return out;
+  }
+
+  /// Hash-redistributes on the whole tuple (set-operation alignment).
+  FragRel RedistributeWholeTuple(FragRel in) {
+    FragRel out;
+    out.frags.assign(nodes_, Relation(in.frags[0].schema_ptr()));
+    out.alignment = Alignment::kWholeTuple;
+    out.maybe_duplicated = false;  // equal tuples co-locate and dedup
+    uint64_t transferred = 0;
+    std::vector<uint64_t> scanned(nodes_, 0);
+    for (int src = 0; src < nodes_; ++src) {
+      scanned[src] = in.frags[src].size();
+      for (const Tuple& t : in.frags[src]) {
+        const int dst = static_cast<int>(
+            t.Hash() % static_cast<std::size_t>(nodes_));
+        if (dst != src) ++transferred;
+        out.frags[dst].Insert(t);
+      }
+    }
+    result_.stats.AddPhase(scanned, transferred,
+                           transferred > 0 ? 1 : 0, options_.cost_model);
+    return out;
+  }
+
+  bool SetOpAligned(const FragRel& a, const FragRel& b) const {
+    if (nodes_ == 1) return true;  // single node: everything co-located
+    if (a.alignment == Alignment::kCoordinator &&
+        b.alignment == Alignment::kCoordinator) {
+      return true;
+    }
+    if (a.alignment == Alignment::kWholeTuple &&
+        b.alignment == Alignment::kWholeTuple) {
+      return true;
+    }
+    // Arity-1 results hash-partitioned on their only attribute do NOT
+    // align with kWholeTuple (different hash normalization), but do align
+    // with each other.
+    if (a.alignment == Alignment::kAttr && b.alignment == Alignment::kAttr &&
+        a.attr == b.attr) {
+      return true;
+    }
+    return false;
+  }
+
+  Result<FragRel> EvalSetOp(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(FragRel l, Eval(*e.left()));
+    TXMOD_ASSIGN_OR_RETURN(FragRel r, Eval(*e.right()));
+    if (l.frags[0].arity() != r.frags[0].arity()) {
+      return Status::InvalidArgument("set operation over different arities");
+    }
+    if (!SetOpAligned(l, r)) {
+      l = RedistributeWholeTuple(std::move(l));
+      r = RedistributeWholeTuple(std::move(r));
+    }
+    FragRel out;
+    out.frags.assign(nodes_, Relation(l.frags[0].schema_ptr()));
+    out.alignment = l.alignment;
+    out.attr = l.attr;
+    out.maybe_duplicated = false;
+    std::vector<uint64_t> scanned(nodes_);
+    for (int i = 0; i < nodes_; ++i) {
+      scanned[i] = l.frags[i].size() + r.frags[i].size();
+    }
+    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
+      switch (e.kind()) {
+        case RelExprKind::kUnion:
+          for (const Tuple& t : l.frags[i]) out.frags[i].Insert(t);
+          for (const Tuple& t : r.frags[i]) out.frags[i].Insert(t);
+          break;
+        case RelExprKind::kDifference:
+          for (const Tuple& t : l.frags[i]) {
+            if (!r.frags[i].Contains(t)) out.frags[i].Insert(t);
+          }
+          break;
+        case RelExprKind::kIntersect:
+          for (const Tuple& t : l.frags[i]) {
+            if (r.frags[i].Contains(t)) out.frags[i].Insert(t);
+          }
+          break;
+        default:
+          return Status::Internal("not a set op");
+      }
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  Result<FragRel> EvalJoinLike(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(FragRel r, Eval(*e.right()));
+    // Empty right operand: joins and semijoins are empty, an antijoin is
+    // the left side — without scanning it (differential fast path).
+    std::size_t right_total = 0;
+    for (const Relation& f : r.frags) right_total += f.size();
+    if (right_total == 0) {
+      if (e.kind() == RelExprKind::kAntiJoin) return Eval(*e.left());
+      TXMOD_ASSIGN_OR_RETURN(FragRel l, Eval(*e.left()));
+      FragRel out;
+      std::shared_ptr<const RelationSchema> schema =
+          e.kind() == RelExprKind::kJoin
+              ? MakeSchema(
+                    ConcatAttrs(l.frags[0].schema(), r.frags[0].schema()))
+              : l.frags[0].schema_ptr();
+      out.frags.assign(nodes_, Relation(schema));
+      out.alignment = l.alignment;
+      out.attr = l.attr;
+      return out;
+    }
+    TXMOD_ASSIGN_OR_RETURN(FragRel l, Eval(*e.left()));
+    std::vector<std::pair<int, int>> equi;
+    CollectEquiPairs(e.predicate(), &equi);
+    if (!equi.empty()) {
+      const auto [la, ra] = equi[0];
+      // Co-located already? (The paper's key/foreign-key fragmentation.)
+      const bool l_ok = nodes_ == 1 ||
+                        (l.alignment == Alignment::kAttr && l.attr == la);
+      const bool r_ok = nodes_ == 1 ||
+                        (r.alignment == Alignment::kAttr && r.attr == ra);
+      if (!l_ok) l = RedistributeOnAttr(std::move(l), la);
+      if (!r_ok) r = RedistributeOnAttr(std::move(r), ra);
+    } else {
+      // No equality: broadcast the right operand to every node.
+      FragRel bc;
+      bc.frags.assign(nodes_, Relation(r.frags[0].schema_ptr()));
+      for (int i = 0; i < nodes_; ++i) {
+        for (int src = 0; src < nodes_; ++src) {
+          for (const Tuple& t : r.frags[src]) bc.frags[i].Insert(t);
+        }
+      }
+      result_.stats.AddPhase(
+          std::vector<uint64_t>(nodes_, 0),
+          static_cast<uint64_t>(right_total) * (nodes_ - 1),
+          nodes_ > 1 ? nodes_ - 1 : 0, options_.cost_model);
+      bc.alignment = Alignment::kNone;
+      r = std::move(bc);
+    }
+
+    const bool is_join = e.kind() == RelExprKind::kJoin;
+    std::shared_ptr<const RelationSchema> out_schema =
+        is_join ? MakeSchema(ConcatAttrs(l.frags[0].schema(),
+                                         r.frags[0].schema()))
+                : l.frags[0].schema_ptr();
+    FragRel out;
+    out.frags.assign(nodes_, Relation(out_schema));
+    out.alignment = l.alignment;
+    out.attr = l.attr;
+    out.maybe_duplicated = l.maybe_duplicated;
+    std::vector<uint64_t> scanned(nodes_);
+    for (int i = 0; i < nodes_; ++i) {
+      scanned[i] = l.frags[i].size() + r.frags[i].size();
+    }
+    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
+      for (const Tuple& lt : l.frags[i]) {
+        bool matched = false;
+        for (const Tuple& rt : r.frags[i]) {
+          TXMOD_ASSIGN_OR_RETURN(bool match,
+                                 e.predicate().EvalPredicate(&lt, &rt));
+          if (!match) continue;
+          matched = true;
+          if (e.kind() == RelExprKind::kJoin) {
+            out.frags[i].Insert(Tuple::Concat(lt, rt));
+          } else {
+            break;
+          }
+        }
+        if (e.kind() == RelExprKind::kSemiJoin && matched) {
+          out.frags[i].Insert(lt);
+        }
+        if (e.kind() == RelExprKind::kAntiJoin && !matched) {
+          out.frags[i].Insert(lt);
+        }
+      }
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  Result<FragRel> EvalAggregate(const RelExpr& e) {
+    if (!e.group_by().empty()) {
+      return Status::Unimplemented(
+          "grouped aggregates are not part of the parallel enforcement "
+          "substrate");
+    }
+    TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(*e.left()));
+    // Set semantics: counting a possibly-duplicated intermediate would
+    // overcount; dedup by whole-tuple redistribution first.
+    if (in.maybe_duplicated) in = RedistributeWholeTuple(std::move(in));
+
+    const int attr = e.agg_attr();
+    struct Partial {
+      int64_t count = 0;
+      int64_t non_null = 0;
+      double dsum = 0;
+      int64_t isum = 0;
+      bool any_double = false;
+      std::optional<Value> min, max;
+    };
+    std::vector<Partial> partials(nodes_);
+    std::vector<uint64_t> scanned(nodes_);
+    for (int i = 0; i < nodes_; ++i) scanned[i] = in.frags[i].size();
+    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
+      Partial& p = partials[i];
+      for (const Tuple& t : in.frags[i]) {
+        p.count += 1;
+        if (e.agg_func() == AggFunc::kCnt) continue;
+        const Value& v = t.at(attr);
+        if (v.is_null()) continue;
+        p.non_null += 1;
+        if (v.is_numeric()) {
+          if (v.is_int()) {
+            p.isum += v.as_int();
+            p.dsum += static_cast<double>(v.as_int());
+          } else {
+            p.any_double = true;
+            p.dsum += v.as_double();
+          }
+        }
+        if (!p.min.has_value() ||
+            Value::Compare(v, *p.min) == Value::Ordering::kLess) {
+          p.min = v;
+        }
+        if (!p.max.has_value() ||
+            Value::Compare(v, *p.max) == Value::Ordering::kGreater) {
+          p.max = v;
+        }
+      }
+      return Status::OK();
+    }));
+    // Combine at the coordinator: one partial record per node crosses the
+    // interconnect.
+    result_.stats.AddPhase(std::vector<uint64_t>(nodes_, 0),
+                           static_cast<uint64_t>(nodes_ - 1),
+                           nodes_ > 1 ? static_cast<uint64_t>(nodes_ - 1) : 0,
+                           options_.cost_model);
+    Partial total;
+    for (const Partial& p : partials) {
+      total.count += p.count;
+      total.non_null += p.non_null;
+      total.isum += p.isum;
+      total.dsum += p.dsum;
+      total.any_double = total.any_double || p.any_double;
+      if (p.min.has_value() &&
+          (!total.min.has_value() ||
+           Value::Compare(*p.min, *total.min) == Value::Ordering::kLess)) {
+        total.min = p.min;
+      }
+      if (p.max.has_value() &&
+          (!total.max.has_value() ||
+           Value::Compare(*p.max, *total.max) ==
+               Value::Ordering::kGreater)) {
+        total.max = p.max;
+      }
+    }
+    Value result = Value::Null();
+    switch (e.agg_func()) {
+      case AggFunc::kCnt:
+        result = Value::Int(total.count);
+        break;
+      case AggFunc::kSum:
+        result = total.any_double ? Value::Double(total.dsum)
+                                  : Value::Int(total.isum);
+        break;
+      case AggFunc::kAvg:
+        result = total.non_null == 0
+                     ? Value::Null()
+                     : Value::Double(total.dsum /
+                                     static_cast<double>(total.non_null));
+        break;
+      case AggFunc::kMin:
+        result = total.min.value_or(Value::Null());
+        break;
+      case AggFunc::kMax:
+        result = total.max.value_or(Value::Null());
+        break;
+    }
+    auto schema = MakeSchema(
+        {Attribute{AggFuncToString(e.agg_func()),
+                   result.is_double() ? AttrType::kDouble : AttrType::kInt}});
+    FragRel out;
+    out.frags.assign(nodes_, Relation(schema));
+    out.frags[0].Insert(Tuple({std::move(result)}));
+    out.alignment = Alignment::kCoordinator;
+    return out;
+  }
+
+  ParallelDatabase* db_;
+  const ParallelOptions& options_;
+  const int nodes_;
+  ParallelTxnResult result_;
+  std::map<std::string, FragRel> temps_;
+  std::map<std::string, NodeDiff> diffs_;
+};
+
+ParallelExecutor::ParallelExecutor(ParallelDatabase* db,
+                                   ParallelOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Result<ParallelTxnResult> ParallelExecutor::Execute(
+    const algebra::Transaction& txn) {
+  Impl impl(db_, options_);
+  return impl.Run(txn);
+}
+
+}  // namespace txmod::parallel

@@ -1,0 +1,63 @@
+#ifndef TXMOD_PARALLEL_EXECUTOR_H_
+#define TXMOD_PARALLEL_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algebra/statement.h"
+#include "src/parallel/cost_model.h"
+#include "src/parallel/parallel_db.h"
+
+namespace txmod::parallel {
+
+struct ParallelOptions {
+  CostModel cost_model;
+  /// Execute per-node operator phases on real std::threads. Correctness
+  /// is identical; on the single-core reproduction host this only adds
+  /// overhead, so benches keep it off and report the simulated makespan
+  /// (see CostModel). Tests turn it on to exercise the threaded path.
+  bool use_threads = false;
+};
+
+struct ParallelTxnResult {
+  bool committed = false;
+  std::string abort_reason;
+  ParallelStats stats{1};
+};
+
+/// Executes (modified) transactions against a fragmented database,
+/// implementing the parallel constraint-enforcement strategies of [7]:
+///
+///  * selections/projections run fragment-local;
+///  * single-equality joins, semijoins, antijoins and the set operations
+///    run fragment-local when operand partitioning already co-locates
+///    matching tuples (the paper's fragmentation on key / foreign-key
+///    attributes), and redistribute operands otherwise, with transfers
+///    charged to the cost model;
+///  * aggregates compute node-local partials combined at a coordinator;
+///  * updates are routed to the owning fragment; alarm statements abort
+///    the whole transaction if any node reports violations.
+///
+/// Scope note (DESIGN.md §3): this is the enforcement substrate for the
+/// E5 experiment, not a distributed transaction manager — commit is
+/// single-site, there is no 2PC or replication, exactly as the paper's
+/// single-transaction enforcement experiments assume.
+class ParallelExecutor {
+ public:
+  ParallelExecutor(ParallelDatabase* db, ParallelOptions options = {});
+
+  /// Runs the transaction with atomicity across fragments: on alarm/abort
+  /// every fragment is restored. The result carries the work statistics
+  /// including the simulated POOMA makespan.
+  Result<ParallelTxnResult> Execute(const algebra::Transaction& txn);
+
+ private:
+  class Impl;
+  ParallelDatabase* db_;
+  ParallelOptions options_;
+};
+
+}  // namespace txmod::parallel
+
+#endif  // TXMOD_PARALLEL_EXECUTOR_H_

@@ -1,0 +1,28 @@
+#include "src/parallel/fragmentation.h"
+
+namespace txmod::parallel {
+
+int FragmentOfValue(const Value& value, int num_fragments) {
+  // Numeric values are normalized so that Int(1) and Double(1.0) land on
+  // the same node — consistent with predicate equality (join keys).
+  const Value normalized =
+      value.is_int() ? Value::Double(static_cast<double>(value.as_int()))
+                     : value;
+  return static_cast<int>(normalized.Hash() %
+                          static_cast<std::size_t>(num_fragments));
+}
+
+int FragmentOf(const Tuple& tuple, const FragmentationScheme& scheme,
+               int num_fragments) {
+  if (num_fragments <= 1) return 0;
+  switch (scheme.kind) {
+    case FragmentationKind::kHash:
+      return FragmentOfValue(tuple.at(scheme.attr), num_fragments);
+    case FragmentationKind::kRoundRobin:
+      return static_cast<int>(tuple.Hash() %
+                              static_cast<std::size_t>(num_fragments));
+  }
+  return 0;
+}
+
+}  // namespace txmod::parallel

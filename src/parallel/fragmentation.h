@@ -1,0 +1,38 @@
+#ifndef TXMOD_PARALLEL_FRAGMENTATION_H_
+#define TXMOD_PARALLEL_FRAGMENTATION_H_
+
+#include <string>
+
+#include "src/relational/tuple.h"
+
+namespace txmod::parallel {
+
+/// Horizontal fragmentation strategies for PRISMA-style fragmented
+/// relations ([7]: relations are horizontally fragmented across the nodes
+/// of the POOMA machine).
+enum class FragmentationKind {
+  /// Hash on one attribute: tuples with equal attribute values co-locate,
+  /// which makes single-attribute joins/set-operations node-local when
+  /// both operands are partitioned on the join attribute.
+  kHash,
+  /// Deterministic spread ignoring values (whole-tuple hash). Balances
+  /// load; every multi-fragment operation needs redistribution.
+  kRoundRobin,
+};
+
+struct FragmentationScheme {
+  FragmentationKind kind = FragmentationKind::kRoundRobin;
+  int attr = 0;  // kHash: the partitioning attribute
+};
+
+/// Fragment index of `tuple` under `scheme` with `num_fragments` nodes.
+int FragmentOf(const Tuple& tuple, const FragmentationScheme& scheme,
+               int num_fragments);
+
+/// Fragment index for a raw value under hash partitioning (used when
+/// redistributing intermediate results on a join attribute).
+int FragmentOfValue(const Value& value, int num_fragments);
+
+}  // namespace txmod::parallel
+
+#endif  // TXMOD_PARALLEL_FRAGMENTATION_H_

@@ -1,0 +1,73 @@
+#include "src/parallel/parallel_db.h"
+
+#include "src/common/str_util.h"
+
+namespace txmod::parallel {
+
+Result<ParallelDatabase> ParallelDatabase::Partition(
+    const Database& db,
+    const std::map<std::string, FragmentationScheme>& schemes,
+    int num_nodes) {
+  if (num_nodes < 1) {
+    return Status::InvalidArgument("num_nodes must be at least 1");
+  }
+  ParallelDatabase out;
+  out.num_nodes_ = num_nodes;
+  for (const RelationSchema& rs : db.schema().relations()) {
+    TXMOD_RETURN_IF_ERROR(out.schema_.AddRelation(rs));
+    FragmentedRelation frag;
+    auto it = schemes.find(rs.name());
+    frag.scheme = it != schemes.end() ? it->second : FragmentationScheme{};
+    if (frag.scheme.kind == FragmentationKind::kHash &&
+        (frag.scheme.attr < 0 ||
+         frag.scheme.attr >= static_cast<int>(rs.arity()))) {
+      return Status::InvalidArgument(
+          StrCat("hash fragmentation attribute #", frag.scheme.attr,
+                 " out of range for ", rs.name()));
+    }
+    TXMOD_ASSIGN_OR_RETURN(const Relation* rel, db.Find(rs.name()));
+    frag.fragments.reserve(num_nodes);
+    for (int i = 0; i < num_nodes; ++i) {
+      frag.fragments.emplace_back(rel->schema_ptr());
+    }
+    for (const Tuple& t : *rel) {
+      frag.fragments[FragmentOf(t, frag.scheme, num_nodes)].Insert(t);
+    }
+    out.relations_.emplace(rs.name(), std::move(frag));
+  }
+  return out;
+}
+
+Result<const FragmentedRelation*> ParallelDatabase::Find(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation ", name, " not partitioned"));
+  }
+  return &it->second;
+}
+
+Result<FragmentedRelation*> ParallelDatabase::FindMutable(
+    const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation ", name, " not partitioned"));
+  }
+  return &it->second;
+}
+
+Database ParallelDatabase::Merge() const {
+  Database db;
+  for (const RelationSchema& rs : schema_.relations()) {
+    Status st = db.CreateRelation(rs);
+    (void)st;
+    Relation* rel = *db.FindMutable(rs.name());
+    const FragmentedRelation& frag = relations_.at(rs.name());
+    for (const Relation& f : frag.fragments) {
+      for (const Tuple& t : f) rel->Insert(t);
+    }
+  }
+  return db;
+}
+
+}  // namespace txmod::parallel

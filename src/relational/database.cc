@@ -1,0 +1,52 @@
+#include "src/relational/database.h"
+
+#include "src/common/str_util.h"
+
+namespace txmod {
+
+Status Database::CreateRelation(RelationSchema schema) {
+  const std::string name = schema.name();
+  TXMOD_RETURN_IF_ERROR(schema_.AddRelation(schema));
+  auto shared = std::make_shared<const RelationSchema>(std::move(schema));
+  relations_.emplace(name, Relation(std::move(shared)));
+  return Status::OK();
+}
+
+Result<const Relation*> Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation ", name, " does not exist"));
+  }
+  return &it->second;
+}
+
+Result<Relation*> Database::FindMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation ", name, " does not exist"));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+Database Database::Clone() const {
+  return *this;  // All members are value types; map copy is a deep copy.
+}
+
+bool Database::SameState(const Database& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  for (const auto& [name, rel] : relations_) {
+    auto it = other.relations_.find(name);
+    if (it == other.relations_.end()) return false;
+    if (!rel.SameTuples(it->second)) return false;
+  }
+  return true;
+}
+
+}  // namespace txmod

@@ -1,0 +1,52 @@
+#ifndef TXMOD_RELATIONAL_DATABASE_H_
+#define TXMOD_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/relational/relation.h"
+#include "src/relational/schema.h"
+
+namespace txmod {
+
+/// A database state D = {R1, ..., Rn} of a database schema (Definition
+/// 2.2), together with its logical time t (Definition 2.3). Transactions
+/// advance logical time by exactly one on commit (single-step transitions);
+/// an aborted transaction leaves both state and time unchanged.
+class Database {
+ public:
+  /// Creates an empty relation for `schema`. Names must be unique.
+  Status CreateRelation(RelationSchema schema);
+
+  Result<const Relation*> Find(const std::string& name) const;
+  Result<Relation*> FindMutable(const std::string& name);
+
+  bool Contains(const std::string& name) const {
+    return relations_.find(name) != relations_.end();
+  }
+
+  const DatabaseSchema& schema() const { return schema_; }
+
+  /// Names in deterministic (sorted) order.
+  std::vector<std::string> RelationNames() const;
+
+  uint64_t logical_time() const { return logical_time_; }
+  void AdvanceTime() { ++logical_time_; }
+
+  /// Deep copy of the full state (property tests, post-hoc baseline).
+  Database Clone() const;
+
+  /// True when both databases hold the same relations with the same tuples.
+  bool SameState(const Database& other) const;
+
+ private:
+  DatabaseSchema schema_;
+  std::map<std::string, Relation> relations_;
+  uint64_t logical_time_ = 0;
+};
+
+}  // namespace txmod
+
+#endif  // TXMOD_RELATIONAL_DATABASE_H_

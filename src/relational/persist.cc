@@ -1,0 +1,251 @@
+#include "src/relational/persist.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/str_util.h"
+
+namespace txmod {
+
+namespace {
+
+constexpr char kMagic[] = "txmod-checkpoint";
+constexpr int kVersion = 1;
+
+std::string EncodeValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return StrCat("i:", v.as_int());
+    case ValueType::kDouble: {
+      // Hex float representation: lossless round trip.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "d:%a", v.as_double());
+      return buf;
+    }
+    case ValueType::kString: {
+      std::string out = "s:\"";
+      for (char c : v.as_string()) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "null";
+}
+
+Result<Value> DecodeValue(const std::string& text) {
+  if (text == "null") return Value::Null();
+  if (text.rfind("i:", 0) == 0) {
+    return Value::Int(std::strtoll(text.c_str() + 2, nullptr, 10));
+  }
+  if (text.rfind("d:", 0) == 0) {
+    return Value::Double(std::strtod(text.c_str() + 2, nullptr));
+  }
+  if (text.rfind("s:\"", 0) == 0 && text.size() >= 4 && text.back() == '"') {
+    std::string out;
+    for (std::size_t i = 3; i + 1 < text.size(); ++i) {
+      if (text[i] == '\\' && i + 2 < text.size()) {
+        ++i;
+        switch (text[i]) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            out += text[i];
+        }
+      } else {
+        out += text[i];
+      }
+    }
+    return Value::String(std::move(out));
+  }
+  return Status::InvalidArgument(StrCat("bad value encoding: ", text));
+}
+
+/// Splits a tuple line into value encodings. Spaces inside quoted strings
+/// are part of the value; a simple state machine tracks quoting.
+std::vector<std::string> SplitValues(const std::string& line) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : line) {
+    if (in_string) {
+      current += c;
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      current += c;
+      continue;
+    }
+    if (c == ' ') {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+Result<AttrType> DecodeAttrType(const std::string& name) {
+  if (name == "int") return AttrType::kInt;
+  if (name == "double") return AttrType::kDouble;
+  if (name == "string") return AttrType::kString;
+  return Status::InvalidArgument(StrCat("unknown attribute type ", name));
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, std::ostream& out) {
+  out << kMagic << " " << kVersion << "\n";
+  out << "time " << db.logical_time() << "\n";
+  for (const std::string& name : db.RelationNames()) {
+    const Relation* rel = *db.Find(name);
+    const RelationSchema& schema = rel->schema();
+    out << "relation " << name << " " << schema.arity() << "\n";
+    for (const Attribute& attr : schema.attributes()) {
+      out << "attr " << attr.name << " " << AttrTypeToString(attr.type)
+          << "\n";
+    }
+    for (const Tuple& t : rel->SortedTuples()) {
+      out << "tuple";
+      for (const Value& v : t.values()) out << " " << EncodeValue(v);
+      out << "\n";
+    }
+    out << "end\n";
+  }
+  if (!out.good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status SaveDatabaseToFile(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument(StrCat("cannot open ", path,
+                                          " for writing"));
+  }
+  return SaveDatabase(db, out);
+}
+
+Result<Database> LoadDatabase(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty checkpoint");
+  }
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic) {
+      return Status::InvalidArgument("not a txmod checkpoint");
+    }
+    if (version != kVersion) {
+      return Status::InvalidArgument(
+          StrCat("unsupported checkpoint version ", version));
+    }
+  }
+  Database db;
+  uint64_t logical_time = 0;
+  Relation* current = nullptr;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "time") {
+      fields >> logical_time;
+    } else if (keyword == "relation") {
+      std::string name;
+      int arity = 0;
+      fields >> name >> arity;
+      std::vector<Attribute> attrs;
+      attrs.reserve(arity);
+      for (int i = 0; i < arity; ++i) {
+        if (!std::getline(in, line)) {
+          return Status::InvalidArgument("truncated attribute list");
+        }
+        ++line_number;
+        std::istringstream attr_fields(line);
+        std::string attr_kw, attr_name, attr_type;
+        attr_fields >> attr_kw >> attr_name >> attr_type;
+        if (attr_kw != "attr") {
+          return Status::InvalidArgument(
+              StrCat("expected attr at line ", line_number));
+        }
+        TXMOD_ASSIGN_OR_RETURN(AttrType type, DecodeAttrType(attr_type));
+        attrs.push_back(Attribute{attr_name, type});
+      }
+      TXMOD_RETURN_IF_ERROR(
+          db.CreateRelation(RelationSchema(name, std::move(attrs))));
+      current = *db.FindMutable(name);
+    } else if (keyword == "tuple") {
+      if (current == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("tuple outside a relation at line ", line_number));
+      }
+      std::string rest;
+      std::getline(fields, rest);
+      std::vector<Value> values;
+      for (const std::string& enc : SplitValues(rest)) {
+        TXMOD_ASSIGN_OR_RETURN(Value v, DecodeValue(enc));
+        values.push_back(std::move(v));
+      }
+      Tuple tuple(std::move(values));
+      TXMOD_RETURN_IF_ERROR(current->schema().CheckTuple(tuple));
+      current->Insert(current->schema().CoerceTuple(std::move(tuple)));
+    } else if (keyword == "end") {
+      current = nullptr;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown keyword '", keyword, "' at line ", line_number));
+    }
+  }
+  while (db.logical_time() < logical_time) db.AdvanceTime();
+  return db;
+}
+
+Result<Database> LoadDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open ", path));
+  }
+  return LoadDatabase(in);
+}
+
+}  // namespace txmod

@@ -1,0 +1,38 @@
+#ifndef TXMOD_RELATIONAL_PERSIST_H_
+#define TXMOD_RELATIONAL_PERSIST_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/relational/database.h"
+
+namespace txmod {
+
+/// Checkpointing for the main-memory store. PRISMA/DB kept all data in
+/// memory and persisted via checkpoints; this module provides the same
+/// facility with a line-oriented, human-readable text format:
+///
+///   txmod-checkpoint 1
+///   time <logical-time>
+///   relation <name> <arity>
+///   attr <name> <int|double|string>      (arity times)
+///   tuple <v1> <v2> ...                  (one line per tuple)
+///   end
+///   ...
+///
+/// Values are rendered as: `null`, `i:<digits>`, `d:<repr>` (hex float,
+/// lossless round trip), `s:<quoted>` (C-style escapes). The format is a
+/// checkpoint of committed state — transaction-local structures
+/// (differentials, temporaries) are never persisted, matching the model:
+/// only pre-/post-transaction states exist outside a transaction.
+Status SaveDatabase(const Database& db, std::ostream& out);
+Status SaveDatabaseToFile(const Database& db, const std::string& path);
+
+/// Restores a checkpoint into a fresh Database (schema included).
+Result<Database> LoadDatabase(std::istream& in);
+Result<Database> LoadDatabaseFromFile(const std::string& path);
+
+}  // namespace txmod
+
+#endif  // TXMOD_RELATIONAL_PERSIST_H_

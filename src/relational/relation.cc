@@ -1,0 +1,36 @@
+#include "src/relational/relation.h"
+
+#include <algorithm>
+
+#include "src/common/str_util.h"
+
+namespace txmod {
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::sort(out.begin(), out.end(), Tuple::Less);
+  return out;
+}
+
+bool Relation::SameTuples(const Relation& other) const {
+  if (size() != other.size()) return false;
+  for (const Tuple& t : tuples_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString(std::size_t max_tuples) const {
+  std::vector<std::string> parts;
+  const std::vector<Tuple> sorted = SortedTuples();
+  for (std::size_t i = 0; i < sorted.size() && i < max_tuples; ++i) {
+    parts.push_back(sorted[i].ToString());
+  }
+  std::string body = Join(parts, ", ");
+  if (sorted.size() > max_tuples) {
+    body += StrCat(", ... (", sorted.size() - max_tuples, " more)");
+  }
+  return StrCat(schema_ ? name() : std::string("?"), "{", body, "}");
+}
+
+}  // namespace txmod

@@ -1,0 +1,66 @@
+#ifndef TXMOD_RELATIONAL_RELATION_H_
+#define TXMOD_RELATIONAL_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/relational/schema.h"
+#include "src/relational/tuple.h"
+
+namespace txmod {
+
+/// A relation state R: a *set* of tuples of dom(R) (Definition 2.1).
+///
+/// PRISMA/DB was a main-memory system; a Relation is simply an in-memory
+/// hash set keyed by tuple identity, which gives O(1) membership for the
+/// set operations (difference, intersection) that integrity checking leans
+/// on. Iteration order is unspecified; use SortedTuples() for deterministic
+/// output.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::shared_ptr<const RelationSchema> schema)
+      : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return *schema_; }
+  std::shared_ptr<const RelationSchema> schema_ptr() const { return schema_; }
+  const std::string& name() const { return schema_->name(); }
+  std::size_t arity() const { return schema_->arity(); }
+
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+
+  /// Inserts `t`; returns true when the tuple was not present before.
+  /// The tuple must already be schema-checked / coerced by the caller.
+  bool Insert(Tuple t) { return tuples_.insert(std::move(t)).second; }
+
+  /// Removes `t`; returns true when the tuple was present.
+  bool Erase(const Tuple& t) { return tuples_.erase(t) > 0; }
+
+  void Clear() { tuples_.clear(); }
+
+  using ConstIterator = std::unordered_set<Tuple, TupleHasher>::const_iterator;
+  ConstIterator begin() const { return tuples_.begin(); }
+  ConstIterator end() const { return tuples_.end(); }
+
+  /// Tuples in lexicographic order (deterministic; for printing and tests).
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Set equality (schema name is not part of equality; contents are).
+  bool SameTuples(const Relation& other) const;
+
+  /// Renders as name{(..),(..)} in sorted order; long relations elided.
+  std::string ToString(std::size_t max_tuples = 16) const;
+
+ private:
+  std::shared_ptr<const RelationSchema> schema_;
+  std::unordered_set<Tuple, TupleHasher> tuples_;
+};
+
+}  // namespace txmod
+
+#endif  // TXMOD_RELATIONAL_RELATION_H_

@@ -1,0 +1,40 @@
+#include "src/relational/tuple.h"
+
+#include "src/common/hash.h"
+#include "src/common/str_util.h"
+
+namespace txmod {
+
+Tuple Tuple::Concat(const Tuple& a, const Tuple& b) {
+  std::vector<Value> values;
+  values.reserve(a.arity() + b.arity());
+  values.insert(values.end(), a.values().begin(), a.values().end());
+  values.insert(values.end(), b.values().begin(), b.values().end());
+  return Tuple(std::move(values));
+}
+
+bool Tuple::Less(const Tuple& a, const Tuple& b) {
+  const std::size_t n = std::min(a.arity(), b.arity());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (Value::Less(a.at(i), b.at(i))) return true;
+    if (Value::Less(b.at(i), a.at(i))) return false;
+  }
+  return a.arity() < b.arity();
+}
+
+std::size_t Tuple::Hash() const {
+  std::size_t seed = values_.size();
+  for (const Value& v : values_) {
+    HashCombine(&seed, v.Hash());
+  }
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Value& v : values_) parts.push_back(v.ToString());
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace txmod

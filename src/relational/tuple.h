@@ -1,0 +1,53 @@
+#ifndef TXMOD_RELATIONAL_TUPLE_H_
+#define TXMOD_RELATIONAL_TUPLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/relational/value.h"
+
+namespace txmod {
+
+/// An element of dom(R) = dom(A1) x ... x dom(An) (Definition 2.1): a fixed
+/// arity sequence of values. Tuples are plain values; identity follows
+/// Value::operator== (type-exact), which defines set membership in Relation.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  std::size_t arity() const { return values_.size(); }
+  const Value& at(std::size_t i) const { return values_[i]; }
+  Value& at(std::size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation of two tuples (used by products and joins).
+  static Tuple Concat(const Tuple& a, const Tuple& b);
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  /// Lexicographic order via Value::Less; deterministic output only.
+  static bool Less(const Tuple& a, const Tuple& b);
+
+  std::size_t Hash() const;
+
+  /// Renders as (v1, v2, ...).
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHasher {
+  std::size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace txmod
+
+#endif  // TXMOD_RELATIONAL_TUPLE_H_

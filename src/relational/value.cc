@@ -1,0 +1,111 @@
+#include "src/relational/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/hash.h"
+#include "src/common/str_util.h"
+
+namespace txmod {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Result<double> Value::NumericAsDouble() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(as_int());
+    case ValueType::kDouble:
+      return as_double();
+    default:
+      return Status::InvalidArgument(
+          StrCat("numeric value required, got ", ValueTypeToString(type())));
+  }
+}
+
+bool Value::Less(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return a.type() < b.type();
+  switch (a.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return a.as_int() < b.as_int();
+    case ValueType::kDouble:
+      return a.as_double() < b.as_double();
+    case ValueType::kString:
+      return a.as_string() < b.as_string();
+  }
+  return false;
+}
+
+std::size_t Value::Hash() const {
+  std::size_t seed = static_cast<std::size_t>(type());
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      HashCombineValue(&seed, as_int());
+      break;
+    case ValueType::kDouble:
+      HashCombineValue(&seed, as_double());
+      break;
+    case ValueType::kString:
+      HashCombineValue(&seed, as_string());
+      break;
+  }
+  return seed;
+}
+
+Value::Ordering Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return Ordering::kEqual;
+  if (a.is_null() || b.is_null()) return Ordering::kIncomparable;
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = a.is_int() ? static_cast<double>(a.as_int())
+                                : a.as_double();
+    const double y = b.is_int() ? static_cast<double>(b.as_int())
+                                : b.as_double();
+    if (x < y) return Ordering::kLess;
+    if (x > y) return Ordering::kGreater;
+    return Ordering::kEqual;
+  }
+  if (a.is_string() && b.is_string()) {
+    const int c = a.as_string().compare(b.as_string());
+    if (c < 0) return Ordering::kLess;
+    if (c > 0) return Ordering::kGreater;
+    return Ordering::kEqual;
+  }
+  return Ordering::kIncomparable;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      std::string s(buf);
+      // Make sure a double is visibly a double ("6" -> "6.0").
+      if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+      return s;
+    }
+    case ValueType::kString:
+      return StrCat("\"", as_string(), "\"");
+  }
+  return "?";
+}
+
+}  // namespace txmod

@@ -1,0 +1,27 @@
+#include "src/rules/rule.h"
+
+#include "src/common/str_util.h"
+
+namespace txmod::rules {
+
+std::string IntegrityRule::ToString() const {
+  std::string out = StrCat("WHEN ", triggers.ToString(), "\n");
+  out += StrCat("IF NOT ", condition.formula.ToString(), "\n");
+  if (action_kind == ActionKind::kAbort) {
+    out += "THEN abort\n";
+  } else {
+    out += "THEN ";
+    if (action_non_triggering) out += "NONTRIGGERING ";
+    // One statement per line, continuation lines indented for readability.
+    std::vector<std::string> lines;
+    lines.reserve(action.statements.size());
+    for (const algebra::Statement& s : action.statements) {
+      lines.push_back(StrCat(s.ToString(), ";"));
+    }
+    out += Join(lines, "\n     ");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace txmod::rules

@@ -1,0 +1,55 @@
+#ifndef TXMOD_RULES_RULE_H_
+#define TXMOD_RULES_RULE_H_
+
+#include <map>
+#include <string>
+
+#include "src/algebra/statement.h"
+#include "src/calculus/analyzer.h"
+#include "src/calculus/ast.h"
+#include "src/rules/trigger.h"
+
+namespace txmod::rules {
+
+/// How a rule responds to a constraint violation.
+enum class ActionKind {
+  /// Aborting rule: the incorrect transaction is aborted (translated to an
+  /// alarm program by TransR, Algorithm 5.5).
+  kAbort,
+  /// Compensating rule: the incorrect updates are compensated by the
+  /// rule's extended relational algebra program (Example 4.2's R2).
+  kCompensate,
+};
+
+/// An integrity rule (Definition 4.7):
+///
+///   WHEN ts IF NOT c THEN p
+///
+/// `triggers` is either written by the designer or generated from the
+/// condition by GenTrigC (Section 5.3 recommends generation as less
+/// error-prone). The condition is stored in analyzed form (resolved
+/// attribute indices, per-variable ranges).
+struct IntegrityRule {
+  std::string name;
+
+  TriggerSet triggers;
+  bool triggers_were_generated = false;
+
+  calculus::AnalyzedFormula condition;
+
+  ActionKind action_kind = ActionKind::kAbort;
+  /// Compensating action program; empty for aborting rules.
+  algebra::Program action;
+  /// Definition 6.2: a non-triggering action never triggers further rules.
+  bool action_non_triggering = false;
+
+  /// Original RL source text (diagnostics, catalogs).
+  std::string source_text;
+
+  /// Renders the rule in RL syntax.
+  std::string ToString() const;
+};
+
+}  // namespace txmod::rules
+
+#endif  // TXMOD_RULES_RULE_H_

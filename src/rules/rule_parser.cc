@@ -1,0 +1,176 @@
+#include "src/rules/rule_parser.h"
+
+#include <vector>
+
+#include "src/algebra/parser.h"
+#include "src/calculus/analyzer.h"
+#include "src/calculus/parser.h"
+#include "src/common/lexer.h"
+#include "src/common/str_util.h"
+#include "src/rules/trigger_gen.h"
+
+namespace txmod::rules {
+
+namespace {
+
+/// Clause boundaries located in the token stream; the sub-languages are
+/// re-parsed from the original text slices so each parser sees its own
+/// grammar.
+struct Clauses {
+  bool has_when = false;
+  std::string when_text;
+  std::string condition_text;
+  std::string action_text;
+};
+
+Result<Clauses> SplitClauses(const std::string& text) {
+  TXMOD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  int when_pos = -1, if_pos = -1, not_pos = -1, then_pos = -1;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.IsKeyword("when") && when_pos < 0 && if_pos < 0) {
+      when_pos = static_cast<int>(i);
+    } else if (t.IsKeyword("if") && if_pos < 0) {
+      if_pos = static_cast<int>(i);
+    } else if (t.IsKeyword("not") && if_pos >= 0 && not_pos < 0 &&
+               static_cast<int>(i) == if_pos + 1) {
+      not_pos = static_cast<int>(i);
+    } else if (t.IsKeyword("then") && if_pos >= 0 && then_pos < 0) {
+      then_pos = static_cast<int>(i);
+    }
+  }
+  if (if_pos < 0 || not_pos != if_pos + 1) {
+    return Status::InvalidArgument(
+        "integrity rule must contain an IF NOT clause (Definition 4.7)");
+  }
+  if (then_pos < 0) {
+    return Status::InvalidArgument(
+        "integrity rule must contain a THEN clause (Definition 4.7)");
+  }
+  if (when_pos >= 0 && when_pos > if_pos) {
+    return Status::InvalidArgument("WHEN clause must precede IF NOT");
+  }
+  Clauses out;
+  if (when_pos >= 0) {
+    out.has_when = true;
+    out.when_text =
+        text.substr(tokens[when_pos + 1].position,
+                    tokens[if_pos].position - tokens[when_pos + 1].position);
+  }
+  const int cond_begin = tokens[not_pos + 1].position;
+  out.condition_text =
+      text.substr(cond_begin, tokens[then_pos].position - cond_begin);
+  out.action_text = text.substr(tokens[then_pos + 1].position);
+  if (AsciiToLower(out.action_text).find_first_not_of(" \t\r\n") ==
+      std::string::npos) {
+    return Status::InvalidArgument("THEN clause must contain an action");
+  }
+  return out;
+}
+
+Result<TriggerSet> ParseWhenClause(const std::string& text) {
+  TXMOD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TriggerSet out;
+  std::size_t i = 0;
+  while (tokens[i].kind != TokenKind::kEnd) {
+    const Token& kw = tokens[i];
+    UpdateType type;
+    if (kw.IsKeyword("ins")) {
+      type = UpdateType::kIns;
+    } else if (kw.IsKeyword("del")) {
+      type = UpdateType::kDel;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("expected INS or DEL in WHEN clause, got '", kw.text, "'"));
+    }
+    if (!tokens[i + 1].IsOp("(") ||
+        tokens[i + 2].kind != TokenKind::kIdent ||
+        !tokens[i + 3].IsOp(")")) {
+      return Status::InvalidArgument(
+          "trigger must have the form INS(relation) or DEL(relation)");
+    }
+    out.Insert(Trigger{type, tokens[i + 2].text});
+    i += 4;
+    if (tokens[i].IsOp(",")) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (tokens[i].kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("unexpected input after WHEN triggers");
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("WHEN clause must list triggers");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<IntegrityRule> ParseRule(const std::string& name,
+                                const std::string& text,
+                                const DatabaseSchema& schema) {
+  TXMOD_ASSIGN_OR_RETURN(Clauses clauses, SplitClauses(text));
+
+  IntegrityRule rule;
+  rule.name = name;
+  rule.source_text = text;
+
+  // Condition: CL parse + semantic analysis.
+  TXMOD_ASSIGN_OR_RETURN(calculus::Formula raw,
+                         calculus::ParseFormula(clauses.condition_text));
+  TXMOD_ASSIGN_OR_RETURN(rule.condition,
+                         calculus::AnalyzeFormula(raw, schema));
+
+  // Triggers: explicit WHEN or generated from the condition (Section 5.3).
+  if (clauses.has_when) {
+    TXMOD_ASSIGN_OR_RETURN(rule.triggers, ParseWhenClause(clauses.when_text));
+    rule.triggers_were_generated = false;
+  } else {
+    rule.triggers = GenTrigC(rule.condition.formula);
+    rule.triggers_were_generated = true;
+    if (rule.triggers.empty()) {
+      return Status::InvalidArgument(
+          StrCat("rule ", name, ": no triggers could be generated from the "
+                 "condition; specify a WHEN clause"));
+    }
+  }
+
+  // Action: 'abort' or a compensating XRA program, optionally flagged
+  // NONTRIGGERING (Definition 6.2).
+  TXMOD_ASSIGN_OR_RETURN(std::vector<Token> action_tokens,
+                         Tokenize(clauses.action_text));
+  std::size_t start = 0;
+  bool non_triggering = false;
+  if (action_tokens[start].IsKeyword("nontriggering")) {
+    non_triggering = true;
+    ++start;
+  }
+  if (action_tokens[start].IsKeyword("abort") &&
+      action_tokens[start + 1].kind == TokenKind::kEnd) {
+    if (non_triggering) {
+      return Status::InvalidArgument(
+          "NONTRIGGERING applies to compensating programs; abort never "
+          "triggers rules");
+    }
+    rule.action_kind = ActionKind::kAbort;
+    return rule;
+  }
+  rule.action_kind = ActionKind::kCompensate;
+  const std::string program_text =
+      non_triggering
+          ? clauses.action_text.substr(action_tokens[start].position)
+          : clauses.action_text;
+  algebra::AlgebraParser parser(&schema);
+  TXMOD_ASSIGN_OR_RETURN(rule.action, parser.ParseProgram(program_text));
+  if (rule.action.empty()) {
+    return Status::InvalidArgument(
+        StrCat("rule ", name, ": compensating action is empty"));
+  }
+  rule.action.non_triggering = non_triggering;
+  rule.action_non_triggering = non_triggering;
+  return rule;
+}
+
+}  // namespace txmod::rules

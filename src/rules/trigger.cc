@@ -1,0 +1,66 @@
+#include "src/rules/trigger.h"
+
+#include "src/common/str_util.h"
+
+namespace txmod::rules {
+
+const char* UpdateTypeToString(UpdateType type) {
+  return type == UpdateType::kIns ? "INS" : "DEL";
+}
+
+std::string Trigger::ToString() const {
+  return StrCat(UpdateTypeToString(type), "(", relation, ")");
+}
+
+void TriggerSet::UnionWith(const TriggerSet& other) {
+  triggers_.insert(other.triggers_.begin(), other.triggers_.end());
+}
+
+bool TriggerSet::Intersects(const TriggerSet& other) const {
+  for (const Trigger& t : triggers_) {
+    if (other.Contains(t)) return true;
+  }
+  return false;
+}
+
+std::string TriggerSet::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(triggers_.size());
+  for (const Trigger& t : triggers_) parts.push_back(t.ToString());
+  return Join(parts, ", ");
+}
+
+TriggerSet GetTrigS(const algebra::Statement& stmt) {
+  TriggerSet out;
+  switch (stmt.kind) {
+    case algebra::StatementKind::kInsert:
+      out.Insert(Trigger{UpdateType::kIns, stmt.target});
+      break;
+    case algebra::StatementKind::kDelete:
+      out.Insert(Trigger{UpdateType::kDel, stmt.target});
+      break;
+    case algebra::StatementKind::kUpdate:
+      // Definition 4.5: an update is a combined delete and insert.
+      out.Insert(Trigger{UpdateType::kIns, stmt.target});
+      out.Insert(Trigger{UpdateType::kDel, stmt.target});
+      break;
+    default:
+      break;  // assignments, alarms, aborts trigger nothing
+  }
+  return out;
+}
+
+TriggerSet GetTrigP(const algebra::Program& p) {
+  TriggerSet out;
+  for (const algebra::Statement& stmt : p.statements) {
+    out.UnionWith(GetTrigS(stmt));
+  }
+  return out;
+}
+
+TriggerSet GetTrigPX(const algebra::Program& p) {
+  if (p.non_triggering) return TriggerSet();
+  return GetTrigP(p);
+}
+
+}  // namespace txmod::rules

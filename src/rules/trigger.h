@@ -1,0 +1,78 @@
+#ifndef TXMOD_RULES_TRIGGER_H_
+#define TXMOD_RULES_TRIGGER_H_
+
+#include <set>
+#include <string>
+
+#include "src/algebra/statement.h"
+
+namespace txmod::rules {
+
+/// Elementary update types U ∈ {INS, DEL} (Definition 4.5). An update
+/// operation is modelled as the combination of a delete and an insert.
+enum class UpdateType { kIns, kDel };
+
+const char* UpdateTypeToString(UpdateType type);
+
+/// A trigger specification U(R) (Definition 4.5).
+struct Trigger {
+  UpdateType type = UpdateType::kIns;
+  std::string relation;
+
+  bool operator==(const Trigger& other) const {
+    return type == other.type && relation == other.relation;
+  }
+  bool operator<(const Trigger& other) const {
+    if (relation != other.relation) return relation < other.relation;
+    return type < other.type;
+  }
+
+  /// Renders as "INS(beer)".
+  std::string ToString() const;
+};
+
+/// A trigger set specification (Definition 4.6): a set of triggers.
+class TriggerSet {
+ public:
+  TriggerSet() = default;
+  TriggerSet(std::initializer_list<Trigger> triggers)
+      : triggers_(triggers) {}
+
+  void Insert(Trigger t) { triggers_.insert(std::move(t)); }
+  void UnionWith(const TriggerSet& other);
+
+  bool Contains(const Trigger& t) const { return triggers_.count(t) > 0; }
+  bool Intersects(const TriggerSet& other) const;
+  bool empty() const { return triggers_.empty(); }
+  std::size_t size() const { return triggers_.size(); }
+
+  using ConstIterator = std::set<Trigger>::const_iterator;
+  ConstIterator begin() const { return triggers_.begin(); }
+  ConstIterator end() const { return triggers_.end(); }
+
+  bool operator==(const TriggerSet& other) const {
+    return triggers_ == other.triggers_;
+  }
+
+  /// Renders as "INS(beer), DEL(brewery)" (deterministic order).
+  std::string ToString() const;
+
+ private:
+  std::set<Trigger> triggers_;
+};
+
+/// GetTrigS (Algorithm 5.2): the triggers of a single statement —
+/// insert(R,E) yields {INS(R)}, delete(R,E) yields {DEL(R)}, update
+/// yields {INS(R), DEL(R)}, all other statements yield ∅.
+TriggerSet GetTrigS(const algebra::Statement& stmt);
+
+/// GetTrigP (Algorithm 5.2): union of GetTrigS over the statements of `p`.
+TriggerSet GetTrigP(const algebra::Program& p);
+
+/// GetTrigPX (Definition 6.2): like GetTrigP, but a program declared
+/// non-triggering contributes no triggers.
+TriggerSet GetTrigPX(const algebra::Program& p);
+
+}  // namespace txmod::rules
+
+#endif  // TXMOD_RULES_TRIGGER_H_

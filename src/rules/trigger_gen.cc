@@ -1,0 +1,130 @@
+#include "src/rules/trigger_gen.h"
+
+#include <set>
+#include <string>
+
+namespace txmod::rules {
+
+using calculus::CalcAgg;
+using calculus::CalcRelKind;
+using calculus::Formula;
+using calculus::Term;
+
+namespace {
+
+using VarSet = std::set<std::string>;
+
+// GenTrigT: triggers contributed by a term. Aggregates and counts over a
+// base relation are sensitive to both INS and DEL. Recurses through
+// arithmetic applications (see header).
+void GenTrigT(const Term& t, TriggerSet* out) {
+  switch (t.kind) {
+    case Term::Kind::kAggregate:
+      if (t.rel.kind == CalcRelKind::kBase) {
+        out->Insert(Trigger{UpdateType::kIns, t.rel.name});
+        out->Insert(Trigger{UpdateType::kDel, t.rel.name});
+      }
+      break;
+    case Term::Kind::kArith:
+      for (const Term& c : t.children) GenTrigT(c, out);
+      break;
+    default:
+      break;
+  }
+}
+
+// GenTrigA: triggers contributed by an atomic formula given the
+// context-sensitive variable sets.
+void GenTrigA(const Formula& f, const VarSet& vu, const VarSet& ve,
+              TriggerSet* out) {
+  switch (f.kind) {
+    case Formula::Kind::kCompare:
+      for (const Term& t : f.terms) GenTrigT(t, out);
+      break;
+    case Formula::Kind::kMembership:
+      if (f.rel.kind != CalcRelKind::kBase) break;  // auxiliary: no trigger
+      if (vu.count(f.var) > 0) {
+        out->Insert(Trigger{UpdateType::kIns, f.rel.name});
+      } else if (ve.count(f.var) > 0) {
+        out->Insert(Trigger{UpdateType::kDel, f.rel.name});
+      }
+      break;
+    case Formula::Kind::kTupleEq:
+      break;  // no relation mentioned
+    default:
+      break;
+  }
+}
+
+void GenTrigW(const Formula& f, VarSet vu, VarSet ve, TriggerSet* out);
+
+// GenTrigN: the negated-context traversal. Quantifier roles swap
+// (a ∀ under negation behaves existentially and vice versa); negation
+// returns to the positive traversal; the implication antecedent is
+// positive in negated context.
+void GenTrigN(const Formula& f, VarSet vu, VarSet ve, TriggerSet* out) {
+  switch (f.kind) {
+    case Formula::Kind::kForall:
+      ve.insert(f.var);
+      GenTrigN(f.children[0], std::move(vu), std::move(ve), out);
+      return;
+    case Formula::Kind::kExists:
+      vu.insert(f.var);
+      GenTrigN(f.children[0], std::move(vu), std::move(ve), out);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      GenTrigN(f.children[0], vu, ve, out);
+      GenTrigN(f.children[1], std::move(vu), std::move(ve), out);
+      return;
+    case Formula::Kind::kImplies:
+      GenTrigW(f.children[0], vu, ve, out);
+      GenTrigN(f.children[1], std::move(vu), std::move(ve), out);
+      return;
+    case Formula::Kind::kNot:
+      GenTrigW(f.children[0], std::move(vu), std::move(ve), out);
+      return;
+    default:
+      GenTrigA(f, vu, ve, out);
+      return;
+  }
+}
+
+// GenTrigW: the positive-context traversal (the paper's GenTrigW).
+void GenTrigW(const Formula& f, VarSet vu, VarSet ve, TriggerSet* out) {
+  switch (f.kind) {
+    case Formula::Kind::kForall:
+      vu.insert(f.var);
+      GenTrigW(f.children[0], std::move(vu), std::move(ve), out);
+      return;
+    case Formula::Kind::kExists:
+      ve.insert(f.var);
+      GenTrigW(f.children[0], std::move(vu), std::move(ve), out);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      GenTrigW(f.children[0], vu, ve, out);
+      GenTrigW(f.children[1], std::move(vu), std::move(ve), out);
+      return;
+    case Formula::Kind::kImplies:
+      GenTrigN(f.children[0], vu, ve, out);
+      GenTrigW(f.children[1], std::move(vu), std::move(ve), out);
+      return;
+    case Formula::Kind::kNot:
+      GenTrigN(f.children[0], std::move(vu), std::move(ve), out);
+      return;
+    default:
+      GenTrigA(f, vu, ve, out);
+      return;
+  }
+}
+
+}  // namespace
+
+TriggerSet GenTrigC(const Formula& condition) {
+  TriggerSet out;
+  GenTrigW(condition, {}, {}, &out);
+  return out;
+}
+
+}  // namespace txmod::rules

@@ -1,0 +1,34 @@
+#ifndef TXMOD_RULES_TRIGGER_GEN_H_
+#define TXMOD_RULES_TRIGGER_GEN_H_
+
+#include "src/calculus/ast.h"
+#include "src/rules/trigger.h"
+
+namespace txmod::rules {
+
+/// GenTrigC (Algorithm 5.7): derives the trigger set of an integrity rule
+/// from its CL condition by a polarity-tracking traversal.
+///
+/// The traversal carries the sets V_u / V_e of universally / existentially
+/// quantified variables *as seen from the current context*: inside an odd
+/// number of negations (GenTrigN in the paper) the roles swap, as does the
+/// treatment of the implication antecedent. At the atoms:
+///   * a membership x ∈ R with x universal in context yields INS(R) —
+///     a new tuple must satisfy the surrounding condition;
+///   * a membership x ∈ R with x existential yields DEL(R) — removing a
+///     potential witness may falsify the condition;
+///   * an aggregate or count application over R yields {INS(R), DEL(R)} —
+///     both kinds of update change the aggregate's value.
+///
+/// Deviations from the paper's figure, both documented here deliberately:
+///   * GenTrigT recurses through arithmetic function applications so that
+///     aggregates nested in FV terms (e.g. sum(R,a) + sum(S,b) < c) are
+///     found; the paper's figure defines GenTrigT on flat terms only.
+///   * References to auxiliary relations (old/dplus/dminus) yield no
+///     triggers: the pre-transaction state cannot be changed by the
+///     transaction being analyzed.
+TriggerSet GenTrigC(const calculus::Formula& condition);
+
+}  // namespace txmod::rules
+
+#endif  // TXMOD_RULES_TRIGGER_GEN_H_

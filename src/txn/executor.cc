@@ -1,0 +1,140 @@
+#include "src/txn/executor.h"
+
+#include "src/algebra/evaluator.h"
+#include "src/common/str_util.h"
+
+namespace txmod::txn {
+
+using algebra::EvaluateRelExpr;
+using algebra::Statement;
+using algebra::StatementKind;
+
+namespace {
+
+Status ExecuteAssign(const Statement& stmt, TxnContext* ctx,
+                     TxnResult* result) {
+  TXMOD_ASSIGN_OR_RETURN(
+      Relation value, EvaluateRelExpr(*stmt.expr, *ctx, &result->stats));
+  ctx->SetTemp(stmt.target, std::move(value));
+  return Status::OK();
+}
+
+Status ExecuteInsert(const Statement& stmt, TxnContext* ctx,
+                     TxnResult* result) {
+  TXMOD_ASSIGN_OR_RETURN(
+      Relation value, EvaluateRelExpr(*stmt.expr, *ctx, &result->stats));
+  for (const Tuple& t : value) {
+    TXMOD_ASSIGN_OR_RETURN(bool inserted, ctx->InsertTuple(stmt.target, t));
+    if (inserted) ++result->tuples_inserted;
+  }
+  return Status::OK();
+}
+
+Status ExecuteDelete(const Statement& stmt, TxnContext* ctx,
+                     TxnResult* result) {
+  TXMOD_ASSIGN_OR_RETURN(
+      Relation value, EvaluateRelExpr(*stmt.expr, *ctx, &result->stats));
+  for (const Tuple& t : value) {
+    TXMOD_ASSIGN_OR_RETURN(bool deleted, ctx->DeleteTuple(stmt.target, t));
+    if (deleted) ++result->tuples_deleted;
+  }
+  return Status::OK();
+}
+
+Status ExecuteUpdate(const Statement& stmt, TxnContext* ctx,
+                     TxnResult* result) {
+  // update(R, θ, f) has delete-plus-insert semantics (Definition 4.5 maps
+  // an update to {INS(R), DEL(R)}); evaluate the selection against the
+  // current state first, then apply both halves.
+  TXMOD_ASSIGN_OR_RETURN(const Relation* rel,
+                         ctx->Resolve(algebra::RelRefKind::kBase,
+                                      stmt.target));
+  std::vector<Tuple> selected;
+  for (const Tuple& t : *rel) {
+    TXMOD_ASSIGN_OR_RETURN(bool match,
+                           stmt.predicate.EvalPredicate(&t, nullptr));
+    if (match) selected.push_back(t);
+  }
+  result->stats.tuples_scanned += rel->size();
+  for (const Tuple& old_tuple : selected) {
+    Tuple new_tuple = old_tuple;
+    for (const algebra::UpdateSet& u : stmt.sets) {
+      TXMOD_ASSIGN_OR_RETURN(Value v, u.expr.EvalValue(&old_tuple, nullptr));
+      if (u.attr < 0 || u.attr >= static_cast<int>(new_tuple.arity())) {
+        return Status::InvalidArgument(
+            StrCat("update of ", stmt.target, ": attribute #", u.attr,
+                   " out of range"));
+      }
+      new_tuple.at(u.attr) = std::move(v);
+    }
+    TXMOD_ASSIGN_OR_RETURN(bool deleted,
+                           ctx->DeleteTuple(stmt.target, old_tuple));
+    if (deleted) ++result->tuples_deleted;
+    TXMOD_ASSIGN_OR_RETURN(bool inserted,
+                           ctx->InsertTuple(stmt.target, new_tuple));
+    if (inserted) ++result->tuples_inserted;
+  }
+  return Status::OK();
+}
+
+Status ExecuteAlarm(const Statement& stmt, TxnContext* ctx,
+                    TxnResult* result) {
+  TXMOD_ASSIGN_OR_RETURN(
+      Relation value, EvaluateRelExpr(*stmt.expr, *ctx, &result->stats));
+  if (value.empty()) return Status::OK();  // Definition 5.1: no effect
+  std::string reason = stmt.message.empty()
+                           ? StrCat("alarm raised: ", stmt.expr->ToString(),
+                                    " is non-empty (", value.size(),
+                                    " tuple(s))")
+                           : stmt.message;
+  return Status::Aborted(std::move(reason));
+}
+
+}  // namespace
+
+Status ExecuteStatement(const Statement& stmt, TxnContext* ctx,
+                        TxnResult* result) {
+  switch (stmt.kind) {
+    case StatementKind::kAssign:
+      return ExecuteAssign(stmt, ctx, result);
+    case StatementKind::kInsert:
+      return ExecuteInsert(stmt, ctx, result);
+    case StatementKind::kDelete:
+      return ExecuteDelete(stmt, ctx, result);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(stmt, ctx, result);
+    case StatementKind::kAlarm:
+      return ExecuteAlarm(stmt, ctx, result);
+    case StatementKind::kAbort:
+      return Status::Aborted(stmt.message.empty() ? "abort statement"
+                                                  : stmt.message);
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<TxnResult> ExecuteTransaction(const algebra::Transaction& txn,
+                                     Database* db) {
+  TxnContext ctx(db);
+  TxnResult result;
+  for (std::size_t i = 0; i < txn.program.statements.size(); ++i) {
+    const Status st = ExecuteStatement(txn.program.statements[i], &ctx,
+                                       &result);
+    if (st.ok()) {
+      ++result.statements_executed;
+      continue;
+    }
+    ctx.Rollback();
+    if (st.code() == StatusCode::kAborted) {
+      result.committed = false;
+      result.abort_reason = st.message();
+      result.aborting_statement = static_cast<int>(i);
+      return result;
+    }
+    return st;  // malformed program: error out (state already restored)
+  }
+  ctx.Commit();
+  result.committed = true;
+  return result;
+}
+
+}  // namespace txmod::txn

@@ -1,0 +1,47 @@
+#ifndef TXMOD_TXN_EXECUTOR_H_
+#define TXMOD_TXN_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/algebra/statement.h"
+#include "src/common/result.h"
+#include "src/txn/txn_context.h"
+
+namespace txmod::txn {
+
+/// Outcome of a committed or cleanly aborted transaction execution.
+struct TxnResult {
+  bool committed = false;
+  std::string abort_reason;          // alarm/abort message when not committed
+  int aborting_statement = -1;       // index of the statement that aborted
+  uint64_t statements_executed = 0;  // statements fully executed
+  algebra::EvalStats stats;          // evaluation work counters
+
+  /// Count of base-relation tuple changes applied before commit/abort.
+  uint64_t tuples_inserted = 0;
+  uint64_t tuples_deleted = 0;
+};
+
+/// Executes one extended relational algebra statement against `ctx`.
+///
+/// Returns:
+///  * OK on success;
+///  * kAborted when an alarm fired (Definition 5.1: non-empty argument) or
+///    an abort statement ran — the caller must roll back;
+///  * any other error for malformed statements (also roll back).
+Status ExecuteStatement(const algebra::Statement& stmt, TxnContext* ctx,
+                        TxnResult* result);
+
+/// Executes a bracketed transaction against `db` with full atomicity: on
+/// commit the post-transaction state D^{t+1} is installed and logical time
+/// advances; on abort (alarm/abort statement) the database is restored to
+/// D^t and the result reports the reason. Malformed programs (evaluation
+/// errors, schema violations) also restore D^t but surface as error
+/// Statuses rather than TxnResults.
+Result<TxnResult> ExecuteTransaction(const algebra::Transaction& txn,
+                                     Database* db);
+
+}  // namespace txmod::txn
+
+#endif  // TXMOD_TXN_EXECUTOR_H_

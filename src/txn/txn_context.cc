@@ -1,0 +1,132 @@
+#include "src/txn/txn_context.h"
+
+#include "src/common/str_util.h"
+
+namespace txmod::txn {
+
+using algebra::RelRefKind;
+
+Result<const Relation*> TxnContext::Resolve(RelRefKind kind,
+                                            const std::string& name) const {
+  switch (kind) {
+    case RelRefKind::kBase: {
+      TXMOD_ASSIGN_OR_RETURN(const Relation* rel, db_->Find(name));
+      return rel;
+    }
+    case RelRefKind::kTemp: {
+      auto it = temps_.find(name);
+      if (it == temps_.end()) {
+        return Status::NotFound(StrCat("unknown temporary ", name));
+      }
+      return &it->second;
+    }
+    case RelRefKind::kOld: {
+      auto cached = old_cache_.find(name);
+      if (cached != old_cache_.end()) return &cached->second;
+      TXMOD_ASSIGN_OR_RETURN(const Relation* rel, db_->Find(name));
+      // R_pre = (R \ plus) ∪ minus; invariant of Differential.
+      Relation old_view(rel->schema_ptr());
+      auto dit = diffs_.find(name);
+      const Differential* diff = dit != diffs_.end() ? &dit->second : nullptr;
+      for (const Tuple& t : *rel) {
+        if (diff == nullptr || !diff->plus.Contains(t)) old_view.Insert(t);
+      }
+      if (diff != nullptr) {
+        for (const Tuple& t : diff->minus) old_view.Insert(t);
+      }
+      auto [it, inserted] = old_cache_.emplace(name, std::move(old_view));
+      return &it->second;
+    }
+    case RelRefKind::kDeltaPlus:
+    case RelRefKind::kDeltaMinus: {
+      auto dit = diffs_.find(name);
+      if (dit != diffs_.end()) {
+        return kind == RelRefKind::kDeltaPlus ? &dit->second.plus
+                                              : &dit->second.minus;
+      }
+      // Untouched relation: an empty relation with the base schema.
+      auto eit = empty_diffs_.find(name);
+      if (eit == empty_diffs_.end()) {
+        TXMOD_ASSIGN_OR_RETURN(const Relation* rel, db_->Find(name));
+        eit = empty_diffs_.emplace(name, Relation(rel->schema_ptr())).first;
+      }
+      return &eit->second;
+    }
+  }
+  return Status::Internal("unknown RelRefKind");
+}
+
+void TxnContext::SetTemp(const std::string& name, Relation value) {
+  temps_.insert_or_assign(name, std::move(value));
+}
+
+Differential& TxnContext::MutableDiff(const std::string& rel) {
+  auto it = diffs_.find(rel);
+  if (it == diffs_.end()) {
+    const Relation* base = *db_->Find(rel);
+    Differential d;
+    d.plus = Relation(base->schema_ptr());
+    d.minus = Relation(base->schema_ptr());
+    it = diffs_.emplace(rel, std::move(d)).first;
+  }
+  return it->second;
+}
+
+Result<bool> TxnContext::InsertTuple(const std::string& rel, Tuple tuple) {
+  TXMOD_ASSIGN_OR_RETURN(Relation * target, db_->FindMutable(rel));
+  TXMOD_RETURN_IF_ERROR(target->schema().CheckTuple(tuple));
+  Tuple coerced = target->schema().CoerceTuple(std::move(tuple));
+  if (!target->Insert(coerced)) return false;  // already present: no-op
+  Differential& d = MutableDiff(rel);
+  // Re-inserting a tuple the transaction deleted nets out to "unchanged".
+  if (!d.minus.Erase(coerced)) d.plus.Insert(std::move(coerced));
+  return true;
+}
+
+Result<bool> TxnContext::DeleteTuple(const std::string& rel,
+                                     const Tuple& tuple) {
+  TXMOD_ASSIGN_OR_RETURN(Relation * target, db_->FindMutable(rel));
+  const Tuple coerced = target->schema().CoerceTuple(tuple);
+  if (!target->Erase(coerced)) return false;  // absent: no-op
+  Differential& d = MutableDiff(rel);
+  // Deleting a tuple the transaction inserted nets out to "unchanged".
+  if (!d.plus.Erase(coerced)) d.minus.Insert(coerced);
+  return true;
+}
+
+const Differential& TxnContext::diff(const std::string& rel) const {
+  static const Differential kEmpty;
+  auto it = diffs_.find(rel);
+  return it != diffs_.end() ? it->second : kEmpty;
+}
+
+std::vector<std::string> TxnContext::TouchedRelations() const {
+  std::vector<std::string> out;
+  out.reserve(diffs_.size());
+  for (const auto& [name, diff] : diffs_) {
+    if (!diff.plus.empty() || !diff.minus.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+void TxnContext::Rollback() {
+  for (auto& [name, diff] : diffs_) {
+    Relation* rel = *db_->FindMutable(name);
+    for (const Tuple& t : diff.plus) rel->Erase(t);
+    for (const Tuple& t : diff.minus) rel->Insert(t);
+  }
+  diffs_.clear();
+  temps_.clear();
+  old_cache_.clear();
+  empty_diffs_.clear();
+}
+
+void TxnContext::Commit() {
+  diffs_.clear();
+  temps_.clear();
+  old_cache_.clear();
+  empty_diffs_.clear();
+  db_->AdvanceTime();
+}
+
+}  // namespace txmod::txn

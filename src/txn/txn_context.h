@@ -1,0 +1,85 @@
+#ifndef TXMOD_TXN_TXN_CONTEXT_H_
+#define TXMOD_TXN_TXN_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/algebra/eval_context.h"
+#include "src/common/result.h"
+#include "src/relational/database.h"
+
+namespace txmod::txn {
+
+/// Net changes of one transaction to one relation, maintained with the
+/// invariant  R_pre = (R \ plus) ∪ minus  and  plus ∩ minus = ∅.
+///
+/// These sets serve three purposes at once:
+///  1. they are the *undo log* that implements atomicity (Section 2.2:
+///     T(D) = [D^{t,n}] or T(D) = D);
+///  2. they are the paper's *auxiliary relations* dplus(R) / dminus(R)
+///     available to integrity programs (Section 4.1);
+///  3. they drive the differential optimization of rule conditions
+///     (Section 5.2.1, references [18, 5, 7]).
+struct Differential {
+  Relation plus;   // tuples in R now but not in the pre-transaction state
+  Relation minus;  // tuples in the pre-transaction state but not in R now
+};
+
+/// Transaction-local execution state over a Database: the intermediate
+/// states D^{t,i} of Definition 2.6. Statements mutate the database in
+/// place while the context records differentials for rollback, exposes the
+/// temporaries created by assignments, and materializes the pre-transaction
+/// views old(R) on demand.
+class TxnContext : public algebra::EvalContext {
+ public:
+  explicit TxnContext(Database* db) : db_(db) {}
+
+  /// EvalContext: resolves base relations against the current intermediate
+  /// state, kTemp against the transaction-local environment, kOld /
+  /// kDeltaPlus / kDeltaMinus against the differential bookkeeping.
+  Result<const Relation*> Resolve(algebra::RelRefKind kind,
+                                  const std::string& name) const override;
+
+  Database* database() { return db_; }
+  const Database& database() const { return *db_; }
+
+  /// Stores (replaces) a temporary relation.
+  void SetTemp(const std::string& name, Relation value);
+
+  /// Inserts one schema-checked, coerced tuple into base relation `rel`,
+  /// maintaining differentials. Returns true when the tuple was new.
+  Result<bool> InsertTuple(const std::string& rel, Tuple tuple);
+
+  /// Deletes one tuple; returns true when the tuple was present.
+  Result<bool> DeleteTuple(const std::string& rel, const Tuple& tuple);
+
+  /// The differential of `rel` (empty differentials for untouched ones).
+  const Differential& diff(const std::string& rel) const;
+
+  /// Names of relations touched by the transaction so far.
+  std::vector<std::string> TouchedRelations() const;
+
+  /// Undoes every recorded change; the database returns to its
+  /// pre-transaction state. Temporaries are dropped.
+  void Rollback();
+
+  /// Drops transaction-local state and advances the database's logical
+  /// time: D^{t+1} is installed (Definition 2.6's end bracket).
+  void Commit();
+
+ private:
+  Differential& MutableDiff(const std::string& rel);
+
+  Database* db_;
+  std::map<std::string, Relation> temps_;
+  std::map<std::string, Differential> diffs_;
+  // old(R) views are immutable once the transaction starts, so the cache
+  // never needs invalidation. Mutable: filled lazily from const Resolve.
+  mutable std::map<std::string, Relation> old_cache_;
+  mutable std::map<std::string, Relation> empty_diffs_;
+};
+
+}  // namespace txmod::txn
+
+#endif  // TXMOD_TXN_TXN_CONTEXT_H_

@@ -1,0 +1,204 @@
+#include "gtest/gtest.h"
+#include "src/algebra/parser.h"
+#include "src/algebra/schema_infer.h"
+#include "tests/test_util.h"
+
+namespace txmod::algebra {
+namespace {
+
+using txmod::testing::MakeBeerDatabase;
+
+class AlgebraParserTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeBeerDatabase();
+
+  Result<RelExprPtr> Parse(const std::string& text) {
+    AlgebraParser parser(&db_.schema());
+    return parser.ParseExpression(text);
+  }
+};
+
+TEST_F(AlgebraParserTest, ExpressionPrintingRoundTrips) {
+  const std::string texts[] = {
+      "beer",
+      "old(beer)",
+      "dplus(beer)",
+      "dminus(brewery)",
+      "select[alcohol >= 4 and type != \"water\"](beer)",
+      "project[name, alcohol * 2 as dbl, null](beer)",
+      "join[l.brewery = r.name](beer, brewery)",
+      "semijoin[l.brewery = r.name](beer, brewery)",
+      "antijoin[l.name = r.brewery](brewery, beer)",
+      "project[brewery](beer) - project[name](brewery)",
+      "project[name](brewery) union project[brewery](beer)",
+      "project[name](brewery) intersect project[brewery](beer)",
+      "product(beer, brewery)",
+      "cnt(beer)",
+      "sum[alcohol](beer)",
+      "avg[alcohol](select[type = \"lager\"](beer))",
+      "min[name](brewery)",
+      "max[alcohol](beer)",
+      "{(1, \"a\"), (2, \"b\")}",
+      "{(null, -3, -2.5)}",
+  };
+  for (const std::string& text : texts) {
+    TXMOD_ASSERT_OK_AND_ASSIGN(RelExprPtr e1, Parse(text));
+    // print -> parse -> print must be a fixpoint.
+    TXMOD_ASSERT_OK_AND_ASSIGN(RelExprPtr e2, Parse(e1->ToString()));
+    EXPECT_TRUE(e1->Equals(*e2)) << text << " vs " << e1->ToString();
+    EXPECT_EQ(e1->ToString(), e2->ToString());
+  }
+}
+
+TEST_F(AlgebraParserTest, PositionalReferences) {
+  // #i in unary contexts, l.i / r.i in join predicates.
+  TXMOD_ASSERT_OK_AND_ASSIGN(RelExprPtr e1, Parse("select[#3 >= 4](beer)"));
+  EXPECT_EQ(e1->predicate().children()[0].attr_index(), 3);
+  TXMOD_ASSERT_OK_AND_ASSIGN(RelExprPtr e2,
+                             Parse("join[l.2 = r.0](beer, brewery)"));
+  EXPECT_EQ(e2->predicate().children()[0].attr_index(), 2);
+  EXPECT_EQ(e2->predicate().children()[1].side(), 1);
+}
+
+TEST_F(AlgebraParserTest, UnambiguousBareNamesResolveAcrossSides) {
+  // "brewery" only exists on the left (beer), "city" only on the right.
+  TXMOD_ASSERT_OK_AND_ASSIGN(RelExprPtr e,
+                             Parse("join[brewery = city](beer, brewery)"));
+  EXPECT_EQ(e->predicate().children()[0].side(), 0);
+  EXPECT_EQ(e->predicate().children()[1].side(), 1);
+}
+
+TEST_F(AlgebraParserTest, ErrorsArePrecise) {
+  struct Case {
+    const char* text;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {"nonexistent", StatusCode::kNotFound},
+      {"select[alcohol >= ](beer)", StatusCode::kInvalidArgument},
+      {"select[salinity > 1](beer)", StatusCode::kNotFound},
+      {"join[name = name](beer, brewery)", StatusCode::kInvalidArgument},
+      {"project[#9](beer)", StatusCode::kInvalidArgument},
+      {"beer union brewery", StatusCode::kInvalidArgument},
+      {"{(1, 2), (1, 2, 3)}", StatusCode::kInvalidArgument},
+      {"old(nowhere)", StatusCode::kNotFound},
+      {"sum[name](beer) extra", StatusCode::kInvalidArgument},
+  };
+  for (const Case& c : cases) {
+    Result<RelExprPtr> r = Parse(c.text);
+    ASSERT_FALSE(r.ok()) << c.text;
+    EXPECT_EQ(r.status().code(), c.code) << c.text << ": "
+                                         << r.status().ToString();
+  }
+}
+
+TEST_F(AlgebraParserTest, ProgramsThreadTempSchemas) {
+  AlgebraParser parser(&db_.schema());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Program p,
+      parser.ParseProgram("t := project[brewery](beer); "
+                          "u := t - project[name](brewery); "
+                          "insert(brewery, project[brewery, null, null]("
+                          "u));"));
+  ASSERT_EQ(p.statements.size(), 3u);
+  EXPECT_EQ(p.statements[0].kind, StatementKind::kAssign);
+  EXPECT_EQ(p.statements[2].kind, StatementKind::kInsert);
+}
+
+TEST_F(AlgebraParserTest, TempNameVisibleOnlyAfterAssignment) {
+  AlgebraParser parser(&db_.schema());
+  EXPECT_FALSE(
+      parser.ParseProgram("insert(brewery, project[c0, null, null](t)); "
+                          "t := project[brewery](beer);")
+          .ok());
+}
+
+TEST_F(AlgebraParserTest, AssignToBaseRelationRejected) {
+  AlgebraParser parser(&db_.schema());
+  Result<Program> r = parser.ParseProgram("beer := brewery;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("base relation"), std::string::npos);
+}
+
+TEST_F(AlgebraParserTest, InsertArityCheckedAtParseTime) {
+  AlgebraParser parser(&db_.schema());
+  EXPECT_FALSE(
+      parser.ParseProgram("insert(brewery, project[name](beer));").ok());
+}
+
+TEST_F(AlgebraParserTest, UpdateStatementParsing) {
+  AlgebraParser parser(&db_.schema());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Program p,
+      parser.ParseProgram("update(beer, name = \"pils\", "
+                          "alcohol := alcohol + 1, type := \"bock\");"));
+  ASSERT_EQ(p.statements.size(), 1u);
+  const Statement& stmt = p.statements[0];
+  ASSERT_EQ(stmt.sets.size(), 2u);
+  EXPECT_EQ(stmt.sets[0].attr, 3);
+  EXPECT_EQ(stmt.sets[1].attr, 1);
+  // No assignments is an error.
+  EXPECT_FALSE(parser.ParseProgram("update(beer, name = \"x\");").ok());
+}
+
+TEST_F(AlgebraParserTest, AlarmAndAbortParsing) {
+  AlgebraParser parser(&db_.schema());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Program p,
+      parser.ParseProgram("alarm(select[alcohol < 0](beer), \"bad\"); "
+                          "abort(\"stop\"); abort;"));
+  ASSERT_EQ(p.statements.size(), 3u);
+  EXPECT_EQ(p.statements[0].message, "bad");
+  EXPECT_EQ(p.statements[1].message, "stop");
+  EXPECT_TRUE(p.statements[2].message.empty());
+}
+
+TEST_F(AlgebraParserTest, TransactionBracketsOptional) {
+  AlgebraParser parser(&db_.schema());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Transaction t1,
+      parser.ParseTransaction("begin abort; end"));
+  TXMOD_ASSERT_OK_AND_ASSIGN(Transaction t2, parser.ParseTransaction("abort;"));
+  EXPECT_EQ(t1.program.statements.size(), t2.program.statements.size());
+  EXPECT_FALSE(parser.ParseTransaction("begin abort;").ok());  // missing end
+  EXPECT_FALSE(parser.ParseTransaction("begin abort; end extra").ok());
+}
+
+TEST_F(AlgebraParserTest, StatementPrintingRoundTrips) {
+  AlgebraParser parser(&db_.schema());
+  const std::string programs[] = {
+      "t := project[brewery](beer);\n"
+      "insert(brewery, project[brewery, null, null](t));\n",
+      "delete(beer, select[alcohol < 0](beer));\n",
+      "update(beer, name = \"pils\", alcohol := alcohol + 1);\n",
+      "alarm(select[alcohol < 0](beer), \"neg\");\n",
+  };
+  for (const std::string& text : programs) {
+    TXMOD_ASSERT_OK_AND_ASSIGN(Program p1, parser.ParseProgram(text));
+    TXMOD_ASSERT_OK_AND_ASSIGN(Program p2,
+                               parser.ParseProgram(p1.ToString()));
+    EXPECT_EQ(p1.ToString(), p2.ToString()) << text;
+  }
+}
+
+TEST_F(AlgebraParserTest, SchemaInferenceNamesProjections) {
+  AlgebraParser parser(&db_.schema());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      RelExprPtr e,
+      parser.ParseExpression("project[name, alcohol * 2 as dbl](beer)"));
+  SchemaResolver resolver =
+      [this](RelRefKind, const std::string& name) -> Result<RelationSchema> {
+    TXMOD_ASSIGN_OR_RETURN(const RelationSchema* s, db_.schema().Find(name));
+    return *s;
+  };
+  TXMOD_ASSERT_OK_AND_ASSIGN(RelationSchema schema,
+                             InferSchema(*e, resolver));
+  ASSERT_EQ(schema.arity(), 2u);
+  EXPECT_EQ(schema.attribute(0).name, "name");
+  EXPECT_EQ(schema.attribute(0).type, AttrType::kString);
+  EXPECT_EQ(schema.attribute(1).name, "dbl");
+  EXPECT_EQ(schema.attribute(1).type, AttrType::kDouble);
+}
+
+}  // namespace
+}  // namespace txmod::algebra

@@ -1,0 +1,316 @@
+#include <map>
+
+#include "gtest/gtest.h"
+#include "src/algebra/evaluator.h"
+#include "src/algebra/parser.h"
+#include "src/algebra/statement.h"
+#include "tests/test_util.h"
+
+namespace txmod::algebra {
+namespace {
+
+using txmod::testing::MakeBeerDatabase;
+
+/// Minimal evaluation context over a Database (no transaction state):
+/// resolves base relations only.
+class DbContext : public EvalContext {
+ public:
+  explicit DbContext(const Database* db) : db_(db) {}
+  Result<const Relation*> Resolve(RelRefKind kind,
+                                  const std::string& name) const override {
+    if (kind != RelRefKind::kBase) {
+      return Status::FailedPrecondition(
+          "auxiliary relations need a transaction context");
+    }
+    return db_->Find(name);
+  }
+
+ private:
+  const Database* db_;
+};
+
+class AlgebraEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeBeerDatabase();
+    testing::AddBeer(&db_, "pils", "lager", "heineken", 5.0);
+    testing::AddBeer(&db_, "stout", "stout", "guinness", 4.2);
+    testing::AddBeer(&db_, "free", "lager", "heineken", 0.0);
+    testing::AddBrewery(&db_, "heineken", "amsterdam", "nl");
+    testing::AddBrewery(&db_, "guinness", "dublin", "ie");
+    testing::AddBrewery(&db_, "plzen", "pilsen", "cz");
+  }
+
+  Result<Relation> Eval(const RelExprPtr& e) {
+    DbContext ctx(&db_);
+    return EvaluateRelExpr(*e, ctx);
+  }
+
+  Result<Relation> EvalText(const std::string& text) {
+    AlgebraParser parser(&db_.schema());
+    TXMOD_ASSIGN_OR_RETURN(RelExprPtr e, parser.ParseExpression(text));
+    return Eval(e);
+  }
+
+  Database db_;
+};
+
+TEST_F(AlgebraEvalTest, BaseRef) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation r, Eval(RelExpr::Base("beer")));
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST_F(AlgebraEvalTest, SelectByPredicate) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation r,
+                             EvalText("select[alcohol > 4.5](beer)"));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.SortedTuples()[0].at(0), Value::String("pils"));
+}
+
+TEST_F(AlgebraEvalTest, SelectWithConjunction) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation r,
+      EvalText("select[type = \"lager\" and alcohol > 0](beer)"));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST_F(AlgebraEvalTest, ProjectDeduplicates) {
+  // Set semantics: projecting 3 beers onto brewery yields 2 values.
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation r, EvalText("project[brewery](beer)"));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_F(AlgebraEvalTest, ProjectComputedAndNull) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation r, EvalText("project[name, alcohol * 2, null](beer)"));
+  EXPECT_EQ(r.size(), 3u);
+  for (const Tuple& t : r) {
+    EXPECT_TRUE(t.at(2).is_null());
+  }
+}
+
+TEST_F(AlgebraEvalTest, JoinOnEquality) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation r,
+      EvalText("join[brewery = l.name](brewery, beer)"));
+  // Each beer matches its brewery: 3 pairs; arity 3 + 4.
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.arity(), 7u);
+}
+
+TEST_F(AlgebraEvalTest, JoinAmbiguousAttributeFails) {
+  // "name" exists on both sides; an unqualified reference must error.
+  AlgebraParser parser(&db_.schema());
+  EXPECT_FALSE(parser.ParseExpression("join[name = name](beer, brewery)")
+                   .ok());
+}
+
+TEST_F(AlgebraEvalTest, SemiAndAntiJoin) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation with, EvalText("semijoin[l.brewery = r.name](beer, brewery)"));
+  EXPECT_EQ(with.size(), 3u);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation without,
+      EvalText("antijoin[l.name = r.brewery](brewery, beer)"));
+  // plzen brews nothing.
+  EXPECT_EQ(without.size(), 1u);
+  EXPECT_EQ(without.SortedTuples()[0].at(0), Value::String("plzen"));
+}
+
+TEST_F(AlgebraEvalTest, NonEquiJoinFallsBackToNestedLoop) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation r, EvalText("join[l.alcohol > r.alcohol](beer, beer)"));
+  // Pairs with strictly greater alcohol: (pils,stout),(pils,free),
+  // (stout,free).
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST_F(AlgebraEvalTest, SetOperations) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation diff,
+      EvalText("project[brewery](beer) - project[name](brewery)"));
+  EXPECT_EQ(diff.size(), 0u);  // all breweries known
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation diff2,
+      EvalText("project[name](brewery) - project[brewery](beer)"));
+  EXPECT_EQ(diff2.size(), 1u);  // plzen
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation isect,
+      EvalText("project[name](brewery) intersect project[brewery](beer)"));
+  EXPECT_EQ(isect.size(), 2u);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation uni,
+      EvalText("project[name](brewery) union project[brewery](beer)"));
+  EXPECT_EQ(uni.size(), 3u);
+}
+
+TEST_F(AlgebraEvalTest, SetOperationArityMismatchFails) {
+  AlgebraParser parser(&db_.schema());
+  EXPECT_FALSE(parser.ParseExpression("beer union brewery").ok());
+}
+
+TEST_F(AlgebraEvalTest, Aggregates) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation cnt, EvalText("cnt(beer)"));
+  ASSERT_EQ(cnt.size(), 1u);
+  EXPECT_EQ(cnt.SortedTuples()[0].at(0), Value::Int(3));
+
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation sum, EvalText("sum[alcohol](beer)"));
+  EXPECT_DOUBLE_EQ(sum.SortedTuples()[0].at(0).as_double(), 9.2);
+
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation mx, EvalText("max[alcohol](beer)"));
+  EXPECT_DOUBLE_EQ(mx.SortedTuples()[0].at(0).as_double(), 5.0);
+
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation avg, EvalText("avg[alcohol](beer)"));
+  EXPECT_NEAR(avg.SortedTuples()[0].at(0).as_double(), 9.2 / 3, 1e-9);
+}
+
+TEST_F(AlgebraEvalTest, AggregatesOverEmptyInput) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation cnt, EvalText("cnt(select[alcohol > 99](beer))"));
+  EXPECT_EQ(cnt.SortedTuples()[0].at(0), Value::Int(0));
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation sum, EvalText("sum[alcohol](select[alcohol > 99](beer))"));
+  EXPECT_EQ(sum.SortedTuples()[0].at(0), Value::Int(0));
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation mn, EvalText("min[alcohol](select[alcohol > 99](beer))"));
+  EXPECT_TRUE(mn.SortedTuples()[0].at(0).is_null());
+}
+
+TEST_F(AlgebraEvalTest, GroupedAggregate) {
+  // Extension: count beers per brewery.
+  auto expr = RelExpr::GroupAggregate({2}, AggFunc::kCnt, -1,
+                                      RelExpr::Base("beer"));
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation r, Eval(expr));
+  EXPECT_EQ(r.size(), 2u);
+  for (const Tuple& t : r) {
+    if (t.at(0) == Value::String("heineken")) {
+      EXPECT_EQ(t.at(1), Value::Int(2));
+    } else {
+      EXPECT_EQ(t.at(1), Value::Int(1));
+    }
+  }
+}
+
+TEST_F(AlgebraEvalTest, LiteralRelation) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation r,
+                             EvalText("{(1, \"a\"), (2, \"b\")}"));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.arity(), 2u);
+}
+
+TEST_F(AlgebraEvalTest, ProductIsCross) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation r, EvalText("product(beer, brewery)"));
+  EXPECT_EQ(r.size(), 9u);
+}
+
+TEST_F(AlgebraEvalTest, HashJoinMatchesIntAgainstDouble) {
+  // The hash key normalization must agree with predicate coercion.
+  Database db;
+  TXMOD_ASSERT_OK(db.CreateRelation(
+      RelationSchema("ints", {Attribute{"v", AttrType::kInt}})));
+  TXMOD_ASSERT_OK(db.CreateRelation(
+      RelationSchema("dbls", {Attribute{"v", AttrType::kDouble}})));
+  (*db.FindMutable("ints"))->Insert(Tuple({Value::Int(1)}));
+  (*db.FindMutable("dbls"))->Insert(Tuple({Value::Double(1.0)}));
+  AlgebraParser parser(&db.schema());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      RelExprPtr e, parser.ParseExpression("join[l.v = r.v](ints, dbls)"));
+  DbContext ctx(&db);
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation r, EvaluateRelExpr(*e, ctx));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST_F(AlgebraEvalTest, StatsAreCounted) {
+  DbContext ctx(&db_);
+  EvalStats stats;
+  AlgebraParser parser(&db_.schema());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      RelExprPtr e, parser.ParseExpression("select[alcohol > 0](beer)"));
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation r, EvaluateRelExpr(*e, ctx, &stats));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(stats.tuples_scanned, 3u);
+  EXPECT_EQ(stats.tuples_emitted, 2u);
+  EXPECT_GE(stats.operators, 2u);
+}
+
+TEST(ScalarExprTest, NullSemantics) {
+  // Comparisons involving null are false (except = on two nulls).
+  Tuple t({Value::Null(), Value::Int(5)});
+  auto lt = ScalarExpr::Binary(ScalarOp::kLt, ScalarExpr::Attr(0, 0),
+                               ScalarExpr::Attr(0, 1));
+  TXMOD_ASSERT_OK_AND_ASSIGN(bool lt_v, lt.EvalPredicate(&t, nullptr));
+  EXPECT_FALSE(lt_v);
+  auto ge = ScalarExpr::Binary(ScalarOp::kGe, ScalarExpr::Attr(0, 0),
+                               ScalarExpr::Attr(0, 1));
+  TXMOD_ASSERT_OK_AND_ASSIGN(bool ge_v, ge.EvalPredicate(&t, nullptr));
+  EXPECT_FALSE(ge_v);
+  // not(a < b) is TRUE here — distinct from a >= b. The translator relies
+  // on this (see ToNnf documentation).
+  auto not_lt = ScalarExpr::Not(lt);
+  TXMOD_ASSERT_OK_AND_ASSIGN(bool not_lt_v, not_lt.EvalPredicate(&t, nullptr));
+  EXPECT_TRUE(not_lt_v);
+  // Equality on two nulls is true.
+  auto eq = ScalarExpr::Binary(ScalarOp::kEq, ScalarExpr::Attr(0, 0),
+                               ScalarExpr::Const(Value::Null()));
+  TXMOD_ASSERT_OK_AND_ASSIGN(bool eq_v, eq.EvalPredicate(&t, nullptr));
+  EXPECT_TRUE(eq_v);
+}
+
+TEST(ScalarExprTest, ArithmeticNullPropagationAndDivZero) {
+  Tuple t({Value::Null(), Value::Int(5)});
+  auto add = ScalarExpr::Binary(ScalarOp::kAdd, ScalarExpr::Attr(0, 0),
+                                ScalarExpr::Attr(0, 1));
+  TXMOD_ASSERT_OK_AND_ASSIGN(Value v, add.EvalValue(&t, nullptr));
+  EXPECT_TRUE(v.is_null());
+  auto div = ScalarExpr::Binary(ScalarOp::kDiv, ScalarExpr::Attr(0, 1),
+                                ScalarExpr::Const(Value::Int(0)));
+  EXPECT_FALSE(div.EvalValue(&t, nullptr).ok());
+}
+
+TEST(ScalarExprTest, IntArithmeticStaysIntegral) {
+  Tuple t({Value::Int(7), Value::Int(2)});
+  auto mul = ScalarExpr::Binary(ScalarOp::kMul, ScalarExpr::Attr(0, 0),
+                                ScalarExpr::Attr(0, 1));
+  TXMOD_ASSERT_OK_AND_ASSIGN(Value v, mul.EvalValue(&t, nullptr));
+  EXPECT_EQ(v, Value::Int(14));
+}
+
+TEST(ScalarExprTest, PrinterPrecedence) {
+  auto e = ScalarExpr::Binary(
+      ScalarOp::kAnd,
+      ScalarExpr::Binary(ScalarOp::kGe, ScalarExpr::Attr(0, 0, "a"),
+                         ScalarExpr::Const(Value::Int(0))),
+      ScalarExpr::Not(ScalarExpr::Binary(ScalarOp::kEq,
+                                         ScalarExpr::Attr(0, 1, "b"),
+                                         ScalarExpr::Const(Value::Int(1)))));
+  EXPECT_EQ(e.ToString(), "a >= 0 and not b = 1");
+  auto sum = ScalarExpr::Binary(
+      ScalarOp::kMul,
+      ScalarExpr::Binary(ScalarOp::kAdd, ScalarExpr::Attr(0, 0, "a"),
+                         ScalarExpr::Const(Value::Int(1))),
+      ScalarExpr::Const(Value::Int(2)));
+  EXPECT_EQ(sum.ToString(), "(a + 1) * 2");
+}
+
+TEST(ProgramTest, ConcatKeepsOrderAndFlags) {
+  Program a;
+  a.statements.push_back(Statement::Abort("first"));
+  a.non_triggering = true;
+  Program b;
+  b.statements.push_back(Statement::Abort("second"));
+  b.non_triggering = false;
+  Program c = Program::Concat(a, b);
+  ASSERT_EQ(c.statements.size(), 2u);
+  EXPECT_EQ(c.statements[0].message, "first");
+  EXPECT_FALSE(c.non_triggering);  // only non-triggering if both are
+}
+
+TEST(ProgramTest, TransactionToString) {
+  Transaction txn;
+  txn.program.statements.push_back(
+      Statement::Insert("beer", RelExpr::Literal({Tuple({Value::Int(1)})}, 1)));
+  EXPECT_EQ(txn.ToString(), "begin\n  insert(beer, {(1)});\nend\n");
+}
+
+}  // namespace
+}  // namespace txmod::algebra

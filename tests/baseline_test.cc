@@ -1,0 +1,211 @@
+#include "gtest/gtest.h"
+#include "src/algebra/parser.h"
+#include "src/baseline/posthoc_checker.h"
+#include "src/baseline/query_modification.h"
+#include "tests/test_util.h"
+
+namespace txmod::baseline {
+namespace {
+
+using algebra::Transaction;
+using txmod::testing::AddBeer;
+using txmod::testing::AddBrewery;
+using txmod::testing::MakeBeerDatabase;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : db_(MakeBeerDatabase()), ics_(&db_) {
+    AddBrewery(&db_, "heineken", "amsterdam", "nl");
+    AddBeer(&db_, "pils", "lager", "heineken", 5.0);
+  }
+
+  void DefineStandardRules() {
+    TXMOD_ASSERT_OK(ics_.DefineConstraint(
+        "domain", "forall x (x in beer implies x.alcohol >= 0)"));
+    TXMOD_ASSERT_OK(ics_.DefineConstraint(
+        "refint",
+        "forall x (x in beer implies exists y (y in brewery and "
+        "x.brewery = y.name))"));
+  }
+
+  Transaction ParseTxn(const std::string& text) {
+    algebra::AlgebraParser parser(&db_.schema());
+    auto t = parser.ParseTransaction(text);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t.ok() ? *t : Transaction{};
+  }
+
+  Database db_;
+  core::IntegritySubsystem ics_;
+};
+
+// --- post-hoc checking -------------------------------------------------------
+
+TEST_F(BaselineTest, PostHocAcceptsValidTransaction) {
+  DefineStandardRules();
+  PostHocChecker checker(&ics_);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult r,
+      checker.Execute(ParseTxn(
+          "insert(beer, {(\"ale\", \"ale\", \"heineken\", 6.0)});")));
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ((*db_.Find("beer"))->size(), 2u);
+}
+
+TEST_F(BaselineTest, PostHocRejectsViolationAndRollsBack) {
+  DefineStandardRules();
+  PostHocChecker checker(&ics_);
+  Database before = db_.Clone();
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult r,
+      checker.Execute(ParseTxn(
+          "insert(beer, {(\"bad\", \"ale\", \"nowhere\", 6.0)});")));
+  EXPECT_FALSE(r.committed);
+  EXPECT_TRUE(db_.SameState(before));
+}
+
+TEST_F(BaselineTest, PostHocAgreesWithTransactionModification) {
+  DefineStandardRules();
+  const std::string txns[] = {
+      "insert(beer, {(\"a\", \"ale\", \"heineken\", 6.0)});",
+      "insert(beer, {(\"b\", \"ale\", \"nowhere\", 6.0)});",
+      "insert(beer, {(\"c\", \"ale\", \"heineken\", -1.0)});",
+      "delete(brewery, select[name = \"heineken\"](brewery));",
+      "delete(beer, beer); delete(brewery, brewery);",
+      "update(beer, name = \"pils\", alcohol := alcohol - 10);",
+      "update(beer, name = \"pils\", brewery := \"ghost\");",
+  };
+  for (const std::string& text : txns) {
+    // Run TM on a copy, post-hoc on another copy; decisions must agree.
+    Database tm_db = db_.Clone();
+    core::IntegritySubsystem tm_ics(&tm_db);
+    TXMOD_ASSERT_OK(tm_ics.DefineConstraint(
+        "domain", "forall x (x in beer implies x.alcohol >= 0)"));
+    TXMOD_ASSERT_OK(tm_ics.DefineConstraint(
+        "refint",
+        "forall x (x in beer implies exists y (y in brewery and "
+        "x.brewery = y.name))"));
+    Database ph_db = db_.Clone();
+    core::IntegritySubsystem ph_ics(&ph_db);
+    TXMOD_ASSERT_OK(ph_ics.DefineConstraint(
+        "domain", "forall x (x in beer implies x.alcohol >= 0)"));
+    TXMOD_ASSERT_OK(ph_ics.DefineConstraint(
+        "refint",
+        "forall x (x in beer implies exists y (y in brewery and "
+        "x.brewery = y.name))"));
+    PostHocChecker checker(&ph_ics);
+
+    algebra::AlgebraParser tm_parser(&tm_db.schema());
+    TXMOD_ASSERT_OK_AND_ASSIGN(Transaction txn,
+                               tm_parser.ParseTransaction(text));
+    TXMOD_ASSERT_OK_AND_ASSIGN(txn::TxnResult tm_r, tm_ics.Execute(txn));
+    TXMOD_ASSERT_OK_AND_ASSIGN(txn::TxnResult ph_r, checker.Execute(txn));
+    EXPECT_EQ(tm_r.committed, ph_r.committed) << text;
+    EXPECT_TRUE(tm_db.SameState(ph_db)) << text;
+  }
+}
+
+TEST_F(BaselineTest, PostHocRefusesCompensatingRules) {
+  TXMOD_ASSERT_OK(ics_.DefineRule(
+      "fix",
+      "WHEN INS(beer) "
+      "IF NOT forall x (x in beer implies exists y (y in brewery and "
+      "x.brewery = y.name)) "
+      "THEN insert(brewery, project[brewery, null, null]("
+      "project[brewery](beer) - project[name](brewery)))"));
+  PostHocChecker checker(&ics_);
+  Result<txn::TxnResult> r = checker.Execute(
+      ParseTxn("insert(beer, {(\"a\", \"ale\", \"new\", 6.0)});"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BaselineTest, PostHocWithoutTriggersChecksEverything) {
+  DefineStandardRules();
+  PostHocOptions options;
+  options.use_triggers = false;
+  PostHocChecker checker(&ics_, options);
+  // A brewery insert cannot violate either rule, but with use_triggers
+  // off both are still evaluated — same decision, more work.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult r,
+      checker.Execute(
+          ParseTxn("insert(brewery, {(\"new\", \"x\", \"y\")});")));
+  EXPECT_TRUE(r.committed);
+  EXPECT_GT(r.stats.tuples_scanned, 0u);
+}
+
+// --- query modification -------------------------------------------------------
+
+TEST_F(BaselineTest, QueryModificationFiltersViolatingTuples) {
+  TXMOD_ASSERT_OK(ics_.DefineConstraint(
+      "domain", "forall x (x in beer implies x.alcohol >= 0)"));
+  QueryModifier qm(&ics_);
+  EXPECT_TRUE(qm.UnsupportedRules().empty());
+  // The violating tuple is silently dropped — the transaction COMMITS.
+  // This is the semantic difference to transaction modification that the
+  // paper's introduction criticizes in query-modification systems.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult r,
+      qm.Execute(ParseTxn(
+          "insert(beer, {(\"bad\", \"ale\", \"x\", -3.0), "
+          "(\"good\", \"ale\", \"x\", 3.0)});")));
+  EXPECT_TRUE(r.committed);
+  const Relation* beer = *db_.Find("beer");
+  EXPECT_EQ(beer->size(), 2u);  // pils + good; bad filtered out
+  EXPECT_FALSE(beer->Contains(
+      Tuple({Value::String("bad"), Value::String("ale"), Value::String("x"),
+             Value::Double(-3.0)})));
+}
+
+TEST_F(BaselineTest, QueryModificationRewritesOnlyTargetRelation) {
+  TXMOD_ASSERT_OK(ics_.DefineConstraint(
+      "domain", "forall x (x in beer implies x.alcohol >= 0)"));
+  QueryModifier qm(&ics_);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Transaction modified,
+      qm.Modify(ParseTxn("insert(brewery, {(\"n\", \"c\", \"l\")});")));
+  // Brewery inserts are untouched (no rule on brewery).
+  EXPECT_EQ(modified.program.statements[0].expr->kind(),
+            algebra::RelExprKind::kLiteral);
+}
+
+TEST_F(BaselineTest, QueryModificationCannotExpressReferentialIntegrity) {
+  DefineStandardRules();
+  QueryModifier qm(&ics_);
+  ASSERT_EQ(qm.UnsupportedRules().size(), 1u);
+  EXPECT_EQ(qm.UnsupportedRules()[0], "refint");
+  // The orphan insert sails through unchecked — an enforcement gap, not a
+  // bug in this baseline: statement-level qualification cannot see other
+  // relations. (The paper's Section 1 critique.)
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult r,
+      qm.Execute(ParseTxn(
+          "insert(beer, {(\"orphan\", \"ale\", \"nowhere\", 3.0)});")));
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ((*db_.Find("beer"))->size(), 2u);
+}
+
+TEST_F(BaselineTest, QueryModificationHandlesCompoundQualifications) {
+  TXMOD_ASSERT_OK(ics_.DefineConstraint(
+      "lager_rules",
+      "forall x (x in beer and x.type = \"lager\" implies "
+      "x.alcohol <= 6 and x.alcohol >= 2)"));
+  QueryModifier qm(&ics_);
+  EXPECT_TRUE(qm.UnsupportedRules().empty());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult r,
+      qm.Execute(ParseTxn(
+          "insert(beer, {(\"strong_lager\", \"lager\", \"x\", 9.0), "
+          "(\"strong_ale\", \"ale\", \"x\", 9.0)});")));
+  EXPECT_TRUE(r.committed);
+  const Relation* beer = *db_.Find("beer");
+  // The lager is filtered (violates), the ale passes (antecedent false).
+  EXPECT_EQ(beer->size(), 2u);
+  EXPECT_TRUE(beer->Contains(
+      Tuple({Value::String("strong_ale"), Value::String("ale"),
+             Value::String("x"), Value::Double(9.0)})));
+}
+
+}  // namespace
+}  // namespace txmod::baseline

@@ -1,0 +1,267 @@
+#include "gtest/gtest.h"
+#include "src/calculus/analyzer.h"
+#include "src/calculus/parser.h"
+#include "src/calculus/transform.h"
+#include "tests/test_util.h"
+
+namespace txmod::calculus {
+namespace {
+
+using txmod::testing::MakeBeerDatabase;
+
+// --- parsing ---------------------------------------------------------------
+
+TEST(CLParserTest, DomainConstraintOfExample41) {
+  // I1: (∀x)(x ∈ beer ⇒ x.alcohol ≥ 0)
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula f,
+      ParseFormula("forall x (x in beer implies x.alcohol >= 0)"));
+  EXPECT_EQ(f.kind, Formula::Kind::kForall);
+  EXPECT_EQ(f.var, "x");
+  const Formula& imp = f.children[0];
+  ASSERT_EQ(imp.kind, Formula::Kind::kImplies);
+  EXPECT_EQ(imp.children[0].kind, Formula::Kind::kMembership);
+  EXPECT_EQ(imp.children[1].kind, Formula::Kind::kCompare);
+  EXPECT_EQ(imp.children[1].cmp, CompareOp::kGe);
+}
+
+TEST(CLParserTest, ReferentialConstraintOfExample41) {
+  // I2: (∀x)(x ∈ beer ⇒ (∃y)(y ∈ brewery ∧ x.brewery = y.name))
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula f,
+      ParseFormula("forall x (x in beer implies exists y (y in brewery and "
+                   "x.brewery = y.name))"));
+  const Formula& ex = f.children[0].children[1];
+  ASSERT_EQ(ex.kind, Formula::Kind::kExists);
+  EXPECT_EQ(ex.var, "y");
+  ASSERT_EQ(ex.children[0].kind, Formula::Kind::kAnd);
+}
+
+TEST(CLParserTest, RoundTripThroughToString) {
+  const std::string texts[] = {
+      "forall x (x in beer implies x.alcohol >= 0)",
+      "forall x (x in beer implies exists y (y in brewery and x.brewery = "
+      "y.name))",
+      "cnt(beer) <= 1000",
+      "forall x (x in beer implies not (x.type = \"water\"))",
+      "exists x (x in brewery and x.country = \"nl\")",
+      "sum(beer, alcohol) < 100 or cnt(beer) = 0",
+  };
+  for (const std::string& text : texts) {
+    TXMOD_ASSERT_OK_AND_ASSIGN(Formula f, ParseFormula(text));
+    TXMOD_ASSERT_OK_AND_ASSIGN(Formula f2, ParseFormula(f.ToString()));
+    EXPECT_TRUE(f.Equals(f2)) << text << " vs " << f.ToString();
+  }
+}
+
+TEST(CLParserTest, MultiVariableQuantifierDesugars) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula f, ParseFormula("forall x, y (x in beer and y in beer implies "
+                              "x.name != y.name or x = y)"));
+  EXPECT_EQ(f.kind, Formula::Kind::kForall);
+  EXPECT_EQ(f.var, "x");
+  EXPECT_EQ(f.children[0].kind, Formula::Kind::kForall);
+  EXPECT_EQ(f.children[0].var, "y");
+}
+
+TEST(CLParserTest, TupleEqualityVsAttributeComparison) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula f,
+      ParseFormula("forall x, y (x in beer and y in beer implies x = y)"));
+  const Formula* inner = &f;
+  while (inner->kind == Formula::Kind::kForall) inner = &inner->children[0];
+  EXPECT_EQ(inner->children[1].kind, Formula::Kind::kTupleEq);
+}
+
+TEST(CLParserTest, ImpliesIsRightAssociative) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula f, ParseFormula("cnt(beer) > 0 implies cnt(beer) > 1 implies "
+                              "cnt(beer) > 2"));
+  ASSERT_EQ(f.kind, Formula::Kind::kImplies);
+  EXPECT_EQ(f.children[1].kind, Formula::Kind::kImplies);
+}
+
+TEST(CLParserTest, ArrowSynonymForImplies) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula a, ParseFormula("forall x (x in beer => x.alcohol >= 0)"));
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula b, ParseFormula("forall x (x in beer implies x.alcohol >= 0)"));
+  EXPECT_TRUE(a.Equals(b));
+}
+
+TEST(CLParserTest, OldRelationReference) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula f,
+      ParseFormula("forall x (x in beer implies exists y (y in old(beer) "
+                   "and x.name = y.name))"));
+  const Formula& mem =
+      f.children[0].children[1].children[0].children[0];
+  EXPECT_EQ(mem.rel.kind, CalcRelKind::kOld);
+}
+
+TEST(CLParserTest, AggregateTerms) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(Formula f,
+                             ParseFormula("sum(beer, alcohol) <= 100.5"));
+  ASSERT_EQ(f.kind, Formula::Kind::kCompare);
+  EXPECT_EQ(f.terms[0].kind, Term::Kind::kAggregate);
+  EXPECT_EQ(f.terms[0].agg, CalcAgg::kSum);
+  EXPECT_EQ(f.terms[0].agg_attr_name, "alcohol");
+}
+
+TEST(CLParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseFormula("forall (x in beer)").ok());
+  EXPECT_FALSE(ParseFormula("forall x x in beer").ok());
+  EXPECT_FALSE(ParseFormula("x in").ok());
+  EXPECT_FALSE(ParseFormula("forall x (x in beer implies)").ok());
+  EXPECT_FALSE(ParseFormula("forall x (x in beer) trailing").ok());
+}
+
+// --- analysis ----------------------------------------------------------------
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeBeerDatabase();
+
+  Result<AnalyzedFormula> Analyze(const std::string& text) {
+    TXMOD_ASSIGN_OR_RETURN(Formula f, ParseFormula(text));
+    return AnalyzeFormula(f, db_.schema());
+  }
+};
+
+TEST_F(AnalyzerTest, ResolvesAttributeNamesToIndices) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      AnalyzedFormula a,
+      Analyze("forall x (x in beer implies x.alcohol >= 0)"));
+  const Formula& cmp = a.formula.children[0].children[1];
+  EXPECT_EQ(cmp.terms[0].attr_index, 3);
+  ASSERT_EQ(a.ranges.count("x"), 1u);
+  EXPECT_EQ(a.ranges.at("x").name, "beer");
+}
+
+TEST_F(AnalyzerTest, ResolvesPositionalSelections) {
+  // The paper's x.i form (Definition 4.2).
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      AnalyzedFormula a, Analyze("forall x (x in beer implies x.3 >= 0)"));
+  const Formula& cmp = a.formula.children[0].children[1];
+  EXPECT_EQ(cmp.terms[0].attr_index, 3);
+  EXPECT_EQ(cmp.terms[0].attr_name, "alcohol");  // back-filled for printing
+}
+
+TEST_F(AnalyzerTest, RejectsFreeVariables) {
+  Status st = Analyze("x.alcohol >= 0").status();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, RejectsShadowing) {
+  EXPECT_FALSE(
+      Analyze("forall x (x in beer implies exists x (x in brewery and "
+              "x.name = \"a\"))")
+          .ok());
+}
+
+TEST_F(AnalyzerTest, RejectsUnknownRelationAndAttribute) {
+  EXPECT_FALSE(Analyze("forall x (x in wine implies x.a >= 0)").ok());
+  EXPECT_FALSE(Analyze("forall x (x in beer implies x.salinity >= 0)").ok());
+}
+
+TEST_F(AnalyzerTest, RejectsConflictingRanges) {
+  EXPECT_FALSE(
+      Analyze("forall x (x in beer and x in brewery implies x.name = \"a\")")
+          .ok());
+}
+
+TEST_F(AnalyzerTest, RejectsVariablesWithoutRange) {
+  // y is quantified but never given a membership atom.
+  EXPECT_FALSE(
+      Analyze("forall x, y (x in beer implies x.alcohol >= 0)").ok());
+}
+
+TEST_F(AnalyzerTest, TypeChecksComparisons) {
+  EXPECT_FALSE(
+      Analyze("forall x (x in beer implies x.name >= 0)").ok());
+  EXPECT_FALSE(
+      Analyze("forall x (x in beer implies x.alcohol = \"high\")").ok());
+  TXMOD_EXPECT_OK(
+      Analyze("forall x (x in beer implies x.name != \"\")").status());
+}
+
+TEST_F(AnalyzerTest, TypeChecksArithmetic) {
+  EXPECT_FALSE(
+      Analyze("forall x (x in beer implies x.name + 1 = 2)").ok());
+  TXMOD_EXPECT_OK(
+      Analyze("forall x (x in beer implies x.alcohol * 2 <= 20)").status());
+}
+
+TEST_F(AnalyzerTest, TypeChecksAggregates) {
+  EXPECT_FALSE(Analyze("sum(beer, name) > 0").ok());
+  TXMOD_EXPECT_OK(Analyze("min(beer, name) != \"\"").status());
+  TXMOD_EXPECT_OK(Analyze("cnt(beer) >= 0").status());
+}
+
+TEST_F(AnalyzerTest, RejectsMltPerDesignDoc) {
+  Status st = Analyze("mlt(beer) > 0").status();
+  EXPECT_EQ(st.code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(AnalyzerTest, TupleEqualityRequiresEqualArity) {
+  EXPECT_FALSE(
+      Analyze("forall x, y (x in beer and y in brewery implies x = y)").ok());
+  TXMOD_EXPECT_OK(
+      Analyze("forall x, y (x in beer and y in beer implies x = y)")
+          .status());
+}
+
+// --- negation normal form ---------------------------------------------------
+
+TEST(NnfTest, NegatedUniversalBecomesExistential) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula f,
+      ParseFormula("forall x (x in beer implies x.alcohol >= 0)"));
+  Formula nnf = SimplifyNnf(ToNnf(f, /*negate=*/true));
+  // ¬∀x(m ⇒ c) = ∃x(m ∧ ¬c)
+  ASSERT_EQ(nnf.kind, Formula::Kind::kExists);
+  const Formula& body = nnf.children[0];
+  ASSERT_EQ(body.kind, Formula::Kind::kAnd);
+  EXPECT_EQ(body.children[0].kind, Formula::Kind::kMembership);
+  ASSERT_EQ(body.children[1].kind, Formula::Kind::kNot);
+  EXPECT_EQ(body.children[1].children[0].kind, Formula::Kind::kCompare);
+}
+
+TEST(NnfTest, ComparisonsKeepExplicitNot) {
+  // ¬(a >= 0) must NOT become a < 0: null semantics differ.
+  TXMOD_ASSERT_OK_AND_ASSIGN(Formula f, ParseFormula("cnt(beer) >= 0"));
+  Formula nnf = ToNnf(f, true);
+  ASSERT_EQ(nnf.kind, Formula::Kind::kNot);
+  EXPECT_EQ(nnf.children[0].cmp, CompareOp::kGe);
+}
+
+TEST(NnfTest, DeMorgan) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula f, ParseFormula("cnt(beer) > 0 and cnt(brewery) > 0"));
+  Formula nnf = ToNnf(f, true);
+  EXPECT_EQ(nnf.kind, Formula::Kind::kOr);
+  EXPECT_EQ(nnf.children[0].kind, Formula::Kind::kNot);
+}
+
+TEST(NnfTest, DoubleNegationVanishes) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(Formula f,
+                             ParseFormula("not not cnt(beer) > 0"));
+  Formula nnf = SimplifyNnf(ToNnf(f, false));
+  EXPECT_EQ(nnf.kind, Formula::Kind::kCompare);
+}
+
+TEST(NnfTest, PositiveNnfOfImplication) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Formula f,
+      ParseFormula("forall x (x in beer implies x.alcohol >= 0)"));
+  Formula nnf = ToNnf(f, false);
+  ASSERT_EQ(nnf.kind, Formula::Kind::kForall);
+  const Formula& body = nnf.children[0];
+  // m ⇒ c becomes ¬m ∨ c.
+  ASSERT_EQ(body.kind, Formula::Kind::kOr);
+  EXPECT_EQ(body.children[0].kind, Formula::Kind::kNot);
+  EXPECT_EQ(body.children[0].children[0].kind, Formula::Kind::kMembership);
+}
+
+}  // namespace
+}  // namespace txmod::calculus

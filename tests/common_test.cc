@@ -1,0 +1,160 @@
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/lexer.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/str_util.h"
+
+namespace txmod {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad arity");
+  EXPECT_EQ(st.ToString(), "invalid argument: bad arity");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kAborted}) {
+    EXPECT_STRNE(StatusCodeToString(code), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TXMOD_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = Quarter(6);  // 6/2 = 3 is odd
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("x=", 3, ", y=", 1.5), "x=3, y=1.5");
+}
+
+TEST(StrUtilTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("beer"));
+  EXPECT_TRUE(IsIdentifier("_x1"));
+  EXPECT_FALSE(IsIdentifier("1x"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+}
+
+TEST(LexerTest, TokenizesIdentifiersAndNumbers) {
+  auto tokens = Tokenize("beer x1 42 3.5 1e3");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 6u);  // 5 tokens + end
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "beer");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[2].int_value, 42);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[3].float_value, 3.5);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[4].float_value, 1000.0);
+}
+
+TEST(LexerTest, AttributeSelectionIsNotAFloat) {
+  // "x.1" must lex as IDENT '.' INT (attribute selection, Definition 4.2),
+  // while "1.5" is a float.
+  auto tokens = Tokenize("x.1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_TRUE((*tokens)[1].IsOp("."));
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kInt);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize("\"hello \\\"world\\\"\\n\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].string_value, "hello \"world\"\n");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = Tokenize(":= != <> <= >= =>");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> expected = {":=", "!=", "<>", "<=", ">=", "=>"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE((*tokens)[i].IsOp(expected[i].c_str())) << expected[i];
+  }
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Tokenize("a -- this is a comment\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("FORALL Forall forall");
+  ASSERT_TRUE(tokens.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*tokens)[i].IsKeyword("forall"));
+  }
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+TEST(LexerTest, DescribePosition) {
+  auto tokens = Tokenize("a\nbb ccc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(DescribePosition("a\nbb ccc", (*tokens)[2]), "line 2, column 4");
+}
+
+}  // namespace
+}  // namespace txmod

@@ -1,0 +1,87 @@
+#include "gtest/gtest.h"
+#include "src/calculus/parser.h"
+#include "src/core/formula_util.h"
+#include "tests/test_util.h"
+
+namespace txmod::core {
+namespace {
+
+using calculus::Formula;
+
+Formula Parse(const std::string& text) {
+  auto f = calculus::ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return f.ok() ? *f : Formula{};
+}
+
+TEST(FormulaUtilTest, FlattenAndPreservesOrder) {
+  Formula f = Parse("cnt(a) > 0 and cnt(b) > 0 and cnt(c) > 0");
+  std::vector<Formula> conjuncts;
+  FlattenAnd(f, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0].terms[0].rel.name, "a");
+  EXPECT_EQ(conjuncts[1].terms[0].rel.name, "b");
+  EXPECT_EQ(conjuncts[2].terms[0].rel.name, "c");
+}
+
+TEST(FormulaUtilTest, BuildAndInvertsFlatten) {
+  Formula f = Parse("cnt(a) > 0 and (cnt(b) > 0 and cnt(c) > 0)");
+  std::vector<Formula> conjuncts;
+  FlattenAnd(f, &conjuncts);
+  Formula rebuilt = BuildAnd(conjuncts);
+  std::vector<Formula> again;
+  FlattenAnd(rebuilt, &again);
+  ASSERT_EQ(again.size(), conjuncts.size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_TRUE(again[i].Equals(conjuncts[i]));
+  }
+}
+
+TEST(FormulaUtilTest, CollectFreeVars) {
+  // Inside the quantifier body, x is bound at the top but y.b is free in
+  // the inner subformula.
+  Formula f = Parse("forall x (x in r implies x.a >= 0)");
+  std::set<std::string> free;
+  CollectFreeVars(f, &free);
+  EXPECT_TRUE(free.empty());  // closed
+  CollectFreeVars(f.children[0], &free);
+  EXPECT_EQ(free, (std::set<std::string>{"x"}));
+}
+
+TEST(FormulaUtilTest, Predicates) {
+  EXPECT_TRUE(ContainsQuantifier(Parse("forall x (x in r implies 1 = 1)")));
+  EXPECT_FALSE(ContainsQuantifier(Parse("cnt(r) > 0")));
+  EXPECT_TRUE(ContainsMembership(Parse("forall x (x in r implies 1 = 1)")));
+  EXPECT_FALSE(ContainsMembership(Parse("cnt(r) > 0")));
+  EXPECT_TRUE(ContainsAggregate(Parse("cnt(r) > 0")));
+  EXPECT_TRUE(ContainsAggregate(Parse("sum(r, a) + 1 > 0")));  // nested
+  EXPECT_FALSE(
+      ContainsAggregate(Parse("forall x (x in r implies x.a > 0)")));
+  EXPECT_TRUE(ContainsAuxRef(
+      Parse("forall x (x in old(r) implies x.a > 0)")));
+  EXPECT_TRUE(ContainsAuxRef(Parse("cnt(dplus(r)) > 0")));
+  EXPECT_FALSE(ContainsAuxRef(Parse("cnt(r) > 0")));
+  EXPECT_TRUE(IsScalarFormula(Parse("1 = 1 and 2 > 1")));
+  EXPECT_FALSE(IsScalarFormula(Parse("exists x (x in r and 1 = 1)")));
+}
+
+TEST(FormulaUtilTest, RenameVarRenamesBindingsAndUses) {
+  Formula f = Parse(
+      "forall y (y in r implies exists z (z in s and y.a = z.b))");
+  Formula renamed = RenameVar(f, "y", "w");
+  EXPECT_EQ(renamed.ToString(),
+            "forall w (w in r implies exists z (z in s and w.a = z.b))");
+  // Renaming an absent variable is a no-op.
+  Formula same = RenameVar(f, "q", "w");
+  EXPECT_TRUE(same.Equals(f));
+}
+
+TEST(FormulaUtilTest, RenameVarTouchesTupleEquality) {
+  Formula f = Parse("forall x, y (x in r and y in r implies x = y)");
+  Formula renamed = RenameVar(f, "y", "z");
+  EXPECT_EQ(renamed.ToString(),
+            "forall x (forall z (x in r and z in r implies x = z))");
+}
+
+}  // namespace
+}  // namespace txmod::core

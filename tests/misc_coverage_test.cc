@@ -1,0 +1,214 @@
+// Edge cases across modules: triggering-graph reporting, degenerate
+// translations, evaluator error paths, and printer coverage.
+
+#include "gtest/gtest.h"
+#include "src/algebra/evaluator.h"
+#include "src/common/str_util.h"
+#include "src/calculus/parser.h"
+#include "src/core/subsystem.h"
+#include "src/core/translate.h"
+#include "tests/test_util.h"
+
+namespace txmod {
+namespace {
+
+namespace core = txmod::core;
+using testing::MakeBeerDatabase;
+
+// --- triggering graph reporting ----------------------------------------------
+
+TEST(TriggeringGraphTest, DescribeCyclesNamesTheRules) {
+  Database db = MakeBeerDatabase();
+  core::SubsystemOptions options;
+  options.reject_cyclic_rule_sets = false;  // let the cycle in, to inspect
+  core::IntegritySubsystem ics(&db, options);
+  TXMOD_ASSERT_OK(ics.DefineRule(
+      "ping",
+      "WHEN INS(beer) IF NOT cnt(brewery) >= 0 "
+      "THEN insert(brewery, {(\"x\", \"y\", \"z\")})"));
+  TXMOD_ASSERT_OK(ics.DefineRule(
+      "pong",
+      "WHEN INS(brewery) IF NOT cnt(beer) >= 0 "
+      "THEN insert(beer, {(\"x\", \"y\", \"z\", 1.0)})"));
+  EXPECT_TRUE(ics.graph().HasCycle());
+  const std::string report = ics.graph().DescribeCycles();
+  EXPECT_NE(report.find("ping"), std::string::npos);
+  EXPECT_NE(report.find("pong"), std::string::npos);
+  EXPECT_NE(report.find("NONTRIGGERING"), std::string::npos);
+}
+
+TEST(TriggeringGraphTest, TwoIndependentCyclesBothReported) {
+  Database db = MakeBeerDatabase();
+  TXMOD_ASSERT_OK(db.CreateRelation(
+      RelationSchema("r3", {Attribute{"a", AttrType::kInt}})));
+  TXMOD_ASSERT_OK(db.CreateRelation(
+      RelationSchema("r4", {Attribute{"a", AttrType::kInt}})));
+  core::SubsystemOptions options;
+  options.reject_cyclic_rule_sets = false;
+  core::IntegritySubsystem ics(&db, options);
+  TXMOD_ASSERT_OK(ics.DefineRule(
+      "self1",
+      "WHEN INS(r3) IF NOT cnt(r3) >= 0 THEN insert(r3, {(1)})"));
+  TXMOD_ASSERT_OK(ics.DefineRule(
+      "self2",
+      "WHEN INS(r4) IF NOT cnt(r4) >= 0 THEN insert(r4, {(1)})"));
+  const auto cycles = ics.graph().FindCycles();
+  EXPECT_EQ(cycles.size(), 2u);
+}
+
+TEST(TriggeringGraphTest, AcyclicGraphReportsNothing) {
+  Database db = MakeBeerDatabase();
+  core::IntegritySubsystem ics(&db);
+  TXMOD_ASSERT_OK(ics.DefineConstraint(
+      "c", "forall x (x in beer implies x.alcohol >= 0)"));
+  EXPECT_EQ(ics.graph().DescribeCycles(), "");
+  EXPECT_FALSE(ics.graph().HasCycle());
+}
+
+// --- degenerate translations -------------------------------------------------
+
+class DegenerateTranslateTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeBeerDatabase();
+
+  Result<Relation> EvalViolation(const std::string& constraint) {
+    TXMOD_ASSIGN_OR_RETURN(calculus::Formula f,
+                           calculus::ParseFormula(constraint));
+    TXMOD_ASSIGN_OR_RETURN(calculus::AnalyzedFormula analyzed,
+                           calculus::AnalyzeFormula(f, db_.schema()));
+    TXMOD_ASSIGN_OR_RETURN(algebra::RelExprPtr q,
+                           core::ViolationQuery(analyzed, db_.schema()));
+    txn::TxnContext ctx(&db_);
+    return algebra::EvaluateRelExpr(*q, ctx);
+  }
+};
+
+TEST_F(DegenerateTranslateTest, ConstantTrueConstraintNeverViolated) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation v, EvalViolation("1 = 1"));
+  EXPECT_TRUE(v.empty());
+}
+
+TEST_F(DegenerateTranslateTest, ConstantFalseConstraintAlwaysViolated) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation v, EvalViolation("1 = 0"));
+  EXPECT_FALSE(v.empty());
+}
+
+TEST_F(DegenerateTranslateTest, VacuousUniversalHolds) {
+  // beer is empty: any universal over it holds.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation v,
+      EvalViolation("forall x (x in beer implies x.alcohol >= 99)"));
+  EXPECT_TRUE(v.empty());
+}
+
+TEST_F(DegenerateTranslateTest, EmptyExistentialFails) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation v,
+      EvalViolation("exists x (x in beer and x.alcohol >= 0)"));
+  EXPECT_FALSE(v.empty());
+}
+
+TEST_F(DegenerateTranslateTest, DeltaConditionsOutsideTransaction) {
+  // A condition over dplus/dminus outside any transaction sees empty
+  // differentials: nothing is violated.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      Relation v,
+      EvalViolation("forall s (s in dplus(beer) implies 1 = 0)"));
+  EXPECT_TRUE(v.empty());
+}
+
+// --- evaluator error paths ----------------------------------------------------
+
+TEST(EvaluatorErrorTest, AggregateAttributeOutOfRange) {
+  Database db = MakeBeerDatabase();
+  txn::TxnContext ctx(&db);
+  auto expr = algebra::RelExpr::Aggregate(algebra::AggFunc::kSum, 17,
+                                          algebra::RelExpr::Base("beer"));
+  EXPECT_FALSE(algebra::EvaluateRelExpr(*expr, ctx).ok());
+}
+
+TEST(EvaluatorErrorTest, SumOverStringsFails) {
+  Database db = MakeBeerDatabase();
+  testing::AddBeer(&db, "pils", "lager", "x", 5.0);
+  txn::TxnContext ctx(&db);
+  auto expr = algebra::RelExpr::Aggregate(algebra::AggFunc::kSum, 0,
+                                          algebra::RelExpr::Base("beer"));
+  EXPECT_FALSE(algebra::EvaluateRelExpr(*expr, ctx).ok());
+}
+
+TEST(EvaluatorErrorTest, MinMaxOverStringsWork) {
+  Database db = MakeBeerDatabase();
+  testing::AddBeer(&db, "a", "lager", "x", 5.0);
+  testing::AddBeer(&db, "z", "lager", "x", 5.0);
+  txn::TxnContext ctx(&db);
+  auto mn = algebra::RelExpr::Aggregate(algebra::AggFunc::kMin, 0,
+                                        algebra::RelExpr::Base("beer"));
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation v, algebra::EvaluateRelExpr(*mn, ctx));
+  EXPECT_EQ(v.SortedTuples()[0].at(0), Value::String("a"));
+}
+
+TEST(EvaluatorErrorTest, GroupedAggregateRespectsNulls) {
+  Database db;
+  TXMOD_ASSERT_OK(db.CreateRelation(RelationSchema(
+      "t", {Attribute{"g", AttrType::kString},
+            Attribute{"v", AttrType::kInt}})));
+  Relation* rel = *db.FindMutable("t");
+  rel->Insert(Tuple({Value::String("a"), Value::Int(1)}));
+  rel->Insert(Tuple({Value::String("a"), Value::Null()}));
+  rel->Insert(Tuple({Value::String("b"), Value::Null()}));
+  txn::TxnContext ctx(&db);
+  // AVG skips nulls; a group with only nulls yields null.
+  auto avg = algebra::RelExpr::GroupAggregate({0}, algebra::AggFunc::kAvg, 1,
+                                              algebra::RelExpr::Base("t"));
+  TXMOD_ASSERT_OK_AND_ASSIGN(Relation v,
+                             algebra::EvaluateRelExpr(*avg, ctx));
+  ASSERT_EQ(v.size(), 2u);
+  for (const Tuple& t : v) {
+    if (t.at(0) == Value::String("a")) {
+      EXPECT_EQ(t.at(1), Value::Double(1.0));
+    } else {
+      EXPECT_TRUE(t.at(1).is_null());
+    }
+  }
+}
+
+// --- printers ------------------------------------------------------------------
+
+TEST(PrinterCoverageTest, CalculusFormulaPrintingAllConnectives) {
+  const std::string texts[] = {
+      "not (cnt(beer) > 0) and (cnt(beer) > 1 or cnt(beer) > 2)",
+      "cnt(beer) > 0 implies cnt(beer) > 1",
+      "forall x (x in beer implies not (x.alcohol < 0 or x.alcohol > 90))",
+      "min(beer, name) != \"\" and max(beer, alcohol) <= 90",
+      "avg(beer, alcohol) * 2 + 1 <= 20 - 1",
+  };
+  for (const std::string& text : texts) {
+    auto f1 = calculus::ParseFormula(text);
+    ASSERT_TRUE(f1.ok()) << text;
+    auto f2 = calculus::ParseFormula(f1->ToString());
+    ASSERT_TRUE(f2.ok()) << f1->ToString();
+    EXPECT_TRUE(f1->Equals(*f2)) << text << " vs " << f1->ToString();
+  }
+}
+
+TEST(PrinterCoverageTest, CollectRelRefsFindsEverything) {
+  auto f = calculus::ParseFormula(
+      "forall x (x in beer implies exists y (y in old(brewery) and "
+      "x.brewery = y.name)) and sum(beer, alcohol) < cnt(dplus(beer))");
+  ASSERT_TRUE(f.ok());
+  std::vector<calculus::CalcRelRef> refs;
+  f->CollectRelRefs(&refs);
+  ASSERT_EQ(refs.size(), 4u);
+}
+
+TEST(PrinterCoverageTest, RelationToStringElidesLongContents) {
+  Database db = MakeBeerDatabase();
+  for (int i = 0; i < 20; ++i) {
+    testing::AddBeer(&db, StrCat("b", i), "t", "x", 1.0);
+  }
+  const std::string s = (*db.Find("beer"))->ToString(4);
+  EXPECT_NE(s.find("... (16 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace txmod

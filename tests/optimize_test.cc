@@ -1,0 +1,169 @@
+#include "gtest/gtest.h"
+#include "src/calculus/parser.h"
+#include "src/core/optimize.h"
+#include "src/rules/trigger_gen.h"
+#include "tests/test_util.h"
+
+namespace txmod::core {
+namespace {
+
+using calculus::Formula;
+using rules::Trigger;
+using rules::TriggerSet;
+using rules::UpdateType;
+using txmod::testing::MakeBeerDatabase;
+
+class OptimizeTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeBeerDatabase();
+
+  calculus::AnalyzedFormula Analyze(const std::string& text) {
+    auto f = calculus::ParseFormula(text);
+    EXPECT_TRUE(f.ok()) << f.status().ToString();
+    auto a = calculus::AnalyzeFormula(*f, db_.schema());
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    return *a;
+  }
+
+  OptimizedCondition Optimize(const std::string& text) {
+    calculus::AnalyzedFormula a = Analyze(text);
+    const TriggerSet triggers = rules::GenTrigC(a.formula);
+    return OptC(a, triggers, OptimizationLevel::kDifferential);
+  }
+};
+
+TEST_F(OptimizeTest, LevelNoneKeepsConditionVerbatim) {
+  calculus::AnalyzedFormula a =
+      Analyze("forall x (x in beer implies x.alcohol >= 0)");
+  OptimizedCondition c =
+      OptC(a, rules::GenTrigC(a.formula), OptimizationLevel::kNone);
+  ASSERT_EQ(c.parts.size(), 1u);
+  EXPECT_FALSE(c.differential);
+  EXPECT_TRUE(c.parts[0].Equals(a.formula));
+}
+
+TEST_F(OptimizeTest, DomainConstraintChecksDeltaPlusOnly) {
+  OptimizedCondition c =
+      Optimize("forall x (x in beer implies x.alcohol >= 0)");
+  ASSERT_EQ(c.parts.size(), 1u);
+  EXPECT_TRUE(c.differential);
+  EXPECT_EQ(c.parts[0].ToString(),
+            "forall x (x in dplus(beer) implies x.alcohol >= 0)");
+}
+
+TEST_F(OptimizeTest, DomainWithExtraAntecedentConjuncts) {
+  OptimizedCondition c = Optimize(
+      "forall x (x in beer and x.type = \"lager\" implies x.alcohol <= 6)");
+  ASSERT_EQ(c.parts.size(), 1u);
+  EXPECT_TRUE(c.differential);
+  EXPECT_EQ(
+      c.parts[0].ToString(),
+      "forall x (x in dplus(beer) and x.type = \"lager\" implies "
+      "x.alcohol <= 6)");
+}
+
+TEST_F(OptimizeTest, ReferentialConstraintGetsTwoParts) {
+  OptimizedCondition c = Optimize(
+      "forall x (x in beer implies exists y (y in brewery and "
+      "x.brewery = y.name))");
+  ASSERT_EQ(c.parts.size(), 2u);
+  EXPECT_TRUE(c.differential);
+  // Part 1 (INS(beer)): only newly inserted referencing tuples.
+  EXPECT_EQ(c.parts[0].ToString(),
+            "forall x (x in dplus(beer) implies exists y (y in brewery and "
+            "x.brewery = y.name))");
+  // Part 2 (DEL(brewery)): only tuples whose witnesses may have vanished.
+  EXPECT_EQ(c.parts[1].ToString(),
+            "forall x (x in beer and exists y__deleted (y__deleted in "
+            "dminus(brewery) and x.brewery = y__deleted.name) implies "
+            "exists y (y in brewery and x.brewery = y.name))");
+}
+
+TEST_F(OptimizeTest, PairConstraintGetsTwoParts) {
+  OptimizedCondition c = Optimize(
+      "forall x, y (x in beer and y in brewery implies x.name != y.name)");
+  ASSERT_EQ(c.parts.size(), 2u);
+  EXPECT_TRUE(c.differential);
+  EXPECT_EQ(c.parts[0].ToString(),
+            "forall x (forall y (x in dplus(beer) and y in brewery implies "
+            "x.name != y.name))");
+  EXPECT_EQ(c.parts[1].ToString(),
+            "forall x (forall y (x in beer and y in dplus(brewery) implies "
+            "x.name != y.name))");
+}
+
+TEST_F(OptimizeTest, SelfPairConstraint) {
+  // Key constraint: same name means same tuple.
+  OptimizedCondition c = Optimize(
+      "forall x, y (x in beer and y in beer implies "
+      "x.name != y.name or x = y)");
+  ASSERT_EQ(c.parts.size(), 2u);
+  EXPECT_TRUE(c.differential);
+}
+
+TEST_F(OptimizeTest, AggregateConstraintFallsBackToFullCheck) {
+  OptimizedCondition c = Optimize("sum(beer, alcohol) <= 100");
+  ASSERT_EQ(c.parts.size(), 1u);
+  EXPECT_FALSE(c.differential);
+}
+
+TEST_F(OptimizeTest, AggregateInsideUniversalFallsBack) {
+  OptimizedCondition c = Optimize(
+      "forall x (x in beer implies x.alcohol <= avg(beer, alcohol) + 2)");
+  ASSERT_EQ(c.parts.size(), 1u);
+  EXPECT_FALSE(c.differential);
+}
+
+TEST_F(OptimizeTest, TransitionConstraintFallsBack) {
+  OptimizedCondition c = Optimize(
+      "forall x (x in old(brewery) implies exists y (y in brewery and "
+      "x = y))");
+  ASSERT_EQ(c.parts.size(), 1u);
+  EXPECT_FALSE(c.differential);
+}
+
+TEST_F(OptimizeTest, ExplicitTriggerSubsetsLimitTheParts) {
+  // Designer chose to enforce only on INS(beer) — the DEL(brewery) part
+  // must not be generated.
+  calculus::AnalyzedFormula a = Analyze(
+      "forall x (x in beer implies exists y (y in brewery and "
+      "x.brewery = y.name))");
+  OptimizedCondition c = OptC(a, TriggerSet{Trigger{UpdateType::kIns, "beer"}},
+                              OptimizationLevel::kDifferential);
+  ASSERT_EQ(c.parts.size(), 1u);
+  EXPECT_TRUE(c.differential);
+  EXPECT_EQ(c.parts[0].ToString(),
+            "forall x (x in dplus(beer) implies exists y (y in brewery and "
+            "x.brewery = y.name))");
+}
+
+TEST_F(OptimizeTest, UnrelatedExtraTriggerForcesFullPart) {
+  // A designer trigger the optimizer cannot attribute to the pattern
+  // (INS(brewery) cannot violate referential integrity, but DEL(beer) on a
+  // *different* relation pattern can never be classified) keeps a full
+  // check so no enforcement gap opens.
+  calculus::AnalyzedFormula a =
+      Analyze("forall x (x in beer implies x.alcohol >= 0)");
+  TriggerSet ts{Trigger{UpdateType::kIns, "beer"},
+                Trigger{UpdateType::kIns, "brewery"}};
+  OptimizedCondition c = OptC(a, ts, OptimizationLevel::kDifferential);
+  ASSERT_EQ(c.parts.size(), 2u);
+  EXPECT_TRUE(c.parts[1].Equals(a.formula));
+}
+
+TEST_F(OptimizeTest, OptRKeepsTriggersAndAction) {
+  // Algorithm 5.4: OptR(J) = (triggers(J), OptC(condition(J)), action(J)).
+  calculus::AnalyzedFormula a =
+      Analyze("forall x (x in beer implies x.alcohol >= 0)");
+  rules::IntegrityRule rule;
+  rule.name = "r";
+  rule.condition = a;
+  rule.triggers = rules::GenTrigC(a.formula);
+  rule.action_kind = rules::ActionKind::kAbort;
+  OptimizedRule opt = OptR(rule, OptimizationLevel::kDifferential);
+  EXPECT_EQ(opt.rule, &rule);
+  EXPECT_TRUE(opt.condition.differential);
+}
+
+}  // namespace
+}  // namespace txmod::core

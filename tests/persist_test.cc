@@ -1,0 +1,107 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "src/relational/persist.h"
+#include "tests/test_util.h"
+
+namespace txmod {
+namespace {
+
+using testing::AddBeer;
+using testing::AddBrewery;
+using testing::MakeBeerDatabase;
+
+Database RoundTrip(const Database& db) {
+  std::ostringstream out;
+  Status st = SaveDatabase(db, out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::istringstream in(out.str());
+  auto loaded = LoadDatabase(in);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return loaded.ok() ? *std::move(loaded) : Database{};
+}
+
+TEST(PersistTest, EmptyDatabaseRoundTrips) {
+  Database db = MakeBeerDatabase();
+  Database loaded = RoundTrip(db);
+  EXPECT_TRUE(loaded.SameState(db));
+  EXPECT_TRUE(loaded.Contains("beer"));
+  EXPECT_TRUE(loaded.Contains("brewery"));
+}
+
+TEST(PersistTest, DataAndSchemaRoundTrip) {
+  Database db = MakeBeerDatabase();
+  AddBrewery(&db, "heineken", "amsterdam", "nl");
+  AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  db.AdvanceTime();
+  db.AdvanceTime();
+  Database loaded = RoundTrip(db);
+  EXPECT_TRUE(loaded.SameState(db));
+  EXPECT_EQ(loaded.logical_time(), 2u);
+  TXMOD_ASSERT_OK_AND_ASSIGN(const RelationSchema* schema,
+                             loaded.schema().Find("beer"));
+  EXPECT_EQ(schema->attribute(3).name, "alcohol");
+  EXPECT_EQ(schema->attribute(3).type, AttrType::kDouble);
+}
+
+TEST(PersistTest, AwkwardValuesRoundTrip) {
+  Database db;
+  TXMOD_ASSERT_OK(db.CreateRelation(RelationSchema(
+      "t", {Attribute{"s", AttrType::kString},
+            Attribute{"d", AttrType::kDouble},
+            Attribute{"i", AttrType::kInt}})));
+  Relation* rel = *db.FindMutable("t");
+  rel->Insert(Tuple({Value::String("with \"quotes\" and \\slashes\\"),
+                     Value::Double(0.1), Value::Int(-42)}));
+  rel->Insert(Tuple({Value::String("newline\nand tab\t and spaces  x"),
+                     Value::Double(1e-300), Value::Int(1)}));
+  rel->Insert(Tuple({Value::Null(), Value::Null(), Value::Null()}));
+  // 0.1 has no finite decimal representation; the hex-float encoding must
+  // restore it bit-exactly (identity, not approximate, equality).
+  Database loaded = RoundTrip(db);
+  EXPECT_TRUE(loaded.SameState(db));
+}
+
+TEST(PersistTest, FileRoundTrip) {
+  Database db = MakeBeerDatabase();
+  AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  const std::string path = ::testing::TempDir() + "/txmod_checkpoint.txt";
+  TXMOD_ASSERT_OK(SaveDatabaseToFile(db, path));
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database loaded, LoadDatabaseFromFile(path));
+  EXPECT_TRUE(loaded.SameState(db));
+}
+
+TEST(PersistTest, RejectsGarbage) {
+  {
+    std::istringstream in("not a checkpoint");
+    EXPECT_FALSE(LoadDatabase(in).ok());
+  }
+  {
+    std::istringstream in("txmod-checkpoint 99\n");
+    EXPECT_FALSE(LoadDatabase(in).ok());
+  }
+  {
+    std::istringstream in(
+        "txmod-checkpoint 1\ntuple i:1\n");  // tuple before any relation
+    EXPECT_FALSE(LoadDatabase(in).ok());
+  }
+  {
+    std::istringstream in(
+        "txmod-checkpoint 1\nrelation r 1\nattr a int\ntuple x:9\nend\n");
+    EXPECT_FALSE(LoadDatabase(in).ok());  // bad value encoding
+  }
+  EXPECT_FALSE(LoadDatabaseFromFile("/nonexistent/path.txt").ok());
+}
+
+TEST(PersistTest, TupleTypeMismatchRejected) {
+  std::istringstream in(
+      "txmod-checkpoint 1\n"
+      "relation r 1\n"
+      "attr a int\n"
+      "tuple s:\"oops\"\n"
+      "end\n");
+  EXPECT_FALSE(LoadDatabase(in).ok());
+}
+
+}  // namespace
+}  // namespace txmod

@@ -1,0 +1,187 @@
+#include "gtest/gtest.h"
+#include "src/relational/database.h"
+#include "tests/test_util.h"
+
+namespace txmod {
+namespace {
+
+using testing::MakeBeerDatabase;
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::String("x").as_string(), "x");
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+}
+
+TEST(ValueTest, IdentityIsTypeExact) {
+  // Set-semantics identity distinguishes Int(1) from Double(1.0)...
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, PredicateComparisonCoercesNumerics) {
+  // ...while CL predicate comparison coerces numerics (Section 4.1's PV).
+  using O = Value::Ordering;
+  EXPECT_EQ(Value::Compare(Value::Int(1), Value::Double(1.0)), O::kEqual);
+  EXPECT_EQ(Value::Compare(Value::Int(1), Value::Double(1.5)), O::kLess);
+  EXPECT_EQ(Value::Compare(Value::String("a"), Value::String("b")), O::kLess);
+  EXPECT_EQ(Value::Compare(Value::String("a"), Value::Int(1)),
+            O::kIncomparable);
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Int(1)), O::kIncomparable);
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), O::kEqual);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::String("ab").Hash(), Value::String("ab").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Double(6).ToString(), "6.0");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_TRUE(Value::Less(Value::Null(), Value::Int(0)));
+  EXPECT_TRUE(Value::Less(Value::Int(3), Value::Int(5)));
+  EXPECT_TRUE(Value::Less(Value::Int(5), Value::Double(0.0)));  // by type tag
+  EXPECT_TRUE(Value::Less(Value::Double(1.0), Value::String("")));
+  EXPECT_FALSE(Value::Less(Value::Int(5), Value::Int(5)));
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a({Value::Int(1), Value::String("x")});
+  Tuple b({Value::Int(1), Value::String("x")});
+  Tuple c({Value::Int(2), Value::String("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TupleTest, ConcatAndToString) {
+  Tuple a({Value::Int(1)});
+  Tuple b({Value::String("x"), Value::Null()});
+  Tuple c = Tuple::Concat(a, b);
+  EXPECT_EQ(c.arity(), 3u);
+  EXPECT_EQ(c.ToString(), "(1, \"x\", null)");
+}
+
+TEST(TupleTest, LexicographicLess) {
+  Tuple a({Value::Int(1), Value::Int(2)});
+  Tuple b({Value::Int(1), Value::Int(3)});
+  Tuple shorter({Value::Int(1)});
+  EXPECT_TRUE(Tuple::Less(a, b));
+  EXPECT_FALSE(Tuple::Less(b, a));
+  EXPECT_TRUE(Tuple::Less(shorter, a));
+}
+
+TEST(SchemaTest, AttributeIndexLookup) {
+  RelationSchema s("r", {Attribute{"a", AttrType::kInt},
+                         Attribute{"b", AttrType::kString}});
+  TXMOD_ASSERT_OK_AND_ASSIGN(int idx, s.AttributeIndex("b"));
+  EXPECT_EQ(idx, 1);
+  EXPECT_FALSE(s.AttributeIndex("zzz").ok());
+}
+
+TEST(SchemaTest, CheckTupleTypes) {
+  RelationSchema s("r", {Attribute{"a", AttrType::kInt},
+                         Attribute{"b", AttrType::kDouble},
+                         Attribute{"c", AttrType::kString}});
+  TXMOD_EXPECT_OK(s.CheckTuple(
+      Tuple({Value::Int(1), Value::Double(2.0), Value::String("x")})));
+  // Int widens into double attributes.
+  TXMOD_EXPECT_OK(
+      s.CheckTuple(Tuple({Value::Int(1), Value::Int(2), Value::String("x")})));
+  // Null is allowed anywhere (Example 4.2 inserts nulls).
+  TXMOD_EXPECT_OK(
+      s.CheckTuple(Tuple({Value::Null(), Value::Null(), Value::Null()})));
+  // Arity mismatch.
+  EXPECT_FALSE(s.CheckTuple(Tuple({Value::Int(1)})).ok());
+  // Type mismatch.
+  EXPECT_FALSE(
+      s.CheckTuple(Tuple({Value::String("x"), Value::Int(1), Value::Null()}))
+          .ok());
+  // Double does not narrow into int attributes.
+  EXPECT_FALSE(
+      s.CheckTuple(
+           Tuple({Value::Double(1.5), Value::Int(1), Value::String("x")}))
+          .ok());
+}
+
+TEST(SchemaTest, CoerceTupleWidensInts) {
+  RelationSchema s("r", {Attribute{"a", AttrType::kDouble}});
+  Tuple t = s.CoerceTuple(Tuple({Value::Int(6)}));
+  EXPECT_EQ(t.at(0), Value::Double(6.0));
+}
+
+TEST(DatabaseSchemaTest, AddAndFind) {
+  DatabaseSchema schema;
+  TXMOD_ASSERT_OK(
+      schema.AddRelation(RelationSchema("r", {Attribute{"a", AttrType::kInt}})));
+  EXPECT_TRUE(schema.Contains("r"));
+  EXPECT_FALSE(schema.Contains("s"));
+  EXPECT_FALSE(
+      schema.AddRelation(RelationSchema("r", {Attribute{"a", AttrType::kInt}}))
+          .ok());
+  TXMOD_ASSERT_OK_AND_ASSIGN(const RelationSchema* found, schema.Find("r"));
+  EXPECT_EQ(found->name(), "r");
+}
+
+TEST(RelationTest, SetSemantics) {
+  auto schema = std::make_shared<const RelationSchema>(
+      "r", std::vector<Attribute>{Attribute{"a", AttrType::kInt}});
+  Relation r(schema);
+  EXPECT_TRUE(r.Insert(Tuple({Value::Int(1)})));
+  EXPECT_FALSE(r.Insert(Tuple({Value::Int(1)})));  // duplicate: no-op
+  EXPECT_TRUE(r.Insert(Tuple({Value::Int(2)})));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Tuple({Value::Int(1)})));
+  EXPECT_TRUE(r.Erase(Tuple({Value::Int(1)})));
+  EXPECT_FALSE(r.Erase(Tuple({Value::Int(1)})));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, SortedTuplesDeterministic) {
+  auto schema = std::make_shared<const RelationSchema>(
+      "r", std::vector<Attribute>{Attribute{"a", AttrType::kInt}});
+  Relation r(schema);
+  r.Insert(Tuple({Value::Int(3)}));
+  r.Insert(Tuple({Value::Int(1)}));
+  r.Insert(Tuple({Value::Int(2)}));
+  auto sorted = r.SortedTuples();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].at(0).as_int(), 1);
+  EXPECT_EQ(sorted[2].at(0).as_int(), 3);
+}
+
+TEST(DatabaseTest, CreateFindAndTime) {
+  Database db = MakeBeerDatabase();
+  EXPECT_TRUE(db.Contains("beer"));
+  EXPECT_TRUE(db.Contains("brewery"));
+  EXPECT_FALSE(db.Contains("wine"));
+  EXPECT_EQ(db.logical_time(), 0u);
+  db.AdvanceTime();
+  EXPECT_EQ(db.logical_time(), 1u);
+}
+
+TEST(DatabaseTest, CloneIsDeepAndSameState) {
+  Database db = MakeBeerDatabase();
+  testing::AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  Database copy = db.Clone();
+  EXPECT_TRUE(db.SameState(copy));
+  testing::AddBeer(&copy, "stout", "stout", "guinness", 4.2);
+  EXPECT_FALSE(db.SameState(copy));
+  EXPECT_EQ((*db.Find("beer"))->size(), 1u);
+  EXPECT_EQ((*copy.Find("beer"))->size(), 2u);
+}
+
+}  // namespace
+}  // namespace txmod

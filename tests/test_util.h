@@ -1,0 +1,73 @@
+#ifndef TXMOD_TESTS_TEST_UTIL_H_
+#define TXMOD_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/relational/database.h"
+
+namespace txmod::testing {
+
+/// Fails the current test when `status` is not OK.
+#define TXMOD_ASSERT_OK(expr)                                  \
+  do {                                                         \
+    const ::txmod::Status _st = (expr);                        \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (false)
+
+#define TXMOD_EXPECT_OK(expr)                                  \
+  do {                                                         \
+    const ::txmod::Status _st = (expr);                        \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (false)
+
+/// Unwraps a Result<T>, failing the test on error. Usage:
+///   TXMOD_ASSERT_OK_AND_ASSIGN(auto v, ComputeV());
+#define TXMOD_ASSERT_OK_AND_ASSIGN(lhs, rexpr)                       \
+  TXMOD_ASSERT_OK_AND_ASSIGN_IMPL_(                                  \
+      TXMOD_TEST_CONCAT_(_txmod_res, __LINE__), lhs, rexpr)
+#define TXMOD_ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, rexpr)            \
+  auto tmp = (rexpr);                                                \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();                  \
+  lhs = std::move(tmp).value()
+#define TXMOD_TEST_CONCAT_(a, b) TXMOD_TEST_CONCAT_IMPL_(a, b)
+#define TXMOD_TEST_CONCAT_IMPL_(a, b) a##b
+
+/// The running example of the paper (Example 4.1): a beer database with
+///   beer(name, type, brewery, alcohol)
+///   brewery(name, city, country)
+inline Database MakeBeerDatabase() {
+  Database db;
+  Status st = db.CreateRelation(RelationSchema(
+      "beer", {Attribute{"name", AttrType::kString},
+               Attribute{"type", AttrType::kString},
+               Attribute{"brewery", AttrType::kString},
+               Attribute{"alcohol", AttrType::kDouble}}));
+  st = db.CreateRelation(RelationSchema(
+      "brewery", {Attribute{"name", AttrType::kString},
+                  Attribute{"city", AttrType::kString},
+                  Attribute{"country", AttrType::kString}}));
+  (void)st;
+  return db;
+}
+
+/// Inserts a beer tuple directly (bypassing integrity control).
+inline void AddBeer(Database* db, const std::string& name,
+                    const std::string& type, const std::string& brewery,
+                    double alcohol) {
+  Relation* rel = *db->FindMutable("beer");
+  rel->Insert(Tuple({Value::String(name), Value::String(type),
+                     Value::String(brewery), Value::Double(alcohol)}));
+}
+
+inline void AddBrewery(Database* db, const std::string& name,
+                       const std::string& city, const std::string& country) {
+  Relation* rel = *db->FindMutable("brewery");
+  rel->Insert(Tuple({Value::String(name), Value::String(city),
+                     Value::String(country)}));
+}
+
+}  // namespace txmod::testing
+
+#endif  // TXMOD_TESTS_TEST_UTIL_H_

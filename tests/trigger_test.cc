@@ -1,0 +1,277 @@
+#include "gtest/gtest.h"
+#include "src/algebra/parser.h"
+#include "src/calculus/parser.h"
+#include "src/rules/rule_parser.h"
+#include "src/rules/trigger.h"
+#include "src/rules/trigger_gen.h"
+#include "tests/test_util.h"
+
+namespace txmod::rules {
+namespace {
+
+using txmod::testing::MakeBeerDatabase;
+
+Trigger Ins(const std::string& r) { return Trigger{UpdateType::kIns, r}; }
+Trigger Del(const std::string& r) { return Trigger{UpdateType::kDel, r}; }
+
+// --- TriggerSet basics -------------------------------------------------------
+
+TEST(TriggerSetTest, SetSemanticsAndPrinting) {
+  TriggerSet s;
+  s.Insert(Ins("beer"));
+  s.Insert(Ins("beer"));  // duplicate
+  s.Insert(Del("brewery"));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(Ins("beer")));
+  EXPECT_FALSE(s.Contains(Del("beer")));
+  // Deterministic order: by relation name, INS before DEL.
+  EXPECT_EQ(s.ToString(), "INS(beer), DEL(brewery)");
+}
+
+TEST(TriggerSetTest, Intersects) {
+  TriggerSet a{Ins("beer")};
+  TriggerSet b{Del("beer")};
+  TriggerSet c{Ins("beer"), Del("brewery")};
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_TRUE(c.Intersects(a));
+  EXPECT_FALSE(TriggerSet().Intersects(a));
+}
+
+// --- GetTrigS / GetTrigP (Algorithm 5.2) -------------------------------------
+
+class TrigPTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeBeerDatabase();
+
+  algebra::Program Parse(const std::string& text) {
+    algebra::AlgebraParser parser(&db_.schema());
+    auto p = parser.ParseProgram(text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return p.ok() ? *p : algebra::Program{};
+  }
+};
+
+TEST_F(TrigPTest, InsertYieldsIns) {
+  auto p = Parse("insert(beer, {(\"a\", \"b\", \"c\", 1.0)})");
+  EXPECT_EQ(GetTrigP(p), (TriggerSet{Ins("beer")}));
+}
+
+TEST_F(TrigPTest, DeleteYieldsDel) {
+  auto p = Parse("delete(brewery, brewery)");
+  EXPECT_EQ(GetTrigP(p), (TriggerSet{Del("brewery")}));
+}
+
+TEST_F(TrigPTest, UpdateYieldsBoth) {
+  // Definition 4.5: an update is a combined delete and insert.
+  auto p = Parse("update(beer, alcohol < 0, alcohol := 0.0)");
+  EXPECT_EQ(GetTrigP(p), (TriggerSet{Ins("beer"), Del("beer")}));
+}
+
+TEST_F(TrigPTest, AssignAlarmAbortYieldNothing) {
+  auto p = Parse("t := project[name](beer); alarm(t); abort");
+  EXPECT_TRUE(GetTrigP(p).empty());
+}
+
+TEST_F(TrigPTest, ProgramUnionsStatements) {
+  auto p = Parse(
+      "insert(beer, {(\"a\", \"b\", \"c\", 1.0)});"
+      "delete(brewery, brewery)");
+  EXPECT_EQ(GetTrigP(p), (TriggerSet{Ins("beer"), Del("brewery")}));
+}
+
+TEST_F(TrigPTest, NonTriggeringProgramYieldsNothing) {
+  // GetTrigPX, Definition 6.2.
+  auto p = Parse("insert(beer, {(\"a\", \"b\", \"c\", 1.0)})");
+  p.non_triggering = true;
+  EXPECT_TRUE(GetTrigPX(p).empty());
+  EXPECT_FALSE(GetTrigP(p).empty());  // plain GetTrigP still sees it
+}
+
+// --- GenTrigC (Algorithm 5.7) ------------------------------------------------
+
+TriggerSet Gen(const std::string& text) {
+  auto f = calculus::ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return GenTrigC(*f);
+}
+
+TEST(GenTrigCTest, DomainConstraint) {
+  // ∀x(x∈beer ⇒ c(x)): new beer tuples can violate — {INS(beer)}.
+  EXPECT_EQ(Gen("forall x (x in beer implies x.alcohol >= 0)"),
+            (TriggerSet{Ins("beer")}));
+}
+
+TEST(GenTrigCTest, ReferentialConstraint) {
+  // Example 4.2's R2: inserts into the referencing relation and deletes
+  // from the referenced relation can violate.
+  EXPECT_EQ(Gen("forall x (x in beer implies exists y (y in brewery and "
+                "x.brewery = y.name))"),
+            (TriggerSet{Ins("beer"), Del("brewery")}));
+}
+
+TEST(GenTrigCTest, ExistentialConstraint) {
+  // ∃x(x∈R ∧ c): only deletes can destroy the witness.
+  EXPECT_EQ(Gen("exists x (x in brewery and x.country = \"nl\")"),
+            (TriggerSet{Del("brewery")}));
+}
+
+TEST(GenTrigCTest, ExclusionConstraint) {
+  // ∀x∀y(x∈R ⇒ (y∈S ⇒ x.i ≠ y.j)): inserts on either side.
+  EXPECT_EQ(Gen("forall x (x in beer implies forall y (y in brewery implies "
+                "x.name != y.name))"),
+            (TriggerSet{Ins("beer"), Ins("brewery")}));
+}
+
+TEST(GenTrigCTest, NegationSwapsPolarity) {
+  // ¬∃x(x∈beer ∧ c): the ∃ under ¬ behaves universally — INS(beer).
+  EXPECT_EQ(Gen("not exists x (x in beer and x.alcohol > 12)"),
+            (TriggerSet{Ins("beer")}));
+  // Double negation restores the original polarity.
+  EXPECT_EQ(Gen("not not exists x (x in beer and x.alcohol > 12)"),
+            (TriggerSet{Del("beer")}));
+}
+
+TEST(GenTrigCTest, ImplicationAntecedentIsNegatedContext) {
+  // In (W1 ⇒ W2), W1 is traversed with GenTrigN: an ∃ inside the
+  // antecedent acts universally.
+  EXPECT_EQ(Gen("exists x (x in brewery and x.country = \"nl\") implies "
+                "cnt(beer) > 0"),
+            (TriggerSet{Ins("brewery"), Ins("beer"), Del("beer")}));
+}
+
+TEST(GenTrigCTest, AggregatesTriggerBothUpdateTypes) {
+  EXPECT_EQ(Gen("cnt(beer) <= 1000"),
+            (TriggerSet{Ins("beer"), Del("beer")}));
+  EXPECT_EQ(Gen("sum(beer, alcohol) <= 100"),
+            (TriggerSet{Ins("beer"), Del("beer")}));
+}
+
+TEST(GenTrigCTest, AggregatesNestedInArithmeticAreFound) {
+  // Documented deviation: GenTrigT recurses through FV applications.
+  EXPECT_EQ(Gen("sum(beer, alcohol) / cnt(beer) <= 8"),
+            (TriggerSet{Ins("beer"), Del("beer")}));
+}
+
+TEST(GenTrigCTest, AuxiliaryRelationsYieldNoTriggers) {
+  // Transition constraint: old(beer) cannot be changed by the transaction;
+  // only the current-state side triggers.
+  EXPECT_EQ(Gen("forall x (x in beer implies forall y (y in old(beer) "
+                "implies x.name != y.name or x.alcohol >= y.alcohol))"),
+            (TriggerSet{Ins("beer")}));
+}
+
+TEST(GenTrigCTest, MixedQuantifiersTransitionStyle) {
+  // ∀ in positive context -> INS; inner ∃ -> DEL.
+  EXPECT_EQ(Gen("forall x (x in beer implies exists y (y in beer and "
+                "x.brewery = y.brewery and x.name != y.name))"),
+            (TriggerSet{Ins("beer"), Del("beer")}));
+}
+
+// --- rule parsing (Definition 4.7) -------------------------------------------
+
+class RuleParserTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeBeerDatabase();
+};
+
+TEST_F(RuleParserTest, AbortingRuleOfExample42) {
+  // R1 of Example 4.2.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      IntegrityRule r,
+      ParseRule("R1",
+                "WHEN INS(beer) "
+                "IF NOT forall x (x in beer implies x.alcohol >= 0) "
+                "THEN abort",
+                db_.schema()));
+  EXPECT_EQ(r.name, "R1");
+  EXPECT_EQ(r.triggers, (TriggerSet{Ins("beer")}));
+  EXPECT_FALSE(r.triggers_were_generated);
+  EXPECT_EQ(r.action_kind, ActionKind::kAbort);
+}
+
+TEST_F(RuleParserTest, CompensatingRuleOfExample42) {
+  // R2 of Example 4.2: unknown breweries are inserted with null fields.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      IntegrityRule r,
+      ParseRule("R2",
+                "WHEN INS(beer), DEL(brewery) "
+                "IF NOT forall x (x in beer implies exists y (y in brewery "
+                "and x.brewery = y.name)) "
+                "THEN temp := project[brewery](beer) - project[name](brewery);"
+                "     insert(brewery, project[brewery, null, null](temp))",
+                db_.schema()));
+  EXPECT_EQ(r.triggers, (TriggerSet{Ins("beer"), Del("brewery")}));
+  EXPECT_EQ(r.action_kind, ActionKind::kCompensate);
+  ASSERT_EQ(r.action.statements.size(), 2u);
+  EXPECT_EQ(r.action.statements[0].kind, algebra::StatementKind::kAssign);
+  EXPECT_EQ(r.action.statements[1].kind, algebra::StatementKind::kInsert);
+}
+
+TEST_F(RuleParserTest, OmittedWhenClauseGeneratesTriggers) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      IntegrityRule r,
+      ParseRule("auto",
+                "IF NOT forall x (x in beer implies x.alcohol >= 0) "
+                "THEN abort",
+                db_.schema()));
+  EXPECT_TRUE(r.triggers_were_generated);
+  EXPECT_EQ(r.triggers, (TriggerSet{Ins("beer")}));
+}
+
+TEST_F(RuleParserTest, NonTriggeringFlag) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      IntegrityRule r,
+      ParseRule("nt",
+                "IF NOT forall x (x in beer implies exists y (y in brewery "
+                "and x.brewery = y.name)) "
+                "THEN NONTRIGGERING "
+                "insert(brewery, project[brewery, null, null]("
+                "project[brewery](beer) - project[name](brewery)))",
+                db_.schema()));
+  EXPECT_TRUE(r.action_non_triggering);
+  EXPECT_TRUE(r.action.non_triggering);
+  EXPECT_TRUE(GetTrigPX(r.action).empty());
+}
+
+TEST_F(RuleParserTest, MalformedRulesRejected) {
+  EXPECT_FALSE(ParseRule("x", "THEN abort", db_.schema()).ok());
+  EXPECT_FALSE(
+      ParseRule("x", "IF NOT cnt(beer) >= 0", db_.schema()).ok());
+  EXPECT_FALSE(
+      ParseRule("x", "WHEN INS(beer) IF cnt(beer) >= 0 THEN abort",
+                db_.schema())
+          .ok());
+  EXPECT_FALSE(
+      ParseRule("x",
+                "WHEN FOO(beer) IF NOT cnt(beer) >= 0 THEN abort",
+                db_.schema())
+          .ok());
+  // NONTRIGGERING on abort makes no sense.
+  EXPECT_FALSE(
+      ParseRule("x",
+                "IF NOT forall x (x in beer implies x.alcohol >= 0) "
+                "THEN NONTRIGGERING abort",
+                db_.schema())
+          .ok());
+}
+
+TEST_F(RuleParserTest, RuleToStringRoundTripsThroughParser) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      IntegrityRule r,
+      ParseRule("R2",
+                "WHEN INS(beer), DEL(brewery) "
+                "IF NOT forall x (x in beer implies exists y (y in brewery "
+                "and x.brewery = y.name)) "
+                "THEN temp := project[brewery](beer) - project[name](brewery);"
+                "     insert(brewery, project[brewery, null, null](temp))",
+                db_.schema()));
+  TXMOD_ASSERT_OK_AND_ASSIGN(IntegrityRule r2,
+                             ParseRule("R2", r.ToString(), db_.schema()));
+  EXPECT_EQ(r2.triggers, r.triggers);
+  EXPECT_TRUE(r2.condition.formula.Equals(r.condition.formula));
+  EXPECT_EQ(r2.action.statements.size(), r.action.statements.size());
+}
+
+}  // namespace
+}  // namespace txmod::rules

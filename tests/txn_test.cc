@@ -1,0 +1,238 @@
+#include "gtest/gtest.h"
+#include "src/algebra/parser.h"
+#include "src/txn/executor.h"
+#include "tests/test_util.h"
+
+namespace txmod::txn {
+namespace {
+
+using algebra::AlgebraParser;
+using algebra::RelRefKind;
+using algebra::Transaction;
+using txmod::testing::AddBeer;
+using txmod::testing::AddBrewery;
+using txmod::testing::MakeBeerDatabase;
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeBeerDatabase();
+    AddBeer(&db_, "pils", "lager", "heineken", 5.0);
+    AddBrewery(&db_, "heineken", "amsterdam", "nl");
+  }
+
+  Result<TxnResult> Run(const std::string& text) {
+    AlgebraParser parser(&db_.schema());
+    TXMOD_ASSIGN_OR_RETURN(Transaction txn, parser.ParseTransaction(text));
+    return ExecuteTransaction(txn, &db_);
+  }
+
+  Database db_;
+};
+
+TEST_F(TxnTest, CommitAdvancesLogicalTime) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult r,
+      Run("begin insert(beer, {(\"new\", \"ale\", \"heineken\", 6.0)}); end"));
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(db_.logical_time(), 1u);
+  EXPECT_EQ((*db_.Find("beer"))->size(), 2u);
+  EXPECT_EQ(r.tuples_inserted, 1u);
+}
+
+TEST_F(TxnTest, InsertCoercesIntsIntoDoubleColumns) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult r,
+      Run("insert(beer, {(\"new\", \"ale\", \"heineken\", 6)});"));
+  EXPECT_TRUE(r.committed);
+  const Relation* beer = *db_.Find("beer");
+  EXPECT_TRUE(beer->Contains(
+      Tuple({Value::String("new"), Value::String("ale"),
+             Value::String("heineken"), Value::Double(6.0)})));
+}
+
+TEST_F(TxnTest, DeleteRemovesMatchingTuples) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult r, Run("delete(beer, select[name = \"pils\"](beer));"));
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ((*db_.Find("beer"))->size(), 0u);
+  EXPECT_EQ(r.tuples_deleted, 1u);
+}
+
+TEST_F(TxnTest, UpdateHasDeleteInsertSemantics) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult r,
+      Run("update(beer, name = \"pils\", alcohol := alcohol + 1);"));
+  EXPECT_TRUE(r.committed);
+  const Relation* beer = *db_.Find("beer");
+  ASSERT_EQ(beer->size(), 1u);
+  EXPECT_DOUBLE_EQ(beer->SortedTuples()[0].at(3).as_double(), 6.0);
+  EXPECT_EQ(r.tuples_inserted, 1u);
+  EXPECT_EQ(r.tuples_deleted, 1u);
+}
+
+TEST_F(TxnTest, AlarmOnNonEmptyAborts) {
+  const uint64_t t0 = db_.logical_time();
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult r,
+      Run("insert(beer, {(\"bad\", \"ale\", \"x\", -1.0)});"
+          "alarm(select[alcohol < 0](beer), \"negative alcohol\");"));
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.abort_reason, "negative alcohol");
+  EXPECT_EQ(r.aborting_statement, 1);
+  // Atomicity: the insert was rolled back, logical time unchanged.
+  EXPECT_EQ((*db_.Find("beer"))->size(), 1u);
+  EXPECT_EQ(db_.logical_time(), t0);
+}
+
+TEST_F(TxnTest, AlarmOnEmptyHasNoEffect) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult r, Run("alarm(select[alcohol < 0](beer));"));
+  EXPECT_TRUE(r.committed);
+}
+
+TEST_F(TxnTest, AbortStatementRestoresEverything) {
+  Database before = db_.Clone();
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult r,
+      Run("insert(beer, {(\"a\", \"b\", \"c\", 1.0)});"
+          "delete(brewery, brewery);"
+          "update(beer, alcohol > 0, alcohol := 0.0);"
+          "abort(\"never mind\");"));
+  EXPECT_FALSE(r.committed);
+  EXPECT_TRUE(db_.SameState(before));
+}
+
+TEST_F(TxnTest, TemporariesAreTransactionLocal) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult r,
+      Run("t := project[name](beer); insert(brewery, "
+          "project[name, null, null](t));"));
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ((*db_.Find("brewery"))->size(), 2u);
+  EXPECT_FALSE(db_.Contains("t"));
+}
+
+TEST_F(TxnTest, MalformedProgramErrorsAndRollsBack) {
+  Database before = db_.Clone();
+  AlgebraParser parser(&db_.schema());
+  // Build a program that inserts then references a missing temp (parser
+  // would reject it, so build the AST by hand).
+  Transaction txn;
+  txn.program.statements.push_back(algebra::Statement::Insert(
+      "beer", algebra::RelExpr::Literal(
+                  {Tuple({Value::String("a"), Value::String("b"),
+                          Value::String("c"), Value::Double(1.0)})},
+                  4)));
+  txn.program.statements.push_back(algebra::Statement::Assign(
+      "t", algebra::RelExpr::Temp("missing")));
+  Result<TxnResult> r = ExecuteTransaction(txn, &db_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(db_.SameState(before));
+}
+
+// --- differential bookkeeping (the paper's auxiliary relations) -----------
+
+class DifferentialTest : public TxnTest {};
+
+TEST_F(DifferentialTest, InsertPopulatesDeltaPlus) {
+  TxnContext ctx(&db_);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      bool inserted,
+      ctx.InsertTuple("brewery", Tuple({Value::String("new"), Value::Null(),
+                                        Value::Null()})));
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(ctx.diff("brewery").plus.size(), 1u);
+  EXPECT_EQ(ctx.diff("brewery").minus.size(), 0u);
+}
+
+TEST_F(DifferentialTest, DeleteThenReinsertNetsOut) {
+  TxnContext ctx(&db_);
+  const Tuple heineken({Value::String("heineken"), Value::String("amsterdam"),
+                        Value::String("nl")});
+  TXMOD_ASSERT_OK_AND_ASSIGN(bool deleted,
+                             ctx.DeleteTuple("brewery", heineken));
+  EXPECT_TRUE(deleted);
+  EXPECT_EQ(ctx.diff("brewery").minus.size(), 1u);
+  TXMOD_ASSERT_OK_AND_ASSIGN(bool inserted,
+                             ctx.InsertTuple("brewery", heineken));
+  EXPECT_TRUE(inserted);
+  // Net change is zero: R_pre = (R \ plus) ∪ minus must hold.
+  EXPECT_EQ(ctx.diff("brewery").plus.size(), 0u);
+  EXPECT_EQ(ctx.diff("brewery").minus.size(), 0u);
+  EXPECT_TRUE(ctx.TouchedRelations().empty());
+}
+
+TEST_F(DifferentialTest, InsertThenDeleteNetsOut) {
+  TxnContext ctx(&db_);
+  const Tuple t({Value::String("x"), Value::Null(), Value::Null()});
+  TXMOD_ASSERT_OK(ctx.InsertTuple("brewery", t).status());
+  TXMOD_ASSERT_OK(ctx.DeleteTuple("brewery", t).status());
+  EXPECT_EQ(ctx.diff("brewery").plus.size(), 0u);
+  EXPECT_EQ(ctx.diff("brewery").minus.size(), 0u);
+}
+
+TEST_F(DifferentialTest, OldViewIsPreTransactionState) {
+  TxnContext ctx(&db_);
+  const Tuple heineken({Value::String("heineken"), Value::String("amsterdam"),
+                        Value::String("nl")});
+  const Tuple fresh({Value::String("fresh"), Value::Null(), Value::Null()});
+  TXMOD_ASSERT_OK(ctx.InsertTuple("brewery", fresh).status());
+  TXMOD_ASSERT_OK(ctx.DeleteTuple("brewery", heineken).status());
+  TXMOD_ASSERT_OK_AND_ASSIGN(const Relation* old_view,
+                             ctx.Resolve(RelRefKind::kOld, "brewery"));
+  EXPECT_EQ(old_view->size(), 1u);
+  EXPECT_TRUE(old_view->Contains(heineken));
+  EXPECT_FALSE(old_view->Contains(fresh));
+  // The current state is the opposite.
+  TXMOD_ASSERT_OK_AND_ASSIGN(const Relation* now,
+                             ctx.Resolve(RelRefKind::kBase, "brewery"));
+  EXPECT_TRUE(now->Contains(fresh));
+  EXPECT_FALSE(now->Contains(heineken));
+}
+
+TEST_F(DifferentialTest, OldViewComputedEarlyStaysCorrect) {
+  TxnContext ctx(&db_);
+  // Materialize old(brewery) before any change...
+  TXMOD_ASSERT_OK_AND_ASSIGN(const Relation* old_before,
+                             ctx.Resolve(RelRefKind::kOld, "brewery"));
+  EXPECT_EQ(old_before->size(), 1u);
+  // ...then mutate; the old view must still show the pre-state.
+  TXMOD_ASSERT_OK(
+      ctx.InsertTuple("brewery",
+                      Tuple({Value::String("x"), Value::Null(), Value::Null()}))
+          .status());
+  TXMOD_ASSERT_OK_AND_ASSIGN(const Relation* old_after,
+                             ctx.Resolve(RelRefKind::kOld, "brewery"));
+  EXPECT_EQ(old_after->size(), 1u);
+}
+
+TEST_F(DifferentialTest, DeltaRefsOfUntouchedRelationAreEmpty) {
+  TxnContext ctx(&db_);
+  TXMOD_ASSERT_OK_AND_ASSIGN(const Relation* plus,
+                             ctx.Resolve(RelRefKind::kDeltaPlus, "beer"));
+  TXMOD_ASSERT_OK_AND_ASSIGN(const Relation* minus,
+                             ctx.Resolve(RelRefKind::kDeltaMinus, "beer"));
+  EXPECT_TRUE(plus->empty());
+  EXPECT_TRUE(minus->empty());
+}
+
+TEST_F(DifferentialTest, RollbackRestoresState) {
+  Database before = db_.Clone();
+  TxnContext ctx(&db_);
+  TXMOD_ASSERT_OK(
+      ctx.InsertTuple("brewery",
+                      Tuple({Value::String("x"), Value::Null(), Value::Null()}))
+          .status());
+  TXMOD_ASSERT_OK(
+      ctx.DeleteTuple("brewery",
+                      Tuple({Value::String("heineken"),
+                             Value::String("amsterdam"), Value::String("nl")}))
+          .status());
+  ctx.Rollback();
+  EXPECT_TRUE(db_.SameState(before));
+}
+
+}  // namespace
+}  // namespace txmod::txn
