@@ -1,0 +1,17 @@
+# Warning and sanitizer configuration shared by every txmod target.
+#
+# ENABLE_SANITIZERS=ON compiles and links the whole tree (library, tests,
+# benches, examples) with AddressSanitizer + UndefinedBehaviorSanitizer,
+# with recovery disabled so any report fails the run — the tier-1 gate is
+# "ctest green under sanitizers", not "sanitizers printed something".
+
+set(TXMOD_WARNINGS -Wall -Wextra -Wshadow -Wpedantic)
+
+if(ENABLE_SANITIZERS)
+  set(TXMOD_SAN_FLAGS
+      -fsanitize=address,undefined
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+  add_compile_options(${TXMOD_SAN_FLAGS})
+  add_link_options(${TXMOD_SAN_FLAGS})
+endif()

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus the sanitizer gate, exactly as CI runs them:
+#   Release build + ctest, then Debug+ASan/UBSan build + ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== Release =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== Debug + ASan/UBSan =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DENABLE_SANITIZERS=ON
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "All checks passed."

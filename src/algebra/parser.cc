@@ -344,8 +344,9 @@ class ParserImpl {
   Result<RelExprPtr> ParseRelExpr() {
     TXMOD_ASSIGN_OR_RETURN(RelExprPtr lhs, ParseRelDiff());
     while (PeekKeyword("union")) {
-      // Function-style union(...) is handled in ParseRelPrimary; infix here.
-      if (Peek(1).IsOp("(")) break;
+      // Function-style union(...) only occurs in primary position (handled
+      // by ParseRelPrimary); after a left operand this is always infix,
+      // even when the right operand is parenthesized.
       Advance();
       TXMOD_ASSIGN_OR_RETURN(RelExprPtr rhs, ParseRelDiff());
       TXMOD_RETURN_IF_ERROR(CheckSameArity(lhs, rhs, "union"));
@@ -368,7 +369,6 @@ class ParserImpl {
   Result<RelExprPtr> ParseRelIntersect() {
     TXMOD_ASSIGN_OR_RETURN(RelExprPtr lhs, ParseRelPrimary());
     while (PeekKeyword("intersect")) {
-      if (Peek(1).IsOp("(")) break;
       Advance();
       TXMOD_ASSIGN_OR_RETURN(RelExprPtr rhs, ParseRelPrimary());
       TXMOD_RETURN_IF_ERROR(CheckSameArity(lhs, rhs, "intersect"));

@@ -1,0 +1,162 @@
+// End-to-end differential oracle over the paper's running example
+// (Example 4.1): the beer/brewery database with its referential and
+// domain constraints. Every scenario is executed twice from the same
+// start state — once through the transaction modification subsystem
+// (the paper's ModT pipeline) and once through the post-hoc checking
+// baseline — and both the commit/abort verdict and the resulting
+// database state must agree. The baseline re-evaluates every constraint
+// in full against the tentative post-state, so it is a trustworthy,
+// independently implemented oracle for the modification machinery.
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/algebra/parser.h"
+#include "src/baseline/posthoc_checker.h"
+#include "src/core/subsystem.h"
+#include "tests/test_util.h"
+
+namespace txmod {
+namespace {
+
+namespace core = txmod::core;
+using txmod::testing::AddBeer;
+using txmod::testing::AddBrewery;
+using txmod::testing::BeerDomainConstraint;
+using txmod::testing::BeerRefIntConstraint;
+using txmod::testing::MakeBeerDatabase;
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest() : base_(MakeBeerDatabase()) {
+    AddBrewery(&base_, "grolsche", "enschede", "netherlands");
+    AddBrewery(&base_, "heineken", "amsterdam", "netherlands");
+    AddBeer(&base_, "grolsch", "pilsener", "grolsche", 5.0);
+    AddBeer(&base_, "amber", "altbier", "grolsche", 5.0);
+    AddBeer(&base_, "heineken", "pilsener", "heineken", 5.0);
+  }
+
+  static void DefineConstraints(core::IntegritySubsystem* ics) {
+    TXMOD_ASSERT_OK(ics->DefineConstraint("refint", BeerRefIntConstraint()));
+    TXMOD_ASSERT_OK(ics->DefineConstraint("domain", BeerDomainConstraint()));
+  }
+
+  /// Runs `txn_text` through modification and through post-hoc checking
+  /// from identical clones of the base state; checks both engines agree,
+  /// and returns the modified-path result for scenario-level assertions.
+  txn::TxnResult RunBoth(const std::string& txn_text) {
+    // Path A: the subsystem under test (transaction modification).
+    mod_db_ = std::make_unique<Database>(base_.Clone());
+    core::IntegritySubsystem mod_ics(mod_db_.get());
+    DefineConstraints(&mod_ics);
+    auto mod_result = mod_ics.ExecuteText(txn_text);
+    TXMOD_EXPECT_OK(mod_result.status());
+    if (!mod_result.ok()) return txn::TxnResult{};
+
+    // Path B: the post-hoc oracle on its own clone.
+    posthoc_db_ = std::make_unique<Database>(base_.Clone());
+    core::IntegritySubsystem posthoc_ics(posthoc_db_.get());
+    DefineConstraints(&posthoc_ics);
+    algebra::AlgebraParser parser(&posthoc_db_->schema());
+    auto program = parser.ParseProgram(txn_text);
+    TXMOD_EXPECT_OK(program.status());
+    if (!program.ok()) return txn::TxnResult{};
+    algebra::Transaction txn;
+    txn.program = *std::move(program);
+    baseline::PostHocChecker checker(&posthoc_ics);
+    auto posthoc_result = checker.Execute(txn);
+    TXMOD_EXPECT_OK(posthoc_result.status());
+    if (!posthoc_result.ok()) return txn::TxnResult{};
+
+    EXPECT_EQ(mod_result->committed, posthoc_result->committed)
+        << "engines disagree on: " << txn_text;
+    EXPECT_TRUE(mod_db_->SameState(*posthoc_db_))
+        << "post-states diverge on: " << txn_text;
+    // Aborts must leave the database exactly at the start state.
+    if (!mod_result->committed) {
+      EXPECT_TRUE(mod_db_->SameState(base_)) << "abort was not atomic";
+    }
+    return *mod_result;
+  }
+
+  Database base_;
+  std::unique_ptr<Database> mod_db_;
+  std::unique_ptr<Database> posthoc_db_;
+};
+
+TEST_F(PaperExampleTest, ValidInsertCommits) {
+  txn::TxnResult r = RunBoth(
+      "insert(beer, {(\"wieckse\", \"witbier\", \"heineken\", 5.0)});");
+  EXPECT_TRUE(r.committed);
+  EXPECT_TRUE(mod_db_->Find("beer").ok());
+  EXPECT_EQ((*mod_db_->Find("beer"))->size(), 4u);
+}
+
+TEST_F(PaperExampleTest, UnknownBreweryAborts) {
+  txn::TxnResult r = RunBoth(
+      "insert(beer, {(\"phantom\", \"stout\", \"ghost\", 4.5)});");
+  EXPECT_FALSE(r.committed);
+  EXPECT_NE(r.abort_reason.find("refint"), std::string::npos);
+}
+
+TEST_F(PaperExampleTest, NegativeAlcoholAborts) {
+  txn::TxnResult r = RunBoth(
+      "insert(beer, {(\"void\", \"pilsener\", \"heineken\", -1.0)});");
+  EXPECT_FALSE(r.committed);
+  EXPECT_NE(r.abort_reason.find("domain"), std::string::npos);
+}
+
+TEST_F(PaperExampleTest, DeleteReferencedBreweryAborts) {
+  txn::TxnResult r = RunBoth(
+      "delete(brewery, select[name = \"grolsche\"](brewery));");
+  EXPECT_FALSE(r.committed);
+}
+
+TEST_F(PaperExampleTest, DeleteBreweryWithItsBeersCommits) {
+  txn::TxnResult r = RunBoth(
+      "delete(beer, select[brewery = \"grolsche\"](beer)); "
+      "delete(brewery, select[name = \"grolsche\"](brewery));");
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ((*mod_db_->Find("beer"))->size(), 1u);
+  EXPECT_EQ((*mod_db_->Find("brewery"))->size(), 1u);
+}
+
+TEST_F(PaperExampleTest, SelfRepairingTransactionCommitsUnderDeferredChecks) {
+  // The beer arrives before its brewery, but the transaction as a whole
+  // restores integrity — ModP semantics (Definition 2.6) judge only the
+  // final state, so both engines commit.
+  txn::TxnResult r = RunBoth(
+      "insert(beer, {(\"quadrupel\", \"trappist\", \"koningshoeven\", "
+      "10.0)}); "
+      "insert(brewery, {(\"koningshoeven\", \"tilburg\", "
+      "\"netherlands\")});");
+  EXPECT_TRUE(r.committed);
+}
+
+TEST_F(PaperExampleTest, MixedValidAndViolatingStatementsAbortAtomically) {
+  txn::TxnResult r = RunBoth(
+      "insert(beer, {(\"wieckse\", \"witbier\", \"heineken\", 5.0)}); "
+      "update(beer, name = \"grolsch\", alcohol := 200.0);");
+  EXPECT_FALSE(r.committed);
+}
+
+TEST_F(PaperExampleTest, UpdateWithinDomainCommits) {
+  txn::TxnResult r = RunBoth(
+      "update(beer, name = \"grolsch\", alcohol := 4.5);");
+  EXPECT_TRUE(r.committed);
+  EXPECT_TRUE((*mod_db_->Find("beer"))
+                  ->Contains(Tuple({Value::String("grolsch"),
+                                    Value::String("pilsener"),
+                                    Value::String("grolsche"),
+                                    Value::Double(4.5)})));
+}
+
+TEST_F(PaperExampleTest, ReadOnlyTransactionCommitsWithoutChanges) {
+  txn::TxnResult r = RunBoth("t := select[alcohol > 4.0](beer);");
+  EXPECT_TRUE(r.committed);
+  EXPECT_TRUE(mod_db_->SameState(base_));
+}
+
+}  // namespace
+}  // namespace txmod

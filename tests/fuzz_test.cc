@@ -10,6 +10,7 @@
 #include "gtest/gtest.h"
 #include "src/algebra/parser.h"
 #include "src/calculus/parser.h"
+#include "src/common/str_util.h"
 #include "src/rules/rule_parser.h"
 #include "tests/test_util.h"
 
@@ -106,6 +107,206 @@ TEST_P(FuzzTest, TruncationsOfValidInputsFailCleanly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 5));
+
+// --- seeded round-trip property ---------------------------------------------
+// Generate structurally valid inputs (not token soup), then require the
+// full loop  parse -> ToString -> reparse  to reproduce an equivalent AST.
+// This pins the printers to the grammar: any precedence or quoting bug in
+// ToString shows up as a reparse failure or an AST mismatch.
+
+/// Generates a valid calculus formula over the beer schema. `bound` lists
+/// variables already bound to a relation, so leaf atoms stay well-scoped.
+std::string GenFormula(std::mt19937* gen, int depth,
+                       std::vector<std::pair<std::string, std::string>>*
+                           bound) {
+  auto pick = [gen](int n) {
+    return std::uniform_int_distribution<int>(0, n - 1)(*gen);
+  };
+  auto atom = [&]() -> std::string {
+    if (!bound->empty()) {
+      const auto& [var, rel] = (*bound)[static_cast<std::size_t>(
+          pick(static_cast<int>(bound->size())))];
+      if (rel == "beer") {
+        switch (pick(4)) {
+          case 0: return var + ".alcohol >= 0";
+          case 1: return var + ".alcohol < 10.5";
+          case 2: return var + ".name != \"bock\"";
+          default: return var + ".type = \"pilsener\"";
+        }
+      }
+      switch (pick(3)) {
+        case 0: return var + ".country = \"netherlands\"";
+        case 1: return var + ".city != \"utrecht\"";
+        default: return var + ".name = \"grolsche\"";
+      }
+    }
+    switch (pick(3)) {
+      case 0: return "cnt(beer) <= 40";
+      case 1: return "sum(beer, alcohol) >= 0";
+      default: return "1 = 0";
+    }
+  };
+  if (depth <= 0) return atom();
+  switch (pick(6)) {
+    case 0: {  // forall v (v in R implies ...)
+      const std::string rel = pick(2) == 0 ? "beer" : "brewery";
+      const std::string var = StrCat("v", bound->size());
+      bound->emplace_back(var, rel);
+      const std::string body = GenFormula(gen, depth - 1, bound);
+      bound->pop_back();
+      return StrCat("forall ", var, " (", var, " in ", rel, " implies ",
+                    body, ")");
+    }
+    case 1: {  // exists v (v in R and ...)
+      const std::string rel = pick(2) == 0 ? "beer" : "brewery";
+      const std::string var = StrCat("v", bound->size());
+      bound->emplace_back(var, rel);
+      const std::string body = GenFormula(gen, depth - 1, bound);
+      bound->pop_back();
+      return StrCat("exists ", var, " (", var, " in ", rel, " and ", body,
+                    ")");
+    }
+    case 2:
+      return StrCat("(", GenFormula(gen, depth - 1, bound), " and ",
+                    GenFormula(gen, depth - 1, bound), ")");
+    case 3:
+      return StrCat("(", GenFormula(gen, depth - 1, bound), " or ",
+                    GenFormula(gen, depth - 1, bound), ")");
+    case 4:
+      return StrCat("not (", GenFormula(gen, depth - 1, bound), ")");
+    default:
+      return StrCat("(", GenFormula(gen, depth - 1, bound), " implies ",
+                    GenFormula(gen, depth - 1, bound), ")");
+  }
+}
+
+TEST_P(FuzzTest, CalculusRoundTripPreservesAst) {
+  std::mt19937 gen(GetParam() + 400);
+  std::uniform_int_distribution<int> depth(0, 4);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::pair<std::string, std::string>> bound;
+    const std::string text = GenFormula(&gen, depth(gen), &bound);
+    auto first = calculus::ParseFormula(text);
+    ASSERT_TRUE(first.ok()) << text << " -> " << first.status().ToString();
+    const std::string printed = first->ToString();
+    auto second = calculus::ParseFormula(printed);
+    ASSERT_TRUE(second.ok())
+        << text << " -> " << printed << " -> " << second.status().ToString();
+    EXPECT_TRUE(first->Equals(*second))
+        << "AST changed across round-trip:\n  " << text << "\n  " << printed
+        << "\n  " << second->ToString();
+    // ToString must be a fixpoint after one round.
+    EXPECT_EQ(printed, second->ToString());
+  }
+}
+
+/// Generates a valid beer-schema relational expression (all combinators
+/// preserve the beer schema, so selects/predicates stay resolvable).
+std::string GenBeerExpr(std::mt19937* gen, int depth) {
+  auto pick = [gen](int n) {
+    return std::uniform_int_distribution<int>(0, n - 1)(*gen);
+  };
+  auto pred = [&]() -> std::string {
+    switch (pick(4)) {
+      case 0: return "alcohol > 3.5";
+      case 1: return "alcohol <= 9";
+      case 2: return "name != \"bock\"";
+      default: return "type = \"pilsener\" and alcohol >= 1";
+    }
+  };
+  if (depth <= 0) {
+    switch (pick(4)) {
+      case 0: return "beer";
+      case 1: return "old(beer)";
+      case 2: return "dplus(beer)";
+      default: return "dminus(beer)";
+    }
+  }
+  switch (pick(6)) {
+    case 0:
+      return StrCat("select[", pred(), "](", GenBeerExpr(gen, depth - 1),
+                    ")");
+    case 1:
+      return StrCat("(", GenBeerExpr(gen, depth - 1), " union ",
+                    GenBeerExpr(gen, depth - 1), ")");
+    case 2:
+      return StrCat("(", GenBeerExpr(gen, depth - 1), " - ",
+                    GenBeerExpr(gen, depth - 1), ")");
+    case 3:
+      return StrCat("intersect(", GenBeerExpr(gen, depth - 1), ", ",
+                    GenBeerExpr(gen, depth - 1), ")");
+    case 4:
+      return StrCat("semijoin[l.brewery = r.name](",
+                    GenBeerExpr(gen, depth - 1), ", brewery)");
+    default:
+      return StrCat("antijoin[l.brewery = r.name](",
+                    GenBeerExpr(gen, depth - 1), ", brewery)");
+  }
+}
+
+TEST_P(FuzzTest, AlgebraExpressionRoundTripPreservesAst) {
+  Database db = MakeBeerDatabase();
+  algebra::AlgebraParser parser(&db.schema());
+  std::mt19937 gen(GetParam() + 500);
+  std::uniform_int_distribution<int> depth(0, 4);
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = GenBeerExpr(&gen, depth(gen));
+    auto first = parser.ParseExpression(text);
+    ASSERT_TRUE(first.ok()) << text << " -> " << first.status().ToString();
+    const std::string printed = (*first)->ToString();
+    auto second = parser.ParseExpression(printed);
+    ASSERT_TRUE(second.ok())
+        << text << " -> " << printed << " -> " << second.status().ToString();
+    EXPECT_TRUE((*first)->Equals(**second))
+        << "AST changed across round-trip:\n  " << text << "\n  " << printed
+        << "\n  " << (*second)->ToString();
+    EXPECT_EQ(printed, (*second)->ToString());
+  }
+}
+
+TEST_P(FuzzTest, AlgebraProgramRoundTripIsStable) {
+  Database db = MakeBeerDatabase();
+  algebra::AlgebraParser parser(&db.schema());
+  std::mt19937 gen(GetParam() + 600);
+  std::uniform_int_distribution<int> depth(0, 3);
+  std::uniform_int_distribution<int> stmt_count(1, 4);
+  for (int i = 0; i < 100; ++i) {
+    std::string text;
+    const int n = stmt_count(gen);
+    for (int s = 0; s < n; ++s) {
+      switch (std::uniform_int_distribution<int>(0, 4)(gen)) {
+        case 0:
+          text += StrCat("t", s, " := ", GenBeerExpr(&gen, depth(gen)), "; ");
+          break;
+        case 1:
+          text += StrCat("insert(beer, ", GenBeerExpr(&gen, depth(gen)),
+                         "); ");
+          break;
+        case 2:
+          text += StrCat("delete(beer, ", GenBeerExpr(&gen, depth(gen)),
+                         "); ");
+          break;
+        case 3:
+          text += StrCat("alarm(", GenBeerExpr(&gen, depth(gen)),
+                         ", \"non-empty\"); ");
+          break;
+        default:
+          text += "update(beer, alcohol > 50, alcohol := alcohol - 1); ";
+          break;
+      }
+    }
+    auto first = parser.ParseProgram(text);
+    ASSERT_TRUE(first.ok()) << text << " -> " << first.status().ToString();
+    const std::string printed = first->ToString();
+    // Program has no structural Equals; the printer being a fixpoint under
+    // reparse is the equivalent stability guarantee.
+    algebra::AlgebraParser reparser(&db.schema());
+    auto second = reparser.ParseProgram(printed);
+    ASSERT_TRUE(second.ok())
+        << text << " -> " << printed << " -> " << second.status().ToString();
+    EXPECT_EQ(printed, second->ToString()) << "printer not stable:\n" << text;
+  }
+}
 
 }  // namespace
 }  // namespace txmod

@@ -68,6 +68,18 @@ inline void AddBrewery(Database* db, const std::string& name,
                      Value::String(country)}));
 }
 
+/// The paper's constraints over the beer database (Example 4.1): the
+/// referential constraint ties every beer to an existing brewery; the
+/// domain constraint bounds the alcohol percentage.
+inline const char* BeerRefIntConstraint() {
+  return "forall x (x in beer implies exists y (y in brewery and "
+         "x.brewery = y.name))";
+}
+
+inline const char* BeerDomainConstraint() {
+  return "forall x (x in beer implies x.alcohol >= 0 and x.alcohol <= 100)";
+}
+
 }  // namespace txmod::testing
 
 #endif  // TXMOD_TESTS_TEST_UTIL_H_
