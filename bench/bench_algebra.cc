@@ -108,4 +108,4 @@ BENCHMARK(BM_InsertBatch)->Range(100, 10000)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace txmod::bench
 
-BENCHMARK_MAIN();
+TXMOD_BENCH_MAIN()

@@ -143,4 +143,4 @@ BENCHMARK(BM_StrategyQueryModification)
 }  // namespace
 }  // namespace txmod::bench
 
-BENCHMARK_MAIN();
+TXMOD_BENCH_MAIN()

@@ -105,4 +105,4 @@ BENCHMARK(BM_MixedTransaction)->Unit(benchmark::kMillisecond)->Iterations(3);
 }  // namespace
 }  // namespace txmod::bench
 
-BENCHMARK_MAIN();
+TXMOD_BENCH_MAIN()

@@ -112,4 +112,4 @@ BENCHMARK(BM_ParallelRefIntRoundRobin)
 }  // namespace
 }  // namespace txmod::bench
 
-BENCHMARK_MAIN();
+TXMOD_BENCH_MAIN()

@@ -113,4 +113,4 @@ BENCHMARK(BM_RefIntViolationDetected)
 }  // namespace
 }  // namespace txmod::bench
 
-BENCHMARK_MAIN();
+TXMOD_BENCH_MAIN()

@@ -91,4 +91,4 @@ BENCHMARK(BM_Table1Enforce)
 }  // namespace
 }  // namespace txmod::bench
 
-BENCHMARK_MAIN();
+TXMOD_BENCH_MAIN()

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Benchmark runner: builds Release and runs the bench binaries with JSON
+# reports (the harness's --json flag; see bench/workload.h).
+#
+#   scripts/bench.sh                  run bench_table1 + bench_modification,
+#                                     JSON under build/bench-results/
+#   scripts/bench.sh --all            run every bench_* binary
+#   scripts/bench.sh --smoke          one tiny pass of every bench_* binary
+#                                     (CI bit-rot gate; ~seconds per binary)
+#   scripts/bench.sh --update-baseline
+#                                     also refresh BENCH_table1.json at the
+#                                     repo root from this machine's run
+#
+# The checked-in BENCH_table1.json is the recorded Table 1 baseline; its
+# "context" block names the machine and compiler it was captured on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=default
+update_baseline=0
+for arg in "$@"; do
+  case "$arg" in
+    --all) mode=all ;;
+    --smoke) mode=smoke ;;
+    --update-baseline) update_baseline=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [ "$update_baseline" = 1 ] && [ "$mode" = smoke ]; then
+  echo "refusing to refresh BENCH_table1.json from a --smoke run" >&2
+  echo "(smoke timings are abbreviated; rerun without --smoke)" >&2
+  exit 2
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs"
+
+if ! ls build/bench/bench_* >/dev/null 2>&1; then
+  echo "no bench binaries (Google Benchmark not installed?)" >&2
+  exit 1
+fi
+
+outdir=build/bench-results
+mkdir -p "$outdir"
+
+run_one() {
+  local bin="$1"; shift
+  local name
+  name=$(basename "$bin")
+  echo "== $name =="
+  "$bin" --json="$outdir/$name.json" "$@"
+}
+
+case "$mode" in
+  smoke)
+    # One abbreviated pass per binary: enough to catch crashes, stale
+    # APIs, and bit-rotted workloads without burning CI minutes.
+    for bin in build/bench/bench_*; do
+      run_one "$bin" --benchmark_min_time=0.01
+    done
+    ;;
+  all)
+    for bin in build/bench/bench_*; do
+      run_one "$bin"
+    done
+    ;;
+  default)
+    run_one build/bench/bench_table1
+    run_one build/bench/bench_modification
+    ;;
+esac
+
+if [ "$update_baseline" = 1 ]; then
+  cp "$outdir/bench_table1.json" BENCH_table1.json
+  echo "refreshed BENCH_table1.json"
+fi
+
+echo "JSON reports in $outdir/"

@@ -1,5 +1,6 @@
 #include "src/algebra/evaluator.h"
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -82,7 +83,7 @@ AttrType InferExprType(const ScalarExpr& e, const RelationSchema& input) {
     case ScalarOp::kAttrRef: {
       const int i = e.attr_index();
       if (i >= 0 && i < static_cast<int>(input.arity())) {
-        return input.attribute(i).type;
+        return input.attribute(static_cast<std::size_t>(i)).type;
       }
       return AttrType::kString;
     }
@@ -107,7 +108,7 @@ std::string ProjectionName(const ProjectionItem& item,
   if (item.expr.op() == ScalarOp::kAttrRef && item.expr.side() == 0) {
     const int idx = item.expr.attr_index();
     if (idx >= 0 && idx < static_cast<int>(input.arity())) {
-      return input.attribute(idx).name;
+      return input.attribute(static_cast<std::size_t>(idx)).name;
     }
   }
   return StrCat("c", i);
@@ -120,46 +121,433 @@ std::vector<Attribute> ConcatAttrs(const RelationSchema& a,
   return attrs;
 }
 
+void CountScan(EvalStats* stats, std::size_t n) {
+  if (stats != nullptr) stats->tuples_scanned += n;
+}
+void CountEmit(EvalStats* stats, std::size_t n) {
+  if (stats != nullptr) stats->tuples_emitted += n;
+}
+
 // ---------------------------------------------------------------------------
-// Hash-join support: extract equality conjuncts attr(0,i) = attr(1,j).
+// TupleCursor: the pull-based pipeline. Next() yields a borrowed pointer
+// that stays valid until the next call on the same cursor (operators with
+// computed output own a scratch tuple they overwrite in place). nullptr
+// means end-of-stream. Pipelines materialize only at breakers: hash-join
+// build sides, set-operation right sides, product right sides, aggregate
+// inputs that may carry duplicates, and the final result relation.
 // ---------------------------------------------------------------------------
 
-void CollectEquiPairs(const ScalarExpr& pred,
-                      std::vector<std::pair<int, int>>* pairs) {
-  if (pred.op() == ScalarOp::kAnd) {
-    CollectEquiPairs(pred.children()[0], pairs);
-    CollectEquiPairs(pred.children()[1], pairs);
-    return;
+class TupleCursor {
+ public:
+  virtual ~TupleCursor() = default;
+  virtual Result<const Tuple*> Next() = 0;
+};
+
+/// A cursor plus the statically known properties of its stream. `unique`
+/// is true when the stream provably cannot yield the same tuple twice —
+/// set semantics then need no dedup step downstream. Projections and
+/// unions forfeit it; everything else preserves it.
+struct Stream {
+  std::unique_ptr<TupleCursor> cursor;
+  std::shared_ptr<const RelationSchema> schema;
+  bool unique = true;
+};
+
+class ScanCursor : public TupleCursor {
+ public:
+  explicit ScanCursor(RelHandle rel)
+      : rel_(std::move(rel)),
+        it_(rel_.get().begin()),
+        end_(rel_.get().end()) {}
+
+  Result<const Tuple*> Next() override {
+    if (it_ == end_) return static_cast<const Tuple*>(nullptr);
+    const Tuple* t = &*it_;
+    ++it_;
+    return t;
   }
-  if (pred.op() != ScalarOp::kEq) return;
-  const ScalarExpr& a = pred.children()[0];
-  const ScalarExpr& b = pred.children()[1];
-  if (a.op() != ScalarOp::kAttrRef || b.op() != ScalarOp::kAttrRef) return;
-  if (a.side() == 0 && b.side() == 1) {
-    pairs->emplace_back(a.attr_index(), b.attr_index());
-  } else if (a.side() == 1 && b.side() == 0) {
-    pairs->emplace_back(b.attr_index(), a.attr_index());
+
+ private:
+  RelHandle rel_;
+  Relation::ConstIterator it_;
+  Relation::ConstIterator end_;
+};
+
+class EmptyCursor : public TupleCursor {
+ public:
+  Result<const Tuple*> Next() override {
+    return static_cast<const Tuple*>(nullptr);
+  }
+};
+
+class SelectCursor : public TupleCursor {
+ public:
+  SelectCursor(Stream child, const ScalarExpr* pred, EvalStats* stats)
+      : child_(std::move(child)), pred_(pred), stats_(stats) {}
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, child_.cursor->Next());
+      if (t == nullptr) return t;
+      CountScan(stats_, 1);
+      TXMOD_ASSIGN_OR_RETURN(bool keep, pred_->EvalPredicate(t, nullptr));
+      if (keep) {
+        CountEmit(stats_, 1);
+        return t;
+      }
+    }
+  }
+
+ private:
+  Stream child_;
+  const ScalarExpr* pred_;
+  EvalStats* stats_;
+};
+
+class ProjectCursor : public TupleCursor {
+ public:
+  ProjectCursor(Stream child, const std::vector<ProjectionItem>* items,
+                EvalStats* stats)
+      : child_(std::move(child)),
+        items_(items),
+        stats_(stats),
+        scratch_(std::vector<Value>(items->size())) {}
+
+  Result<const Tuple*> Next() override {
+    TXMOD_ASSIGN_OR_RETURN(const Tuple* t, child_.cursor->Next());
+    if (t == nullptr) return t;
+    CountScan(stats_, 1);
+    for (std::size_t i = 0; i < items_->size(); ++i) {
+      TXMOD_ASSIGN_OR_RETURN(Value v, (*items_)[i].expr.EvalValue(t, nullptr));
+      scratch_.at(i) = std::move(v);
+    }
+    CountEmit(stats_, 1);
+    return &scratch_;
+  }
+
+ private:
+  Stream child_;
+  const std::vector<ProjectionItem>* items_;
+  EvalStats* stats_;
+  Tuple scratch_;
+};
+
+/// Copies `src` into `dst` starting at `offset` (scratch concatenation for
+/// products and joins — no fresh Tuple allocation per output row).
+void FillScratch(Tuple* dst, const Tuple& src, std::size_t offset) {
+  for (std::size_t i = 0; i < src.arity(); ++i) {
+    dst->at(offset + i) = src.at(i);
   }
 }
 
-// Normalizes a key value so that hash identity agrees with predicate
-// equality: ints widen to double (Compare coerces numerics).
-Value NormalizeKeyValue(const Value& v) {
-  if (v.is_int()) return Value::Double(static_cast<double>(v.as_int()));
-  return v;
-}
+class ProductCursor : public TupleCursor {
+ public:
+  ProductCursor(Stream left, RelHandle right, std::size_t left_arity,
+                std::size_t right_arity, EvalStats* stats)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_arity_(left_arity),
+        stats_(stats),
+        scratch_(std::vector<Value>(left_arity + right_arity)) {}
 
-Tuple MakeKey(const Tuple& t, const std::vector<int>& attrs) {
-  std::vector<Value> vs;
-  vs.reserve(attrs.size());
-  for (int a : attrs) vs.push_back(NormalizeKeyValue(t.at(a)));
-  return Tuple(std::move(vs));
-}
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      if (lt_ == nullptr || rit_ == right_.get().end()) {
+        TXMOD_ASSIGN_OR_RETURN(lt_, left_.cursor->Next());
+        if (lt_ == nullptr) return lt_;
+        CountScan(stats_, 1);
+        FillScratch(&scratch_, *lt_, 0);
+        rit_ = right_.get().begin();
+        if (rit_ == right_.get().end()) continue;  // empty right operand
+      }
+      FillScratch(&scratch_, *rit_, left_arity_);
+      ++rit_;
+      CountEmit(stats_, 1);
+      return &scratch_;
+    }
+  }
 
-using HashTable = std::unordered_multimap<Tuple, const Tuple*, TupleHasher>;
+ private:
+  Stream left_;
+  RelHandle right_;
+  std::size_t left_arity_;
+  EvalStats* stats_;
+  Tuple scratch_;
+  const Tuple* lt_ = nullptr;
+  Relation::ConstIterator rit_;
+};
+
+/// Join / semijoin / antijoin over the equality conjuncts of the
+/// predicate. The right (build) side is either a transient table built
+/// once per evaluation, or — the differential-check fast path — a
+/// persistent RelationIndex declared on a base relation, in which case
+/// this cursor does no build work at all. Probing hashes the left tuple's
+/// key attributes in place (EquiKeyHash): no per-probe Tuple allocation.
+/// Candidates are verified against the full predicate, so hash collisions
+/// (and the predicate's extra non-equality conjuncts) stay correct.
+class HashJoinCursor : public TupleCursor {
+ public:
+  HashJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
+                 RelHandle right, const RelationIndex* index,
+                 std::vector<int> lattrs, std::vector<int> rattrs,
+                 std::size_t out_arity, EvalStats* stats)
+      : kind_(kind),
+        pred_(pred),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        index_(index),
+        lattrs_(std::move(lattrs)),
+        stats_(stats),
+        scratch_(std::vector<Value>(out_arity)) {
+    if (index_ == nullptr) {
+      own_table_.reserve(right_.get().size());
+      for (const Tuple& rt : right_.get()) {
+        own_table_.emplace(EquiKeyHash(rt, rattrs), &rt);
+      }
+    }
+  }
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      if (kind_ == RelExprKind::kJoin && lt_ != nullptr) {
+        while (it_ != end_) {
+          const Tuple* rt = it_->second;
+          ++it_;
+          TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, rt));
+          if (match) {
+            FillScratch(&scratch_, *rt, lt_->arity());
+            CountEmit(stats_, 1);
+            return &scratch_;
+          }
+        }
+      }
+      TXMOD_ASSIGN_OR_RETURN(lt_, left_.cursor->Next());
+      if (lt_ == nullptr) return lt_;
+      CountScan(stats_, 1);
+      const std::size_t h = EquiKeyHash(*lt_, lattrs_);
+      auto [begin, end] = index_ != nullptr
+                              ? index_->Probe(h)
+                              : std::as_const(own_table_).equal_range(h);
+      if (kind_ == RelExprKind::kJoin) {
+        it_ = begin;
+        end_ = end;
+        FillScratch(&scratch_, *lt_, 0);
+        continue;
+      }
+      bool matched = false;
+      for (auto it = begin; it != end; ++it) {
+        TXMOD_ASSIGN_OR_RETURN(bool match,
+                               pred_->EvalPredicate(lt_, it->second));
+        if (match) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched == (kind_ == RelExprKind::kSemiJoin)) {
+        CountEmit(stats_, 1);
+        return lt_;
+      }
+    }
+  }
+
+ private:
+  RelExprKind kind_;
+  const ScalarExpr* pred_;
+  Stream left_;
+  RelHandle right_;
+  const RelationIndex* index_;
+  std::vector<int> lattrs_;
+  EvalStats* stats_;
+  RelationIndex::Map own_table_;
+  Tuple scratch_;
+  const Tuple* lt_ = nullptr;
+  RelationIndex::Iterator it_;
+  RelationIndex::Iterator end_;
+};
+
+/// Join-like fallback when the predicate has no equality conjunct: stream
+/// the left side against the materialized right side.
+class NestedJoinCursor : public TupleCursor {
+ public:
+  NestedJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
+                   RelHandle right, std::size_t out_arity, EvalStats* stats)
+      : kind_(kind),
+        pred_(pred),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        stats_(stats),
+        scratch_(std::vector<Value>(out_arity)) {}
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      if (kind_ == RelExprKind::kJoin && lt_ != nullptr) {
+        while (rit_ != right_.get().end()) {
+          const Tuple* rt = &*rit_;
+          ++rit_;
+          TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, rt));
+          if (match) {
+            FillScratch(&scratch_, *rt, lt_->arity());
+            CountEmit(stats_, 1);
+            return &scratch_;
+          }
+        }
+      }
+      TXMOD_ASSIGN_OR_RETURN(lt_, left_.cursor->Next());
+      if (lt_ == nullptr) return lt_;
+      CountScan(stats_, 1);
+      if (kind_ == RelExprKind::kJoin) {
+        rit_ = right_.get().begin();
+        FillScratch(&scratch_, *lt_, 0);
+        continue;
+      }
+      bool matched = false;
+      for (const Tuple& rt : right_.get()) {
+        TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, &rt));
+        if (match) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched == (kind_ == RelExprKind::kSemiJoin)) {
+        CountEmit(stats_, 1);
+        return lt_;
+      }
+    }
+  }
+
+ private:
+  RelExprKind kind_;
+  const ScalarExpr* pred_;
+  Stream left_;
+  RelHandle right_;
+  EvalStats* stats_;
+  Tuple scratch_;
+  const Tuple* lt_ = nullptr;
+  Relation::ConstIterator rit_;
+};
+
+class UnionCursor : public TupleCursor {
+ public:
+  UnionCursor(Stream left, Stream right, EvalStats* stats)
+      : left_(std::move(left)), right_(std::move(right)), stats_(stats) {}
+
+  Result<const Tuple*> Next() override {
+    if (!left_done_) {
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, left_.cursor->Next());
+      if (t != nullptr) {
+        CountScan(stats_, 1);
+        CountEmit(stats_, 1);
+        return t;
+      }
+      left_done_ = true;
+    }
+    TXMOD_ASSIGN_OR_RETURN(const Tuple* t, right_.cursor->Next());
+    if (t != nullptr) {
+      CountScan(stats_, 1);
+      CountEmit(stats_, 1);
+    }
+    return t;
+  }
+
+ private:
+  Stream left_;
+  Stream right_;
+  EvalStats* stats_;
+  bool left_done_ = false;
+};
+
+/// Difference (want_in = false) / intersection (want_in = true) against a
+/// *projection of an indexed base relation*, without materializing the
+/// projection: x is a member of project[attrs](R) iff some R-tuple carries
+/// exactly x's values at `attrs`, which one probe of R's index answers.
+/// This is the shape the translator emits for the paper's differential
+/// referential checks — diff(project[ref](dplus(F)), project[key](K)) —
+/// and is what turns their cost from O(|K|) into O(|dplus(F)|).
+/// Membership is type-exact (set semantics), verified on each candidate;
+/// KeyHash never separates identical values, so no member is missed.
+class IndexedSetOpCursor : public TupleCursor {
+ public:
+  IndexedSetOpCursor(Stream left, const RelationIndex* index,
+                     bool want_in, EvalStats* stats)
+      : left_(std::move(left)),
+        index_(index),
+        want_in_(want_in),
+        stats_(stats) {
+    probe_attrs_.reserve(index_->attrs().size());
+    for (std::size_t i = 0; i < index_->attrs().size(); ++i) {
+      probe_attrs_.push_back(static_cast<int>(i));
+    }
+  }
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, left_.cursor->Next());
+      if (t == nullptr) return t;
+      CountScan(stats_, 1);
+      const std::size_t h = EquiKeyHash(*t, probe_attrs_);
+      bool found = false;
+      auto [begin, end] = index_->Probe(h);
+      for (auto it = begin; it != end && !found; ++it) {
+        const Tuple& candidate = *it->second;
+        bool equal = true;
+        for (std::size_t i = 0; i < index_->attrs().size(); ++i) {
+          const std::size_t a =
+              static_cast<std::size_t>(index_->attrs()[i]);
+          if (!(candidate.at(a) == t->at(i))) {
+            equal = false;
+            break;
+          }
+        }
+        found = equal;
+      }
+      if (found == want_in_) {
+        CountEmit(stats_, 1);
+        return t;
+      }
+    }
+  }
+
+ private:
+  Stream left_;
+  const RelationIndex* index_;
+  bool want_in_;
+  EvalStats* stats_;
+  std::vector<int> probe_attrs_;
+};
+
+/// Difference (want_in = false) / intersection (want_in = true): stream
+/// the left side, membership-test against the materialized right side.
+class FilterSetOpCursor : public TupleCursor {
+ public:
+  FilterSetOpCursor(Stream left, RelHandle right, bool want_in,
+                    EvalStats* stats)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        want_in_(want_in),
+        stats_(stats) {}
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, left_.cursor->Next());
+      if (t == nullptr) return t;
+      CountScan(stats_, 1);
+      if (right_.get().Contains(*t) == want_in_) {
+        CountEmit(stats_, 1);
+        return t;
+      }
+    }
+  }
+
+ private:
+  Stream left_;
+  RelHandle right_;
+  bool want_in_;
+  EvalStats* stats_;
+};
 
 // ---------------------------------------------------------------------------
-// The evaluator proper.
+// The evaluator proper: builds the cursor pipeline, materializing only at
+// pipeline breakers and at the final result.
 // ---------------------------------------------------------------------------
 
 class Evaluator {
@@ -167,51 +555,286 @@ class Evaluator {
   Evaluator(const EvalContext& ctx, EvalStats* stats)
       : ctx_(ctx), stats_(stats) {}
 
-  Result<RelHandle> Eval(const RelExpr& e) {
-    if (stats_ != nullptr) ++stats_->operators;
+  Result<Relation> Evaluate(const RelExpr& e) {
+    // Nodes that are whole relations already (references) or inherently
+    // eager (literals, aggregates) skip the cursor layer at the root.
+    switch (e.kind()) {
+      case RelExprKind::kRef:
+      case RelExprKind::kLiteral:
+      case RelExprKind::kAggregate: {
+        TXMOD_ASSIGN_OR_RETURN(RelHandle h, Materialize(e));
+        return std::move(h).Take();
+      }
+      default:
+        break;
+    }
+    TXMOD_ASSIGN_OR_RETURN(Stream s, Open(e));
+    return Drain(&s);
+  }
+
+ private:
+  Result<Relation> Drain(Stream* s) {
+    Relation out(s->schema);
+    for (;;) {
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, s->cursor->Next());
+      if (t == nullptr) break;
+      out.Insert(*t);
+    }
+    return out;
+  }
+
+  /// A whole-relation view of `e`: borrowed for references, owned (and
+  /// deduplicated) for everything else. Build sides of joins, products and
+  /// set operations — the pipeline breakers — come through here.
+  Result<RelHandle> Materialize(const RelExpr& e) {
     switch (e.kind()) {
       case RelExprKind::kRef: {
+        if (stats_ != nullptr) ++stats_->operators;
         TXMOD_ASSIGN_OR_RETURN(const Relation* rel,
                                ctx_.Resolve(e.ref_kind(), e.rel_name()));
         return RelHandle::Borrowed(rel);
       }
-      case RelExprKind::kLiteral:
+      case RelExprKind::kLiteral: {
+        if (stats_ != nullptr) ++stats_->operators;
         return EvalLiteral(e);
+      }
+      case RelExprKind::kAggregate: {
+        if (stats_ != nullptr) ++stats_->operators;
+        return EvalAggregate(e);
+      }
+      default: {
+        TXMOD_ASSIGN_OR_RETURN(Stream s, Open(e));
+        TXMOD_ASSIGN_OR_RETURN(Relation out, Drain(&s));
+        return RelHandle::Owned(std::move(out));
+      }
+    }
+  }
+
+  Result<Stream> Open(const RelExpr& e) {
+    switch (e.kind()) {
+      case RelExprKind::kRef:
+      case RelExprKind::kLiteral:
+      case RelExprKind::kAggregate: {
+        TXMOD_ASSIGN_OR_RETURN(RelHandle h, Materialize(e));
+        Stream s;
+        s.schema = h.get().schema_ptr();
+        s.unique = true;
+        s.cursor = std::make_unique<ScanCursor>(std::move(h));
+        return s;
+      }
       case RelExprKind::kSelect:
-        return EvalSelect(e);
+        return OpenSelect(e);
       case RelExprKind::kProject:
-        return EvalProject(e);
+        return OpenProject(e);
       case RelExprKind::kProduct:
-        return EvalProduct(e);
+        return OpenProduct(e);
       case RelExprKind::kJoin:
       case RelExprKind::kSemiJoin:
       case RelExprKind::kAntiJoin:
-        return EvalJoinLike(e);
+        return OpenJoinLike(e);
       case RelExprKind::kUnion:
       case RelExprKind::kDifference:
       case RelExprKind::kIntersect:
-        return EvalSetOp(e);
-      case RelExprKind::kAggregate:
-        return EvalAggregate(e);
+        return OpenSetOp(e);
     }
     return Status::Internal("unknown RelExpr kind");
   }
 
- private:
-  void CountScan(std::size_t n) {
-    if (stats_ != nullptr) stats_->tuples_scanned += n;
+  Result<Stream> OpenSelect(const RelExpr& e) {
+    if (stats_ != nullptr) ++stats_->operators;
+    TXMOD_ASSIGN_OR_RETURN(Stream in, Open(*e.left()));
+    Stream s;
+    s.schema = in.schema;
+    s.unique = in.unique;
+    s.cursor = std::make_unique<SelectCursor>(std::move(in), &e.predicate(),
+                                              stats_);
+    return s;
   }
-  void CountEmit(std::size_t n) {
-    if (stats_ != nullptr) stats_->tuples_emitted += n;
+
+  Result<Stream> OpenProject(const RelExpr& e) {
+    if (stats_ != nullptr) ++stats_->operators;
+    TXMOD_ASSIGN_OR_RETURN(Stream in, Open(*e.left()));
+    std::vector<Attribute> attrs;
+    attrs.reserve(e.projections().size());
+    for (std::size_t i = 0; i < e.projections().size(); ++i) {
+      attrs.push_back(
+          Attribute{ProjectionName(e.projections()[i], *in.schema, i),
+                    InferExprType(e.projections()[i].expr, *in.schema)});
+    }
+    Stream s;
+    s.schema = MakeSchema(std::move(attrs));
+    s.unique = false;  // distinct inputs may project to the same output
+    s.cursor = std::make_unique<ProjectCursor>(std::move(in),
+                                               &e.projections(), stats_);
+    return s;
+  }
+
+  Result<Stream> OpenProduct(const RelExpr& e) {
+    if (stats_ != nullptr) ++stats_->operators;
+    TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(*e.right()));
+    CountScan(stats_, right.get().size());  // build side is read once
+    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
+    const std::size_t larity = l.schema->arity();
+    const std::size_t rarity = right.get().arity();
+    Stream s;
+    s.schema = MakeSchema(ConcatAttrs(*l.schema, right.get().schema()));
+    s.unique = l.unique;  // the right side, a set, cannot repeat
+    s.cursor = std::make_unique<ProductCursor>(std::move(l), std::move(right),
+                                               larity, rarity, stats_);
+    return s;
+  }
+
+  Result<Stream> OpenJoinLike(const RelExpr& e) {
+    if (stats_ != nullptr) ++stats_->operators;
+    std::vector<std::pair<int, int>> equi;
+    CollectEquiPairs(e.predicate(), &equi);
+    std::vector<int> lattrs, rattrs;
+    lattrs.reserve(equi.size());
+    rattrs.reserve(equi.size());
+    for (const auto& [a, b] : equi) {
+      lattrs.push_back(a);
+      rattrs.push_back(b);
+    }
+
+    // The build side. A borrowed base relation with a declared index on
+    // exactly the join's key attributes is probed in place: no scan, no
+    // table build — this is what makes the compiled differential checks
+    // cheap on every transaction after the first.
+    TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(*e.right()));
+    const Relation& r = right.get();
+    const RelationIndex* index =
+        equi.empty() ? nullptr : r.FindIndex(rattrs);
+
+    const bool is_join = e.kind() == RelExprKind::kJoin;
+    if (r.empty()) {
+      // An antijoin with nothing to exclude is the left side itself; a
+      // join or semijoin with nothing to match is empty. Either way the
+      // left subtree is opened but never re-filtered — this is what makes
+      // differential checks free when the transaction did not touch the
+      // differential relation.
+      TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
+      if (e.kind() == RelExprKind::kAntiJoin) return l;
+      Stream s;
+      s.schema = is_join ? MakeSchema(ConcatAttrs(*l.schema, r.schema()))
+                         : l.schema;
+      s.unique = true;
+      s.cursor = std::make_unique<EmptyCursor>();
+      return s;
+    }
+
+    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
+    Stream s;
+    s.schema = is_join ? MakeSchema(ConcatAttrs(*l.schema, r.schema()))
+                       : l.schema;
+    s.unique = l.unique;
+    const std::size_t out_arity = s.schema->arity();
+    if (!equi.empty()) {
+      // A transient build scans the right side once; an index build side
+      // is not scanned at all.
+      if (index == nullptr) CountScan(stats_, r.size());
+      s.cursor = std::make_unique<HashJoinCursor>(
+          e.kind(), &e.predicate(), std::move(l), std::move(right), index,
+          std::move(lattrs), std::move(rattrs), out_arity, stats_);
+    } else {
+      CountScan(stats_, r.size());
+      s.cursor = std::make_unique<NestedJoinCursor>(
+          e.kind(), &e.predicate(), std::move(l), std::move(right),
+          out_arity, stats_);
+    }
+    return s;
+  }
+
+  Result<Stream> OpenSetOp(const RelExpr& e) {
+    if (stats_ != nullptr) ++stats_->operators;
+    if (e.kind() == RelExprKind::kUnion) {
+      TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
+      TXMOD_ASSIGN_OR_RETURN(Stream r, Open(*e.right()));
+      if (l.schema->arity() != r.schema->arity()) {
+        return Status::InvalidArgument(
+            StrCat("set operation over different arities: ",
+                   l.schema->arity(), " vs ", r.schema->arity()));
+      }
+      Stream s;
+      s.schema = l.schema;
+      s.unique = false;  // the same tuple may arrive from both sides
+      s.cursor = std::make_unique<UnionCursor>(std::move(l), std::move(r),
+                                               stats_);
+      return s;
+    }
+    // Indexed membership fast path: when the right side is a pure
+    // attribute projection of a reference whose resolved relation carries
+    // a declared index on exactly those attributes, the projection is
+    // never materialized — each left tuple costs one index probe. Neither
+    // the projection nor its input count as scanned.
+    std::vector<int> proj_attrs;
+    if (IsAttrProjectionOfRef(*e.right(), &proj_attrs)) {
+      TXMOD_ASSIGN_OR_RETURN(
+          const Relation* base,
+          ctx_.Resolve(e.right()->left()->ref_kind(),
+                       e.right()->left()->rel_name()));
+      const RelationIndex* index = base->FindIndex(proj_attrs);
+      if (index != nullptr) {
+        TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
+        if (l.schema->arity() != proj_attrs.size()) {
+          return Status::InvalidArgument(
+              StrCat("set operation over different arities: ",
+                     l.schema->arity(), " vs ", proj_attrs.size()));
+        }
+        Stream s;
+        s.schema = l.schema;
+        s.unique = l.unique;
+        s.cursor = std::make_unique<IndexedSetOpCursor>(
+            std::move(l), index,
+            /*want_in=*/e.kind() == RelExprKind::kIntersect, stats_);
+        return s;
+      }
+    }
+
+    TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(*e.right()));
+    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
+    if (l.schema->arity() != right.get().arity()) {
+      return Status::InvalidArgument(
+          StrCat("set operation over different arities: ", l.schema->arity(),
+                 " vs ", right.get().arity()));
+    }
+    if (right.get().empty()) {
+      // Difference against nothing passes the left side through;
+      // intersection with nothing is empty. No scans either way.
+      if (e.kind() == RelExprKind::kDifference) return l;
+      Stream s;
+      s.schema = l.schema;
+      s.unique = true;
+      s.cursor = std::make_unique<EmptyCursor>();
+      return s;
+    }
+    CountScan(stats_, right.get().size());
+    Stream s;
+    s.schema = l.schema;
+    s.unique = l.unique;
+    s.cursor = std::make_unique<FilterSetOpCursor>(
+        std::move(l), std::move(right),
+        /*want_in=*/e.kind() == RelExprKind::kIntersect, stats_);
+    return s;
   }
 
   Result<RelHandle> EvalLiteral(const RelExpr& e) {
+    // Every tuple's arity is validated before the schema-inference loop
+    // below reads attribute i of arbitrary tuples: a short tuple used to
+    // be an out-of-bounds read.
+    for (const Tuple& t : e.literal_tuples()) {
+      if (static_cast<int>(t.arity()) != e.literal_arity()) {
+        return Status::InvalidArgument(
+            StrCat("literal tuple ", t.ToString(), " has arity ", t.arity(),
+                   ", expected ", e.literal_arity()));
+      }
+    }
     std::vector<Attribute> attrs;
     for (int i = 0; i < e.literal_arity(); ++i) {
+      const std::size_t col = static_cast<std::size_t>(i);
       AttrType type = AttrType::kString;
       for (const Tuple& t : e.literal_tuples()) {
-        if (!t.at(i).is_null()) {
-          type = ValueAttrType(t.at(i));
+        if (!t.at(col).is_null()) {
+          type = ValueAttrType(t.at(col));
           break;
         }
       }
@@ -219,211 +842,9 @@ class Evaluator {
     }
     Relation out(MakeSchema(std::move(attrs)));
     for (const Tuple& t : e.literal_tuples()) {
-      if (static_cast<int>(t.arity()) != e.literal_arity()) {
-        return Status::InvalidArgument(
-            StrCat("literal tuple ", t.ToString(), " has arity ", t.arity(),
-                   ", expected ", e.literal_arity()));
-      }
       out.Insert(t);
     }
-    CountEmit(out.size());
-    return RelHandle::Owned(std::move(out));
-  }
-
-  Result<RelHandle> EvalSelect(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(RelHandle in, Eval(*e.left()));
-    const Relation& input = in.get();
-    Relation out(input.schema_ptr());
-    CountScan(input.size());
-    for (const Tuple& t : input) {
-      TXMOD_ASSIGN_OR_RETURN(bool keep,
-                             e.predicate().EvalPredicate(&t, nullptr));
-      if (keep) out.Insert(t);
-    }
-    CountEmit(out.size());
-    return RelHandle::Owned(std::move(out));
-  }
-
-  Result<RelHandle> EvalProject(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(RelHandle in, Eval(*e.left()));
-    const Relation& input = in.get();
-    const RelationSchema& in_schema = input.schema();
-    std::vector<Attribute> attrs;
-    for (std::size_t i = 0; i < e.projections().size(); ++i) {
-      attrs.push_back(
-          Attribute{ProjectionName(e.projections()[i], in_schema, i),
-                    InferExprType(e.projections()[i].expr, in_schema)});
-    }
-    Relation out(MakeSchema(std::move(attrs)));
-    CountScan(input.size());
-    for (const Tuple& t : input) {
-      std::vector<Value> values;
-      values.reserve(e.projections().size());
-      for (const ProjectionItem& item : e.projections()) {
-        TXMOD_ASSIGN_OR_RETURN(Value v, item.expr.EvalValue(&t, nullptr));
-        values.push_back(std::move(v));
-      }
-      out.Insert(Tuple(std::move(values)));
-    }
-    CountEmit(out.size());
-    return RelHandle::Owned(std::move(out));
-  }
-
-  Result<RelHandle> EvalProduct(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
-    TXMOD_ASSIGN_OR_RETURN(RelHandle rh, Eval(*e.right()));
-    const Relation& l = lh.get();
-    const Relation& r = rh.get();
-    Relation out(MakeSchema(ConcatAttrs(l.schema(), r.schema())));
-    CountScan(l.size() + r.size());
-    for (const Tuple& lt : l) {
-      for (const Tuple& rt : r) {
-        out.Insert(Tuple::Concat(lt, rt));
-      }
-    }
-    CountEmit(out.size());
-    return RelHandle::Owned(std::move(out));
-  }
-
-  Result<RelHandle> EvalJoinLike(const RelExpr& e) {
-    // Short-circuit on an empty right operand before touching the left
-    // side: a join or semijoin with nothing to match is empty, and an
-    // antijoin with nothing to exclude is the left side itself. This is
-    // what makes differential checks (semijoins against dplus/dminus)
-    // effectively free when the transaction did not touch the relation.
-    TXMOD_ASSIGN_OR_RETURN(RelHandle rh, Eval(*e.right()));
-    if (rh.get().empty()) {
-      if (e.kind() == RelExprKind::kAntiJoin) return Eval(*e.left());
-      if (e.kind() == RelExprKind::kSemiJoin) {
-        TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
-        return RelHandle::Owned(Relation(lh.get().schema_ptr()));
-      }
-      // kJoin: empty output with the concatenated schema.
-      TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
-      return RelHandle::Owned(Relation(
-          MakeSchema(ConcatAttrs(lh.get().schema(), rh.get().schema()))));
-    }
-    TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
-    const Relation& l = lh.get();
-    const Relation& r = rh.get();
-    if (l.empty()) {
-      if (e.kind() == RelExprKind::kJoin) {
-        return RelHandle::Owned(
-            Relation(MakeSchema(ConcatAttrs(l.schema(), r.schema()))));
-      }
-      return RelHandle::Owned(Relation(l.schema_ptr()));
-    }
-    CountScan(l.size() + r.size());
-
-    std::vector<std::pair<int, int>> equi;
-    CollectEquiPairs(e.predicate(), &equi);
-    std::vector<int> lattrs, rattrs;
-    for (const auto& [a, b] : equi) {
-      lattrs.push_back(a);
-      rattrs.push_back(b);
-    }
-
-    std::shared_ptr<const RelationSchema> out_schema;
-    const bool is_join = e.kind() == RelExprKind::kJoin;
-    if (is_join) {
-      out_schema = MakeSchema(ConcatAttrs(l.schema(), r.schema()));
-    } else {
-      out_schema = l.schema_ptr();
-    }
-    Relation out(out_schema);
-
-    auto emit = [&](const Tuple& lt, const Tuple* rt) {
-      if (is_join) {
-        out.Insert(Tuple::Concat(lt, *rt));
-      } else {
-        out.Insert(lt);
-      }
-    };
-
-    if (!equi.empty()) {
-      HashTable table;
-      table.reserve(r.size());
-      for (const Tuple& rt : r) {
-        table.emplace(MakeKey(rt, rattrs), &rt);
-      }
-      for (const Tuple& lt : l) {
-        const Tuple key = MakeKey(lt, lattrs);
-        auto [begin, end] = table.equal_range(key);
-        bool matched = false;
-        for (auto it = begin; it != end; ++it) {
-          TXMOD_ASSIGN_OR_RETURN(
-              bool match, e.predicate().EvalPredicate(&lt, it->second));
-          if (!match) continue;
-          matched = true;
-          if (e.kind() == RelExprKind::kJoin) {
-            emit(lt, it->second);
-          } else {
-            break;  // semi/anti joins only need existence
-          }
-        }
-        if (e.kind() == RelExprKind::kSemiJoin && matched) emit(lt, nullptr);
-        if (e.kind() == RelExprKind::kAntiJoin && !matched) emit(lt, nullptr);
-      }
-    } else {
-      for (const Tuple& lt : l) {
-        bool matched = false;
-        for (const Tuple& rt : r) {
-          TXMOD_ASSIGN_OR_RETURN(bool match,
-                                 e.predicate().EvalPredicate(&lt, &rt));
-          if (!match) continue;
-          matched = true;
-          if (e.kind() == RelExprKind::kJoin) {
-            emit(lt, &rt);
-          } else {
-            break;
-          }
-        }
-        if (e.kind() == RelExprKind::kSemiJoin && matched) emit(lt, nullptr);
-        if (e.kind() == RelExprKind::kAntiJoin && !matched) emit(lt, nullptr);
-      }
-    }
-    CountEmit(out.size());
-    return RelHandle::Owned(std::move(out));
-  }
-
-  Result<RelHandle> EvalSetOp(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(RelHandle lh, Eval(*e.left()));
-    TXMOD_ASSIGN_OR_RETURN(RelHandle rh, Eval(*e.right()));
-    const Relation& l = lh.get();
-    const Relation& r = rh.get();
-    if (l.arity() != r.arity()) {
-      return Status::InvalidArgument(
-          StrCat("set operation over different arities: ", l.arity(),
-                 " vs ", r.arity()));
-    }
-    // Difference/intersection against an empty right side need no scan.
-    if (r.empty() && e.kind() == RelExprKind::kDifference) {
-      return lh;
-    }
-    if (r.empty() && e.kind() == RelExprKind::kIntersect) {
-      return RelHandle::Owned(Relation(l.schema_ptr()));
-    }
-    CountScan(l.size() + r.size());
-    Relation out(l.schema_ptr());
-    switch (e.kind()) {
-      case RelExprKind::kUnion:
-        for (const Tuple& t : l) out.Insert(t);
-        for (const Tuple& t : r) out.Insert(t);
-        break;
-      case RelExprKind::kDifference:
-        for (const Tuple& t : l) {
-          if (!r.Contains(t)) out.Insert(t);
-        }
-        break;
-      case RelExprKind::kIntersect:
-        for (const Tuple& t : l) {
-          if (r.Contains(t)) out.Insert(t);
-        }
-        break;
-      default:
-        return Status::Internal("EvalSetOp on non-set-op");
-    }
-    CountEmit(out.size());
+    CountEmit(stats_, out.size());
     return RelHandle::Owned(std::move(out));
   }
 
@@ -486,11 +907,14 @@ class Evaluator {
     return Status::Internal("unknown aggregate function");
   }
 
+  /// Aggregates are pipeline breakers: the whole input is consumed before
+  /// the single output (or group rows) exist. A provably duplicate-free
+  /// input streams straight into the accumulators; anything else (e.g. a
+  /// projection) is materialized first, because relations are sets and
+  /// CNT/SUM/AVG must not observe a tuple twice.
   Result<RelHandle> EvalAggregate(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(RelHandle in, Eval(*e.left()));
-    const Relation& input = in.get();
-    const RelationSchema& in_schema = input.schema();
-    CountScan(input.size());
+    TXMOD_ASSIGN_OR_RETURN(Stream in, Open(*e.left()));
+    const RelationSchema& in_schema = *in.schema;
 
     const int attr = e.agg_attr();
     const bool needs_attr = e.agg_func() != AggFunc::kCnt;
@@ -508,7 +932,7 @@ class Evaluator {
         return Status::InvalidArgument(
             StrCat("group-by attribute #", g, " out of range"));
       }
-      attrs.push_back(in_schema.attribute(g));
+      attrs.push_back(in_schema.attribute(static_cast<std::size_t>(g)));
     }
     AttrType agg_type = AttrType::kInt;
     switch (e.agg_func()) {
@@ -519,8 +943,10 @@ class Evaluator {
         agg_type = AttrType::kDouble;
         break;
       default:
-        agg_type = needs_attr ? in_schema.attribute(attr).type
-                              : AttrType::kInt;
+        agg_type = needs_attr
+                       ? in_schema.attribute(static_cast<std::size_t>(attr))
+                             .type
+                       : AttrType::kInt;
         break;
     }
     attrs.push_back(Attribute{AggFuncToString(e.agg_func()), agg_type});
@@ -532,7 +958,7 @@ class Evaluator {
         acc->count += 1;
         return Status::OK();
       }
-      const Value& v = t.at(attr);
+      const Value& v = t.at(static_cast<std::size_t>(attr));
       if (!v.is_null() && !v.is_numeric() &&
           (e.agg_func() == AggFunc::kSum || e.agg_func() == AggFunc::kAvg)) {
         saw_non_numeric = true;
@@ -540,23 +966,38 @@ class Evaluator {
       return Accumulate(acc, v);
     };
 
-    if (e.group_by().empty()) {
-      GroupAcc acc;
-      for (const Tuple& t : input) {
-        TXMOD_RETURN_IF_ERROR(observe(&acc, t));
+    GroupAcc scalar_acc;
+    std::unordered_map<Tuple, GroupAcc, TupleHasher> groups;
+    const bool grouped = !e.group_by().empty();
+    auto process = [&](const Tuple& t) -> Status {
+      CountScan(stats_, 1);
+      if (!grouped) return observe(&scalar_acc, t);
+      std::vector<Value> key_vals;
+      key_vals.reserve(e.group_by().size());
+      for (int g : e.group_by()) {
+        key_vals.push_back(t.at(static_cast<std::size_t>(g)));
       }
-      TXMOD_ASSIGN_OR_RETURN(Value v,
-                             Finalize(acc, e.agg_func(), saw_non_numeric));
+      return observe(&groups[Tuple(std::move(key_vals))], t);
+    };
+
+    if (in.unique) {
+      for (;;) {
+        TXMOD_ASSIGN_OR_RETURN(const Tuple* t, in.cursor->Next());
+        if (t == nullptr) break;
+        TXMOD_RETURN_IF_ERROR(process(*t));
+      }
+    } else {
+      TXMOD_ASSIGN_OR_RETURN(Relation dedup, Drain(&in));
+      for (const Tuple& t : dedup) {
+        TXMOD_RETURN_IF_ERROR(process(t));
+      }
+    }
+
+    if (!grouped) {
+      TXMOD_ASSIGN_OR_RETURN(
+          Value v, Finalize(scalar_acc, e.agg_func(), saw_non_numeric));
       out.Insert(Tuple({std::move(v)}));
     } else {
-      std::unordered_map<Tuple, GroupAcc, TupleHasher> groups;
-      for (const Tuple& t : input) {
-        std::vector<Value> key_vals;
-        key_vals.reserve(e.group_by().size());
-        for (int g : e.group_by()) key_vals.push_back(t.at(g));
-        TXMOD_RETURN_IF_ERROR(
-            observe(&groups[Tuple(std::move(key_vals))], t));
-      }
       for (const auto& [key, acc] : groups) {
         TXMOD_ASSIGN_OR_RETURN(Value v,
                                Finalize(acc, e.agg_func(), saw_non_numeric));
@@ -565,7 +1006,7 @@ class Evaluator {
         out.Insert(std::move(row));
       }
     }
-    CountEmit(out.size());
+    CountEmit(stats_, out.size());
     return RelHandle::Owned(std::move(out));
   }
 
@@ -578,8 +1019,7 @@ class Evaluator {
 Result<Relation> EvaluateRelExpr(const RelExpr& expr, const EvalContext& ctx,
                                  EvalStats* stats) {
   Evaluator ev(ctx, stats);
-  TXMOD_ASSIGN_OR_RETURN(RelHandle h, ev.Eval(expr));
-  return std::move(h).Take();
+  return ev.Evaluate(expr);
 }
 
 }  // namespace txmod::algebra

@@ -270,4 +270,38 @@ std::string RelExpr::ToString() const {
   return "?";
 }
 
+void CollectEquiPairs(const ScalarExpr& pred,
+                      std::vector<std::pair<int, int>>* pairs) {
+  if (pred.op() == ScalarOp::kAnd) {
+    CollectEquiPairs(pred.children()[0], pairs);
+    CollectEquiPairs(pred.children()[1], pairs);
+    return;
+  }
+  if (pred.op() != ScalarOp::kEq) return;
+  const ScalarExpr& a = pred.children()[0];
+  const ScalarExpr& b = pred.children()[1];
+  if (a.op() != ScalarOp::kAttrRef || b.op() != ScalarOp::kAttrRef) return;
+  if (a.side() == 0 && b.side() == 1) {
+    pairs->emplace_back(a.attr_index(), b.attr_index());
+  } else if (a.side() == 1 && b.side() == 0) {
+    pairs->emplace_back(b.attr_index(), a.attr_index());
+  }
+}
+
+bool IsAttrProjectionOfRef(const RelExpr& e, std::vector<int>* attrs) {
+  if (e.kind() != RelExprKind::kProject ||
+      e.left()->kind() != RelExprKind::kRef) {
+    return false;
+  }
+  attrs->clear();
+  attrs->reserve(e.projections().size());
+  for (const ProjectionItem& item : e.projections()) {
+    if (item.expr.op() != ScalarOp::kAttrRef || item.expr.side() != 0) {
+      return false;
+    }
+    attrs->push_back(item.expr.attr_index());
+  }
+  return !attrs->empty();
+}
+
 }  // namespace txmod::algebra

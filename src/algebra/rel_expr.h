@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/algebra/scalar_expr.h"
@@ -145,6 +146,22 @@ class RelExpr {
   std::vector<int> group_by_;
   std::vector<RelExprPtr> inputs_;
 };
+
+/// Collects the equality conjuncts `attr(0, i) = attr(1, j)` of a join
+/// predicate as (left attr, right attr) pairs, in predicate order. The
+/// evaluator keys hash joins on these; the integrity subsystem declares
+/// relation indexes on the right-hand lists. Both must extract identically
+/// — which is why this lives here and not in either of them.
+void CollectEquiPairs(const ScalarExpr& pred,
+                      std::vector<std::pair<int, int>>* pairs);
+
+/// True when `e` has the shape project[a1, ..., ak](ref) with every
+/// projection a plain side-0 attribute reference; fills `attrs` with the
+/// referenced indices. The evaluator answers membership in this shape by
+/// probing a relation index instead of materializing the projection, and
+/// the integrity subsystem declares the matching index — both must agree
+/// on the shape, which is why it lives here.
+bool IsAttrProjectionOfRef(const RelExpr& e, std::vector<int>* attrs);
 
 }  // namespace txmod::algebra
 

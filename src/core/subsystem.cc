@@ -8,6 +8,67 @@
 
 namespace txmod::core {
 
+namespace {
+
+/// Declares a persistent equi-key index for every join-like node of a
+/// compiled integrity program whose build (right) side is a base relation:
+/// the translated form of `exists y (y in R and x.a = y.b)` is a
+/// semijoin/antijoin probing R on b on *every* triggered transaction, so R
+/// gets a RelationIndex on exactly those key attributes. Declared once at
+/// rule definition time (the paper's Section 6.2 point: pay at definition
+/// time, not at enforcement time); Relation::Insert/Erase keep it coherent
+/// afterwards. Dropping a rule does not retract a declaration — an index
+/// another rule may still use is cheap to keep and expensive to guess
+/// about.
+void DeclareIndexOnBase(const std::string& rel_name, std::vector<int> attrs,
+                        Database* db) {
+  Result<Relation*> rel = db->FindMutable(rel_name);
+  if (rel.ok()) (*rel)->IndexOn(std::move(attrs));
+}
+
+void DeclareCheckIndexes(const algebra::RelExpr& e, Database* db) {
+  for (const algebra::RelExprPtr& input : e.inputs()) {
+    DeclareCheckIndexes(*input, db);
+  }
+  switch (e.kind()) {
+    case algebra::RelExprKind::kJoin:
+    case algebra::RelExprKind::kSemiJoin:
+    case algebra::RelExprKind::kAntiJoin: {
+      // The build side of an equi-join-like node: probed per left tuple.
+      const algebra::RelExpr& right = *e.right();
+      if (right.kind() != algebra::RelExprKind::kRef ||
+          right.ref_kind() != algebra::RelRefKind::kBase) {
+        return;
+      }
+      std::vector<std::pair<int, int>> equi;
+      algebra::CollectEquiPairs(e.predicate(), &equi);
+      if (equi.empty()) return;
+      std::vector<int> rattrs;
+      rattrs.reserve(equi.size());
+      for (const auto& [lattr, rattr] : equi) rattrs.push_back(rattr);
+      DeclareIndexOnBase(right.rel_name(), std::move(rattrs), db);
+      return;
+    }
+    case algebra::RelExprKind::kDifference:
+    case algebra::RelExprKind::kIntersect: {
+      // The membership side of a projection difference — the translated
+      // form of referential conditions: diff(project[ref](dplus(F)),
+      // project[key](K)) tests each differential tuple for a partner in
+      // K, which the evaluator answers with one probe of K's index.
+      std::vector<int> attrs;
+      if (!algebra::IsAttrProjectionOfRef(*e.right(), &attrs)) return;
+      const algebra::RelExpr& ref = *e.right()->left();
+      if (ref.ref_kind() != algebra::RelRefKind::kBase) return;
+      DeclareIndexOnBase(ref.rel_name(), std::move(attrs), db);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
 IntegritySubsystem::IntegritySubsystem(Database* db, SubsystemOptions options)
     : db_(db), options_(std::move(options)) {}
 
@@ -90,6 +151,11 @@ Status IntegritySubsystem::Recompile() {
   TriggeringGraph graph = TriggeringGraph::Build(compiled);
   if (options_.reject_cyclic_rule_sets && graph.HasCycle()) {
     return Status::FailedPrecondition(graph.DescribeCycles());
+  }
+  for (const IntegrityProgram& program : compiled.programs()) {
+    for (const algebra::Statement& stmt : program.program.statements) {
+      if (stmt.expr != nullptr) DeclareCheckIndexes(*stmt.expr, db_);
+    }
   }
   compiled_ = std::move(compiled);
   graph_ = std::move(graph);

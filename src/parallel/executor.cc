@@ -9,6 +9,7 @@
 namespace txmod::parallel {
 
 using algebra::AggFunc;
+using algebra::CollectEquiPairs;
 using algebra::ProjectionItem;
 using algebra::RelExpr;
 using algebra::RelExprKind;
@@ -49,23 +50,9 @@ std::vector<Attribute> ConcatAttrs(const RelationSchema& a,
   return attrs;
 }
 
-void CollectEquiPairs(const ScalarExpr& pred,
-                      std::vector<std::pair<int, int>>* pairs) {
-  if (pred.op() == ScalarOp::kAnd) {
-    CollectEquiPairs(pred.children()[0], pairs);
-    CollectEquiPairs(pred.children()[1], pairs);
-    return;
-  }
-  if (pred.op() != ScalarOp::kEq) return;
-  const ScalarExpr& a = pred.children()[0];
-  const ScalarExpr& b = pred.children()[1];
-  if (a.op() != ScalarOp::kAttrRef || b.op() != ScalarOp::kAttrRef) return;
-  if (a.side() == 0 && b.side() == 1) {
-    pairs->emplace_back(a.attr_index(), b.attr_index());
-  } else if (a.side() == 1 && b.side() == 0) {
-    pairs->emplace_back(b.attr_index(), a.attr_index());
-  }
-}
+/// Node ids cross the fragmentation API as int; containers index with
+/// size_t. One named conversion point instead of a cast per call site.
+constexpr std::size_t U(int node) { return static_cast<std::size_t>(node); }
 
 }  // namespace
 
@@ -79,6 +66,7 @@ class ParallelExecutor::Impl {
       : db_(db),
         options_(options),
         nodes_(db->num_nodes()),
+        width_(U(db->num_nodes())),
         result_{false, "", ParallelStats(db->num_nodes())} {}
 
   Result<ParallelTxnResult> Run(const algebra::Transaction& txn) {
@@ -138,12 +126,12 @@ class ParallelExecutor::Impl {
     // Route every produced tuple to its owning fragment; a tuple produced
     // on a different node is a transfer.
     uint64_t transferred = 0;
-    std::vector<uint64_t> local(nodes_, 0);
-    for (int src = 0; src < nodes_; ++src) {
+    std::vector<uint64_t> local(width_, 0);
+    for (std::size_t src = 0; src < width_; ++src) {
       for (const Tuple& raw : value.frags[src]) {
         TXMOD_RETURN_IF_ERROR(schema.CheckTuple(raw));
         Tuple t = schema.CoerceTuple(raw);
-        const int dst = FragmentOf(t, target->scheme, nodes_);
+        const std::size_t dst = U(FragmentOf(t, target->scheme, nodes_));
         if (dst != src) ++transferred;
         ++local[src];
         ApplyInsert(stmt.target, target, dst, std::move(t));
@@ -160,11 +148,11 @@ class ParallelExecutor::Impl {
                            db_->FindMutable(stmt.target));
     const RelationSchema& schema = target->fragments[0].schema();
     uint64_t transferred = 0;
-    std::vector<uint64_t> local(nodes_, 0);
-    for (int src = 0; src < nodes_; ++src) {
+    std::vector<uint64_t> local(width_, 0);
+    for (std::size_t src = 0; src < width_; ++src) {
       for (const Tuple& raw : value.frags[src]) {
         const Tuple t = schema.CoerceTuple(raw);
-        const int dst = FragmentOf(t, target->scheme, nodes_);
+        const std::size_t dst = U(FragmentOf(t, target->scheme, nodes_));
         if (dst != src) ++transferred;
         ++local[src];
         ApplyDelete(stmt.target, target, dst, t);
@@ -180,8 +168,8 @@ class ParallelExecutor::Impl {
                            db_->FindMutable(stmt.target));
     const RelationSchema& schema = target->fragments[0].schema();
     uint64_t transferred = 0;
-    std::vector<uint64_t> local(nodes_, 0);
-    for (int node = 0; node < nodes_; ++node) {
+    std::vector<uint64_t> local(width_, 0);
+    for (std::size_t node = 0; node < width_; ++node) {
       std::vector<Tuple> selected;
       for (const Tuple& t : target->fragments[node]) {
         TXMOD_ASSIGN_OR_RETURN(bool match,
@@ -194,12 +182,13 @@ class ParallelExecutor::Impl {
         for (const algebra::UpdateSet& u : stmt.sets) {
           TXMOD_ASSIGN_OR_RETURN(Value v,
                                  u.expr.EvalValue(&old_tuple, nullptr));
-          new_tuple.at(u.attr) = std::move(v);
+          new_tuple.at(U(u.attr)) = std::move(v);
         }
         TXMOD_RETURN_IF_ERROR(schema.CheckTuple(new_tuple));
         new_tuple = schema.CoerceTuple(std::move(new_tuple));
         ApplyDelete(stmt.target, target, node, old_tuple);
-        const int dst = FragmentOf(new_tuple, target->scheme, nodes_);
+        const std::size_t dst =
+            U(FragmentOf(new_tuple, target->scheme, nodes_));
         if (dst != node) ++transferred;
         ApplyInsert(stmt.target, target, dst, std::move(new_tuple));
       }
@@ -220,7 +209,7 @@ class ParallelExecutor::Impl {
     auto it = diffs_.find(rel);
     if (it == diffs_.end()) {
       NodeDiff d;
-      for (int i = 0; i < nodes_; ++i) {
+      for (std::size_t i = 0; i < width_; ++i) {
         d.plus.emplace_back(f.fragments[0].schema_ptr());
         d.minus.emplace_back(f.fragments[0].schema_ptr());
       }
@@ -229,15 +218,15 @@ class ParallelExecutor::Impl {
     return it->second;
   }
 
-  void ApplyInsert(const std::string& name, FragmentedRelation* rel, int node,
-                   Tuple t) {
+  void ApplyInsert(const std::string& name, FragmentedRelation* rel,
+                   std::size_t node, Tuple t) {
     if (!rel->fragments[node].Insert(t)) return;
     NodeDiff& d = DiffFor(name, *rel);
     if (!d.minus[node].Erase(t)) d.plus[node].Insert(std::move(t));
   }
 
-  void ApplyDelete(const std::string& name, FragmentedRelation* rel, int node,
-                   const Tuple& t) {
+  void ApplyDelete(const std::string& name, FragmentedRelation* rel,
+                   std::size_t node, const Tuple& t) {
     if (!rel->fragments[node].Erase(t)) return;
     NodeDiff& d = DiffFor(name, *rel);
     if (!d.plus[node].Erase(t)) d.minus[node].Insert(t);
@@ -246,7 +235,7 @@ class ParallelExecutor::Impl {
   void Rollback() {
     for (auto& [name, diff] : diffs_) {
       FragmentedRelation* rel = *db_->FindMutable(name);
-      for (int i = 0; i < nodes_; ++i) {
+      for (std::size_t i = 0; i < width_; ++i) {
         for (const Tuple& t : diff.plus[i]) rel->fragments[i].Erase(t);
         for (const Tuple& t : diff.minus[i]) rel->fragments[i].Insert(t);
       }
@@ -315,7 +304,7 @@ class ParallelExecutor::Impl {
       case RelRefKind::kDeltaMinus: {
         auto it = diffs_.find(e.rel_name());
         if (it == diffs_.end()) {
-          for (int i = 0; i < nodes_; ++i) {
+          for (std::size_t i = 0; i < width_; ++i) {
             out.frags.emplace_back(base->fragments[0].schema_ptr());
           }
         } else {
@@ -328,7 +317,7 @@ class ParallelExecutor::Impl {
       case RelRefKind::kOld: {
         // (R \ plus) ∪ minus, node-local (diffs are routed to owners).
         auto it = diffs_.find(e.rel_name());
-        for (int i = 0; i < nodes_; ++i) {
+        for (std::size_t i = 0; i < width_; ++i) {
           Relation old_view(base->fragments[0].schema_ptr());
           for (const Tuple& t : base->fragments[i]) {
             if (it == diffs_.end() || !it->second.plus[i].Contains(t)) {
@@ -355,7 +344,7 @@ class ParallelExecutor::Impl {
     }
     auto schema = MakeSchema(std::move(attrs));
     FragRel out;
-    for (int i = 0; i < nodes_; ++i) out.frags.emplace_back(schema);
+    for (std::size_t i = 0; i < width_; ++i) out.frags.emplace_back(schema);
     for (const Tuple& t : e.literal_tuples()) out.frags[0].Insert(t);
     out.alignment = Alignment::kCoordinator;
     return out;
@@ -364,18 +353,18 @@ class ParallelExecutor::Impl {
   /// Runs `fn(node)` for every node, optionally on real threads, and
   /// records the per-node scan counts as one phase.
   Status ParallelPhase(const std::vector<uint64_t>& scanned,
-                       const std::function<Status(int)>& fn,
+                       const std::function<Status(std::size_t)>& fn,
                        uint64_t transferred = 0, uint64_t messages = 0) {
-    std::vector<Status> statuses(nodes_);
-    if (options_.use_threads && nodes_ > 1) {
+    std::vector<Status> statuses(width_);
+    if (options_.use_threads && width_ > 1) {
       std::vector<std::thread> threads;
-      threads.reserve(nodes_);
-      for (int i = 0; i < nodes_; ++i) {
+      threads.reserve(width_);
+      for (std::size_t i = 0; i < width_; ++i) {
         threads.emplace_back([&, i] { statuses[i] = fn(i); });
       }
       for (std::thread& t : threads) t.join();
     } else {
-      for (int i = 0; i < nodes_; ++i) statuses[i] = fn(i);
+      for (std::size_t i = 0; i < width_; ++i) statuses[i] = fn(i);
     }
     for (const Status& st : statuses) {
       TXMOD_RETURN_IF_ERROR(st);
@@ -391,17 +380,18 @@ class ParallelExecutor::Impl {
     out.alignment = in.alignment;
     out.attr = in.attr;
     out.maybe_duplicated = in.maybe_duplicated;
-    out.frags.assign(nodes_, Relation(in.frags[0].schema_ptr()));
-    std::vector<uint64_t> scanned(nodes_);
-    for (int i = 0; i < nodes_; ++i) scanned[i] = in.frags[i].size();
-    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
-      for (const Tuple& t : in.frags[i]) {
-        TXMOD_ASSIGN_OR_RETURN(bool keep,
-                               e.predicate().EvalPredicate(&t, nullptr));
-        if (keep) out.frags[i].Insert(t);
-      }
-      return Status::OK();
-    }));
+    out.frags.assign(width_, Relation(in.frags[0].schema_ptr()));
+    std::vector<uint64_t> scanned(width_);
+    for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
+    TXMOD_RETURN_IF_ERROR(
+        ParallelPhase(scanned, [&](std::size_t i) -> Status {
+          for (const Tuple& t : in.frags[i]) {
+            TXMOD_ASSIGN_OR_RETURN(bool keep,
+                                   e.predicate().EvalPredicate(&t, nullptr));
+            if (keep) out.frags[i].Insert(t);
+          }
+          return Status::OK();
+        }));
     return out;
   }
 
@@ -416,16 +406,16 @@ class ParallelExecutor::Impl {
       if (item.expr.op() == ScalarOp::kAttrRef &&
           item.expr.attr_index() < static_cast<int>(in_schema.arity())) {
         if (name.empty()) {
-          name = in_schema.attribute(item.expr.attr_index()).name;
+          name = in_schema.attribute(U(item.expr.attr_index())).name;
         }
-        type = in_schema.attribute(item.expr.attr_index()).type;
+        type = in_schema.attribute(U(item.expr.attr_index())).type;
       }
       if (name.empty()) name = StrCat("c", i);
       attrs.push_back(Attribute{std::move(name), type});
     }
     auto schema = MakeSchema(std::move(attrs));
     FragRel out;
-    out.frags.assign(nodes_, Relation(schema));
+    out.frags.assign(width_, Relation(schema));
     // Partitioning survives when some output item is exactly the input's
     // partitioning attribute.
     out.alignment = Alignment::kNone;
@@ -446,38 +436,40 @@ class ParallelExecutor::Impl {
       out.alignment = Alignment::kCoordinator;
       out.maybe_duplicated = false;
     }
-    std::vector<uint64_t> scanned(nodes_);
-    for (int i = 0; i < nodes_; ++i) scanned[i] = in.frags[i].size();
-    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
-      for (const Tuple& t : in.frags[i]) {
-        std::vector<Value> values;
-        values.reserve(e.projections().size());
-        for (const ProjectionItem& item : e.projections()) {
-          TXMOD_ASSIGN_OR_RETURN(Value v, item.expr.EvalValue(&t, nullptr));
-          values.push_back(std::move(v));
-        }
-        out.frags[i].Insert(Tuple(std::move(values)));
-      }
-      return Status::OK();
-    }));
+    std::vector<uint64_t> scanned(width_);
+    for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
+    TXMOD_RETURN_IF_ERROR(
+        ParallelPhase(scanned, [&](std::size_t i) -> Status {
+          for (const Tuple& t : in.frags[i]) {
+            std::vector<Value> values;
+            values.reserve(e.projections().size());
+            for (const ProjectionItem& item : e.projections()) {
+              TXMOD_ASSIGN_OR_RETURN(Value v,
+                                     item.expr.EvalValue(&t, nullptr));
+              values.push_back(std::move(v));
+            }
+            out.frags[i].Insert(Tuple(std::move(values)));
+          }
+          return Status::OK();
+        }));
     return out;
   }
 
   /// Hash-redistributes `in` on attribute `attr` (FragmentOfValue).
   FragRel RedistributeOnAttr(FragRel in, int attr) {
     FragRel out;
-    out.frags.assign(nodes_, Relation(in.frags[0].schema_ptr()));
+    out.frags.assign(width_, Relation(in.frags[0].schema_ptr()));
     out.alignment = Alignment::kAttr;
     out.attr = attr;
     out.maybe_duplicated = in.maybe_duplicated;
     uint64_t transferred = 0;
-    std::vector<uint64_t> scanned(nodes_, 0);
+    std::vector<uint64_t> scanned(width_, 0);
     std::vector<std::vector<bool>> pair_used(
-        nodes_, std::vector<bool>(nodes_, false));
-    for (int src = 0; src < nodes_; ++src) {
+        width_, std::vector<bool>(width_, false));
+    for (std::size_t src = 0; src < width_; ++src) {
       scanned[src] = in.frags[src].size();
       for (const Tuple& t : in.frags[src]) {
-        const int dst = FragmentOfValue(t.at(attr), nodes_);
+        const std::size_t dst = U(FragmentOfValue(t.at(U(attr)), nodes_));
         if (dst != src) {
           ++transferred;
           pair_used[src][dst] = true;
@@ -486,8 +478,8 @@ class ParallelExecutor::Impl {
       }
     }
     uint64_t messages = 0;
-    for (int s = 0; s < nodes_; ++s) {
-      for (int d = 0; d < nodes_; ++d) {
+    for (std::size_t s = 0; s < width_; ++s) {
+      for (std::size_t d = 0; d < width_; ++d) {
         if (pair_used[s][d]) ++messages;
       }
     }
@@ -499,16 +491,15 @@ class ParallelExecutor::Impl {
   /// Hash-redistributes on the whole tuple (set-operation alignment).
   FragRel RedistributeWholeTuple(FragRel in) {
     FragRel out;
-    out.frags.assign(nodes_, Relation(in.frags[0].schema_ptr()));
+    out.frags.assign(width_, Relation(in.frags[0].schema_ptr()));
     out.alignment = Alignment::kWholeTuple;
     out.maybe_duplicated = false;  // equal tuples co-locate and dedup
     uint64_t transferred = 0;
-    std::vector<uint64_t> scanned(nodes_, 0);
-    for (int src = 0; src < nodes_; ++src) {
+    std::vector<uint64_t> scanned(width_, 0);
+    for (std::size_t src = 0; src < width_; ++src) {
       scanned[src] = in.frags[src].size();
       for (const Tuple& t : in.frags[src]) {
-        const int dst = static_cast<int>(
-            t.Hash() % static_cast<std::size_t>(nodes_));
+        const std::size_t dst = t.Hash() % width_;
         if (dst != src) ++transferred;
         out.frags[dst].Insert(t);
       }
@@ -519,7 +510,7 @@ class ParallelExecutor::Impl {
   }
 
   bool SetOpAligned(const FragRel& a, const FragRel& b) const {
-    if (nodes_ == 1) return true;  // single node: everything co-located
+    if (width_ == 1) return true;  // single node: everything co-located
     if (a.alignment == Alignment::kCoordinator &&
         b.alignment == Alignment::kCoordinator) {
       return true;
@@ -549,35 +540,36 @@ class ParallelExecutor::Impl {
       r = RedistributeWholeTuple(std::move(r));
     }
     FragRel out;
-    out.frags.assign(nodes_, Relation(l.frags[0].schema_ptr()));
+    out.frags.assign(width_, Relation(l.frags[0].schema_ptr()));
     out.alignment = l.alignment;
     out.attr = l.attr;
     out.maybe_duplicated = false;
-    std::vector<uint64_t> scanned(nodes_);
-    for (int i = 0; i < nodes_; ++i) {
+    std::vector<uint64_t> scanned(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
       scanned[i] = l.frags[i].size() + r.frags[i].size();
     }
-    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
-      switch (e.kind()) {
-        case RelExprKind::kUnion:
-          for (const Tuple& t : l.frags[i]) out.frags[i].Insert(t);
-          for (const Tuple& t : r.frags[i]) out.frags[i].Insert(t);
-          break;
-        case RelExprKind::kDifference:
-          for (const Tuple& t : l.frags[i]) {
-            if (!r.frags[i].Contains(t)) out.frags[i].Insert(t);
+    TXMOD_RETURN_IF_ERROR(
+        ParallelPhase(scanned, [&](std::size_t i) -> Status {
+          switch (e.kind()) {
+            case RelExprKind::kUnion:
+              for (const Tuple& t : l.frags[i]) out.frags[i].Insert(t);
+              for (const Tuple& t : r.frags[i]) out.frags[i].Insert(t);
+              break;
+            case RelExprKind::kDifference:
+              for (const Tuple& t : l.frags[i]) {
+                if (!r.frags[i].Contains(t)) out.frags[i].Insert(t);
+              }
+              break;
+            case RelExprKind::kIntersect:
+              for (const Tuple& t : l.frags[i]) {
+                if (r.frags[i].Contains(t)) out.frags[i].Insert(t);
+              }
+              break;
+            default:
+              return Status::Internal("not a set op");
           }
-          break;
-        case RelExprKind::kIntersect:
-          for (const Tuple& t : l.frags[i]) {
-            if (r.frags[i].Contains(t)) out.frags[i].Insert(t);
-          }
-          break;
-        default:
-          return Status::Internal("not a set op");
-      }
-      return Status::OK();
-    }));
+          return Status::OK();
+        }));
     return out;
   }
 
@@ -596,7 +588,7 @@ class ParallelExecutor::Impl {
               ? MakeSchema(
                     ConcatAttrs(l.frags[0].schema(), r.frags[0].schema()))
               : l.frags[0].schema_ptr();
-      out.frags.assign(nodes_, Relation(schema));
+      out.frags.assign(width_, Relation(schema));
       out.alignment = l.alignment;
       out.attr = l.attr;
       return out;
@@ -607,25 +599,25 @@ class ParallelExecutor::Impl {
     if (!equi.empty()) {
       const auto [la, ra] = equi[0];
       // Co-located already? (The paper's key/foreign-key fragmentation.)
-      const bool l_ok = nodes_ == 1 ||
+      const bool l_ok = width_ == 1 ||
                         (l.alignment == Alignment::kAttr && l.attr == la);
-      const bool r_ok = nodes_ == 1 ||
+      const bool r_ok = width_ == 1 ||
                         (r.alignment == Alignment::kAttr && r.attr == ra);
       if (!l_ok) l = RedistributeOnAttr(std::move(l), la);
       if (!r_ok) r = RedistributeOnAttr(std::move(r), ra);
     } else {
       // No equality: broadcast the right operand to every node.
       FragRel bc;
-      bc.frags.assign(nodes_, Relation(r.frags[0].schema_ptr()));
-      for (int i = 0; i < nodes_; ++i) {
-        for (int src = 0; src < nodes_; ++src) {
+      bc.frags.assign(width_, Relation(r.frags[0].schema_ptr()));
+      for (std::size_t i = 0; i < width_; ++i) {
+        for (std::size_t src = 0; src < width_; ++src) {
           for (const Tuple& t : r.frags[src]) bc.frags[i].Insert(t);
         }
       }
       result_.stats.AddPhase(
-          std::vector<uint64_t>(nodes_, 0),
-          static_cast<uint64_t>(right_total) * (nodes_ - 1),
-          nodes_ > 1 ? nodes_ - 1 : 0, options_.cost_model);
+          std::vector<uint64_t>(width_, 0),
+          static_cast<uint64_t>(right_total) * (width_ - 1),
+          width_ > 1 ? width_ - 1 : 0, options_.cost_model);
       bc.alignment = Alignment::kNone;
       r = std::move(bc);
     }
@@ -636,37 +628,38 @@ class ParallelExecutor::Impl {
                                          r.frags[0].schema()))
                 : l.frags[0].schema_ptr();
     FragRel out;
-    out.frags.assign(nodes_, Relation(out_schema));
+    out.frags.assign(width_, Relation(out_schema));
     out.alignment = l.alignment;
     out.attr = l.attr;
     out.maybe_duplicated = l.maybe_duplicated;
-    std::vector<uint64_t> scanned(nodes_);
-    for (int i = 0; i < nodes_; ++i) {
+    std::vector<uint64_t> scanned(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
       scanned[i] = l.frags[i].size() + r.frags[i].size();
     }
-    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
-      for (const Tuple& lt : l.frags[i]) {
-        bool matched = false;
-        for (const Tuple& rt : r.frags[i]) {
-          TXMOD_ASSIGN_OR_RETURN(bool match,
-                                 e.predicate().EvalPredicate(&lt, &rt));
-          if (!match) continue;
-          matched = true;
-          if (e.kind() == RelExprKind::kJoin) {
-            out.frags[i].Insert(Tuple::Concat(lt, rt));
-          } else {
-            break;
+    TXMOD_RETURN_IF_ERROR(
+        ParallelPhase(scanned, [&](std::size_t i) -> Status {
+          for (const Tuple& lt : l.frags[i]) {
+            bool matched = false;
+            for (const Tuple& rt : r.frags[i]) {
+              TXMOD_ASSIGN_OR_RETURN(bool match,
+                                     e.predicate().EvalPredicate(&lt, &rt));
+              if (!match) continue;
+              matched = true;
+              if (e.kind() == RelExprKind::kJoin) {
+                out.frags[i].Insert(Tuple::Concat(lt, rt));
+              } else {
+                break;
+              }
+            }
+            if (e.kind() == RelExprKind::kSemiJoin && matched) {
+              out.frags[i].Insert(lt);
+            }
+            if (e.kind() == RelExprKind::kAntiJoin && !matched) {
+              out.frags[i].Insert(lt);
+            }
           }
-        }
-        if (e.kind() == RelExprKind::kSemiJoin && matched) {
-          out.frags[i].Insert(lt);
-        }
-        if (e.kind() == RelExprKind::kAntiJoin && !matched) {
-          out.frags[i].Insert(lt);
-        }
-      }
-      return Status::OK();
-    }));
+          return Status::OK();
+        }));
     return out;
   }
 
@@ -690,42 +683,43 @@ class ParallelExecutor::Impl {
       bool any_double = false;
       std::optional<Value> min, max;
     };
-    std::vector<Partial> partials(nodes_);
-    std::vector<uint64_t> scanned(nodes_);
-    for (int i = 0; i < nodes_; ++i) scanned[i] = in.frags[i].size();
-    TXMOD_RETURN_IF_ERROR(ParallelPhase(scanned, [&](int i) -> Status {
-      Partial& p = partials[i];
-      for (const Tuple& t : in.frags[i]) {
-        p.count += 1;
-        if (e.agg_func() == AggFunc::kCnt) continue;
-        const Value& v = t.at(attr);
-        if (v.is_null()) continue;
-        p.non_null += 1;
-        if (v.is_numeric()) {
-          if (v.is_int()) {
-            p.isum += v.as_int();
-            p.dsum += static_cast<double>(v.as_int());
-          } else {
-            p.any_double = true;
-            p.dsum += v.as_double();
+    std::vector<Partial> partials(width_);
+    std::vector<uint64_t> scanned(width_);
+    for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
+    TXMOD_RETURN_IF_ERROR(
+        ParallelPhase(scanned, [&](std::size_t i) -> Status {
+          Partial& p = partials[i];
+          for (const Tuple& t : in.frags[i]) {
+            p.count += 1;
+            if (e.agg_func() == AggFunc::kCnt) continue;
+            const Value& v = t.at(U(attr));
+            if (v.is_null()) continue;
+            p.non_null += 1;
+            if (v.is_numeric()) {
+              if (v.is_int()) {
+                p.isum += v.as_int();
+                p.dsum += static_cast<double>(v.as_int());
+              } else {
+                p.any_double = true;
+                p.dsum += v.as_double();
+              }
+            }
+            if (!p.min.has_value() ||
+                Value::Compare(v, *p.min) == Value::Ordering::kLess) {
+              p.min = v;
+            }
+            if (!p.max.has_value() ||
+                Value::Compare(v, *p.max) == Value::Ordering::kGreater) {
+              p.max = v;
+            }
           }
-        }
-        if (!p.min.has_value() ||
-            Value::Compare(v, *p.min) == Value::Ordering::kLess) {
-          p.min = v;
-        }
-        if (!p.max.has_value() ||
-            Value::Compare(v, *p.max) == Value::Ordering::kGreater) {
-          p.max = v;
-        }
-      }
-      return Status::OK();
-    }));
+          return Status::OK();
+        }));
     // Combine at the coordinator: one partial record per node crosses the
     // interconnect.
-    result_.stats.AddPhase(std::vector<uint64_t>(nodes_, 0),
-                           static_cast<uint64_t>(nodes_ - 1),
-                           nodes_ > 1 ? static_cast<uint64_t>(nodes_ - 1) : 0,
+    result_.stats.AddPhase(std::vector<uint64_t>(width_, 0),
+                           static_cast<uint64_t>(width_ - 1),
+                           width_ > 1 ? static_cast<uint64_t>(width_ - 1) : 0,
                            options_.cost_model);
     Partial total;
     for (const Partial& p : partials) {
@@ -772,7 +766,7 @@ class ParallelExecutor::Impl {
         {Attribute{AggFuncToString(e.agg_func()),
                    result.is_double() ? AttrType::kDouble : AttrType::kInt}});
     FragRel out;
-    out.frags.assign(nodes_, Relation(schema));
+    out.frags.assign(width_, Relation(schema));
     out.frags[0].Insert(Tuple({std::move(result)}));
     out.alignment = Alignment::kCoordinator;
     return out;
@@ -780,7 +774,8 @@ class ParallelExecutor::Impl {
 
   ParallelDatabase* db_;
   const ParallelOptions& options_;
-  const int nodes_;
+  const int nodes_;          // node count for the fragmentation API
+  const std::size_t width_;  // the same count, as a container extent
   ParallelTxnResult result_;
   std::map<std::string, FragRel> temps_;
   std::map<std::string, NodeDiff> diffs_;

@@ -6,6 +6,64 @@
 
 namespace txmod {
 
+void RelationIndex::Remove(const Tuple* t) {
+  auto [begin, end] = map_.equal_range(EquiKeyHash(*t, attrs_));
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == t) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+void RelationIndex::Rebuild(
+    const std::unordered_set<Tuple, TupleHasher>& tuples) {
+  map_.clear();
+  map_.reserve(tuples.size());
+  for (const Tuple& t : tuples) Add(&t);
+}
+
+bool Relation::Insert(Tuple t) {
+  auto [it, inserted] = tuples_.insert(std::move(t));
+  if (inserted) {
+    for (const auto& index : indexes_) index->Add(&*it);
+  }
+  return inserted;
+}
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = tuples_.find(t);
+  if (it == tuples_.end()) return false;
+  for (const auto& index : indexes_) index->Remove(&*it);
+  tuples_.erase(it);
+  return true;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  for (const auto& index : indexes_) index->map_.clear();
+}
+
+const RelationIndex* Relation::IndexOn(std::vector<int> attrs) {
+  if (attrs.empty() || schema_ == nullptr) return nullptr;
+  for (const int a : attrs) {
+    if (a < 0 || a >= static_cast<int>(arity())) return nullptr;
+  }
+  if (const RelationIndex* existing = FindIndex(attrs)) return existing;
+  auto index = std::make_unique<RelationIndex>(std::move(attrs));
+  index->Rebuild(tuples_);
+  indexes_.push_back(std::move(index));
+  return indexes_.back().get();
+}
+
+const RelationIndex* Relation::FindIndex(
+    const std::vector<int>& attrs) const {
+  for (const auto& index : indexes_) {
+    if (index->attrs() == attrs) return index.get();
+  }
+  return nullptr;
+}
+
 std::vector<Tuple> Relation::SortedTuples() const {
   std::vector<Tuple> out(tuples_.begin(), tuples_.end());
   std::sort(out.begin(), out.end(), Tuple::Less);

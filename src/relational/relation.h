@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -11,6 +12,44 @@
 
 namespace txmod {
 
+/// A persistent equi-key lookup index on one attribute list of a Relation:
+/// EquiKeyHash(tuple, attrs) -> tuple node. Buckets are *candidate* sets —
+/// the hash is predicate-equality consistent (Value::KeyHash), and the
+/// evaluator re-verifies its join predicate on every candidate, so hash
+/// collisions cost time, never correctness.
+///
+/// Indexes are declared once (Relation::IndexOn, typically at rule
+/// definition time by the integrity subsystem) and then maintained
+/// incrementally by Relation::Insert/Erase/Clear. That is what lets the
+/// compiled differential checks probe the same base relation transaction
+/// after transaction without rebuilding a hash table per evaluation.
+class RelationIndex {
+ public:
+  using Map = std::unordered_multimap<std::size_t, const Tuple*>;
+  using Iterator = Map::const_iterator;
+
+  explicit RelationIndex(std::vector<int> attrs) : attrs_(std::move(attrs)) {}
+
+  const std::vector<int>& attrs() const { return attrs_; }
+  std::size_t size() const { return map_.size(); }
+
+  /// Candidates whose key hashes to `key_hash` (computed by the caller via
+  /// EquiKeyHash over the *probe* side's attribute list).
+  std::pair<Iterator, Iterator> Probe(std::size_t key_hash) const {
+    return map_.equal_range(key_hash);
+  }
+
+ private:
+  friend class Relation;
+
+  void Add(const Tuple* t) { map_.emplace(EquiKeyHash(*t, attrs_), t); }
+  void Remove(const Tuple* t);
+  void Rebuild(const std::unordered_set<Tuple, TupleHasher>& tuples);
+
+  std::vector<int> attrs_;
+  Map map_;
+};
+
 /// A relation state R: a *set* of tuples of dom(R) (Definition 2.1).
 ///
 /// PRISMA/DB was a main-memory system; a Relation is simply an in-memory
@@ -18,11 +57,33 @@ namespace txmod {
 /// set operations (difference, intersection) that integrity checking leans
 /// on. Iteration order is unspecified; use SortedTuples() for deterministic
 /// output.
+///
+/// Index semantics: declared indexes (IndexOn) hold pointers into the
+/// tuple set, so *copies drop them* — a copy has no indexes until IndexOn
+/// is called on it again (the IntegritySubsystem re-declares on every
+/// Recompile; FindIndex never builds). Moves keep indexes: unordered_set
+/// nodes keep their addresses across a move. Mutation through
+/// Insert/Erase/Clear keeps every declared index coherent. Not
+/// thread-safe: one writer / no concurrent readers, like every other
+/// mutation of this class.
 class Relation {
  public:
   Relation() = default;
   explicit Relation(std::shared_ptr<const RelationSchema> schema)
       : schema_(std::move(schema)) {}
+
+  Relation(const Relation& other)
+      : schema_(other.schema_), tuples_(other.tuples_) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      schema_ = other.schema_;
+      tuples_ = other.tuples_;
+      indexes_.clear();
+    }
+    return *this;
+  }
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
 
   const RelationSchema& schema() const { return *schema_; }
   std::shared_ptr<const RelationSchema> schema_ptr() const { return schema_; }
@@ -36,12 +97,24 @@ class Relation {
 
   /// Inserts `t`; returns true when the tuple was not present before.
   /// The tuple must already be schema-checked / coerced by the caller.
-  bool Insert(Tuple t) { return tuples_.insert(std::move(t)).second; }
+  bool Insert(Tuple t);
 
   /// Removes `t`; returns true when the tuple was present.
-  bool Erase(const Tuple& t) { return tuples_.erase(t) > 0; }
+  bool Erase(const Tuple& t);
 
-  void Clear() { tuples_.clear(); }
+  void Clear();
+
+  /// Declares (and immediately builds) a persistent equi-key index on
+  /// `attrs`; returns the existing one when already declared. Returns
+  /// nullptr when `attrs` is empty or out of range for the schema.
+  const RelationIndex* IndexOn(std::vector<int> attrs);
+
+  /// The declared index on exactly `attrs`, or nullptr. Never builds one:
+  /// ad-hoc queries must not leave permanent index maintenance costs
+  /// behind, so only explicitly declared indexes are ever used.
+  const RelationIndex* FindIndex(const std::vector<int>& attrs) const;
+
+  std::size_t index_count() const { return indexes_.size(); }
 
   using ConstIterator = std::unordered_set<Tuple, TupleHasher>::const_iterator;
   ConstIterator begin() const { return tuples_.begin(); }
@@ -59,6 +132,7 @@ class Relation {
  private:
   std::shared_ptr<const RelationSchema> schema_;
   std::unordered_set<Tuple, TupleHasher> tuples_;
+  std::vector<std::unique_ptr<RelationIndex>> indexes_;
 };
 
 }  // namespace txmod

@@ -30,6 +30,14 @@ std::size_t Tuple::Hash() const {
   return seed;
 }
 
+std::size_t EquiKeyHash(const Tuple& t, const std::vector<int>& attrs) {
+  std::size_t seed = attrs.size();
+  for (const int a : attrs) {
+    HashCombine(&seed, t.at(static_cast<std::size_t>(a)).KeyHash());
+  }
+  return seed;
+}
+
 std::string Tuple::ToString() const {
   std::vector<std::string> parts;
   parts.reserve(values_.size());

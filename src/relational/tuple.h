@@ -48,6 +48,14 @@ struct TupleHasher {
   std::size_t operator()(const Tuple& t) const { return t.Hash(); }
 };
 
+/// Hash of the sub-tuple `(t[attrs[0]], t[attrs[1]], ...)` built from
+/// Value::KeyHash, i.e. consistent with predicate equality rather than
+/// identity. Join hash tables and relation equi-key indexes key on this
+/// (with the equality predicate re-verified on each candidate), so the
+/// only requirement is: predicate-equal keys always collide. No Tuple is
+/// allocated — this is the hot path of every equi-join probe.
+std::size_t EquiKeyHash(const Tuple& t, const std::vector<int>& attrs);
+
 }  // namespace txmod
 
 #endif  // TXMOD_RELATIONAL_TUPLE_H_

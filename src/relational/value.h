@@ -68,9 +68,21 @@ class Value {
 
   std::size_t Hash() const;
 
+  /// Hash consistent with *predicate* equality instead of identity:
+  /// KeyHash(a) == KeyHash(b) whenever Compare(a, b) == kEqual. Achieved by
+  /// canonicalizing a kDouble that holds an exactly-representable integer
+  /// (including -0.0) to the kInt hash of that integer, so Int(1) and
+  /// Double(1.0) collide while Int(2^53) and Int(2^53 + 1) do not. Join
+  /// hash tables and relation equi-key indexes key on this.
+  std::size_t KeyHash() const;
+
   /// Predicate comparison per the CL semantics described above. Returns
   /// -1 / 0 / +1 when comparable; kIncomparable when a null is involved in
-  /// an ordering or the types cannot be coerced (string vs numeric).
+  /// an ordering, the types cannot be coerced (string vs numeric), or a
+  /// NaN is involved. Numeric comparison is *exact*: int/int compares as
+  /// int64 and int/double compares without widening the integer to double,
+  /// so values above 2^53 are never conflated. This keeps predicate
+  /// equality in provable agreement with KeyHash().
   enum class Ordering { kLess, kEqual, kGreater, kIncomparable };
   static Ordering Compare(const Value& a, const Value& b);
 

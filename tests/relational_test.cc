@@ -1,3 +1,9 @@
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "src/relational/database.h"
 #include "tests/test_util.h"
@@ -181,6 +187,162 @@ TEST(DatabaseTest, CloneIsDeepAndSameState) {
   EXPECT_FALSE(db.SameState(copy));
   EXPECT_EQ((*db.Find("beer"))->size(), 1u);
   EXPECT_EQ((*copy.Find("beer"))->size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Exact numeric predicate comparison (the 2^53 audit): int/int and
+// int/double comparisons never lose exactness to double widening, and
+// KeyHash provably agrees with Compare equality.
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, CompareIsExactAbove2Pow53) {
+  using O = Value::Ordering;
+  const int64_t big = int64_t{1} << 53;
+  // Both widen to the same double; exact comparison keeps them apart.
+  EXPECT_EQ(Value::Compare(Value::Int(big), Value::Int(big + 1)), O::kLess);
+  EXPECT_EQ(Value::Compare(Value::Int(big + 1), Value::Int(big)),
+            O::kGreater);
+  // double(2^53) == 2^53 exactly; 2^53 + 1 is strictly above it.
+  const double big_d = static_cast<double>(big);
+  EXPECT_EQ(Value::Compare(Value::Int(big), Value::Double(big_d)),
+            O::kEqual);
+  EXPECT_EQ(Value::Compare(Value::Int(big + 1), Value::Double(big_d)),
+            O::kGreater);
+  EXPECT_EQ(Value::Compare(Value::Double(big_d), Value::Int(big + 1)),
+            O::kLess);
+  // Doubles beyond the int64 range compare correctly against any int64.
+  EXPECT_EQ(Value::Compare(Value::Int(INT64_MAX), Value::Double(1e19)),
+            O::kLess);
+  EXPECT_EQ(Value::Compare(Value::Int(INT64_MIN), Value::Double(-1e19)),
+            O::kGreater);
+  // Fractions around an equal whole part.
+  EXPECT_EQ(Value::Compare(Value::Int(1), Value::Double(1.5)), O::kLess);
+  EXPECT_EQ(Value::Compare(Value::Int(1), Value::Double(0.5)), O::kGreater);
+  EXPECT_EQ(Value::Compare(Value::Int(0), Value::Double(-0.5)), O::kGreater);
+}
+
+TEST(ValueTest, CompareTreatsNanAsIncomparable) {
+  using O = Value::Ordering;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Value::Compare(Value::Double(nan), Value::Double(nan)),
+            O::kIncomparable);
+  EXPECT_EQ(Value::Compare(Value::Double(nan), Value::Double(1.0)),
+            O::kIncomparable);
+  EXPECT_EQ(Value::Compare(Value::Int(1), Value::Double(nan)),
+            O::kIncomparable);
+}
+
+TEST(ValueTest, KeyHashAgreesWithCompareEquality) {
+  const int64_t big = int64_t{1} << 53;
+  const std::vector<Value> values = {
+      Value::Int(0),      Value::Double(0.0),  Value::Double(-0.0),
+      Value::Int(1),      Value::Double(1.0),  Value::Double(1.5),
+      Value::Int(big),    Value::Int(big + 1), Value::Double(double(big)),
+      Value::Int(-7),     Value::Double(-7.0), Value::String("7"),
+      Value::Null(),      Value::Double(1e300)};
+  // The invariant the join hash tables and relation indexes rely on:
+  // predicate-equal values never hash apart.
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      if (Value::Compare(a, b) == Value::Ordering::kEqual) {
+        EXPECT_EQ(a.KeyHash(), b.KeyHash())
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Relation equi-key indexes: declaration, incremental maintenance, and the
+// copy/move contract.
+// ---------------------------------------------------------------------------
+
+std::size_t ProbeCount(const Relation& rel, const std::vector<int>& attrs,
+                       const Tuple& key) {
+  const RelationIndex* index = rel.FindIndex(attrs);
+  EXPECT_NE(index, nullptr);
+  if (index == nullptr) return 0;
+  std::vector<int> probe_attrs;
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    probe_attrs.push_back(static_cast<int>(i));
+  }
+  auto [begin, end] = index->Probe(EquiKeyHash(key, probe_attrs));
+  std::size_t n = 0;
+  for (auto it = begin; it != end; ++it) ++n;
+  return n;
+}
+
+TEST(RelationIndexTest, MaintainedThroughInsertAndErase) {
+  Database db = MakeBeerDatabase();
+  Relation* beer = *db.FindMutable("beer");
+  ASSERT_NE(beer->IndexOn({2}), nullptr);  // brewery attribute
+  EXPECT_EQ(beer->FindIndex({2})->size(), 0u);
+
+  testing::AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  testing::AddBeer(&db, "stout", "stout", "guinness", 4.2);
+  testing::AddBeer(&db, "free", "lager", "heineken", 0.0);
+  EXPECT_EQ(beer->FindIndex({2})->size(), 3u);
+  EXPECT_EQ(ProbeCount(*beer, {2}, Tuple({Value::String("heineken")})), 2u);
+
+  EXPECT_TRUE(beer->Erase(Tuple({Value::String("free"), Value::String("lager"),
+                                 Value::String("heineken"),
+                                 Value::Double(0.0)})));
+  EXPECT_EQ(ProbeCount(*beer, {2}, Tuple({Value::String("heineken")})), 1u);
+
+  beer->Clear();
+  EXPECT_EQ(beer->FindIndex({2})->size(), 0u);
+}
+
+TEST(RelationIndexTest, DeclaredLateIndexesExistingTuples) {
+  Database db = MakeBeerDatabase();
+  testing::AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  testing::AddBeer(&db, "stout", "stout", "guinness", 4.2);
+  Relation* beer = *db.FindMutable("beer");
+  const RelationIndex* index = beer->IndexOn({2});
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), 2u);
+  // Re-declaring the same attrs returns the existing index.
+  EXPECT_EQ(beer->IndexOn({2}), index);
+  EXPECT_EQ(beer->index_count(), 1u);
+}
+
+TEST(RelationIndexTest, InvalidAttrsAreRejected) {
+  Database db = MakeBeerDatabase();
+  Relation* beer = *db.FindMutable("beer");
+  EXPECT_EQ(beer->IndexOn({}), nullptr);
+  EXPECT_EQ(beer->IndexOn({4}), nullptr);
+  EXPECT_EQ(beer->IndexOn({-1}), nullptr);
+  EXPECT_EQ(beer->index_count(), 0u);
+}
+
+TEST(RelationIndexTest, CopiesDropIndexesMovesKeepThem) {
+  Database db = MakeBeerDatabase();
+  testing::AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  Relation* beer = *db.FindMutable("beer");
+  ASSERT_NE(beer->IndexOn({2}), nullptr);
+
+  Relation copy = *beer;
+  EXPECT_EQ(copy.index_count(), 0u);  // pointers into the source's set
+  EXPECT_EQ(copy.size(), 1u);
+
+  Relation moved = std::move(copy);
+  EXPECT_EQ(moved.size(), 1u);
+
+  Relation moved_indexed = std::move(*beer);
+  EXPECT_EQ(moved_indexed.index_count(), 1u);
+  EXPECT_EQ(ProbeCount(moved_indexed, {2},
+                       Tuple({Value::String("heineken")})),
+            1u);
+}
+
+TEST(RelationIndexTest, KeyHashUnifiesIntAndDoubleKeys) {
+  Relation rel(std::make_shared<const RelationSchema>(
+      "r", std::vector<Attribute>{Attribute{"v", AttrType::kDouble}}));
+  rel.Insert(Tuple({Value::Double(1.0)}));
+  ASSERT_NE(rel.IndexOn({0}), nullptr);
+  // An Int(1) probe key lands in the Double(1.0) bucket: the index hash
+  // agrees with predicate equality, not identity.
+  EXPECT_EQ(ProbeCount(rel, {0}, Tuple({Value::Int(1)})), 1u);
 }
 
 }  // namespace

@@ -254,5 +254,65 @@ TEST_F(SubsystemTest, MultipleRulesEnforcedTogether) {
   EXPECT_NE(r.abort_reason.find("cap"), std::string::npos);
 }
 
+TEST_F(SubsystemTest, DefiningConstraintsDeclaresCheckIndexes) {
+  // The referential constraint's compiled differential checks probe
+  // brewery on its name attribute on every triggered transaction; the
+  // definition declares the matching relation index up front (pay at
+  // definition time, not at enforcement time).
+  AddBrewery(&db_, "heineken", "amsterdam", "nl");
+  TXMOD_ASSERT_OK(
+      ics_.DefineConstraint("refint", testing::BeerRefIntConstraint()));
+  const Relation* brewery = *db_.Find("brewery");
+  EXPECT_GE(brewery->index_count(), 1u);
+  EXPECT_NE(brewery->FindIndex({0}), nullptr);
+  EXPECT_EQ(brewery->FindIndex({0})->size(), brewery->size());
+}
+
+TEST_F(SubsystemTest, IndexesStayCoherentAcrossCommitsAndAborts) {
+  AddBrewery(&db_, "heineken", "amsterdam", "nl");
+  TXMOD_ASSERT_OK(
+      ics_.DefineConstraint("refint", testing::BeerRefIntConstraint()));
+  ASSERT_NE((*db_.Find("brewery"))->FindIndex({0}), nullptr);
+
+  // A valid insert commits through the indexed check path.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult ok,
+      ics_.ExecuteText(
+          "insert(beer, {(\"pils\", \"lager\", \"heineken\", 5.0)});"));
+  EXPECT_TRUE(ok.committed);
+
+  // A dangling reference aborts; the rollback restores the database AND
+  // the index (Erase maintains it).
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult bad,
+      ics_.ExecuteText(
+          "insert(beer, {(\"x\", \"lager\", \"nowhere\", 5.0)});"));
+  EXPECT_FALSE(bad.committed);
+  EXPECT_EQ((*db_.Find("beer"))->size(), 1u);
+
+  // Growing the referenced side through a transaction keeps the index
+  // coherent: a beer referencing the new brewery now commits.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult grow,
+      ics_.ExecuteText(
+          "insert(brewery, {(\"plzen\", \"pilsen\", \"cz\")});"));
+  EXPECT_TRUE(grow.committed);
+  EXPECT_EQ((*db_.Find("brewery"))->FindIndex({0})->size(), 2u);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult ok2,
+      ics_.ExecuteText(
+          "insert(beer, {(\"urquell\", \"lager\", \"plzen\", 4.4)});"));
+  EXPECT_TRUE(ok2.committed);
+
+  // Deleting a still-referenced brewery aborts (the dminus check), and
+  // the rollback re-inserts the tuple into both the set and the index.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      txn::TxnResult del,
+      ics_.ExecuteText("delete(brewery, {(\"plzen\", \"pilsen\", \"cz\")});"));
+  EXPECT_FALSE(del.committed);
+  EXPECT_EQ((*db_.Find("brewery"))->size(), 2u);
+  EXPECT_EQ((*db_.Find("brewery"))->FindIndex({0})->size(), 2u);
+}
+
 }  // namespace
 }  // namespace txmod::core
