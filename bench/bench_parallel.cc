@@ -86,6 +86,51 @@ void RunParallel(benchmark::State& state, Constraint constraint,
   state.counters["nodes"] = nodes;
 }
 
+// Join-heavy enforcement: deleting keys triggers the DEL(key_rel) check,
+// whose core is semijoin[l.ref = r.key](fk_rel, dminus(key_rel)) — a real
+// per-fragment join of the 50k-tuple fk side against the deleted-key
+// delta. Unlike the insert-path checks (projection differences answered
+// by set membership), this workload lives or dies by the per-fragment
+// join algorithm, so its *wall-clock* time is the series that records
+// the hash-join-vs-nested-loop difference.
+void BM_ParallelJoinHeavyDelete(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int keys = 5000, fks = 50000, batch = 500;
+
+  Database db = MakeKeyFkDatabase(keys, fks);
+  AddUnreferencedKeys(&db, batch);
+  core::IntegritySubsystem ics(&db);
+  TXMOD_BENCH_CHECK_OK(ics.DefineConstraint("c", RefIntConstraint()));
+  const algebra::Transaction plain = MakeKeyDeleteBatch(batch);
+  auto modified = ics.Modify(plain);
+  TXMOD_BENCH_CHECK_OK(modified.status());
+
+  const std::map<std::string, FragmentationScheme> schemes = {
+      {"fk_rel", FragmentationScheme{FragmentationKind::kHash, 1}},
+      {"key_rel", FragmentationScheme{FragmentationKind::kHash, 0}}};
+
+  double total_ms = 0;
+  uint64_t transferred = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pdb = parallel::ParallelDatabase::Partition(db, schemes, nodes);
+    TXMOD_BENCH_CHECK_OK(pdb.status());
+    state.ResumeTiming();
+    parallel::ParallelExecutor exec(&*pdb, parallel::ParallelOptions{});
+    auto result = exec.Execute(*modified);
+    TXMOD_BENCH_CHECK_OK(result.status());
+    if (!result->committed) {
+      state.SkipWithError("unexpected abort");
+      return;
+    }
+    total_ms = result->stats.simulated_us() / 1000.0;
+    transferred = result->stats.tuples_transferred();
+  }
+  state.counters["total_sim_ms"] = total_ms;
+  state.counters["transferred"] = static_cast<double>(transferred);
+  state.counters["nodes"] = nodes;
+}
+
 void BM_ParallelDomain(benchmark::State& state) {
   RunParallel(state, Constraint::kDomain, Placement::kKeyFk);
 }
@@ -96,6 +141,13 @@ void BM_ParallelRefIntRoundRobin(benchmark::State& state) {
   RunParallel(state, Constraint::kRefInt, Placement::kRoundRobin);
 }
 
+BENCHMARK(BM_ParallelJoinHeavyDelete)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 BENCHMARK(BM_ParallelDomain)
     ->DenseRange(1, 8, 1)
     ->Unit(benchmark::kMillisecond)

@@ -117,6 +117,35 @@ inline algebra::Transaction MakeFkInsertBatch(int batch, int keys,
   return txn;
 }
 
+/// Adds `extra` keys ("x0", "x1", ...) that no fk_rel tuple references —
+/// deletable without violating referential integrity, so delete-heavy
+/// workloads can run in steady state (commit, not abort).
+inline void AddUnreferencedKeys(Database* db, int extra) {
+  Relation* key_rel = *db->FindMutable("key_rel");
+  for (int i = 0; i < extra; ++i) {
+    key_rel->Insert(Tuple({Value::String(StrCat("x", i)),
+                           Value::String("payload")}));
+  }
+}
+
+/// A transaction deleting the first `batch` unreferenced keys (see
+/// AddUnreferencedKeys). Under the referential constraint this triggers
+/// the DEL(key_rel) check, whose core is
+///   semijoin[l.ref = r.key](fk_rel, dminus(key_rel))
+/// — the join-heavy enforcement shape.
+inline algebra::Transaction MakeKeyDeleteBatch(int batch) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    tuples.push_back(Tuple({Value::String(StrCat("x", i)),
+                            Value::String("payload")}));
+  }
+  algebra::Transaction txn;
+  txn.program.statements.push_back(algebra::Statement::Delete(
+      "key_rel", algebra::RelExpr::Literal(std::move(tuples), 2)));
+  return txn;
+}
+
 /// The referential integrity constraint of the Section 7 experiment.
 inline const char* RefIntConstraint() {
   return "forall x (x in fk_rel implies exists y (y in key_rel and "

@@ -4,12 +4,33 @@
 # benches, examples) with AddressSanitizer + UndefinedBehaviorSanitizer,
 # with recovery disabled so any report fails the run — the tier-1 gate is
 # "ctest green under sanitizers", not "sanitizers printed something".
+#
+# ENABLE_TSAN=ON builds with ThreadSanitizer instead (mutually exclusive
+# with ASan): the parallel executor runs the shared physical operators on
+# real std::threads when ParallelOptions::use_threads is set, and the
+# threaded test paths (parallel_test, serial_parallel_oracle_test) are the
+# coverage. CI runs this configuration as its own job.
 
 set(TXMOD_WARNINGS -Wall -Wextra -Wshadow -Wpedantic)
+
+if(ENABLE_SANITIZERS AND ENABLE_TSAN)
+  message(FATAL_ERROR
+          "ENABLE_SANITIZERS (ASan/UBSan) and ENABLE_TSAN are mutually "
+          "exclusive; configure two build trees instead")
+endif()
 
 if(ENABLE_SANITIZERS)
   set(TXMOD_SAN_FLAGS
       -fsanitize=address,undefined
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+  add_compile_options(${TXMOD_SAN_FLAGS})
+  add_link_options(${TXMOD_SAN_FLAGS})
+endif()
+
+if(ENABLE_TSAN)
+  set(TXMOD_SAN_FLAGS
+      -fsanitize=thread
       -fno-omit-frame-pointer
       -fno-sanitize-recover=all)
   add_compile_options(${TXMOD_SAN_FLAGS})

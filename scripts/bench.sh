@@ -2,17 +2,21 @@
 # Benchmark runner: builds Release and runs the bench binaries with JSON
 # reports (the harness's --json flag; see bench/workload.h).
 #
-#   scripts/bench.sh                  run bench_table1 + bench_modification,
-#                                     JSON under build/bench-results/
+#   scripts/bench.sh                  run bench_table1 + bench_modification
+#                                     + bench_parallel, JSON under
+#                                     build/bench-results/
 #   scripts/bench.sh --all            run every bench_* binary
 #   scripts/bench.sh --smoke          one tiny pass of every bench_* binary
 #                                     (CI bit-rot gate; ~seconds per binary)
 #   scripts/bench.sh --update-baseline
-#                                     also refresh BENCH_table1.json at the
-#                                     repo root from this machine's run
+#                                     also refresh BENCH_table1.json and
+#                                     BENCH_parallel.json at the repo root
+#                                     from this machine's run
 #
-# The checked-in BENCH_table1.json is the recorded Table 1 baseline; its
-# "context" block names the machine and compiler it was captured on.
+# The checked-in BENCH_table1.json (Table 1 workloads) and
+# BENCH_parallel.json (E5 scaling + the join-heavy enforcement series) are
+# the recorded baselines; their "context" blocks name the machine and
+# compiler they were captured on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,12 +73,14 @@ case "$mode" in
   default)
     run_one build/bench/bench_table1
     run_one build/bench/bench_modification
+    run_one build/bench/bench_parallel
     ;;
 esac
 
 if [ "$update_baseline" = 1 ]; then
   cp "$outdir/bench_table1.json" BENCH_table1.json
-  echo "refreshed BENCH_table1.json"
+  cp "$outdir/bench_parallel.json" BENCH_parallel.json
+  echo "refreshed BENCH_table1.json and BENCH_parallel.json"
 fi
 
 echo "JSON reports in $outdir/"

@@ -31,11 +31,13 @@ struct EvalStats {
   uint64_t tuples_scanned = 0;   // tuples read from any input
   uint64_t tuples_emitted = 0;   // tuples produced by any operator
   uint64_t operators = 0;        // operator nodes evaluated
+  uint64_t index_probes = 0;     // probes of declared relation indexes
 
   void Add(const EvalStats& other) {
     tuples_scanned += other.tuples_scanned;
     tuples_emitted += other.tuples_emitted;
     operators += other.operators;
+    index_probes += other.index_probes;
   }
 };
 

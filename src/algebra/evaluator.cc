@@ -1,1025 +1,16 @@
 #include "src/algebra/evaluator.h"
 
-#include <memory>
-#include <optional>
-#include <unordered_map>
-#include <utility>
-#include <vector>
-
-#include "src/common/str_util.h"
+#include "src/algebra/physical_plan.h"
 
 namespace txmod::algebra {
 
-namespace {
-
-// ---------------------------------------------------------------------------
-// Borrow-or-own handle: kRef inputs are borrowed from the context (no copy);
-// computed inputs are owned by the handle.
-// ---------------------------------------------------------------------------
-
-class RelHandle {
- public:
-  static RelHandle Borrowed(const Relation* rel) {
-    RelHandle h;
-    h.ptr_ = rel;
-    return h;
-  }
-  static RelHandle Owned(Relation rel) {
-    RelHandle h;
-    h.owned_ = std::move(rel);
-    h.ptr_ = &*h.owned_;
-    return h;
-  }
-  RelHandle() = default;
-  RelHandle(RelHandle&& other) noexcept { *this = std::move(other); }
-  RelHandle& operator=(RelHandle&& other) noexcept {
-    owned_ = std::move(other.owned_);
-    ptr_ = owned_.has_value() ? &*owned_ : other.ptr_;
-    return *this;
-  }
-
-  const Relation& get() const { return *ptr_; }
-
-  /// Moves the relation out, copying when it was merely borrowed.
-  Relation Take() && {
-    if (owned_.has_value()) return *std::move(owned_);
-    return *ptr_;  // deep copy
-  }
-
- private:
-  const Relation* ptr_ = nullptr;
-  std::optional<Relation> owned_;
-};
-
-// ---------------------------------------------------------------------------
-// Schema synthesis helpers.
-// ---------------------------------------------------------------------------
-
-std::shared_ptr<const RelationSchema> MakeSchema(
-    std::vector<Attribute> attrs, std::string name = "") {
-  return std::make_shared<const RelationSchema>(std::move(name),
-                                                std::move(attrs));
-}
-
-AttrType ValueAttrType(const Value& v) {
-  switch (v.type()) {
-    case ValueType::kInt:
-      return AttrType::kInt;
-    case ValueType::kDouble:
-      return AttrType::kDouble;
-    case ValueType::kString:
-      return AttrType::kString;
-    case ValueType::kNull:
-      break;
-  }
-  return AttrType::kString;  // fallback for untyped (all-null) columns
-}
-
-// Best-effort static type of a scalar expression over `input` attributes.
-AttrType InferExprType(const ScalarExpr& e, const RelationSchema& input) {
-  switch (e.op()) {
-    case ScalarOp::kConst:
-      return ValueAttrType(e.constant());
-    case ScalarOp::kAttrRef: {
-      const int i = e.attr_index();
-      if (i >= 0 && i < static_cast<int>(input.arity())) {
-        return input.attribute(static_cast<std::size_t>(i)).type;
-      }
-      return AttrType::kString;
-    }
-    case ScalarOp::kAdd:
-    case ScalarOp::kSub:
-    case ScalarOp::kMul:
-    case ScalarOp::kDiv: {
-      const AttrType a = InferExprType(e.children()[0], input);
-      const AttrType b = InferExprType(e.children()[1], input);
-      return (a == AttrType::kDouble || b == AttrType::kDouble)
-                 ? AttrType::kDouble
-                 : AttrType::kInt;
-    }
-    default:
-      return AttrType::kInt;  // predicates materialize as 0/1
-  }
-}
-
-std::string ProjectionName(const ProjectionItem& item,
-                           const RelationSchema& input, std::size_t i) {
-  if (!item.name.empty()) return item.name;
-  if (item.expr.op() == ScalarOp::kAttrRef && item.expr.side() == 0) {
-    const int idx = item.expr.attr_index();
-    if (idx >= 0 && idx < static_cast<int>(input.arity())) {
-      return input.attribute(static_cast<std::size_t>(idx)).name;
-    }
-  }
-  return StrCat("c", i);
-}
-
-std::vector<Attribute> ConcatAttrs(const RelationSchema& a,
-                                   const RelationSchema& b) {
-  std::vector<Attribute> attrs = a.attributes();
-  attrs.insert(attrs.end(), b.attributes().begin(), b.attributes().end());
-  return attrs;
-}
-
-void CountScan(EvalStats* stats, std::size_t n) {
-  if (stats != nullptr) stats->tuples_scanned += n;
-}
-void CountEmit(EvalStats* stats, std::size_t n) {
-  if (stats != nullptr) stats->tuples_emitted += n;
-}
-
-// ---------------------------------------------------------------------------
-// TupleCursor: the pull-based pipeline. Next() yields a borrowed pointer
-// that stays valid until the next call on the same cursor (operators with
-// computed output own a scratch tuple they overwrite in place). nullptr
-// means end-of-stream. Pipelines materialize only at breakers: hash-join
-// build sides, set-operation right sides, product right sides, aggregate
-// inputs that may carry duplicates, and the final result relation.
-// ---------------------------------------------------------------------------
-
-class TupleCursor {
- public:
-  virtual ~TupleCursor() = default;
-  virtual Result<const Tuple*> Next() = 0;
-};
-
-/// A cursor plus the statically known properties of its stream. `unique`
-/// is true when the stream provably cannot yield the same tuple twice —
-/// set semantics then need no dedup step downstream. Projections and
-/// unions forfeit it; everything else preserves it.
-struct Stream {
-  std::unique_ptr<TupleCursor> cursor;
-  std::shared_ptr<const RelationSchema> schema;
-  bool unique = true;
-};
-
-class ScanCursor : public TupleCursor {
- public:
-  explicit ScanCursor(RelHandle rel)
-      : rel_(std::move(rel)),
-        it_(rel_.get().begin()),
-        end_(rel_.get().end()) {}
-
-  Result<const Tuple*> Next() override {
-    if (it_ == end_) return static_cast<const Tuple*>(nullptr);
-    const Tuple* t = &*it_;
-    ++it_;
-    return t;
-  }
-
- private:
-  RelHandle rel_;
-  Relation::ConstIterator it_;
-  Relation::ConstIterator end_;
-};
-
-class EmptyCursor : public TupleCursor {
- public:
-  Result<const Tuple*> Next() override {
-    return static_cast<const Tuple*>(nullptr);
-  }
-};
-
-class SelectCursor : public TupleCursor {
- public:
-  SelectCursor(Stream child, const ScalarExpr* pred, EvalStats* stats)
-      : child_(std::move(child)), pred_(pred), stats_(stats) {}
-
-  Result<const Tuple*> Next() override {
-    for (;;) {
-      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, child_.cursor->Next());
-      if (t == nullptr) return t;
-      CountScan(stats_, 1);
-      TXMOD_ASSIGN_OR_RETURN(bool keep, pred_->EvalPredicate(t, nullptr));
-      if (keep) {
-        CountEmit(stats_, 1);
-        return t;
-      }
-    }
-  }
-
- private:
-  Stream child_;
-  const ScalarExpr* pred_;
-  EvalStats* stats_;
-};
-
-class ProjectCursor : public TupleCursor {
- public:
-  ProjectCursor(Stream child, const std::vector<ProjectionItem>* items,
-                EvalStats* stats)
-      : child_(std::move(child)),
-        items_(items),
-        stats_(stats),
-        scratch_(std::vector<Value>(items->size())) {}
-
-  Result<const Tuple*> Next() override {
-    TXMOD_ASSIGN_OR_RETURN(const Tuple* t, child_.cursor->Next());
-    if (t == nullptr) return t;
-    CountScan(stats_, 1);
-    for (std::size_t i = 0; i < items_->size(); ++i) {
-      TXMOD_ASSIGN_OR_RETURN(Value v, (*items_)[i].expr.EvalValue(t, nullptr));
-      scratch_.at(i) = std::move(v);
-    }
-    CountEmit(stats_, 1);
-    return &scratch_;
-  }
-
- private:
-  Stream child_;
-  const std::vector<ProjectionItem>* items_;
-  EvalStats* stats_;
-  Tuple scratch_;
-};
-
-/// Copies `src` into `dst` starting at `offset` (scratch concatenation for
-/// products and joins — no fresh Tuple allocation per output row).
-void FillScratch(Tuple* dst, const Tuple& src, std::size_t offset) {
-  for (std::size_t i = 0; i < src.arity(); ++i) {
-    dst->at(offset + i) = src.at(i);
-  }
-}
-
-class ProductCursor : public TupleCursor {
- public:
-  ProductCursor(Stream left, RelHandle right, std::size_t left_arity,
-                std::size_t right_arity, EvalStats* stats)
-      : left_(std::move(left)),
-        right_(std::move(right)),
-        left_arity_(left_arity),
-        stats_(stats),
-        scratch_(std::vector<Value>(left_arity + right_arity)) {}
-
-  Result<const Tuple*> Next() override {
-    for (;;) {
-      if (lt_ == nullptr || rit_ == right_.get().end()) {
-        TXMOD_ASSIGN_OR_RETURN(lt_, left_.cursor->Next());
-        if (lt_ == nullptr) return lt_;
-        CountScan(stats_, 1);
-        FillScratch(&scratch_, *lt_, 0);
-        rit_ = right_.get().begin();
-        if (rit_ == right_.get().end()) continue;  // empty right operand
-      }
-      FillScratch(&scratch_, *rit_, left_arity_);
-      ++rit_;
-      CountEmit(stats_, 1);
-      return &scratch_;
-    }
-  }
-
- private:
-  Stream left_;
-  RelHandle right_;
-  std::size_t left_arity_;
-  EvalStats* stats_;
-  Tuple scratch_;
-  const Tuple* lt_ = nullptr;
-  Relation::ConstIterator rit_;
-};
-
-/// Join / semijoin / antijoin over the equality conjuncts of the
-/// predicate. The right (build) side is either a transient table built
-/// once per evaluation, or — the differential-check fast path — a
-/// persistent RelationIndex declared on a base relation, in which case
-/// this cursor does no build work at all. Probing hashes the left tuple's
-/// key attributes in place (EquiKeyHash): no per-probe Tuple allocation.
-/// Candidates are verified against the full predicate, so hash collisions
-/// (and the predicate's extra non-equality conjuncts) stay correct.
-class HashJoinCursor : public TupleCursor {
- public:
-  HashJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
-                 RelHandle right, const RelationIndex* index,
-                 std::vector<int> lattrs, std::vector<int> rattrs,
-                 std::size_t out_arity, EvalStats* stats)
-      : kind_(kind),
-        pred_(pred),
-        left_(std::move(left)),
-        right_(std::move(right)),
-        index_(index),
-        lattrs_(std::move(lattrs)),
-        stats_(stats),
-        scratch_(std::vector<Value>(out_arity)) {
-    if (index_ == nullptr) {
-      own_table_.reserve(right_.get().size());
-      for (const Tuple& rt : right_.get()) {
-        own_table_.emplace(EquiKeyHash(rt, rattrs), &rt);
-      }
-    }
-  }
-
-  Result<const Tuple*> Next() override {
-    for (;;) {
-      if (kind_ == RelExprKind::kJoin && lt_ != nullptr) {
-        while (it_ != end_) {
-          const Tuple* rt = it_->second;
-          ++it_;
-          TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, rt));
-          if (match) {
-            FillScratch(&scratch_, *rt, lt_->arity());
-            CountEmit(stats_, 1);
-            return &scratch_;
-          }
-        }
-      }
-      TXMOD_ASSIGN_OR_RETURN(lt_, left_.cursor->Next());
-      if (lt_ == nullptr) return lt_;
-      CountScan(stats_, 1);
-      const std::size_t h = EquiKeyHash(*lt_, lattrs_);
-      auto [begin, end] = index_ != nullptr
-                              ? index_->Probe(h)
-                              : std::as_const(own_table_).equal_range(h);
-      if (kind_ == RelExprKind::kJoin) {
-        it_ = begin;
-        end_ = end;
-        FillScratch(&scratch_, *lt_, 0);
-        continue;
-      }
-      bool matched = false;
-      for (auto it = begin; it != end; ++it) {
-        TXMOD_ASSIGN_OR_RETURN(bool match,
-                               pred_->EvalPredicate(lt_, it->second));
-        if (match) {
-          matched = true;
-          break;
-        }
-      }
-      if (matched == (kind_ == RelExprKind::kSemiJoin)) {
-        CountEmit(stats_, 1);
-        return lt_;
-      }
-    }
-  }
-
- private:
-  RelExprKind kind_;
-  const ScalarExpr* pred_;
-  Stream left_;
-  RelHandle right_;
-  const RelationIndex* index_;
-  std::vector<int> lattrs_;
-  EvalStats* stats_;
-  RelationIndex::Map own_table_;
-  Tuple scratch_;
-  const Tuple* lt_ = nullptr;
-  RelationIndex::Iterator it_;
-  RelationIndex::Iterator end_;
-};
-
-/// Join-like fallback when the predicate has no equality conjunct: stream
-/// the left side against the materialized right side.
-class NestedJoinCursor : public TupleCursor {
- public:
-  NestedJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
-                   RelHandle right, std::size_t out_arity, EvalStats* stats)
-      : kind_(kind),
-        pred_(pred),
-        left_(std::move(left)),
-        right_(std::move(right)),
-        stats_(stats),
-        scratch_(std::vector<Value>(out_arity)) {}
-
-  Result<const Tuple*> Next() override {
-    for (;;) {
-      if (kind_ == RelExprKind::kJoin && lt_ != nullptr) {
-        while (rit_ != right_.get().end()) {
-          const Tuple* rt = &*rit_;
-          ++rit_;
-          TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, rt));
-          if (match) {
-            FillScratch(&scratch_, *rt, lt_->arity());
-            CountEmit(stats_, 1);
-            return &scratch_;
-          }
-        }
-      }
-      TXMOD_ASSIGN_OR_RETURN(lt_, left_.cursor->Next());
-      if (lt_ == nullptr) return lt_;
-      CountScan(stats_, 1);
-      if (kind_ == RelExprKind::kJoin) {
-        rit_ = right_.get().begin();
-        FillScratch(&scratch_, *lt_, 0);
-        continue;
-      }
-      bool matched = false;
-      for (const Tuple& rt : right_.get()) {
-        TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, &rt));
-        if (match) {
-          matched = true;
-          break;
-        }
-      }
-      if (matched == (kind_ == RelExprKind::kSemiJoin)) {
-        CountEmit(stats_, 1);
-        return lt_;
-      }
-    }
-  }
-
- private:
-  RelExprKind kind_;
-  const ScalarExpr* pred_;
-  Stream left_;
-  RelHandle right_;
-  EvalStats* stats_;
-  Tuple scratch_;
-  const Tuple* lt_ = nullptr;
-  Relation::ConstIterator rit_;
-};
-
-class UnionCursor : public TupleCursor {
- public:
-  UnionCursor(Stream left, Stream right, EvalStats* stats)
-      : left_(std::move(left)), right_(std::move(right)), stats_(stats) {}
-
-  Result<const Tuple*> Next() override {
-    if (!left_done_) {
-      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, left_.cursor->Next());
-      if (t != nullptr) {
-        CountScan(stats_, 1);
-        CountEmit(stats_, 1);
-        return t;
-      }
-      left_done_ = true;
-    }
-    TXMOD_ASSIGN_OR_RETURN(const Tuple* t, right_.cursor->Next());
-    if (t != nullptr) {
-      CountScan(stats_, 1);
-      CountEmit(stats_, 1);
-    }
-    return t;
-  }
-
- private:
-  Stream left_;
-  Stream right_;
-  EvalStats* stats_;
-  bool left_done_ = false;
-};
-
-/// Difference (want_in = false) / intersection (want_in = true) against a
-/// *projection of an indexed base relation*, without materializing the
-/// projection: x is a member of project[attrs](R) iff some R-tuple carries
-/// exactly x's values at `attrs`, which one probe of R's index answers.
-/// This is the shape the translator emits for the paper's differential
-/// referential checks — diff(project[ref](dplus(F)), project[key](K)) —
-/// and is what turns their cost from O(|K|) into O(|dplus(F)|).
-/// Membership is type-exact (set semantics), verified on each candidate;
-/// KeyHash never separates identical values, so no member is missed.
-class IndexedSetOpCursor : public TupleCursor {
- public:
-  IndexedSetOpCursor(Stream left, const RelationIndex* index,
-                     bool want_in, EvalStats* stats)
-      : left_(std::move(left)),
-        index_(index),
-        want_in_(want_in),
-        stats_(stats) {
-    probe_attrs_.reserve(index_->attrs().size());
-    for (std::size_t i = 0; i < index_->attrs().size(); ++i) {
-      probe_attrs_.push_back(static_cast<int>(i));
-    }
-  }
-
-  Result<const Tuple*> Next() override {
-    for (;;) {
-      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, left_.cursor->Next());
-      if (t == nullptr) return t;
-      CountScan(stats_, 1);
-      const std::size_t h = EquiKeyHash(*t, probe_attrs_);
-      bool found = false;
-      auto [begin, end] = index_->Probe(h);
-      for (auto it = begin; it != end && !found; ++it) {
-        const Tuple& candidate = *it->second;
-        bool equal = true;
-        for (std::size_t i = 0; i < index_->attrs().size(); ++i) {
-          const std::size_t a =
-              static_cast<std::size_t>(index_->attrs()[i]);
-          if (!(candidate.at(a) == t->at(i))) {
-            equal = false;
-            break;
-          }
-        }
-        found = equal;
-      }
-      if (found == want_in_) {
-        CountEmit(stats_, 1);
-        return t;
-      }
-    }
-  }
-
- private:
-  Stream left_;
-  const RelationIndex* index_;
-  bool want_in_;
-  EvalStats* stats_;
-  std::vector<int> probe_attrs_;
-};
-
-/// Difference (want_in = false) / intersection (want_in = true): stream
-/// the left side, membership-test against the materialized right side.
-class FilterSetOpCursor : public TupleCursor {
- public:
-  FilterSetOpCursor(Stream left, RelHandle right, bool want_in,
-                    EvalStats* stats)
-      : left_(std::move(left)),
-        right_(std::move(right)),
-        want_in_(want_in),
-        stats_(stats) {}
-
-  Result<const Tuple*> Next() override {
-    for (;;) {
-      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, left_.cursor->Next());
-      if (t == nullptr) return t;
-      CountScan(stats_, 1);
-      if (right_.get().Contains(*t) == want_in_) {
-        CountEmit(stats_, 1);
-        return t;
-      }
-    }
-  }
-
- private:
-  Stream left_;
-  RelHandle right_;
-  bool want_in_;
-  EvalStats* stats_;
-};
-
-// ---------------------------------------------------------------------------
-// The evaluator proper: builds the cursor pipeline, materializing only at
-// pipeline breakers and at the final result.
-// ---------------------------------------------------------------------------
-
-class Evaluator {
- public:
-  Evaluator(const EvalContext& ctx, EvalStats* stats)
-      : ctx_(ctx), stats_(stats) {}
-
-  Result<Relation> Evaluate(const RelExpr& e) {
-    // Nodes that are whole relations already (references) or inherently
-    // eager (literals, aggregates) skip the cursor layer at the root.
-    switch (e.kind()) {
-      case RelExprKind::kRef:
-      case RelExprKind::kLiteral:
-      case RelExprKind::kAggregate: {
-        TXMOD_ASSIGN_OR_RETURN(RelHandle h, Materialize(e));
-        return std::move(h).Take();
-      }
-      default:
-        break;
-    }
-    TXMOD_ASSIGN_OR_RETURN(Stream s, Open(e));
-    return Drain(&s);
-  }
-
- private:
-  Result<Relation> Drain(Stream* s) {
-    Relation out(s->schema);
-    for (;;) {
-      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, s->cursor->Next());
-      if (t == nullptr) break;
-      out.Insert(*t);
-    }
-    return out;
-  }
-
-  /// A whole-relation view of `e`: borrowed for references, owned (and
-  /// deduplicated) for everything else. Build sides of joins, products and
-  /// set operations — the pipeline breakers — come through here.
-  Result<RelHandle> Materialize(const RelExpr& e) {
-    switch (e.kind()) {
-      case RelExprKind::kRef: {
-        if (stats_ != nullptr) ++stats_->operators;
-        TXMOD_ASSIGN_OR_RETURN(const Relation* rel,
-                               ctx_.Resolve(e.ref_kind(), e.rel_name()));
-        return RelHandle::Borrowed(rel);
-      }
-      case RelExprKind::kLiteral: {
-        if (stats_ != nullptr) ++stats_->operators;
-        return EvalLiteral(e);
-      }
-      case RelExprKind::kAggregate: {
-        if (stats_ != nullptr) ++stats_->operators;
-        return EvalAggregate(e);
-      }
-      default: {
-        TXMOD_ASSIGN_OR_RETURN(Stream s, Open(e));
-        TXMOD_ASSIGN_OR_RETURN(Relation out, Drain(&s));
-        return RelHandle::Owned(std::move(out));
-      }
-    }
-  }
-
-  Result<Stream> Open(const RelExpr& e) {
-    switch (e.kind()) {
-      case RelExprKind::kRef:
-      case RelExprKind::kLiteral:
-      case RelExprKind::kAggregate: {
-        TXMOD_ASSIGN_OR_RETURN(RelHandle h, Materialize(e));
-        Stream s;
-        s.schema = h.get().schema_ptr();
-        s.unique = true;
-        s.cursor = std::make_unique<ScanCursor>(std::move(h));
-        return s;
-      }
-      case RelExprKind::kSelect:
-        return OpenSelect(e);
-      case RelExprKind::kProject:
-        return OpenProject(e);
-      case RelExprKind::kProduct:
-        return OpenProduct(e);
-      case RelExprKind::kJoin:
-      case RelExprKind::kSemiJoin:
-      case RelExprKind::kAntiJoin:
-        return OpenJoinLike(e);
-      case RelExprKind::kUnion:
-      case RelExprKind::kDifference:
-      case RelExprKind::kIntersect:
-        return OpenSetOp(e);
-    }
-    return Status::Internal("unknown RelExpr kind");
-  }
-
-  Result<Stream> OpenSelect(const RelExpr& e) {
-    if (stats_ != nullptr) ++stats_->operators;
-    TXMOD_ASSIGN_OR_RETURN(Stream in, Open(*e.left()));
-    Stream s;
-    s.schema = in.schema;
-    s.unique = in.unique;
-    s.cursor = std::make_unique<SelectCursor>(std::move(in), &e.predicate(),
-                                              stats_);
-    return s;
-  }
-
-  Result<Stream> OpenProject(const RelExpr& e) {
-    if (stats_ != nullptr) ++stats_->operators;
-    TXMOD_ASSIGN_OR_RETURN(Stream in, Open(*e.left()));
-    std::vector<Attribute> attrs;
-    attrs.reserve(e.projections().size());
-    for (std::size_t i = 0; i < e.projections().size(); ++i) {
-      attrs.push_back(
-          Attribute{ProjectionName(e.projections()[i], *in.schema, i),
-                    InferExprType(e.projections()[i].expr, *in.schema)});
-    }
-    Stream s;
-    s.schema = MakeSchema(std::move(attrs));
-    s.unique = false;  // distinct inputs may project to the same output
-    s.cursor = std::make_unique<ProjectCursor>(std::move(in),
-                                               &e.projections(), stats_);
-    return s;
-  }
-
-  Result<Stream> OpenProduct(const RelExpr& e) {
-    if (stats_ != nullptr) ++stats_->operators;
-    TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(*e.right()));
-    CountScan(stats_, right.get().size());  // build side is read once
-    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
-    const std::size_t larity = l.schema->arity();
-    const std::size_t rarity = right.get().arity();
-    Stream s;
-    s.schema = MakeSchema(ConcatAttrs(*l.schema, right.get().schema()));
-    s.unique = l.unique;  // the right side, a set, cannot repeat
-    s.cursor = std::make_unique<ProductCursor>(std::move(l), std::move(right),
-                                               larity, rarity, stats_);
-    return s;
-  }
-
-  Result<Stream> OpenJoinLike(const RelExpr& e) {
-    if (stats_ != nullptr) ++stats_->operators;
-    std::vector<std::pair<int, int>> equi;
-    CollectEquiPairs(e.predicate(), &equi);
-    std::vector<int> lattrs, rattrs;
-    lattrs.reserve(equi.size());
-    rattrs.reserve(equi.size());
-    for (const auto& [a, b] : equi) {
-      lattrs.push_back(a);
-      rattrs.push_back(b);
-    }
-
-    // The build side. A borrowed base relation with a declared index on
-    // exactly the join's key attributes is probed in place: no scan, no
-    // table build — this is what makes the compiled differential checks
-    // cheap on every transaction after the first.
-    TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(*e.right()));
-    const Relation& r = right.get();
-    const RelationIndex* index =
-        equi.empty() ? nullptr : r.FindIndex(rattrs);
-
-    const bool is_join = e.kind() == RelExprKind::kJoin;
-    if (r.empty()) {
-      // An antijoin with nothing to exclude is the left side itself; a
-      // join or semijoin with nothing to match is empty. Either way the
-      // left subtree is opened but never re-filtered — this is what makes
-      // differential checks free when the transaction did not touch the
-      // differential relation.
-      TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
-      if (e.kind() == RelExprKind::kAntiJoin) return l;
-      Stream s;
-      s.schema = is_join ? MakeSchema(ConcatAttrs(*l.schema, r.schema()))
-                         : l.schema;
-      s.unique = true;
-      s.cursor = std::make_unique<EmptyCursor>();
-      return s;
-    }
-
-    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
-    Stream s;
-    s.schema = is_join ? MakeSchema(ConcatAttrs(*l.schema, r.schema()))
-                       : l.schema;
-    s.unique = l.unique;
-    const std::size_t out_arity = s.schema->arity();
-    if (!equi.empty()) {
-      // A transient build scans the right side once; an index build side
-      // is not scanned at all.
-      if (index == nullptr) CountScan(stats_, r.size());
-      s.cursor = std::make_unique<HashJoinCursor>(
-          e.kind(), &e.predicate(), std::move(l), std::move(right), index,
-          std::move(lattrs), std::move(rattrs), out_arity, stats_);
-    } else {
-      CountScan(stats_, r.size());
-      s.cursor = std::make_unique<NestedJoinCursor>(
-          e.kind(), &e.predicate(), std::move(l), std::move(right),
-          out_arity, stats_);
-    }
-    return s;
-  }
-
-  Result<Stream> OpenSetOp(const RelExpr& e) {
-    if (stats_ != nullptr) ++stats_->operators;
-    if (e.kind() == RelExprKind::kUnion) {
-      TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
-      TXMOD_ASSIGN_OR_RETURN(Stream r, Open(*e.right()));
-      if (l.schema->arity() != r.schema->arity()) {
-        return Status::InvalidArgument(
-            StrCat("set operation over different arities: ",
-                   l.schema->arity(), " vs ", r.schema->arity()));
-      }
-      Stream s;
-      s.schema = l.schema;
-      s.unique = false;  // the same tuple may arrive from both sides
-      s.cursor = std::make_unique<UnionCursor>(std::move(l), std::move(r),
-                                               stats_);
-      return s;
-    }
-    // Indexed membership fast path: when the right side is a pure
-    // attribute projection of a reference whose resolved relation carries
-    // a declared index on exactly those attributes, the projection is
-    // never materialized — each left tuple costs one index probe. Neither
-    // the projection nor its input count as scanned.
-    std::vector<int> proj_attrs;
-    if (IsAttrProjectionOfRef(*e.right(), &proj_attrs)) {
-      TXMOD_ASSIGN_OR_RETURN(
-          const Relation* base,
-          ctx_.Resolve(e.right()->left()->ref_kind(),
-                       e.right()->left()->rel_name()));
-      const RelationIndex* index = base->FindIndex(proj_attrs);
-      if (index != nullptr) {
-        TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
-        if (l.schema->arity() != proj_attrs.size()) {
-          return Status::InvalidArgument(
-              StrCat("set operation over different arities: ",
-                     l.schema->arity(), " vs ", proj_attrs.size()));
-        }
-        Stream s;
-        s.schema = l.schema;
-        s.unique = l.unique;
-        s.cursor = std::make_unique<IndexedSetOpCursor>(
-            std::move(l), index,
-            /*want_in=*/e.kind() == RelExprKind::kIntersect, stats_);
-        return s;
-      }
-    }
-
-    TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(*e.right()));
-    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(*e.left()));
-    if (l.schema->arity() != right.get().arity()) {
-      return Status::InvalidArgument(
-          StrCat("set operation over different arities: ", l.schema->arity(),
-                 " vs ", right.get().arity()));
-    }
-    if (right.get().empty()) {
-      // Difference against nothing passes the left side through;
-      // intersection with nothing is empty. No scans either way.
-      if (e.kind() == RelExprKind::kDifference) return l;
-      Stream s;
-      s.schema = l.schema;
-      s.unique = true;
-      s.cursor = std::make_unique<EmptyCursor>();
-      return s;
-    }
-    CountScan(stats_, right.get().size());
-    Stream s;
-    s.schema = l.schema;
-    s.unique = l.unique;
-    s.cursor = std::make_unique<FilterSetOpCursor>(
-        std::move(l), std::move(right),
-        /*want_in=*/e.kind() == RelExprKind::kIntersect, stats_);
-    return s;
-  }
-
-  Result<RelHandle> EvalLiteral(const RelExpr& e) {
-    // Every tuple's arity is validated before the schema-inference loop
-    // below reads attribute i of arbitrary tuples: a short tuple used to
-    // be an out-of-bounds read.
-    for (const Tuple& t : e.literal_tuples()) {
-      if (static_cast<int>(t.arity()) != e.literal_arity()) {
-        return Status::InvalidArgument(
-            StrCat("literal tuple ", t.ToString(), " has arity ", t.arity(),
-                   ", expected ", e.literal_arity()));
-      }
-    }
-    std::vector<Attribute> attrs;
-    for (int i = 0; i < e.literal_arity(); ++i) {
-      const std::size_t col = static_cast<std::size_t>(i);
-      AttrType type = AttrType::kString;
-      for (const Tuple& t : e.literal_tuples()) {
-        if (!t.at(col).is_null()) {
-          type = ValueAttrType(t.at(col));
-          break;
-        }
-      }
-      attrs.push_back(Attribute{StrCat("c", i), type});
-    }
-    Relation out(MakeSchema(std::move(attrs)));
-    for (const Tuple& t : e.literal_tuples()) {
-      out.Insert(t);
-    }
-    CountEmit(stats_, out.size());
-    return RelHandle::Owned(std::move(out));
-  }
-
-  struct GroupAcc {
-    int64_t count = 0;
-    int64_t isum = 0;
-    double dsum = 0.0;
-    bool any_double = false;
-    int64_t non_null = 0;
-    std::optional<Value> min;
-    std::optional<Value> max;
-  };
-
-  static Status Accumulate(GroupAcc* acc, const Value& v) {
-    acc->count += 1;
-    if (v.is_null()) return Status::OK();
-    acc->non_null += 1;
-    if (v.is_numeric()) {
-      if (v.is_int()) {
-        acc->isum += v.as_int();
-        acc->dsum += static_cast<double>(v.as_int());
-      } else {
-        acc->any_double = true;
-        acc->dsum += v.as_double();
-      }
-    }
-    if (!acc->min.has_value() ||
-        Value::Compare(v, *acc->min) == Value::Ordering::kLess) {
-      acc->min = v;
-    }
-    if (!acc->max.has_value() ||
-        Value::Compare(v, *acc->max) == Value::Ordering::kGreater) {
-      acc->max = v;
-    }
-    return Status::OK();
-  }
-
-  static Result<Value> Finalize(const GroupAcc& acc, AggFunc func,
-                                bool saw_non_numeric) {
-    switch (func) {
-      case AggFunc::kCnt:
-        return Value::Int(acc.count);
-      case AggFunc::kSum:
-        if (saw_non_numeric) {
-          return Status::InvalidArgument("SUM over non-numeric attribute");
-        }
-        return acc.any_double ? Value::Double(acc.dsum)
-                              : Value::Int(acc.isum);
-      case AggFunc::kAvg:
-        if (saw_non_numeric) {
-          return Status::InvalidArgument("AVG over non-numeric attribute");
-        }
-        if (acc.non_null == 0) return Value::Null();
-        return Value::Double(acc.dsum / static_cast<double>(acc.non_null));
-      case AggFunc::kMin:
-        return acc.min.has_value() ? *acc.min : Value::Null();
-      case AggFunc::kMax:
-        return acc.max.has_value() ? *acc.max : Value::Null();
-    }
-    return Status::Internal("unknown aggregate function");
-  }
-
-  /// Aggregates are pipeline breakers: the whole input is consumed before
-  /// the single output (or group rows) exist. A provably duplicate-free
-  /// input streams straight into the accumulators; anything else (e.g. a
-  /// projection) is materialized first, because relations are sets and
-  /// CNT/SUM/AVG must not observe a tuple twice.
-  Result<RelHandle> EvalAggregate(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(Stream in, Open(*e.left()));
-    const RelationSchema& in_schema = *in.schema;
-
-    const int attr = e.agg_attr();
-    const bool needs_attr = e.agg_func() != AggFunc::kCnt;
-    if (needs_attr &&
-        (attr < 0 || attr >= static_cast<int>(in_schema.arity()))) {
-      return Status::InvalidArgument(
-          StrCat("aggregate attribute #", attr, " out of range for arity ",
-                 in_schema.arity()));
-    }
-
-    // Output schema: group attrs then the aggregate column.
-    std::vector<Attribute> attrs;
-    for (int g : e.group_by()) {
-      if (g < 0 || g >= static_cast<int>(in_schema.arity())) {
-        return Status::InvalidArgument(
-            StrCat("group-by attribute #", g, " out of range"));
-      }
-      attrs.push_back(in_schema.attribute(static_cast<std::size_t>(g)));
-    }
-    AttrType agg_type = AttrType::kInt;
-    switch (e.agg_func()) {
-      case AggFunc::kCnt:
-        agg_type = AttrType::kInt;
-        break;
-      case AggFunc::kAvg:
-        agg_type = AttrType::kDouble;
-        break;
-      default:
-        agg_type = needs_attr
-                       ? in_schema.attribute(static_cast<std::size_t>(attr))
-                             .type
-                       : AttrType::kInt;
-        break;
-    }
-    attrs.push_back(Attribute{AggFuncToString(e.agg_func()), agg_type});
-    Relation out(MakeSchema(std::move(attrs)));
-
-    bool saw_non_numeric = false;
-    auto observe = [&](GroupAcc* acc, const Tuple& t) -> Status {
-      if (!needs_attr) {
-        acc->count += 1;
-        return Status::OK();
-      }
-      const Value& v = t.at(static_cast<std::size_t>(attr));
-      if (!v.is_null() && !v.is_numeric() &&
-          (e.agg_func() == AggFunc::kSum || e.agg_func() == AggFunc::kAvg)) {
-        saw_non_numeric = true;
-      }
-      return Accumulate(acc, v);
-    };
-
-    GroupAcc scalar_acc;
-    std::unordered_map<Tuple, GroupAcc, TupleHasher> groups;
-    const bool grouped = !e.group_by().empty();
-    auto process = [&](const Tuple& t) -> Status {
-      CountScan(stats_, 1);
-      if (!grouped) return observe(&scalar_acc, t);
-      std::vector<Value> key_vals;
-      key_vals.reserve(e.group_by().size());
-      for (int g : e.group_by()) {
-        key_vals.push_back(t.at(static_cast<std::size_t>(g)));
-      }
-      return observe(&groups[Tuple(std::move(key_vals))], t);
-    };
-
-    if (in.unique) {
-      for (;;) {
-        TXMOD_ASSIGN_OR_RETURN(const Tuple* t, in.cursor->Next());
-        if (t == nullptr) break;
-        TXMOD_RETURN_IF_ERROR(process(*t));
-      }
-    } else {
-      TXMOD_ASSIGN_OR_RETURN(Relation dedup, Drain(&in));
-      for (const Tuple& t : dedup) {
-        TXMOD_RETURN_IF_ERROR(process(t));
-      }
-    }
-
-    if (!grouped) {
-      TXMOD_ASSIGN_OR_RETURN(
-          Value v, Finalize(scalar_acc, e.agg_func(), saw_non_numeric));
-      out.Insert(Tuple({std::move(v)}));
-    } else {
-      for (const auto& [key, acc] : groups) {
-        TXMOD_ASSIGN_OR_RETURN(Value v,
-                               Finalize(acc, e.agg_func(), saw_non_numeric));
-        Tuple row = key;
-        row.Append(std::move(v));
-        out.Insert(std::move(row));
-      }
-    }
-    CountEmit(stats_, out.size());
-    return RelHandle::Owned(std::move(out));
-  }
-
-  const EvalContext& ctx_;
-  EvalStats* stats_;
-};
-
-}  // namespace
-
 Result<Relation> EvaluateRelExpr(const RelExpr& expr, const EvalContext& ctx,
                                  EvalStats* stats) {
-  Evaluator ev(ctx, stats);
-  return ev.Evaluate(expr);
+  // One-shot path: compile, execute, discard. Callers that evaluate the
+  // same expression repeatedly (the transaction executor running compiled
+  // integrity checks) hold compiled plans in a PlanCache instead.
+  TXMOD_ASSIGN_OR_RETURN(PhysicalPlan plan, PhysicalPlan::Compile(expr));
+  return plan.Execute(ctx, stats);
 }
 
 }  // namespace txmod::algebra

@@ -9,13 +9,15 @@
 namespace txmod::algebra {
 
 /// Evaluates `expr` against the relations supplied by `ctx` into a
-/// materialized result. Internally the plan runs as a pull-based pipeline
-/// of tuple cursors: selections, projections, products and join probes
-/// stream tuples from their children without building intermediate
-/// relations; only pipeline breakers materialize (hash-join build sides,
-/// product and difference/intersect right sides, aggregate inputs that may
-/// carry duplicates, and the final result). `stats` (optional) accumulates
-/// work counters.
+/// materialized result: compiles a physical plan (physical_plan.h) and
+/// executes it as a pull-based pipeline of tuple cursors. Selections,
+/// projections, products and join probes stream tuples from their
+/// children without building intermediate relations; only pipeline
+/// breakers materialize (hash-join build sides, product and
+/// difference/intersect right sides, aggregate inputs that may carry
+/// duplicates, and the final result). `stats` (optional) accumulates work
+/// counters. Repeated evaluations of the same expression should compile
+/// once via PhysicalPlan / PlanCache instead of calling this per use.
 ///
 /// Implementation notes:
 ///  * joins/semijoins/antijoins hash on the equality conjuncts of the

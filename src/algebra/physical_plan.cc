@@ -1,0 +1,1545 @@
+#include "src/algebra/physical_plan.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/algebra/schema_infer.h"
+#include "src/common/str_util.h"
+
+namespace txmod::algebra {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Borrow-or-own handle: kRef inputs are borrowed from the context (no copy);
+// computed inputs are owned by the handle.
+// ---------------------------------------------------------------------------
+
+class RelHandle {
+ public:
+  static RelHandle Borrowed(const Relation* rel) {
+    RelHandle h;
+    h.ptr_ = rel;
+    return h;
+  }
+  static RelHandle Owned(Relation rel) {
+    RelHandle h;
+    h.owned_ = std::move(rel);
+    h.ptr_ = &*h.owned_;
+    return h;
+  }
+  RelHandle() = default;
+  RelHandle(RelHandle&& other) noexcept { *this = std::move(other); }
+  RelHandle& operator=(RelHandle&& other) noexcept {
+    owned_ = std::move(other.owned_);
+    ptr_ = owned_.has_value() ? &*owned_ : other.ptr_;
+    return *this;
+  }
+
+  const Relation& get() const { return *ptr_; }
+
+  /// Moves the relation out, copying when it was merely borrowed.
+  Relation Take() && {
+    if (owned_.has_value()) return *std::move(owned_);
+    return *ptr_;  // deep copy
+  }
+
+ private:
+  const Relation* ptr_ = nullptr;
+  std::optional<Relation> owned_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema synthesis helpers.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const RelationSchema> MakeSchema(
+    std::vector<Attribute> attrs, std::string name = "") {
+  return std::make_shared<const RelationSchema>(std::move(name),
+                                                std::move(attrs));
+}
+
+AttrType ValueAttrType(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      return AttrType::kInt;
+    case ValueType::kDouble:
+      return AttrType::kDouble;
+    case ValueType::kString:
+      return AttrType::kString;
+    case ValueType::kNull:
+      break;
+  }
+  return AttrType::kString;  // fallback for untyped (all-null) columns
+}
+
+std::vector<Attribute> ConcatAttrs(const RelationSchema& a,
+                                   const RelationSchema& b) {
+  std::vector<Attribute> attrs = a.attributes();
+  attrs.insert(attrs.end(), b.attributes().begin(), b.attributes().end());
+  return attrs;
+}
+
+void CountScan(EvalStats* stats, std::size_t n) {
+  if (stats != nullptr) stats->tuples_scanned += n;
+}
+void CountEmit(EvalStats* stats, std::size_t n) {
+  if (stats != nullptr) stats->tuples_emitted += n;
+}
+void CountProbe(EvalStats* stats, std::size_t n) {
+  if (stats != nullptr) stats->index_probes += n;
+}
+void CountOperator(EvalStats* stats) {
+  if (stats != nullptr) ++stats->operators;
+}
+
+// ---------------------------------------------------------------------------
+// TupleCursor: the pull-based pipeline. Next() yields a borrowed pointer
+// that stays valid until the next call on the same cursor (operators with
+// computed output own a scratch tuple they overwrite in place). nullptr
+// means end-of-stream. Pipelines materialize only at breakers: hash-join
+// build sides, set-operation right sides, product right sides, aggregate
+// inputs that may carry duplicates, and the final result relation.
+// ---------------------------------------------------------------------------
+
+class TupleCursor {
+ public:
+  virtual ~TupleCursor() = default;
+  virtual Result<const Tuple*> Next() = 0;
+};
+
+/// A cursor plus the statically known properties of its stream. `unique`
+/// is true when the stream provably cannot yield the same tuple twice —
+/// set semantics then need no dedup step downstream. Projections, unions
+/// and index-lookup semijoins forfeit it; everything else preserves it.
+struct Stream {
+  std::unique_ptr<TupleCursor> cursor;
+  std::shared_ptr<const RelationSchema> schema;
+  bool unique = true;
+};
+
+class ScanCursor : public TupleCursor {
+ public:
+  explicit ScanCursor(RelHandle rel)
+      : rel_(std::move(rel)),
+        it_(rel_.get().begin()),
+        end_(rel_.get().end()) {}
+
+  Result<const Tuple*> Next() override {
+    if (it_ == end_) return static_cast<const Tuple*>(nullptr);
+    const Tuple* t = &*it_;
+    ++it_;
+    return t;
+  }
+
+ private:
+  RelHandle rel_;
+  Relation::ConstIterator it_;
+  Relation::ConstIterator end_;
+};
+
+class EmptyCursor : public TupleCursor {
+ public:
+  Result<const Tuple*> Next() override {
+    return static_cast<const Tuple*>(nullptr);
+  }
+};
+
+class SelectCursor : public TupleCursor {
+ public:
+  SelectCursor(Stream child, const ScalarExpr* pred, EvalStats* stats)
+      : child_(std::move(child)), pred_(pred), stats_(stats) {}
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, child_.cursor->Next());
+      if (t == nullptr) return t;
+      CountScan(stats_, 1);
+      TXMOD_ASSIGN_OR_RETURN(bool keep, pred_->EvalPredicate(t, nullptr));
+      if (keep) {
+        CountEmit(stats_, 1);
+        return t;
+      }
+    }
+  }
+
+ private:
+  Stream child_;
+  const ScalarExpr* pred_;
+  EvalStats* stats_;
+};
+
+class ProjectCursor : public TupleCursor {
+ public:
+  ProjectCursor(Stream child, const std::vector<ProjectionItem>* items,
+                EvalStats* stats)
+      : child_(std::move(child)),
+        items_(items),
+        stats_(stats),
+        scratch_(std::vector<Value>(items->size())) {}
+
+  Result<const Tuple*> Next() override {
+    TXMOD_ASSIGN_OR_RETURN(const Tuple* t, child_.cursor->Next());
+    if (t == nullptr) return t;
+    CountScan(stats_, 1);
+    for (std::size_t i = 0; i < items_->size(); ++i) {
+      TXMOD_ASSIGN_OR_RETURN(Value v, (*items_)[i].expr.EvalValue(t, nullptr));
+      scratch_.at(i) = std::move(v);
+    }
+    CountEmit(stats_, 1);
+    return &scratch_;
+  }
+
+ private:
+  Stream child_;
+  const std::vector<ProjectionItem>* items_;
+  EvalStats* stats_;
+  Tuple scratch_;
+};
+
+/// Copies `src` into `dst` starting at `offset` (scratch concatenation for
+/// products and joins — no fresh Tuple allocation per output row).
+void FillScratch(Tuple* dst, const Tuple& src, std::size_t offset) {
+  for (std::size_t i = 0; i < src.arity(); ++i) {
+    dst->at(offset + i) = src.at(i);
+  }
+}
+
+class ProductCursor : public TupleCursor {
+ public:
+  ProductCursor(Stream left, RelHandle right, std::size_t left_arity,
+                std::size_t right_arity, EvalStats* stats)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_arity_(left_arity),
+        stats_(stats),
+        scratch_(std::vector<Value>(left_arity + right_arity)) {}
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      if (lt_ == nullptr || rit_ == right_.get().end()) {
+        TXMOD_ASSIGN_OR_RETURN(lt_, left_.cursor->Next());
+        if (lt_ == nullptr) return lt_;
+        CountScan(stats_, 1);
+        FillScratch(&scratch_, *lt_, 0);
+        rit_ = right_.get().begin();
+        if (rit_ == right_.get().end()) continue;  // empty right operand
+      }
+      FillScratch(&scratch_, *rit_, left_arity_);
+      ++rit_;
+      CountEmit(stats_, 1);
+      return &scratch_;
+    }
+  }
+
+ private:
+  Stream left_;
+  RelHandle right_;
+  std::size_t left_arity_;
+  EvalStats* stats_;
+  Tuple scratch_;
+  const Tuple* lt_ = nullptr;
+  Relation::ConstIterator rit_;
+};
+
+/// Join / semijoin / antijoin over the equality conjuncts of the
+/// predicate. The right (build) side is either a transient table built
+/// once per evaluation, or — the differential-check fast path — a
+/// persistent RelationIndex declared on a base relation, in which case
+/// this cursor does no build work at all. Probing hashes the left tuple's
+/// key attributes in place (EquiKeyHash): no per-probe Tuple allocation.
+/// Candidates are verified against the full predicate, so hash collisions
+/// (and the predicate's extra non-equality conjuncts) stay correct.
+class HashJoinCursor : public TupleCursor {
+ public:
+  HashJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
+                 RelHandle right, const RelationIndex* index,
+                 std::vector<int> lattrs, std::vector<int> rattrs,
+                 std::size_t out_arity, EvalStats* stats)
+      : kind_(kind),
+        pred_(pred),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        index_(index),
+        lattrs_(std::move(lattrs)),
+        stats_(stats),
+        scratch_(std::vector<Value>(out_arity)) {
+    if (index_ == nullptr) {
+      own_table_.reserve(right_.get().size());
+      for (const Tuple& rt : right_.get()) {
+        own_table_.emplace(EquiKeyHash(rt, rattrs), &rt);
+      }
+    }
+  }
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      if (kind_ == RelExprKind::kJoin && lt_ != nullptr) {
+        while (it_ != end_) {
+          const Tuple* rt = it_->second;
+          ++it_;
+          TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, rt));
+          if (match) {
+            FillScratch(&scratch_, *rt, lt_->arity());
+            CountEmit(stats_, 1);
+            return &scratch_;
+          }
+        }
+      }
+      TXMOD_ASSIGN_OR_RETURN(lt_, left_.cursor->Next());
+      if (lt_ == nullptr) return lt_;
+      CountScan(stats_, 1);
+      const std::size_t h = EquiKeyHash(*lt_, lattrs_);
+      if (index_ != nullptr) CountProbe(stats_, 1);
+      auto [begin, end] = index_ != nullptr
+                              ? index_->Probe(h)
+                              : std::as_const(own_table_).equal_range(h);
+      if (kind_ == RelExprKind::kJoin) {
+        it_ = begin;
+        end_ = end;
+        FillScratch(&scratch_, *lt_, 0);
+        continue;
+      }
+      bool matched = false;
+      for (auto it = begin; it != end; ++it) {
+        TXMOD_ASSIGN_OR_RETURN(bool match,
+                               pred_->EvalPredicate(lt_, it->second));
+        if (match) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched == (kind_ == RelExprKind::kSemiJoin)) {
+        CountEmit(stats_, 1);
+        return lt_;
+      }
+    }
+  }
+
+ private:
+  RelExprKind kind_;
+  const ScalarExpr* pred_;
+  Stream left_;
+  RelHandle right_;
+  const RelationIndex* index_;
+  std::vector<int> lattrs_;
+  EvalStats* stats_;
+  RelationIndex::Map own_table_;
+  Tuple scratch_;
+  const Tuple* lt_ = nullptr;
+  RelationIndex::Iterator it_;
+  RelationIndex::Iterator end_;
+};
+
+/// The index-lookup join: the small (differential-bounded) right side
+/// drives lookups into a declared index on the left base relation, which
+/// is never scanned. This inverts the probe direction of HashJoinCursor —
+/// the shape the translator emits for delete-heavy referential checks,
+/// semijoin[l.ref = r.key](F, dminus(K)), costs O(|dminus(K)|) probes
+/// instead of O(|F|). Join output order stays (left, right); semijoin
+/// emits left tuples and may emit one twice (set-dedup at the
+/// materialization boundary), so the stream is not unique.
+class IndexLookupJoinCursor : public TupleCursor {
+ public:
+  IndexLookupJoinCursor(RelExprKind kind, const ScalarExpr* pred,
+                        const RelationIndex* index, Stream right,
+                        std::vector<int> rattrs, std::size_t left_arity,
+                        std::size_t out_arity, EvalStats* stats)
+      : kind_(kind),
+        pred_(pred),
+        index_(index),
+        right_(std::move(right)),
+        rattrs_(std::move(rattrs)),
+        left_arity_(left_arity),
+        stats_(stats),
+        scratch_(std::vector<Value>(out_arity)) {}
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      while (it_ != end_) {
+        const Tuple* lt = it_->second;
+        ++it_;
+        TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt, rt_));
+        if (!match) continue;
+        CountEmit(stats_, 1);
+        if (kind_ == RelExprKind::kSemiJoin) return lt;
+        FillScratch(&scratch_, *lt, 0);
+        return &scratch_;
+      }
+      TXMOD_ASSIGN_OR_RETURN(rt_, right_.cursor->Next());
+      if (rt_ == nullptr) return rt_;
+      CountScan(stats_, 1);
+      CountProbe(stats_, 1);
+      std::tie(it_, end_) = index_->Probe(EquiKeyHash(*rt_, rattrs_));
+      if (kind_ == RelExprKind::kJoin && it_ != end_) {
+        FillScratch(&scratch_, *rt_, left_arity_);
+      }
+    }
+  }
+
+ private:
+  RelExprKind kind_;
+  const ScalarExpr* pred_;
+  const RelationIndex* index_;
+  Stream right_;
+  std::vector<int> rattrs_;
+  std::size_t left_arity_;
+  EvalStats* stats_;
+  Tuple scratch_;
+  const Tuple* rt_ = nullptr;
+  RelationIndex::Iterator it_;
+  RelationIndex::Iterator end_;
+};
+
+/// Join-like fallback when the predicate has no equality conjunct: stream
+/// the left side against the materialized right side.
+class NestedJoinCursor : public TupleCursor {
+ public:
+  NestedJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
+                   RelHandle right, std::size_t out_arity, EvalStats* stats)
+      : kind_(kind),
+        pred_(pred),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        stats_(stats),
+        scratch_(std::vector<Value>(out_arity)) {}
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      if (kind_ == RelExprKind::kJoin && lt_ != nullptr) {
+        while (rit_ != right_.get().end()) {
+          const Tuple* rt = &*rit_;
+          ++rit_;
+          TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, rt));
+          if (match) {
+            FillScratch(&scratch_, *rt, lt_->arity());
+            CountEmit(stats_, 1);
+            return &scratch_;
+          }
+        }
+      }
+      TXMOD_ASSIGN_OR_RETURN(lt_, left_.cursor->Next());
+      if (lt_ == nullptr) return lt_;
+      CountScan(stats_, 1);
+      if (kind_ == RelExprKind::kJoin) {
+        rit_ = right_.get().begin();
+        FillScratch(&scratch_, *lt_, 0);
+        continue;
+      }
+      bool matched = false;
+      for (const Tuple& rt : right_.get()) {
+        TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, &rt));
+        if (match) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched == (kind_ == RelExprKind::kSemiJoin)) {
+        CountEmit(stats_, 1);
+        return lt_;
+      }
+    }
+  }
+
+ private:
+  RelExprKind kind_;
+  const ScalarExpr* pred_;
+  Stream left_;
+  RelHandle right_;
+  EvalStats* stats_;
+  Tuple scratch_;
+  const Tuple* lt_ = nullptr;
+  Relation::ConstIterator rit_;
+};
+
+class UnionCursor : public TupleCursor {
+ public:
+  UnionCursor(Stream left, Stream right, EvalStats* stats)
+      : left_(std::move(left)), right_(std::move(right)), stats_(stats) {}
+
+  Result<const Tuple*> Next() override {
+    if (!left_done_) {
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, left_.cursor->Next());
+      if (t != nullptr) {
+        CountScan(stats_, 1);
+        CountEmit(stats_, 1);
+        return t;
+      }
+      left_done_ = true;
+    }
+    TXMOD_ASSIGN_OR_RETURN(const Tuple* t, right_.cursor->Next());
+    if (t != nullptr) {
+      CountScan(stats_, 1);
+      CountEmit(stats_, 1);
+    }
+    return t;
+  }
+
+ private:
+  Stream left_;
+  Stream right_;
+  EvalStats* stats_;
+  bool left_done_ = false;
+};
+
+/// Difference (want_in = false) / intersection (want_in = true) against a
+/// *projection of an indexed base relation*, without materializing the
+/// projection: x is a member of project[attrs](R) iff some R-tuple carries
+/// exactly x's values at `attrs`, which one probe of R's index answers.
+/// This is the shape the translator emits for the paper's differential
+/// referential checks — diff(project[ref](dplus(F)), project[key](K)) —
+/// and is what turns their cost from O(|K|) into O(|dplus(F)|).
+/// Membership is type-exact (set semantics), verified on each candidate;
+/// KeyHash never separates identical values, so no member is missed.
+class IndexedSetOpCursor : public TupleCursor {
+ public:
+  IndexedSetOpCursor(Stream left, const RelationIndex* index,
+                     bool want_in, EvalStats* stats)
+      : left_(std::move(left)),
+        index_(index),
+        want_in_(want_in),
+        stats_(stats) {
+    probe_attrs_.reserve(index_->attrs().size());
+    for (std::size_t i = 0; i < index_->attrs().size(); ++i) {
+      probe_attrs_.push_back(static_cast<int>(i));
+    }
+  }
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, left_.cursor->Next());
+      if (t == nullptr) return t;
+      CountScan(stats_, 1);
+      CountProbe(stats_, 1);
+      const std::size_t h = EquiKeyHash(*t, probe_attrs_);
+      bool found = false;
+      auto [begin, end] = index_->Probe(h);
+      for (auto it = begin; it != end && !found; ++it) {
+        const Tuple& candidate = *it->second;
+        bool equal = true;
+        for (std::size_t i = 0; i < index_->attrs().size(); ++i) {
+          const std::size_t a =
+              static_cast<std::size_t>(index_->attrs()[i]);
+          if (!(candidate.at(a) == t->at(i))) {
+            equal = false;
+            break;
+          }
+        }
+        found = equal;
+      }
+      if (found == want_in_) {
+        CountEmit(stats_, 1);
+        return t;
+      }
+    }
+  }
+
+ private:
+  Stream left_;
+  const RelationIndex* index_;
+  bool want_in_;
+  EvalStats* stats_;
+  std::vector<int> probe_attrs_;
+};
+
+/// Difference (want_in = false) / intersection (want_in = true): stream
+/// the left side, membership-test against the materialized right side.
+class FilterSetOpCursor : public TupleCursor {
+ public:
+  FilterSetOpCursor(Stream left, RelHandle right, bool want_in,
+                    EvalStats* stats)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        want_in_(want_in),
+        stats_(stats) {}
+
+  Result<const Tuple*> Next() override {
+    for (;;) {
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* t, left_.cursor->Next());
+      if (t == nullptr) return t;
+      CountScan(stats_, 1);
+      if (right_.get().Contains(*t) == want_in_) {
+        CountEmit(stats_, 1);
+        return t;
+      }
+    }
+  }
+
+ private:
+  Stream left_;
+  RelHandle right_;
+  bool want_in_;
+  EvalStats* stats_;
+};
+
+Result<Relation> Drain(Stream* s) {
+  Relation out(s->schema);
+  for (;;) {
+    TXMOD_ASSIGN_OR_RETURN(const Tuple* t, s->cursor->Next());
+    if (t == nullptr) break;
+    out.Insert(*t);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Compilation: logical RelExpr -> physical operator tree. All operator
+// choice lives here; execution below only follows the chosen ops.
+// ---------------------------------------------------------------------------
+
+/// True when `e`'s result size is bounded by the transaction's
+/// differentials (and literals), independent of base-relation sizes — the
+/// compiled differential checks' "small side". Such a side may safely
+/// drive an index-lookup join into a base relation.
+bool DeltaBounded(const RelExpr& e) {
+  switch (e.kind()) {
+    case RelExprKind::kRef:
+      return e.ref_kind() == RelRefKind::kDeltaPlus ||
+             e.ref_kind() == RelRefKind::kDeltaMinus;
+    case RelExprKind::kLiteral:
+      return true;
+    case RelExprKind::kAggregate:
+      // A scalar aggregate is one tuple; grouped output is bounded by its
+      // input.
+      return e.group_by().empty() || DeltaBounded(*e.left());
+    case RelExprKind::kSelect:
+    case RelExprKind::kProject:
+      return DeltaBounded(*e.left());
+    case RelExprKind::kSemiJoin:
+    case RelExprKind::kAntiJoin:
+    case RelExprKind::kDifference:
+    case RelExprKind::kIntersect:
+      return DeltaBounded(*e.left());  // output is a subset of the left
+    case RelExprKind::kUnion:
+    case RelExprKind::kProduct:
+    case RelExprKind::kJoin:
+      return DeltaBounded(*e.left()) && DeltaBounded(*e.right());
+  }
+  return false;
+}
+
+std::unique_ptr<PhysicalNode> CompileNode(const RelExpr& e) {
+  auto n = std::make_unique<PhysicalNode>();
+  n->logical = &e;
+  switch (e.kind()) {
+    case RelExprKind::kRef:
+      n->op = PhysOpKind::kScan;
+      return n;
+    case RelExprKind::kLiteral:
+      n->op = PhysOpKind::kLiteral;
+      return n;
+    case RelExprKind::kSelect:
+      n->op = PhysOpKind::kSelect;
+      n->children.push_back(CompileNode(*e.left()));
+      return n;
+    case RelExprKind::kProject:
+      n->op = PhysOpKind::kProject;
+      n->children.push_back(CompileNode(*e.left()));
+      return n;
+    case RelExprKind::kProduct:
+      n->op = PhysOpKind::kProduct;
+      n->children.push_back(CompileNode(*e.left()));
+      n->children.push_back(CompileNode(*e.right()));
+      return n;
+    case RelExprKind::kJoin:
+    case RelExprKind::kSemiJoin:
+    case RelExprKind::kAntiJoin: {
+      std::vector<std::pair<int, int>> equi;
+      CollectEquiPairs(e.predicate(), &equi);
+      for (const auto& [a, b] : equi) {
+        n->left_keys.push_back(a);
+        n->right_keys.push_back(b);
+      }
+      n->children.push_back(CompileNode(*e.left()));
+      n->children.push_back(CompileNode(*e.right()));
+      if (equi.empty()) {
+        n->op = PhysOpKind::kNestedLoopJoin;
+      } else if (e.kind() != RelExprKind::kAntiJoin &&
+                 e.left()->kind() == RelExprKind::kRef &&
+                 e.left()->ref_kind() == RelRefKind::kBase &&
+                 DeltaBounded(*e.right())) {
+        // The delete-heavy differential shape: a large base relation
+        // probed against a small differential side. Drive from the small
+        // side through the base relation's index. (Antijoins must visit
+        // every left tuple, so they gain nothing from this inversion.)
+        n->op = PhysOpKind::kIndexLookupJoin;
+      } else {
+        n->op = PhysOpKind::kHashJoin;
+      }
+      return n;
+    }
+    case RelExprKind::kUnion:
+      n->op = PhysOpKind::kUnion;
+      n->children.push_back(CompileNode(*e.left()));
+      n->children.push_back(CompileNode(*e.right()));
+      return n;
+    case RelExprKind::kDifference:
+    case RelExprKind::kIntersect: {
+      n->children.push_back(CompileNode(*e.left()));
+      n->children.push_back(CompileNode(*e.right()));
+      std::vector<int> attrs;
+      if (IsAttrProjectionOfRef(*e.right(), &attrs)) {
+        n->op = PhysOpKind::kIndexSetOp;
+        n->setop_ref_kind = e.right()->left()->ref_kind();
+        n->setop_rel = e.right()->left()->rel_name();
+        n->setop_attrs = std::move(attrs);
+      } else {
+        n->op = PhysOpKind::kHashSetOp;
+      }
+      return n;
+    }
+    case RelExprKind::kAggregate:
+      n->op = PhysOpKind::kAggregate;
+      n->children.push_back(CompileNode(*e.left()));
+      return n;
+  }
+  n->op = PhysOpKind::kScan;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Serial execution: the pull-based pipeline over a compiled plan.
+// ---------------------------------------------------------------------------
+
+class PlanExecutor {
+ public:
+  PlanExecutor(const EvalContext& ctx, EvalStats* stats)
+      : ctx_(ctx), stats_(stats) {}
+
+  Result<Relation> Evaluate(const PhysicalNode& n) {
+    // Nodes that are whole relations already (references) or inherently
+    // eager (literals, aggregates) skip the cursor layer at the root.
+    switch (n.op) {
+      case PhysOpKind::kScan:
+      case PhysOpKind::kLiteral:
+      case PhysOpKind::kAggregate: {
+        TXMOD_ASSIGN_OR_RETURN(RelHandle h, Materialize(n));
+        return std::move(h).Take();
+      }
+      default:
+        break;
+    }
+    TXMOD_ASSIGN_OR_RETURN(Stream s, Open(n));
+    return Drain(&s);
+  }
+
+ private:
+  /// A whole-relation view of `n`: borrowed for references, owned (and
+  /// deduplicated) for everything else. Build sides of joins, products and
+  /// set operations — the pipeline breakers — come through here.
+  Result<RelHandle> Materialize(const PhysicalNode& n) {
+    switch (n.op) {
+      case PhysOpKind::kScan: {
+        CountOperator(stats_);
+        TXMOD_ASSIGN_OR_RETURN(
+            const Relation* rel,
+            ctx_.Resolve(n.logical->ref_kind(), n.logical->rel_name()));
+        return RelHandle::Borrowed(rel);
+      }
+      case PhysOpKind::kLiteral: {
+        CountOperator(stats_);
+        TXMOD_ASSIGN_OR_RETURN(Relation out,
+                               MaterializeLiteral(*n.logical, stats_));
+        return RelHandle::Owned(std::move(out));
+      }
+      case PhysOpKind::kAggregate: {
+        CountOperator(stats_);
+        return EvalAggregate(n);
+      }
+      default: {
+        TXMOD_ASSIGN_OR_RETURN(Stream s, Open(n));
+        TXMOD_ASSIGN_OR_RETURN(Relation out, Drain(&s));
+        return RelHandle::Owned(std::move(out));
+      }
+    }
+  }
+
+  Result<Stream> Open(const PhysicalNode& n) {
+    switch (n.op) {
+      case PhysOpKind::kScan:
+      case PhysOpKind::kLiteral:
+      case PhysOpKind::kAggregate: {
+        TXMOD_ASSIGN_OR_RETURN(RelHandle h, Materialize(n));
+        Stream s;
+        s.schema = h.get().schema_ptr();
+        s.unique = true;
+        s.cursor = std::make_unique<ScanCursor>(std::move(h));
+        return s;
+      }
+      case PhysOpKind::kSelect:
+        return OpenSelect(n);
+      case PhysOpKind::kProject:
+        return OpenProject(n);
+      case PhysOpKind::kProduct:
+        return OpenProduct(n);
+      case PhysOpKind::kHashJoin:
+      case PhysOpKind::kNestedLoopJoin:
+        return OpenJoinLike(n);
+      case PhysOpKind::kIndexLookupJoin:
+        return OpenIndexLookupJoin(n);
+      case PhysOpKind::kUnion:
+        return OpenUnion(n);
+      case PhysOpKind::kHashSetOp:
+      case PhysOpKind::kIndexSetOp:
+        return OpenSetOp(n);
+    }
+    return Status::Internal("unknown physical operator");
+  }
+
+  Result<Stream> OpenSelect(const PhysicalNode& n) {
+    CountOperator(stats_);
+    TXMOD_ASSIGN_OR_RETURN(Stream in, Open(n.child(0)));
+    Stream s;
+    s.schema = in.schema;
+    s.unique = in.unique;
+    s.cursor = std::make_unique<SelectCursor>(std::move(in),
+                                              &n.logical->predicate(), stats_);
+    return s;
+  }
+
+  Result<Stream> OpenProject(const PhysicalNode& n) {
+    CountOperator(stats_);
+    TXMOD_ASSIGN_OR_RETURN(Stream in, Open(n.child(0)));
+    const std::vector<ProjectionItem>& items = n.logical->projections();
+    std::vector<Attribute> attrs;
+    attrs.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      attrs.push_back(Attribute{ProjectionItemName(items[i], *in.schema, i),
+                                InferScalarType(items[i].expr, *in.schema)});
+    }
+    Stream s;
+    s.schema = MakeSchema(std::move(attrs));
+    s.unique = false;  // distinct inputs may project to the same output
+    s.cursor = std::make_unique<ProjectCursor>(std::move(in), &items, stats_);
+    return s;
+  }
+
+  Result<Stream> OpenProduct(const PhysicalNode& n) {
+    CountOperator(stats_);
+    TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(n.child(1)));
+    CountScan(stats_, right.get().size());  // build side is read once
+    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
+    const std::size_t larity = l.schema->arity();
+    const std::size_t rarity = right.get().arity();
+    Stream s;
+    s.schema = MakeSchema(ConcatAttrs(*l.schema, right.get().schema()));
+    s.unique = l.unique;  // the right side, a set, cannot repeat
+    s.cursor = std::make_unique<ProductCursor>(std::move(l), std::move(right),
+                                               larity, rarity, stats_);
+    return s;
+  }
+
+  Result<Stream> OpenJoinLike(const PhysicalNode& n) {
+    CountOperator(stats_);
+    const RelExpr& e = *n.logical;
+
+    // The build side. A borrowed base relation with a declared index on
+    // exactly the join's key attributes is probed in place: no scan, no
+    // table build — this is what makes the compiled differential checks
+    // cheap on every transaction after the first.
+    TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(n.child(1)));
+    const Relation& r = right.get();
+    const RelationIndex* index =
+        n.right_keys.empty() ? nullptr : r.FindIndex(n.right_keys);
+
+    const bool is_join = e.kind() == RelExprKind::kJoin;
+    if (r.empty()) {
+      // An antijoin with nothing to exclude is the left side itself; a
+      // join or semijoin with nothing to match is empty. Either way the
+      // left subtree is opened but never re-filtered — this is what makes
+      // differential checks free when the transaction did not touch the
+      // differential relation.
+      TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
+      if (e.kind() == RelExprKind::kAntiJoin) return l;
+      Stream s;
+      s.schema = is_join ? MakeSchema(ConcatAttrs(*l.schema, r.schema()))
+                         : l.schema;
+      s.unique = true;
+      s.cursor = std::make_unique<EmptyCursor>();
+      return s;
+    }
+
+    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
+    Stream s;
+    s.schema = is_join ? MakeSchema(ConcatAttrs(*l.schema, r.schema()))
+                       : l.schema;
+    s.unique = l.unique;
+    const std::size_t out_arity = s.schema->arity();
+    if (!n.right_keys.empty()) {
+      // A transient build scans the right side once; an index build side
+      // is not scanned at all.
+      if (index == nullptr) CountScan(stats_, r.size());
+      s.cursor = std::make_unique<HashJoinCursor>(
+          e.kind(), &e.predicate(), std::move(l), std::move(right), index,
+          n.left_keys, n.right_keys, out_arity, stats_);
+    } else {
+      CountScan(stats_, r.size());
+      s.cursor = std::make_unique<NestedJoinCursor>(
+          e.kind(), &e.predicate(), std::move(l), std::move(right),
+          out_arity, stats_);
+    }
+    return s;
+  }
+
+  Result<Stream> OpenIndexLookupJoin(const PhysicalNode& n) {
+    const RelExpr& e = *n.logical;
+    TXMOD_ASSIGN_OR_RETURN(
+        const Relation* base,
+        ctx_.Resolve(e.left()->ref_kind(), e.left()->rel_name()));
+    const RelationIndex* index = base->FindIndex(n.left_keys);
+    // Without a declared probe-side index the inversion has no advantage;
+    // run the node as the plain hash join it would otherwise have been.
+    if (index == nullptr) return OpenJoinLike(n);
+
+    CountOperator(stats_);
+    TXMOD_ASSIGN_OR_RETURN(Stream r, Open(n.child(1)));
+    Stream s;
+    const bool is_join = e.kind() == RelExprKind::kJoin;
+    s.schema = is_join
+                   ? MakeSchema(ConcatAttrs(base->schema(), *r.schema))
+                   : base->schema_ptr();
+    // A semijoin may surface the same base tuple for two different right
+    // tuples; a join's output pairs repeat only if the right stream does.
+    s.unique = is_join ? r.unique : false;
+    const std::size_t out_arity = s.schema->arity();
+    const std::size_t left_arity = base->arity();
+    s.cursor = std::make_unique<IndexLookupJoinCursor>(
+        e.kind(), &e.predicate(), index, std::move(r), n.right_keys,
+        left_arity, out_arity, stats_);
+    return s;
+  }
+
+  Result<Stream> OpenUnion(const PhysicalNode& n) {
+    CountOperator(stats_);
+    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
+    TXMOD_ASSIGN_OR_RETURN(Stream r, Open(n.child(1)));
+    if (l.schema->arity() != r.schema->arity()) {
+      return Status::InvalidArgument(
+          StrCat("set operation over different arities: ", l.schema->arity(),
+                 " vs ", r.schema->arity()));
+    }
+    Stream s;
+    s.schema = l.schema;
+    s.unique = false;  // the same tuple may arrive from both sides
+    s.cursor = std::make_unique<UnionCursor>(std::move(l), std::move(r),
+                                             stats_);
+    return s;
+  }
+
+  Result<Stream> OpenSetOp(const PhysicalNode& n) {
+    const RelExpr& e = *n.logical;
+    const bool want_in = e.kind() == RelExprKind::kIntersect;
+    // Indexed membership fast path: when the right side is a pure
+    // attribute projection of a reference whose resolved relation carries
+    // a declared index on exactly those attributes, the projection is
+    // never materialized — each left tuple costs one index probe. Neither
+    // the projection nor its input count as scanned.
+    if (n.op == PhysOpKind::kIndexSetOp) {
+      TXMOD_ASSIGN_OR_RETURN(const Relation* base,
+                             ctx_.Resolve(n.setop_ref_kind, n.setop_rel));
+      const RelationIndex* index = base->FindIndex(n.setop_attrs);
+      if (index != nullptr) {
+        CountOperator(stats_);
+        TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
+        if (l.schema->arity() != n.setop_attrs.size()) {
+          return Status::InvalidArgument(
+              StrCat("set operation over different arities: ",
+                     l.schema->arity(), " vs ", n.setop_attrs.size()));
+        }
+        Stream s;
+        s.schema = l.schema;
+        s.unique = l.unique;
+        s.cursor = std::make_unique<IndexedSetOpCursor>(std::move(l), index,
+                                                        want_in, stats_);
+        return s;
+      }
+    }
+
+    CountOperator(stats_);
+    TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(n.child(1)));
+    TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
+    if (l.schema->arity() != right.get().arity()) {
+      return Status::InvalidArgument(
+          StrCat("set operation over different arities: ", l.schema->arity(),
+                 " vs ", right.get().arity()));
+    }
+    if (right.get().empty()) {
+      // Difference against nothing passes the left side through;
+      // intersection with nothing is empty. No scans either way.
+      if (!want_in) return l;
+      Stream s;
+      s.schema = l.schema;
+      s.unique = true;
+      s.cursor = std::make_unique<EmptyCursor>();
+      return s;
+    }
+    CountScan(stats_, right.get().size());
+    Stream s;
+    s.schema = l.schema;
+    s.unique = l.unique;
+    s.cursor = std::make_unique<FilterSetOpCursor>(
+        std::move(l), std::move(right), want_in, stats_);
+    return s;
+  }
+
+  /// Aggregates are pipeline breakers: the whole input is consumed before
+  /// the single output (or group rows) exist. A provably duplicate-free
+  /// input streams straight into the accumulators; anything else (e.g. a
+  /// projection) is materialized first, because relations are sets and
+  /// CNT/SUM/AVG must not observe a tuple twice.
+  Result<RelHandle> EvalAggregate(const PhysicalNode& n) {
+    const RelExpr& e = *n.logical;
+    TXMOD_ASSIGN_OR_RETURN(Stream in, Open(n.child(0)));
+    const RelationSchema& in_schema = *in.schema;
+
+    const int attr = e.agg_attr();
+    const bool needs_attr = e.agg_func() != AggFunc::kCnt;
+    if (needs_attr &&
+        (attr < 0 || attr >= static_cast<int>(in_schema.arity()))) {
+      return Status::InvalidArgument(
+          StrCat("aggregate attribute #", attr, " out of range for arity ",
+                 in_schema.arity()));
+    }
+
+    // Output schema: group attrs then the aggregate column.
+    std::vector<Attribute> attrs;
+    for (int g : e.group_by()) {
+      if (g < 0 || g >= static_cast<int>(in_schema.arity())) {
+        return Status::InvalidArgument(
+            StrCat("group-by attribute #", g, " out of range"));
+      }
+      attrs.push_back(in_schema.attribute(static_cast<std::size_t>(g)));
+    }
+    AttrType agg_type = AttrType::kInt;
+    switch (e.agg_func()) {
+      case AggFunc::kCnt:
+        agg_type = AttrType::kInt;
+        break;
+      case AggFunc::kAvg:
+        agg_type = AttrType::kDouble;
+        break;
+      default:
+        agg_type = needs_attr
+                       ? in_schema.attribute(static_cast<std::size_t>(attr))
+                             .type
+                       : AttrType::kInt;
+        break;
+    }
+    attrs.push_back(Attribute{AggFuncToString(e.agg_func()), agg_type});
+    Relation out(MakeSchema(std::move(attrs)));
+
+    auto observe = [&](AggPartial* acc, const Tuple& t) {
+      if (!needs_attr) {
+        acc->ObserveCount();
+        return;
+      }
+      acc->Observe(t.at(static_cast<std::size_t>(attr)), e.agg_func());
+    };
+
+    AggPartial scalar_acc;
+    std::unordered_map<Tuple, AggPartial, TupleHasher> groups;
+    const bool grouped = !e.group_by().empty();
+    auto process = [&](const Tuple& t) {
+      CountScan(stats_, 1);
+      if (!grouped) {
+        observe(&scalar_acc, t);
+        return;
+      }
+      std::vector<Value> key_vals;
+      key_vals.reserve(e.group_by().size());
+      for (int g : e.group_by()) {
+        key_vals.push_back(t.at(static_cast<std::size_t>(g)));
+      }
+      observe(&groups[Tuple(std::move(key_vals))], t);
+    };
+
+    if (in.unique) {
+      for (;;) {
+        TXMOD_ASSIGN_OR_RETURN(const Tuple* t, in.cursor->Next());
+        if (t == nullptr) break;
+        process(*t);
+      }
+    } else {
+      TXMOD_ASSIGN_OR_RETURN(Relation dedup, Drain(&in));
+      for (const Tuple& t : dedup) {
+        process(t);
+      }
+    }
+
+    if (!grouped) {
+      TXMOD_ASSIGN_OR_RETURN(Value v,
+                             FinalizeAggregate(scalar_acc, e.agg_func()));
+      out.Insert(Tuple({std::move(v)}));
+    } else {
+      for (const auto& [key, acc] : groups) {
+        TXMOD_ASSIGN_OR_RETURN(Value v, FinalizeAggregate(acc, e.agg_func()));
+        Tuple row = key;
+        row.Append(std::move(v));
+        out.Insert(std::move(row));
+      }
+    }
+    CountEmit(stats_, out.size());
+    return RelHandle::Owned(std::move(out));
+  }
+
+  const EvalContext& ctx_;
+  EvalStats* stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Explain.
+// ---------------------------------------------------------------------------
+
+std::string KeyPairs(const PhysicalNode& n) {
+  std::vector<std::string> parts;
+  parts.reserve(n.left_keys.size());
+  for (std::size_t i = 0; i < n.left_keys.size(); ++i) {
+    parts.push_back(StrCat(n.left_keys[i], "=", n.right_keys[i]));
+  }
+  return Join(parts, ",");
+}
+
+std::string AttrList(const std::vector<int>& attrs) {
+  std::vector<std::string> parts;
+  parts.reserve(attrs.size());
+  for (int a : attrs) parts.push_back(StrCat(a));
+  return Join(parts, ",");
+}
+
+const char* JoinKindName(const RelExpr& e) {
+  switch (e.kind()) {
+    case RelExprKind::kJoin:
+      return "join";
+    case RelExprKind::kSemiJoin:
+      return "semijoin";
+    case RelExprKind::kAntiJoin:
+      return "antijoin";
+    default:
+      return "?";
+  }
+}
+
+void ExplainNode(const PhysicalNode& n, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  const RelExpr& e = *n.logical;
+  switch (n.op) {
+    case PhysOpKind::kScan:
+      out->append(StrCat("scan[", RelRefKindToString(e.ref_kind()), " ",
+                         e.rel_name(), "]"));
+      break;
+    case PhysOpKind::kLiteral:
+      out->append(StrCat("literal[", e.literal_tuples().size(), " tuples]"));
+      break;
+    case PhysOpKind::kSelect:
+      out->append(StrCat("select[", e.predicate().ToString(), "]"));
+      break;
+    case PhysOpKind::kProject: {
+      std::vector<std::string> items;
+      for (const ProjectionItem& item : e.projections()) {
+        items.push_back(item.name.empty() ? item.expr.ToString()
+                                          : item.name);
+      }
+      out->append(StrCat("project[", Join(items, ","), "]"));
+      break;
+    }
+    case PhysOpKind::kProduct:
+      out->append("product");
+      break;
+    case PhysOpKind::kHashJoin:
+      out->append(StrCat("hash_join[", JoinKindName(e), ", keys=(",
+                         KeyPairs(n), ")]"));
+      break;
+    case PhysOpKind::kIndexLookupJoin:
+      out->append(StrCat("index_lookup[", JoinKindName(e), ", probe=",
+                         e.left()->rel_name(), "(", AttrList(n.left_keys),
+                         "), keys=(", KeyPairs(n), ")]"));
+      break;
+    case PhysOpKind::kNestedLoopJoin:
+      out->append(StrCat("nested_loop[", JoinKindName(e), "]"));
+      break;
+    case PhysOpKind::kUnion:
+      out->append("union");
+      break;
+    case PhysOpKind::kHashSetOp:
+      out->append(StrCat(
+          "hash_set_op[",
+          e.kind() == RelExprKind::kIntersect ? "intersect" : "diff", "]"));
+      break;
+    case PhysOpKind::kIndexSetOp:
+      out->append(StrCat(
+          "index_set_op[",
+          e.kind() == RelExprKind::kIntersect ? "intersect" : "diff",
+          ", member=", RelRefKindToString(n.setop_ref_kind), " ",
+          n.setop_rel, "(", AttrList(n.setop_attrs), ")]"));
+      break;
+    case PhysOpKind::kAggregate:
+      out->append(StrCat("aggregate[", AggFuncToString(e.agg_func()),
+                         e.agg_func() == AggFunc::kCnt
+                             ? std::string()
+                             : StrCat(" #", e.agg_attr()),
+                         "]"));
+      break;
+  }
+  out->push_back('\n');
+  // An index-lookup join never opens its probe-side child as an operator;
+  // the scan line still prints so the shape stays readable.
+  for (const auto& c : n.children) {
+    ExplainNode(*c, depth + 1, out);
+  }
+}
+
+void CollectIndexRequests(const PhysicalNode& n,
+                          std::vector<PhysicalPlan::IndexRequest>* out) {
+  switch (n.op) {
+    case PhysOpKind::kHashJoin: {
+      const RelExpr& right = *n.logical->right();
+      if (right.kind() == RelExprKind::kRef &&
+          right.ref_kind() == RelRefKind::kBase && !n.right_keys.empty()) {
+        out->push_back({right.rel_name(), n.right_keys});
+      }
+      break;
+    }
+    case PhysOpKind::kIndexLookupJoin:
+      out->push_back({n.logical->left()->rel_name(), n.left_keys});
+      break;
+    case PhysOpKind::kIndexSetOp:
+      if (n.setop_ref_kind == RelRefKind::kBase) {
+        out->push_back({n.setop_rel, n.setop_attrs});
+      }
+      break;
+    default:
+      break;
+  }
+  for (const auto& c : n.children) {
+    CollectIndexRequests(*c, out);
+  }
+}
+
+}  // namespace
+
+const char* PhysOpKindToString(PhysOpKind op) {
+  switch (op) {
+    case PhysOpKind::kScan:
+      return "scan";
+    case PhysOpKind::kLiteral:
+      return "literal";
+    case PhysOpKind::kSelect:
+      return "select";
+    case PhysOpKind::kProject:
+      return "project";
+    case PhysOpKind::kProduct:
+      return "product";
+    case PhysOpKind::kHashJoin:
+      return "hash_join";
+    case PhysOpKind::kIndexLookupJoin:
+      return "index_lookup_join";
+    case PhysOpKind::kNestedLoopJoin:
+      return "nested_loop_join";
+    case PhysOpKind::kUnion:
+      return "union";
+    case PhysOpKind::kHashSetOp:
+      return "hash_set_op";
+    case PhysOpKind::kIndexSetOp:
+      return "index_set_op";
+    case PhysOpKind::kAggregate:
+      return "aggregate";
+  }
+  return "?";
+}
+
+Result<PhysicalPlan> PhysicalPlan::Compile(const RelExpr& expr) {
+  PhysicalPlan plan;
+  plan.root_ = CompileNode(expr);
+  return plan;
+}
+
+Result<PhysicalPlan> PhysicalPlan::Compile(RelExprPtr expr) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("cannot compile a null expression");
+  }
+  TXMOD_ASSIGN_OR_RETURN(PhysicalPlan plan, Compile(*expr));
+  plan.owned_ = std::move(expr);
+  return plan;
+}
+
+Result<Relation> PhysicalPlan::Execute(const EvalContext& ctx,
+                                       EvalStats* stats) const {
+  PlanExecutor exec(ctx, stats);
+  return exec.Evaluate(*root_);
+}
+
+std::string PhysicalPlan::Explain() const {
+  std::string out;
+  ExplainNode(*root_, 0, &out);
+  return out;
+}
+
+std::vector<PhysicalPlan::IndexRequest> PhysicalPlan::IndexRequests() const {
+  std::vector<IndexRequest> out;
+  CollectIndexRequests(*root_, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared eager kernels: literals and fragment-local operator execution.
+// ---------------------------------------------------------------------------
+
+Result<Relation> MaterializeLiteral(const RelExpr& e, EvalStats* stats) {
+  // Every tuple's arity is validated before the schema-inference loop
+  // below reads attribute i of arbitrary tuples: a short tuple used to
+  // be an out-of-bounds read.
+  for (const Tuple& t : e.literal_tuples()) {
+    if (static_cast<int>(t.arity()) != e.literal_arity()) {
+      return Status::InvalidArgument(
+          StrCat("literal tuple ", t.ToString(), " has arity ", t.arity(),
+                 ", expected ", e.literal_arity()));
+    }
+  }
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < e.literal_arity(); ++i) {
+    const std::size_t col = static_cast<std::size_t>(i);
+    AttrType type = AttrType::kString;
+    for (const Tuple& t : e.literal_tuples()) {
+      if (!t.at(col).is_null()) {
+        type = ValueAttrType(t.at(col));
+        break;
+      }
+    }
+    attrs.push_back(Attribute{StrCat("c", i), type});
+  }
+  Relation out(MakeSchema(std::move(attrs)));
+  for (const Tuple& t : e.literal_tuples()) {
+    out.Insert(t);
+  }
+  CountEmit(stats, out.size());
+  return out;
+}
+
+Result<Relation> ExecuteNodeLocal(const PhysicalNode& n, const Relation& left,
+                                  const Relation* right, EvalStats* stats) {
+  const RelExpr& e = *n.logical;
+  auto scan = [](const Relation& rel) {
+    Stream s;
+    s.schema = rel.schema_ptr();
+    s.unique = true;
+    s.cursor = std::make_unique<ScanCursor>(RelHandle::Borrowed(&rel));
+    return s;
+  };
+  Stream s;
+  switch (n.op) {
+    case PhysOpKind::kSelect: {
+      s.schema = left.schema_ptr();
+      s.cursor = std::make_unique<SelectCursor>(scan(left), &e.predicate(),
+                                                stats);
+      break;
+    }
+    case PhysOpKind::kProject: {
+      const std::vector<ProjectionItem>& items = e.projections();
+      std::vector<Attribute> attrs;
+      attrs.reserve(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        attrs.push_back(Attribute{ProjectionItemName(items[i], left.schema(), i),
+                                  InferScalarType(items[i].expr,
+                                                  left.schema())});
+      }
+      s.schema = MakeSchema(std::move(attrs));
+      s.cursor = std::make_unique<ProjectCursor>(scan(left), &items, stats);
+      break;
+    }
+    case PhysOpKind::kProduct: {
+      if (right == nullptr) return Status::Internal("product needs a right");
+      s.schema = MakeSchema(ConcatAttrs(left.schema(), right->schema()));
+      CountScan(stats, right->size());
+      s.cursor = std::make_unique<ProductCursor>(
+          scan(left), RelHandle::Borrowed(right), left.arity(),
+          right->arity(), stats);
+      break;
+    }
+    case PhysOpKind::kHashJoin:
+    case PhysOpKind::kIndexLookupJoin:
+    case PhysOpKind::kNestedLoopJoin: {
+      if (right == nullptr) return Status::Internal("join needs a right");
+      // Fragment-local inputs carry no declared indexes, so the hash
+      // variant (transient build over the — small — right fragment) is the
+      // local form of both kHashJoin and kIndexLookupJoin.
+      const bool is_join = e.kind() == RelExprKind::kJoin;
+      s.schema = is_join
+                     ? MakeSchema(ConcatAttrs(left.schema(), right->schema()))
+                     : left.schema_ptr();
+      const std::size_t out_arity = s.schema->arity();
+      CountScan(stats, right->size());
+      if (!n.right_keys.empty()) {
+        s.cursor = std::make_unique<HashJoinCursor>(
+            e.kind(), &e.predicate(), scan(left), RelHandle::Borrowed(right),
+            /*index=*/nullptr, n.left_keys, n.right_keys, out_arity, stats);
+      } else {
+        s.cursor = std::make_unique<NestedJoinCursor>(
+            e.kind(), &e.predicate(), scan(left), RelHandle::Borrowed(right),
+            out_arity, stats);
+      }
+      break;
+    }
+    case PhysOpKind::kUnion: {
+      if (right == nullptr) return Status::Internal("union needs a right");
+      if (left.arity() != right->arity()) {
+        return Status::InvalidArgument(
+            "set operation over different arities");
+      }
+      s.schema = left.schema_ptr();
+      s.cursor = std::make_unique<UnionCursor>(scan(left), scan(*right),
+                                               stats);
+      break;
+    }
+    case PhysOpKind::kHashSetOp:
+    case PhysOpKind::kIndexSetOp: {
+      if (right == nullptr) return Status::Internal("set op needs a right");
+      if (left.arity() != right->arity()) {
+        return Status::InvalidArgument(
+            "set operation over different arities");
+      }
+      s.schema = left.schema_ptr();
+      CountScan(stats, right->size());
+      s.cursor = std::make_unique<FilterSetOpCursor>(
+          scan(left), RelHandle::Borrowed(right),
+          /*want_in=*/e.kind() == RelExprKind::kIntersect, stats);
+      break;
+    }
+    case PhysOpKind::kScan:
+    case PhysOpKind::kLiteral:
+    case PhysOpKind::kAggregate:
+      return Status::Internal(
+          StrCat(PhysOpKindToString(n.op),
+                 " is not a fragment-local operator"));
+  }
+  return Drain(&s);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate partials.
+// ---------------------------------------------------------------------------
+
+void AggPartial::Observe(const Value& v, AggFunc func) {
+  count += 1;
+  if (v.is_null()) return;
+  non_null += 1;
+  if (v.is_numeric()) {
+    if (v.is_int()) {
+      isum += v.as_int();
+      dsum += static_cast<double>(v.as_int());
+    } else {
+      any_double = true;
+      dsum += v.as_double();
+    }
+  } else if (func == AggFunc::kSum || func == AggFunc::kAvg) {
+    saw_non_numeric = true;
+  }
+  if (!min.has_value() ||
+      Value::Compare(v, *min) == Value::Ordering::kLess) {
+    min = v;
+  }
+  if (!max.has_value() ||
+      Value::Compare(v, *max) == Value::Ordering::kGreater) {
+    max = v;
+  }
+}
+
+void AggPartial::Merge(const AggPartial& other) {
+  count += other.count;
+  non_null += other.non_null;
+  isum += other.isum;
+  dsum += other.dsum;
+  any_double = any_double || other.any_double;
+  saw_non_numeric = saw_non_numeric || other.saw_non_numeric;
+  if (other.min.has_value() &&
+      (!min.has_value() ||
+       Value::Compare(*other.min, *min) == Value::Ordering::kLess)) {
+    min = other.min;
+  }
+  if (other.max.has_value() &&
+      (!max.has_value() ||
+       Value::Compare(*other.max, *max) == Value::Ordering::kGreater)) {
+    max = other.max;
+  }
+}
+
+Result<AggPartial> AggregateLocal(const PhysicalNode& n,
+                                  const Relation& input, EvalStats* stats) {
+  const RelExpr& e = *n.logical;
+  if (!e.group_by().empty()) {
+    return Status::Unimplemented(
+        "grouped aggregates have no fragment-local form");
+  }
+  const int attr = e.agg_attr();
+  const bool needs_attr = e.agg_func() != AggFunc::kCnt;
+  if (needs_attr && (attr < 0 || attr >= static_cast<int>(input.arity()))) {
+    return Status::InvalidArgument(
+        StrCat("aggregate attribute #", attr, " out of range for arity ",
+               input.arity()));
+  }
+  AggPartial acc;
+  for (const Tuple& t : input) {
+    CountScan(stats, 1);
+    if (!needs_attr) {
+      acc.ObserveCount();
+      continue;
+    }
+    acc.Observe(t.at(static_cast<std::size_t>(attr)), e.agg_func());
+  }
+  return acc;
+}
+
+Result<Value> FinalizeAggregate(const AggPartial& acc, AggFunc func) {
+  switch (func) {
+    case AggFunc::kCnt:
+      return Value::Int(acc.count);
+    case AggFunc::kSum:
+      if (acc.saw_non_numeric) {
+        return Status::InvalidArgument("SUM over non-numeric attribute");
+      }
+      return acc.any_double ? Value::Double(acc.dsum) : Value::Int(acc.isum);
+    case AggFunc::kAvg:
+      if (acc.saw_non_numeric) {
+        return Status::InvalidArgument("AVG over non-numeric attribute");
+      }
+      if (acc.non_null == 0) return Value::Null();
+      return Value::Double(acc.dsum / static_cast<double>(acc.non_null));
+    case AggFunc::kMin:
+      return acc.min.has_value() ? *acc.min : Value::Null();
+    case AggFunc::kMax:
+      return acc.max.has_value() ? *acc.max : Value::Null();
+  }
+  return Status::Internal("unknown aggregate function");
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache.
+// ---------------------------------------------------------------------------
+
+Result<const PhysicalPlan*> PlanCache::GetOrCompile(const RelExprPtr& expr) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("cannot compile a null expression");
+  }
+  auto it = plans_.find(expr.get());
+  if (it != plans_.end()) return it->second.get();
+  TXMOD_ASSIGN_OR_RETURN(PhysicalPlan plan, PhysicalPlan::Compile(expr));
+  auto owned = std::make_unique<PhysicalPlan>(std::move(plan));
+  const PhysicalPlan* raw = owned.get();
+  plans_.emplace(expr.get(), std::move(owned));
+  return raw;
+}
+
+const PhysicalPlan* PlanCache::Lookup(const RelExpr* expr) const {
+  auto it = plans_.find(expr);
+  return it != plans_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<const PhysicalPlan*> PlanCache::Plans() const {
+  std::vector<const PhysicalPlan*> out;
+  out.reserve(plans_.size());
+  for (const auto& [key, plan] : plans_) {
+    out.push_back(plan.get());
+  }
+  return out;
+}
+
+}  // namespace txmod::algebra

@@ -1,0 +1,189 @@
+#ifndef TXMOD_ALGEBRA_PHYSICAL_PLAN_H_
+#define TXMOD_ALGEBRA_PHYSICAL_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/algebra/eval_context.h"
+#include "src/algebra/rel_expr.h"
+#include "src/common/result.h"
+#include "src/relational/relation.h"
+
+namespace txmod::algebra {
+
+/// Physical operator implementations a logical RelExpr node compiles to.
+/// The compilation step (PhysicalPlan::Compile) chooses these once, in one
+/// place; both execution engines — the serial pull-based pipeline and the
+/// fragment-local parallel executor — then run the *same* operators.
+enum class PhysOpKind {
+  kScan,            // relation reference, resolved through the EvalContext
+  kLiteral,         // explicit tuple list
+  kSelect,          // streaming filter
+  kProject,         // streaming projection
+  kProduct,         // cartesian product (materialized right side)
+  kHashJoin,        // join-like on equality conjuncts: build right, probe
+                    // left; a declared index on the build side skips the
+                    // build entirely
+  kIndexLookupJoin, // join/semijoin whose probe side is a base relation
+                    // and whose build side is differential-bounded: the
+                    // small side drives lookups into the base relation's
+                    // declared index, so the base side is never scanned
+  kNestedLoopJoin,  // join-like without equality conjuncts
+  kUnion,           // streamed concatenation (dedup at materialization)
+  kHashSetOp,       // difference/intersect by membership in the
+                    // materialized right side
+  kIndexSetOp,      // difference/intersect against a pure attribute
+                    // projection of an indexed relation: one index probe
+                    // per left tuple, the projection never materializes
+  kAggregate,       // scalar or grouped aggregation (pipeline breaker)
+};
+
+const char* PhysOpKindToString(PhysOpKind op);
+
+/// One node of a compiled physical plan. `logical` points into the
+/// RelExpr tree the plan was compiled from (predicates, projection items,
+/// aggregate specs, and reference names are read from it); the plan —
+/// or, for borrowing compiles, the caller — keeps that tree alive.
+struct PhysicalNode {
+  PhysOpKind op = PhysOpKind::kScan;
+  const RelExpr* logical = nullptr;
+
+  /// Equality-conjunct key attributes of join-like nodes, probe (left)
+  /// and build (right) side, in predicate order.
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+
+  /// kIndexSetOp: the membership side — a projection of this reference
+  /// onto these attributes.
+  RelRefKind setop_ref_kind = RelRefKind::kBase;
+  std::string setop_rel;
+  std::vector<int> setop_attrs;
+
+  std::vector<std::unique_ptr<PhysicalNode>> children;
+
+  const PhysicalNode& child(std::size_t i) const { return *children[i]; }
+};
+
+/// A compiled physical plan: the operator tree plus the logical expression
+/// it was compiled from. Compile once (at rule-definition time for
+/// integrity checks, per statement otherwise), execute many times.
+class PhysicalPlan {
+ public:
+  /// Borrowing compile: `expr` must outlive the plan.
+  static Result<PhysicalPlan> Compile(const RelExpr& expr);
+  /// Owning compile: the plan keeps the expression tree alive.
+  static Result<PhysicalPlan> Compile(RelExprPtr expr);
+
+  PhysicalPlan(PhysicalPlan&&) = default;
+  PhysicalPlan& operator=(PhysicalPlan&&) = default;
+
+  const PhysicalNode& root() const { return *root_; }
+
+  /// Serial execution: runs the plan as a pull-based cursor pipeline
+  /// against the relations supplied by `ctx`, materializing only at
+  /// pipeline breakers and the final result. See EvaluateRelExpr
+  /// (evaluator.h) for the operator and stats contracts.
+  Result<Relation> Execute(const EvalContext& ctx,
+                           EvalStats* stats = nullptr) const;
+
+  /// Human-readable operator-tree dump, one node per line, children
+  /// indented. Tests pin plan choices against this.
+  std::string Explain() const;
+
+  /// An index this plan wants declared on a base relation so its chosen
+  /// operators hit their fast paths: hash-join build sides, index-set-op
+  /// membership sides, and index-lookup-join probe sides.
+  struct IndexRequest {
+    std::string relation;
+    std::vector<int> attrs;
+  };
+
+  /// Every index request of this plan, in plan order. The integrity
+  /// subsystem declares these at rule-definition time — index choice
+  /// falls out of plan compilation, not hand-coded shape matching.
+  std::vector<IndexRequest> IndexRequests() const;
+
+ private:
+  PhysicalPlan() = default;
+
+  RelExprPtr owned_;  // null for borrowing compiles
+  std::unique_ptr<PhysicalNode> root_;
+};
+
+/// Executes the single operator `node` over already-materialized inputs —
+/// the fragment-local kernel of the parallel engine. Children of `node`
+/// are NOT executed; the caller supplies their (per-fragment) results as
+/// `left` and `right` (`right` is null for unary operators). Runs the
+/// same cursor implementations as serial execution; join-like nodes build
+/// a transient hash table over `right` (fragments carry no declared
+/// indexes, so index variants fall back to their hash equivalents).
+/// Thread-safe for concurrent calls on disjoint outputs: inputs are only
+/// read.
+Result<Relation> ExecuteNodeLocal(const PhysicalNode& node,
+                                  const Relation& left,
+                                  const Relation* right,
+                                  EvalStats* stats = nullptr);
+
+/// Materializes a literal node (validates per-tuple arity, infers column
+/// types). Shared by both engines.
+Result<Relation> MaterializeLiteral(const RelExpr& e,
+                                    EvalStats* stats = nullptr);
+
+/// Partial state of a scalar aggregate, mergeable across fragments: each
+/// node accumulates locally, the coordinator merges and finalizes.
+struct AggPartial {
+  int64_t count = 0;
+  int64_t non_null = 0;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  bool any_double = false;
+  bool saw_non_numeric = false;  // SUM/AVG over a non-numeric value
+  std::optional<Value> min;
+  std::optional<Value> max;
+
+  /// Folds one attribute value in (pass func so SUM/AVG can flag
+  /// non-numeric inputs; CNT callers use ObserveCount instead).
+  void Observe(const Value& v, AggFunc func);
+  void ObserveCount() { count += 1; }
+  void Merge(const AggPartial& other);
+};
+
+/// Accumulates `node`'s scalar aggregate over one materialized input
+/// (grouped aggregates are serial-only and rejected here).
+Result<AggPartial> AggregateLocal(const PhysicalNode& node,
+                                  const Relation& input,
+                                  EvalStats* stats = nullptr);
+
+/// Finalizes a (merged) partial into the aggregate's result value.
+Result<Value> FinalizeAggregate(const AggPartial& acc, AggFunc func);
+
+/// A cache of compiled plans keyed by the identity of the logical
+/// expression. Entries own their expression trees (RelExprPtr), so keys
+/// can never dangle or be reused while cached. The integrity subsystem
+/// populates one per rule-set recompile; ExecuteTransaction consults it
+/// so integrity checks never recompile per transaction.
+class PlanCache {
+ public:
+  /// The cached plan for `expr`, compiling and inserting on first use.
+  Result<const PhysicalPlan*> GetOrCompile(const RelExprPtr& expr);
+
+  /// The cached plan for `expr`, or nullptr (never compiles).
+  const PhysicalPlan* Lookup(const RelExpr* expr) const;
+
+  /// Every cached plan (index-request collection).
+  std::vector<const PhysicalPlan*> Plans() const;
+
+  std::size_t size() const { return plans_.size(); }
+  void Clear() { plans_.clear(); }
+
+ private:
+  std::unordered_map<const RelExpr*, std::unique_ptr<PhysicalPlan>> plans_;
+};
+
+}  // namespace txmod::algebra
+
+#endif  // TXMOD_ALGEBRA_PHYSICAL_PLAN_H_

@@ -10,60 +10,19 @@ namespace txmod::core {
 
 namespace {
 
-/// Declares a persistent equi-key index for every join-like node of a
-/// compiled integrity program whose build (right) side is a base relation:
-/// the translated form of `exists y (y in R and x.a = y.b)` is a
-/// semijoin/antijoin probing R on b on *every* triggered transaction, so R
-/// gets a RelationIndex on exactly those key attributes. Declared once at
-/// rule definition time (the paper's Section 6.2 point: pay at definition
-/// time, not at enforcement time); Relation::Insert/Erase keep it coherent
+/// Declares the persistent equi-key indexes a compiled check plan asked
+/// for (PhysicalPlan::IndexRequests): hash-join build sides, projection-
+/// difference membership sides, and — for the delete-heavy differential
+/// shapes — index-lookup probe sides. Declared once at rule definition
+/// time (the paper's Section 6.2 point: pay at definition time, not at
+/// enforcement time); Relation::Insert/Erase keep them coherent
 /// afterwards. Dropping a rule does not retract a declaration — an index
 /// another rule may still use is cheap to keep and expensive to guess
 /// about.
-void DeclareIndexOnBase(const std::string& rel_name, std::vector<int> attrs,
-                        Database* db) {
-  Result<Relation*> rel = db->FindMutable(rel_name);
-  if (rel.ok()) (*rel)->IndexOn(std::move(attrs));
-}
-
-void DeclareCheckIndexes(const algebra::RelExpr& e, Database* db) {
-  for (const algebra::RelExprPtr& input : e.inputs()) {
-    DeclareCheckIndexes(*input, db);
-  }
-  switch (e.kind()) {
-    case algebra::RelExprKind::kJoin:
-    case algebra::RelExprKind::kSemiJoin:
-    case algebra::RelExprKind::kAntiJoin: {
-      // The build side of an equi-join-like node: probed per left tuple.
-      const algebra::RelExpr& right = *e.right();
-      if (right.kind() != algebra::RelExprKind::kRef ||
-          right.ref_kind() != algebra::RelRefKind::kBase) {
-        return;
-      }
-      std::vector<std::pair<int, int>> equi;
-      algebra::CollectEquiPairs(e.predicate(), &equi);
-      if (equi.empty()) return;
-      std::vector<int> rattrs;
-      rattrs.reserve(equi.size());
-      for (const auto& [lattr, rattr] : equi) rattrs.push_back(rattr);
-      DeclareIndexOnBase(right.rel_name(), std::move(rattrs), db);
-      return;
-    }
-    case algebra::RelExprKind::kDifference:
-    case algebra::RelExprKind::kIntersect: {
-      // The membership side of a projection difference — the translated
-      // form of referential conditions: diff(project[ref](dplus(F)),
-      // project[key](K)) tests each differential tuple for a partner in
-      // K, which the evaluator answers with one probe of K's index.
-      std::vector<int> attrs;
-      if (!algebra::IsAttrProjectionOfRef(*e.right(), &attrs)) return;
-      const algebra::RelExpr& ref = *e.right()->left();
-      if (ref.ref_kind() != algebra::RelRefKind::kBase) return;
-      DeclareIndexOnBase(ref.rel_name(), std::move(attrs), db);
-      return;
-    }
-    default:
-      return;
+void DeclarePlanIndexes(const algebra::PhysicalPlan& plan, Database* db) {
+  for (algebra::PhysicalPlan::IndexRequest& req : plan.IndexRequests()) {
+    Result<Relation*> rel = db->FindMutable(req.relation);
+    if (rel.ok()) (*rel)->IndexOn(std::move(req.attrs));
   }
 }
 
@@ -152,13 +111,22 @@ Status IntegritySubsystem::Recompile() {
   if (options_.reject_cyclic_rule_sets && graph.HasCycle()) {
     return Status::FailedPrecondition(graph.DescribeCycles());
   }
+  // Compile every check expression to a physical plan now — enforcement
+  // reuses these via the plan cache — and declare whatever indexes the
+  // chosen operators want. Operator and index choice both live in the
+  // plan layer; this loop only carries decisions out.
+  algebra::PlanCache cache;
   for (const IntegrityProgram& program : compiled.programs()) {
     for (const algebra::Statement& stmt : program.program.statements) {
-      if (stmt.expr != nullptr) DeclareCheckIndexes(*stmt.expr, db_);
+      if (stmt.expr == nullptr) continue;
+      TXMOD_ASSIGN_OR_RETURN(const algebra::PhysicalPlan* plan,
+                             cache.GetOrCompile(stmt.expr));
+      DeclarePlanIndexes(*plan, db_);
     }
   }
   compiled_ = std::move(compiled);
   graph_ = std::move(graph);
+  plan_cache_ = std::move(cache);
   return Status::OK();
 }
 
@@ -174,7 +142,9 @@ Result<algebra::Transaction> IntegritySubsystem::Modify(
 Result<txn::TxnResult> IntegritySubsystem::Execute(
     const algebra::Transaction& txn) {
   TXMOD_ASSIGN_OR_RETURN(algebra::Transaction modified, Modify(txn));
-  return txn::ExecuteTransaction(modified, db_);
+  // The appended check statements share their expression trees with the
+  // compiled rule set, so they hit the definition-time plan cache.
+  return txn::ExecuteTransaction(modified, db_, &plan_cache_);
 }
 
 Result<txn::TxnResult> IntegritySubsystem::ExecuteText(
@@ -188,6 +158,19 @@ Result<txn::TxnResult> IntegritySubsystem::ExecuteText(
 Result<txn::TxnResult> IntegritySubsystem::ExecuteUnchecked(
     const algebra::Transaction& txn) {
   return txn::ExecuteTransaction(txn, db_);
+}
+
+std::map<std::string, std::string> IntegritySubsystem::ExplainPlans() const {
+  std::map<std::string, std::string> out;
+  for (const IntegrityProgram& program : compiled_.programs()) {
+    for (const algebra::Statement& stmt : program.program.statements) {
+      if (stmt.expr == nullptr) continue;
+      const algebra::PhysicalPlan* plan =
+          plan_cache_.Lookup(stmt.expr.get());
+      if (plan != nullptr) out.emplace(stmt.ToString(), plan->Explain());
+    }
+  }
+  return out;
 }
 
 std::vector<std::string> IntegritySubsystem::ValidateRuleTriggers() const {

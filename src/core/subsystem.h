@@ -1,9 +1,11 @@
 #ifndef TXMOD_CORE_SUBSYSTEM_H_
 #define TXMOD_CORE_SUBSYSTEM_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
+#include "src/algebra/physical_plan.h"
 #include "src/core/modifier.h"
 #include "src/core/triggering_graph.h"
 #include "src/relational/database.h"
@@ -78,6 +80,18 @@ class IntegritySubsystem {
   const std::vector<rules::IntegrityRule>& rules() const { return rules_; }
   const CompiledRuleSet& compiled() const { return compiled_; }
   const TriggeringGraph& graph() const { return graph_; }
+
+  /// The physical plans of every compiled integrity-check expression,
+  /// compiled once at rule-definition time. Execute() runs transactions
+  /// against this cache, so enforcement never recompiles plans; index
+  /// declarations (Relation::IndexOn) are derived from these plans'
+  /// IndexRequests — operator choice and index choice live in the plan
+  /// layer, not here.
+  const algebra::PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// Explain() dumps of every compiled check plan, keyed by the check
+  /// statement's textual form. Diagnostics; tests pin plan choices on it.
+  std::map<std::string, std::string> ExplainPlans() const;
   Database* database() { return db_; }
   const SubsystemOptions& options() const { return options_; }
 
@@ -110,6 +124,7 @@ class IntegritySubsystem {
   std::vector<rules::IntegrityRule> rules_;
   CompiledRuleSet compiled_;
   TriggeringGraph graph_;
+  algebra::PlanCache plan_cache_;
 };
 
 }  // namespace txmod::core

@@ -4,13 +4,16 @@
 #include <optional>
 #include <thread>
 
+#include "src/algebra/physical_plan.h"
 #include "src/common/str_util.h"
 
 namespace txmod::parallel {
 
 using algebra::AggFunc;
-using algebra::CollectEquiPairs;
-using algebra::ProjectionItem;
+using algebra::AggPartial;
+using algebra::PhysOpKind;
+using algebra::PhysicalNode;
+using algebra::PhysicalPlan;
 using algebra::RelExpr;
 using algebra::RelExprKind;
 using algebra::RelRefKind;
@@ -91,7 +94,7 @@ class ParallelExecutor::Impl {
   Status ExecuteStatement(const Statement& stmt) {
     switch (stmt.kind) {
       case StatementKind::kAssign: {
-        TXMOD_ASSIGN_OR_RETURN(FragRel value, Eval(*stmt.expr));
+        TXMOD_ASSIGN_OR_RETURN(FragRel value, EvalExpr(*stmt.expr));
         temps_.insert_or_assign(stmt.target, std::move(value));
         return Status::OK();
       }
@@ -102,7 +105,7 @@ class ParallelExecutor::Impl {
       case StatementKind::kUpdate:
         return ExecuteUpdate(stmt);
       case StatementKind::kAlarm: {
-        TXMOD_ASSIGN_OR_RETURN(FragRel value, Eval(*stmt.expr));
+        TXMOD_ASSIGN_OR_RETURN(FragRel value, EvalExpr(*stmt.expr));
         std::size_t total = 0;
         for (const Relation& f : value.frags) total += f.size();
         if (total == 0) return Status::OK();
@@ -119,7 +122,7 @@ class ParallelExecutor::Impl {
   }
 
   Status ExecuteInsert(const Statement& stmt) {
-    TXMOD_ASSIGN_OR_RETURN(FragRel value, Eval(*stmt.expr));
+    TXMOD_ASSIGN_OR_RETURN(FragRel value, EvalExpr(*stmt.expr));
     TXMOD_ASSIGN_OR_RETURN(FragmentedRelation * target,
                            db_->FindMutable(stmt.target));
     const RelationSchema& schema = target->fragments[0].schema();
@@ -143,7 +146,7 @@ class ParallelExecutor::Impl {
   }
 
   Status ExecuteDelete(const Statement& stmt) {
-    TXMOD_ASSIGN_OR_RETURN(FragRel value, Eval(*stmt.expr));
+    TXMOD_ASSIGN_OR_RETURN(FragRel value, EvalExpr(*stmt.expr));
     TXMOD_ASSIGN_OR_RETURN(FragmentedRelation * target,
                            db_->FindMutable(stmt.target));
     const RelationSchema& schema = target->fragments[0].schema();
@@ -246,32 +249,42 @@ class ParallelExecutor::Impl {
 
   // --- expression evaluation -------------------------------------------------
 
-  Result<FragRel> Eval(const RelExpr& e) {
-    switch (e.kind()) {
-      case RelExprKind::kRef:
-        return EvalRef(e);
-      case RelExprKind::kLiteral:
-        return EvalLiteral(e);
-      case RelExprKind::kSelect:
-        return EvalSelect(e);
-      case RelExprKind::kProject:
-        return EvalProject(e);
-      case RelExprKind::kJoin:
-      case RelExprKind::kSemiJoin:
-      case RelExprKind::kAntiJoin:
-        return EvalJoinLike(e);
-      case RelExprKind::kUnion:
-      case RelExprKind::kDifference:
-      case RelExprKind::kIntersect:
-        return EvalSetOp(e);
-      case RelExprKind::kAggregate:
-        return EvalAggregate(e);
-      case RelExprKind::kProduct:
+  /// Compiles `e` to the same physical plan the serial engine runs, then
+  /// evaluates it bottom-up: this executor decides *where* each operator's
+  /// work happens (alignment, redistribution, broadcast — charged to the
+  /// cost model), and the shared fragment-local kernels
+  /// (algebra::ExecuteNodeLocal) decide *how* a fragment's tuples are
+  /// joined, filtered, and projected.
+  Result<FragRel> EvalExpr(const RelExpr& e) {
+    TXMOD_ASSIGN_OR_RETURN(PhysicalPlan plan, PhysicalPlan::Compile(e));
+    return Eval(plan.root());
+  }
+
+  Result<FragRel> Eval(const PhysicalNode& n) {
+    switch (n.op) {
+      case PhysOpKind::kScan:
+        return EvalRef(*n.logical);
+      case PhysOpKind::kLiteral:
+        return EvalLiteral(*n.logical);
+      case PhysOpKind::kSelect:
+      case PhysOpKind::kProject:
+        return EvalUnary(n);
+      case PhysOpKind::kHashJoin:
+      case PhysOpKind::kIndexLookupJoin:
+      case PhysOpKind::kNestedLoopJoin:
+        return EvalJoinLike(n);
+      case PhysOpKind::kUnion:
+      case PhysOpKind::kHashSetOp:
+      case PhysOpKind::kIndexSetOp:
+        return EvalSetOp(n);
+      case PhysOpKind::kAggregate:
+        return EvalAggregate(n);
+      case PhysOpKind::kProduct:
         return Status::Unimplemented(
             "cartesian products are not part of the parallel enforcement "
             "substrate (no integrity program needs them; see executor.h)");
     }
-    return Status::Internal("unknown RelExpr kind");
+    return Status::Internal("unknown physical operator");
   }
 
   Alignment BaseAlignment(const FragmentedRelation& f, int* attr) const {
@@ -338,14 +351,12 @@ class ParallelExecutor::Impl {
   }
 
   Result<FragRel> EvalLiteral(const RelExpr& e) {
-    std::vector<Attribute> attrs;
-    for (int i = 0; i < e.literal_arity(); ++i) {
-      attrs.push_back(Attribute{StrCat("c", i), AttrType::kString});
-    }
-    auto schema = MakeSchema(std::move(attrs));
+    TXMOD_ASSIGN_OR_RETURN(Relation lit, algebra::MaterializeLiteral(e));
     FragRel out;
-    for (std::size_t i = 0; i < width_; ++i) out.frags.emplace_back(schema);
-    for (const Tuple& t : e.literal_tuples()) out.frags[0].Insert(t);
+    for (std::size_t i = 0; i < width_; ++i) {
+      out.frags.emplace_back(lit.schema_ptr());
+    }
+    out.frags[0] = std::move(lit);
     out.alignment = Alignment::kCoordinator;
     return out;
   }
@@ -374,82 +385,46 @@ class ParallelExecutor::Impl {
     return Status::OK();
   }
 
-  Result<FragRel> EvalSelect(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(*e.left()));
+  /// Selections and projections run fragment-local through the shared
+  /// kernel; only the distribution metadata is computed here.
+  Result<FragRel> EvalUnary(const PhysicalNode& n) {
+    TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(n.child(0)));
+    const RelExpr& e = *n.logical;
     FragRel out;
-    out.alignment = in.alignment;
-    out.attr = in.attr;
-    out.maybe_duplicated = in.maybe_duplicated;
-    out.frags.assign(width_, Relation(in.frags[0].schema_ptr()));
-    std::vector<uint64_t> scanned(width_);
-    for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
-    TXMOD_RETURN_IF_ERROR(
-        ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          for (const Tuple& t : in.frags[i]) {
-            TXMOD_ASSIGN_OR_RETURN(bool keep,
-                                   e.predicate().EvalPredicate(&t, nullptr));
-            if (keep) out.frags[i].Insert(t);
+    out.frags.assign(width_, Relation());
+    if (n.op == PhysOpKind::kSelect) {
+      out.alignment = in.alignment;
+      out.attr = in.attr;
+      out.maybe_duplicated = in.maybe_duplicated;
+    } else {
+      // Partitioning survives when some output item is exactly the
+      // input's partitioning attribute.
+      out.alignment = Alignment::kNone;
+      out.attr = -1;
+      out.maybe_duplicated = true;
+      if (in.alignment == Alignment::kAttr) {
+        for (std::size_t i = 0; i < e.projections().size(); ++i) {
+          const ScalarExpr& pe = e.projections()[i].expr;
+          if (pe.op() == ScalarOp::kAttrRef && pe.attr_index() == in.attr) {
+            out.alignment = Alignment::kAttr;
+            out.attr = static_cast<int>(i);
+            out.maybe_duplicated = false;  // equal keys co-locate
+            break;
           }
-          return Status::OK();
-        }));
-    return out;
-  }
-
-  Result<FragRel> EvalProject(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(*e.left()));
-    const RelationSchema& in_schema = in.frags[0].schema();
-    std::vector<Attribute> attrs;
-    for (std::size_t i = 0; i < e.projections().size(); ++i) {
-      const ProjectionItem& item = e.projections()[i];
-      std::string name = item.name;
-      AttrType type = AttrType::kString;
-      if (item.expr.op() == ScalarOp::kAttrRef &&
-          item.expr.attr_index() < static_cast<int>(in_schema.arity())) {
-        if (name.empty()) {
-          name = in_schema.attribute(U(item.expr.attr_index())).name;
-        }
-        type = in_schema.attribute(U(item.expr.attr_index())).type;
-      }
-      if (name.empty()) name = StrCat("c", i);
-      attrs.push_back(Attribute{std::move(name), type});
-    }
-    auto schema = MakeSchema(std::move(attrs));
-    FragRel out;
-    out.frags.assign(width_, Relation(schema));
-    // Partitioning survives when some output item is exactly the input's
-    // partitioning attribute.
-    out.alignment = Alignment::kNone;
-    out.attr = -1;
-    out.maybe_duplicated = true;
-    if (in.alignment == Alignment::kAttr) {
-      for (std::size_t i = 0; i < e.projections().size(); ++i) {
-        const ScalarExpr& pe = e.projections()[i].expr;
-        if (pe.op() == ScalarOp::kAttrRef && pe.attr_index() == in.attr) {
-          out.alignment = Alignment::kAttr;
-          out.attr = static_cast<int>(i);
-          out.maybe_duplicated = false;  // equal keys co-locate; dedup local
-          break;
         }
       }
-    }
-    if (in.alignment == Alignment::kCoordinator) {
-      out.alignment = Alignment::kCoordinator;
-      out.maybe_duplicated = false;
+      if (in.alignment == Alignment::kCoordinator) {
+        out.alignment = Alignment::kCoordinator;
+        out.maybe_duplicated = false;
+      }
     }
     std::vector<uint64_t> scanned(width_);
     for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
     TXMOD_RETURN_IF_ERROR(
         ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          for (const Tuple& t : in.frags[i]) {
-            std::vector<Value> values;
-            values.reserve(e.projections().size());
-            for (const ProjectionItem& item : e.projections()) {
-              TXMOD_ASSIGN_OR_RETURN(Value v,
-                                     item.expr.EvalValue(&t, nullptr));
-              values.push_back(std::move(v));
-            }
-            out.frags[i].Insert(Tuple(std::move(values)));
-          }
+          TXMOD_ASSIGN_OR_RETURN(
+              out.frags[i],
+              algebra::ExecuteNodeLocal(n, in.frags[i], nullptr));
           return Status::OK();
         }));
     return out;
@@ -529,9 +504,9 @@ class ParallelExecutor::Impl {
     return false;
   }
 
-  Result<FragRel> EvalSetOp(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(FragRel l, Eval(*e.left()));
-    TXMOD_ASSIGN_OR_RETURN(FragRel r, Eval(*e.right()));
+  Result<FragRel> EvalSetOp(const PhysicalNode& n) {
+    TXMOD_ASSIGN_OR_RETURN(FragRel l, Eval(n.child(0)));
+    TXMOD_ASSIGN_OR_RETURN(FragRel r, Eval(n.child(1)));
     if (l.frags[0].arity() != r.frags[0].arity()) {
       return Status::InvalidArgument("set operation over different arities");
     }
@@ -540,7 +515,7 @@ class ParallelExecutor::Impl {
       r = RedistributeWholeTuple(std::move(r));
     }
     FragRel out;
-    out.frags.assign(width_, Relation(l.frags[0].schema_ptr()));
+    out.frags.assign(width_, Relation());
     out.alignment = l.alignment;
     out.attr = l.attr;
     out.maybe_duplicated = false;
@@ -550,38 +525,24 @@ class ParallelExecutor::Impl {
     }
     TXMOD_RETURN_IF_ERROR(
         ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          switch (e.kind()) {
-            case RelExprKind::kUnion:
-              for (const Tuple& t : l.frags[i]) out.frags[i].Insert(t);
-              for (const Tuple& t : r.frags[i]) out.frags[i].Insert(t);
-              break;
-            case RelExprKind::kDifference:
-              for (const Tuple& t : l.frags[i]) {
-                if (!r.frags[i].Contains(t)) out.frags[i].Insert(t);
-              }
-              break;
-            case RelExprKind::kIntersect:
-              for (const Tuple& t : l.frags[i]) {
-                if (r.frags[i].Contains(t)) out.frags[i].Insert(t);
-              }
-              break;
-            default:
-              return Status::Internal("not a set op");
-          }
+          TXMOD_ASSIGN_OR_RETURN(
+              out.frags[i],
+              algebra::ExecuteNodeLocal(n, l.frags[i], &r.frags[i]));
           return Status::OK();
         }));
     return out;
   }
 
-  Result<FragRel> EvalJoinLike(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(FragRel r, Eval(*e.right()));
+  Result<FragRel> EvalJoinLike(const PhysicalNode& n) {
+    const RelExpr& e = *n.logical;
+    TXMOD_ASSIGN_OR_RETURN(FragRel r, Eval(n.child(1)));
     // Empty right operand: joins and semijoins are empty, an antijoin is
     // the left side — without scanning it (differential fast path).
     std::size_t right_total = 0;
     for (const Relation& f : r.frags) right_total += f.size();
     if (right_total == 0) {
-      if (e.kind() == RelExprKind::kAntiJoin) return Eval(*e.left());
-      TXMOD_ASSIGN_OR_RETURN(FragRel l, Eval(*e.left()));
+      if (e.kind() == RelExprKind::kAntiJoin) return Eval(n.child(0));
+      TXMOD_ASSIGN_OR_RETURN(FragRel l, Eval(n.child(0)));
       FragRel out;
       std::shared_ptr<const RelationSchema> schema =
           e.kind() == RelExprKind::kJoin
@@ -593,11 +554,10 @@ class ParallelExecutor::Impl {
       out.attr = l.attr;
       return out;
     }
-    TXMOD_ASSIGN_OR_RETURN(FragRel l, Eval(*e.left()));
-    std::vector<std::pair<int, int>> equi;
-    CollectEquiPairs(e.predicate(), &equi);
-    if (!equi.empty()) {
-      const auto [la, ra] = equi[0];
+    TXMOD_ASSIGN_OR_RETURN(FragRel l, Eval(n.child(0)));
+    if (!n.left_keys.empty()) {
+      const int la = n.left_keys[0];
+      const int ra = n.right_keys[0];
       // Co-located already? (The paper's key/foreign-key fragmentation.)
       const bool l_ok = width_ == 1 ||
                         (l.alignment == Alignment::kAttr && l.attr == la);
@@ -622,13 +582,11 @@ class ParallelExecutor::Impl {
       r = std::move(bc);
     }
 
-    const bool is_join = e.kind() == RelExprKind::kJoin;
-    std::shared_ptr<const RelationSchema> out_schema =
-        is_join ? MakeSchema(ConcatAttrs(l.frags[0].schema(),
-                                         r.frags[0].schema()))
-                : l.frags[0].schema_ptr();
+    // Fragment-local join execution through the shared kernel: a hash
+    // join (build over the smaller right fragment, probe the left) for
+    // equality predicates, nested loops otherwise.
     FragRel out;
-    out.frags.assign(width_, Relation(out_schema));
+    out.frags.assign(width_, Relation());
     out.alignment = l.alignment;
     out.attr = l.attr;
     out.maybe_duplicated = l.maybe_duplicated;
@@ -638,130 +596,46 @@ class ParallelExecutor::Impl {
     }
     TXMOD_RETURN_IF_ERROR(
         ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          for (const Tuple& lt : l.frags[i]) {
-            bool matched = false;
-            for (const Tuple& rt : r.frags[i]) {
-              TXMOD_ASSIGN_OR_RETURN(bool match,
-                                     e.predicate().EvalPredicate(&lt, &rt));
-              if (!match) continue;
-              matched = true;
-              if (e.kind() == RelExprKind::kJoin) {
-                out.frags[i].Insert(Tuple::Concat(lt, rt));
-              } else {
-                break;
-              }
-            }
-            if (e.kind() == RelExprKind::kSemiJoin && matched) {
-              out.frags[i].Insert(lt);
-            }
-            if (e.kind() == RelExprKind::kAntiJoin && !matched) {
-              out.frags[i].Insert(lt);
-            }
-          }
+          TXMOD_ASSIGN_OR_RETURN(
+              out.frags[i],
+              algebra::ExecuteNodeLocal(n, l.frags[i], &r.frags[i]));
           return Status::OK();
         }));
     return out;
   }
 
-  Result<FragRel> EvalAggregate(const RelExpr& e) {
+  Result<FragRel> EvalAggregate(const PhysicalNode& n) {
+    const RelExpr& e = *n.logical;
     if (!e.group_by().empty()) {
       return Status::Unimplemented(
           "grouped aggregates are not part of the parallel enforcement "
           "substrate");
     }
-    TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(*e.left()));
+    TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(n.child(0)));
     // Set semantics: counting a possibly-duplicated intermediate would
     // overcount; dedup by whole-tuple redistribution first.
     if (in.maybe_duplicated) in = RedistributeWholeTuple(std::move(in));
 
-    const int attr = e.agg_attr();
-    struct Partial {
-      int64_t count = 0;
-      int64_t non_null = 0;
-      double dsum = 0;
-      int64_t isum = 0;
-      bool any_double = false;
-      std::optional<Value> min, max;
-    };
-    std::vector<Partial> partials(width_);
+    // Node-local partials through the shared aggregate kernel, merged at
+    // the coordinator: one partial record per node crosses the
+    // interconnect.
+    std::vector<AggPartial> partials(width_);
     std::vector<uint64_t> scanned(width_);
     for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
     TXMOD_RETURN_IF_ERROR(
         ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          Partial& p = partials[i];
-          for (const Tuple& t : in.frags[i]) {
-            p.count += 1;
-            if (e.agg_func() == AggFunc::kCnt) continue;
-            const Value& v = t.at(U(attr));
-            if (v.is_null()) continue;
-            p.non_null += 1;
-            if (v.is_numeric()) {
-              if (v.is_int()) {
-                p.isum += v.as_int();
-                p.dsum += static_cast<double>(v.as_int());
-              } else {
-                p.any_double = true;
-                p.dsum += v.as_double();
-              }
-            }
-            if (!p.min.has_value() ||
-                Value::Compare(v, *p.min) == Value::Ordering::kLess) {
-              p.min = v;
-            }
-            if (!p.max.has_value() ||
-                Value::Compare(v, *p.max) == Value::Ordering::kGreater) {
-              p.max = v;
-            }
-          }
+          TXMOD_ASSIGN_OR_RETURN(partials[i],
+                                 algebra::AggregateLocal(n, in.frags[i]));
           return Status::OK();
         }));
-    // Combine at the coordinator: one partial record per node crosses the
-    // interconnect.
     result_.stats.AddPhase(std::vector<uint64_t>(width_, 0),
                            static_cast<uint64_t>(width_ - 1),
                            width_ > 1 ? static_cast<uint64_t>(width_ - 1) : 0,
                            options_.cost_model);
-    Partial total;
-    for (const Partial& p : partials) {
-      total.count += p.count;
-      total.non_null += p.non_null;
-      total.isum += p.isum;
-      total.dsum += p.dsum;
-      total.any_double = total.any_double || p.any_double;
-      if (p.min.has_value() &&
-          (!total.min.has_value() ||
-           Value::Compare(*p.min, *total.min) == Value::Ordering::kLess)) {
-        total.min = p.min;
-      }
-      if (p.max.has_value() &&
-          (!total.max.has_value() ||
-           Value::Compare(*p.max, *total.max) ==
-               Value::Ordering::kGreater)) {
-        total.max = p.max;
-      }
-    }
-    Value result = Value::Null();
-    switch (e.agg_func()) {
-      case AggFunc::kCnt:
-        result = Value::Int(total.count);
-        break;
-      case AggFunc::kSum:
-        result = total.any_double ? Value::Double(total.dsum)
-                                  : Value::Int(total.isum);
-        break;
-      case AggFunc::kAvg:
-        result = total.non_null == 0
-                     ? Value::Null()
-                     : Value::Double(total.dsum /
-                                     static_cast<double>(total.non_null));
-        break;
-      case AggFunc::kMin:
-        result = total.min.value_or(Value::Null());
-        break;
-      case AggFunc::kMax:
-        result = total.max.value_or(Value::Null());
-        break;
-    }
+    AggPartial total;
+    for (const AggPartial& p : partials) total.Merge(p);
+    TXMOD_ASSIGN_OR_RETURN(Value result,
+                           algebra::FinalizeAggregate(total, e.agg_func()));
     auto schema = MakeSchema(
         {Attribute{AggFuncToString(e.agg_func()),
                    result.is_double() ? AttrType::kDouble : AttrType::kInt}});

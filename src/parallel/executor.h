@@ -27,15 +27,27 @@ struct ParallelTxnResult {
 };
 
 /// Executes (modified) transactions against a fragmented database,
-/// implementing the parallel constraint-enforcement strategies of [7]:
+/// implementing the parallel constraint-enforcement strategies of [7].
+///
+/// Statements compile to the same physical plans as serial execution
+/// (algebra::PhysicalPlan); this executor owns only the *distribution*
+/// decisions — alignment tracking, redistribution, broadcast, cost-model
+/// charging — while each fragment's tuples run through the shared
+/// fragment-local operator kernels (algebra::ExecuteNodeLocal /
+/// AggregateLocal), so operator semantics cannot diverge between the two
+/// engines:
 ///
 ///  * selections/projections run fragment-local;
-///  * single-equality joins, semijoins, antijoins and the set operations
-///    run fragment-local when operand partitioning already co-locates
-///    matching tuples (the paper's fragmentation on key / foreign-key
-///    attributes), and redistribute operands otherwise, with transfers
-///    charged to the cost model;
-///  * aggregates compute node-local partials combined at a coordinator;
+///  * equality joins, semijoins, antijoins run fragment-local as *hash
+///    joins* when operand partitioning already co-locates matching tuples
+///    (the paper's fragmentation on key / foreign-key attributes), and
+///    redistribute operands otherwise, with transfers charged to the cost
+///    model; predicates without equality conjuncts broadcast the right
+///    operand and fall back to nested loops;
+///  * set operations run fragment-local by hashed membership after
+///    whole-tuple alignment;
+///  * aggregates compute node-local partials (algebra::AggPartial)
+///    merged at a coordinator;
 ///  * updates are routed to the owning fragment; alarm statements abort
 ///    the whole transaction if any node reports violations.
 ///

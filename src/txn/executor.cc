@@ -11,18 +11,31 @@ using algebra::StatementKind;
 
 namespace {
 
+/// Evaluates a statement's expression, through the context's plan cache
+/// when the expression was pre-compiled (integrity checks are, at rule
+/// definition time), compiling one-shot otherwise.
+Result<Relation> EvalStatementExpr(const Statement& stmt, TxnContext* ctx,
+                                   TxnResult* result) {
+  if (const algebra::PlanCache* cache = ctx->plan_cache()) {
+    if (const algebra::PhysicalPlan* plan = cache->Lookup(stmt.expr.get())) {
+      return plan->Execute(*ctx, &result->stats);
+    }
+  }
+  return EvaluateRelExpr(*stmt.expr, *ctx, &result->stats);
+}
+
 Status ExecuteAssign(const Statement& stmt, TxnContext* ctx,
                      TxnResult* result) {
-  TXMOD_ASSIGN_OR_RETURN(
-      Relation value, EvaluateRelExpr(*stmt.expr, *ctx, &result->stats));
+  TXMOD_ASSIGN_OR_RETURN(Relation value,
+                         EvalStatementExpr(stmt, ctx, result));
   ctx->SetTemp(stmt.target, std::move(value));
   return Status::OK();
 }
 
 Status ExecuteInsert(const Statement& stmt, TxnContext* ctx,
                      TxnResult* result) {
-  TXMOD_ASSIGN_OR_RETURN(
-      Relation value, EvaluateRelExpr(*stmt.expr, *ctx, &result->stats));
+  TXMOD_ASSIGN_OR_RETURN(Relation value,
+                         EvalStatementExpr(stmt, ctx, result));
   for (const Tuple& t : value) {
     TXMOD_ASSIGN_OR_RETURN(bool inserted, ctx->InsertTuple(stmt.target, t));
     if (inserted) ++result->tuples_inserted;
@@ -32,8 +45,8 @@ Status ExecuteInsert(const Statement& stmt, TxnContext* ctx,
 
 Status ExecuteDelete(const Statement& stmt, TxnContext* ctx,
                      TxnResult* result) {
-  TXMOD_ASSIGN_OR_RETURN(
-      Relation value, EvaluateRelExpr(*stmt.expr, *ctx, &result->stats));
+  TXMOD_ASSIGN_OR_RETURN(Relation value,
+                         EvalStatementExpr(stmt, ctx, result));
   for (const Tuple& t : value) {
     TXMOD_ASSIGN_OR_RETURN(bool deleted, ctx->DeleteTuple(stmt.target, t));
     if (deleted) ++result->tuples_deleted;
@@ -79,8 +92,8 @@ Status ExecuteUpdate(const Statement& stmt, TxnContext* ctx,
 
 Status ExecuteAlarm(const Statement& stmt, TxnContext* ctx,
                     TxnResult* result) {
-  TXMOD_ASSIGN_OR_RETURN(
-      Relation value, EvaluateRelExpr(*stmt.expr, *ctx, &result->stats));
+  TXMOD_ASSIGN_OR_RETURN(Relation value,
+                         EvalStatementExpr(stmt, ctx, result));
   if (value.empty()) return Status::OK();  // Definition 5.1: no effect
   std::string reason = stmt.message.empty()
                            ? StrCat("alarm raised: ", stmt.expr->ToString(),
@@ -113,8 +126,10 @@ Status ExecuteStatement(const Statement& stmt, TxnContext* ctx,
 }
 
 Result<TxnResult> ExecuteTransaction(const algebra::Transaction& txn,
-                                     Database* db) {
+                                     Database* db,
+                                     const algebra::PlanCache* plan_cache) {
   TxnContext ctx(db);
+  ctx.set_plan_cache(plan_cache);
   TxnResult result;
   for (std::size_t i = 0; i < txn.program.statements.size(); ++i) {
     const Status st = ExecuteStatement(txn.program.statements[i], &ctx,

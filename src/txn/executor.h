@@ -39,8 +39,13 @@ Status ExecuteStatement(const algebra::Statement& stmt, TxnContext* ctx,
 /// D^t and the result reports the reason. Malformed programs (evaluation
 /// errors, schema violations) also restore D^t but surface as error
 /// Statuses rather than TxnResults.
-Result<TxnResult> ExecuteTransaction(const algebra::Transaction& txn,
-                                     Database* db);
+///
+/// `plan_cache` (optional) holds physical plans pre-compiled at rule
+/// definition time; statement expressions found in it skip per-execution
+/// plan compilation. Expressions not in the cache are compiled one-shot.
+Result<TxnResult> ExecuteTransaction(
+    const algebra::Transaction& txn, Database* db,
+    const algebra::PlanCache* plan_cache = nullptr);
 
 }  // namespace txmod::txn
 

@@ -1,0 +1,222 @@
+// Differential oracle: the serial transaction executor and the parallel
+// enforcement substrate run the *same* physical operators since the
+// shared-plan refactor, so they must agree — exactly — on commit/abort
+// outcomes and final database states, for every workload, node count, and
+// threading mode. This test drives both engines through the paper's
+// beer/brewery example and through randomized key/fk transactions
+// (bench/workload.h's schema) and asserts equivalence after every
+// transaction.
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "bench/workload.h"
+#include "src/algebra/parser.h"
+#include "src/common/str_util.h"
+#include "src/core/subsystem.h"
+#include "src/parallel/executor.h"
+#include "tests/test_util.h"
+
+namespace txmod::parallel {
+namespace {
+
+using algebra::Transaction;
+using txmod::testing::AddBeer;
+using txmod::testing::AddBrewery;
+using txmod::testing::MakeBeerDatabase;
+
+struct OracleParam {
+  int nodes;
+  bool use_threads;
+};
+
+/// Both engines execute the same modified transaction against their own
+/// copy of the same starting state; outcomes and final states must match.
+/// `serial_db` and `pdb` evolve statefully across calls so multi-
+/// transaction histories stay comparable.
+void StepBothEngines(const Transaction& modified, Database* serial_db,
+                     ParallelDatabase* pdb, bool use_threads,
+                     const std::string& trace) {
+  SCOPED_TRACE(trace);
+  auto serial = txn::ExecuteTransaction(modified, serial_db);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  ParallelOptions options;
+  options.use_threads = use_threads;
+  ParallelExecutor exec(pdb, options);
+  TXMOD_ASSERT_OK_AND_ASSIGN(ParallelTxnResult parallel,
+                             exec.Execute(modified));
+
+  EXPECT_EQ(serial->committed, parallel.committed);
+  EXPECT_TRUE(pdb->Merge().SameState(*serial_db));
+}
+
+class OracleTest : public ::testing::TestWithParam<OracleParam> {};
+
+// ---------------------------------------------------------------------------
+// The paper's beer/brewery e2e workload.
+// ---------------------------------------------------------------------------
+
+TEST_P(OracleTest, BeerBreweryWorkloadAgrees) {
+  Database db = MakeBeerDatabase();
+  AddBrewery(&db, "heineken", "amsterdam", "nl");
+  AddBrewery(&db, "guinness", "dublin", "ie");
+  for (int i = 0; i < 24; ++i) {
+    AddBeer(&db, StrCat("beer", i), "lager",
+            i % 2 == 0 ? "heineken" : "guinness", 4.0 + (i % 5));
+  }
+  core::IntegritySubsystem ics(&db);
+  TXMOD_ASSERT_OK(ics.DefineConstraint(
+      "domain", "forall x (x in beer implies x.alcohol >= 0)"));
+  TXMOD_ASSERT_OK(ics.DefineConstraint(
+      "refint",
+      "forall x (x in beer implies exists y (y in brewery and "
+      "x.brewery = y.name))"));
+
+  const std::map<std::string, FragmentationScheme> schemes = {
+      {"beer", FragmentationScheme{FragmentationKind::kHash, 2}},
+      {"brewery", FragmentationScheme{FragmentationKind::kHash, 0}},
+  };
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      ParallelDatabase pdb,
+      ParallelDatabase::Partition(db, schemes, GetParam().nodes));
+  Database serial_db = db.Clone();
+
+  const std::vector<std::string> workload = {
+      // Valid insert: commits.
+      "insert(beer, {(\"fresh\", \"ale\", \"guinness\", 6.0)});",
+      // Orphan insert: aborts on refint.
+      "insert(beer, {(\"bad\", \"ale\", \"nowhere\", 6.0)});",
+      // Negative alcohol: aborts on domain.
+      "insert(beer, {(\"neg\", \"ale\", \"heineken\", -1.0)});",
+      // Deleting a referenced brewery: aborts.
+      "delete(brewery, select[name = \"heineken\"](brewery));",
+      // Insert a brewery, then delete it again: commits (net no-op).
+      "insert(brewery, {(\"plzen\", \"pilsen\", \"cz\")}); "
+      "delete(brewery, select[name = \"plzen\"](brewery));",
+      // Self-repairing: insert brewery and a beer referencing it.
+      "insert(brewery, {(\"newbrew\", \"oslo\", \"no\")}); "
+      "insert(beer, {(\"norse\", \"ale\", \"newbrew\", 5.5)});",
+      // Multi-statement with a temporary.
+      "tmp := select[alcohol > 7](beer); delete(beer, tmp);",
+  };
+  algebra::AlgebraParser parser(&db.schema());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    TXMOD_ASSERT_OK_AND_ASSIGN(Transaction txn,
+                               parser.ParseTransaction(workload[i]));
+    TXMOD_ASSERT_OK_AND_ASSIGN(Transaction modified, ics.Modify(txn));
+    StepBothEngines(modified, &serial_db, &pdb, GetParam().use_threads,
+                    StrCat("beer workload #", i, ": ", workload[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized key/fk transactions (bench/workload.h schema), mixing valid
+// and violating inserts/deletes so both commit and abort paths are hit.
+// ---------------------------------------------------------------------------
+
+TEST_P(OracleTest, RandomizedKeyFkWorkloadAgrees) {
+  const int keys = 50, fks = 400;
+  Database db = bench::MakeKeyFkDatabase(keys, fks);
+  bench::AddUnreferencedKeys(&db, 20);
+  core::IntegritySubsystem ics(&db);
+  TXMOD_ASSERT_OK(ics.DefineConstraint("domain", bench::DomainConstraint()));
+  TXMOD_ASSERT_OK(ics.DefineConstraint("refint", bench::RefIntConstraint()));
+
+  const std::map<std::string, FragmentationScheme> schemes = {
+      {"fk_rel", FragmentationScheme{FragmentationKind::kHash, 1}},
+      {"key_rel", FragmentationScheme{FragmentationKind::kHash, 0}}};
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      ParallelDatabase pdb,
+      ParallelDatabase::Partition(db, schemes, GetParam().nodes));
+  Database serial_db = db.Clone();
+
+  std::mt19937 rng(12345u + static_cast<unsigned>(GetParam().nodes));
+  auto pick = [&](int n) { return static_cast<int>(rng() % static_cast<unsigned>(n)); };
+  int next_id = 2'000'000;
+
+  for (int step = 0; step < 40; ++step) {
+    Transaction txn;
+    const int kind = pick(5);
+    std::string trace;
+    switch (kind) {
+      case 0: {  // batch of valid fk inserts
+        std::vector<Tuple> tuples;
+        const int batch = 1 + pick(5);
+        for (int i = 0; i < batch; ++i) {
+          tuples.push_back(Tuple({Value::Int(next_id++),
+                                  Value::String(StrCat("k", pick(keys))),
+                                  Value::Double(1.0 + pick(9))}));
+        }
+        txn.program.statements.push_back(algebra::Statement::Insert(
+            "fk_rel", algebra::RelExpr::Literal(std::move(tuples), 3)));
+        trace = "valid fk insert batch";
+        break;
+      }
+      case 1: {  // fk insert with a dangling ref: aborts
+        std::vector<Tuple> tuples;
+        tuples.push_back(Tuple({Value::Int(next_id++),
+                                Value::String(StrCat("zz", pick(1000))),
+                                Value::Double(3.0)}));
+        txn.program.statements.push_back(algebra::Statement::Insert(
+            "fk_rel", algebra::RelExpr::Literal(std::move(tuples), 3)));
+        trace = "dangling fk insert";
+        break;
+      }
+      case 2: {  // delete an (often unreferenced) key
+        const bool referenced = pick(2) == 0;
+        const std::string key = referenced ? StrCat("k", pick(keys))
+                                           : StrCat("x", pick(20));
+        txn.program.statements.push_back(algebra::Statement::Delete(
+            "key_rel",
+            algebra::RelExpr::Literal(
+                {Tuple({Value::String(key), Value::String("payload")})}, 2)));
+        trace = StrCat("key delete ", key);
+        break;
+      }
+      case 3: {  // delete some fk tuples (always legal)
+        std::vector<Tuple> tuples;
+        const int batch = 1 + pick(3);
+        for (int i = 0; i < batch; ++i) {
+          const int id = pick(fks);
+          tuples.push_back(Tuple({Value::Int(id),
+                                  Value::String(StrCat("k", id % keys)),
+                                  Value::Double(1.0 + id % 10)}));
+        }
+        txn.program.statements.push_back(algebra::Statement::Delete(
+            "fk_rel", algebra::RelExpr::Literal(std::move(tuples), 3)));
+        trace = "fk delete batch";
+        break;
+      }
+      default: {  // fk insert with a negative amount: aborts on domain
+        std::vector<Tuple> tuples;
+        tuples.push_back(Tuple({Value::Int(next_id++),
+                                Value::String(StrCat("k", pick(keys))),
+                                Value::Double(-2.0)}));
+        txn.program.statements.push_back(algebra::Statement::Insert(
+            "fk_rel", algebra::RelExpr::Literal(std::move(tuples), 3)));
+        trace = "negative-amount fk insert";
+        break;
+      }
+    }
+    TXMOD_ASSERT_OK_AND_ASSIGN(Transaction modified, ics.Modify(txn));
+    StepBothEngines(modified, &serial_db, &pdb, GetParam().use_threads,
+                    StrCat("random step ", step, ": ", trace));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NodeCountsAndThreading, OracleTest,
+    ::testing::Values(OracleParam{1, false}, OracleParam{2, false},
+                      OracleParam{4, false}, OracleParam{8, false},
+                      OracleParam{2, true}, OracleParam{4, true},
+                      OracleParam{8, true}),
+    [](const ::testing::TestParamInfo<OracleParam>& param_info) {
+      return StrCat(param_info.param.nodes, "nodes_",
+                    param_info.param.use_threads ? "threads" : "sequential");
+    });
+
+}  // namespace
+}  // namespace txmod::parallel
