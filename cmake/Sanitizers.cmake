@@ -10,6 +10,11 @@
 # real std::threads when ParallelOptions::use_threads is set, and the
 # threaded test paths (parallel_test, serial_parallel_oracle_test) are the
 # coverage. CI runs this configuration as its own job.
+#
+# ENABLE_COVERAGE=ON instruments the whole tree with gcov profiling
+# (--coverage); the CI coverage job runs ctest in such a tree and
+# summarizes with gcovr. Use a Debug build so lines are not optimized
+# away.
 
 set(TXMOD_WARNINGS -Wall -Wextra -Wshadow -Wpedantic)
 
@@ -35,4 +40,9 @@ if(ENABLE_TSAN)
       -fno-sanitize-recover=all)
   add_compile_options(${TXMOD_SAN_FLAGS})
   add_link_options(${TXMOD_SAN_FLAGS})
+endif()
+
+if(ENABLE_COVERAGE)
+  add_compile_options(--coverage -fprofile-update=atomic)
+  add_link_options(--coverage)
 endif()

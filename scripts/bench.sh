@@ -13,10 +13,11 @@
 #                                     BENCH_parallel.json at the repo root
 #                                     from this machine's run
 #
-# The checked-in BENCH_table1.json (Table 1 workloads) and
-# BENCH_parallel.json (E5 scaling + the join-heavy enforcement series) are
-# the recorded baselines; their "context" blocks name the machine and
-# compiler they were captured on.
+# The checked-in BENCH_table1.json (Table 1 workloads, plus the
+# BM_AdHocRepeatedShape shaped-plan-cache series: cached vs
+# fresh-compile-every-statement) and BENCH_parallel.json (E5 scaling +
+# the join-heavy enforcement series) are the recorded baselines; their
+# "context" blocks name the machine and compiler they were captured on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -33,11 +33,35 @@ struct EvalStats {
   uint64_t operators = 0;        // operator nodes evaluated
   uint64_t index_probes = 0;     // probes of declared relation indexes
 
+  // Shape-keyed plan-cache traffic (PlanCache::GetOrCompileShaped): a hit
+  // reuses a compiled plan under a fresh parameter binding, a miss
+  // fingerprints + compiles, an eviction drops the least recently used
+  // shape to the cache's capacity bound. Evaluation-work counters above
+  // are independent of these — a cached and a fresh-compiled execution of
+  // the same statement scan/emit/probe identically (pinned by
+  // tests/plan_cache_test.cc).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_evictions = 0;
+
   void Add(const EvalStats& other) {
     tuples_scanned += other.tuples_scanned;
     tuples_emitted += other.tuples_emitted;
     operators += other.operators;
     index_probes += other.index_probes;
+    plan_cache_hits += other.plan_cache_hits;
+    plan_cache_misses += other.plan_cache_misses;
+    plan_cache_evictions += other.plan_cache_evictions;
+  }
+
+  /// This stats record with the plan-cache counters zeroed: what the
+  /// evaluation *work* was, independent of how plans were obtained.
+  EvalStats WithoutCacheCounters() const {
+    EvalStats out = *this;
+    out.plan_cache_hits = 0;
+    out.plan_cache_misses = 0;
+    out.plan_cache_evictions = 0;
+    return out;
   }
 };
 

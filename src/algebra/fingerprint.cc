@@ -1,0 +1,257 @@
+#include "src/algebra/fingerprint.h"
+
+#include <utility>
+
+#include "src/common/str_util.h"
+
+namespace txmod::algebra {
+
+// Both walkers below implement ONE traversal contract, and must keep
+// implementing it identically, or a cached canonical plan would be
+// executed under a misaligned binding vector:
+//
+//   * RelExpr nodes pre-order; node payload (predicate / projection items
+//     / literal values) before inputs, inputs left to right;
+//   * ScalarExpr nodes pre-order, children left to right;
+//   * literal tuples row-major, in stored order;
+//   * every kConst and every literal value claims the next slot.
+//
+// tests/fingerprint_test.cc pins the contract: FingerprintExpr(e).params
+// must equal ParameterizeExpr(e).params for randomized trees, and the
+// canonical tree under that binding must evaluate exactly like `e`.
+//
+// The shape encoding is injective by construction — variable-length
+// strings (relation names, attribute names, projection aliases) are
+// length-prefixed, numbers are delimited by non-digits — so equal shapes
+// cannot come from structurally different trees.
+
+namespace {
+
+void AppendString(const std::string& s, std::string* out) {
+  out->append(StrCat(s.size(), ":"));
+  out->append(s);
+}
+
+void FingerprintScalar(const ScalarExpr& e, std::string* shape,
+                       std::vector<Value>* params) {
+  switch (e.op()) {
+    case ScalarOp::kConst:
+      shape->push_back('?');
+      params->push_back(e.constant());
+      return;
+    case ScalarOp::kParam:
+      // Already canonical; keep the slot literal so re-fingerprinting a
+      // canonical tree stays injective (and extracts nothing).
+      shape->append(StrCat("p", e.param_slot()));
+      return;
+    case ScalarOp::kAttrRef:
+      shape->append(StrCat("a", e.side(), ".", e.attr_index(), "."));
+      AppendString(e.attr_name(), shape);
+      return;
+    default:
+      break;
+  }
+  shape->append(StrCat("o", static_cast<int>(e.op()), "("));
+  for (const ScalarExpr& c : e.children()) {
+    FingerprintScalar(c, shape, params);
+    shape->push_back(',');
+  }
+  shape->push_back(')');
+}
+
+void FingerprintNode(const RelExpr& e, std::string* shape,
+                     std::vector<Value>* params) {
+  switch (e.kind()) {
+    case RelExprKind::kRef:
+      shape->append(StrCat("R", static_cast<int>(e.ref_kind()), ":"));
+      AppendString(e.rel_name(), shape);
+      return;  // leaf
+    case RelExprKind::kLiteral:
+      shape->append(StrCat("L", e.literal_arity(), "x",
+                           e.literal_tuples().size()));
+      shape->append(e.literal_param_base() >= 0
+                        ? StrCat("p", e.literal_param_base())
+                        : "?");
+      if (e.literal_param_base() < 0) {
+        for (const Tuple& t : e.literal_tuples()) {
+          for (std::size_t i = 0; i < t.arity(); ++i) {
+            params->push_back(t.at(i));
+          }
+        }
+      }
+      return;  // leaf
+    case RelExprKind::kSelect:
+      shape->append("S[");
+      FingerprintScalar(e.predicate(), shape, params);
+      shape->push_back(']');
+      break;
+    case RelExprKind::kProject:
+      shape->append("P[");
+      for (const ProjectionItem& item : e.projections()) {
+        FingerprintScalar(item.expr, shape, params);
+        shape->push_back('n');
+        AppendString(item.name, shape);
+        shape->push_back(',');
+      }
+      shape->push_back(']');
+      break;
+    case RelExprKind::kProduct:
+      shape->push_back('X');
+      break;
+    case RelExprKind::kJoin:
+    case RelExprKind::kSemiJoin:
+    case RelExprKind::kAntiJoin:
+      shape->append(e.kind() == RelExprKind::kJoin
+                        ? "J["
+                        : e.kind() == RelExprKind::kSemiJoin ? "SJ[" : "AJ[");
+      FingerprintScalar(e.predicate(), shape, params);
+      shape->push_back(']');
+      break;
+    case RelExprKind::kUnion:
+      shape->push_back('U');
+      break;
+    case RelExprKind::kDifference:
+      shape->push_back('D');
+      break;
+    case RelExprKind::kIntersect:
+      shape->push_back('N');
+      break;
+    case RelExprKind::kAggregate: {
+      shape->append(StrCat("A", static_cast<int>(e.agg_func()), ",",
+                           e.agg_attr(), ",g{"));
+      for (int g : e.group_by()) shape->append(StrCat(g, ","));
+      shape->append("}");
+      break;
+    }
+  }
+  shape->push_back('(');
+  for (const RelExprPtr& in : e.inputs()) {
+    FingerprintNode(*in, shape, params);
+    shape->push_back(',');
+  }
+  shape->push_back(')');
+}
+
+ScalarExpr ParameterizeScalar(const ScalarExpr& e,
+                              std::vector<Value>* params) {
+  switch (e.op()) {
+    case ScalarOp::kConst: {
+      const int slot = static_cast<int>(params->size());
+      params->push_back(e.constant());
+      return ScalarExpr::Param(slot);
+    }
+    case ScalarOp::kParam:
+    case ScalarOp::kAttrRef:
+      return e;
+    default:
+      break;
+  }
+  ScalarExpr out = e;
+  for (ScalarExpr& c : out.mutable_children()) {
+    c = ParameterizeScalar(c, params);
+  }
+  return out;
+}
+
+RelExprPtr ParameterizeNode(const RelExpr& e, std::vector<Value>* params) {
+  switch (e.kind()) {
+    case RelExprKind::kRef:
+      return RelExpr::Ref(e.ref_kind(), e.rel_name());
+    case RelExprKind::kLiteral: {
+      if (e.literal_param_base() >= 0) {
+        return RelExpr::ParamLiteral(
+            static_cast<int>(e.literal_tuples().size()), e.literal_arity(),
+            e.literal_param_base());
+      }
+      const int base = static_cast<int>(params->size());
+      for (const Tuple& t : e.literal_tuples()) {
+        for (std::size_t i = 0; i < t.arity(); ++i) {
+          params->push_back(t.at(i));
+        }
+      }
+      return RelExpr::ParamLiteral(
+          static_cast<int>(e.literal_tuples().size()), e.literal_arity(),
+          base);
+    }
+    case RelExprKind::kSelect: {
+      ScalarExpr pred = ParameterizeScalar(e.predicate(), params);
+      return RelExpr::Select(std::move(pred),
+                             ParameterizeNode(*e.left(), params));
+    }
+    case RelExprKind::kProject: {
+      std::vector<ProjectionItem> items;
+      items.reserve(e.projections().size());
+      for (const ProjectionItem& item : e.projections()) {
+        items.push_back(
+            ProjectionItem{ParameterizeScalar(item.expr, params), item.name});
+      }
+      return RelExpr::Project(std::move(items),
+                              ParameterizeNode(*e.left(), params));
+    }
+    case RelExprKind::kProduct: {
+      // Children are sequenced through named locals everywhere below:
+      // builder-argument evaluation order is unspecified, and the slot
+      // contract requires left before right.
+      RelExprPtr left = ParameterizeNode(*e.left(), params);
+      RelExprPtr right = ParameterizeNode(*e.right(), params);
+      return RelExpr::Product(std::move(left), std::move(right));
+    }
+    case RelExprKind::kJoin:
+    case RelExprKind::kSemiJoin:
+    case RelExprKind::kAntiJoin: {
+      ScalarExpr pred = ParameterizeScalar(e.predicate(), params);
+      RelExprPtr left = ParameterizeNode(*e.left(), params);
+      RelExprPtr right = ParameterizeNode(*e.right(), params);
+      if (e.kind() == RelExprKind::kJoin) {
+        return RelExpr::Join(std::move(pred), std::move(left),
+                             std::move(right));
+      }
+      if (e.kind() == RelExprKind::kSemiJoin) {
+        return RelExpr::SemiJoin(std::move(pred), std::move(left),
+                                 std::move(right));
+      }
+      return RelExpr::AntiJoin(std::move(pred), std::move(left),
+                               std::move(right));
+    }
+    case RelExprKind::kUnion: {
+      RelExprPtr left = ParameterizeNode(*e.left(), params);
+      RelExprPtr right = ParameterizeNode(*e.right(), params);
+      return RelExpr::Union(std::move(left), std::move(right));
+    }
+    case RelExprKind::kDifference: {
+      RelExprPtr left = ParameterizeNode(*e.left(), params);
+      RelExprPtr right = ParameterizeNode(*e.right(), params);
+      return RelExpr::Difference(std::move(left), std::move(right));
+    }
+    case RelExprKind::kIntersect: {
+      RelExprPtr left = ParameterizeNode(*e.left(), params);
+      RelExprPtr right = ParameterizeNode(*e.right(), params);
+      return RelExpr::Intersect(std::move(left), std::move(right));
+    }
+    case RelExprKind::kAggregate:
+      if (e.group_by().empty()) {
+        return RelExpr::Aggregate(e.agg_func(), e.agg_attr(),
+                                  ParameterizeNode(*e.left(), params));
+      }
+      return RelExpr::GroupAggregate(e.group_by(), e.agg_func(), e.agg_attr(),
+                                     ParameterizeNode(*e.left(), params));
+  }
+  return RelExpr::Ref(e.ref_kind(), e.rel_name());
+}
+
+}  // namespace
+
+ExprFingerprint FingerprintExpr(const RelExpr& e) {
+  ExprFingerprint fp;
+  fp.shape.reserve(64);
+  FingerprintNode(e, &fp.shape, &fp.params);
+  return fp;
+}
+
+ParameterizedExpr ParameterizeExpr(const RelExpr& e) {
+  ParameterizedExpr out;
+  out.expr = ParameterizeNode(e, &out.params);
+  return out;
+}
+
+}  // namespace txmod::algebra

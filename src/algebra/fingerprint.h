@@ -1,0 +1,55 @@
+#ifndef TXMOD_ALGEBRA_FINGERPRINT_H_
+#define TXMOD_ALGEBRA_FINGERPRINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/algebra/rel_expr.h"
+#include "src/relational/value.h"
+
+namespace txmod::algebra {
+
+/// Structural fingerprint of a RelExpr tree, canonicalizing literal
+/// constants out into parameter slots: two expressions that differ only in
+/// the constants they mention — `select[amount >= 5](fk_rel)` and
+/// `select[amount >= 9](fk_rel)`, or two insert literals with different
+/// tuples of the same count and arity — produce the *same* shape string
+/// and different `params` vectors. Everything else that could change plan
+/// choice or execution semantics (node kinds, reference kinds and names,
+/// attribute indices and names, projection aliases, aggregate specs,
+/// literal dimensions) is encoded into `shape`, so shape equality implies
+/// structural equality modulo constants: a shape-keyed plan cache can
+/// never produce a false hit. The paper's definition-time/enforcement-time
+/// split (Section 6.2) extends this way to ad-hoc statements: analysis is
+/// paid once per statement *shape*, not once per statement.
+///
+/// Slot order is the canonical traversal order (pre-order; predicates and
+/// projection items before inputs; literal tuples row-major), shared with
+/// ParameterizeExpr below — FingerprintExpr(e).params is exactly the
+/// binding vector that evaluates ParameterizeExpr(e).expr to e's value.
+struct ExprFingerprint {
+  std::string shape;
+  std::vector<Value> params;
+};
+
+ExprFingerprint FingerprintExpr(const RelExpr& e);
+
+/// The canonical (parameterized) form of `e`: constants become
+/// ScalarExpr kParam slots, literal relations become RelExpr::ParamLiteral
+/// nodes, and `params` is the binding that makes the canonical tree
+/// evaluate exactly like `e`. Compile the canonical tree once, execute it
+/// under any same-shape statement's binding.
+///
+/// Input must be a plain (parser/translator-produced) tree; kParam nodes
+/// already present are passed through untouched, so canonical trees are
+/// not re-canonicalized.
+struct ParameterizedExpr {
+  RelExprPtr expr;
+  std::vector<Value> params;
+};
+
+ParameterizedExpr ParameterizeExpr(const RelExpr& e);
+
+}  // namespace txmod::algebra
+
+#endif  // TXMOD_ALGEBRA_FINGERPRINT_H_

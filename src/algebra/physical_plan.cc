@@ -147,15 +147,18 @@ class EmptyCursor : public TupleCursor {
 
 class SelectCursor : public TupleCursor {
  public:
-  SelectCursor(Stream child, const ScalarExpr* pred, EvalStats* stats)
-      : child_(std::move(child)), pred_(pred), stats_(stats) {}
+  SelectCursor(Stream child, const ScalarExpr* pred, EvalStats* stats,
+               const std::vector<Value>* params)
+      : child_(std::move(child)), pred_(pred), stats_(stats),
+        params_(params) {}
 
   Result<const Tuple*> Next() override {
     for (;;) {
       TXMOD_ASSIGN_OR_RETURN(const Tuple* t, child_.cursor->Next());
       if (t == nullptr) return t;
       CountScan(stats_, 1);
-      TXMOD_ASSIGN_OR_RETURN(bool keep, pred_->EvalPredicate(t, nullptr));
+      TXMOD_ASSIGN_OR_RETURN(bool keep,
+                             pred_->EvalPredicate(t, nullptr, params_));
       if (keep) {
         CountEmit(stats_, 1);
         return t;
@@ -167,15 +170,17 @@ class SelectCursor : public TupleCursor {
   Stream child_;
   const ScalarExpr* pred_;
   EvalStats* stats_;
+  const std::vector<Value>* params_;
 };
 
 class ProjectCursor : public TupleCursor {
  public:
   ProjectCursor(Stream child, const std::vector<ProjectionItem>* items,
-                EvalStats* stats)
+                EvalStats* stats, const std::vector<Value>* params)
       : child_(std::move(child)),
         items_(items),
         stats_(stats),
+        params_(params),
         scratch_(std::vector<Value>(items->size())) {}
 
   Result<const Tuple*> Next() override {
@@ -183,7 +188,8 @@ class ProjectCursor : public TupleCursor {
     if (t == nullptr) return t;
     CountScan(stats_, 1);
     for (std::size_t i = 0; i < items_->size(); ++i) {
-      TXMOD_ASSIGN_OR_RETURN(Value v, (*items_)[i].expr.EvalValue(t, nullptr));
+      TXMOD_ASSIGN_OR_RETURN(
+          Value v, (*items_)[i].expr.EvalValue(t, nullptr, params_));
       scratch_.at(i) = std::move(v);
     }
     CountEmit(stats_, 1);
@@ -194,6 +200,7 @@ class ProjectCursor : public TupleCursor {
   Stream child_;
   const std::vector<ProjectionItem>* items_;
   EvalStats* stats_;
+  const std::vector<Value>* params_;
   Tuple scratch_;
 };
 
@@ -255,7 +262,8 @@ class HashJoinCursor : public TupleCursor {
   HashJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
                  RelHandle right, const RelationIndex* index,
                  std::vector<int> lattrs, std::vector<int> rattrs,
-                 std::size_t out_arity, EvalStats* stats)
+                 std::size_t out_arity, EvalStats* stats,
+                 const std::vector<Value>* params)
       : kind_(kind),
         pred_(pred),
         left_(std::move(left)),
@@ -263,6 +271,7 @@ class HashJoinCursor : public TupleCursor {
         index_(index),
         lattrs_(std::move(lattrs)),
         stats_(stats),
+        params_(params),
         scratch_(std::vector<Value>(out_arity)) {
     if (index_ == nullptr) {
       own_table_.reserve(right_.get().size());
@@ -278,7 +287,8 @@ class HashJoinCursor : public TupleCursor {
         while (it_ != end_) {
           const Tuple* rt = it_->second;
           ++it_;
-          TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, rt));
+          TXMOD_ASSIGN_OR_RETURN(bool match,
+                                 pred_->EvalPredicate(lt_, rt, params_));
           if (match) {
             FillScratch(&scratch_, *rt, lt_->arity());
             CountEmit(stats_, 1);
@@ -302,8 +312,8 @@ class HashJoinCursor : public TupleCursor {
       }
       bool matched = false;
       for (auto it = begin; it != end; ++it) {
-        TXMOD_ASSIGN_OR_RETURN(bool match,
-                               pred_->EvalPredicate(lt_, it->second));
+        TXMOD_ASSIGN_OR_RETURN(
+            bool match, pred_->EvalPredicate(lt_, it->second, params_));
         if (match) {
           matched = true;
           break;
@@ -324,6 +334,7 @@ class HashJoinCursor : public TupleCursor {
   const RelationIndex* index_;
   std::vector<int> lattrs_;
   EvalStats* stats_;
+  const std::vector<Value>* params_;
   RelationIndex::Map own_table_;
   Tuple scratch_;
   const Tuple* lt_ = nullptr;
@@ -344,7 +355,8 @@ class IndexLookupJoinCursor : public TupleCursor {
   IndexLookupJoinCursor(RelExprKind kind, const ScalarExpr* pred,
                         const RelationIndex* index, Stream right,
                         std::vector<int> rattrs, std::size_t left_arity,
-                        std::size_t out_arity, EvalStats* stats)
+                        std::size_t out_arity, EvalStats* stats,
+                        const std::vector<Value>* params)
       : kind_(kind),
         pred_(pred),
         index_(index),
@@ -352,6 +364,7 @@ class IndexLookupJoinCursor : public TupleCursor {
         rattrs_(std::move(rattrs)),
         left_arity_(left_arity),
         stats_(stats),
+        params_(params),
         scratch_(std::vector<Value>(out_arity)) {}
 
   Result<const Tuple*> Next() override {
@@ -359,7 +372,8 @@ class IndexLookupJoinCursor : public TupleCursor {
       while (it_ != end_) {
         const Tuple* lt = it_->second;
         ++it_;
-        TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt, rt_));
+        TXMOD_ASSIGN_OR_RETURN(bool match,
+                               pred_->EvalPredicate(lt, rt_, params_));
         if (!match) continue;
         CountEmit(stats_, 1);
         if (kind_ == RelExprKind::kSemiJoin) return lt;
@@ -385,6 +399,7 @@ class IndexLookupJoinCursor : public TupleCursor {
   std::vector<int> rattrs_;
   std::size_t left_arity_;
   EvalStats* stats_;
+  const std::vector<Value>* params_;
   Tuple scratch_;
   const Tuple* rt_ = nullptr;
   RelationIndex::Iterator it_;
@@ -396,12 +411,14 @@ class IndexLookupJoinCursor : public TupleCursor {
 class NestedJoinCursor : public TupleCursor {
  public:
   NestedJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
-                   RelHandle right, std::size_t out_arity, EvalStats* stats)
+                   RelHandle right, std::size_t out_arity, EvalStats* stats,
+                   const std::vector<Value>* params)
       : kind_(kind),
         pred_(pred),
         left_(std::move(left)),
         right_(std::move(right)),
         stats_(stats),
+        params_(params),
         scratch_(std::vector<Value>(out_arity)) {}
 
   Result<const Tuple*> Next() override {
@@ -410,7 +427,8 @@ class NestedJoinCursor : public TupleCursor {
         while (rit_ != right_.get().end()) {
           const Tuple* rt = &*rit_;
           ++rit_;
-          TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, rt));
+          TXMOD_ASSIGN_OR_RETURN(bool match,
+                                 pred_->EvalPredicate(lt_, rt, params_));
           if (match) {
             FillScratch(&scratch_, *rt, lt_->arity());
             CountEmit(stats_, 1);
@@ -428,7 +446,8 @@ class NestedJoinCursor : public TupleCursor {
       }
       bool matched = false;
       for (const Tuple& rt : right_.get()) {
-        TXMOD_ASSIGN_OR_RETURN(bool match, pred_->EvalPredicate(lt_, &rt));
+        TXMOD_ASSIGN_OR_RETURN(bool match,
+                               pred_->EvalPredicate(lt_, &rt, params_));
         if (match) {
           matched = true;
           break;
@@ -447,6 +466,7 @@ class NestedJoinCursor : public TupleCursor {
   Stream left_;
   RelHandle right_;
   EvalStats* stats_;
+  const std::vector<Value>* params_;
   Tuple scratch_;
   const Tuple* lt_ = nullptr;
   Relation::ConstIterator rit_;
@@ -703,8 +723,9 @@ std::unique_ptr<PhysicalNode> CompileNode(const RelExpr& e) {
 
 class PlanExecutor {
  public:
-  PlanExecutor(const EvalContext& ctx, EvalStats* stats)
-      : ctx_(ctx), stats_(stats) {}
+  PlanExecutor(const EvalContext& ctx, EvalStats* stats,
+               const std::vector<Value>* params)
+      : ctx_(ctx), stats_(stats), params_(params) {}
 
   Result<Relation> Evaluate(const PhysicalNode& n) {
     // Nodes that are whole relations already (references) or inherently
@@ -738,8 +759,8 @@ class PlanExecutor {
       }
       case PhysOpKind::kLiteral: {
         CountOperator(stats_);
-        TXMOD_ASSIGN_OR_RETURN(Relation out,
-                               MaterializeLiteral(*n.logical, stats_));
+        TXMOD_ASSIGN_OR_RETURN(
+            Relation out, MaterializeLiteral(*n.logical, stats_, params_));
         return RelHandle::Owned(std::move(out));
       }
       case PhysOpKind::kAggregate: {
@@ -792,8 +813,8 @@ class PlanExecutor {
     Stream s;
     s.schema = in.schema;
     s.unique = in.unique;
-    s.cursor = std::make_unique<SelectCursor>(std::move(in),
-                                              &n.logical->predicate(), stats_);
+    s.cursor = std::make_unique<SelectCursor>(
+        std::move(in), &n.logical->predicate(), stats_, params_);
     return s;
   }
 
@@ -804,13 +825,15 @@ class PlanExecutor {
     std::vector<Attribute> attrs;
     attrs.reserve(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) {
-      attrs.push_back(Attribute{ProjectionItemName(items[i], *in.schema, i),
-                                InferScalarType(items[i].expr, *in.schema)});
+      attrs.push_back(
+          Attribute{ProjectionItemName(items[i], *in.schema, i),
+                    InferScalarType(items[i].expr, *in.schema, params_)});
     }
     Stream s;
     s.schema = MakeSchema(std::move(attrs));
     s.unique = false;  // distinct inputs may project to the same output
-    s.cursor = std::make_unique<ProjectCursor>(std::move(in), &items, stats_);
+    s.cursor = std::make_unique<ProjectCursor>(std::move(in), &items, stats_,
+                                               params_);
     return s;
   }
 
@@ -871,12 +894,12 @@ class PlanExecutor {
       if (index == nullptr) CountScan(stats_, r.size());
       s.cursor = std::make_unique<HashJoinCursor>(
           e.kind(), &e.predicate(), std::move(l), std::move(right), index,
-          n.left_keys, n.right_keys, out_arity, stats_);
+          n.left_keys, n.right_keys, out_arity, stats_, params_);
     } else {
       CountScan(stats_, r.size());
       s.cursor = std::make_unique<NestedJoinCursor>(
           e.kind(), &e.predicate(), std::move(l), std::move(right),
-          out_arity, stats_);
+          out_arity, stats_, params_);
     }
     return s;
   }
@@ -905,7 +928,7 @@ class PlanExecutor {
     const std::size_t left_arity = base->arity();
     s.cursor = std::make_unique<IndexLookupJoinCursor>(
         e.kind(), &e.predicate(), index, std::move(r), n.right_keys,
-        left_arity, out_arity, stats_);
+        left_arity, out_arity, stats_, params_);
     return s;
   }
 
@@ -1084,6 +1107,7 @@ class PlanExecutor {
 
   const EvalContext& ctx_;
   EvalStats* stats_;
+  const std::vector<Value>* params_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1128,7 +1152,20 @@ void ExplainNode(const PhysicalNode& n, int depth, std::string* out) {
                          e.rel_name(), "]"));
       break;
     case PhysOpKind::kLiteral:
-      out->append(StrCat("literal[", e.literal_tuples().size(), " tuples]"));
+      if (e.literal_param_base() >= 0 && !e.literal_tuples().empty()) {
+        // Parameter-slot annotation: a canonical literal names the slot
+        // range its values bind from, so Explain() shows what varies
+        // between same-shape statements. (A zero-tuple literal binds no
+        // slots — no range to print.)
+        const int n_slots =
+            static_cast<int>(e.literal_tuples().size()) * e.literal_arity();
+        out->append(StrCat("literal[", e.literal_tuples().size(),
+                           " tuples, params ?", e.literal_param_base(), "..?",
+                           e.literal_param_base() + n_slots - 1, "]"));
+      } else {
+        out->append(StrCat("literal[", e.literal_tuples().size(),
+                           " tuples]"));
+      }
       break;
     case PhysOpKind::kSelect:
       out->append(StrCat("select[", e.predicate().ToString(), "]"));
@@ -1262,14 +1299,29 @@ Result<PhysicalPlan> PhysicalPlan::Compile(RelExprPtr expr) {
   return plan;
 }
 
+Result<PhysicalPlan> PhysicalPlan::Compile(RelExprPtr expr, int num_params) {
+  TXMOD_ASSIGN_OR_RETURN(PhysicalPlan plan, Compile(std::move(expr)));
+  plan.num_params_ = num_params;
+  return plan;
+}
+
 Result<Relation> PhysicalPlan::Execute(const EvalContext& ctx,
-                                       EvalStats* stats) const {
-  PlanExecutor exec(ctx, stats);
+                                       EvalStats* stats,
+                                       const std::vector<Value>* params) const {
+  if (num_params_ > 0 &&
+      (params == nullptr ||
+       params->size() < static_cast<std::size_t>(num_params_))) {
+    return Status::Internal(
+        StrCat("plan expects ", num_params_, " parameter(s), ",
+               params == nullptr ? 0 : params->size(), " bound"));
+  }
+  PlanExecutor exec(ctx, stats, params);
   return exec.Evaluate(*root_);
 }
 
 std::string PhysicalPlan::Explain() const {
   std::string out;
+  if (num_params_ > 0) out.append(StrCat("params: ", num_params_, "\n"));
   ExplainNode(*root_, 0, &out);
   return out;
 }
@@ -1284,11 +1336,43 @@ std::vector<PhysicalPlan::IndexRequest> PhysicalPlan::IndexRequests() const {
 // Shared eager kernels: literals and fragment-local operator execution.
 // ---------------------------------------------------------------------------
 
-Result<Relation> MaterializeLiteral(const RelExpr& e, EvalStats* stats) {
+Result<Relation> MaterializeLiteral(const RelExpr& e, EvalStats* stats,
+                                    const std::vector<Value>* params) {
+  // A canonical literal reads its values out of the binding vector
+  // (row-major from literal_param_base) instead of its placeholder
+  // tuples, so one cached plan materializes every same-shape statement's
+  // tuples. Types are inferred from the *bound* values, exactly as a
+  // fresh compile of the statement would infer them from its constants.
+  std::vector<Tuple> bound;
+  if (e.literal_param_base() >= 0) {
+    if (params == nullptr) {
+      return Status::Internal(
+          "parameterized literal evaluated without a binding");
+    }
+    const std::size_t arity = static_cast<std::size_t>(e.literal_arity());
+    const std::size_t base = static_cast<std::size_t>(e.literal_param_base());
+    const std::size_t needed = e.literal_tuples().size() * arity;
+    if (params->size() < base + needed) {
+      return Status::Internal(
+          StrCat("parameterized literal needs slots ?", base, "..?",
+                 base + needed - 1, ", ", params->size(), " bound"));
+    }
+    bound.reserve(e.literal_tuples().size());
+    for (std::size_t i = 0; i < e.literal_tuples().size(); ++i) {
+      std::vector<Value> row(params->begin() +
+                                 static_cast<std::ptrdiff_t>(base + i * arity),
+                             params->begin() +
+                                 static_cast<std::ptrdiff_t>(base +
+                                                             (i + 1) * arity));
+      bound.push_back(Tuple(std::move(row)));
+    }
+  }
+  const std::vector<Tuple>& tuples =
+      e.literal_param_base() >= 0 ? bound : e.literal_tuples();
   // Every tuple's arity is validated before the schema-inference loop
   // below reads attribute i of arbitrary tuples: a short tuple used to
   // be an out-of-bounds read.
-  for (const Tuple& t : e.literal_tuples()) {
+  for (const Tuple& t : tuples) {
     if (static_cast<int>(t.arity()) != e.literal_arity()) {
       return Status::InvalidArgument(
           StrCat("literal tuple ", t.ToString(), " has arity ", t.arity(),
@@ -1299,7 +1383,7 @@ Result<Relation> MaterializeLiteral(const RelExpr& e, EvalStats* stats) {
   for (int i = 0; i < e.literal_arity(); ++i) {
     const std::size_t col = static_cast<std::size_t>(i);
     AttrType type = AttrType::kString;
-    for (const Tuple& t : e.literal_tuples()) {
+    for (const Tuple& t : tuples) {
       if (!t.at(col).is_null()) {
         type = ValueAttrType(t.at(col));
         break;
@@ -1308,7 +1392,7 @@ Result<Relation> MaterializeLiteral(const RelExpr& e, EvalStats* stats) {
     attrs.push_back(Attribute{StrCat("c", i), type});
   }
   Relation out(MakeSchema(std::move(attrs)));
-  for (const Tuple& t : e.literal_tuples()) {
+  for (const Tuple& t : tuples) {
     out.Insert(t);
   }
   CountEmit(stats, out.size());
@@ -1316,7 +1400,8 @@ Result<Relation> MaterializeLiteral(const RelExpr& e, EvalStats* stats) {
 }
 
 Result<Relation> ExecuteNodeLocal(const PhysicalNode& n, const Relation& left,
-                                  const Relation* right, EvalStats* stats) {
+                                  const Relation* right, EvalStats* stats,
+                                  const std::vector<Value>* params) {
   const RelExpr& e = *n.logical;
   auto scan = [](const Relation& rel) {
     Stream s;
@@ -1330,7 +1415,7 @@ Result<Relation> ExecuteNodeLocal(const PhysicalNode& n, const Relation& left,
     case PhysOpKind::kSelect: {
       s.schema = left.schema_ptr();
       s.cursor = std::make_unique<SelectCursor>(scan(left), &e.predicate(),
-                                                stats);
+                                                stats, params);
       break;
     }
     case PhysOpKind::kProject: {
@@ -1340,10 +1425,11 @@ Result<Relation> ExecuteNodeLocal(const PhysicalNode& n, const Relation& left,
       for (std::size_t i = 0; i < items.size(); ++i) {
         attrs.push_back(Attribute{ProjectionItemName(items[i], left.schema(), i),
                                   InferScalarType(items[i].expr,
-                                                  left.schema())});
+                                                  left.schema(), params)});
       }
       s.schema = MakeSchema(std::move(attrs));
-      s.cursor = std::make_unique<ProjectCursor>(scan(left), &items, stats);
+      s.cursor = std::make_unique<ProjectCursor>(scan(left), &items, stats,
+                                                 params);
       break;
     }
     case PhysOpKind::kProduct: {
@@ -1371,11 +1457,12 @@ Result<Relation> ExecuteNodeLocal(const PhysicalNode& n, const Relation& left,
       if (!n.right_keys.empty()) {
         s.cursor = std::make_unique<HashJoinCursor>(
             e.kind(), &e.predicate(), scan(left), RelHandle::Borrowed(right),
-            /*index=*/nullptr, n.left_keys, n.right_keys, out_arity, stats);
+            /*index=*/nullptr, n.left_keys, n.right_keys, out_arity, stats,
+            params);
       } else {
         s.cursor = std::make_unique<NestedJoinCursor>(
             e.kind(), &e.predicate(), scan(left), RelHandle::Borrowed(right),
-            out_arity, stats);
+            out_arity, stats, params);
       }
       break;
     }
@@ -1531,6 +1618,76 @@ Result<const PhysicalPlan*> PlanCache::GetOrCompile(const RelExprPtr& expr) {
 const PhysicalPlan* PlanCache::Lookup(const RelExpr* expr) const {
   auto it = plans_.find(expr);
   return it != plans_.end() ? it->second.get() : nullptr;
+}
+
+Result<BoundPlan> PlanCache::GetOrCompileShaped(const RelExpr& expr,
+                                                EvalStats* stats) {
+  ExprFingerprint fp = FingerprintExpr(expr);
+  BoundPlan out;
+  out.params = std::move(fp.params);
+
+  auto it = shaped_.find(fp.shape);
+  if (it != shaped_.end()) {
+    ++shape_hits_;
+    if (stats != nullptr) ++stats->plan_cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    out.plan = it->second.plan.get();
+    out.cache_hit = true;
+    return out;
+  }
+
+  ++shape_misses_;
+  if (stats != nullptr) ++stats->plan_cache_misses;
+  // Miss: canonicalize and compile once for this shape. The canonical
+  // tree's own params are discarded — `out.params` (this statement's
+  // constants) is the binding every execution supplies.
+  ParameterizedExpr canonical = ParameterizeExpr(expr);
+  TXMOD_ASSIGN_OR_RETURN(
+      PhysicalPlan plan,
+      PhysicalPlan::Compile(std::move(canonical.expr),
+                            static_cast<int>(canonical.params.size())));
+  auto owned = std::make_unique<PhysicalPlan>(std::move(plan));
+  if (shape_capacity_ == 0) {
+    out.owned = std::shared_ptr<const PhysicalPlan>(std::move(owned));
+    out.plan = out.owned.get();  // not retained; caller keeps it alive
+    return out;
+  }
+  lru_.push_front(fp.shape);
+  ShapedEntry entry;
+  entry.plan = std::move(owned);
+  entry.lru_pos = lru_.begin();
+  out.plan = entry.plan.get();
+  shaped_.emplace(std::move(fp.shape), std::move(entry));
+  EvictOverCapacity(stats);
+  return out;
+}
+
+void PlanCache::EvictOverCapacity(EvalStats* stats) {
+  while (shaped_.size() > shape_capacity_ && !lru_.empty()) {
+    // The newly inserted entry is at the LRU front and is never the one
+    // evicted (capacity >= 1 here), so the pointer just handed out stays
+    // valid for the current execution.
+    shaped_.erase(lru_.back());
+    lru_.pop_back();
+    ++shape_evictions_;
+    if (stats != nullptr) ++stats->plan_cache_evictions;
+  }
+}
+
+void PlanCache::InvalidateShapes() {
+  shaped_.clear();
+  lru_.clear();
+}
+
+void PlanCache::set_shape_capacity(std::size_t capacity) {
+  shape_capacity_ = capacity;
+  EvictOverCapacity(nullptr);
+}
+
+void PlanCache::Clear() {
+  plans_.clear();
+  InvalidateShapes();
+  shape_hits_ = shape_misses_ = shape_evictions_ = 0;
 }
 
 std::vector<const PhysicalPlan*> PlanCache::Plans() const {

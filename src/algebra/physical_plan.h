@@ -2,6 +2,7 @@
 #define TXMOD_ALGEBRA_PHYSICAL_PLAN_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <optional>
 #include <string>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "src/algebra/eval_context.h"
+#include "src/algebra/fingerprint.h"
 #include "src/algebra/rel_expr.h"
 #include "src/common/result.h"
 #include "src/relational/relation.h"
@@ -77,18 +79,29 @@ class PhysicalPlan {
   static Result<PhysicalPlan> Compile(const RelExpr& expr);
   /// Owning compile: the plan keeps the expression tree alive.
   static Result<PhysicalPlan> Compile(RelExprPtr expr);
+  /// Owning compile of a canonical (parameterized) tree expecting
+  /// `num_params` binding slots; Execute then requires a binding of at
+  /// least that size.
+  static Result<PhysicalPlan> Compile(RelExprPtr expr, int num_params);
 
   PhysicalPlan(PhysicalPlan&&) = default;
   PhysicalPlan& operator=(PhysicalPlan&&) = default;
 
   const PhysicalNode& root() const { return *root_; }
 
+  /// Parameter slots the plan's canonical expression expects; 0 for plans
+  /// compiled from plain trees.
+  int num_params() const { return num_params_; }
+
   /// Serial execution: runs the plan as a pull-based cursor pipeline
   /// against the relations supplied by `ctx`, materializing only at
   /// pipeline breakers and the final result. See EvaluateRelExpr
-  /// (evaluator.h) for the operator and stats contracts.
+  /// (evaluator.h) for the operator and stats contracts. `params` binds
+  /// the plan's parameter slots; required (and length-checked) when
+  /// num_params() > 0.
   Result<Relation> Execute(const EvalContext& ctx,
-                           EvalStats* stats = nullptr) const;
+                           EvalStats* stats = nullptr,
+                           const std::vector<Value>* params = nullptr) const;
 
   /// Human-readable operator-tree dump, one node per line, children
   /// indented. Tests pin plan choices against this.
@@ -112,6 +125,7 @@ class PhysicalPlan {
 
   RelExprPtr owned_;  // null for borrowing compiles
   std::unique_ptr<PhysicalNode> root_;
+  int num_params_ = 0;
 };
 
 /// Executes the single operator `node` over already-materialized inputs —
@@ -121,17 +135,22 @@ class PhysicalPlan {
 /// same cursor implementations as serial execution; join-like nodes build
 /// a transient hash table over `right` (fragments carry no declared
 /// indexes, so index variants fall back to their hash equivalents).
-/// Thread-safe for concurrent calls on disjoint outputs: inputs are only
-/// read.
+/// `params` binds parameter slots of canonical (shape-cached) plans.
+/// Thread-safe for concurrent calls on disjoint outputs: inputs and
+/// params are only read.
 Result<Relation> ExecuteNodeLocal(const PhysicalNode& node,
                                   const Relation& left,
                                   const Relation* right,
-                                  EvalStats* stats = nullptr);
+                                  EvalStats* stats = nullptr,
+                                  const std::vector<Value>* params = nullptr);
 
 /// Materializes a literal node (validates per-tuple arity, infers column
-/// types). Shared by both engines.
+/// types). Shared by both engines. A canonical literal
+/// (literal_param_base() >= 0) materializes from `params` instead of its
+/// placeholder tuples; `params` must then cover its slots.
 Result<Relation> MaterializeLiteral(const RelExpr& e,
-                                    EvalStats* stats = nullptr);
+                                    EvalStats* stats = nullptr,
+                                    const std::vector<Value>* params = nullptr);
 
 /// Partial state of a scalar aggregate, mergeable across fragments: each
 /// node accumulates locally, the coordinator merges and finalizes.
@@ -158,30 +177,110 @@ Result<AggPartial> AggregateLocal(const PhysicalNode& node,
                                   const Relation& input,
                                   EvalStats* stats = nullptr);
 
+/// A compiled plan bound to one statement's constants: the result of a
+/// shaped cache lookup. `plan` is owned by the cache — valid until the
+/// next shaped lookup, which may evict it — except when the cache chose
+/// not to retain it (capacity 0), in which case `owned` keeps it alive for
+/// this use. `params` is this statement's binding vector for the plan's
+/// parameter slots.
+struct BoundPlan {
+  const PhysicalPlan* plan = nullptr;
+  std::vector<Value> params;
+  bool cache_hit = false;
+  std::shared_ptr<const PhysicalPlan> owned;  // null when cache-resident
+};
+
 /// Finalizes a (merged) partial into the aggregate's result value.
 Result<Value> FinalizeAggregate(const AggPartial& acc, AggFunc func);
 
-/// A cache of compiled plans keyed by the identity of the logical
-/// expression. Entries own their expression trees (RelExprPtr), so keys
-/// can never dangle or be reused while cached. The integrity subsystem
-/// populates one per rule-set recompile; ExecuteTransaction consults it
-/// so integrity checks never recompile per transaction.
+/// The per-subsystem plan cache, with two keying disciplines:
+///
+///  * an *identity* side for definition-time integrity-check plans:
+///    keyed by expression pointer, pinned (never evicted), populated once
+///    per rule-set recompile. Entries own their expression trees
+///    (RelExprPtr), so keys can never dangle or be reused while cached.
+///    ExecuteTransaction consults it first, so integrity checks never
+///    recompile — or even fingerprint — per transaction.
+///
+///  * a *shaped* side for ad-hoc statements: keyed by the structural
+///    fingerprint (fingerprint.h), which canonicalizes constants into
+///    parameter slots, so two statements differing only in literals hit
+///    the same compiled plan under different binding vectors. Bounded by
+///    `shape_capacity` with least-recently-used eviction, so millions of
+///    distinct ad-hoc shapes cannot grow it without bound.
+///
+/// Lookups mutate the cache (compile-on-miss, LRU bookkeeping); callers
+/// must serialize access. The subsystem rebuilds the whole cache on every
+/// rule definition/drop, which is also what invalidates stale shaped
+/// entries (tests/plan_cache_test.cc pins this).
 class PlanCache {
  public:
-  /// The cached plan for `expr`, compiling and inserting on first use.
+  /// The pinned (identity-side) plan for `expr`, compiling and inserting
+  /// on first use.
   Result<const PhysicalPlan*> GetOrCompile(const RelExprPtr& expr);
 
-  /// The cached plan for `expr`, or nullptr (never compiles).
+  /// The pinned plan for `expr`, or nullptr (never compiles).
   const PhysicalPlan* Lookup(const RelExpr* expr) const;
 
-  /// Every cached plan (index-request collection).
+  /// The shaped-side plan for `expr`'s structural fingerprint, bound to
+  /// `expr`'s constants: fingerprints, then reuses the cached canonical
+  /// plan (hit) or parameterizes + compiles + inserts (miss), evicting the
+  /// least recently used shape beyond capacity. `stats` (optional)
+  /// receives the hit/miss/eviction counts of this lookup.
+  Result<BoundPlan> GetOrCompileShaped(const RelExpr& expr,
+                                       EvalStats* stats = nullptr);
+
+  /// Every pinned plan (index-request collection).
   std::vector<const PhysicalPlan*> Plans() const;
 
   std::size_t size() const { return plans_.size(); }
-  void Clear() { plans_.clear(); }
+  std::size_t shape_size() const { return shaped_.size(); }
+  void Clear();
+
+  /// Drops every shaped entry (rule-set or physical-design change).
+  void InvalidateShapes();
+
+  /// Caps the shaped side; lowering below the current size evicts
+  /// immediately. Capacity 0 disables shaped caching (every lookup
+  /// compiles fresh and nothing is retained) — the oracle tests' fresh-
+  /// compile-every-statement mode.
+  void set_shape_capacity(std::size_t capacity);
+  std::size_t shape_capacity() const { return shape_capacity_; }
+
+  /// Cumulative shaped-side traffic since construction/Clear.
+  uint64_t shape_hits() const { return shape_hits_; }
+  uint64_t shape_misses() const { return shape_misses_; }
+  uint64_t shape_evictions() const { return shape_evictions_; }
+
+  /// Records a statement that compiled fresh without consulting the
+  /// shaped side (a caller-implemented bypass of a disabled cache). Keeps
+  /// shape_misses() an honest "statements that had to compile" total
+  /// across engines whether they bypass or route capacity-0 lookups
+  /// through GetOrCompileShaped.
+  void CountBypassedMiss(EvalStats* stats) {
+    ++shape_misses_;
+    if (stats != nullptr) ++stats->plan_cache_misses;
+  }
 
  private:
+  struct ShapedEntry {
+    std::unique_ptr<PhysicalPlan> plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void EvictOverCapacity(EvalStats* stats);
+
   std::unordered_map<const RelExpr*, std::unique_ptr<PhysicalPlan>> plans_;
+
+  std::unordered_map<std::string, ShapedEntry> shaped_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::size_t shape_capacity_ = kDefaultShapeCapacity;
+  uint64_t shape_hits_ = 0;
+  uint64_t shape_misses_ = 0;
+  uint64_t shape_evictions_ = 0;
+
+ public:
+  static constexpr std::size_t kDefaultShapeCapacity = 1024;
 };
 
 }  // namespace txmod::algebra

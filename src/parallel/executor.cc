@@ -65,12 +65,15 @@ constexpr std::size_t U(int node) { return static_cast<std::size_t>(node); }
 
 class ParallelExecutor::Impl {
  public:
-  Impl(ParallelDatabase* db, const ParallelOptions& options)
+  Impl(ParallelDatabase* db, const ParallelOptions& options,
+       algebra::PlanCache* plan_cache)
       : db_(db),
         options_(options),
+        plan_cache_(plan_cache),
         nodes_(db->num_nodes()),
         width_(U(db->num_nodes())),
-        result_{false, "", ParallelStats(db->num_nodes())} {}
+        result_{false, "", ParallelStats(db->num_nodes()),
+                algebra::EvalStats{}} {}
 
   Result<ParallelTxnResult> Run(const algebra::Transaction& txn) {
     for (const Statement& stmt : txn.program.statements) {
@@ -249,15 +252,38 @@ class ParallelExecutor::Impl {
 
   // --- expression evaluation -------------------------------------------------
 
-  /// Compiles `e` to the same physical plan the serial engine runs, then
-  /// evaluates it bottom-up: this executor decides *where* each operator's
-  /// work happens (alignment, redistribution, broadcast — charged to the
-  /// cost model), and the shared fragment-local kernels
-  /// (algebra::ExecuteNodeLocal) decide *how* a fragment's tuples are
-  /// joined, filtered, and projected.
+  /// Evaluates `e` through the executor's shape-keyed plan cache: the
+  /// same physical plan the serial engine runs, compiled once per
+  /// statement *shape* and reused under this statement's constant binding
+  /// — this executor decides *where* each operator's work happens
+  /// (alignment, redistribution, broadcast — charged to the cost model),
+  /// and the shared fragment-local kernels (algebra::ExecuteNodeLocal)
+  /// decide *how* a fragment's tuples are joined, filtered, and
+  /// projected. The distribution decisions ride with the cached tree:
+  /// redistribution keys and the partition-vs-broadcast choice are read
+  /// off the plan nodes' equality-key metadata, so a cache hit skips
+  /// re-deriving them as well.
   Result<FragRel> EvalExpr(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(PhysicalPlan plan, PhysicalPlan::Compile(e));
-    return Eval(plan.root());
+    if (plan_cache_ == nullptr || plan_cache_->shape_capacity() == 0) {
+      // Reference mode: one-shot compile of the statement's own tree
+      // (not even canonicalized — the oracle tests diff the cached
+      // engine against this as an independent implementation).
+      if (plan_cache_ != nullptr) {
+        plan_cache_->CountBypassedMiss(&result_.eval_stats);
+      } else {
+        ++result_.eval_stats.plan_cache_misses;
+      }
+      TXMOD_ASSIGN_OR_RETURN(PhysicalPlan plan, PhysicalPlan::Compile(e));
+      cur_params_ = nullptr;
+      return Eval(plan.root());
+    }
+    TXMOD_ASSIGN_OR_RETURN(
+        algebra::BoundPlan bound,
+        plan_cache_->GetOrCompileShaped(e, &result_.eval_stats));
+    cur_params_ = &bound.params;
+    Result<FragRel> out = Eval(bound.plan->root());
+    cur_params_ = nullptr;
+    return out;
   }
 
   Result<FragRel> Eval(const PhysicalNode& n) {
@@ -351,7 +377,9 @@ class ParallelExecutor::Impl {
   }
 
   Result<FragRel> EvalLiteral(const RelExpr& e) {
-    TXMOD_ASSIGN_OR_RETURN(Relation lit, algebra::MaterializeLiteral(e));
+    TXMOD_ASSIGN_OR_RETURN(
+        Relation lit,
+        algebra::MaterializeLiteral(e, &result_.eval_stats, cur_params_));
     FragRel out;
     for (std::size_t i = 0; i < width_; ++i) {
       out.frags.emplace_back(lit.schema_ptr());
@@ -420,13 +448,16 @@ class ParallelExecutor::Impl {
     }
     std::vector<uint64_t> scanned(width_);
     for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
+    std::vector<algebra::EvalStats> node_stats(width_);
     TXMOD_RETURN_IF_ERROR(
         ParallelPhase(scanned, [&](std::size_t i) -> Status {
           TXMOD_ASSIGN_OR_RETURN(
               out.frags[i],
-              algebra::ExecuteNodeLocal(n, in.frags[i], nullptr));
+              algebra::ExecuteNodeLocal(n, in.frags[i], nullptr,
+                                        &node_stats[i], cur_params_));
           return Status::OK();
         }));
+    MergeNodeStats(node_stats);
     return out;
   }
 
@@ -523,13 +554,16 @@ class ParallelExecutor::Impl {
     for (std::size_t i = 0; i < width_; ++i) {
       scanned[i] = l.frags[i].size() + r.frags[i].size();
     }
+    std::vector<algebra::EvalStats> node_stats(width_);
     TXMOD_RETURN_IF_ERROR(
         ParallelPhase(scanned, [&](std::size_t i) -> Status {
           TXMOD_ASSIGN_OR_RETURN(
               out.frags[i],
-              algebra::ExecuteNodeLocal(n, l.frags[i], &r.frags[i]));
+              algebra::ExecuteNodeLocal(n, l.frags[i], &r.frags[i],
+                                        &node_stats[i], cur_params_));
           return Status::OK();
         }));
+    MergeNodeStats(node_stats);
     return out;
   }
 
@@ -594,13 +628,16 @@ class ParallelExecutor::Impl {
     for (std::size_t i = 0; i < width_; ++i) {
       scanned[i] = l.frags[i].size() + r.frags[i].size();
     }
+    std::vector<algebra::EvalStats> node_stats(width_);
     TXMOD_RETURN_IF_ERROR(
         ParallelPhase(scanned, [&](std::size_t i) -> Status {
           TXMOD_ASSIGN_OR_RETURN(
               out.frags[i],
-              algebra::ExecuteNodeLocal(n, l.frags[i], &r.frags[i]));
+              algebra::ExecuteNodeLocal(n, l.frags[i], &r.frags[i],
+                                        &node_stats[i], cur_params_));
           return Status::OK();
         }));
+    MergeNodeStats(node_stats);
     return out;
   }
 
@@ -622,12 +659,15 @@ class ParallelExecutor::Impl {
     std::vector<AggPartial> partials(width_);
     std::vector<uint64_t> scanned(width_);
     for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
+    std::vector<algebra::EvalStats> node_stats(width_);
     TXMOD_RETURN_IF_ERROR(
         ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          TXMOD_ASSIGN_OR_RETURN(partials[i],
-                                 algebra::AggregateLocal(n, in.frags[i]));
+          TXMOD_ASSIGN_OR_RETURN(
+              partials[i],
+              algebra::AggregateLocal(n, in.frags[i], &node_stats[i]));
           return Status::OK();
         }));
+    MergeNodeStats(node_stats);
     result_.stats.AddPhase(std::vector<uint64_t>(width_, 0),
                            static_cast<uint64_t>(width_ - 1),
                            width_ > 1 ? static_cast<uint64_t>(width_ - 1) : 0,
@@ -646,22 +686,38 @@ class ParallelExecutor::Impl {
     return out;
   }
 
+  /// Folds per-node kernel counters into the transaction's EvalStats.
+  /// Kernels write disjoint per-node records during a threaded phase; the
+  /// merge happens after the join, so no counter is ever shared across
+  /// threads.
+  void MergeNodeStats(const std::vector<algebra::EvalStats>& node_stats) {
+    for (const algebra::EvalStats& s : node_stats) {
+      result_.eval_stats.Add(s);
+    }
+  }
+
   ParallelDatabase* db_;
   const ParallelOptions& options_;
+  algebra::PlanCache* plan_cache_;
   const int nodes_;          // node count for the fragmentation API
   const std::size_t width_;  // the same count, as a container extent
   ParallelTxnResult result_;
+  /// Binding vector of the statement currently being evaluated (null in
+  /// reference mode); read-only during threaded phases.
+  const std::vector<Value>* cur_params_ = nullptr;
   std::map<std::string, FragRel> temps_;
   std::map<std::string, NodeDiff> diffs_;
 };
 
 ParallelExecutor::ParallelExecutor(ParallelDatabase* db,
                                    ParallelOptions options)
-    : db_(db), options_(std::move(options)) {}
+    : db_(db), options_(std::move(options)) {
+  plan_cache_.set_shape_capacity(options_.plan_cache_capacity);
+}
 
 Result<ParallelTxnResult> ParallelExecutor::Execute(
     const algebra::Transaction& txn) {
-  Impl impl(db_, options_);
+  Impl impl(db_, options_, &plan_cache_);
   return impl.Run(txn);
 }
 

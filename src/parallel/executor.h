@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/algebra/physical_plan.h"
 #include "src/algebra/statement.h"
 #include "src/parallel/cost_model.h"
 #include "src/parallel/parallel_db.h"
@@ -18,12 +19,23 @@ struct ParallelOptions {
   /// overhead, so benches keep it off and report the simulated makespan
   /// (see CostModel). Tests turn it on to exercise the threaded path.
   bool use_threads = false;
+  /// Bound on the executor's shape-keyed plan cache: statement shapes
+  /// retained before LRU eviction. Statements compile once per *shape*
+  /// per executor, not once per execution — reuse the executor across
+  /// transactions to benefit. 0 disables caching (every statement
+  /// compiles its own tree one-shot — the oracle tests' reference mode).
+  std::size_t plan_cache_capacity =
+      algebra::PlanCache::kDefaultShapeCapacity;
 };
 
 struct ParallelTxnResult {
   bool committed = false;
   std::string abort_reason;
   ParallelStats stats{1};
+  /// Operator-kernel work counters, merged across nodes, plus this
+  /// execution's plan-cache traffic. Comparable (minus the cache
+  /// counters) with the serial engine's TxnResult::stats.
+  algebra::EvalStats eval_stats;
 };
 
 /// Executes (modified) transactions against a fragmented database,
@@ -51,6 +63,14 @@ struct ParallelTxnResult {
 ///  * updates are routed to the owning fragment; alarm statements abort
 ///    the whole transaction if any node reports violations.
 ///
+/// Statement expressions are compiled through a per-executor shape-keyed
+/// plan cache (algebra::PlanCache): repeated statement shapes — the same
+/// tree modulo literal constants — reuse one compiled plan under fresh
+/// parameter bindings instead of recompiling per execution. Because the
+/// distribution decisions (which key attributes to redistribute on,
+/// partition vs broadcast) are derived from the cached plan's join-key
+/// metadata, caching the operator tree caches them too.
+///
 /// Scope note (DESIGN.md §3): this is the enforcement substrate for the
 /// E5 experiment, not a distributed transaction manager — commit is
 /// single-site, there is no 2PC or replication, exactly as the paper's
@@ -64,10 +84,14 @@ class ParallelExecutor {
   /// including the simulated POOMA makespan.
   Result<ParallelTxnResult> Execute(const algebra::Transaction& txn);
 
+  /// This executor's plan cache (diagnostics: hit/miss/eviction totals).
+  const algebra::PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   class Impl;
   ParallelDatabase* db_;
   ParallelOptions options_;
+  algebra::PlanCache plan_cache_;
 };
 
 }  // namespace txmod::parallel

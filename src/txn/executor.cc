@@ -11,15 +11,21 @@ using algebra::StatementKind;
 
 namespace {
 
-/// Evaluates a statement's expression, through the context's plan cache
-/// when the expression was pre-compiled (integrity checks are, at rule
-/// definition time), compiling one-shot otherwise.
+/// Evaluates a statement's expression through the context's plan cache:
+/// the pinned side by pointer identity (integrity checks, pre-compiled at
+/// rule definition time), then the shaped side by structural fingerprint
+/// (ad-hoc statements — repeated shapes reuse one compiled plan under
+/// this statement's constant binding). Without a cache, compiles one-shot.
 Result<Relation> EvalStatementExpr(const Statement& stmt, TxnContext* ctx,
                                    TxnResult* result) {
-  if (const algebra::PlanCache* cache = ctx->plan_cache()) {
+  if (algebra::PlanCache* cache = ctx->plan_cache()) {
     if (const algebra::PhysicalPlan* plan = cache->Lookup(stmt.expr.get())) {
       return plan->Execute(*ctx, &result->stats);
     }
+    TXMOD_ASSIGN_OR_RETURN(
+        algebra::BoundPlan bound,
+        cache->GetOrCompileShaped(*stmt.expr, &result->stats));
+    return bound.plan->Execute(*ctx, &result->stats, &bound.params);
   }
   return EvaluateRelExpr(*stmt.expr, *ctx, &result->stats);
 }
@@ -127,7 +133,7 @@ Status ExecuteStatement(const Statement& stmt, TxnContext* ctx,
 
 Result<TxnResult> ExecuteTransaction(const algebra::Transaction& txn,
                                      Database* db,
-                                     const algebra::PlanCache* plan_cache) {
+                                     algebra::PlanCache* plan_cache) {
   TxnContext ctx(db);
   ctx.set_plan_cache(plan_cache);
   TxnResult result;

@@ -40,12 +40,16 @@ Status ExecuteStatement(const algebra::Statement& stmt, TxnContext* ctx,
 /// errors, schema violations) also restore D^t but surface as error
 /// Statuses rather than TxnResults.
 ///
-/// `plan_cache` (optional) holds physical plans pre-compiled at rule
-/// definition time; statement expressions found in it skip per-execution
-/// plan compilation. Expressions not in the cache are compiled one-shot.
-Result<TxnResult> ExecuteTransaction(
-    const algebra::Transaction& txn, Database* db,
-    const algebra::PlanCache* plan_cache = nullptr);
+/// `plan_cache` (optional) is the per-subsystem plan cache: expressions
+/// pre-compiled at rule-definition time (its pinned side) skip
+/// per-execution compilation outright, and every other statement
+/// expression is looked up by structural fingerprint on its shaped side,
+/// so repeated ad-hoc shapes reuse one compiled plan under fresh
+/// parameter bindings (cache traffic lands in TxnResult::stats). Without
+/// a cache every expression is compiled one-shot.
+Result<TxnResult> ExecuteTransaction(const algebra::Transaction& txn,
+                                     Database* db,
+                                     algebra::PlanCache* plan_cache = nullptr);
 
 }  // namespace txmod::txn
 

@@ -45,14 +45,15 @@ class TxnContext : public algebra::EvalContext {
   Database* database() { return db_; }
   const Database& database() const { return *db_; }
 
-  /// Optional cache of pre-compiled physical plans (populated by the
-  /// integrity subsystem at rule-definition time). Statement execution
-  /// consults it before compiling; expressions not in the cache — ad-hoc
-  /// user statements — are compiled per evaluation and not retained.
-  void set_plan_cache(const algebra::PlanCache* cache) {
-    plan_cache_ = cache;
-  }
-  const algebra::PlanCache* plan_cache() const { return plan_cache_; }
+  /// Optional per-subsystem plan cache. Statement execution consults its
+  /// pinned (identity) side first — integrity-check expressions are
+  /// pre-compiled there at rule-definition time — then its shaped side,
+  /// which caches ad-hoc statement plans by structural fingerprint so
+  /// repeated statement shapes (same tree modulo literal constants) skip
+  /// recompilation. Non-const: shaped lookups compile-on-miss and touch
+  /// LRU state.
+  void set_plan_cache(algebra::PlanCache* cache) { plan_cache_ = cache; }
+  algebra::PlanCache* plan_cache() const { return plan_cache_; }
 
   /// Stores (replaces) a temporary relation.
   void SetTemp(const std::string& name, Relation value);
@@ -82,7 +83,7 @@ class TxnContext : public algebra::EvalContext {
   Differential& MutableDiff(const std::string& rel);
 
   Database* db_;
-  const algebra::PlanCache* plan_cache_ = nullptr;
+  algebra::PlanCache* plan_cache_ = nullptr;
   std::map<std::string, Relation> temps_;
   std::map<std::string, Differential> diffs_;
   // old(R) views are immutable once the transaction starts, so the cache

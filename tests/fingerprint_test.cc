@@ -1,0 +1,489 @@
+// Property tests for the structural fingerprint (fingerprint.h), the
+// foundation of shape-keyed plan caching. Randomized RelExpr generation
+// pins the two load-bearing guarantees:
+//
+//  1. *No false cache hits*: fingerprint (shape) equality implies
+//     structural equality modulo literal constants — two expressions with
+//     the same shape canonicalize to structurally identical trees, and a
+//     cached canonical plan executed under an expression's extracted
+//     binding computes exactly what a fresh compile of that expression
+//     computes.
+//  2. *Intended collisions*: rewriting only the literal constants of an
+//     expression preserves its shape (that is the whole point — repeated
+//     ad-hoc statement shapes must share one plan).
+//
+// Also pinned: the slot-order contract between FingerprintExpr and
+// ParameterizeExpr (their params vectors must be identical), since a
+// divergence would bind a cached plan's slots to the wrong constants.
+
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/algebra/evaluator.h"
+#include "src/algebra/fingerprint.h"
+#include "src/algebra/physical_plan.h"
+#include "tests/test_util.h"
+
+namespace txmod::algebra {
+namespace {
+
+using txmod::testing::AddBeer;
+using txmod::testing::AddBrewery;
+using txmod::testing::MakeBeerDatabase;
+
+class DbContext : public EvalContext {
+ public:
+  explicit DbContext(const Database* db) : db_(db) {}
+  Result<const Relation*> Resolve(RelRefKind kind,
+                                  const std::string& name) const override {
+    if (kind != RelRefKind::kBase) {
+      return Status::FailedPrecondition(
+          "auxiliary relations need a transaction context");
+    }
+    return db_->Find(name);
+  }
+
+ private:
+  const Database* db_;
+};
+
+// ---------------------------------------------------------------------------
+// Randomized expression generator over the beer schema. Biased toward
+// evaluable expressions (typed predicates, arity-matched set operations)
+// but allowed to produce failing ones — both evaluation paths must then
+// agree on failure.
+// ---------------------------------------------------------------------------
+
+struct Gen {
+  std::mt19937 rng;
+
+  explicit Gen(unsigned seed) : rng(seed) {}
+
+  int Pick(int n) { return static_cast<int>(rng() % static_cast<unsigned>(n)); }
+
+  Value RandomConst() {
+    switch (Pick(4)) {
+      case 0:
+        return Value::Int(Pick(100));
+      case 1:
+        return Value::Double(static_cast<double>(Pick(100)) / 4.0);
+      case 2:
+        return Value::String(Pick(2) == 0 ? "heineken" : "lager");
+      default:
+        return Value::Null();
+    }
+  }
+
+  /// A random predicate over an input of `arity` attributes: a
+  /// conjunction/disjunction of attr-vs-const and attr-vs-attr
+  /// comparisons.
+  ScalarExpr RandomPred(int arity, int depth) {
+    if (depth > 0 && Pick(3) == 0) {
+      ScalarOp op = Pick(2) == 0 ? ScalarOp::kAnd : ScalarOp::kOr;
+      return ScalarExpr::Binary(op, RandomPred(arity, depth - 1),
+                                RandomPred(arity, depth - 1));
+    }
+    const ScalarOp cmps[] = {ScalarOp::kEq, ScalarOp::kNe, ScalarOp::kLt,
+                             ScalarOp::kLe, ScalarOp::kGt, ScalarOp::kGe};
+    const ScalarOp cmp = cmps[Pick(6)];
+    ScalarExpr lhs = ScalarExpr::Attr(0, Pick(arity));
+    if (Pick(2) == 0) {
+      return ScalarExpr::Binary(cmp, std::move(lhs),
+                                ScalarExpr::Const(RandomConst()));
+    }
+    return ScalarExpr::Binary(cmp, std::move(lhs),
+                              ScalarExpr::Attr(0, Pick(arity)));
+  }
+
+  /// An equi-join predicate between inputs of the given arities, with an
+  /// optional extra constant conjunct.
+  ScalarExpr RandomJoinPred(int larity, int rarity) {
+    ScalarExpr eq = ScalarExpr::Binary(ScalarOp::kEq,
+                                       ScalarExpr::Attr(0, Pick(larity)),
+                                       ScalarExpr::Attr(1, Pick(rarity)));
+    if (Pick(3) == 0) {
+      ScalarExpr extra = ScalarExpr::Binary(
+          ScalarOp::kGe, ScalarExpr::Attr(0, Pick(larity)),
+          ScalarExpr::Const(RandomConst()));
+      return ScalarExpr::Binary(ScalarOp::kAnd, std::move(eq),
+                                std::move(extra));
+    }
+    return eq;
+  }
+
+  RelExprPtr RandomLiteral(int arity, int* out_arity) {
+    const int tuples = Pick(3) + 1;
+    std::vector<Tuple> rows;
+    for (int i = 0; i < tuples; ++i) {
+      std::vector<Value> vals;
+      for (int j = 0; j < arity; ++j) vals.push_back(RandomConst());
+      rows.push_back(Tuple(std::move(vals)));
+    }
+    *out_arity = arity;
+    return RelExpr::Literal(std::move(rows), arity);
+  }
+
+  RelExprPtr Leaf(int* arity) {
+    switch (Pick(3)) {
+      case 0:
+        *arity = 4;
+        return RelExpr::Base("beer");
+      case 1:
+        *arity = 3;
+        return RelExpr::Base("brewery");
+      default:
+        return RandomLiteral(Pick(3) + 1, arity);
+    }
+  }
+
+  RelExprPtr Expr(int depth, int* arity) {
+    if (depth <= 0) return Leaf(arity);
+    switch (Pick(8)) {
+      case 0: {  // select
+        RelExprPtr in = Expr(depth - 1, arity);
+        return RelExpr::Select(RandomPred(*arity, 1), std::move(in));
+      }
+      case 1: {  // projection, possibly with computed/constant items
+        RelExprPtr in = Expr(depth - 1, arity);
+        const int items = Pick(*arity) + 1;
+        std::vector<ProjectionItem> projs;
+        for (int i = 0; i < items; ++i) {
+          if (Pick(4) == 0) {
+            projs.push_back(
+                ProjectionItem{ScalarExpr::Const(RandomConst()), "k"});
+          } else {
+            projs.push_back(
+                ProjectionItem{ScalarExpr::Attr(0, Pick(*arity)), ""});
+          }
+        }
+        *arity = items;
+        return RelExpr::Project(std::move(projs), std::move(in));
+      }
+      case 2: {  // join-like
+        int la = 0, ra = 0;
+        RelExprPtr l = Expr(depth - 1, &la);
+        RelExprPtr r = Expr(depth - 1, &ra);
+        ScalarExpr pred = RandomJoinPred(la, ra);
+        switch (Pick(3)) {
+          case 0:
+            *arity = la + ra;
+            return RelExpr::Join(std::move(pred), std::move(l), std::move(r));
+          case 1:
+            *arity = la;
+            return RelExpr::SemiJoin(std::move(pred), std::move(l),
+                                     std::move(r));
+          default:
+            *arity = la;
+            return RelExpr::AntiJoin(std::move(pred), std::move(l),
+                                     std::move(r));
+        }
+      }
+      case 3: {  // set operation against an arity-matched literal
+        RelExprPtr l = Expr(depth - 1, arity);
+        int ra = 0;
+        RelExprPtr r = RandomLiteral(*arity, &ra);
+        switch (Pick(3)) {
+          case 0:
+            return RelExpr::Union(std::move(l), std::move(r));
+          case 1:
+            return RelExpr::Difference(std::move(l), std::move(r));
+          default:
+            return RelExpr::Intersect(std::move(l), std::move(r));
+        }
+      }
+      case 4: {  // product
+        int la = 0, ra = 0;
+        RelExprPtr l = Expr(depth - 1, &la);
+        RelExprPtr r = Expr(depth - 1, &ra);
+        *arity = la + ra;
+        return RelExpr::Product(std::move(l), std::move(r));
+      }
+      case 5: {  // aggregate
+        int ia = 0;
+        RelExprPtr in = Expr(depth - 1, &ia);
+        *arity = 1;
+        if (Pick(2) == 0) {
+          return RelExpr::Aggregate(AggFunc::kCnt, -1, std::move(in));
+        }
+        const AggFunc funcs[] = {AggFunc::kSum, AggFunc::kAvg, AggFunc::kMin,
+                                 AggFunc::kMax};
+        return RelExpr::Aggregate(funcs[Pick(4)], Pick(ia), std::move(in));
+      }
+      default:
+        return Leaf(arity);
+    }
+  }
+
+  /// A structural copy of `e` with every literal constant replaced by a
+  /// fresh random one — the "same statement, different constants" rewrite
+  /// the cache must collide.
+  ScalarExpr RewriteConsts(const ScalarExpr& e) {
+    if (e.op() == ScalarOp::kConst) return ScalarExpr::Const(RandomConst());
+    ScalarExpr out = e;
+    for (ScalarExpr& c : out.mutable_children()) c = RewriteConsts(c);
+    return out;
+  }
+
+  RelExprPtr RewriteConsts(const RelExpr& e) {
+    switch (e.kind()) {
+      case RelExprKind::kRef:
+        return RelExpr::Ref(e.ref_kind(), e.rel_name());
+      case RelExprKind::kLiteral: {
+        std::vector<Tuple> rows;
+        for (const Tuple& t : e.literal_tuples()) {
+          std::vector<Value> vals;
+          for (std::size_t i = 0; i < t.arity(); ++i) {
+            vals.push_back(RandomConst());
+          }
+          rows.push_back(Tuple(std::move(vals)));
+        }
+        return RelExpr::Literal(std::move(rows), e.literal_arity());
+      }
+      case RelExprKind::kSelect:
+        return RelExpr::Select(RewriteConsts(e.predicate()),
+                               RewriteConsts(*e.left()));
+      case RelExprKind::kProject: {
+        std::vector<ProjectionItem> items;
+        for (const ProjectionItem& item : e.projections()) {
+          items.push_back(
+              ProjectionItem{RewriteConsts(item.expr), item.name});
+        }
+        return RelExpr::Project(std::move(items), RewriteConsts(*e.left()));
+      }
+      case RelExprKind::kProduct:
+        return RelExpr::Product(RewriteConsts(*e.left()),
+                                RewriteConsts(*e.right()));
+      case RelExprKind::kJoin:
+        return RelExpr::Join(RewriteConsts(e.predicate()),
+                             RewriteConsts(*e.left()),
+                             RewriteConsts(*e.right()));
+      case RelExprKind::kSemiJoin:
+        return RelExpr::SemiJoin(RewriteConsts(e.predicate()),
+                                 RewriteConsts(*e.left()),
+                                 RewriteConsts(*e.right()));
+      case RelExprKind::kAntiJoin:
+        return RelExpr::AntiJoin(RewriteConsts(e.predicate()),
+                                 RewriteConsts(*e.left()),
+                                 RewriteConsts(*e.right()));
+      case RelExprKind::kUnion:
+        return RelExpr::Union(RewriteConsts(*e.left()),
+                              RewriteConsts(*e.right()));
+      case RelExprKind::kDifference:
+        return RelExpr::Difference(RewriteConsts(*e.left()),
+                                   RewriteConsts(*e.right()));
+      case RelExprKind::kIntersect:
+        return RelExpr::Intersect(RewriteConsts(*e.left()),
+                                  RewriteConsts(*e.right()));
+      case RelExprKind::kAggregate:
+        if (e.group_by().empty()) {
+          return RelExpr::Aggregate(e.agg_func(), e.agg_attr(),
+                                    RewriteConsts(*e.left()));
+        }
+        return RelExpr::GroupAggregate(e.group_by(), e.agg_func(),
+                                       e.agg_attr(),
+                                       RewriteConsts(*e.left()));
+    }
+    return RelExpr::Ref(e.ref_kind(), e.rel_name());
+  }
+};
+
+Database MakePopulatedBeerDatabase() {
+  Database db = MakeBeerDatabase();
+  AddBrewery(&db, "heineken", "amsterdam", "nl");
+  AddBrewery(&db, "guinness", "dublin", "ie");
+  AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  AddBeer(&db, "stout", "stout", "guinness", 4.2);
+  AddBeer(&db, "free", "lager", "heineken", 0.0);
+  return db;
+}
+
+class FingerprintFuzzTest : public ::testing::TestWithParam<int> {};
+
+// Slot-order contract: both walkers extract the same binding vector.
+TEST_P(FingerprintFuzzTest, FingerprintAndParameterizeAgreeOnParams) {
+  Gen gen(static_cast<unsigned>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    int arity = 0;
+    RelExprPtr e = gen.Expr(gen.Pick(4), &arity);
+    ExprFingerprint fp = FingerprintExpr(*e);
+    ParameterizedExpr pe = ParameterizeExpr(*e);
+    ASSERT_EQ(fp.params.size(), pe.params.size()) << e->ToString();
+    for (std::size_t j = 0; j < fp.params.size(); ++j) {
+      EXPECT_EQ(fp.params[j], pe.params[j])
+          << e->ToString() << " slot " << j;
+    }
+  }
+}
+
+// No-false-hit property, structural half: whenever two generated
+// expressions fingerprint to the same shape, their canonical trees are
+// structurally identical (same nodes, same attribute indices, same
+// parameter slots) — i.e. shape equality implies structural equality
+// modulo literals.
+TEST_P(FingerprintFuzzTest, EqualShapesImplyEqualCanonicalTrees) {
+  Gen gen(static_cast<unsigned>(GetParam()) + 1000);
+  std::unordered_map<std::string, RelExprPtr> seen;
+  int collisions = 0;
+  for (int i = 0; i < 300; ++i) {
+    int arity = 0;
+    RelExprPtr e = gen.Expr(gen.Pick(3), &arity);
+    ExprFingerprint fp = FingerprintExpr(*e);
+    ParameterizedExpr pe = ParameterizeExpr(*e);
+    auto [it, inserted] = seen.emplace(fp.shape, pe.expr);
+    if (!inserted) {
+      ++collisions;
+      EXPECT_TRUE(it->second->Equals(*pe.expr))
+          << "shape collision between structurally different trees:\n"
+          << it->second->ToString() << "\nvs\n"
+          << pe.expr->ToString();
+    }
+  }
+  // The generator repeats shapes often (small vocabulary); an entirely
+  // collision-free run would mean this test exercised nothing.
+  EXPECT_GT(collisions, 0);
+}
+
+// No-false-hit property, semantic half: executing the canonical plan
+// under the extracted binding computes exactly what a fresh compile of
+// the original expression computes (or fails when it fails).
+TEST_P(FingerprintFuzzTest, CanonicalPlanUnderBindingMatchesFreshEval) {
+  Database db = MakePopulatedBeerDatabase();
+  DbContext ctx(&db);
+  Gen gen(static_cast<unsigned>(GetParam()) + 2000);
+  int evaluated = 0;
+  for (int i = 0; i < 200; ++i) {
+    int arity = 0;
+    RelExprPtr e = gen.Expr(gen.Pick(4), &arity);
+    Result<Relation> fresh = EvaluateRelExpr(*e, ctx);
+
+    ParameterizedExpr pe = ParameterizeExpr(*e);
+    auto plan = PhysicalPlan::Compile(pe.expr,
+                                      static_cast<int>(pe.params.size()));
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    Result<Relation> canon = plan->Execute(ctx, nullptr, &pe.params);
+
+    ASSERT_EQ(fresh.ok(), canon.ok())
+        << e->ToString() << "\nfresh: " << fresh.status().ToString()
+        << "\ncanon: " << canon.status().ToString();
+    if (!fresh.ok()) continue;
+    ++evaluated;
+    EXPECT_TRUE(fresh->SameTuples(*canon))
+        << e->ToString() << "\nfresh: " << fresh->ToString()
+        << "\ncanon: " << canon->ToString();
+  }
+  EXPECT_GT(evaluated, 50);  // the generator must mostly produce evaluable trees
+}
+
+// Intended-collision property: a literal-only rewrite keeps the shape and
+// the slot count, and executing the *original's* cached canonical plan
+// under the *rewrite's* binding equals a fresh evaluation of the rewrite.
+TEST_P(FingerprintFuzzTest, LiteralOnlyRewritesCollide) {
+  Database db = MakePopulatedBeerDatabase();
+  DbContext ctx(&db);
+  Gen gen(static_cast<unsigned>(GetParam()) + 3000);
+  for (int i = 0; i < 200; ++i) {
+    int arity = 0;
+    RelExprPtr e1 = gen.Expr(gen.Pick(4), &arity);
+    RelExprPtr e2 = gen.RewriteConsts(*e1);
+
+    ExprFingerprint fp1 = FingerprintExpr(*e1);
+    ExprFingerprint fp2 = FingerprintExpr(*e2);
+    ASSERT_EQ(fp1.shape, fp2.shape)
+        << e1->ToString() << "\nvs\n" << e2->ToString();
+    ASSERT_EQ(fp1.params.size(), fp2.params.size());
+
+    // Cache simulation: e1's canonical plan, e2's binding.
+    ParameterizedExpr pe1 = ParameterizeExpr(*e1);
+    auto plan = PhysicalPlan::Compile(pe1.expr,
+                                      static_cast<int>(pe1.params.size()));
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    Result<Relation> via_cache = plan->Execute(ctx, nullptr, &fp2.params);
+    Result<Relation> fresh = EvaluateRelExpr(*e2, ctx);
+    ASSERT_EQ(fresh.ok(), via_cache.ok())
+        << e2->ToString() << "\nfresh: " << fresh.status().ToString()
+        << "\nvia cache: " << via_cache.status().ToString();
+    if (fresh.ok()) {
+      EXPECT_TRUE(fresh->SameTuples(*via_cache)) << e2->ToString();
+    }
+  }
+}
+
+// Structurally different expressions must not share a shape: a curated
+// set of near-miss pairs (differing in attribute index, reference kind,
+// projection alias, literal dimensions, operator kind) stays distinct.
+TEST(FingerprintTest, NearMissShapesStayDistinct) {
+  auto shape = [](const RelExprPtr& e) { return FingerprintExpr(*e).shape; };
+  RelExprPtr beer = RelExpr::Base("beer");
+
+  // Attribute index.
+  EXPECT_NE(shape(RelExpr::Select(
+                ScalarExpr::Binary(ScalarOp::kEq, ScalarExpr::Attr(0, 0),
+                                   ScalarExpr::Const(Value::Int(1))),
+                beer)),
+            shape(RelExpr::Select(
+                ScalarExpr::Binary(ScalarOp::kEq, ScalarExpr::Attr(0, 1),
+                                   ScalarExpr::Const(Value::Int(1))),
+                beer)));
+  // Comparison operator.
+  EXPECT_NE(shape(RelExpr::Select(
+                ScalarExpr::Binary(ScalarOp::kLt, ScalarExpr::Attr(0, 3),
+                                   ScalarExpr::Const(Value::Int(1))),
+                beer)),
+            shape(RelExpr::Select(
+                ScalarExpr::Binary(ScalarOp::kLe, ScalarExpr::Attr(0, 3),
+                                   ScalarExpr::Const(Value::Int(1))),
+                beer)));
+  // Reference kind and name.
+  EXPECT_NE(shape(RelExpr::Base("beer")), shape(RelExpr::DeltaPlus("beer")));
+  EXPECT_NE(shape(RelExpr::Base("beer")), shape(RelExpr::Base("brewery")));
+  // Literal dimensions (1x2 vs 2x1 must differ even though both carry two
+  // constants).
+  EXPECT_NE(shape(RelExpr::Literal({Tuple({Value::Int(1), Value::Int(2)})}, 2)),
+            shape(RelExpr::Literal(
+                {Tuple({Value::Int(1)}), Tuple({Value::Int(2)})}, 1)));
+  // Projection alias.
+  EXPECT_NE(
+      shape(RelExpr::Project(
+          {ProjectionItem{ScalarExpr::Attr(0, 0), "a"}}, beer)),
+      shape(RelExpr::Project(
+          {ProjectionItem{ScalarExpr::Attr(0, 0), "b"}}, beer)));
+  // Join flavor.
+  ScalarExpr pred = ScalarExpr::Binary(ScalarOp::kEq, ScalarExpr::Attr(0, 2),
+                                       ScalarExpr::Attr(1, 0));
+  EXPECT_NE(shape(RelExpr::SemiJoin(pred, beer, RelExpr::Base("brewery"))),
+            shape(RelExpr::AntiJoin(pred, beer, RelExpr::Base("brewery"))));
+}
+
+// Same constants in different positions must produce the same shape but
+// different bindings — the binding, not the shape, carries the values.
+TEST(FingerprintTest, BindingCarriesTheConstants) {
+  RelExprPtr beer = RelExpr::Base("beer");
+  auto sel = [&](int64_t lo, int64_t hi) {
+    return RelExpr::Select(
+        ScalarExpr::Binary(
+            ScalarOp::kAnd,
+            ScalarExpr::Binary(ScalarOp::kGe, ScalarExpr::Attr(0, 3),
+                               ScalarExpr::Const(Value::Int(lo))),
+            ScalarExpr::Binary(ScalarOp::kLe, ScalarExpr::Attr(0, 3),
+                               ScalarExpr::Const(Value::Int(hi)))),
+        beer);
+  };
+  ExprFingerprint a = FingerprintExpr(*sel(1, 5));
+  ExprFingerprint b = FingerprintExpr(*sel(2, 7));
+  EXPECT_EQ(a.shape, b.shape);
+  ASSERT_EQ(a.params.size(), 2u);
+  ASSERT_EQ(b.params.size(), 2u);
+  EXPECT_EQ(a.params[0], Value::Int(1));
+  EXPECT_EQ(a.params[1], Value::Int(5));
+  EXPECT_EQ(b.params[0], Value::Int(2));
+  EXPECT_EQ(b.params[1], Value::Int(7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FingerprintFuzzTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace txmod::algebra

@@ -9,6 +9,7 @@
 
 #include "gtest/gtest.h"
 #include "bench/workload.h"
+#include "src/algebra/fingerprint.h"
 #include "src/algebra/parser.h"
 #include "src/algebra/physical_plan.h"
 #include "src/core/subsystem.h"
@@ -292,6 +293,89 @@ TEST(PhysicalPlanTest, FragmentLocalKernelMatchesSerialJoin) {
         Relation local, ExecuteNodeLocal(plan.root(), left, &right));
     EXPECT_TRUE(local.SameTuples(serial));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter slots in Explain(): canonical (shape-cached) plans announce
+// their slot count and print constants as ?N, so a dump shows exactly
+// what varies between the statements sharing the plan. Plain plans are
+// unchanged (no header, constants verbatim).
+// ---------------------------------------------------------------------------
+
+std::string ExplainCanonical(const Database& db, const std::string& text) {
+  auto e = Parse(db, text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  ParameterizedExpr pe = ParameterizeExpr(**e);
+  auto plan = PhysicalPlan::Compile(pe.expr,
+                                    static_cast<int>(pe.params.size()));
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan->Explain();
+}
+
+TEST(PhysicalPlanExplainTest, CanonicalSelectAnnotatesParameterSlots) {
+  Database db = MakeBeerDatabase();
+  EXPECT_EQ(ExplainCanonical(db, "select[alcohol >= 4.5](beer)"),
+            "params: 1\n"
+            "select[alcohol >= ?0]\n"
+            "  scan[base beer]\n");
+  EXPECT_EQ(ExplainCanonical(
+                db, "select[alcohol >= 4.5 and type = \"lager\"](beer)"),
+            "params: 2\n"
+            "select[alcohol >= ?0 and type = ?1]\n"
+            "  scan[base beer]\n");
+}
+
+TEST(PhysicalPlanExplainTest, CanonicalLiteralAnnotatesSlotRange) {
+  Database db = MakeBeerDatabase();
+  // Two tuples of arity 3: slots ?0..?5, row-major.
+  EXPECT_EQ(
+      ExplainCanonical(
+          db, "union({(\"a\", \"b\", \"c\"), (\"d\", \"e\", \"f\")}, brewery)"),
+      "params: 6\n"
+      "union\n"
+      "  literal[2 tuples, params ?0..?5]\n"
+      "  scan[base brewery]\n");
+}
+
+TEST(PhysicalPlanExplainTest, PlainPlansKeepConstantsVerbatim) {
+  Database db = MakeBeerDatabase();
+  EXPECT_EQ(ExplainText(db, "select[alcohol >= 4.5](beer)"),
+            "select[alcohol >= 4.5]\n"
+            "  scan[base beer]\n");
+}
+
+TEST(PhysicalPlanTest, CanonicalPlanKeepsOperatorAndIndexChoices) {
+  Database db = MakeBeerDatabase();
+  // Canonicalization must not disturb plan choice: the differential
+  // referential-check shape still compiles to an index-lookup join and
+  // requests the same probe-side index.
+  const char* text = "semijoin[l.brewery = r.name](beer, dminus(brewery))";
+  TXMOD_ASSERT_OK_AND_ASSIGN(RelExprPtr e, Parse(db, text));
+  TXMOD_ASSERT_OK_AND_ASSIGN(PhysicalPlan plain, PhysicalPlan::Compile(e));
+  ParameterizedExpr pe = ParameterizeExpr(*e);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      PhysicalPlan canon,
+      PhysicalPlan::Compile(pe.expr, static_cast<int>(pe.params.size())));
+  EXPECT_EQ(canon.Explain(), plain.Explain());  // no constants in this shape
+  ASSERT_EQ(canon.IndexRequests().size(), plain.IndexRequests().size());
+  ASSERT_EQ(canon.IndexRequests().size(), 1u);
+  EXPECT_EQ(canon.IndexRequests()[0].relation, "beer");
+  EXPECT_EQ(canon.IndexRequests()[0].attrs, std::vector<int>{2});
+}
+
+TEST(PhysicalPlanTest, ExecuteRejectsMissingOrShortBindings) {
+  Database db = MakeBeerDatabase();
+  TXMOD_ASSERT_OK_AND_ASSIGN(RelExprPtr e,
+                             Parse(db, "select[alcohol >= 4.5](beer)"));
+  ParameterizedExpr pe = ParameterizeExpr(*e);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      PhysicalPlan plan,
+      PhysicalPlan::Compile(pe.expr, static_cast<int>(pe.params.size())));
+  DbContext ctx(&db);
+  EXPECT_FALSE(plan.Execute(ctx).ok());  // no binding
+  const std::vector<Value> empty;
+  EXPECT_FALSE(plan.Execute(ctx, nullptr, &empty).ok());  // short binding
+  EXPECT_TRUE(plan.Execute(ctx, nullptr, &pe.params).ok());
 }
 
 }  // namespace
