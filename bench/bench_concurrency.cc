@@ -1,0 +1,197 @@
+// Concurrent transaction manager benchmarks.
+//
+// BM_ConcurrentCommit — N client threads run key/fk transactions through
+// TxnManager sessions (snapshot execution + first-committer-wins
+// validation), sweeping the conflict rate: each thread's transactions
+// touch a small shared key set with probability conflict_pct/100 and
+// thread-private fk ids otherwise. Reported: committed transactions per
+// second (items_per_second), plus conflict/retry counters. No WAL — this
+// series isolates the OCC pipeline.
+//
+// BM_GroupCommitFsync — N threads commit tiny write transactions through
+// a WAL with sync_commits on; fsyncs batch across concurrent committers
+// (group commit). Reported: commits per second and the measured
+// fsyncs-per-commit ratio (the batching factor; 1.0 means no batching,
+// lower is better).
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "bench/workload.h"
+#include "src/txn/txn_manager.h"
+
+namespace txmod::bench {
+namespace {
+
+constexpr int kKeys = 500;
+constexpr int kFks = 5000;
+constexpr int kSharedKeys = 16;
+constexpr int kTxnsPerThreadPerIter = 50;
+
+struct ManagerFixture {
+  Database db;
+  std::unique_ptr<core::IntegritySubsystem> ics;
+  std::unique_ptr<txn::TxnManager> manager;
+
+  explicit ManagerFixture(txn::TxnManagerOptions options = {}) {
+    db = MakeKeyFkDatabase(kKeys, kFks);
+    AddUnreferencedKeys(&db, kSharedKeys);
+    ics = std::make_unique<core::IntegritySubsystem>(&db);
+    TXMOD_BENCH_CHECK_OK(ics->DefineConstraint("domain", DomainConstraint()));
+    TXMOD_BENCH_CHECK_OK(ics->DefineConstraint("refint", RefIntConstraint()));
+    auto created = txn::TxnManager::Create(ics.get(), std::move(options));
+    TXMOD_BENCH_CHECK_OK(created.status());
+    manager = std::move(*created);
+  }
+};
+
+/// A thread-private fk insert (ids disjoint across threads and
+/// iterations) or, with probability pct/100, a contended write: delete
+/// or re-insert one fk tuple from a small shared id range. Overlapping
+/// footprints on those tuples are real write-write conflicts (and net
+/// writes, so commit records publish them) — the conflict knob.
+algebra::Transaction MakeWorkTxn(int* next_id, unsigned* rng,
+                                 int conflict_pct) {
+  *rng = *rng * 1664525u + 1013904223u;
+  const bool contended =
+      static_cast<int>((*rng >> 16) % 100) < conflict_pct;
+  algebra::Transaction txn;
+  if (contended) {
+    const int id = static_cast<int>((*rng >> 8) % (2 * kSharedKeys));
+    Tuple fk_tuple({Value::Int(id), Value::String(StrCat("k", id % kKeys)),
+                    Value::Double(1.0 + id % 10)});
+    const bool del = ((*rng >> 4) & 1) != 0;
+    if (del) {
+      txn.program.statements.push_back(algebra::Statement::Delete(
+          "fk_rel", algebra::RelExpr::Literal({fk_tuple}, 3)));
+    } else {
+      txn.program.statements.push_back(algebra::Statement::Insert(
+          "fk_rel", algebra::RelExpr::Literal({fk_tuple}, 3)));
+    }
+  } else {
+    txn.program.statements.push_back(algebra::Statement::Insert(
+        "fk_rel",
+        algebra::RelExpr::Literal(
+            {Tuple({Value::Int((*next_id)++),
+                    Value::String(StrCat("k", *rng % kKeys)),
+                    Value::Double(2.5)})},
+            3)));
+  }
+  return txn;
+}
+
+void BM_ConcurrentCommit(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int conflict_pct = static_cast<int>(state.range(1));
+  ManagerFixture f;
+
+  uint64_t committed_total = 0;
+  for (auto _ : state) {
+    std::atomic<uint64_t> committed{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t]() {
+        int next_id = 1'000'000 + t * 1'000'000 +
+                      static_cast<int>(state.iterations()) * 1000;
+        unsigned rng = 12345u * static_cast<unsigned>(t + 1);
+        for (int i = 0; i < kTxnsPerThreadPerIter; ++i) {
+          auto result = f.manager->Run(
+              MakeWorkTxn(&next_id, &rng, conflict_pct));
+          if (result.ok() && result->committed) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    committed_total += committed.load();
+  }
+  const txn::TxnManagerStats stats = f.manager->stats();
+  state.SetItemsProcessed(static_cast<int64_t>(committed_total));
+  state.counters["conflicts"] = static_cast<double>(stats.conflicts);
+  state.counters["commits"] = static_cast<double>(stats.commits);
+  state.counters["conflict_rate"] =
+      stats.commits + stats.conflicts > 0
+          ? static_cast<double>(stats.conflicts) /
+                static_cast<double>(stats.commits + stats.conflicts)
+          : 0.0;
+}
+
+BENCHMARK(BM_ConcurrentCommit)
+    ->ArgNames({"threads", "conflict_pct"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({4, 10})
+    ->Args({4, 50})
+    ->Args({8, 50})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_GroupCommitFsync(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      StrCat("txmod_bench_wal_", ::getpid(), "_", threads);
+  std::filesystem::create_directories(dir);
+  txn::TxnManagerOptions options;
+  options.wal_path = (dir / "wal.log").string();
+  options.checkpoint_path = (dir / "checkpoint.db").string();
+  options.sync_commits = true;
+  ManagerFixture f(options);
+
+  uint64_t committed_total = 0;
+  for (auto _ : state) {
+    std::atomic<uint64_t> committed{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t]() {
+        int next_id = 10'000'000 + t * 1'000'000 +
+                      static_cast<int>(state.iterations()) * 1000;
+        unsigned rng = 99991u * static_cast<unsigned>(t + 1);
+        for (int i = 0; i < kTxnsPerThreadPerIter; ++i) {
+          auto result =
+              f.manager->Run(MakeWorkTxn(&next_id, &rng, 0));
+          if (result.ok() && result->committed) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    committed_total += committed.load();
+  }
+  const txn::TxnManagerStats stats = f.manager->stats();
+  state.SetItemsProcessed(static_cast<int64_t>(committed_total));
+  state.counters["fsyncs"] = static_cast<double>(stats.wal_fsyncs);
+  state.counters["fsyncs_per_commit"] =
+      stats.commits > 0 ? static_cast<double>(stats.wal_fsyncs) /
+                              static_cast<double>(stats.commits)
+                        : 0.0;
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+BENCHMARK(BM_GroupCommitFsync)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace txmod::bench
+
+TXMOD_BENCH_MAIN();

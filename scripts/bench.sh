@@ -3,8 +3,8 @@
 # reports (the harness's --json flag; see bench/workload.h).
 #
 #   scripts/bench.sh                  run bench_table1 + bench_modification
-#                                     + bench_parallel, JSON under
-#                                     build/bench-results/
+#                                     + bench_parallel + bench_concurrency,
+#                                     JSON under build/bench-results/
 #   scripts/bench.sh --all            run every bench_* binary
 #   scripts/bench.sh --smoke          one tiny pass of every bench_* binary
 #                                     (CI bit-rot gate; ~seconds per binary)
@@ -18,6 +18,10 @@
 # fresh-compile-every-statement) and BENCH_parallel.json (E5 scaling +
 # the join-heavy enforcement series) are the recorded baselines; their
 # "context" blocks name the machine and compiler they were captured on.
+# bench_concurrency (BM_ConcurrentCommit thread/conflict sweeps,
+# BM_GroupCommitFsync batching factors) reports under
+# build/bench-results/ like the rest; it has no checked-in baseline yet —
+# wall-clock thread scaling is too machine-dependent to pin.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -75,6 +79,7 @@ case "$mode" in
     run_one build/bench/bench_table1
     run_one build/bench/bench_modification
     run_one build/bench/bench_parallel
+    run_one build/bench/bench_concurrency
     ;;
 esac
 

@@ -23,6 +23,18 @@ class EvalContext {
   /// for unknown names, kFailedPrecondition for unsupported kinds.
   virtual Result<const Relation*> Resolve(RelRefKind kind,
                                           const std::string& name) const = 0;
+
+  /// Like Resolve, but the caller promises to use only the relation's
+  /// *schema*, never its tuples. The evaluator calls this on short-circuit
+  /// paths — e.g. the base side of a join whose differential side turned
+  /// out empty — where the result shape is still needed but no data
+  /// dependency exists. Contexts that track data reads for optimistic
+  /// conflict validation (TxnContext) override it to skip read recording;
+  /// the default is a plain Resolve.
+  virtual Result<const Relation*> ResolveSchemaOnly(
+      RelRefKind kind, const std::string& name) const {
+    return Resolve(kind, name);
+  }
 };
 
 /// Work counters filled during evaluation; the bench harness and the

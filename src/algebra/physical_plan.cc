@@ -145,6 +145,30 @@ class EmptyCursor : public TupleCursor {
   }
 };
 
+/// Re-yields one already-pulled tuple ahead of the rest of the stream:
+/// the peek-then-continue pattern. The short-circuit joins peek their
+/// differential-bounded side to decide whether the base side needs
+/// resolving at all; when it does, the peeked tuple is handed back
+/// through this wrapper so counting and results stay exact.
+class PrependCursor : public TupleCursor {
+ public:
+  PrependCursor(Tuple first, std::unique_ptr<TupleCursor> rest)
+      : first_(std::move(first)), rest_(std::move(rest)) {}
+
+  Result<const Tuple*> Next() override {
+    if (!first_done_) {
+      first_done_ = true;
+      return &first_;
+    }
+    return rest_->Next();
+  }
+
+ private:
+  Tuple first_;
+  std::unique_ptr<TupleCursor> rest_;
+  bool first_done_ = false;
+};
+
 class SelectCursor : public TupleCursor {
  public:
   SelectCursor(Stream child, const ScalarExpr* pred, EvalStats* stats,
@@ -854,13 +878,19 @@ class PlanExecutor {
 
   Result<Stream> OpenJoinLike(const PhysicalNode& n) {
     CountOperator(stats_);
-    const RelExpr& e = *n.logical;
-
     // The build side. A borrowed base relation with a declared index on
     // exactly the join's key attributes is probed in place: no scan, no
     // table build — this is what makes the compiled differential checks
     // cheap on every transaction after the first.
     TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(n.child(1)));
+    return OpenJoinWithRight(n, std::move(right));
+  }
+
+  /// The rest of a join-like open, once the build side is in hand (the
+  /// index-lookup fallback re-enters here with its already-peeked side).
+  /// The caller has counted the operator.
+  Result<Stream> OpenJoinWithRight(const PhysicalNode& n, RelHandle right) {
+    const RelExpr& e = *n.logical;
     const Relation& r = right.get();
     const RelationIndex* index =
         n.right_keys.empty() ? nullptr : r.FindIndex(n.right_keys);
@@ -868,12 +898,24 @@ class PlanExecutor {
     const bool is_join = e.kind() == RelExprKind::kJoin;
     if (r.empty()) {
       // An antijoin with nothing to exclude is the left side itself; a
-      // join or semijoin with nothing to match is empty. Either way the
-      // left subtree is opened but never re-filtered — this is what makes
-      // differential checks free when the transaction did not touch the
-      // differential relation.
+      // join or semijoin with nothing to match is empty without reading
+      // the left side at all — its schema is resolved without recording a
+      // data read, which keeps optimistic read sets free of relations a
+      // trivially-satisfied differential check never actually consulted.
+      if (e.kind() == RelExprKind::kAntiJoin) return Open(n.child(0));
+      TXMOD_ASSIGN_OR_RETURN(std::shared_ptr<const RelationSchema> lschema,
+                             SubtreeSchema(n.child(0)));
+      if (lschema != nullptr) {
+        Stream s;
+        s.schema = is_join ? MakeSchema(ConcatAttrs(*lschema, r.schema()))
+                           : std::move(lschema);
+        s.unique = true;
+        s.cursor = std::make_unique<EmptyCursor>();
+        return s;
+      }
+      // Schema inference could not type the subtree; open it (the
+      // cursor below never pulls from it).
       TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
-      if (e.kind() == RelExprKind::kAntiJoin) return l;
       Stream s;
       s.schema = is_join ? MakeSchema(ConcatAttrs(*l.schema, r.schema()))
                          : l.schema;
@@ -906,18 +948,46 @@ class PlanExecutor {
 
   Result<Stream> OpenIndexLookupJoin(const PhysicalNode& n) {
     const RelExpr& e = *n.logical;
+    const bool is_join = e.kind() == RelExprKind::kJoin;
+    // Peek the differential-bounded right side before touching the base
+    // probe side: a rule check over an untouched differential then never
+    // resolves the base relation at all — no scan, no index probe, and
+    // (for optimistic sessions) no recorded read to conflict on.
+    TXMOD_ASSIGN_OR_RETURN(Stream r, Open(n.child(1)));
+    TXMOD_ASSIGN_OR_RETURN(const Tuple* first, r.cursor->Next());
+    if (first == nullptr) {
+      CountOperator(stats_);
+      TXMOD_ASSIGN_OR_RETURN(
+          const Relation* base,
+          ctx_.ResolveSchemaOnly(e.left()->ref_kind(),
+                                 e.left()->rel_name()));
+      Stream s;
+      s.schema = is_join
+                     ? MakeSchema(ConcatAttrs(base->schema(), *r.schema))
+                     : base->schema_ptr();
+      s.unique = true;
+      s.cursor = std::make_unique<EmptyCursor>();
+      return s;
+    }
+    Tuple first_copy = *first;
+    r.cursor = std::make_unique<PrependCursor>(std::move(first_copy),
+                                               std::move(r.cursor));
+
     TXMOD_ASSIGN_OR_RETURN(
         const Relation* base,
         ctx_.Resolve(e.left()->ref_kind(), e.left()->rel_name()));
     const RelationIndex* index = base->FindIndex(n.left_keys);
     // Without a declared probe-side index the inversion has no advantage;
-    // run the node as the plain hash join it would otherwise have been.
-    if (index == nullptr) return OpenJoinLike(n);
+    // run the node as the plain hash join it would otherwise have been,
+    // materializing the (already peeked) right side as its build.
+    if (index == nullptr) {
+      CountOperator(stats_);
+      TXMOD_ASSIGN_OR_RETURN(Relation right_rel, Drain(&r));
+      return OpenJoinWithRight(n, RelHandle::Owned(std::move(right_rel)));
+    }
 
     CountOperator(stats_);
-    TXMOD_ASSIGN_OR_RETURN(Stream r, Open(n.child(1)));
     Stream s;
-    const bool is_join = e.kind() == RelExprKind::kJoin;
     s.schema = is_join
                    ? MakeSchema(ConcatAttrs(base->schema(), *r.schema))
                    : base->schema_ptr();
@@ -956,19 +1026,35 @@ class PlanExecutor {
     // attribute projection of a reference whose resolved relation carries
     // a declared index on exactly those attributes, the projection is
     // never materialized — each left tuple costs one index probe. Neither
-    // the projection nor its input count as scanned.
+    // the projection nor its input count as scanned. The left side is
+    // peeked first: an empty left (an untouched differential, the common
+    // rule-check case) makes both diff and intersect empty without the
+    // membership relation ever being resolved — so it is not recorded as
+    // a read.
     if (n.op == PhysOpKind::kIndexSetOp) {
+      TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
+      if (l.schema->arity() != n.setop_attrs.size()) {
+        return Status::InvalidArgument(
+            StrCat("set operation over different arities: ",
+                   l.schema->arity(), " vs ", n.setop_attrs.size()));
+      }
+      TXMOD_ASSIGN_OR_RETURN(const Tuple* first, l.cursor->Next());
+      if (first == nullptr) {
+        CountOperator(stats_);
+        Stream s;
+        s.schema = l.schema;
+        s.unique = true;
+        s.cursor = std::make_unique<EmptyCursor>();
+        return s;
+      }
+      Tuple first_copy = *first;
+      l.cursor = std::make_unique<PrependCursor>(std::move(first_copy),
+                                                 std::move(l.cursor));
       TXMOD_ASSIGN_OR_RETURN(const Relation* base,
                              ctx_.Resolve(n.setop_ref_kind, n.setop_rel));
       const RelationIndex* index = base->FindIndex(n.setop_attrs);
       if (index != nullptr) {
         CountOperator(stats_);
-        TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
-        if (l.schema->arity() != n.setop_attrs.size()) {
-          return Status::InvalidArgument(
-              StrCat("set operation over different arities: ",
-                     l.schema->arity(), " vs ", n.setop_attrs.size()));
-        }
         Stream s;
         s.schema = l.schema;
         s.unique = l.unique;
@@ -976,11 +1062,21 @@ class PlanExecutor {
                                                         want_in, stats_);
         return s;
       }
+      // No declared index after all: generic membership over the
+      // already-open (peeked) left stream.
+      CountOperator(stats_);
+      TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(n.child(1)));
+      return OpenSetOpWithInputs(std::move(l), std::move(right), want_in);
     }
 
     CountOperator(stats_);
     TXMOD_ASSIGN_OR_RETURN(RelHandle right, Materialize(n.child(1)));
     TXMOD_ASSIGN_OR_RETURN(Stream l, Open(n.child(0)));
+    return OpenSetOpWithInputs(std::move(l), std::move(right), want_in);
+  }
+
+  Result<Stream> OpenSetOpWithInputs(Stream l, RelHandle right,
+                                     bool want_in) {
     if (l.schema->arity() != right.get().arity()) {
       return Status::InvalidArgument(
           StrCat("set operation over different arities: ", l.schema->arity(),
@@ -1003,6 +1099,32 @@ class PlanExecutor {
     s.cursor = std::make_unique<FilterSetOpCursor>(
         std::move(l), std::move(right), want_in, stats_);
     return s;
+  }
+
+  /// Static schema of the subtree under `n` without executing it and
+  /// without recording data reads: a direct schema-only resolve for
+  /// scans, logical-tree inference otherwise. Returns null (not an
+  /// error) when inference cannot type the tree; the caller then falls
+  /// back to opening the subtree.
+  Result<std::shared_ptr<const RelationSchema>> SubtreeSchema(
+      const PhysicalNode& n) {
+    if (n.op == PhysOpKind::kScan) {
+      TXMOD_ASSIGN_OR_RETURN(
+          const Relation* rel,
+          ctx_.ResolveSchemaOnly(n.logical->ref_kind(),
+                                 n.logical->rel_name()));
+      return rel->schema_ptr();
+    }
+    Result<RelationSchema> inferred = InferSchema(
+        *n.logical,
+        [this](RelRefKind kind,
+               const std::string& name) -> Result<RelationSchema> {
+          TXMOD_ASSIGN_OR_RETURN(const Relation* rel,
+                                 ctx_.ResolveSchemaOnly(kind, name));
+          return rel->schema();
+        });
+    if (!inferred.ok()) return std::shared_ptr<const RelationSchema>();
+    return std::make_shared<const RelationSchema>(*std::move(inferred));
   }
 
   /// Aggregates are pipeline breakers: the whole input is consumed before
@@ -1626,47 +1748,61 @@ Result<BoundPlan> PlanCache::GetOrCompileShaped(const RelExpr& expr,
   BoundPlan out;
   out.params = std::move(fp.params);
 
-  auto it = shaped_.find(fp.shape);
-  if (it != shaped_.end()) {
-    ++shape_hits_;
-    if (stats != nullptr) ++stats->plan_cache_hits;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    out.plan = it->second.plan.get();
-    out.cache_hit = true;
-    return out;
+  {
+    std::lock_guard<std::mutex> lock(*shape_mu_);
+    auto it = shaped_.find(fp.shape);
+    if (it != shaped_.end()) {
+      ++shape_hits_;
+      if (stats != nullptr) ++stats->plan_cache_hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      out.owned = it->second.plan;  // survives concurrent eviction
+      out.plan = out.owned.get();
+      out.cache_hit = true;
+      return out;
+    }
+    ++shape_misses_;
+    if (stats != nullptr) ++stats->plan_cache_misses;
   }
 
-  ++shape_misses_;
-  if (stats != nullptr) ++stats->plan_cache_misses;
-  // Miss: canonicalize and compile once for this shape. The canonical
-  // tree's own params are discarded — `out.params` (this statement's
-  // constants) is the binding every execution supplies.
+  // Miss: canonicalize and compile once for this shape, outside the lock
+  // (compilation is the expensive part; a duplicate concurrent compile of
+  // the same shape is rare and harmless — the first inserter's entry is
+  // kept, later compiles of the same shape just execute their own copy).
+  // The canonical tree's own params are discarded — `out.params` (this
+  // statement's constants) is the binding every execution supplies.
   ParameterizedExpr canonical = ParameterizeExpr(expr);
   TXMOD_ASSIGN_OR_RETURN(
       PhysicalPlan plan,
       PhysicalPlan::Compile(std::move(canonical.expr),
                             static_cast<int>(canonical.params.size())));
-  auto owned = std::make_unique<PhysicalPlan>(std::move(plan));
+  out.owned = std::make_shared<const PhysicalPlan>(std::move(plan));
+  out.plan = out.owned.get();
+
+  std::lock_guard<std::mutex> lock(*shape_mu_);
   if (shape_capacity_ == 0) {
-    out.owned = std::shared_ptr<const PhysicalPlan>(std::move(owned));
-    out.plan = out.owned.get();  // not retained; caller keeps it alive
+    return out;  // not retained; out.owned keeps it alive for this use
+  }
+  auto it = shaped_.find(fp.shape);
+  if (it != shaped_.end()) {
+    // A concurrent miss on the same shape inserted first; keep that entry
+    // and just refresh its recency. Our compile still executes correctly.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return out;
   }
   lru_.push_front(fp.shape);
   ShapedEntry entry;
-  entry.plan = std::move(owned);
+  entry.plan = out.owned;
   entry.lru_pos = lru_.begin();
-  out.plan = entry.plan.get();
   shaped_.emplace(std::move(fp.shape), std::move(entry));
-  EvictOverCapacity(stats);
+  EvictOverCapacityLocked(stats);
   return out;
 }
 
-void PlanCache::EvictOverCapacity(EvalStats* stats) {
+void PlanCache::EvictOverCapacityLocked(EvalStats* stats) {
   while (shaped_.size() > shape_capacity_ && !lru_.empty()) {
     // The newly inserted entry is at the LRU front and is never the one
-    // evicted (capacity >= 1 here), so the pointer just handed out stays
-    // valid for the current execution.
+    // evicted (capacity >= 1 here); evicted plans stay alive for any
+    // execution still holding their BoundPlan::owned reference.
     shaped_.erase(lru_.back());
     lru_.pop_back();
     ++shape_evictions_;
@@ -1675,18 +1811,53 @@ void PlanCache::EvictOverCapacity(EvalStats* stats) {
 }
 
 void PlanCache::InvalidateShapes() {
+  std::lock_guard<std::mutex> lock(*shape_mu_);
   shaped_.clear();
   lru_.clear();
 }
 
 void PlanCache::set_shape_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(*shape_mu_);
   shape_capacity_ = capacity;
-  EvictOverCapacity(nullptr);
+  EvictOverCapacityLocked(nullptr);
+}
+
+std::size_t PlanCache::shape_size() const {
+  std::lock_guard<std::mutex> lock(*shape_mu_);
+  return shaped_.size();
+}
+
+std::size_t PlanCache::shape_capacity() const {
+  std::lock_guard<std::mutex> lock(*shape_mu_);
+  return shape_capacity_;
+}
+
+uint64_t PlanCache::shape_hits() const {
+  std::lock_guard<std::mutex> lock(*shape_mu_);
+  return shape_hits_;
+}
+
+uint64_t PlanCache::shape_misses() const {
+  std::lock_guard<std::mutex> lock(*shape_mu_);
+  return shape_misses_;
+}
+
+uint64_t PlanCache::shape_evictions() const {
+  std::lock_guard<std::mutex> lock(*shape_mu_);
+  return shape_evictions_;
+}
+
+void PlanCache::CountBypassedMiss(EvalStats* stats) {
+  std::lock_guard<std::mutex> lock(*shape_mu_);
+  ++shape_misses_;
+  if (stats != nullptr) ++stats->plan_cache_misses;
 }
 
 void PlanCache::Clear() {
   plans_.clear();
-  InvalidateShapes();
+  std::lock_guard<std::mutex> lock(*shape_mu_);
+  shaped_.clear();
+  lru_.clear();
   shape_hits_ = shape_misses_ = shape_evictions_ = 0;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -178,16 +179,16 @@ Result<AggPartial> AggregateLocal(const PhysicalNode& node,
                                   EvalStats* stats = nullptr);
 
 /// A compiled plan bound to one statement's constants: the result of a
-/// shaped cache lookup. `plan` is owned by the cache — valid until the
-/// next shaped lookup, which may evict it — except when the cache chose
-/// not to retain it (capacity 0), in which case `owned` keeps it alive for
-/// this use. `params` is this statement's binding vector for the plan's
-/// parameter slots.
+/// shaped cache lookup. `owned` always shares ownership of the plan, so
+/// the plan stays alive for this execution even if a concurrent lookup
+/// evicts it from the cache (or the cache chose not to retain it at all,
+/// capacity 0). `params` is this statement's binding vector for the
+/// plan's parameter slots.
 struct BoundPlan {
   const PhysicalPlan* plan = nullptr;
   std::vector<Value> params;
   bool cache_hit = false;
-  std::shared_ptr<const PhysicalPlan> owned;  // null when cache-resident
+  std::shared_ptr<const PhysicalPlan> owned;  // keeps `plan` alive
 };
 
 /// Finalizes a (merged) partial into the aggregate's result value.
@@ -209,10 +210,16 @@ Result<Value> FinalizeAggregate(const AggPartial& acc, AggFunc func);
 ///    `shape_capacity` with least-recently-used eviction, so millions of
 ///    distinct ad-hoc shapes cannot grow it without bound.
 ///
-/// Lookups mutate the cache (compile-on-miss, LRU bookkeeping); callers
-/// must serialize access. The subsystem rebuilds the whole cache on every
-/// rule definition/drop, which is also what invalidates stale shaped
-/// entries (tests/plan_cache_test.cc pins this).
+/// Concurrency: the shaped side is safe for concurrent lookup — an
+/// internal mutex serializes its compile-on-miss, LRU bookkeeping, and
+/// counters, and every BoundPlan shares ownership of its plan so eviction
+/// by one session can never dangle another session's in-flight execution.
+/// The pinned side is lock-free by construction: it is populated at
+/// rule-definition time (single-threaded, before sessions run) and then
+/// only read; Lookup() takes no lock. Rule definition/drop — which
+/// rebuilds and moves the whole cache — must therefore be quiesced
+/// against concurrent execution, the same contract the transaction
+/// manager documents.
 class PlanCache {
  public:
   /// The pinned (identity-side) plan for `expr`, compiling and inserting
@@ -234,7 +241,7 @@ class PlanCache {
   std::vector<const PhysicalPlan*> Plans() const;
 
   std::size_t size() const { return plans_.size(); }
-  std::size_t shape_size() const { return shaped_.size(); }
+  std::size_t shape_size() const;
   void Clear();
 
   /// Drops every shaped entry (rule-set or physical-design change).
@@ -245,33 +252,35 @@ class PlanCache {
   /// compiles fresh and nothing is retained) — the oracle tests' fresh-
   /// compile-every-statement mode.
   void set_shape_capacity(std::size_t capacity);
-  std::size_t shape_capacity() const { return shape_capacity_; }
+  std::size_t shape_capacity() const;
 
   /// Cumulative shaped-side traffic since construction/Clear.
-  uint64_t shape_hits() const { return shape_hits_; }
-  uint64_t shape_misses() const { return shape_misses_; }
-  uint64_t shape_evictions() const { return shape_evictions_; }
+  uint64_t shape_hits() const;
+  uint64_t shape_misses() const;
+  uint64_t shape_evictions() const;
 
   /// Records a statement that compiled fresh without consulting the
   /// shaped side (a caller-implemented bypass of a disabled cache). Keeps
   /// shape_misses() an honest "statements that had to compile" total
   /// across engines whether they bypass or route capacity-0 lookups
   /// through GetOrCompileShaped.
-  void CountBypassedMiss(EvalStats* stats) {
-    ++shape_misses_;
-    if (stats != nullptr) ++stats->plan_cache_misses;
-  }
+  void CountBypassedMiss(EvalStats* stats);
 
  private:
   struct ShapedEntry {
-    std::unique_ptr<PhysicalPlan> plan;
+    // Shared so a BoundPlan can outlive eviction (concurrent sessions).
+    std::shared_ptr<const PhysicalPlan> plan;
     std::list<std::string>::iterator lru_pos;
   };
 
-  void EvictOverCapacity(EvalStats* stats);
+  void EvictOverCapacityLocked(EvalStats* stats);
 
   std::unordered_map<const RelExpr*, std::unique_ptr<PhysicalPlan>> plans_;
 
+  // Guards every shaped_/lru_/counter access. Behind a unique_ptr so the
+  // cache stays movable (the subsystem move-assigns a freshly built cache
+  // on every rule recompile, which is quiesced against execution).
+  std::unique_ptr<std::mutex> shape_mu_ = std::make_unique<std::mutex>();
   std::unordered_map<std::string, ShapedEntry> shaped_;
   std::list<std::string> lru_;  // front = most recently used
   std::size_t shape_capacity_ = kDefaultShapeCapacity;

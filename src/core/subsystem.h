@@ -99,6 +99,13 @@ class IntegritySubsystem {
   /// which also invalidates every shaped entry.
   const algebra::PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// Mutable cache access for the transaction manager: concurrent
+  /// sessions share one cache (the shaped side is internally
+  /// synchronized; the pinned side is read-only during execution).
+  /// Defining or dropping rules while sessions execute is NOT supported —
+  /// quiesce traffic first.
+  algebra::PlanCache* shared_plan_cache() { return &plan_cache_; }
+
   /// Explain() dumps of every compiled check plan, keyed by the check
   /// statement's textual form. Diagnostics; tests pin plan choices on it.
   std::map<std::string, std::string> ExplainPlans() const;

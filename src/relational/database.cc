@@ -4,11 +4,31 @@
 
 namespace txmod {
 
+Database::Database(const Database& other)
+    : schema_(other.schema_),
+      relations_(other.relations_),
+      logical_time_(other.logical_time_) {
+  // Every state is now shared: neither side may mutate one in place.
+  other.owned_.clear();
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this != &other) {
+    schema_ = other.schema_;
+    relations_ = other.relations_;
+    logical_time_ = other.logical_time_;
+    owned_.clear();
+    other.owned_.clear();
+  }
+  return *this;
+}
+
 Status Database::CreateRelation(RelationSchema schema) {
   const std::string name = schema.name();
   TXMOD_RETURN_IF_ERROR(schema_.AddRelation(schema));
   auto shared = std::make_shared<const RelationSchema>(std::move(schema));
-  relations_.emplace(name, Relation(std::move(shared)));
+  relations_.emplace(name, std::make_shared<Relation>(std::move(shared)));
+  owned_.insert(name);
   return Status::OK();
 }
 
@@ -17,7 +37,7 @@ Result<const Relation*> Database::Find(const std::string& name) const {
   if (it == relations_.end()) {
     return Status::NotFound(StrCat("relation ", name, " does not exist"));
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Result<Relation*> Database::FindMutable(const std::string& name) {
@@ -25,7 +45,38 @@ Result<Relation*> Database::FindMutable(const std::string& name) {
   if (it == relations_.end()) {
     return Status::NotFound(StrCat("relation ", name, " does not exist"));
   }
-  return &it->second;
+  std::shared_ptr<Relation>& slot = it->second;
+  if (owned_.find(name) == owned_.end()) {
+    // Copy-on-write: this state is (or once was) shared with a snapshot —
+    // shared states are immutable, so clone privately and re-declare the
+    // indexes the plain Relation copy drops, keeping compiled checks on
+    // their fast paths for whichever side wrote.
+    auto owned = std::make_shared<Relation>(*slot);
+    for (const std::vector<int>& attrs : slot->DeclaredIndexes()) {
+      owned->IndexOn(attrs);
+    }
+    slot = std::move(owned);
+    owned_.insert(name);
+  }
+  return slot.get();
+}
+
+std::shared_ptr<Relation> Database::TakeOwnedRelation(
+    const std::string& name) {
+  auto owned_it = owned_.find(name);
+  if (owned_it == owned_.end()) return nullptr;
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return nullptr;
+  std::shared_ptr<Relation> out = std::move(it->second);
+  relations_.erase(it);
+  owned_.erase(owned_it);
+  return out;
+}
+
+void Database::AdoptRelation(const std::string& name,
+                             std::shared_ptr<Relation> rel) {
+  relations_[name] = std::move(rel);
+  owned_.insert(name);
 }
 
 std::vector<std::string> Database::RelationNames() const {
@@ -36,15 +87,16 @@ std::vector<std::string> Database::RelationNames() const {
 }
 
 Database Database::Clone() const {
-  return *this;  // All members are value types; map copy is a deep copy.
+  return *this;  // Shares relation states; FindMutable un-shares on write.
 }
 
-bool Database::SameState(const Database& other) const {
+bool Database::SameState(const Database& other, bool compare_time) const {
+  if (compare_time && logical_time_ != other.logical_time_) return false;
   if (relations_.size() != other.relations_.size()) return false;
   for (const auto& [name, rel] : relations_) {
     auto it = other.relations_.find(name);
     if (it == other.relations_.end()) return false;
-    if (!rel.SameTuples(it->second)) return false;
+    if (!rel->SameTuples(*it->second)) return false;
   }
   return true;
 }

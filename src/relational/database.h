@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "src/relational/relation.h"
@@ -15,12 +16,55 @@ namespace txmod {
 /// 2.2), together with its logical time t (Definition 2.3). Transactions
 /// advance logical time by exactly one on commit (single-step transitions);
 /// an aborted transaction leaves both state and time unchanged.
+///
+/// Snapshot facility (copy-on-write): relations are held behind shared
+/// pointers, so copying a Database — Clone(), the copy constructor, or
+/// assignment — is O(#relations) and *shares* every relation state with
+/// the source. Value semantics are preserved by FindMutable: the first
+/// mutable access to a shared relation clones it privately first (and
+/// re-declares its equi-key indexes, which plain Relation copies drop).
+/// This is what gives concurrent sessions a stable committed snapshot
+/// D^t to read while writers build differentials: a snapshot is just a
+/// Clone() of the committed database, and neither side's mutations are
+/// ever visible to the other.
+///
+/// Ownership discipline (the race-freedom argument): every Database
+/// instance tracks which relation states it exclusively owns — those it
+/// created or cloned itself and has never shared out. Copying a Database
+/// marks every state shared on BOTH sides, and a shared state is
+/// immutable forever after: FindMutable never mutates one, it clones
+/// first. Deliberately NOT shared_ptr::use_count() — observing a
+/// refcount drop to 1 via its relaxed load would not establish a
+/// happens-before edge with the releasing thread's prior reads, so
+/// mutating "because the count says we are alone" is a data race
+/// (ThreadSanitizer-verified). The owned-set is per-instance state,
+/// touched only by this instance's single thread (or under the
+/// transaction manager's commit lock).
+///
+/// Thread safety: a Database object is single-threaded, but Database
+/// objects sharing relation states may be used from different threads as
+/// long as snapshot creation (copying) is not concurrent with mutation
+/// of the source — the transaction manager serializes Begin() against
+/// commit application for exactly this reason.
 class Database {
  public:
+  Database() = default;
+  /// Copying shares every relation state and renders them immutable on
+  /// both sides (each side clones on its next write).
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
   /// Creates an empty relation for `schema`. Names must be unique.
   Status CreateRelation(RelationSchema schema);
 
   Result<const Relation*> Find(const std::string& name) const;
+
+  /// Mutable access with copy-on-write: while the relation state is
+  /// shared with another Database (an outstanding snapshot), it is cloned
+  /// — including re-declaring its indexes — before being returned, so
+  /// mutation never leaks into other holders.
   Result<Relation*> FindMutable(const std::string& name);
 
   bool Contains(const std::string& name) const {
@@ -35,15 +79,47 @@ class Database {
   uint64_t logical_time() const { return logical_time_; }
   void AdvanceTime() { ++logical_time_; }
 
-  /// Deep copy of the full state (property tests, post-hoc baseline).
+  /// A copy with full value semantics. O(#relations) thanks to
+  /// copy-on-write sharing: relation payloads are copied lazily, on first
+  /// mutable access by whichever side writes first. This is the snapshot
+  /// primitive: `Database snap = committed.Clone()` pins the committed
+  /// state D^t for as long as `snap` lives.
   Database Clone() const;
 
-  /// True when both databases hold the same relations with the same tuples.
-  bool SameState(const Database& other) const;
+  /// Transfers out a relation state this instance exclusively owns (see
+  /// the ownership discipline above), removing the entry — this database
+  /// no longer resolves `name` afterwards. Returns null when the state
+  /// is shared or unknown. Together with AdoptRelation this is the
+  /// transaction manager's swap-in commit fast path: a session that
+  /// cloned a relation privately and ran against the current committed
+  /// version hands its post-state over by pointer, not by copy.
+  std::shared_ptr<Relation> TakeOwnedRelation(const std::string& name);
+
+  /// Installs `rel` as `name`'s state and takes exclusive ownership. The
+  /// caller must guarantee no other Database still shares `rel` (pairs
+  /// with TakeOwnedRelation, whose owned-set proof supplies exactly
+  /// that). The relation must exist in the schema already.
+  void AdoptRelation(const std::string& name, std::shared_ptr<Relation> rel);
+
+  /// True when both databases hold the same relations with the same
+  /// tuples. Logical time is deliberately NOT part of the default
+  /// comparison — two states reached by different transaction histories
+  /// (e.g. a recovered database vs. the live one it mirrors, or a serial
+  /// replay vs. a concurrent execution) compare equal when their contents
+  /// agree. Pass `compare_time = true` to additionally require equal
+  /// logical times. (Clone() always copies the time; SameState ignoring
+  /// it by default is the documented asymmetry.)
+  bool SameState(const Database& other, bool compare_time = false) const;
 
  private:
   DatabaseSchema schema_;
-  std::map<std::string, Relation> relations_;
+  // Shared relation states: the copy-on-write substrate.
+  std::map<std::string, std::shared_ptr<Relation>> relations_;
+  // Names whose state this instance exclusively owns (created or cloned
+  // here, never shared out). Mutable: copying a const source must strip
+  // the source's ownership too, or it would keep mutating state the copy
+  // now reads.
+  mutable std::set<std::string> owned_;
   uint64_t logical_time_ = 0;
 };
 

@@ -1,5 +1,8 @@
 #include "src/relational/persist.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -14,7 +17,9 @@ namespace {
 constexpr char kMagic[] = "txmod-checkpoint";
 constexpr int kVersion = 1;
 
-std::string EncodeValue(const Value& v) {
+}  // namespace
+
+std::string EncodeValueText(const Value& v) {
   switch (v.type()) {
     case ValueType::kNull:
       return "null";
@@ -53,7 +58,7 @@ std::string EncodeValue(const Value& v) {
   return "null";
 }
 
-Result<Value> DecodeValue(const std::string& text) {
+Result<Value> DecodeValueText(const std::string& text) {
   if (text == "null") return Value::Null();
   if (text.rfind("i:", 0) == 0) {
     return Value::Int(std::strtoll(text.c_str() + 2, nullptr, 10));
@@ -85,9 +90,9 @@ Result<Value> DecodeValue(const std::string& text) {
   return Status::InvalidArgument(StrCat("bad value encoding: ", text));
 }
 
-/// Splits a tuple line into value encodings. Spaces inside quoted strings
-/// are part of the value; a simple state machine tracks quoting.
-std::vector<std::string> SplitValues(const std::string& line) {
+/// Spaces inside quoted strings are part of the value; a simple state
+/// machine tracks quoting.
+std::vector<std::string> SplitEncodedValues(const std::string& line) {
   std::vector<std::string> out;
   std::string current;
   bool in_string = false;
@@ -120,6 +125,8 @@ std::vector<std::string> SplitValues(const std::string& line) {
   return out;
 }
 
+namespace {
+
 Result<AttrType> DecodeAttrType(const std::string& name) {
   if (name == "int") return AttrType::kInt;
   if (name == "double") return AttrType::kDouble;
@@ -142,7 +149,7 @@ Status SaveDatabase(const Database& db, std::ostream& out) {
     }
     for (const Tuple& t : rel->SortedTuples()) {
       out << "tuple";
-      for (const Value& v : t.values()) out << " " << EncodeValue(v);
+      for (const Value& v : t.values()) out << " " << EncodeValueText(v);
       out << "\n";
     }
     out << "end\n";
@@ -158,6 +165,52 @@ Status SaveDatabaseToFile(const Database& db, const std::string& path) {
                                           " for writing"));
   }
   return SaveDatabase(db, out);
+}
+
+Status CheckpointDatabaseToFile(const Database& db, const std::string& path) {
+  const std::string tmp = StrCat(path, ".tmp");
+  {
+    std::ofstream out(tmp);
+    if (!out.is_open()) {
+      return Status::InvalidArgument(StrCat("cannot open ", tmp,
+                                            " for writing"));
+    }
+    TXMOD_RETURN_IF_ERROR(SaveDatabase(db, out));
+    out.flush();
+    if (!out.good()) return Status::Internal(StrCat("flush of ", tmp,
+                                                    " failed"));
+  }
+  // Flush the temp file's bytes to stable storage before the rename makes
+  // it visible under the checkpoint name: rename-before-durable could
+  // expose a checkpoint whose content a crash then loses.
+  const int fd = ::open(tmp.c_str(), O_WRONLY);
+  if (fd < 0) return Status::Internal(StrCat("reopen of ", tmp, " failed"));
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) return Status::Internal(StrCat("fsync of ", tmp, " failed"));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal(StrCat("rename of ", tmp, " to ", path,
+                                   " failed"));
+  }
+  // The rename only becomes durable with the directory entry; without
+  // this, a later durable WAL truncation could outlive a lost rename and
+  // recovery would pair the OLD checkpoint with an EMPTY log.
+  return FsyncParentDirectory(path);
+}
+
+Status FsyncParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(StrCat("cannot open directory ", dir));
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) return Status::Internal(StrCat("fsync of ", dir, " failed"));
+  return Status::OK();
 }
 
 Result<Database> LoadDatabase(std::istream& in) {
@@ -222,8 +275,8 @@ Result<Database> LoadDatabase(std::istream& in) {
       std::string rest;
       std::getline(fields, rest);
       std::vector<Value> values;
-      for (const std::string& enc : SplitValues(rest)) {
-        TXMOD_ASSIGN_OR_RETURN(Value v, DecodeValue(enc));
+      for (const std::string& enc : SplitEncodedValues(rest)) {
+        TXMOD_ASSIGN_OR_RETURN(Value v, DecodeValueText(enc));
         values.push_back(std::move(v));
       }
       Tuple tuple(std::move(values));

@@ -29,9 +29,31 @@ namespace txmod {
 Status SaveDatabase(const Database& db, std::ostream& out);
 Status SaveDatabaseToFile(const Database& db, const std::string& path);
 
+/// Crash-safe checkpoint: writes to `path`.tmp, flushes to stable storage
+/// (fsync), atomically renames over `path`, then fsyncs the parent
+/// directory so the rename itself is durable. A crash at any point
+/// leaves either the old checkpoint or the new one, never a torn file —
+/// the property the WAL recovery path (wal.h) builds on (in particular,
+/// checkpoint-then-truncate-WAL must never observe the truncation
+/// durable while the rename is not).
+Status CheckpointDatabaseToFile(const Database& db, const std::string& path);
+
+/// Fsyncs the directory containing `path` (making a rename of `path`
+/// durable). Exposed for the WAL's own rename-based repair.
+Status FsyncParentDirectory(const std::string& path);
+
 /// Restores a checkpoint into a fresh Database (schema included).
 Result<Database> LoadDatabase(std::istream& in);
 Result<Database> LoadDatabaseFromFile(const std::string& path);
+
+/// The value codec behind the checkpoint format, shared with the
+/// write-ahead log (wal.h): `null`, `i:<digits>`, `d:<hex-float>`
+/// (lossless), `s:"<escaped>"`. SplitEncodedValues tokenizes one
+/// space-separated line of encodings (spaces inside quoted strings are
+/// preserved).
+std::string EncodeValueText(const Value& v);
+Result<Value> DecodeValueText(const std::string& text);
+std::vector<std::string> SplitEncodedValues(const std::string& line);
 
 }  // namespace txmod
 

@@ -64,6 +64,13 @@ const RelationIndex* Relation::FindIndex(
   return nullptr;
 }
 
+std::vector<std::vector<int>> Relation::DeclaredIndexes() const {
+  std::vector<std::vector<int>> out;
+  out.reserve(indexes_.size());
+  for (const auto& index : indexes_) out.push_back(index->attrs());
+  return out;
+}
+
 std::vector<Tuple> Relation::SortedTuples() const {
   std::vector<Tuple> out(tuples_.begin(), tuples_.end());
   std::sort(out.begin(), out.end(), Tuple::Less);

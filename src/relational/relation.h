@@ -116,6 +116,11 @@ class Relation {
 
   std::size_t index_count() const { return indexes_.size(); }
 
+  /// Attribute lists of every declared index, in declaration order. This
+  /// is what lets a copy-on-write clone (Database::FindMutable) re-declare
+  /// the indexes that the plain copy constructor drops.
+  std::vector<std::vector<int>> DeclaredIndexes() const;
+
   using ConstIterator = std::unordered_set<Tuple, TupleHasher>::const_iterator;
   ConstIterator begin() const { return tuples_.begin(); }
   ConstIterator end() const { return tuples_.end(); }

@@ -1,0 +1,340 @@
+#include "src/relational/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/str_util.h"
+#include "src/relational/persist.h"
+
+namespace txmod {
+
+namespace {
+
+constexpr char kWalHeader[] = "txmod-wal 1";
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = UINT64_C(14695981039346656037);
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= UINT64_C(1099511628211);
+  }
+  return h;
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Serializes the record body (everything the checksum covers).
+std::string EncodeRecordBody(const WalRecord& rec) {
+  std::string out = StrCat("txn ", rec.version, "\n");
+  for (const WalDelta& delta : rec.deltas) {
+    out += StrCat("rel ", delta.relation, "\n");
+    for (const Tuple& t : delta.plus) {
+      out += "+";
+      for (const Value& v : t.values()) out += StrCat(" ", EncodeValueText(v));
+      out += "\n";
+    }
+    for (const Tuple& t : delta.minus) {
+      out += "-";
+      for (const Value& v : t.values()) out += StrCat(" ", EncodeValueText(v));
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Status WriteFully(int fd, const std::string& buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("WAL write failed: ",
+                                     std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Tuple> DecodeTupleLine(const std::string& rest) {
+  std::vector<Value> values;
+  for (const std::string& enc : SplitEncodedValues(rest)) {
+    TXMOD_ASSIGN_OR_RETURN(Value v, DecodeValueText(enc));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+  WriteAheadLog log(path);
+  log.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log.fd_ < 0) {
+    return Status::InvalidArgument(StrCat("cannot open WAL ", path, ": ",
+                                          std::strerror(errno)));
+  }
+  const off_t size = ::lseek(log.fd_, 0, SEEK_END);
+  if (size == 0) {
+    TXMOD_RETURN_IF_ERROR(WriteFully(log.fd_, StrCat(kWalHeader, "\n")));
+    // A freshly created file only survives a crash once its directory
+    // entry is durable; without this, every fsync'd commit could vanish
+    // with the whole file (recovery reads a missing WAL as empty).
+    TXMOD_RETURN_IF_ERROR(FsyncParentDirectory(path));
+  } else {
+    // Verify this really is a WAL before appending to it.
+    std::ifstream in(path);
+    std::string first;
+    if (!std::getline(in, first) || first != kWalHeader) {
+      return Status::InvalidArgument(StrCat(path, " is not a txmod WAL"));
+    }
+  }
+  return log;
+}
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      appended_lsn_(other.appended_lsn_.load()),
+      sync_mu_(std::move(other.sync_mu_)),
+      sync_cv_(std::move(other.sync_cv_)),
+      durable_lsn_guarded_(other.durable_lsn_guarded_),
+      sync_in_progress_(other.sync_in_progress_),
+      fsync_count_(other.fsync_count_.load()),
+      sync_requests_(other.sync_requests_.load()),
+      broken_(other.broken_.load()) {
+  other.fd_ = -1;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> WriteAheadLog::Append(const WalRecord& rec) {
+  const std::string body = EncodeRecordBody(rec);
+  const std::string full =
+      StrCat(body, "commit ", rec.version, " ", HexU64(Fnv1a(body)), "\n");
+  std::lock_guard<std::mutex> lock(append_mu_);
+  if (broken_.load()) {
+    return Status::Internal(StrCat("WAL ", path_, " failed previously"));
+  }
+  const off_t pre_size = ::lseek(fd_, 0, SEEK_END);
+  const Status written = WriteFully(fd_, full);
+  if (!written.ok()) {
+    // Un-tear: a partial record left at the tail would make every later
+    // durable record unreachable to recovery (which stops at the first
+    // invalid record). If even the truncate fails, poison the log — no
+    // further append may land after a tear.
+    if (pre_size < 0 || ::ftruncate(fd_, pre_size) != 0) {
+      broken_.store(true);
+    }
+    return written;
+  }
+  return appended_lsn_.fetch_add(1) + 1;
+}
+
+Status WriteAheadLog::Sync(uint64_t lsn) {
+  sync_requests_.fetch_add(1);
+  std::unique_lock<std::mutex> lock(*sync_mu_);
+  while (durable_lsn_guarded_ < lsn) {
+    if (broken_.load()) {
+      // A previous fsync failed. The kernel may have dropped the dirty
+      // pages while marking them clean (the classic fsync-failure trap),
+      // so a retried fsync would "succeed" without making the lost
+      // records durable — never report durability after a failure.
+      return Status::Internal(StrCat("WAL ", path_, " failed previously"));
+    }
+    if (sync_in_progress_) {
+      // Another committer is the fsync leader; its fsync may already
+      // cover our record. Wait and re-check.
+      sync_cv_->wait(lock);
+      continue;
+    }
+    // Become the leader. Capture the append horizon BEFORE the fsync:
+    // everything appended before the fsync call is covered by it, and
+    // records appended during the fsync will be claimed by the next
+    // leader.
+    sync_in_progress_ = true;
+    const uint64_t target = appended_lsn_.load();
+    lock.unlock();
+    const bool ok = ::fsync(fd_) == 0;
+    lock.lock();
+    sync_in_progress_ = false;
+    if (!ok) {
+      broken_.store(true);
+      sync_cv_->notify_all();
+      return Status::Internal(StrCat("fsync of WAL ", path_, " failed"));
+    }
+    fsync_count_.fetch_add(1);
+    if (target > durable_lsn_guarded_) durable_lsn_guarded_ = target;
+    sync_cv_->notify_all();
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate() {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  std::lock_guard<std::mutex> sync_lock(*sync_mu_);
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::Internal(StrCat("ftruncate of WAL ", path_, " failed"));
+  }
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::Internal(StrCat("lseek of WAL ", path_, " failed"));
+  }
+  TXMOD_RETURN_IF_ERROR(WriteFully(fd_, StrCat(kWalHeader, "\n")));
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(StrCat("fsync of WAL ", path_, " failed"));
+  }
+  // LSNs stay monotonic; everything appended so far is durably gone, so
+  // the durable horizon catches up to the append horizon.
+  durable_lsn_guarded_ = appended_lsn_.load();
+  return Status::OK();
+}
+
+uint64_t WriteAheadLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(*sync_mu_);
+  return durable_lsn_guarded_;
+}
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       WalReplayStats* stats) {
+  std::vector<WalRecord> out;
+  std::ifstream in(path);
+  if (!in.is_open()) return out;  // no WAL: empty log
+
+  auto drop_tail = [&](const std::string& why) {
+    if (stats != nullptr) {
+      stats->tail_dropped = true;
+      stats->tail_error = why;
+    }
+  };
+
+  std::string line;
+  if (!std::getline(in, line)) return out;  // zero bytes: empty log
+  if (line != kWalHeader) {
+    // A crash can tear even the header write. A strict prefix of the
+    // header with nothing after it is such a torn tail — an empty log;
+    // anything else is genuinely not a WAL.
+    const std::string header(kWalHeader);
+    std::string rest;
+    if (header.rfind(line, 0) == 0 && !std::getline(in, rest)) {
+      drop_tail("truncated WAL header");
+      return out;
+    }
+    return Status::InvalidArgument(StrCat(path, " is not a txmod WAL"));
+  }
+
+  // Scan records. `body` accumulates the exact bytes the checksum covers;
+  // any structural surprise, checksum mismatch, or EOF mid-record drops
+  // the tail (a torn append) and returns the valid prefix.
+  WalRecord current;
+  WalDelta* delta = nullptr;
+  std::string body;
+  bool in_record = false;
+  while (std::getline(in, line)) {
+    if (!in_record) {
+      if (line.empty()) continue;
+      if (line.rfind("txn ", 0) != 0) {
+        drop_tail(StrCat("expected 'txn', found '", line, "'"));
+        return out;
+      }
+      current = WalRecord{};
+      delta = nullptr;
+      current.version = std::strtoull(line.c_str() + 4, nullptr, 10);
+      body = StrCat(line, "\n");
+      in_record = true;
+      continue;
+    }
+    if (line.rfind("commit ", 0) == 0) {
+      std::istringstream fields(line);
+      std::string kw, checksum;
+      uint64_t version = 0;
+      fields >> kw >> version >> checksum;
+      if (version != current.version || checksum != HexU64(Fnv1a(body))) {
+        drop_tail(StrCat("bad commit line for version ", current.version));
+        return out;
+      }
+      out.push_back(std::move(current));
+      if (stats != nullptr) ++stats->records_read;
+      in_record = false;
+      continue;
+    }
+    if (line.rfind("rel ", 0) == 0) {
+      current.deltas.push_back(WalDelta{line.substr(4), {}, {}});
+      delta = &current.deltas.back();
+    } else if ((line.rfind("+ ", 0) == 0 || line == "+" ||
+                line.rfind("- ", 0) == 0 || line == "-") &&
+               delta != nullptr) {
+      const bool plus = line[0] == '+';
+      Result<Tuple> tuple =
+          DecodeTupleLine(line.size() > 1 ? line.substr(2) : "");
+      if (!tuple.ok()) {
+        drop_tail(StrCat("bad tuple line: ", tuple.status().message()));
+        return out;
+      }
+      (plus ? delta->plus : delta->minus).push_back(std::move(*tuple));
+    } else {
+      drop_tail(StrCat("unexpected line '", line, "'"));
+      return out;
+    }
+    body += StrCat(line, "\n");
+  }
+  if (in_record) drop_tail("record truncated at end of file");
+  return out;
+}
+
+Status ApplyWalRecord(const WalRecord& rec, Database* db,
+                      WalReplayStats* stats) {
+  if (rec.version <= db->logical_time()) {
+    // Already covered by the checkpoint (a crash between checkpoint
+    // rename and WAL truncation leaves such records behind; they are
+    // harmless by design).
+    if (stats != nullptr) ++stats->records_skipped;
+    return Status::OK();
+  }
+  if (rec.version != db->logical_time() + 1) {
+    return Status::InvalidArgument(
+        StrCat("WAL record version ", rec.version, " does not follow ",
+               "database time ", db->logical_time()));
+  }
+  for (const WalDelta& delta : rec.deltas) {
+    TXMOD_ASSIGN_OR_RETURN(Relation * rel, db->FindMutable(delta.relation));
+    for (const Tuple& t : delta.minus) {
+      TXMOD_RETURN_IF_ERROR(rel->schema().CheckTuple(t));
+      rel->Erase(rel->schema().CoerceTuple(t));
+    }
+    for (const Tuple& t : delta.plus) {
+      TXMOD_RETURN_IF_ERROR(rel->schema().CheckTuple(t));
+      rel->Insert(rel->schema().CoerceTuple(t));
+    }
+  }
+  db->AdvanceTime();
+  return Status::OK();
+}
+
+Result<Database> RecoverDatabase(const std::string& checkpoint_path,
+                                 const std::string& wal_path,
+                                 WalReplayStats* stats) {
+  TXMOD_ASSIGN_OR_RETURN(Database db,
+                         LoadDatabaseFromFile(checkpoint_path));
+  TXMOD_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                         ReadWal(wal_path, stats));
+  for (const WalRecord& rec : records) {
+    TXMOD_RETURN_IF_ERROR(ApplyWalRecord(rec, &db, stats));
+  }
+  return db;
+}
+
+}  // namespace txmod

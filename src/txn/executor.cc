@@ -131,20 +131,17 @@ Status ExecuteStatement(const Statement& stmt, TxnContext* ctx,
   return Status::Internal("unknown statement kind");
 }
 
-Result<TxnResult> ExecuteTransaction(const algebra::Transaction& txn,
-                                     Database* db,
-                                     algebra::PlanCache* plan_cache) {
-  TxnContext ctx(db);
-  ctx.set_plan_cache(plan_cache);
+Result<TxnResult> ExecuteProgram(const algebra::Transaction& txn,
+                                 TxnContext* ctx) {
   TxnResult result;
   for (std::size_t i = 0; i < txn.program.statements.size(); ++i) {
-    const Status st = ExecuteStatement(txn.program.statements[i], &ctx,
+    const Status st = ExecuteStatement(txn.program.statements[i], ctx,
                                        &result);
     if (st.ok()) {
       ++result.statements_executed;
       continue;
     }
-    ctx.Rollback();
+    ctx->Rollback();
     if (st.code() == StatusCode::kAborted) {
       result.committed = false;
       result.abort_reason = st.message();
@@ -153,8 +150,24 @@ Result<TxnResult> ExecuteTransaction(const algebra::Transaction& txn,
     }
     return st;  // malformed program: error out (state already restored)
   }
-  ctx.Commit();
-  result.committed = true;
+  result.committed = true;  // ran to completion; caller commits
+  return result;
+}
+
+Result<TxnResult> ExecuteTransaction(const algebra::Transaction& txn,
+                                     Database* db,
+                                     algebra::PlanCache* plan_cache) {
+  // The single-session fast path: execute and commit in one step. A
+  // TxnManager session runs the same ExecuteProgram against a snapshot
+  // and defers the commit decision to first-committer-wins validation.
+  TxnContext ctx(db);
+  ctx.set_plan_cache(plan_cache);
+  TXMOD_ASSIGN_OR_RETURN(TxnResult result, ExecuteProgram(txn, &ctx));
+  if (result.committed) {
+    ctx.Commit();
+    result.commit_version = db->logical_time();
+    result.installed = true;
+  }
   return result;
 }
 

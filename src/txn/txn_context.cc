@@ -8,6 +8,25 @@ using algebra::RelRefKind;
 
 Result<const Relation*> TxnContext::Resolve(RelRefKind kind,
                                             const std::string& name) const {
+  if (track_conflicts_ &&
+      (kind == RelRefKind::kBase || kind == RelRefKind::kOld)) {
+    base_reads_.insert(name);
+  }
+  return ResolveData(kind, name);
+}
+
+Result<const Relation*> TxnContext::ResolveSchemaOnly(
+    RelRefKind kind, const std::string& name) const {
+  if (kind == RelRefKind::kOld) {
+    // old(R) has exactly R's schema; a schema-only access must not pay
+    // for materializing the old view of a possibly huge relation.
+    return db_->Find(name);
+  }
+  return ResolveData(kind, name);
+}
+
+Result<const Relation*> TxnContext::ResolveData(
+    RelRefKind kind, const std::string& name) const {
   switch (kind) {
     case RelRefKind::kBase: {
       TXMOD_ASSIGN_OR_RETURN(const Relation* rel, db_->Find(name));
@@ -72,10 +91,28 @@ Differential& TxnContext::MutableDiff(const std::string& rel) {
   return it->second;
 }
 
+void TxnContext::RecordFootprint(const std::string& rel,
+                                 const Relation& target, const Tuple& t) {
+  auto it = footprint_.find(rel);
+  if (it == footprint_.end()) {
+    it = footprint_.emplace(rel, Relation(target.schema_ptr())).first;
+  }
+  it->second.Insert(t);
+}
+
 Result<bool> TxnContext::InsertTuple(const std::string& rel, Tuple tuple) {
+  // Probe the const view first: a no-op insert (tuple already present)
+  // must not trigger a copy-on-write clone of the whole relation. Under
+  // conflict tracking the footprint is recorded either way — whether it
+  // WAS a no-op is a tuple-granularity read of the committed state.
+  TXMOD_ASSIGN_OR_RETURN(const Relation* current, db_->Find(rel));
+  TXMOD_RETURN_IF_ERROR(current->schema().CheckTuple(tuple));
+  Tuple coerced = current->schema().CoerceTuple(std::move(tuple));
+  if (track_conflicts_) {
+    RecordFootprint(rel, *current, coerced);
+    if (current->Contains(coerced)) return false;  // already present
+  }
   TXMOD_ASSIGN_OR_RETURN(Relation * target, db_->FindMutable(rel));
-  TXMOD_RETURN_IF_ERROR(target->schema().CheckTuple(tuple));
-  Tuple coerced = target->schema().CoerceTuple(std::move(tuple));
   if (!target->Insert(coerced)) return false;  // already present: no-op
   Differential& d = MutableDiff(rel);
   // Re-inserting a tuple the transaction deleted nets out to "unchanged".
@@ -85,8 +122,13 @@ Result<bool> TxnContext::InsertTuple(const std::string& rel, Tuple tuple) {
 
 Result<bool> TxnContext::DeleteTuple(const std::string& rel,
                                      const Tuple& tuple) {
+  TXMOD_ASSIGN_OR_RETURN(const Relation* current, db_->Find(rel));
+  const Tuple coerced = current->schema().CoerceTuple(tuple);
+  if (track_conflicts_) {
+    RecordFootprint(rel, *current, coerced);
+    if (!current->Contains(coerced)) return false;  // absent: no-op
+  }
   TXMOD_ASSIGN_OR_RETURN(Relation * target, db_->FindMutable(rel));
-  const Tuple coerced = target->schema().CoerceTuple(tuple);
   if (!target->Erase(coerced)) return false;  // absent: no-op
   Differential& d = MutableDiff(rel);
   // Deleting a tuple the transaction inserted nets out to "unchanged".
@@ -126,6 +168,8 @@ void TxnContext::Commit() {
   temps_.clear();
   old_cache_.clear();
   empty_diffs_.clear();
+  base_reads_.clear();
+  footprint_.clear();
   db_->AdvanceTime();
 }
 

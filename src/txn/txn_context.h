@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "src/algebra/eval_context.h"
@@ -39,8 +40,17 @@ class TxnContext : public algebra::EvalContext {
   /// EvalContext: resolves base relations against the current intermediate
   /// state, kTemp against the transaction-local environment, kOld /
   /// kDeltaPlus / kDeltaMinus against the differential bookkeeping.
+  /// Under conflict tracking, resolving kBase or kOld records the
+  /// relation in BaseReads (the optimistic read set); ResolveSchemaOnly
+  /// resolves the same relation but records nothing and never
+  /// materializes old() views — the evaluator uses it where only the
+  /// result shape is needed (e.g. the base side of a join whose
+  /// differential side is empty), keeping the read set free of false
+  /// conflicts.
   Result<const Relation*> Resolve(algebra::RelRefKind kind,
                                   const std::string& name) const override;
+  Result<const Relation*> ResolveSchemaOnly(
+      algebra::RelRefKind kind, const std::string& name) const override;
 
   Database* database() { return db_; }
   const Database& database() const { return *db_; }
@@ -68,11 +78,48 @@ class TxnContext : public algebra::EvalContext {
   /// The differential of `rel` (empty differentials for untouched ones).
   const Differential& diff(const std::string& rel) const;
 
+  /// Every differential, keyed by relation (the commit-time write set).
+  const std::map<std::string, Differential>& AllDiffs() const {
+    return diffs_;
+  }
+
   /// Names of relations touched by the transaction so far.
   std::vector<std::string> TouchedRelations() const;
 
+  // -------------------------------------------------------------------
+  // Conflict footprint for optimistic (snapshot) execution. A session
+  // executing against a snapshot records what it observed of the
+  // committed state; the transaction manager validates these against
+  // concurrently committed writes (first-committer-wins). Recording is
+  // OPT-IN (EnableConflictTracking, called by TxnSession): the serial
+  // single-session engine never consumes these sets and must not pay
+  // for building them.
+  // -------------------------------------------------------------------
+
+  /// Turns on BaseReads/WriteFootprint recording for this context.
+  void EnableConflictTracking() { track_conflicts_ = true; }
+  bool conflict_tracking() const { return track_conflicts_; }
+
+  /// Base relations resolved during evaluation (kBase and kOld
+  /// references): the relation-granularity read set. A rule check
+  /// probing key_rel lands key_rel here; dplus/dminus and temporaries
+  /// are transaction-local and never recorded.
+  const std::set<std::string>& BaseReads() const { return base_reads_; }
+
+  /// Every tuple this transaction attempted to insert or delete, per
+  /// relation — *including* no-ops (inserting a present tuple, deleting
+  /// an absent one). No-ops are reads of the committed state at tuple
+  /// granularity: whether they were no-ops depends on it, so commit
+  /// validation must see them even though they leave no differential.
+  const std::map<std::string, Relation>& WriteFootprint() const {
+    return footprint_;
+  }
+
   /// Undoes every recorded change; the database returns to its
-  /// pre-transaction state. Temporaries are dropped.
+  /// pre-transaction state. Temporaries are dropped. BaseReads and
+  /// WriteFootprint survive: an aborted transaction's outcome (the
+  /// abort) was still decided by what it read, and the transaction
+  /// manager validates that against concurrent commits too.
   void Rollback();
 
   /// Drops transaction-local state and advances the database's logical
@@ -81,11 +128,20 @@ class TxnContext : public algebra::EvalContext {
 
  private:
   Differential& MutableDiff(const std::string& rel);
+  void RecordFootprint(const std::string& rel, const Relation& target,
+                       const Tuple& t);
+  Result<const Relation*> ResolveData(algebra::RelRefKind kind,
+                                      const std::string& name) const;
 
   Database* db_;
   algebra::PlanCache* plan_cache_ = nullptr;
   std::map<std::string, Relation> temps_;
   std::map<std::string, Differential> diffs_;
+  // Conflict footprint (see BaseReads/WriteFootprint). base_reads_ is
+  // mutable because reads are recorded from const Resolve.
+  bool track_conflicts_ = false;
+  mutable std::set<std::string> base_reads_;
+  std::map<std::string, Relation> footprint_;
   // old(R) views are immutable once the transaction starts, so the cache
   // never needs invalidation. Mutable: filled lazily from const Resolve.
   mutable std::map<std::string, Relation> old_cache_;

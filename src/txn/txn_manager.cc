@@ -1,0 +1,350 @@
+#include "src/txn/txn_manager.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "src/algebra/parser.h"
+#include "src/common/str_util.h"
+#include "src/relational/persist.h"
+
+namespace txmod::txn {
+
+// ---------------------------------------------------------------------------
+// TxnSession.
+// ---------------------------------------------------------------------------
+
+TxnSession::TxnSession(TxnManager* manager, Database snapshot,
+                       uint64_t snapshot_version)
+    : manager_(manager),
+      snapshot_db_(std::move(snapshot)),
+      snapshot_version_(snapshot_version),
+      ctx_(&snapshot_db_) {
+  ctx_.set_plan_cache(manager_->subsystem_->shared_plan_cache());
+  ctx_.EnableConflictTracking();  // commit validation consumes the sets
+}
+
+Result<TxnResult> TxnSession::Execute(const algebra::Transaction& txn) {
+  if (state_ == State::kFinished) {
+    return Status::FailedPrecondition("session already finished");
+  }
+  if (state_ == State::kAborted) {
+    return Status::FailedPrecondition(
+        "session aborted by an integrity violation; begin a new one");
+  }
+  TXMOD_ASSIGN_OR_RETURN(algebra::Transaction modified,
+                         manager_->subsystem_->Modify(txn));
+  Result<TxnResult> executed = ExecuteProgram(modified, &ctx_);
+  if (!executed.ok()) {
+    // Malformed program: the context rolled back; the session is dead.
+    state_ = State::kFinished;
+    return executed.status();
+  }
+  accumulated_.stats.Add(executed->stats);
+  accumulated_.statements_executed += executed->statements_executed;
+  accumulated_.tuples_inserted += executed->tuples_inserted;
+  accumulated_.tuples_deleted += executed->tuples_deleted;
+  if (!executed->committed) {
+    // Integrity alarm/abort: the whole session rolled back. Commit()
+    // will validate that the decision wasn't based on stale reads.
+    state_ = State::kAborted;
+    accumulated_.committed = false;
+    accumulated_.abort_reason = executed->abort_reason;
+    accumulated_.aborting_statement = executed->aborting_statement;
+  }
+  return *std::move(executed);
+}
+
+Result<TxnResult> TxnSession::ExecuteText(const std::string& txn_text) {
+  algebra::AlgebraParser parser(&snapshot_db_.schema());
+  TXMOD_ASSIGN_OR_RETURN(algebra::Transaction txn,
+                         parser.ParseTransaction(txn_text));
+  return Execute(txn);
+}
+
+Result<TxnResult> TxnSession::Commit() {
+  if (state_ == State::kFinished) {
+    return Status::FailedPrecondition("session already finished");
+  }
+  Result<TxnResult> result = manager_->CommitSession(this);
+  state_ = State::kFinished;
+  return result;
+}
+
+void TxnSession::Abort() { state_ = State::kFinished; }
+
+// ---------------------------------------------------------------------------
+// TxnManager.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TxnManager>> TxnManager::Create(
+    core::IntegritySubsystem* subsystem, TxnManagerOptions options) {
+  std::unique_ptr<TxnManager> manager(
+      new TxnManager(subsystem, std::move(options)));
+  const TxnManagerOptions& opts = manager->options_;
+  if (!opts.wal_path.empty()) {
+    if (!opts.checkpoint_path.empty() &&
+        ::access(opts.checkpoint_path.c_str(), F_OK) != 0) {
+      // The WAL holds only differentials; seed the base state the first
+      // recovery will replay onto.
+      TXMOD_RETURN_IF_ERROR(CheckpointDatabaseToFile(
+          *manager->db_, opts.checkpoint_path));
+    }
+    // A crash can leave a torn record at the WAL tail; appending after
+    // it would make every later record unreachable to recovery (which
+    // stops at the first invalid record). Repair by rewriting the valid
+    // prefix before reopening for append.
+    WalReplayStats replay;
+    TXMOD_ASSIGN_OR_RETURN(std::vector<WalRecord> valid,
+                           ReadWal(opts.wal_path, &replay));
+    if (replay.tail_dropped) {
+      const std::string tmp = StrCat(opts.wal_path, ".repair");
+      // A crash during a previous repair can leave a stale (possibly
+      // itself torn) .repair file; appending to it would corrupt the
+      // repaired log or brick startup. Start from nothing.
+      std::remove(tmp.c_str());
+      {
+        TXMOD_ASSIGN_OR_RETURN(WriteAheadLog fresh,
+                               WriteAheadLog::Open(tmp));
+        for (const WalRecord& rec : valid) {
+          TXMOD_RETURN_IF_ERROR(fresh.Append(rec).status());
+        }
+        TXMOD_RETURN_IF_ERROR(fresh.Sync(fresh.appended_lsn()));
+      }
+      if (std::rename(tmp.c_str(), opts.wal_path.c_str()) != 0) {
+        return Status::Internal(StrCat("cannot replace torn WAL ",
+                                       opts.wal_path));
+      }
+      TXMOD_RETURN_IF_ERROR(FsyncParentDirectory(opts.wal_path));
+    }
+    TXMOD_ASSIGN_OR_RETURN(WriteAheadLog wal,
+                           WriteAheadLog::Open(opts.wal_path));
+    manager->wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
+  }
+  return manager;
+}
+
+std::unique_ptr<TxnSession> TxnManager::Begin() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  // Snapshot under the commit lock: copy-on-write sharing requires that
+  // nobody mutates the master while its relation pointers are copied.
+  Database snapshot = db_->Clone();
+  const uint64_t version = db_->logical_time();
+  return std::unique_ptr<TxnSession>(
+      new TxnSession(this, std::move(snapshot), version));
+}
+
+Result<TxnResult> TxnManager::Run(const algebra::Transaction& txn) {
+  TxnResult last;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    std::unique_ptr<TxnSession> session = Begin();
+    TXMOD_ASSIGN_OR_RETURN(TxnResult executed, session->Execute(txn));
+    (void)executed;  // outcome folded into Commit's validated result
+    TXMOD_ASSIGN_OR_RETURN(TxnResult result, session->Commit());
+    result.attempts = static_cast<uint32_t>(attempt);
+    if (!result.conflict) return result;
+    last = std::move(result);  // first-committer-wins loser: retry
+  }
+  return last;
+}
+
+Result<TxnResult> TxnManager::RunText(const std::string& txn_text) {
+  algebra::AlgebraParser parser(&db_->schema());
+  TXMOD_ASSIGN_OR_RETURN(algebra::Transaction txn,
+                         parser.ParseTransaction(txn_text));
+  return Run(txn);
+}
+
+bool TxnManager::HasConflictLocked(const TxnSession& session,
+                                   std::string* reason) {
+  const uint64_t snap = session.snapshot_version_;
+  if (db_->logical_time() == snap) return false;  // nothing committed since
+  if (recent_.empty() || recent_.front().version > snap + 1) {
+    // The records needed to validate this snapshot were evicted from the
+    // rolling window; fail conservatively (the retry re-executes on a
+    // fresh snapshot).
+    *reason = "snapshot predates the validation window";
+    return true;
+  }
+  const std::set<std::string>& reads = session.ctx_.BaseReads();
+  const std::map<std::string, Relation>& footprint =
+      session.ctx_.WriteFootprint();
+  for (const CommitRecord& record : recent_) {
+    if (record.version <= snap) continue;
+    for (const auto& [rel, writes] : record.writes) {
+      if (reads.count(rel) > 0) {
+        *reason = StrCat("read-write conflict on ", rel,
+                         " with transaction ", record.version);
+        return true;
+      }
+      auto fp = footprint.find(rel);
+      if (fp == footprint.end()) continue;
+      // Tuple-granularity overlap; probe the smaller side.
+      const Relation& small =
+          fp->second.size() <= writes.size() ? fp->second : writes;
+      const Relation& large =
+          fp->second.size() <= writes.size() ? writes : fp->second;
+      for (const Tuple& t : small) {
+        if (large.Contains(t)) {
+          *reason = StrCat("write-write conflict on ", rel,
+                           " with transaction ", record.version);
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
+  TxnResult result = session->accumulated_;
+  const bool aborted = session->state_ == TxnSession::State::kAborted;
+  uint64_t lsn = 0;
+  bool need_sync = false;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    std::string reason;
+    if (HasConflictLocked(*session, &reason)) {
+      ++stats_.conflicts;
+      result.committed = false;
+      result.conflict = true;
+      result.abort_reason = std::move(reason);
+      return result;
+    }
+    if (aborted) {
+      // The integrity-abort decision is consistent with the current
+      // committed state (validation passed); report it as final.
+      ++stats_.integrity_aborts;
+      result.committed = false;
+      return result;
+    }
+
+    // Collect the net differentials. Relations whose changes netted out
+    // publish nothing — serially equivalent and keeps the WAL dense.
+    WalRecord wal_record;
+    CommitRecord commit_record;
+    for (const auto& [name, diff] : session->ctx_.AllDiffs()) {
+      if (diff.plus.empty() && diff.minus.empty()) continue;
+      WalDelta delta;
+      delta.relation = name;
+      Relation touched(diff.plus.schema_ptr());
+      for (const Tuple& t : diff.plus) {
+        delta.plus.push_back(t);
+        touched.Insert(t);
+      }
+      for (const Tuple& t : diff.minus) {
+        delta.minus.push_back(t);
+        touched.Insert(t);
+      }
+      wal_record.deltas.push_back(std::move(delta));
+      commit_record.writes.emplace(name, std::move(touched));
+    }
+
+    if (wal_record.deltas.empty()) {
+      // Read-only (or fully netted-out) transaction: nothing to install,
+      // no version consumed, no log record — but the reads were
+      // validated above, so the outcome is serially consistent.
+      ++stats_.commits;
+      ++stats_.readonly_commits;
+      result.committed = true;
+      result.commit_version = db_->logical_time();
+      return result;
+    }
+
+    const uint64_t version = db_->logical_time() + 1;
+    wal_record.version = version;
+    commit_record.version = version;
+
+    // Log before install: a commit may only become visible to new
+    // snapshots once its differential is at least on its way to the log.
+    if (wal_ != nullptr) {
+      TXMOD_ASSIGN_OR_RETURN(lsn, wal_->Append(wal_record));
+      ++stats_.wal_appends;
+      need_sync = options_.sync_commits;
+    }
+
+    // Install into the committed master. Fast path: when nothing
+    // committed since this session's snapshot, the session's private
+    // copy-on-write clone of a written relation IS the exact post-commit
+    // state (snapshot plus this transaction's changes, indexes
+    // re-declared) — adopt it by pointer swap instead of re-copying the
+    // whole relation. The ownership discipline proves sole ownership:
+    // TakeOwnedRelation succeeds only for states the session cloned
+    // itself and never shared out. Otherwise (interleaved commits, or a
+    // shared state), FindMutable's copy-on-write applies the delta while
+    // every outstanding snapshot keeps reading its pinned state.
+    const bool snapshot_is_current =
+        session->snapshot_version_ == db_->logical_time();
+    for (const WalDelta& delta : wal_record.deltas) {
+      if (snapshot_is_current) {
+        std::shared_ptr<Relation> adopted =
+            session->snapshot_db_.TakeOwnedRelation(delta.relation);
+        if (adopted != nullptr) {
+          db_->AdoptRelation(delta.relation, std::move(adopted));
+          continue;
+        }
+      }
+      TXMOD_ASSIGN_OR_RETURN(Relation * rel,
+                             db_->FindMutable(delta.relation));
+      for (const Tuple& t : delta.minus) rel->Erase(t);
+      for (const Tuple& t : delta.plus) rel->Insert(t);
+    }
+    db_->AdvanceTime();
+
+    recent_.push_back(std::move(commit_record));
+    while (recent_.size() > options_.validation_window) recent_.pop_front();
+    ++stats_.commits;
+    result.committed = true;
+    result.commit_version = version;
+    result.installed = true;
+  }
+
+  // Group-commit boundary, outside the commit lock: concurrent
+  // committers batch into one fsync while the next commit proceeds.
+  if (need_sync) {
+    TXMOD_RETURN_IF_ERROR(wal_->Sync(lsn));
+  }
+  return result;
+}
+
+Status TxnManager::Checkpoint() {
+  if (options_.checkpoint_path.empty()) {
+    return Status::FailedPrecondition("no checkpoint_path configured");
+  }
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  TXMOD_RETURN_IF_ERROR(
+      CheckpointDatabaseToFile(*db_, options_.checkpoint_path));
+  if (wal_ != nullptr) {
+    // Safe ordering: the checkpoint is durably renamed into place first,
+    // so a crash between the two steps merely leaves WAL records the
+    // replay will skip (version <= checkpoint time).
+    TXMOD_RETURN_IF_ERROR(wal_->Truncate());
+  }
+  ++stats_.checkpoints;
+  return Status::OK();
+}
+
+Result<Database> TxnManager::Recover(const TxnManagerOptions& options,
+                                     WalReplayStats* stats) {
+  if (options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "recovery needs a checkpoint_path (the WAL holds only "
+        "differentials)");
+  }
+  return RecoverDatabase(options.checkpoint_path, options.wal_path, stats);
+}
+
+uint64_t TxnManager::committed_version() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return db_->logical_time();
+}
+
+TxnManagerStats TxnManager::stats() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  TxnManagerStats out = stats_;
+  if (wal_ != nullptr) out.wal_fsyncs = wal_->fsync_count();
+  return out;
+}
+
+}  // namespace txmod::txn

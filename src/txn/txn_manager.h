@@ -1,0 +1,243 @@
+#ifndef TXMOD_TXN_TXN_MANAGER_H_
+#define TXMOD_TXN_TXN_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/core/subsystem.h"
+#include "src/relational/wal.h"
+#include "src/txn/executor.h"
+#include "src/txn/txn_context.h"
+
+namespace txmod::txn {
+
+/// Tuning and durability knobs of the transaction manager.
+struct TxnManagerOptions {
+  /// Executions TxnManager::Run attempts before reporting a conflict
+  /// abort to the caller (first-committer-wins losers re-execute from a
+  /// fresh snapshot).
+  int max_attempts = 8;
+
+  /// Write-ahead log path; empty runs the manager volatile (no
+  /// durability, no recovery).
+  std::string wal_path;
+
+  /// Checkpoint path. With a WAL, Create() seeds an initial checkpoint
+  /// here when none exists (the WAL holds only differentials, so
+  /// recovery always needs a base state), and Checkpoint() refreshes it.
+  std::string checkpoint_path;
+
+  /// Group-commit boundary: when true, a commit reports success only
+  /// after its WAL record is fsync'd — concurrent committers batch into
+  /// one fsync (the group-commit window is "while the current leader's
+  /// fsync runs"). When false, commits are durable only up to the OS
+  /// page cache (crash may lose a suffix; recovery still restores a
+  /// consistent committed prefix).
+  bool sync_commits = true;
+
+  /// Committed-transaction write records retained for conflict
+  /// validation. A session whose snapshot predates the window is
+  /// conservatively treated as conflicted (it re-executes on a fresh
+  /// snapshot). Must comfortably exceed the number of commits that can
+  /// land during one session's lifetime.
+  std::size_t validation_window = 1024;
+};
+
+/// Counters describing the manager's life so far (all monotonic).
+struct TxnManagerStats {
+  uint64_t commits = 0;            // write-ful + read-only commits
+  uint64_t readonly_commits = 0;   // commits that installed nothing
+  uint64_t conflicts = 0;          // first-committer-wins losses
+  uint64_t integrity_aborts = 0;   // alarm/abort outcomes (validated)
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t checkpoints = 0;
+};
+
+class TxnManager;
+
+/// One optimistic transaction's lifecycle against a pinned snapshot:
+///
+///   auto session = manager.Begin();
+///   session->Execute(txn1);       // runs against the snapshot D^t
+///   session->Execute(txn2);       // same snapshot, accumulated diffs
+///   auto result = session->Commit();  // first-committer-wins validation
+///
+/// Execute runs the integrity-modified transaction against the session's
+/// private copy-on-write snapshot: reads see exactly the committed state
+/// D^t of Begin() time plus this session's own writes; nothing the
+/// session does is visible outside it before Commit. Execute results with
+/// committed == true mean "ran cleanly, ready to commit" — only Commit's
+/// result is authoritative. An integrity alarm aborts the whole session
+/// (its snapshot state is rolled back); Commit then merely validates
+/// that the abort decision wasn't based on stale reads.
+///
+/// Sessions are single-threaded; different sessions may run on different
+/// threads concurrently. Not movable (the execution context points into
+/// the session's snapshot).
+class TxnSession {
+ public:
+  TxnSession(const TxnSession&) = delete;
+  TxnSession& operator=(const TxnSession&) = delete;
+
+  /// Runs one transaction (integrity-modified by the subsystem) against
+  /// the session's snapshot. May be called repeatedly while the session
+  /// is active; differentials accumulate.
+  Result<TxnResult> Execute(const algebra::Transaction& txn);
+
+  /// Parses, then Execute.
+  Result<TxnResult> ExecuteText(const std::string& txn_text);
+
+  /// First-committer-wins commit: validates this session's reads and
+  /// write footprint against every transaction committed since the
+  /// snapshot; on success installs the differentials into the committed
+  /// database, appends them to the WAL, and (options.sync_commits)
+  /// returns after the group-commit fsync. The result reports
+  /// `conflict = true` when validation lost — the caller may retry from
+  /// a fresh session (TxnManager::Run does). After Commit the session is
+  /// finished.
+  Result<TxnResult> Commit();
+
+  /// Discards the session without committing.
+  void Abort();
+
+  /// The committed logical time this session's snapshot pinned.
+  uint64_t snapshot_version() const { return snapshot_version_; }
+
+  /// The session's private view (the snapshot plus this session's own
+  /// uncommitted writes). Test/diagnostic access. Invalid once the
+  /// session is finished — a successful Commit may relinquish written
+  /// relations to the committed master by pointer swap.
+  const Database& snapshot() const { return snapshot_db_; }
+
+  bool finished() const { return state_ == State::kFinished; }
+
+ private:
+  friend class TxnManager;
+  enum class State { kActive, kAborted, kFinished };
+
+  TxnSession(TxnManager* manager, Database snapshot,
+             uint64_t snapshot_version);
+
+  TxnManager* manager_;
+  Database snapshot_db_;
+  uint64_t snapshot_version_;
+  TxnContext ctx_;
+  State state_ = State::kActive;
+  TxnResult accumulated_;  // stats/counters across Execute calls
+};
+
+/// The concurrent transaction manager: snapshot-isolated optimistic
+/// sessions over one committed database, serialized through
+/// first-committer-wins commit validation, made durable by a
+/// differential write-ahead log with group commit.
+///
+/// Concurrency model (Section 2's single-step transition semantics,
+/// lifted to many clients): the committed database advances strictly
+/// one transaction at a time — commit order IS the serialization order.
+/// Sessions execute fully in parallel against copy-on-write snapshots;
+/// at commit, a session wins only if nothing it depended on changed
+/// after its snapshot:
+///
+///   * tuple-granularity: its write footprint (every tuple it inserted
+///     or deleted, *including* no-ops) overlaps no committed
+///     differential since the snapshot;
+///   * relation-granularity: no relation it read during evaluation
+///     (rule-check probes included) was written since the snapshot.
+///
+/// Together these make every committed (and every reported abort)
+/// outcome equal to a serial execution in commit order — the
+/// linearizability oracle in tests/concurrent_oracle_test.cc pins
+/// exactly that, and the integrity guarantee of the underlying
+/// subsystem (commit states satisfy every constraint) carries over
+/// unchanged.
+///
+/// Durability: committed differentials — the same dplus/dminus sets the
+/// paper's transaction modification computes — are appended to the WAL
+/// before the commit is reported; concurrent committers share fsyncs
+/// (group commit). Recover() replays the WAL over the latest checkpoint
+/// and restores exactly the durable committed prefix.
+///
+/// Rule definition (DefineConstraint/DefineRule on the subsystem) must
+/// be quiesced against active sessions: define rules first, then serve
+/// traffic.
+class TxnManager {
+ public:
+  /// Creates a manager over `subsystem`'s database and rule set. With a
+  /// WAL path, opens (creating) the log; with a checkpoint path and no
+  /// existing checkpoint file, seeds one from the current database so
+  /// recovery always has a base state.
+  static Result<std::unique_ptr<TxnManager>> Create(
+      core::IntegritySubsystem* subsystem, TxnManagerOptions options = {});
+
+  /// Starts a session pinned to the current committed state.
+  std::unique_ptr<TxnSession> Begin();
+
+  /// Begin + Execute + Commit with automatic retry of conflict losers
+  /// (fresh snapshot per attempt, up to options.max_attempts). The
+  /// returned result's `attempts` counts executions; `conflict` is true
+  /// only when every attempt lost validation.
+  Result<TxnResult> Run(const algebra::Transaction& txn);
+
+  /// Parses against the committed schema, then Run.
+  Result<TxnResult> RunText(const std::string& txn_text);
+
+  /// Checkpoints the committed state (atomic temp+rename+fsync) and
+  /// truncates the WAL. Commits are blocked for the duration. Requires
+  /// options.checkpoint_path.
+  Status Checkpoint();
+
+  /// Crash recovery: checkpoint + WAL replay, restoring the durable
+  /// committed prefix. Static — call before constructing the subsystem
+  /// and manager over the recovered database.
+  static Result<Database> Recover(const TxnManagerOptions& options,
+                                  WalReplayStats* stats = nullptr);
+
+  uint64_t committed_version() const;
+  TxnManagerStats stats() const;
+  const WriteAheadLog* wal() const { return wal_.get(); }
+  core::IntegritySubsystem* subsystem() { return subsystem_; }
+
+ private:
+  friend class TxnSession;
+
+  /// A committed transaction's published write set, kept for validation.
+  struct CommitRecord {
+    uint64_t version = 0;
+    // Net changes per relation (dplus ∪ dminus as one membership set:
+    // validation only asks "did version v touch tuple t of R?").
+    std::map<std::string, Relation> writes;
+  };
+
+  TxnManager(core::IntegritySubsystem* subsystem, TxnManagerOptions options)
+      : subsystem_(subsystem), db_(subsystem->database()),
+        options_(std::move(options)) {}
+
+  /// The commit protocol (called by TxnSession::Commit).
+  Result<TxnResult> CommitSession(TxnSession* session);
+
+  /// True when `session` conflicts with any commit after its snapshot.
+  /// Caller holds commit_mu_. Sets `reason`.
+  bool HasConflictLocked(const TxnSession& session, std::string* reason);
+
+  core::IntegritySubsystem* subsystem_;
+  Database* db_;
+  TxnManagerOptions options_;
+  std::unique_ptr<WriteAheadLog> wal_;
+
+  /// Serializes Begin (snapshot creation) against commit application —
+  /// the copy-on-write contract — and orders commits (= the
+  /// serialization order). Execution itself never holds it.
+  mutable std::mutex commit_mu_;
+  std::deque<CommitRecord> recent_;  // rolling validation window
+  TxnManagerStats stats_;
+};
+
+}  // namespace txmod::txn
+
+#endif  // TXMOD_TXN_TXN_MANAGER_H_

@@ -1,0 +1,274 @@
+// Concurrency oracle: randomized transaction mixes run through the
+// TxnManager from 1..8 client threads must produce a final state equal
+// to the SERIAL execution of the committed transactions in commit-version
+// order (the manager's serialization order) — the linearizability-style
+// check for first-committer-wins validation over snapshots. Runs with a
+// live WAL so group commit is exercised under the same concurrency, and
+// verifies the recovered state matches too. The thread counts can be
+// extended via TXMOD_ORACLE_THREADS (the CI stress job sets it high).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "bench/workload.h"
+#include "src/common/str_util.h"
+#include "src/core/subsystem.h"
+#include "src/relational/wal.h"
+#include "src/txn/txn_manager.h"
+#include "tests/test_util.h"
+
+namespace txmod::txn {
+namespace {
+
+using algebra::Transaction;
+
+constexpr int kKeys = 30;
+constexpr int kSharedKeys = 12;  // unreferenced, contended by deletes
+constexpr int kTxnsPerThread = 25;
+
+Database MakeInitialDatabase() {
+  Database db = bench::MakeKeyFkDatabase(kKeys, 120);
+  bench::AddUnreferencedKeys(&db, kSharedKeys);
+  return db;
+}
+
+void DefineConstraints(core::IntegritySubsystem* ics) {
+  TXMOD_ASSERT_OK(
+      ics->DefineConstraint("domain", bench::DomainConstraint()));
+  TXMOD_ASSERT_OK(
+      ics->DefineConstraint("refint", bench::RefIntConstraint()));
+}
+
+/// One pre-generated transaction: deterministic, so the serial replay
+/// re-executes exactly what the concurrent run executed.
+struct WorkItem {
+  Transaction txn;
+  std::string trace;
+};
+
+/// A mix of valid inserts (thread-disjoint ids), violating inserts
+/// (domain + referential), contended key deletes/re-inserts (the
+/// conflict knob), and fk deletes.
+std::vector<WorkItem> MakeThreadWorkload(int thread_id, unsigned seed) {
+  std::mt19937 rng(seed);
+  auto pick = [&](int n) {
+    return static_cast<int>(rng() % static_cast<unsigned>(n));
+  };
+  std::vector<WorkItem> items;
+  int next_id = 1'000'000 + thread_id * 100'000;
+  for (int i = 0; i < kTxnsPerThread; ++i) {
+    Transaction txn;
+    std::string trace;
+    switch (pick(6)) {
+      case 0:
+      case 1: {  // valid fk insert batch (ids disjoint across threads)
+        std::vector<Tuple> tuples;
+        const int batch = 1 + pick(4);
+        for (int b = 0; b < batch; ++b) {
+          tuples.push_back(Tuple({Value::Int(next_id++),
+                                  Value::String(StrCat("k", pick(kKeys))),
+                                  Value::Double(1.0 + pick(9))}));
+        }
+        txn.program.statements.push_back(algebra::Statement::Insert(
+            "fk_rel", algebra::RelExpr::Literal(std::move(tuples), 3)));
+        trace = "valid fk insert";
+        break;
+      }
+      case 2: {  // dangling ref: integrity abort
+        txn.program.statements.push_back(algebra::Statement::Insert(
+            "fk_rel",
+            algebra::RelExpr::Literal(
+                {Tuple({Value::Int(next_id++),
+                        Value::String(StrCat("zz", pick(50))),
+                        Value::Double(3.0)})},
+                3)));
+        trace = "dangling fk insert";
+        break;
+      }
+      case 3: {  // contended: delete a shared unreferenced key
+        txn.program.statements.push_back(algebra::Statement::Delete(
+            "key_rel",
+            algebra::RelExpr::Literal(
+                {Tuple({Value::String(StrCat("x", pick(kSharedKeys))),
+                        Value::String("payload")})},
+                2)));
+        trace = "shared key delete";
+        break;
+      }
+      case 4: {  // contended: (re-)insert a shared unreferenced key
+        txn.program.statements.push_back(algebra::Statement::Insert(
+            "key_rel",
+            algebra::RelExpr::Literal(
+                {Tuple({Value::String(StrCat("x", pick(kSharedKeys))),
+                        Value::String("payload")})},
+                2)));
+        trace = "shared key insert";
+        break;
+      }
+      default: {  // negative amount: domain abort
+        txn.program.statements.push_back(algebra::Statement::Insert(
+            "fk_rel",
+            algebra::RelExpr::Literal(
+                {Tuple({Value::Int(next_id++),
+                        Value::String(StrCat("k", pick(kKeys))),
+                        Value::Double(-1.0)})},
+                3)));
+        trace = "negative amount insert";
+        break;
+      }
+    }
+    items.push_back(WorkItem{std::move(txn), std::move(trace)});
+  }
+  return items;
+}
+
+struct CommittedTxn {
+  uint64_t commit_version = 0;
+  bool installed = false;
+  int thread_id = 0;
+  int txn_index = 0;
+};
+
+/// Thread counts under test: 1, 2, 4, 8, plus TXMOD_ORACLE_THREADS when
+/// set (the CI stress job runs high counts in Release).
+std::vector<int> ThreadCounts() {
+  std::vector<int> counts = {1, 2, 4, 8};
+  if (const char* env = std::getenv("TXMOD_ORACLE_THREADS")) {
+    const int extra = std::atoi(env);
+    if (extra > 0 &&
+        std::find(counts.begin(), counts.end(), extra) == counts.end()) {
+      counts.push_back(extra);
+    }
+  }
+  return counts;
+}
+
+class ConcurrentOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcurrentOracleTest, FinalStateMatchesSerialReplayInCommitOrder) {
+  const int num_threads = GetParam();
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      StrCat("txmod_oracle_", ::getpid(), "_", num_threads);
+  std::filesystem::create_directories(dir);
+  TxnManagerOptions options;
+  options.wal_path = (dir / "wal.log").string();
+  options.checkpoint_path = (dir / "checkpoint.db").string();
+
+  Database db = MakeInitialDatabase();
+  Database initial = db.Clone();
+  core::IntegritySubsystem ics(&db);
+  DefineConstraints(&ics);
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto manager,
+                             TxnManager::Create(&ics, options));
+
+  // Pre-generate every thread's workload so the serial replay can
+  // re-execute the exact same transactions.
+  std::vector<std::vector<WorkItem>> workloads;
+  for (int t = 0; t < num_threads; ++t) {
+    workloads.push_back(MakeThreadWorkload(
+        t, 7919u * static_cast<unsigned>(t + 1) +
+               static_cast<unsigned>(num_threads)));
+  }
+
+  std::vector<std::vector<CommittedTxn>> committed_per_thread(
+      static_cast<std::size_t>(num_threads));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        auto result = manager->Run(workloads[static_cast<std::size_t>(t)]
+                                       [static_cast<std::size_t>(i)]
+                                           .txn);
+        if (!result.ok()) {
+          ++failures;
+          return;
+        }
+        if (result->committed) {
+          committed_per_thread[static_cast<std::size_t>(t)].push_back(
+              CommittedTxn{result->commit_version, result->installed, t, i});
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0) << "a Run() returned an error status";
+
+  // Serialize: commit-version order, write-ful commits before the
+  // read-only commits that observed the same version.
+  std::vector<CommittedTxn> order;
+  for (const auto& per_thread : committed_per_thread) {
+    order.insert(order.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(order.begin(), order.end(),
+            [](const CommittedTxn& a, const CommittedTxn& b) {
+              if (a.commit_version != b.commit_version) {
+                return a.commit_version < b.commit_version;
+              }
+              return a.installed && !b.installed;
+            });
+
+  // Serial replay through a fresh subsystem: every committed transaction
+  // must also commit serially, and the final states must agree exactly.
+  Database replay_db = initial.Clone();
+  core::IntegritySubsystem replay_ics(&replay_db);
+  DefineConstraints(&replay_ics);
+  for (const CommittedTxn& c : order) {
+    TXMOD_ASSERT_OK_AND_ASSIGN(
+        TxnResult replayed,
+        replay_ics.Execute(
+            workloads[static_cast<std::size_t>(c.thread_id)]
+                     [static_cast<std::size_t>(c.txn_index)]
+                         .txn));
+    ASSERT_TRUE(replayed.committed)
+        << "transaction committed concurrently at version "
+        << c.commit_version << " but aborts in serial replay: "
+        << replayed.abort_reason << " ("
+        << workloads[static_cast<std::size_t>(c.thread_id)]
+                    [static_cast<std::size_t>(c.txn_index)]
+                        .trace
+        << ")";
+  }
+  EXPECT_TRUE(db.SameState(replay_db))
+      << "concurrent final state differs from serial replay in commit "
+       "order";
+
+  // The sanity arithmetic: installed commits advanced the version.
+  const uint64_t installed = static_cast<uint64_t>(std::count_if(
+      order.begin(), order.end(),
+      [](const CommittedTxn& c) { return c.installed; }));
+  EXPECT_EQ(manager->committed_version(),
+            initial.logical_time() + installed);
+
+  // Durability under the same concurrency: the recovered state equals
+  // the live committed state (everything was fsync'd by group commit).
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database recovered,
+                             TxnManager::Recover(options));
+  EXPECT_TRUE(recovered.SameState(db))
+      << "checkpoint+WAL recovery diverges from the live state";
+  EXPECT_EQ(recovered.logical_time(), db.logical_time());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ConcurrentOracleTest,
+                         ::testing::ValuesIn(ThreadCounts()),
+                         [](const ::testing::TestParamInfo<int>& param) {
+                           return StrCat(param.param, "threads");
+                         });
+
+}  // namespace
+}  // namespace txmod::txn

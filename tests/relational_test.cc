@@ -345,5 +345,76 @@ TEST(RelationIndexTest, KeyHashUnifiesIntAndDoubleKeys) {
   EXPECT_EQ(ProbeCount(rel, {0}, Tuple({Value::Int(1)})), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Copy-on-write snapshots and the SameState/logical-time contract.
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseSnapshotTest, SameStateIgnoresTimeByDefaultAndPinsItOnRequest) {
+  // The long-standing asymmetry, now explicit: Clone() always copies the
+  // logical time, but SameState compares only contents unless asked —
+  // so a recovered database can compare equal to the live one it
+  // mirrors, while histories can still be distinguished on demand.
+  Database db = MakeBeerDatabase();
+  testing::AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  Database clone = db.Clone();
+  EXPECT_EQ(clone.logical_time(), db.logical_time());
+
+  clone.AdvanceTime();
+  EXPECT_TRUE(db.SameState(clone));  // contents equal, times differ
+  EXPECT_FALSE(db.SameState(clone, /*compare_time=*/true));
+  EXPECT_TRUE(db.SameState(db.Clone(), /*compare_time=*/true));
+
+  Relation* beer = *clone.FindMutable("beer");
+  beer->Insert(Tuple({Value::String("alt"), Value::String("ale"),
+                      Value::String("heineken"), Value::Double(4.0)}));
+  EXPECT_FALSE(db.SameState(clone));
+}
+
+TEST(DatabaseSnapshotTest, CloneIsASnapshotIsolatedFromWriters) {
+  Database db = MakeBeerDatabase();
+  testing::AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  Database snapshot = db.Clone();
+
+  // Writer mutates the master; the snapshot must keep reading D^t.
+  Relation* beer = *db.FindMutable("beer");
+  beer->Insert(Tuple({Value::String("new"), Value::String("ale"),
+                      Value::String("heineken"), Value::Double(4.5)}));
+  EXPECT_EQ((*db.Find("beer"))->size(), 2u);
+  EXPECT_EQ((*snapshot.Find("beer"))->size(), 1u);
+
+  // And the other direction: snapshot writes never leak into the master.
+  Relation* snap_beer = *snapshot.FindMutable("beer");
+  snap_beer->Insert(Tuple({Value::String("priv"), Value::String("ale"),
+                           Value::String("heineken"), Value::Double(4.0)}));
+  EXPECT_EQ((*snapshot.Find("beer"))->size(), 2u);
+  EXPECT_EQ((*db.Find("beer"))->size(), 2u);
+  EXPECT_FALSE((*db.Find("beer"))->Contains(
+      Tuple({Value::String("priv"), Value::String("ale"),
+             Value::String("heineken"), Value::Double(4.0)})));
+}
+
+TEST(DatabaseSnapshotTest, CopyOnWriteRedeclaresIndexes) {
+  Database db = MakeBeerDatabase();
+  testing::AddBeer(&db, "pils", "lager", "heineken", 5.0);
+  Relation* beer = *db.FindMutable("beer");
+  ASSERT_NE(beer->IndexOn({2}), nullptr);
+  ASSERT_EQ(beer->DeclaredIndexes(),
+            (std::vector<std::vector<int>>{{2}}));
+
+  // Take a snapshot, then write through the master: the copy-on-write
+  // clone must carry the declared index (a plain Relation copy drops it).
+  Database snapshot = db.Clone();
+  Relation* cow = *db.FindMutable("beer");
+  EXPECT_EQ(cow->index_count(), 1u);
+  cow->Insert(Tuple({Value::String("ipa"), Value::String("ale"),
+                     Value::String("heineken"), Value::Double(6.5)}));
+  EXPECT_EQ(ProbeCount(*cow, {2}, Tuple({Value::String("heineken")})), 2u);
+
+  // The snapshot's side clones on ITS first write, too.
+  Relation* snap = *snapshot.FindMutable("beer");
+  EXPECT_EQ(snap->index_count(), 1u);
+  EXPECT_EQ(snap->size(), 1u);
+}
+
 }  // namespace
 }  // namespace txmod

@@ -1,0 +1,363 @@
+// TxnManager semantics, deterministically (single-threaded): snapshot
+// isolation (sessions read the pinned D^t), first-committer-wins
+// validation at both granularities (tuple-level write footprint,
+// relation-level read set), integrity-abort validation, read-only
+// commits, the validation-window fallback, and equivalence with the
+// serial ExecuteTransaction path. The randomized multi-threaded oracle
+// lives in tests/concurrent_oracle_test.cc.
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "bench/workload.h"
+#include "src/common/str_util.h"
+#include "src/core/subsystem.h"
+#include "src/txn/txn_manager.h"
+#include "tests/test_util.h"
+
+namespace txmod::txn {
+namespace {
+
+using txmod::testing::AddBeer;
+using txmod::testing::AddBrewery;
+using txmod::testing::BeerDomainConstraint;
+using txmod::testing::BeerRefIntConstraint;
+using txmod::testing::MakeBeerDatabase;
+
+struct Fixture {
+  Database db;
+  std::unique_ptr<core::IntegritySubsystem> ics;
+  std::unique_ptr<TxnManager> manager;
+
+  explicit Fixture(TxnManagerOptions options = {}) {
+    db = MakeBeerDatabase();
+    AddBrewery(&db, "heineken", "amsterdam", "nl");
+    AddBrewery(&db, "guinness", "dublin", "ie");
+    AddBeer(&db, "lager0", "lager", "heineken", 5.0);
+    ics = std::make_unique<core::IntegritySubsystem>(&db);
+    EXPECT_TRUE(ics->DefineConstraint("domain", BeerDomainConstraint()).ok());
+    EXPECT_TRUE(ics->DefineConstraint("refint", BeerRefIntConstraint()).ok());
+    auto created = TxnManager::Create(ics.get(), std::move(options));
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    manager = std::move(*created);
+  }
+};
+
+bool HasBeer(const Database& db, const std::string& name) {
+  const Relation* beer = *db.Find("beer");
+  for (const Tuple& t : *beer) {
+    if (t.at(0).as_string() == name) return true;
+  }
+  return false;
+}
+
+/// Rebuilds the fixture's initial state for comparison.
+Database MakeFixtureState() {
+  Database db = MakeBeerDatabase();
+  AddBrewery(&db, "heineken", "amsterdam", "nl");
+  AddBrewery(&db, "guinness", "dublin", "ie");
+  AddBeer(&db, "lager0", "lager", "heineken", 5.0);
+  return db;
+}
+
+std::string InsertBeerText(const char* name) {
+  return StrCat("insert(beer, {(\"", name, "\", \"ale\", \"guinness\", "
+                "6.0)});");
+}
+
+TEST(TxnManagerTest, SingleSessionCommitInstallsAndAdvances) {
+  Fixture f;
+  const uint64_t before = f.manager->committed_version();
+  auto session = f.manager->Begin();
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult executed,
+      session->ExecuteText(
+          "insert(beer, {(\"fresh\", \"ale\", \"guinness\", 6.0)});"));
+  EXPECT_TRUE(executed.committed);  // ran cleanly; not yet installed
+  EXPECT_FALSE(HasBeer(f.db, "fresh")) << "visible before commit";
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult result, session->Commit());
+  EXPECT_TRUE(result.committed);
+  EXPECT_TRUE(result.installed);
+  EXPECT_EQ(result.commit_version, before + 1);
+  EXPECT_TRUE(HasBeer(f.db, "fresh"));
+  EXPECT_EQ(f.manager->committed_version(), before + 1);
+  EXPECT_EQ(f.manager->stats().commits, 1u);
+}
+
+TEST(TxnManagerTest, SnapshotReadsArePinnedToBeginTime) {
+  Fixture f;
+  auto reader = f.manager->Begin();
+  // Another client commits while `reader` is open.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult other,
+      f.manager->RunText(
+          "insert(beer, {(\"mid\", \"ale\", \"guinness\", 6.0)});"));
+  ASSERT_TRUE(other.committed);
+  EXPECT_TRUE(HasBeer(f.db, "mid"));
+  // The open session still sees D^t of its Begin().
+  EXPECT_FALSE(HasBeer(reader->snapshot(), "mid"));
+  // And the committed master never sees the session's private writes.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult writes,
+      reader->ExecuteText(
+          "insert(beer, {(\"priv\", \"ale\", \"guinness\", 6.0)});"));
+  EXPECT_TRUE(writes.committed);
+  EXPECT_TRUE(HasBeer(reader->snapshot(), "priv"));
+  EXPECT_FALSE(HasBeer(f.db, "priv"));
+  reader->Abort();
+  EXPECT_FALSE(HasBeer(f.db, "priv"));
+}
+
+TEST(TxnManagerTest, FirstCommitterWinsOnOverlappingWrites) {
+  Fixture f;
+  auto first = f.manager->Begin();
+  auto second = f.manager->Begin();
+  const std::string same =
+      "insert(beer, {(\"dup\", \"ale\", \"guinness\", 6.0)});";
+  TXMOD_ASSERT_OK(first->ExecuteText(same).status());
+  TXMOD_ASSERT_OK(second->ExecuteText(same).status());
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult win, first->Commit());
+  EXPECT_TRUE(win.committed);
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult lose, second->Commit());
+  EXPECT_FALSE(lose.committed);
+  EXPECT_TRUE(lose.conflict) << lose.abort_reason;
+  EXPECT_EQ(f.manager->stats().conflicts, 1u);
+}
+
+TEST(TxnManagerTest, DisjointWritesToOneRelationBothCommit) {
+  Fixture f;
+  auto a = f.manager->Begin();
+  auto b = f.manager->Begin();
+  // Neither transaction's rule checks read `beer` at base granularity
+  // (the differential checks probe dplus(beer) and the brewery side), so
+  // disjoint inserts into the same relation must not conflict.
+  TXMOD_ASSERT_OK(
+      a->ExecuteText("insert(beer, {(\"a1\", \"ale\", \"guinness\", 6.0)});")
+          .status());
+  TXMOD_ASSERT_OK(
+      b->ExecuteText("insert(beer, {(\"b1\", \"ale\", \"heineken\", 5.0)});")
+          .status());
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult ra, a->Commit());
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult rb, b->Commit());
+  EXPECT_TRUE(ra.committed);
+  EXPECT_TRUE(rb.committed) << rb.abort_reason;
+  EXPECT_TRUE(HasBeer(f.db, "a1"));
+  EXPECT_TRUE(HasBeer(f.db, "b1"));
+}
+
+TEST(TxnManagerTest, ReadWriteConflictOnRuleCheckedRelation) {
+  Fixture f;
+  // Inserting a beer reads `brewery` (the referential check probes it);
+  // a concurrent commit touching `brewery` must defeat it, even though
+  // the two write disjoint relations.
+  auto inserter = f.manager->Begin();
+  TXMOD_ASSERT_OK(
+      inserter
+          ->ExecuteText(
+              "insert(beer, {(\"rw\", \"ale\", \"guinness\", 6.0)});")
+          .status());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult brewery_commit,
+      f.manager->RunText("insert(brewery, {(\"plzen\", \"pilsen\", "
+                         "\"cz\")});"));
+  ASSERT_TRUE(brewery_commit.committed);
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult result, inserter->Commit());
+  EXPECT_FALSE(result.committed);
+  EXPECT_TRUE(result.conflict);
+  EXPECT_NE(result.abort_reason.find("read-write"), std::string::npos)
+      << result.abort_reason;
+}
+
+TEST(TxnManagerTest, NoOpInsertIsATupleGranularityRead) {
+  Fixture f;
+  // T2 "inserts" a beer that already exists in its snapshot — a no-op
+  // leaving no differential. T1 concurrently deletes that tuple and
+  // commits first. Serially (T1 then T2) the insert would NOT be a
+  // no-op, so T2 must conflict, not silently commit nothing.
+  auto t2 = f.manager->Begin();
+  TXMOD_ASSERT_OK(
+      t2->ExecuteText(
+            "insert(beer, {(\"lager0\", \"lager\", \"heineken\", 5.0)});")
+          .status());
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult del,
+      f.manager->RunText(
+          "delete(beer, {(\"lager0\", \"lager\", \"heineken\", 5.0)});"));
+  ASSERT_TRUE(del.committed);
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult result, t2->Commit());
+  EXPECT_FALSE(result.committed);
+  EXPECT_TRUE(result.conflict) << result.abort_reason;
+}
+
+TEST(TxnManagerTest, IntegrityAbortSurvivesValidationWhenReadsAreStable) {
+  Fixture f;
+  auto session = f.manager->Begin();
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult executed,
+      session->ExecuteText(
+          "insert(beer, {(\"orphan\", \"ale\", \"nowhere\", 6.0)});"));
+  EXPECT_FALSE(executed.committed);
+  EXPECT_FALSE(executed.abort_reason.empty());
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult result, session->Commit());
+  EXPECT_FALSE(result.committed);
+  EXPECT_FALSE(result.conflict);  // a real integrity abort, not stale reads
+  EXPECT_EQ(f.manager->stats().integrity_aborts, 1u);
+  EXPECT_TRUE(f.db.SameState(MakeFixtureState()))
+      << "abort must leave the committed state unchanged";
+}
+
+TEST(TxnManagerTest, StaleIntegrityAbortIsAConflictNotAnAbort) {
+  Fixture f;
+  // The session decides "abort: no such brewery" against its snapshot,
+  // but a concurrent commit creates the brewery first. The abort
+  // decision is stale — the manager must report a retryable conflict,
+  // and the retry (Run) must commit.
+  auto session = f.manager->Begin();
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult executed,
+      session->ExecuteText(
+          "insert(beer, {(\"norse\", \"ale\", \"newbrew\", 5.5)});"));
+  EXPECT_FALSE(executed.committed);  // aborts on refint against snapshot
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult brewery,
+      f.manager->RunText(
+          "insert(brewery, {(\"newbrew\", \"oslo\", \"no\")});"));
+  ASSERT_TRUE(brewery.committed);
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult stale, session->Commit());
+  EXPECT_FALSE(stale.committed);
+  EXPECT_TRUE(stale.conflict) << "stale abort must surface as a conflict";
+  // A fresh Run now sees the brewery and commits.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult retry,
+      f.manager->RunText(
+          "insert(beer, {(\"norse\", \"ale\", \"newbrew\", 5.5)});"));
+  EXPECT_TRUE(retry.committed);
+}
+
+TEST(TxnManagerTest, ReadOnlyCommitConsumesNoVersion) {
+  Fixture f;
+  const uint64_t before = f.manager->committed_version();
+  auto session = f.manager->Begin();
+  TXMOD_ASSERT_OK(
+      session->ExecuteText("tmp := select[alcohol > 100](beer);").status());
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult result, session->Commit());
+  EXPECT_TRUE(result.committed);
+  EXPECT_FALSE(result.installed);
+  EXPECT_EQ(result.commit_version, before);
+  EXPECT_EQ(f.manager->committed_version(), before);
+  EXPECT_EQ(f.manager->stats().readonly_commits, 1u);
+}
+
+TEST(TxnManagerTest, ValidationWindowOverflowConflictsConservatively) {
+  TxnManagerOptions options;
+  options.validation_window = 1;
+  Fixture f(options);
+  auto old_session = f.manager->Begin();
+  TXMOD_ASSERT_OK(
+      old_session
+          ->ExecuteText(
+              "insert(beer, {(\"slow\", \"ale\", \"guinness\", 6.0)});")
+          .status());
+  // Two commits push the record the old session needs out of the window.
+  for (const char* name : {"w1", "w2"}) {
+    TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult r,
+                               f.manager->RunText(InsertBeerText(name)));
+    ASSERT_TRUE(r.committed);
+  }
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult result, old_session->Commit());
+  EXPECT_FALSE(result.committed);
+  EXPECT_TRUE(result.conflict);
+  EXPECT_NE(result.abort_reason.find("validation window"),
+            std::string::npos);
+}
+
+TEST(TxnManagerTest, MultipleExecutesAccumulateOneAtomicSession) {
+  Fixture f;
+  auto session = f.manager->Begin();
+  TXMOD_ASSERT_OK(
+      session
+          ->ExecuteText(
+              "insert(brewery, {(\"carlsberg\", \"kbh\", \"dk\")});")
+          .status());
+  // The second Execute depends on the first's uncommitted write.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult second,
+      session->ExecuteText(
+          "insert(beer, {(\"hof\", \"pilsner\", \"carlsberg\", 4.5)});"));
+  EXPECT_TRUE(second.committed);
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult result, session->Commit());
+  EXPECT_TRUE(result.committed);
+  EXPECT_TRUE(HasBeer(f.db, "hof"));
+  EXPECT_GE(result.statements_executed, 2u);
+}
+
+TEST(TxnManagerTest, RunMatchesSerialExecuteTransactionOutcomes) {
+  // The same workload through (a) the manager and (b) the classic serial
+  // subsystem path must produce identical outcomes and final states.
+  Fixture f;
+  Database serial_db = MakeFixtureState();
+  core::IntegritySubsystem serial_ics(&serial_db);
+  TXMOD_ASSERT_OK(
+      serial_ics.DefineConstraint("domain", BeerDomainConstraint()));
+  TXMOD_ASSERT_OK(
+      serial_ics.DefineConstraint("refint", BeerRefIntConstraint()));
+
+  const std::vector<std::string> workload = {
+      "insert(beer, {(\"fresh\", \"ale\", \"guinness\", 6.0)});",
+      "insert(beer, {(\"bad\", \"ale\", \"nowhere\", 6.0)});",
+      "insert(beer, {(\"neg\", \"ale\", \"heineken\", -1.0)});",
+      "delete(brewery, select[name = \"heineken\"](brewery));",
+      "insert(brewery, {(\"plzen\", \"pilsen\", \"cz\")}); "
+      "delete(brewery, select[name = \"plzen\"](brewery));",
+      "tmp := select[alcohol > 7](beer); delete(beer, tmp);",
+  };
+  for (const std::string& text : workload) {
+    TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult concurrent,
+                               f.manager->RunText(text));
+    TXMOD_ASSERT_OK_AND_ASSIGN(txn::TxnResult serial,
+                               serial_ics.ExecuteText(text));
+    EXPECT_EQ(concurrent.committed, serial.committed) << text;
+    EXPECT_EQ(f.db.SameState(serial_db), true) << text;
+  }
+}
+
+TEST(TxnManagerTest, FinishedSessionsRejectFurtherUse) {
+  Fixture f;
+  auto session = f.manager->Begin();
+  TXMOD_ASSERT_OK(
+      session->ExecuteText("tmp := select[alcohol > 0](beer);").status());
+  TXMOD_ASSERT_OK(session->Commit().status());
+  EXPECT_TRUE(session->finished());
+  EXPECT_EQ(session->ExecuteText("tmp := beer;").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session->Commit().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TxnManagerTest, KeyFkWorkloadThroughManagerKeepsIntegrity) {
+  // The bench schema end-to-end: dangling inserts abort, valid ones
+  // commit, and the final state satisfies the constraints.
+  Database db = bench::MakeKeyFkDatabase(20, 100);
+  bench::AddUnreferencedKeys(&db, 5);
+  core::IntegritySubsystem ics(&db);
+  TXMOD_ASSERT_OK(ics.DefineConstraint("domain", bench::DomainConstraint()));
+  TXMOD_ASSERT_OK(ics.DefineConstraint("refint", bench::RefIntConstraint()));
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto manager, TxnManager::Create(&ics));
+
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult valid, manager->Run(bench::MakeFkInsertBatch(10, 20)));
+  EXPECT_TRUE(valid.committed);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult dangling,
+      manager->RunText(
+          "insert(fk_rel, {(999999, \"zz\", 1.0)});"));
+  EXPECT_FALSE(dangling.committed);
+  EXPECT_FALSE(dangling.conflict);
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult del, manager->Run(bench::MakeKeyDeleteBatch(3)));
+  EXPECT_TRUE(del.committed);
+}
+
+}  // namespace
+}  // namespace txmod::txn
