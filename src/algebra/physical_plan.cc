@@ -275,16 +275,17 @@ class ProductCursor : public TupleCursor {
 
 /// Join / semijoin / antijoin over the equality conjuncts of the
 /// predicate. The right (build) side is either a transient table built
-/// once per evaluation, or — the differential-check fast path — a
-/// persistent RelationIndex declared on a base relation, in which case
-/// this cursor does no build work at all. Probing hashes the left tuple's
-/// key attributes in place (EquiKeyHash): no per-probe Tuple allocation.
-/// Candidates are verified against the full predicate, so hash collisions
-/// (and the predicate's extra non-equality conjuncts) stay correct.
+/// once per evaluation, or — the differential-check fast path — an
+/// overlay-aware view of the persistent indexes declared on a base
+/// relation (RelationIndexView), in which case this cursor does no build
+/// work at all. Probing hashes the left tuple's key attributes in place
+/// (EquiKeyHash): no per-probe Tuple allocation. Candidates are verified
+/// against the full predicate, so hash collisions (and the predicate's
+/// extra non-equality conjuncts) stay correct.
 class HashJoinCursor : public TupleCursor {
  public:
   HashJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
-                 RelHandle right, const RelationIndex* index,
+                 RelHandle right, RelationIndexView view,
                  std::vector<int> lattrs, std::vector<int> rattrs,
                  std::size_t out_arity, EvalStats* stats,
                  const std::vector<Value>* params)
@@ -292,12 +293,12 @@ class HashJoinCursor : public TupleCursor {
         pred_(pred),
         left_(std::move(left)),
         right_(std::move(right)),
-        index_(index),
+        view_(std::move(view)),
         lattrs_(std::move(lattrs)),
         stats_(stats),
         params_(params),
         scratch_(std::vector<Value>(out_arity)) {
-    if (index_ == nullptr) {
+    if (!view_.valid()) {
       own_table_.reserve(right_.get().size());
       for (const Tuple& rt : right_.get()) {
         own_table_.emplace(EquiKeyHash(rt, rattrs), &rt);
@@ -308,9 +309,7 @@ class HashJoinCursor : public TupleCursor {
   Result<const Tuple*> Next() override {
     for (;;) {
       if (kind_ == RelExprKind::kJoin && lt_ != nullptr) {
-        while (it_ != end_) {
-          const Tuple* rt = it_->second;
-          ++it_;
+        while (const Tuple* rt = NextCandidate()) {
           TXMOD_ASSIGN_OR_RETURN(bool match,
                                  pred_->EvalPredicate(lt_, rt, params_));
           if (match) {
@@ -324,20 +323,22 @@ class HashJoinCursor : public TupleCursor {
       if (lt_ == nullptr) return lt_;
       CountScan(stats_, 1);
       const std::size_t h = EquiKeyHash(*lt_, lattrs_);
-      if (index_ != nullptr) CountProbe(stats_, 1);
-      auto [begin, end] = index_ != nullptr
-                              ? index_->Probe(h)
-                              : std::as_const(own_table_).equal_range(h);
-      if (kind_ == RelExprKind::kJoin) {
+      if (view_.valid()) {
+        CountProbe(stats_, 1);
+        cand_ = view_.Probe(h);
+      } else {
+        auto [begin, end] = std::as_const(own_table_).equal_range(h);
         it_ = begin;
         end_ = end;
+      }
+      if (kind_ == RelExprKind::kJoin) {
         FillScratch(&scratch_, *lt_, 0);
         continue;
       }
       bool matched = false;
-      for (auto it = begin; it != end; ++it) {
-        TXMOD_ASSIGN_OR_RETURN(
-            bool match, pred_->EvalPredicate(lt_, it->second, params_));
+      while (const Tuple* rt = NextCandidate()) {
+        TXMOD_ASSIGN_OR_RETURN(bool match,
+                               pred_->EvalPredicate(lt_, rt, params_));
         if (match) {
           matched = true;
           break;
@@ -351,17 +352,26 @@ class HashJoinCursor : public TupleCursor {
   }
 
  private:
+  const Tuple* NextCandidate() {
+    if (view_.valid()) return cand_.Next();
+    if (it_ == end_) return nullptr;
+    const Tuple* t = it_->second;
+    ++it_;
+    return t;
+  }
+
   RelExprKind kind_;
   const ScalarExpr* pred_;
   Stream left_;
   RelHandle right_;
-  const RelationIndex* index_;
+  RelationIndexView view_;
   std::vector<int> lattrs_;
   EvalStats* stats_;
   const std::vector<Value>* params_;
   RelationIndex::Map own_table_;
   Tuple scratch_;
   const Tuple* lt_ = nullptr;
+  RelationIndexView::Candidates cand_;
   RelationIndex::Iterator it_;
   RelationIndex::Iterator end_;
 };
@@ -377,13 +387,13 @@ class HashJoinCursor : public TupleCursor {
 class IndexLookupJoinCursor : public TupleCursor {
  public:
   IndexLookupJoinCursor(RelExprKind kind, const ScalarExpr* pred,
-                        const RelationIndex* index, Stream right,
+                        RelationIndexView view, Stream right,
                         std::vector<int> rattrs, std::size_t left_arity,
                         std::size_t out_arity, EvalStats* stats,
                         const std::vector<Value>* params)
       : kind_(kind),
         pred_(pred),
-        index_(index),
+        view_(std::move(view)),
         right_(std::move(right)),
         rattrs_(std::move(rattrs)),
         left_arity_(left_arity),
@@ -393,9 +403,7 @@ class IndexLookupJoinCursor : public TupleCursor {
 
   Result<const Tuple*> Next() override {
     for (;;) {
-      while (it_ != end_) {
-        const Tuple* lt = it_->second;
-        ++it_;
+      while (const Tuple* lt = cand_.Next()) {
         TXMOD_ASSIGN_OR_RETURN(bool match,
                                pred_->EvalPredicate(lt, rt_, params_));
         if (!match) continue;
@@ -408,8 +416,10 @@ class IndexLookupJoinCursor : public TupleCursor {
       if (rt_ == nullptr) return rt_;
       CountScan(stats_, 1);
       CountProbe(stats_, 1);
-      std::tie(it_, end_) = index_->Probe(EquiKeyHash(*rt_, rattrs_));
-      if (kind_ == RelExprKind::kJoin && it_ != end_) {
+      cand_ = view_.Probe(EquiKeyHash(*rt_, rattrs_));
+      if (kind_ == RelExprKind::kJoin) {
+        // Pre-fill the right half of the output scratch for this probe's
+        // candidates (harmlessly overwritten if none survive).
         FillScratch(&scratch_, *rt_, left_arity_);
       }
     }
@@ -418,7 +428,7 @@ class IndexLookupJoinCursor : public TupleCursor {
  private:
   RelExprKind kind_;
   const ScalarExpr* pred_;
-  const RelationIndex* index_;
+  RelationIndexView view_;
   Stream right_;
   std::vector<int> rattrs_;
   std::size_t left_arity_;
@@ -426,8 +436,7 @@ class IndexLookupJoinCursor : public TupleCursor {
   const std::vector<Value>* params_;
   Tuple scratch_;
   const Tuple* rt_ = nullptr;
-  RelationIndex::Iterator it_;
-  RelationIndex::Iterator end_;
+  RelationIndexView::Candidates cand_;
 };
 
 /// Join-like fallback when the predicate has no equality conjunct: stream
@@ -537,14 +546,14 @@ class UnionCursor : public TupleCursor {
 /// KeyHash never separates identical values, so no member is missed.
 class IndexedSetOpCursor : public TupleCursor {
  public:
-  IndexedSetOpCursor(Stream left, const RelationIndex* index,
-                     bool want_in, EvalStats* stats)
+  IndexedSetOpCursor(Stream left, RelationIndexView view, bool want_in,
+                     EvalStats* stats)
       : left_(std::move(left)),
-        index_(index),
+        view_(std::move(view)),
         want_in_(want_in),
         stats_(stats) {
-    probe_attrs_.reserve(index_->attrs().size());
-    for (std::size_t i = 0; i < index_->attrs().size(); ++i) {
+    probe_attrs_.reserve(view_.attrs().size());
+    for (std::size_t i = 0; i < view_.attrs().size(); ++i) {
       probe_attrs_.push_back(static_cast<int>(i));
     }
   }
@@ -557,19 +566,20 @@ class IndexedSetOpCursor : public TupleCursor {
       CountProbe(stats_, 1);
       const std::size_t h = EquiKeyHash(*t, probe_attrs_);
       bool found = false;
-      auto [begin, end] = index_->Probe(h);
-      for (auto it = begin; it != end && !found; ++it) {
-        const Tuple& candidate = *it->second;
+      RelationIndexView::Candidates cand = view_.Probe(h);
+      while (const Tuple* c = cand.Next()) {
         bool equal = true;
-        for (std::size_t i = 0; i < index_->attrs().size(); ++i) {
-          const std::size_t a =
-              static_cast<std::size_t>(index_->attrs()[i]);
-          if (!(candidate.at(a) == t->at(i))) {
+        for (std::size_t i = 0; i < view_.attrs().size(); ++i) {
+          const std::size_t a = static_cast<std::size_t>(view_.attrs()[i]);
+          if (!(c->at(a) == t->at(i))) {
             equal = false;
             break;
           }
         }
-        found = equal;
+        if (equal) {
+          found = true;
+          break;
+        }
       }
       if (found == want_in_) {
         CountEmit(stats_, 1);
@@ -580,7 +590,7 @@ class IndexedSetOpCursor : public TupleCursor {
 
  private:
   Stream left_;
-  const RelationIndex* index_;
+  RelationIndexView view_;
   bool want_in_;
   EvalStats* stats_;
   std::vector<int> probe_attrs_;
@@ -892,8 +902,9 @@ class PlanExecutor {
   Result<Stream> OpenJoinWithRight(const PhysicalNode& n, RelHandle right) {
     const RelExpr& e = *n.logical;
     const Relation& r = right.get();
-    const RelationIndex* index =
-        n.right_keys.empty() ? nullptr : r.FindIndex(n.right_keys);
+    const RelationIndexView view = n.right_keys.empty()
+                                       ? RelationIndexView()
+                                       : r.FindIndexView(n.right_keys);
 
     const bool is_join = e.kind() == RelExprKind::kJoin;
     if (r.empty()) {
@@ -933,9 +944,9 @@ class PlanExecutor {
     if (!n.right_keys.empty()) {
       // A transient build scans the right side once; an index build side
       // is not scanned at all.
-      if (index == nullptr) CountScan(stats_, r.size());
+      if (!view.valid()) CountScan(stats_, r.size());
       s.cursor = std::make_unique<HashJoinCursor>(
-          e.kind(), &e.predicate(), std::move(l), std::move(right), index,
+          e.kind(), &e.predicate(), std::move(l), std::move(right), view,
           n.left_keys, n.right_keys, out_arity, stats_, params_);
     } else {
       CountScan(stats_, r.size());
@@ -976,11 +987,11 @@ class PlanExecutor {
     TXMOD_ASSIGN_OR_RETURN(
         const Relation* base,
         ctx_.Resolve(e.left()->ref_kind(), e.left()->rel_name()));
-    const RelationIndex* index = base->FindIndex(n.left_keys);
+    RelationIndexView view = base->FindIndexView(n.left_keys);
     // Without a declared probe-side index the inversion has no advantage;
     // run the node as the plain hash join it would otherwise have been,
     // materializing the (already peeked) right side as its build.
-    if (index == nullptr) {
+    if (!view.valid()) {
       CountOperator(stats_);
       TXMOD_ASSIGN_OR_RETURN(Relation right_rel, Drain(&r));
       return OpenJoinWithRight(n, RelHandle::Owned(std::move(right_rel)));
@@ -997,8 +1008,8 @@ class PlanExecutor {
     const std::size_t out_arity = s.schema->arity();
     const std::size_t left_arity = base->arity();
     s.cursor = std::make_unique<IndexLookupJoinCursor>(
-        e.kind(), &e.predicate(), index, std::move(r), n.right_keys,
-        left_arity, out_arity, stats_, params_);
+        e.kind(), &e.predicate(), std::move(view), std::move(r),
+        n.right_keys, left_arity, out_arity, stats_, params_);
     return s;
   }
 
@@ -1052,14 +1063,14 @@ class PlanExecutor {
                                                  std::move(l.cursor));
       TXMOD_ASSIGN_OR_RETURN(const Relation* base,
                              ctx_.Resolve(n.setop_ref_kind, n.setop_rel));
-      const RelationIndex* index = base->FindIndex(n.setop_attrs);
-      if (index != nullptr) {
+      RelationIndexView view = base->FindIndexView(n.setop_attrs);
+      if (view.valid()) {
         CountOperator(stats_);
         Stream s;
         s.schema = l.schema;
         s.unique = l.unique;
-        s.cursor = std::make_unique<IndexedSetOpCursor>(std::move(l), index,
-                                                        want_in, stats_);
+        s.cursor = std::make_unique<IndexedSetOpCursor>(
+            std::move(l), std::move(view), want_in, stats_);
         return s;
       }
       // No declared index after all: generic membership over the
@@ -1579,8 +1590,8 @@ Result<Relation> ExecuteNodeLocal(const PhysicalNode& n, const Relation& left,
       if (!n.right_keys.empty()) {
         s.cursor = std::make_unique<HashJoinCursor>(
             e.kind(), &e.predicate(), scan(left), RelHandle::Borrowed(right),
-            /*index=*/nullptr, n.left_keys, n.right_keys, out_arity, stats,
-            params);
+            /*view=*/RelationIndexView(), n.left_keys, n.right_keys,
+            out_arity, stats, params);
       } else {
         s.cursor = std::make_unique<NestedJoinCursor>(
             e.kind(), &e.predicate(), scan(left), RelHandle::Borrowed(right),

@@ -7,7 +7,8 @@ namespace txmod {
 Database::Database(const Database& other)
     : schema_(other.schema_),
       relations_(other.relations_),
-      logical_time_(other.logical_time_) {
+      logical_time_(other.logical_time_),
+      overlay_enabled_(other.overlay_enabled_) {
   // Every state is now shared: neither side may mutate one in place.
   other.owned_.clear();
 }
@@ -17,6 +18,7 @@ Database& Database::operator=(const Database& other) {
     schema_ = other.schema_;
     relations_ = other.relations_;
     logical_time_ = other.logical_time_;
+    overlay_enabled_ = other.overlay_enabled_;
     owned_.clear();
     other.owned_.clear();
   }
@@ -47,15 +49,34 @@ Result<Relation*> Database::FindMutable(const std::string& name) {
   }
   std::shared_ptr<Relation>& slot = it->second;
   if (owned_.find(name) == owned_.end()) {
-    // Copy-on-write: this state is (or once was) shared with a snapshot —
-    // shared states are immutable, so clone privately and re-declare the
-    // indexes the plain Relation copy drops, keeping compiled checks on
-    // their fast paths for whichever side wrote.
-    auto owned = std::make_shared<Relation>(*slot);
-    for (const std::vector<int>& attrs : slot->DeclaredIndexes()) {
-      owned->IndexOn(attrs);
+    // This state is (or once was) shared with a snapshot — shared states
+    // are immutable, so un-share before handing out mutable access.
+    if (overlay_enabled_) {
+      // O(1) in the relation size: layer a private overlay over the
+      // shared base. Declared indexes are mirrored (empty) so compiled
+      // checks keep probing via FindIndexView.
+      auto owned = std::make_shared<Relation>(
+          Relation::MakeOverlay(std::shared_ptr<const Relation>(slot)));
+      slot = std::move(owned);
+      ++CowStats::overlays_created;
+      // Depth backstop for writers that never run the commit-path
+      // compaction (e.g. the serial engine mutating a master that gets
+      // snapshotted repeatedly): bound read amplification.
+      if (slot->overlay_depth() > 40) slot->CollapseOverlay();
+    } else {
+      // O(|R|) copy-on-write clone, re-declaring the indexes the plain
+      // Relation copy drops — the pre-overlay baseline. A source that is
+      // itself an overlay chain is flattened so the clone is a plain
+      // self-contained state.
+      auto owned = std::make_shared<Relation>(*slot);
+      owned->CollapseOverlay();
+      for (const std::vector<int>& attrs : slot->DeclaredIndexes()) {
+        owned->IndexOn(attrs);
+      }
+      ++CowStats::relation_clones;
+      CowStats::cloned_tuples += slot->size();
+      slot = std::move(owned);
     }
-    slot = std::move(owned);
     owned_.insert(name);
   }
   return slot.get();

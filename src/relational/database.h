@@ -17,16 +17,18 @@ namespace txmod {
 /// advance logical time by exactly one on commit (single-step transitions);
 /// an aborted transaction leaves both state and time unchanged.
 ///
-/// Snapshot facility (copy-on-write): relations are held behind shared
-/// pointers, so copying a Database — Clone(), the copy constructor, or
-/// assignment — is O(#relations) and *shares* every relation state with
-/// the source. Value semantics are preserved by FindMutable: the first
-/// mutable access to a shared relation clones it privately first (and
-/// re-declares its equi-key indexes, which plain Relation copies drop).
-/// This is what gives concurrent sessions a stable committed snapshot
-/// D^t to read while writers build differentials: a snapshot is just a
-/// Clone() of the committed database, and neither side's mutations are
-/// ever visible to the other.
+/// Snapshot facility: relations are held behind shared pointers, so
+/// copying a Database — Clone(), the copy constructor, or assignment —
+/// is O(#relations) and *shares* every relation state with the source.
+/// Value semantics are preserved by FindMutable: the first mutable
+/// access to a shared relation un-shares it privately first — by default
+/// an O(1) overlay over the immutable shared base (mutations then cost
+/// O(|delta|)); with overlays disabled, an O(|R|) clone that re-declares
+/// the equi-key indexes plain Relation copies drop. This is what gives
+/// concurrent sessions a stable committed snapshot D^t to read while
+/// writers build differentials: a snapshot is just a Clone() of the
+/// committed database, and neither side's mutations are ever visible to
+/// the other.
 ///
 /// Ownership discipline (the race-freedom argument): every Database
 /// instance tracks which relation states it exclusively owns — those it
@@ -61,11 +63,23 @@ class Database {
 
   Result<const Relation*> Find(const std::string& name) const;
 
-  /// Mutable access with copy-on-write: while the relation state is
-  /// shared with another Database (an outstanding snapshot), it is cloned
-  /// — including re-declaring its indexes — before being returned, so
-  /// mutation never leaks into other holders.
+  /// Mutable access that never leaks mutation into other holders. While
+  /// the relation state is shared with another Database (an outstanding
+  /// snapshot), the first mutable access un-shares it:
+  ///
+  ///   * overlay mode (default): an O(1) overlay state is layered over
+  ///     the shared base (Relation::MakeOverlay) — mutation cost becomes
+  ///     O(|delta|), with declared indexes mirrored so compiled checks
+  ///     stay on their probe paths via FindIndexView;
+  ///   * clone mode (set_overlay_enabled(false)): the state is cloned
+  ///     O(|R|) — including re-declaring its indexes — the pre-overlay
+  ///     behavior, kept as the oracle baseline.
   Result<Relation*> FindMutable(const std::string& name);
+
+  /// Chooses between overlay and clone un-sharing in FindMutable. The
+  /// flag is copied by Clone()/copies, so snapshots inherit the mode.
+  void set_overlay_enabled(bool enabled) { overlay_enabled_ = enabled; }
+  bool overlay_enabled() const { return overlay_enabled_; }
 
   bool Contains(const std::string& name) const {
     return relations_.find(name) != relations_.end();
@@ -121,6 +135,7 @@ class Database {
   // now reads.
   mutable std::set<std::string> owned_;
   uint64_t logical_time_ = 0;
+  bool overlay_enabled_ = true;
 };
 
 }  // namespace txmod

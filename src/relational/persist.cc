@@ -233,7 +233,13 @@ Result<Database> LoadDatabase(std::istream& in) {
   }
   Database db;
   uint64_t logical_time = 0;
-  Relation* current = nullptr;
+  // The relation under construction. Built as a locally-owned state and
+  // adopted wholesale at "end": the loader is logically a bulk writer of
+  // fresh states and must never reach for Database::FindMutable — the
+  // un-sharing path (overlay or clone) exists for mutating *shared*
+  // states, which a loader has no business triggering.
+  std::shared_ptr<Relation> current;
+  std::string current_name;
   int line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
@@ -266,7 +272,9 @@ Result<Database> LoadDatabase(std::istream& in) {
       }
       TXMOD_RETURN_IF_ERROR(
           db.CreateRelation(RelationSchema(name, std::move(attrs))));
-      current = *db.FindMutable(name);
+      TXMOD_ASSIGN_OR_RETURN(const Relation* created, db.Find(name));
+      current = std::make_shared<Relation>(created->schema_ptr());
+      current_name = name;
     } else if (keyword == "tuple") {
       if (current == nullptr) {
         return Status::InvalidArgument(
@@ -283,12 +291,18 @@ Result<Database> LoadDatabase(std::istream& in) {
       TXMOD_RETURN_IF_ERROR(current->schema().CheckTuple(tuple));
       current->Insert(current->schema().CoerceTuple(std::move(tuple)));
     } else if (keyword == "end") {
-      current = nullptr;
+      if (current != nullptr) {
+        db.AdoptRelation(current_name, std::move(current));
+        current = nullptr;
+      }
     } else {
       return Status::InvalidArgument(
           StrCat("unknown keyword '", keyword, "' at line ", line_number));
     }
   }
+  // A truncated checkpoint may end mid-relation; adopt what was read so
+  // the loaded prefix is still visible (recovery validates separately).
+  if (current != nullptr) db.AdoptRelation(current_name, std::move(current));
   while (db.logical_time() < logical_time) db.AdvanceTime();
   return db;
 }

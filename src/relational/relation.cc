@@ -6,6 +6,20 @@
 
 namespace txmod {
 
+std::atomic<uint64_t> CowStats::relation_clones{0};
+std::atomic<uint64_t> CowStats::cloned_tuples{0};
+std::atomic<uint64_t> CowStats::overlays_created{0};
+std::atomic<uint64_t> CowStats::overlay_merges{0};
+std::atomic<uint64_t> CowStats::overlay_collapses{0};
+
+void CowStats::Reset() {
+  relation_clones.store(0);
+  cloned_tuples.store(0);
+  overlays_created.store(0);
+  overlay_merges.store(0);
+  overlay_collapses.store(0);
+}
+
 void RelationIndex::Remove(const Tuple* t) {
   auto [begin, end] = map_.equal_range(EquiKeyHash(*t, attrs_));
   for (auto it = begin; it != end; ++it) {
@@ -23,7 +37,80 @@ void RelationIndex::Rebuild(
   for (const Tuple& t : tuples) Add(&t);
 }
 
+// ---------------------------------------------------------------------------
+// RelationIndexView.
+// ---------------------------------------------------------------------------
+
+RelationIndexView::Candidates RelationIndexView::Probe(
+    std::size_t key_hash) const {
+  Candidates c;
+  c.view_ = this;
+  c.hash_ = key_hash;
+  c.level_ = 0;
+  if (!levels_.empty() && levels_[0].index != nullptr) {
+    std::tie(c.it_, c.end_) = levels_[0].index->Probe(key_hash);
+  }
+  return c;
+}
+
+const Tuple* RelationIndexView::Candidates::Next() {
+  if (view_ == nullptr) return nullptr;
+  for (;;) {
+    while (it_ != end_) {
+      const Tuple* t = it_->second;
+      ++it_;
+      if (!view_->Shadowed(level_, *t)) return t;
+    }
+    ++level_;
+    if (level_ >= view_->levels_.size()) return nullptr;
+    const RelationIndex* index = view_->levels_[level_].index;
+    if (index == nullptr) {
+      it_ = RelationIndex::Iterator{};
+      end_ = it_;
+      continue;
+    }
+    std::tie(it_, end_) = index->Probe(hash_);
+  }
+}
+
+bool RelationIndexView::Shadowed(std::size_t level, const Tuple& t) const {
+  for (std::size_t i = 0; i < level; ++i) {
+    const auto* minus = levels_[i].minus;
+    if (minus != nullptr && !minus->empty() && minus->count(t) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Relation.
+// ---------------------------------------------------------------------------
+
+Relation Relation::MakeOverlay(std::shared_ptr<const Relation> base) {
+  Relation overlay(base->schema_ptr());
+  // Mirror the base's declared attribute lists as empty local indexes so
+  // FindIndexView can compose the chain. Building is O(#indexes), never
+  // O(|base|): the mirrors cover only this level's future inserts.
+  for (std::vector<int>& attrs : base->DeclaredIndexes()) {
+    overlay.indexes_.push_back(
+        std::make_unique<RelationIndex>(std::move(attrs)));
+  }
+  overlay.base_ = std::move(base);
+  return overlay;
+}
+
 bool Relation::Insert(Tuple t) {
+  if (base_ != nullptr) {
+    if (tuples_.count(t) > 0) return false;  // visible via a local insert
+    auto mit = minus_.find(t);
+    if (mit != minus_.end()) {
+      // Resurrect a base tuple this level deleted: un-shadow it.
+      minus_.erase(mit);
+      return true;
+    }
+    if (base_->Contains(t)) return false;  // visible through the base
+  }
   auto [it, inserted] = tuples_.insert(std::move(t));
   if (inserted) {
     for (const auto& index : indexes_) index->Add(&*it);
@@ -33,14 +120,27 @@ bool Relation::Insert(Tuple t) {
 
 bool Relation::Erase(const Tuple& t) {
   auto it = tuples_.find(t);
-  if (it == tuples_.end()) return false;
-  for (const auto& index : indexes_) index->Remove(&*it);
-  tuples_.erase(it);
-  return true;
+  if (it != tuples_.end()) {
+    for (const auto& index : indexes_) index->Remove(&*it);
+    tuples_.erase(it);
+    if (base_ != nullptr && minus_.count(t) == 0 && base_->Contains(t)) {
+      // Merged levels may hold a tuple both locally and in the base
+      // chain; keep it invisible after the local removal.
+      minus_.insert(t);
+    }
+    return true;
+  }
+  if (base_ != nullptr && minus_.count(t) == 0 && base_->Contains(t)) {
+    minus_.insert(t);
+    return true;
+  }
+  return false;
 }
 
 void Relation::Clear() {
   tuples_.clear();
+  minus_.clear();
+  base_.reset();
   for (const auto& index : indexes_) index->map_.clear();
 }
 
@@ -49,7 +149,12 @@ const RelationIndex* Relation::IndexOn(std::vector<int> attrs) {
   for (const int a : attrs) {
     if (a < 0 || a >= static_cast<int>(arity())) return nullptr;
   }
-  if (const RelationIndex* existing = FindIndex(attrs)) return existing;
+  // The returned index must cover the whole visible contents (a mirrored
+  // overlay index covers only local inserts); flatten first so the build
+  // below sees every tuple. Definition-time only — FindIndex/FindIndexView
+  // never reach here.
+  if (base_ != nullptr) CollapseOverlay();
+  if (const RelationIndex* existing = FindLocalIndex(attrs)) return existing;
   auto index = std::make_unique<RelationIndex>(std::move(attrs));
   index->Rebuild(tuples_);
   indexes_.push_back(std::move(index));
@@ -58,10 +163,37 @@ const RelationIndex* Relation::IndexOn(std::vector<int> attrs) {
 
 const RelationIndex* Relation::FindIndex(
     const std::vector<int>& attrs) const {
+  // A raw per-level index cannot answer membership over an overlay chain
+  // (it misses base tuples and deleted ones); overlay callers must go
+  // through FindIndexView.
+  if (base_ != nullptr) return nullptr;
+  return FindLocalIndex(attrs);
+}
+
+const RelationIndex* Relation::FindLocalIndex(
+    const std::vector<int>& attrs) const {
   for (const auto& index : indexes_) {
     if (index->attrs() == attrs) return index.get();
   }
   return nullptr;
+}
+
+RelationIndexView Relation::FindIndexView(
+    const std::vector<int>& attrs) const {
+  RelationIndexView view;
+  for (const Relation* level = this; level != nullptr;
+       level = level->base_.get()) {
+    const RelationIndex* index = level->FindLocalIndex(attrs);
+    if (index == nullptr && !level->tuples_.empty()) {
+      return RelationIndexView();  // a populated level lacks the index
+    }
+    view.levels_.push_back(RelationIndexView::Level{index, &level->minus_});
+    if (index != nullptr && view.attrs_ == nullptr) {
+      view.attrs_ = &index->attrs();
+    }
+  }
+  if (view.attrs_ == nullptr) return RelationIndexView();  // undeclared
+  return view;
 }
 
 std::vector<std::vector<int>> Relation::DeclaredIndexes() const {
@@ -71,15 +203,119 @@ std::vector<std::vector<int>> Relation::DeclaredIndexes() const {
   return out;
 }
 
+std::size_t Relation::overlay_depth() const {
+  std::size_t depth = 0;
+  for (const Relation* r = base_.get(); r != nullptr; r = r->base_.get()) {
+    ++depth;
+  }
+  return depth;
+}
+
+std::size_t Relation::overlay_weight() const {
+  std::size_t weight = 0;
+  for (const Relation* r = this; r->base_ != nullptr; r = r->base_.get()) {
+    weight += r->delta_weight();
+  }
+  return weight;
+}
+
+std::size_t Relation::flat_size() const {
+  const Relation* r = this;
+  while (r->base_ != nullptr) r = r->base_.get();
+  return r->tuples_.size();
+}
+
+void Relation::CollapseOverlay() {
+  if (base_ == nullptr) return;
+  std::unordered_set<Tuple, TupleHasher> flat;
+  flat.reserve(size());
+  for (const Tuple& t : *this) flat.insert(t);
+  tuples_ = std::move(flat);
+  minus_.clear();
+  base_.reset();
+  for (const auto& index : indexes_) index->Rebuild(tuples_);
+  ++CowStats::overlay_collapses;
+}
+
+bool Relation::MergeOverlayLevel() {
+  if (base_ == nullptr || base_->base_ == nullptr) return false;
+  const Relation& b = *base_;
+  // Combined level over b's base:  plus = (b.plus ∖ minus) ∪ plus,
+  // minus' = b.minus ∪ (minus ∖ b.plus).  b itself is only read — it may
+  // still be pinned by outstanding snapshots.
+  std::unordered_set<Tuple, TupleHasher> plus;
+  plus.reserve(b.tuples_.size() + tuples_.size());
+  for (const Tuple& t : b.tuples_) {
+    if (minus_.count(t) == 0) plus.insert(t);
+  }
+  for (const Tuple& t : tuples_) plus.insert(t);
+  std::unordered_set<Tuple, TupleHasher> minus = b.minus_;
+  for (const Tuple& t : minus_) {
+    if (b.tuples_.count(t) == 0) minus.insert(t);
+  }
+  std::shared_ptr<const Relation> next = b.base_;
+  tuples_ = std::move(plus);
+  minus_ = std::move(minus);
+  base_ = std::move(next);  // drops the reference to b last
+  for (const auto& index : indexes_) index->Rebuild(tuples_);
+  ++CowStats::overlay_merges;
+  return true;
+}
+
+void Relation::CompactOverlay() {
+  // Geometric merging: absorb the base level while this level is at
+  // least as heavy — the binary-counter argument bounds total merge work
+  // at O(log) per changed tuple and keeps chain depth logarithmic in the
+  // delta volume since the last collapse.
+  while (base_ != nullptr && base_->base_ != nullptr &&
+         delta_weight() >= base_->delta_weight()) {
+    MergeOverlayLevel();
+  }
+  if (base_ == nullptr) return;
+  // Large-delta case: once the accumulated overlay rivals the flat base,
+  // a collapse costs O(|R|) against ≥ |R|/2 delta work already paid —
+  // amortized constant — and restores flat-state read speed. The depth
+  // bound is a backstop for non-geometric chains (e.g. serial engines
+  // that never commit through the manager).
+  constexpr std::size_t kCollapseMinWeight = 64;
+  constexpr std::size_t kMaxOverlayDepth = 40;
+  const std::size_t threshold =
+      std::max<std::size_t>(kCollapseMinWeight, flat_size() / 2);
+  if (overlay_weight() >= threshold || overlay_depth() > kMaxOverlayDepth) {
+    CollapseOverlay();
+  }
+}
+
+void Relation::ConstIterator::Settle() {
+  while (level_ != nullptr) {
+    if (it_ == level_->tuples_.end()) {
+      level_ = level_->base_.get();
+      if (level_ != nullptr) it_ = level_->tuples_.begin();
+      continue;
+    }
+    if (level_ == top_ || !ShadowedAboveCurrent()) return;
+    ++it_;
+  }
+}
+
+bool Relation::ConstIterator::ShadowedAboveCurrent() const {
+  for (const Relation* r = top_; r != level_; r = r->base_.get()) {
+    if (!r->minus_.empty() && r->minus_.count(*it_) > 0) return true;
+  }
+  return false;
+}
+
 std::vector<Tuple> Relation::SortedTuples() const {
-  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::vector<Tuple> out;
+  out.reserve(size());
+  for (const Tuple& t : *this) out.push_back(t);
   std::sort(out.begin(), out.end(), Tuple::Less);
   return out;
 }
 
 bool Relation::SameTuples(const Relation& other) const {
   if (size() != other.size()) return false;
-  for (const Tuple& t : tuples_) {
+  for (const Tuple& t : *this) {
     if (!other.Contains(t)) return false;
   }
   return true;

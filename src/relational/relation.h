@@ -1,6 +1,10 @@
 #ifndef TXMOD_RELATIONAL_RELATION_H_
 #define TXMOD_RELATIONAL_RELATION_H_
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -11,6 +15,29 @@
 #include "src/relational/tuple.h"
 
 namespace txmod {
+
+class Relation;
+
+/// Process-wide instrumentation of the copy-on-write / overlay machinery
+/// (monotonic atomic counters; Reset() for tests and benchmarks). These
+/// exist so tests can *prove* cost claims — "checkpointing never copied a
+/// relation", "a session's first write did not scan the base" — instead of
+/// timing them.
+struct CowStats {
+  /// O(|R|) relation clones performed by Database::FindMutable when
+  /// overlay execution is disabled (or a caller copies explicitly through
+  /// the clone path), and the tuples those clones copied.
+  static std::atomic<uint64_t> relation_clones;
+  static std::atomic<uint64_t> cloned_tuples;
+  /// O(1) overlay layerings handed out by Database::FindMutable.
+  static std::atomic<uint64_t> overlays_created;
+  /// Overlay maintenance: level merges (amortized-geometric) and
+  /// collapses to a flat state (the large-delta case).
+  static std::atomic<uint64_t> overlay_merges;
+  static std::atomic<uint64_t> overlay_collapses;
+
+  static void Reset();
+};
 
 /// A persistent equi-key lookup index on one attribute list of a Relation:
 /// EquiKeyHash(tuple, attrs) -> tuple node. Buckets are *candidate* sets —
@@ -23,6 +50,11 @@ namespace txmod {
 /// incrementally by Relation::Insert/Erase/Clear. That is what lets the
 /// compiled differential checks probe the same base relation transaction
 /// after transaction without rebuilding a hash table per evaluation.
+///
+/// An index covers exactly one level of a relation state: a flat state's
+/// whole tuple set, or one overlay level's local inserts. Probing an
+/// overlay chain goes through RelationIndexView, which composes the
+/// per-level indexes and filters deleted tuples.
 class RelationIndex {
  public:
   using Map = std::unordered_multimap<std::size_t, const Tuple*>;
@@ -50,6 +82,62 @@ class RelationIndex {
   Map map_;
 };
 
+/// An overlay-aware probe view over one declared index attribute list of a
+/// relation state: the composition of the per-level RelationIndexes of the
+/// state's overlay chain. Probing yields every *visible* candidate —
+/// inserts of outer levels first, then base candidates that no outer
+/// level's deleted-set shadows — so the evaluator's index paths see
+/// base ∪ plus ∖ minus without materializing anything.
+///
+/// Obtained from Relation::FindIndexView. A default-constructed (or
+/// failed-lookup) view is !valid(); callers fall back to their scan/build
+/// path exactly as they do for an undeclared index. The view borrows the
+/// relation's levels: it is valid only while the relation (and the
+/// snapshot chain it layers over) is alive and unmodified — the same
+/// single-evaluation lifetime every cursor already assumes.
+class RelationIndexView {
+ public:
+  RelationIndexView() = default;
+
+  bool valid() const { return attrs_ != nullptr; }
+  const std::vector<int>& attrs() const { return *attrs_; }
+
+  /// A pull stream of visible candidates for one probe.
+  class Candidates {
+   public:
+    Candidates() = default;
+
+    /// The next visible candidate, or nullptr when exhausted.
+    const Tuple* Next();
+
+   private:
+    friend class RelationIndexView;
+
+    const RelationIndexView* view_ = nullptr;
+    std::size_t hash_ = 0;
+    std::size_t level_ = 0;
+    RelationIndex::Iterator it_{};
+    RelationIndex::Iterator end_{};
+  };
+
+  Candidates Probe(std::size_t key_hash) const;
+
+ private:
+  friend class Relation;
+
+  struct Level {
+    const RelationIndex* index;  // null only when the level has no tuples
+    const std::unordered_set<Tuple, TupleHasher>* minus;
+  };
+
+  /// True when a level *outside* `level` (index < level; outermost first)
+  /// deleted `t`.
+  bool Shadowed(std::size_t level, const Tuple& t) const;
+
+  std::vector<Level> levels_;  // outermost (most recent writes) first
+  const std::vector<int>* attrs_ = nullptr;
+};
+
 /// A relation state R: a *set* of tuples of dom(R) (Definition 2.1).
 ///
 /// PRISMA/DB was a main-memory system; a Relation is simply an in-memory
@@ -58,14 +146,30 @@ class RelationIndex {
 /// on. Iteration order is unspecified; use SortedTuples() for deterministic
 /// output.
 ///
+/// Overlay states: a Relation may layer local inserts (`tuples_`, the plus
+/// set) and deletes (`minus_`) over an immutable shared base state
+/// (MakeOverlay) — the visible contents are base ∪ plus ∖ minus, and every
+/// read (Contains, size, iteration, index views) sees exactly that without
+/// materializing. This is what makes a transaction session's first write
+/// to a relation O(1) instead of an O(|R|) copy-on-write clone: mutation
+/// cost is O(|delta|), the transaction-modification bound the paper's
+/// integrity checking is built around. Invariants maintained by
+/// Insert/Erase (and restored by level merges): minus ⊆ visible(base), and
+/// plus is disjoint from visible(base) ∖ minus. Overlay levels are
+/// immutable once shared (the Database ownership discipline); only the
+/// outermost level of an exclusively-owned state is ever mutated, so
+/// concurrent readers of shared inner levels are safe.
+///
 /// Index semantics: declared indexes (IndexOn) hold pointers into the
-/// tuple set, so *copies drop them* — a copy has no indexes until IndexOn
-/// is called on it again (the IntegritySubsystem re-declares on every
-/// Recompile; FindIndex never builds). Moves keep indexes: unordered_set
-/// nodes keep their addresses across a move. Mutation through
-/// Insert/Erase/Clear keeps every declared index coherent. Not
-/// thread-safe: one writer / no concurrent readers, like every other
-/// mutation of this class.
+/// level-local tuple set, so *copies drop them* — a copy has no indexes
+/// until IndexOn is called on it again (the IntegritySubsystem re-declares
+/// on every Recompile; FindIndex never builds). Moves keep indexes:
+/// unordered_set nodes keep their addresses across a move. An overlay
+/// mirrors its base's declared attribute lists as (initially empty)
+/// local indexes at creation, so FindIndexView can compose the chain.
+/// Mutation through Insert/Erase/Clear keeps every declared index
+/// coherent. Not thread-safe: one writer / no concurrent readers, like
+/// every other mutation of this class.
 class Relation {
  public:
   Relation() = default;
@@ -73,11 +177,16 @@ class Relation {
       : schema_(std::move(schema)) {}
 
   Relation(const Relation& other)
-      : schema_(other.schema_), tuples_(other.tuples_) {}
+      : schema_(other.schema_),
+        tuples_(other.tuples_),
+        minus_(other.minus_),
+        base_(other.base_) {}
   Relation& operator=(const Relation& other) {
     if (this != &other) {
       schema_ = other.schema_;
       tuples_ = other.tuples_;
+      minus_ = other.minus_;
+      base_ = other.base_;
       indexes_.clear();
     }
     return *this;
@@ -85,45 +194,158 @@ class Relation {
   Relation(Relation&&) = default;
   Relation& operator=(Relation&&) = default;
 
+  /// An O(#declared indexes) overlay state over `base`: initially equal to
+  /// *base, mutations stay local (plus/minus sets), `base` is never
+  /// touched. The caller promises `base` is immutable for the overlay's
+  /// lifetime (the Database ownership discipline supplies exactly that).
+  static Relation MakeOverlay(std::shared_ptr<const Relation> base);
+
   const RelationSchema& schema() const { return *schema_; }
   std::shared_ptr<const RelationSchema> schema_ptr() const { return schema_; }
   const std::string& name() const { return schema_->name(); }
   std::size_t arity() const { return schema_->arity(); }
 
-  std::size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  std::size_t size() const {
+    // Invariants make the arithmetic exact: every minus entry shadows a
+    // distinct visible base tuple, every plus entry is otherwise unseen.
+    if (base_ == nullptr) return tuples_.size();
+    return base_->size() + tuples_.size() - minus_.size();
+  }
+  bool empty() const {
+    return base_ == nullptr ? tuples_.empty() : size() == 0;
+  }
 
-  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+  bool Contains(const Tuple& t) const {
+    if (tuples_.count(t) > 0) return true;
+    return base_ != nullptr && minus_.count(t) == 0 && base_->Contains(t);
+  }
 
-  /// Inserts `t`; returns true when the tuple was not present before.
+  /// Inserts `t`; returns true when the tuple was not visible before.
   /// The tuple must already be schema-checked / coerced by the caller.
   bool Insert(Tuple t);
 
-  /// Removes `t`; returns true when the tuple was present.
+  /// Removes `t` from the visible contents; returns true when present.
   bool Erase(const Tuple& t);
 
   void Clear();
 
   /// Declares (and immediately builds) a persistent equi-key index on
   /// `attrs`; returns the existing one when already declared. Returns
-  /// nullptr when `attrs` is empty or out of range for the schema.
+  /// nullptr when `attrs` is empty or out of range for the schema. On an
+  /// overlay state the chain is collapsed flat first (rule definition is
+  /// rare and quiesced; an index declared only over local inserts would
+  /// silently miss base tuples).
   const RelationIndex* IndexOn(std::vector<int> attrs);
 
   /// The declared index on exactly `attrs`, or nullptr. Never builds one:
   /// ad-hoc queries must not leave permanent index maintenance costs
-  /// behind, so only explicitly declared indexes are ever used.
+  /// behind, so only explicitly declared indexes are ever used. On an
+  /// overlay state this is always nullptr — a raw per-level index cannot
+  /// answer membership over the chain; use FindIndexView.
   const RelationIndex* FindIndex(const std::vector<int>& attrs) const;
+
+  /// The overlay-aware probe view on `attrs`: valid when every level that
+  /// holds tuples declares the index (overlays mirror declarations, so
+  /// chains over an indexed base qualify). For flat states this is
+  /// equivalent to FindIndex. An invalid view means "no usable index" —
+  /// callers fall back exactly as for FindIndex == nullptr.
+  RelationIndexView FindIndexView(const std::vector<int>& attrs) const;
 
   std::size_t index_count() const { return indexes_.size(); }
 
   /// Attribute lists of every declared index, in declaration order. This
-  /// is what lets a copy-on-write clone (Database::FindMutable) re-declare
-  /// the indexes that the plain copy constructor drops.
+  /// is what lets a copy-on-write clone or overlay (Database::FindMutable)
+  /// re-declare the indexes that the plain copy constructor drops.
   std::vector<std::vector<int>> DeclaredIndexes() const;
 
-  using ConstIterator = std::unordered_set<Tuple, TupleHasher>::const_iterator;
-  ConstIterator begin() const { return tuples_.begin(); }
-  ConstIterator end() const { return tuples_.end(); }
+  // -------------------------------------------------------------------
+  // Overlay introspection and maintenance. Mutators may only be called
+  // on an exclusively-owned state (they rewrite the outermost level and
+  // re-point its base; inner levels are read, never written).
+  // -------------------------------------------------------------------
+
+  bool is_overlay() const { return base_ != nullptr; }
+
+  /// Number of overlay levels above the flat base (0 for a flat state).
+  std::size_t overlay_depth() const;
+
+  /// This level's local delta size: |plus| + |minus|.
+  std::size_t delta_weight() const { return tuples_.size() + minus_.size(); }
+
+  /// Cumulative delta weight across every overlay level of the chain.
+  std::size_t overlay_weight() const;
+
+  /// Tuple count of the innermost flat level (== size() when flat).
+  std::size_t flat_size() const;
+
+  /// Flattens the chain into a single owned level (large-delta commit
+  /// case). Declared indexes are rebuilt over the flat set. No-op when
+  /// already flat.
+  void CollapseOverlay();
+
+  /// Merges this level with its immediate base *level* (not the flat
+  /// base): O(delta weights of the two levels), the base level itself is
+  /// only read. Returns false when there is no overlay base level.
+  bool MergeOverlayLevel();
+
+  /// Post-commit compaction policy: geometrically merge overlay levels
+  /// (amortized O(log) merges per changed tuple), then collapse flat once
+  /// the cumulative delta reaches a fraction of the flat base — the
+  /// small-delta/large-delta split of the commit path.
+  void CompactOverlay();
+
+  /// Forward iteration over the visible contents: each level's local
+  /// inserts, outermost level first, skipping tuples deleted by an outer
+  /// level. O(overlay depth) per step in the worst case; empty minus sets
+  /// (the insert-only common case) cost one branch per level.
+  class ConstIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Tuple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Tuple*;
+    using reference = const Tuple&;
+
+    ConstIterator() = default;
+
+    const Tuple& operator*() const { return *it_; }
+    const Tuple* operator->() const { return &*it_; }
+
+    ConstIterator& operator++() {
+      ++it_;
+      Settle();
+      return *this;
+    }
+
+    bool operator==(const ConstIterator& other) const {
+      return level_ == other.level_ &&
+             (level_ == nullptr || it_ == other.it_);
+    }
+    bool operator!=(const ConstIterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    friend class Relation;
+
+    ConstIterator(const Relation* top, const Relation* level,
+                  std::unordered_set<Tuple, TupleHasher>::const_iterator it)
+        : top_(top), level_(level), it_(it) {
+      Settle();
+    }
+
+    void Settle();
+    bool ShadowedAboveCurrent() const;
+
+    const Relation* top_ = nullptr;
+    const Relation* level_ = nullptr;  // null == end
+    std::unordered_set<Tuple, TupleHasher>::const_iterator it_{};
+  };
+
+  ConstIterator begin() const {
+    return ConstIterator(this, this, tuples_.begin());
+  }
+  ConstIterator end() const { return ConstIterator(); }
 
   /// Tuples in lexicographic order (deterministic; for printing and tests).
   std::vector<Tuple> SortedTuples() const;
@@ -135,8 +357,17 @@ class Relation {
   std::string ToString(std::size_t max_tuples = 16) const;
 
  private:
+  /// This level's own declared index on `attrs` (ignores the chain).
+  const RelationIndex* FindLocalIndex(const std::vector<int>& attrs) const;
+
   std::shared_ptr<const RelationSchema> schema_;
+  // The level-local tuple set: the whole contents of a flat state, the
+  // plus (insert) set of an overlay level.
   std::unordered_set<Tuple, TupleHasher> tuples_;
+  // Overlay state. minus_ holds base tuples this level deleted; base_ is
+  // the immutable shared state underneath (null == flat).
+  std::unordered_set<Tuple, TupleHasher> minus_;
+  std::shared_ptr<const Relation> base_;
   std::vector<std::unique_ptr<RelationIndex>> indexes_;
 };
 

@@ -97,7 +97,11 @@ void TxnContext::RecordFootprint(const std::string& rel,
   if (it == footprint_.end()) {
     it = footprint_.emplace(rel, Relation(target.schema_ptr())).first;
   }
-  it->second.Insert(t);
+  // Dedupe before inserting: the footprint has set semantics anyway, but
+  // Insert's by-value parameter deep-copies the tuple per attempt — a
+  // large idempotent batch re-touching the same tuples would pay an
+  // O(attempts) allocation bill for an unchanged set.
+  if (!it->second.Contains(t)) it->second.Insert(t);
 }
 
 Result<bool> TxnContext::InsertTuple(const std::string& rel, Tuple tuple) {

@@ -111,6 +111,8 @@ class TxnContext : public algebra::EvalContext {
   /// an absent one). No-ops are reads of the committed state at tuple
   /// granularity: whether they were no-ops depends on it, so commit
   /// validation must see them even though they leave no differential.
+  /// Identical attempts are deduped on record: a batch re-touching the
+  /// same tuple N times costs one entry and no repeated tuple copies.
   const std::map<std::string, Relation>& WriteFootprint() const {
     return footprint_;
   }

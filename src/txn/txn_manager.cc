@@ -38,7 +38,7 @@ Result<TxnResult> TxnSession::Execute(const algebra::Transaction& txn) {
   Result<TxnResult> executed = ExecuteProgram(modified, &ctx_);
   if (!executed.ok()) {
     // Malformed program: the context rolled back; the session is dead.
-    state_ = State::kFinished;
+    Finish();
     return executed.status();
   }
   accumulated_.stats.Add(executed->stats);
@@ -68,11 +68,19 @@ Result<TxnResult> TxnSession::Commit() {
     return Status::FailedPrecondition("session already finished");
   }
   Result<TxnResult> result = manager_->CommitSession(this);
-  state_ = State::kFinished;
+  Finish();
   return result;
 }
 
-void TxnSession::Abort() { state_ = State::kFinished; }
+void TxnSession::Abort() { Finish(); }
+
+TxnSession::~TxnSession() { Finish(); }
+
+void TxnSession::Finish() {
+  if (state_ == State::kFinished) return;
+  state_ = State::kFinished;
+  manager_->ReleaseSession();
+}
 
 // ---------------------------------------------------------------------------
 // TxnManager.
@@ -83,6 +91,8 @@ Result<std::unique_ptr<TxnManager>> TxnManager::Create(
   std::unique_ptr<TxnManager> manager(
       new TxnManager(subsystem, std::move(options)));
   const TxnManagerOptions& opts = manager->options_;
+  // Session snapshots inherit the mode from the master via Clone().
+  manager->db_->set_overlay_enabled(opts.overlay_sessions);
   if (!opts.wal_path.empty()) {
     if (!opts.checkpoint_path.empty() &&
         ::access(opts.checkpoint_path.c_str(), F_OK) != 0) {
@@ -131,8 +141,51 @@ std::unique_ptr<TxnSession> TxnManager::Begin() {
   // nobody mutates the master while its relation pointers are copied.
   Database snapshot = db_->Clone();
   const uint64_t version = db_->logical_time();
+  ++active_sessions_;  // released by TxnSession::Finish
   return std::unique_ptr<TxnSession>(
       new TxnSession(this, std::move(snapshot), version));
+}
+
+void TxnManager::ReleaseSession() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  --active_sessions_;
+}
+
+uint64_t TxnManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return active_sessions_;
+}
+
+template <typename Fn>
+Status TxnManager::WithQuiescedSessions(const char* what, Fn&& mutate) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (active_sessions_ > 0) {
+    // Recompiling rule plans (and re-declaring indexes) while sessions
+    // execute against them is a race by contract; reject with the count
+    // so the caller knows what to drain.
+    return Status::FailedPrecondition(
+        StrCat(what, " requires quiesced sessions: ", active_sessions_,
+               " live session(s); commit, abort, or destroy them first"));
+  }
+  return mutate();
+}
+
+Status TxnManager::DefineConstraint(const std::string& name,
+                                    const std::string& cl_text) {
+  return WithQuiescedSessions("DefineConstraint", [&] {
+    return subsystem_->DefineConstraint(name, cl_text);
+  });
+}
+
+Status TxnManager::DefineRule(const std::string& name,
+                              const std::string& rl_text) {
+  return WithQuiescedSessions(
+      "DefineRule", [&] { return subsystem_->DefineRule(name, rl_text); });
+}
+
+Status TxnManager::DropRule(const std::string& name) {
+  return WithQuiescedSessions(
+      "DropRule", [&] { return subsystem_->DropRule(name); });
 }
 
 Result<TxnResult> TxnManager::Run(const algebra::Transaction& txn) {
@@ -277,18 +330,30 @@ Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
     const bool snapshot_is_current =
         session->snapshot_version_ == db_->logical_time();
     for (const WalDelta& delta : wal_record.deltas) {
+      Relation* installed = nullptr;
       if (snapshot_is_current) {
         std::shared_ptr<Relation> adopted =
             session->snapshot_db_.TakeOwnedRelation(delta.relation);
         if (adopted != nullptr) {
+          installed = adopted.get();
           db_->AdoptRelation(delta.relation, std::move(adopted));
-          continue;
         }
       }
-      TXMOD_ASSIGN_OR_RETURN(Relation * rel,
-                             db_->FindMutable(delta.relation));
-      for (const Tuple& t : delta.minus) rel->Erase(t);
-      for (const Tuple& t : delta.plus) rel->Insert(t);
+      if (installed == nullptr) {
+        TXMOD_ASSIGN_OR_RETURN(Relation * rel,
+                               db_->FindMutable(delta.relation));
+        for (const Tuple& t : delta.minus) rel->Erase(t);
+        for (const Tuple& t : delta.plus) rel->Insert(t);
+        installed = rel;
+      }
+      // Overlay maintenance, still exclusively owned and under the
+      // commit lock (i.e. before any new snapshot can share the state):
+      // geometrically merge the freshly adopted level into the chain
+      // (small-delta case) or collapse the chain flat once the
+      // accumulated deltas rival the base (large-delta case). Amortized
+      // O(log) merge work per changed tuple; outstanding snapshots keep
+      // reading their pinned levels untouched.
+      installed->CompactOverlay();
     }
     db_->AdvanceTime();
 

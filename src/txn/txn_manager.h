@@ -46,6 +46,13 @@ struct TxnManagerOptions {
   /// snapshot). Must comfortably exceed the number of commits that can
   /// land during one session's lifetime.
   std::size_t validation_window = 1024;
+
+  /// When true (default), a session's first write to a relation layers an
+  /// O(1) overlay over the shared snapshot state and commits merge or
+  /// collapse the overlay (mutation cost O(|delta|)). When false, first
+  /// writes pay the legacy O(|R|) copy-on-write clone — kept as the
+  /// baseline the overlay-vs-clone oracle compares against.
+  bool overlay_sessions = true;
 };
 
 /// Counters describing the manager's life so far (all monotonic).
@@ -84,6 +91,11 @@ class TxnSession {
  public:
   TxnSession(const TxnSession&) = delete;
   TxnSession& operator=(const TxnSession&) = delete;
+
+  /// A session that was never committed or aborted releases its
+  /// active-session slot on destruction (the rule-definition quiesce
+  /// check counts live sessions).
+  ~TxnSession();
 
   /// Runs one transaction (integrity-modified by the subsystem) against
   /// the session's snapshot. May be called repeatedly while the session
@@ -124,6 +136,10 @@ class TxnSession {
   TxnSession(TxnManager* manager, Database snapshot,
              uint64_t snapshot_version);
 
+  /// Idempotent transition to kFinished; releases the manager's
+  /// active-session slot exactly once.
+  void Finish();
+
   TxnManager* manager_;
   Database snapshot_db_;
   uint64_t snapshot_version_;
@@ -163,9 +179,12 @@ class TxnSession {
 /// (group commit). Recover() replays the WAL over the latest checkpoint
 /// and restores exactly the durable committed prefix.
 ///
-/// Rule definition (DefineConstraint/DefineRule on the subsystem) must
-/// be quiesced against active sessions: define rules first, then serve
-/// traffic.
+/// Rule definition: DefineConstraint/DefineRule/DropRule on this manager
+/// enforce the quiesce contract — they serialize against Begin/commit
+/// and fail with FailedPrecondition while any session is live, instead
+/// of racing the recompile against executing sessions. (Calling the
+/// subsystem's definition methods directly bypasses the guard and keeps
+/// the old undefined-by-contract behavior; don't.)
 class TxnManager {
  public:
   /// Creates a manager over `subsystem`'s database and rule set. With a
@@ -191,6 +210,20 @@ class TxnManager {
   /// truncates the WAL. Commits are blocked for the duration. Requires
   /// options.checkpoint_path.
   Status Checkpoint();
+
+  /// Guarded rule definition: forwards to the subsystem only when no
+  /// session is live (Begin'd but not yet committed, aborted, or
+  /// destroyed), serialized against Begin and commit application.
+  /// Returns FailedPrecondition naming the live-session count otherwise —
+  /// recompiling rule plans while sessions execute them is a data race by
+  /// contract, so the manager detects and rejects instead.
+  Status DefineConstraint(const std::string& name,
+                          const std::string& cl_text);
+  Status DefineRule(const std::string& name, const std::string& rl_text);
+  Status DropRule(const std::string& name);
+
+  /// Live sessions: Begin'd and not yet finished. Test/diagnostic.
+  uint64_t active_sessions() const;
 
   /// Crash recovery: checkpoint + WAL replay, restoring the durable
   /// committed prefix. Static — call before constructing the subsystem
@@ -225,6 +258,15 @@ class TxnManager {
   /// Caller holds commit_mu_. Sets `reason`.
   bool HasConflictLocked(const TxnSession& session, std::string* reason);
 
+  /// Releases one active-session slot (TxnSession::Finish).
+  void ReleaseSession();
+
+  /// The quiesce guard shared by the rule-definition entry points.
+  /// Returns FailedPrecondition while sessions are live; otherwise runs
+  /// `mutate` under commit_mu_.
+  template <typename Fn>
+  Status WithQuiescedSessions(const char* what, Fn&& mutate);
+
   core::IntegritySubsystem* subsystem_;
   Database* db_;
   TxnManagerOptions options_;
@@ -236,6 +278,7 @@ class TxnManager {
   mutable std::mutex commit_mu_;
   std::deque<CommitRecord> recent_;  // rolling validation window
   TxnManagerStats stats_;
+  uint64_t active_sessions_ = 0;  // guarded by commit_mu_
 };
 
 }  // namespace txmod::txn

@@ -1,0 +1,331 @@
+// Overlay-vs-clone oracle: overlay execution (a session's first write
+// layers an O(1) overlay over the shared snapshot) is a pure cost
+// optimization — it must be observationally IDENTICAL to the legacy
+// O(|R|) copy-on-write clone path. Two pins:
+//
+//  1. a deterministic randomized session script (interleaved sessions,
+//     conflicts, integrity aborts, multi-execute sessions, explicit
+//     aborts) driven step-for-step against two managers that differ
+//     only in TxnManagerOptions::overlay_sessions — every Execute and
+//     Commit outcome, every commit version, and the final state must
+//     agree exactly;
+//
+//  2. a multi-threaded workload with a scheduling-independent final
+//     state (disjoint inserts plus per-thread contended keys, retried
+//     through Run) executed once per mode — both modes must converge to
+//     the same state and version, with commit compaction and shared
+//     overlay levels exercised under real concurrency (this test runs
+//     in the TSan CI job).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "bench/workload.h"
+#include "src/common/str_util.h"
+#include "src/core/subsystem.h"
+#include "src/txn/txn_manager.h"
+#include "tests/test_util.h"
+
+namespace txmod::txn {
+namespace {
+
+using algebra::Transaction;
+
+constexpr int kKeys = 20;
+constexpr int kSharedKeys = 8;
+
+Database MakeInitialDatabase() {
+  Database db = bench::MakeKeyFkDatabase(kKeys, 200);
+  bench::AddUnreferencedKeys(&db, 32);
+  return db;
+}
+
+void DefineConstraints(core::IntegritySubsystem* ics) {
+  TXMOD_ASSERT_OK(ics->DefineConstraint("domain", bench::DomainConstraint()));
+  TXMOD_ASSERT_OK(ics->DefineConstraint("refint", bench::RefIntConstraint()));
+}
+
+// ---------------------------------------------------------------------------
+// Pin 1: deterministic session script, replayed against both modes.
+// ---------------------------------------------------------------------------
+
+struct ScriptStep {
+  enum class Kind { kBegin, kExecute, kCommit, kAbort } kind;
+  int slot = 0;       // which of the open-session slots
+  Transaction txn;    // kExecute only
+  std::string trace;  // for failure messages
+};
+
+/// A randomized but fully pre-generated script over `slots` concurrently
+/// open sessions: the interleaving (and thus which commits conflict) is
+/// part of the script, so both modes see the exact same history.
+std::vector<ScriptStep> MakeScript(unsigned seed, int steps, int slots) {
+  std::mt19937 rng(seed);
+  auto pick = [&](int n) {
+    return static_cast<int>(rng() % static_cast<unsigned>(n));
+  };
+  int next_id = 2'000'000;
+  std::vector<ScriptStep> script;
+  for (int i = 0; i < steps; ++i) {
+    ScriptStep step;
+    step.slot = pick(slots);
+    switch (pick(8)) {
+      case 0:
+        step.kind = ScriptStep::Kind::kBegin;
+        step.trace = "begin";
+        break;
+      case 1:
+        step.kind = ScriptStep::Kind::kCommit;
+        step.trace = "commit";
+        break;
+      case 2:
+        step.kind = ScriptStep::Kind::kAbort;
+        step.trace = "abort";
+        break;
+      default: {
+        step.kind = ScriptStep::Kind::kExecute;
+        switch (pick(5)) {
+          case 0:
+          case 1: {  // valid fk insert
+            step.txn.program.statements.push_back(algebra::Statement::Insert(
+                "fk_rel",
+                algebra::RelExpr::Literal(
+                    {Tuple({Value::Int(next_id++),
+                            Value::String(StrCat("k", pick(kKeys))),
+                            Value::Double(1.0 + pick(9))})},
+                    3)));
+            step.trace = "valid fk insert";
+            break;
+          }
+          case 2: {  // contended shared-key delete
+            step.txn.program.statements.push_back(algebra::Statement::Delete(
+                "key_rel",
+                algebra::RelExpr::Literal(
+                    {Tuple({Value::String(StrCat("x", pick(kSharedKeys))),
+                            Value::String("payload")})},
+                    2)));
+            step.trace = "shared key delete";
+            break;
+          }
+          case 3: {  // contended shared-key (re-)insert
+            step.txn.program.statements.push_back(algebra::Statement::Insert(
+                "key_rel",
+                algebra::RelExpr::Literal(
+                    {Tuple({Value::String(StrCat("x", pick(kSharedKeys))),
+                            Value::String("payload")})},
+                    2)));
+            step.trace = "shared key insert";
+            break;
+          }
+          default: {  // dangling ref: integrity abort
+            step.txn.program.statements.push_back(algebra::Statement::Insert(
+                "fk_rel",
+                algebra::RelExpr::Literal(
+                    {Tuple({Value::Int(next_id++),
+                            Value::String(StrCat("zz", pick(50))),
+                            Value::Double(3.0)})},
+                    3)));
+            step.trace = "dangling fk insert";
+            break;
+          }
+        }
+        break;
+      }
+    }
+    script.push_back(std::move(step));
+  }
+  return script;
+}
+
+/// One mode's full run: applies the script and records every observable
+/// outcome in order.
+struct ModeRun {
+  Database db;
+  std::unique_ptr<core::IntegritySubsystem> ics;
+  std::unique_ptr<TxnManager> manager;
+  std::vector<std::string> outcomes;
+
+  explicit ModeRun(bool overlay) {
+    db = MakeInitialDatabase();
+    ics = std::make_unique<core::IntegritySubsystem>(&db);
+    DefineConstraints(ics.get());
+    TxnManagerOptions options;
+    options.overlay_sessions = overlay;
+    auto created = TxnManager::Create(ics.get(), options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    manager = std::move(*created);
+  }
+
+  void Apply(const std::vector<ScriptStep>& script, int slots) {
+    std::vector<std::unique_ptr<TxnSession>> sessions(
+        static_cast<std::size_t>(slots));
+    for (const ScriptStep& step : script) {
+      auto& session = sessions[static_cast<std::size_t>(step.slot)];
+      switch (step.kind) {
+        case ScriptStep::Kind::kBegin:
+          // (Re-)opening a slot drops any session already in it — the
+          // destructor release path is part of what the oracle covers.
+          session = manager->Begin();
+          outcomes.push_back("begin");
+          break;
+        case ScriptStep::Kind::kExecute: {
+          if (session == nullptr || session->finished()) {
+            outcomes.push_back("execute:no-session");
+            break;
+          }
+          auto r = session->Execute(step.txn);
+          // Errors (e.g. executing on an integrity-aborted session) are
+          // outcomes too: both modes must produce the same ones.
+          outcomes.push_back(
+              r.ok() ? StrCat("execute:", step.trace, ":",
+                              r->committed ? "clean" : "aborted")
+                     : StrCat("execute:", step.trace, ":",
+                              r.status().ToString()));
+          break;
+        }
+        case ScriptStep::Kind::kCommit: {
+          if (session == nullptr || session->finished()) {
+            outcomes.push_back("commit:no-session");
+            break;
+          }
+          auto r = session->Commit();
+          outcomes.push_back(
+              r.ok() ? StrCat("commit:", r->committed ? "committed" : "lost",
+                              ":", r->conflict ? "conflict" : "-",
+                              ":installed=", r->installed ? "1" : "0",
+                              ":v=", r->commit_version)
+                     : StrCat("commit:", r.status().ToString()));
+          break;
+        }
+        case ScriptStep::Kind::kAbort:
+          if (session != nullptr) session->Abort();
+          outcomes.push_back("abort");
+          break;
+      }
+    }
+  }
+};
+
+TEST(OverlayOracleTest, SessionScriptIsModeInvariant) {
+  constexpr int kSlots = 3;
+  for (unsigned seed : {11u, 29u, 47u, 83u}) {
+    const std::vector<ScriptStep> script = MakeScript(seed, 400, kSlots);
+    ModeRun overlay(/*overlay=*/true);
+    ModeRun clone(/*overlay=*/false);
+    overlay.Apply(script, kSlots);
+    clone.Apply(script, kSlots);
+
+    ASSERT_EQ(overlay.outcomes.size(), clone.outcomes.size());
+    for (std::size_t i = 0; i < overlay.outcomes.size(); ++i) {
+      ASSERT_EQ(overlay.outcomes[i], clone.outcomes[i])
+          << "seed " << seed << ", step " << i << " ("
+          << script[i].trace << ") diverges between overlay and clone";
+    }
+    EXPECT_EQ(overlay.manager->committed_version(),
+              clone.manager->committed_version())
+        << "seed " << seed;
+    EXPECT_TRUE(overlay.db.SameState(clone.db))
+        << "seed " << seed << ": final states diverge";
+    EXPECT_EQ(overlay.manager->stats().commits,
+              clone.manager->stats().commits);
+    EXPECT_EQ(overlay.manager->stats().conflicts,
+              clone.manager->stats().conflicts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pin 2: threaded convergence, once per mode (TSan coverage of shared
+// overlay levels and commit compaction).
+// ---------------------------------------------------------------------------
+
+int OracleThreads() {
+  if (const char* env = std::getenv("TXMOD_ORACLE_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return std::min(n, 32);
+  }
+  return 4;
+}
+
+/// Runs the deterministic-final-state workload in one mode. Each thread
+/// interleaves disjoint fk inserts with delete / re-insert rounds of its
+/// OWN key (real write-write and read-write contention, but a
+/// scheduling-independent net effect once Run's retries drain).
+Database RunThreadedWorkload(bool overlay, int num_threads,
+                             uint64_t* final_version) {
+  Database db = MakeInitialDatabase();
+  core::IntegritySubsystem ics(&db);
+  DefineConstraints(&ics);
+  TxnManagerOptions options;
+  options.overlay_sessions = overlay;
+  options.max_attempts = 64;  // retries must drain under full contention
+  auto created = TxnManager::Create(&ics, options);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  auto manager = std::move(*created);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t]() {
+      int next_id = 3'000'000 + t * 100'000;
+      for (int round = 0; round < 20; ++round) {
+        std::vector<Transaction> txns;
+        {  // disjoint valid insert
+          Transaction txn;
+          txn.program.statements.push_back(algebra::Statement::Insert(
+              "fk_rel",
+              algebra::RelExpr::Literal(
+                  {Tuple({Value::Int(next_id++),
+                          Value::String(StrCat("k", round % kKeys)),
+                          Value::Double(2.0)})},
+                  3)));
+          txns.push_back(std::move(txn));
+        }
+        {  // contended: delete own key (round even), re-insert (odd)
+          Transaction txn;
+          auto literal = algebra::RelExpr::Literal(
+              {Tuple({Value::String(StrCat("x", t)),
+                      Value::String("payload")})},
+              2);
+          txn.program.statements.push_back(
+              round % 2 == 0
+                  ? algebra::Statement::Delete("key_rel", std::move(literal))
+                  : algebra::Statement::Insert("key_rel",
+                                               std::move(literal)));
+          txns.push_back(std::move(txn));
+        }
+        for (Transaction& txn : txns) {
+          auto result = manager->Run(txn);
+          if (!result.ok() || !result->committed) ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0)
+      << "a transaction failed to commit despite retries";
+  *final_version = manager->committed_version();
+  return db.Clone();
+}
+
+TEST(OverlayOracleTest, ThreadedWorkloadConvergesIdenticallyPerMode) {
+  const int num_threads = OracleThreads();
+  uint64_t overlay_version = 0, clone_version = 0;
+  Database overlay_db =
+      RunThreadedWorkload(/*overlay=*/true, num_threads, &overlay_version);
+  Database clone_db =
+      RunThreadedWorkload(/*overlay=*/false, num_threads, &clone_version);
+  EXPECT_TRUE(overlay_db.SameState(clone_db))
+      << "overlay and clone modes converge to different states";
+  EXPECT_EQ(overlay_version, clone_version);
+}
+
+}  // namespace
+}  // namespace txmod::txn

@@ -93,6 +93,43 @@ TEST(PersistTest, RejectsGarbage) {
   EXPECT_FALSE(LoadDatabaseFromFile("/nonexistent/path.txt").ok());
 }
 
+TEST(PersistTest, SaveAndLoadNeverCopyOrUnshareRelationStates) {
+  // Checkpointing is logically read-only and loading builds fresh owned
+  // states: neither may go through Database::FindMutable's un-sharing
+  // machinery. The pin: with every relation SHARED (an outstanding
+  // snapshot holds the other reference), a save/load cycle performs zero
+  // clones, copies zero tuples, and creates zero overlays.
+  Database db = MakeBeerDatabase();
+  AddBrewery(&db, "heineken", "amsterdam", "nl");
+  for (int i = 0; i < 500; ++i) {
+    AddBeer(&db, "beer" + std::to_string(i), "lager", "heineken", 4.0);
+  }
+  Database snapshot = db.Clone();
+
+  CowStats::Reset();
+  std::ostringstream out;
+  TXMOD_ASSERT_OK(SaveDatabase(db, out));
+  std::istringstream in(out.str());
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database loaded, LoadDatabase(in));
+  EXPECT_EQ(CowStats::relation_clones.load(), 0u);
+  EXPECT_EQ(CowStats::cloned_tuples.load(), 0u);
+  EXPECT_EQ(CowStats::overlays_created.load(), 0u);
+  EXPECT_TRUE(loaded.SameState(db));
+
+  // Saving an overlay state works too (SortedTuples iterates the visible
+  // contents): mutate through the master, which layers an overlay.
+  (*db.FindMutable("beer"))
+      ->Insert(Tuple({Value::String("late"), Value::String("ale"),
+                      Value::String("heineken"), Value::Double(6.0)}));
+  ASSERT_TRUE((*db.Find("beer"))->is_overlay());
+  std::ostringstream out2;
+  TXMOD_ASSERT_OK(SaveDatabase(db, out2));
+  std::istringstream in2(out2.str());
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database loaded2, LoadDatabase(in2));
+  EXPECT_TRUE(loaded2.SameState(db));
+  EXPECT_EQ((*loaded2.Find("beer"))->size(), 501u);
+}
+
 TEST(PersistTest, TupleTypeMismatchRejected) {
   std::istringstream in(
       "txmod-checkpoint 1\n"

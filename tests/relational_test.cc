@@ -272,6 +272,22 @@ std::size_t ProbeCount(const Relation& rel, const std::vector<int>& attrs,
   return n;
 }
 
+/// Probe through the overlay-aware view — the path the evaluator takes.
+std::size_t ViewProbeCount(const Relation& rel, const std::vector<int>& attrs,
+                           const Tuple& key) {
+  RelationIndexView view = rel.FindIndexView(attrs);
+  EXPECT_TRUE(view.valid());
+  if (!view.valid()) return 0;
+  std::vector<int> probe_attrs;
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    probe_attrs.push_back(static_cast<int>(i));
+  }
+  auto cand = view.Probe(EquiKeyHash(key, probe_attrs));
+  std::size_t n = 0;
+  while (cand.Next() != nullptr) ++n;
+  return n;
+}
+
 TEST(RelationIndexTest, MaintainedThroughInsertAndErase) {
   Database db = MakeBeerDatabase();
   Relation* beer = *db.FindMutable("beer");
@@ -401,19 +417,246 @@ TEST(DatabaseSnapshotTest, CopyOnWriteRedeclaresIndexes) {
   ASSERT_EQ(beer->DeclaredIndexes(),
             (std::vector<std::vector<int>>{{2}}));
 
-  // Take a snapshot, then write through the master: the copy-on-write
-  // clone must carry the declared index (a plain Relation copy drops it).
+  // Take a snapshot, then write through the master: the un-shared state
+  // (an overlay here) must carry the declared index — mirrored as an
+  // empty level-local index the view composes with the base's.
   Database snapshot = db.Clone();
   Relation* cow = *db.FindMutable("beer");
+  EXPECT_TRUE(cow->is_overlay());
   EXPECT_EQ(cow->index_count(), 1u);
+  EXPECT_EQ(cow->DeclaredIndexes(), (std::vector<std::vector<int>>{{2}}));
   cow->Insert(Tuple({Value::String("ipa"), Value::String("ale"),
                      Value::String("heineken"), Value::Double(6.5)}));
-  EXPECT_EQ(ProbeCount(*cow, {2}, Tuple({Value::String("heineken")})), 2u);
+  EXPECT_EQ(ViewProbeCount(*cow, {2}, Tuple({Value::String("heineken")})),
+            2u);
 
-  // The snapshot's side clones on ITS first write, too.
+  // The snapshot's side un-shares on ITS first write, too.
   Relation* snap = *snapshot.FindMutable("beer");
   EXPECT_EQ(snap->index_count(), 1u);
   EXPECT_EQ(snap->size(), 1u);
+
+  // With overlays disabled the legacy O(|R|) clone path re-declares the
+  // index as a directly probeable flat index.
+  Database clone_mode = MakeBeerDatabase();
+  testing::AddBeer(&clone_mode, "pils", "lager", "heineken", 5.0);
+  clone_mode.set_overlay_enabled(false);
+  (*clone_mode.FindMutable("beer"))->IndexOn({2});
+  Database clone_snapshot = clone_mode.Clone();
+  clone_snapshot.set_overlay_enabled(false);
+  Relation* cloned = *clone_mode.FindMutable("beer");
+  EXPECT_FALSE(cloned->is_overlay());
+  EXPECT_EQ(ProbeCount(*cloned, {2}, Tuple({Value::String("heineken")})),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Overlay states: base ∪ plus ∖ minus semantics, iteration, index views,
+// compaction, and the cost pins that prove first-write is O(|delta|).
+// ---------------------------------------------------------------------------
+
+Tuple BeerTuple(const std::string& name, const std::string& type,
+                const std::string& brewery, double pct) {
+  return Tuple({Value::String(name), Value::String(type),
+                Value::String(brewery), Value::Double(pct)});
+}
+
+TEST(OverlayTest, InsertEraseResurrectOverSharedBase) {
+  auto base = std::make_shared<Relation>(MakeBeerDatabase().Find("beer")
+                                             .value()
+                                             ->schema_ptr());
+  base->Insert(BeerTuple("pils", "lager", "heineken", 5.0));
+  base->Insert(BeerTuple("stout", "stout", "guinness", 4.2));
+
+  Relation overlay = Relation::MakeOverlay(base);
+  EXPECT_TRUE(overlay.is_overlay());
+  EXPECT_EQ(overlay.overlay_depth(), 1u);
+  EXPECT_EQ(overlay.size(), 2u);
+  EXPECT_TRUE(overlay.Contains(BeerTuple("pils", "lager", "heineken", 5.0)));
+
+  // Inserting a base-visible tuple is a no-op; a new one lands in plus.
+  EXPECT_FALSE(overlay.Insert(BeerTuple("pils", "lager", "heineken", 5.0)));
+  EXPECT_TRUE(overlay.Insert(BeerTuple("ipa", "ale", "brewdog", 6.5)));
+  EXPECT_EQ(overlay.size(), 3u);
+
+  // Deleting a base tuple shadows it; the base itself is untouched.
+  EXPECT_TRUE(overlay.Erase(BeerTuple("stout", "stout", "guinness", 4.2)));
+  EXPECT_FALSE(overlay.Contains(BeerTuple("stout", "stout", "guinness", 4.2)));
+  EXPECT_EQ(overlay.size(), 2u);
+  EXPECT_TRUE(base->Contains(BeerTuple("stout", "stout", "guinness", 4.2)));
+
+  // Re-inserting a shadowed base tuple resurrects it (minus shrinks; the
+  // plus set must NOT grow a duplicate).
+  EXPECT_TRUE(overlay.Insert(BeerTuple("stout", "stout", "guinness", 4.2)));
+  EXPECT_TRUE(overlay.Contains(BeerTuple("stout", "stout", "guinness", 4.2)));
+  EXPECT_EQ(overlay.size(), 3u);
+
+  // Erasing a local insert removes it outright.
+  EXPECT_TRUE(overlay.Erase(BeerTuple("ipa", "ale", "brewdog", 6.5)));
+  EXPECT_FALSE(overlay.Erase(BeerTuple("ipa", "ale", "brewdog", 6.5)));
+  EXPECT_EQ(overlay.size(), 2u);
+  EXPECT_TRUE(overlay.SameTuples(*base));
+}
+
+TEST(OverlayTest, IterationAndSortedTuplesSeeVisibleContents) {
+  auto base = std::make_shared<Relation>(MakeBeerDatabase().Find("beer")
+                                             .value()
+                                             ->schema_ptr());
+  for (int i = 0; i < 8; ++i) {
+    base->Insert(BeerTuple("b" + std::to_string(i), "lager", "x", 4.0));
+  }
+  Relation overlay = Relation::MakeOverlay(base);
+  overlay.Erase(BeerTuple("b3", "lager", "x", 4.0));
+  overlay.Insert(BeerTuple("new", "ale", "y", 6.0));
+
+  std::size_t seen = 0;
+  bool saw_deleted = false, saw_new = false;
+  for (const Tuple& t : overlay) {
+    ++seen;
+    if (t == BeerTuple("b3", "lager", "x", 4.0)) saw_deleted = true;
+    if (t == BeerTuple("new", "ale", "y", 6.0)) saw_new = true;
+  }
+  EXPECT_EQ(seen, overlay.size());
+  EXPECT_EQ(seen, 8u);
+  EXPECT_FALSE(saw_deleted);
+  EXPECT_TRUE(saw_new);
+  EXPECT_EQ(overlay.SortedTuples().size(), 8u);
+
+  // A second overlay level on top of the first: both deltas compose.
+  auto mid = std::make_shared<Relation>(std::move(overlay));
+  Relation top = Relation::MakeOverlay(mid);
+  EXPECT_EQ(top.overlay_depth(), 2u);
+  top.Erase(BeerTuple("new", "ale", "y", 6.0));  // delete an inner insert
+  top.Insert(BeerTuple("b3", "lager", "x", 4.0));  // resurrect inner delete
+  EXPECT_EQ(top.size(), 8u);
+  EXPECT_TRUE(top.Contains(BeerTuple("b3", "lager", "x", 4.0)));
+  EXPECT_FALSE(top.Contains(BeerTuple("new", "ale", "y", 6.0)));
+  EXPECT_TRUE(top.SameTuples(*base));
+}
+
+TEST(OverlayTest, IndexViewComposesLevelsAndFiltersDeletes) {
+  auto base = std::make_shared<Relation>(MakeBeerDatabase().Find("beer")
+                                             .value()
+                                             ->schema_ptr());
+  base->Insert(BeerTuple("pils", "lager", "heineken", 5.0));
+  base->Insert(BeerTuple("free", "lager", "heineken", 0.0));
+  base->Insert(BeerTuple("stout", "stout", "guinness", 4.2));
+  base->IndexOn({2});
+
+  Relation overlay = Relation::MakeOverlay(base);
+  // Raw FindIndex is unsound on a chain and must refuse...
+  EXPECT_EQ(overlay.FindIndex({2}), nullptr);
+  // ...while the view composes base candidates with local ones.
+  overlay.Insert(BeerTuple("extra", "ale", "heineken", 6.0));
+  overlay.Erase(BeerTuple("free", "lager", "heineken", 0.0));
+  EXPECT_EQ(ViewProbeCount(overlay, {2}, Tuple({Value::String("heineken")})),
+            2u);
+  EXPECT_EQ(ViewProbeCount(overlay, {2}, Tuple({Value::String("guinness")})),
+            1u);
+
+  // An undeclared attribute list yields an invalid view (scan fallback).
+  EXPECT_FALSE(overlay.FindIndexView({0}).valid());
+}
+
+TEST(OverlayTest, CollapseAndMergePreserveContentsAndIndexes) {
+  auto base = std::make_shared<Relation>(MakeBeerDatabase().Find("beer")
+                                             .value()
+                                             ->schema_ptr());
+  for (int i = 0; i < 16; ++i) {
+    base->Insert(BeerTuple("b" + std::to_string(i), "lager", "x", 4.0));
+  }
+  base->IndexOn({2});
+
+  Relation a = Relation::MakeOverlay(base);
+  a.Erase(BeerTuple("b0", "lager", "x", 4.0));
+  a.Insert(BeerTuple("n0", "ale", "y", 6.0));
+  const std::vector<Tuple> expected = [&] {
+    auto mid = std::make_shared<Relation>(a);
+    Relation top = Relation::MakeOverlay(mid);
+    top.Erase(BeerTuple("b1", "lager", "x", 4.0));
+    top.Insert(BeerTuple("n1", "ale", "y", 6.0));
+    return top.SortedTuples();
+  }();
+
+  // Merge the two overlay levels into one; contents are unchanged and the
+  // merged level still probes through the view.
+  auto mid = std::make_shared<Relation>(std::move(a));
+  Relation top = Relation::MakeOverlay(mid);
+  top.Erase(BeerTuple("b1", "lager", "x", 4.0));
+  top.Insert(BeerTuple("n1", "ale", "y", 6.0));
+  ASSERT_EQ(top.overlay_depth(), 2u);
+  EXPECT_TRUE(top.MergeOverlayLevel());
+  EXPECT_EQ(top.overlay_depth(), 1u);
+  EXPECT_EQ(top.SortedTuples(), expected);
+  EXPECT_EQ(ViewProbeCount(top, {2}, Tuple({Value::String("x")})), 14u);
+
+  // Collapse flattens and rebuilds the declared index as a flat one.
+  top.CollapseOverlay();
+  EXPECT_FALSE(top.is_overlay());
+  EXPECT_EQ(top.SortedTuples(), expected);
+  EXPECT_EQ(ProbeCount(top, {2}, Tuple({Value::String("x")})), 14u);
+  EXPECT_EQ(ProbeCount(top, {2}, Tuple({Value::String("y")})), 2u);
+}
+
+TEST(OverlayTest, FirstWriteDoesNotScanTheBase) {
+  // THE cost pin of this change: un-sharing a 10^4-tuple relation for a
+  // one-tuple write must clone nothing — CowStats counts every cloned
+  // tuple, so "zero cloned tuples" is "never scanned the base".
+  Database db = MakeBeerDatabase();
+  for (int i = 0; i < 10000; ++i) {
+    testing::AddBeer(&db, "beer" + std::to_string(i), "lager", "x", 4.0);
+  }
+  Database snapshot = db.Clone();  // shares every relation
+
+  CowStats::Reset();
+  Relation* rel = *db.FindMutable("beer");
+  rel->Insert(BeerTuple("one-more", "ale", "y", 6.0));
+  EXPECT_EQ(CowStats::relation_clones.load(), 0u);
+  EXPECT_EQ(CowStats::cloned_tuples.load(), 0u);
+  EXPECT_EQ(CowStats::overlays_created.load(), 1u);
+  EXPECT_EQ(rel->delta_weight(), 1u);
+  EXPECT_EQ(rel->size(), 10001u);
+  EXPECT_EQ((*snapshot.Find("beer"))->size(), 10000u);
+
+  // The clone baseline pays the O(|R|) bill — the comparison the
+  // overlay-vs-clone oracle and BM_SessionFirstWrite are built on.
+  Database clone_db = snapshot.Clone();
+  clone_db.set_overlay_enabled(false);
+  CowStats::Reset();
+  (*clone_db.FindMutable("beer"))->Insert(BeerTuple("x", "ale", "y", 1.0));
+  EXPECT_EQ(CowStats::relation_clones.load(), 1u);
+  EXPECT_EQ(CowStats::cloned_tuples.load(), 10000u);
+  EXPECT_EQ(CowStats::overlays_created.load(), 0u);
+}
+
+TEST(OverlayTest, CompactOverlayMergesSmallDeltasAndCollapsesLargeOnes) {
+  Database db = MakeBeerDatabase();
+  for (int i = 0; i < 512; ++i) {
+    testing::AddBeer(&db, "b" + std::to_string(i), "lager", "x", 4.0);
+  }
+
+  // Small deltas: repeated snapshot/write/compact rounds must keep the
+  // chain shallow (geometric merging) without collapsing every round.
+  std::vector<Database> snapshots;
+  for (int round = 0; round < 12; ++round) {
+    snapshots.push_back(db.Clone());  // forces un-share next write
+    Relation* rel = *db.FindMutable("beer");
+    rel->Insert(BeerTuple("r" + std::to_string(round), "ale", "y", 5.0));
+    rel->CompactOverlay();
+    EXPECT_LE(rel->overlay_depth(), 5u) << "round " << round;
+  }
+  EXPECT_EQ((*db.Find("beer"))->size(), 512u + 12u);
+
+  // A large delta (≥ half the base) collapses flat.
+  Database snap = db.Clone();
+  Relation* rel = *db.FindMutable("beer");
+  for (int i = 0; i < 400; ++i) {
+    rel->Insert(BeerTuple("big" + std::to_string(i), "ale", "z", 5.0));
+  }
+  CowStats::Reset();
+  rel->CompactOverlay();
+  EXPECT_FALSE(rel->is_overlay());
+  EXPECT_GE(CowStats::overlay_collapses.load(), 1u);
+  EXPECT_EQ(rel->size(), 512u + 12u + 400u);
 }
 
 }  // namespace

@@ -359,5 +359,86 @@ TEST(TxnManagerTest, KeyFkWorkloadThroughManagerKeepsIntegrity) {
   EXPECT_TRUE(del.committed);
 }
 
+// ---------------------------------------------------------------------------
+// The rule-definition quiesce guard: DefineConstraint/DefineRule/DropRule
+// through the manager must refuse while sessions are live (recompiling
+// rule plans under executing sessions is a data race by contract) and
+// work normally once the system is quiet.
+// ---------------------------------------------------------------------------
+
+TEST(TxnManagerQuiesceTest, RuleDefinitionRejectedWhileSessionLive) {
+  Fixture f;
+  EXPECT_EQ(f.manager->active_sessions(), 0u);
+  auto session = f.manager->Begin();
+  EXPECT_EQ(f.manager->active_sessions(), 1u);
+
+  const Status define = f.manager->DefineConstraint(
+      "late", "forall x (x in beer implies x.alcohol >= 1)");
+  EXPECT_EQ(define.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(define.message().find("1 live session"), std::string::npos)
+      << define.ToString();
+  EXPECT_EQ(f.manager
+                ->DefineRule("late_rule",
+                             "WHEN INS(beer) IF NOT forall x (x in beer "
+                             "implies x.alcohol >= 1) THEN abort")
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(f.manager->DropRule("domain").code(),
+            StatusCode::kFailedPrecondition);
+  // The rejected definitions changed nothing: the session still commits.
+  ASSERT_TRUE(session->ExecuteText(InsertBeerText("ale1")).ok());
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult r, session->Commit());
+  EXPECT_TRUE(r.committed);
+}
+
+TEST(TxnManagerQuiesceTest, RuleDefinitionAppliesAndEnforcesOnceQuiet) {
+  Fixture f;
+  {
+    auto session = f.manager->Begin();
+    ASSERT_TRUE(session->ExecuteText(InsertBeerText("ale1")).ok());
+    ASSERT_TRUE(session->Commit().ok());
+  }
+  EXPECT_EQ(f.manager->active_sessions(), 0u);
+  TXMOD_ASSERT_OK(f.manager->DefineConstraint(
+      "strong", "forall x (x in beer implies x.alcohol <= 7)"));
+
+  // The new constraint is live: a violating insert aborts.
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult violating,
+      f.manager->RunText(
+          "insert(beer, {(\"rocket\", \"ale\", \"guinness\", 12.0)});"));
+  EXPECT_FALSE(violating.committed);
+  EXPECT_FALSE(HasBeer(*f.ics->database(), "rocket"));
+  TXMOD_ASSERT_OK(f.manager->DropRule("strong"));
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      TxnResult ok,
+      f.manager->RunText(
+          "insert(beer, {(\"rocket\", \"ale\", \"guinness\", 12.0)});"));
+  EXPECT_TRUE(ok.committed);
+}
+
+TEST(TxnManagerQuiesceTest, EverySessionEndReleasesTheSlot) {
+  Fixture f;
+  // Commit, abort, and plain destruction must each release exactly once.
+  auto committed = f.manager->Begin();
+  auto aborted = f.manager->Begin();
+  auto dropped = f.manager->Begin();
+  EXPECT_EQ(f.manager->active_sessions(), 3u);
+
+  ASSERT_TRUE(committed->ExecuteText(InsertBeerText("ale1")).ok());
+  ASSERT_TRUE(committed->Commit().ok());
+  EXPECT_EQ(f.manager->active_sessions(), 2u);
+  committed.reset();  // destruction after Commit must not double-release
+  EXPECT_EQ(f.manager->active_sessions(), 2u);
+
+  aborted->Abort();
+  aborted->Abort();  // idempotent
+  EXPECT_EQ(f.manager->active_sessions(), 1u);
+
+  dropped.reset();
+  EXPECT_EQ(f.manager->active_sessions(), 0u);
+  TXMOD_ASSERT_OK(f.manager->DropRule("domain"));
+}
+
 }  // namespace
 }  // namespace txmod::txn

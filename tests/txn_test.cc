@@ -164,6 +164,25 @@ TEST_F(DifferentialTest, DeleteThenReinsertNetsOut) {
   EXPECT_TRUE(ctx.TouchedRelations().empty());
 }
 
+TEST_F(DifferentialTest, WriteFootprintDedupesRepeatedAttempts) {
+  // A batch re-touching the same tuple N times is ONE tuple-granularity
+  // read: the footprint stays a single entry (no per-attempt growth or
+  // tuple copies), and no-op attempts still land in it.
+  TxnContext ctx(&db_);
+  ctx.EnableConflictTracking();
+  const Tuple t({Value::String("x"), Value::Null(), Value::Null()});
+  for (int i = 0; i < 8; ++i) {
+    TXMOD_ASSERT_OK(ctx.InsertTuple("brewery", t).status());
+    TXMOD_ASSERT_OK(ctx.DeleteTuple("brewery", t).status());
+  }
+  TXMOD_ASSERT_OK(ctx.InsertTuple("brewery", t).status());
+  TXMOD_ASSERT_OK(ctx.InsertTuple("brewery", t).status());  // no-op repeat
+  auto it = ctx.WriteFootprint().find("brewery");
+  ASSERT_NE(it, ctx.WriteFootprint().end());
+  EXPECT_EQ(it->second.size(), 1u);
+  EXPECT_TRUE(it->second.Contains(t));
+}
+
 TEST_F(DifferentialTest, InsertThenDeleteNetsOut) {
   TxnContext ctx(&db_);
   const Tuple t({Value::String("x"), Value::Null(), Value::Null()});
