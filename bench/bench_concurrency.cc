@@ -24,6 +24,8 @@
 
 #include "benchmark/benchmark.h"
 #include "bench/workload.h"
+#include "src/common/vfs.h"
+#include "src/relational/wal.h"
 #include "src/txn/txn_manager.h"
 
 namespace txmod::bench {
@@ -244,6 +246,49 @@ BENCHMARK(BM_GroupCommitFsync)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/// WAL appends routed through the Vfs seam: the POSIX default versus the
+/// fault injector with no faults armed. The delta is the pure cost of the
+/// indirection plus the injector's bookkeeping (per-op counters, durable
+/// snapshots on sync) — the price every fault-campaign iteration pays.
+void BM_WalAppendThroughVfs(benchmark::State& state) {
+  const bool injected = state.range(0) != 0;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      StrCat("txmod_bench_vfs_", ::getpid(), "_", injected);
+  std::filesystem::create_directories(dir);
+  const std::string wal_path = (dir / "wal.log").string();
+
+  FaultInjectingVfs injector;
+  Vfs* vfs = injected ? &injector : Vfs::Default();
+  uint64_t appended = 0;
+  {
+    auto wal = WriteAheadLog::Open(wal_path, vfs);
+    TXMOD_BENCH_CHECK_OK(wal.status());
+    WalRecord rec;
+    rec.version = 1;
+    rec.deltas.push_back(WalDelta{
+        "fk_rel",
+        {Tuple({Value::Int(1), Value::String("k1"), Value::Double(2.5)})},
+        {}});
+    for (auto _ : state) {
+      rec.version = ++appended;
+      auto lsn = wal->Append(rec);
+      TXMOD_BENCH_CHECK_OK(lsn.status());
+      if (appended % 64 == 0) TXMOD_BENCH_CHECK_OK(wal->Sync(*lsn));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(appended));
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+BENCHMARK(BM_WalAppendThroughVfs)
+    ->ArgNames({"injected"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace txmod::bench

@@ -15,7 +15,9 @@
 //
 // Also scriptable:  ./build/examples/repl < script.txt
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -24,6 +26,7 @@
 #include "src/common/str_util.h"
 #include "src/core/subsystem.h"
 #include "src/relational/persist.h"
+#include "src/txn/txn_manager.h"
 
 namespace {
 
@@ -51,6 +54,8 @@ constexpr char kHelp[] = R"(commands:
   save PATH                       checkpoint the database to a file
   load PATH                       restore a checkpoint (replaces data;
                                   rules must be re-defined)
+  \stats                          transaction-manager counters (commits,
+                                  conflicts, retries, degraded state, COW)
   help                            this text
   quit                            exit
 )";
@@ -106,7 +111,7 @@ Result<RelationSchema> ParseRelationDecl(const std::string& text) {
 
 class Repl {
  public:
-  Repl() : ics_(&db_) {}
+  Repl() : ics_(&db_) { RebuildManager(); }
 
   void Run() {
     std::string line;
@@ -156,12 +161,12 @@ class Repl {
       Report(db_.CreateRelation(*schema));
     } else if (command == "constraint") {
       const auto [name, formula] = SplitCommand(rest);
-      Report(ics_.DefineConstraint(name, formula));
+      Report(manager_->DefineConstraint(name, formula));
     } else if (command == "rule") {
       const auto [name, rule] = SplitCommand(rest);
-      Report(ics_.DefineRule(name, rule));
+      Report(manager_->DefineRule(name, rule));
     } else if (command == "drop") {
-      Report(ics_.DropRule(rest));
+      Report(manager_->DropRule(rest));
     } else if (command == "rules") {
       for (const auto& rule : ics_.rules()) {
         std::cout << "-- " << rule.name << "\n" << rule.ToString() << "\n";
@@ -185,6 +190,7 @@ class Repl {
       }
       db_ = *std::move(loaded);
       ics_ = txmod::core::IntegritySubsystem(&db_);
+      RebuildManager();
       std::cout << "ok (rule catalog cleared; re-define rules)\n";
     } else if (command == "show") {
       auto rel = db_.Find(rest);
@@ -207,7 +213,7 @@ class Repl {
       }
       std::cout << modified->ToString();
     } else if (command == "run") {
-      auto result = ics_.ExecuteText(rest);
+      auto result = manager_->RunText(rest);
       if (!result.ok()) {
         Report(result.status());
         return true;
@@ -218,6 +224,8 @@ class Repl {
       } else {
         std::cout << "aborted: " << result->abort_reason << "\n";
       }
+    } else if (command == "\\stats" || command == "stats") {
+      PrintStats();
     } else {
       std::cout << "unknown command '" << command
                 << "' — type 'help' for the list\n";
@@ -225,8 +233,44 @@ class Repl {
     return true;
   }
 
+  /// (Re)wraps the current subsystem in a volatile transaction manager —
+  /// no WAL; the REPL persists via explicit `save`.
+  void RebuildManager() {
+    auto created = txmod::txn::TxnManager::Create(&ics_, {});
+    if (!created.ok()) {
+      std::cout << "fatal: " << created.status().ToString() << "\n";
+      std::exit(1);
+    }
+    manager_ = std::move(*created);
+  }
+
+  void PrintStats() {
+    const txmod::txn::TxnManagerStats s = manager_->stats();
+    std::cout << "commits              " << s.commits << "\n"
+              << "  read-only          " << s.readonly_commits << "\n"
+              << "conflicts            " << s.conflicts << "\n"
+              << "integrity aborts     " << s.integrity_aborts << "\n"
+              << "retries              " << s.retries << "\n"
+              << "backoff sleeps       " << s.backoff_sleeps << "\n"
+              << "deadlines exceeded   " << s.deadlines_exceeded << "\n"
+              << "wal appends          " << s.wal_appends << "\n"
+              << "wal fsyncs           " << s.wal_fsyncs << "\n"
+              << "checkpoints          " << s.checkpoints << "\n"
+              << "wal failures         " << s.wal_failures << "\n"
+              << "wal reopens          " << s.wal_reopens << "\n"
+              << "writer rejections    " << s.unavailable_rejections << "\n"
+              << "degraded             " << (s.degraded ? "yes" : "no");
+    if (s.degraded) std::cout << " (" << s.degraded_cause << ")";
+    std::cout << "\n"
+              << "cow relation clones  " << s.cow_relation_clones << "\n"
+              << "cow overlays         " << s.cow_overlays_created << "\n"
+              << "cow overlay merges   " << s.cow_overlay_merges << "\n"
+              << "cow overlay collapses " << s.cow_overlay_collapses << "\n";
+  }
+
   Database db_;
   txmod::core::IntegritySubsystem ics_;
+  std::unique_ptr<txmod::txn::TxnManager> manager_;
 };
 
 }  // namespace

@@ -1,8 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus the sanitizer gate, exactly as CI runs them:
 #   Release build + ctest, then Debug+ASan/UBSan build + ctest.
+#
+#   --faults   additionally run the deep fault-injection campaign
+#              (randomized storage-fault schedules + crash/recovery
+#              oracle) at CI-stress depth. Slow; off by default.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_faults=0
+for arg in "$@"; do
+  case "$arg" in
+    --faults) run_faults=1 ;;
+    *)
+      echo "usage: $0 [--faults]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
@@ -15,5 +30,12 @@ echo "== Debug + ASan/UBSan =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DENABLE_SANITIZERS=ON
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+if [[ "$run_faults" -eq 1 ]]; then
+  echo "== Fault-injection campaign (deep sweep) =="
+  TXMOD_FAULT_ITERATIONS="${TXMOD_FAULT_ITERATIONS:-200}" \
+    ctest --test-dir build --output-on-failure \
+          -R "fault_campaign_test|vfs_test|recovery_test"
+fi
 
 echo "All checks passed."

@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kAborted:
       return "aborted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

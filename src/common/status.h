@@ -27,6 +27,14 @@ enum class StatusCode {
   kInternal = 6,
   /// A transaction was aborted (by an alarm statement or abort statement).
   kAborted = 7,
+  /// The service cannot take the operation right now — e.g. the
+  /// transaction manager is in read-only degraded mode after a storage
+  /// fault. Unlike kInternal this is an expected operational state; the
+  /// message names the underlying cause and the recovery path.
+  kUnavailable = 8,
+  /// A caller-supplied deadline expired before the operation could
+  /// complete (retry/backoff ran out of time, not out of attempts).
+  kDeadlineExceeded = 9,
 };
 
 /// Returns the canonical lowercase name of a status code, e.g. "not found".
@@ -65,6 +73,12 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -92,6 +92,10 @@ class Database {
 
   uint64_t logical_time() const { return logical_time_; }
   void AdvanceTime() { ++logical_time_; }
+  /// Steps time back one transition — only for un-installing the newest
+  /// commit when its log record turned out not to be durable (the
+  /// transaction manager's WAL-failure unwind).
+  void RewindTime() { --logical_time_; }
 
   /// A copy with full value semantics. O(#relations) thanks to
   /// copy-on-write sharing: relation payloads are copied lazily, on first

@@ -167,35 +167,24 @@ Status SaveDatabaseToFile(const Database& db, const std::string& path) {
   return SaveDatabase(db, out);
 }
 
-Status CheckpointDatabaseToFile(const Database& db, const std::string& path) {
+Status CheckpointDatabaseToFile(const Database& db, const std::string& path,
+                                Vfs* vfs) {
+  if (vfs == nullptr) vfs = Vfs::Default();
   const std::string tmp = StrCat(path, ".tmp");
-  {
-    std::ofstream out(tmp);
-    if (!out.is_open()) {
-      return Status::InvalidArgument(StrCat("cannot open ", tmp,
-                                            " for writing"));
-    }
-    TXMOD_RETURN_IF_ERROR(SaveDatabase(db, out));
-    out.flush();
-    if (!out.good()) return Status::Internal(StrCat("flush of ", tmp,
-                                                    " failed"));
-  }
+  std::ostringstream buffer;
+  TXMOD_RETURN_IF_ERROR(SaveDatabase(db, buffer));
+  TXMOD_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, vfs->OpenTrunc(tmp));
+  TXMOD_RETURN_IF_ERROR(WriteFullyTo(file.get(), buffer.str(), "checkpoint"));
   // Flush the temp file's bytes to stable storage before the rename makes
   // it visible under the checkpoint name: rename-before-durable could
   // expose a checkpoint whose content a crash then loses.
-  const int fd = ::open(tmp.c_str(), O_WRONLY);
-  if (fd < 0) return Status::Internal(StrCat("reopen of ", tmp, " failed"));
-  const bool synced = ::fsync(fd) == 0;
-  ::close(fd);
-  if (!synced) return Status::Internal(StrCat("fsync of ", tmp, " failed"));
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal(StrCat("rename of ", tmp, " to ", path,
-                                   " failed"));
-  }
+  TXMOD_RETURN_IF_ERROR(file->Sync());
+  file.reset();
+  TXMOD_RETURN_IF_ERROR(vfs->Rename(tmp, path));
   // The rename only becomes durable with the directory entry; without
   // this, a later durable WAL truncation could outlive a lost rename and
   // recovery would pair the OLD checkpoint with an EMPTY log.
-  return FsyncParentDirectory(path);
+  return vfs->SyncParentDirectory(path);
 }
 
 Status FsyncParentDirectory(const std::string& path) {

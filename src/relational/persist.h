@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/common/result.h"
+#include "src/common/vfs.h"
 #include "src/relational/database.h"
 
 namespace txmod {
@@ -35,8 +36,10 @@ Status SaveDatabaseToFile(const Database& db, const std::string& path);
 /// leaves either the old checkpoint or the new one, never a torn file —
 /// the property the WAL recovery path (wal.h) builds on (in particular,
 /// checkpoint-then-truncate-WAL must never observe the truncation
-/// durable while the rename is not).
-Status CheckpointDatabaseToFile(const Database& db, const std::string& path);
+/// durable while the rename is not). All writes/fsyncs/renames go
+/// through `vfs` (nullptr = the real POSIX environment).
+Status CheckpointDatabaseToFile(const Database& db, const std::string& path,
+                                Vfs* vfs = nullptr);
 
 /// Fsyncs the directory containing `path` (making a rename of `path`
 /// durable). Exposed for the WAL's own rename-based repair.

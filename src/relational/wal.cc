@@ -1,12 +1,7 @@
 #include "src/relational/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -54,20 +49,6 @@ std::string EncodeRecordBody(const WalRecord& rec) {
   return out;
 }
 
-Status WriteFully(int fd, const std::string& buf) {
-  std::size_t off = 0;
-  while (off < buf.size()) {
-    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(StrCat("WAL write failed: ",
-                                     std::strerror(errno)));
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return Status::OK();
-}
-
 Result<Tuple> DecodeTupleLine(const std::string& rest) {
   std::vector<Value> values;
   for (const std::string& enc : SplitEncodedValues(rest)) {
@@ -79,20 +60,24 @@ Result<Tuple> DecodeTupleLine(const std::string& rest) {
 
 }  // namespace
 
-Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
-  WriteAheadLog log(path);
-  log.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (log.fd_ < 0) {
-    return Status::InvalidArgument(StrCat("cannot open WAL ", path, ": ",
-                                          std::strerror(errno)));
-  }
-  const off_t size = ::lseek(log.fd_, 0, SEEK_END);
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path, Vfs* vfs) {
+  if (vfs == nullptr) vfs = Vfs::Default();
+  WriteAheadLog log(path, vfs);
+  TXMOD_ASSIGN_OR_RETURN(log.file_, vfs->OpenAppend(path));
+  TXMOD_ASSIGN_OR_RETURN(const uint64_t size, log.file_->Size());
   if (size == 0) {
-    TXMOD_RETURN_IF_ERROR(WriteFully(log.fd_, StrCat(kWalHeader, "\n")));
+    TXMOD_RETURN_IF_ERROR(
+        WriteFullyTo(log.file_.get(), StrCat(kWalHeader, "\n"), "WAL header"));
+    // Make the header durable NOW: a recovered log whose header is still
+    // in the page cache reads as not-a-WAL after a crash. This also
+    // makes Open a durability probe — reopening onto storage whose
+    // fsyncs still fail reports the failure here instead of after the
+    // next commit was already accepted.
+    TXMOD_RETURN_IF_ERROR(log.file_->Sync());
     // A freshly created file only survives a crash once its directory
     // entry is durable; without this, every fsync'd commit could vanish
     // with the whole file (recovery reads a missing WAL as empty).
-    TXMOD_RETURN_IF_ERROR(FsyncParentDirectory(path));
+    TXMOD_RETURN_IF_ERROR(vfs->SyncParentDirectory(path));
   } else {
     // Verify this really is a WAL before appending to it.
     std::ifstream in(path);
@@ -106,7 +91,8 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
 
 WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
     : path_(std::move(other.path_)),
-      fd_(other.fd_),
+      vfs_(other.vfs_),
+      file_(std::move(other.file_)),
       appended_lsn_(other.appended_lsn_.load()),
       sync_mu_(std::move(other.sync_mu_)),
       sync_cv_(std::move(other.sync_cv_)),
@@ -114,12 +100,28 @@ WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
       sync_in_progress_(other.sync_in_progress_),
       fsync_count_(other.fsync_count_.load()),
       sync_requests_(other.sync_requests_.load()),
-      broken_(other.broken_.load()) {
-  other.fd_ = -1;
+      broken_(other.broken_.load()),
+      broken_cause_guarded_(std::move(other.broken_cause_guarded_)) {}
+
+WriteAheadLog::~WriteAheadLog() = default;
+
+void WriteAheadLog::MarkBroken(const std::string& cause) {
+  std::lock_guard<std::mutex> lock(*sync_mu_);
+  if (!broken_.load()) broken_cause_guarded_ = cause;
+  broken_.store(true);
+  sync_cv_->notify_all();
 }
 
-WriteAheadLog::~WriteAheadLog() {
-  if (fd_ >= 0) ::close(fd_);
+Status WriteAheadLog::BrokenStatusLocked() const {
+  return Status::Unavailable(StrCat("WAL ", path_,
+                                    " is poisoned by an earlier failure: ",
+                                    broken_cause_guarded_));
+}
+
+bool WriteAheadLog::broken(std::string* cause) const {
+  std::lock_guard<std::mutex> lock(*sync_mu_);
+  if (cause != nullptr) *cause = broken_cause_guarded_;
+  return broken_.load();
 }
 
 Result<uint64_t> WriteAheadLog::Append(const WalRecord& rec) {
@@ -128,17 +130,20 @@ Result<uint64_t> WriteAheadLog::Append(const WalRecord& rec) {
       StrCat(body, "commit ", rec.version, " ", HexU64(Fnv1a(body)), "\n");
   std::lock_guard<std::mutex> lock(append_mu_);
   if (broken_.load()) {
-    return Status::Internal(StrCat("WAL ", path_, " failed previously"));
+    std::lock_guard<std::mutex> sync_lock(*sync_mu_);
+    return BrokenStatusLocked();
   }
-  const off_t pre_size = ::lseek(fd_, 0, SEEK_END);
-  const Status written = WriteFully(fd_, full);
+  Result<uint64_t> pre_size = file_->Size();
+  if (!pre_size.ok()) return pre_size.status();
+  const Status written = WriteFullyTo(file_.get(), full, "WAL");
   if (!written.ok()) {
     // Un-tear: a partial record left at the tail would make every later
     // durable record unreachable to recovery (which stops at the first
     // invalid record). If even the truncate fails, poison the log — no
     // further append may land after a tear.
-    if (pre_size < 0 || ::ftruncate(fd_, pre_size) != 0) {
-      broken_.store(true);
+    if (!file_->Truncate(*pre_size).ok()) {
+      MarkBroken(StrCat("un-truncatable torn append (", written.message(),
+                        ")"));
     }
     return written;
   }
@@ -154,7 +159,7 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
       // pages while marking them clean (the classic fsync-failure trap),
       // so a retried fsync would "succeed" without making the lost
       // records durable — never report durability after a failure.
-      return Status::Internal(StrCat("WAL ", path_, " failed previously"));
+      return BrokenStatusLocked();
     }
     if (sync_in_progress_) {
       // Another committer is the fsync leader; its fsync may already
@@ -169,13 +174,14 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
     sync_in_progress_ = true;
     const uint64_t target = appended_lsn_.load();
     lock.unlock();
-    const bool ok = ::fsync(fd_) == 0;
+    const Status synced = file_->Sync();
     lock.lock();
     sync_in_progress_ = false;
-    if (!ok) {
+    if (!synced.ok()) {
+      if (!broken_.load()) broken_cause_guarded_ = synced.message();
       broken_.store(true);
       sync_cv_->notify_all();
-      return Status::Internal(StrCat("fsync of WAL ", path_, " failed"));
+      return synced;
     }
     fsync_count_.fetch_add(1);
     if (target > durable_lsn_guarded_) durable_lsn_guarded_ = target;
@@ -186,17 +192,29 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
 
 Status WriteAheadLog::Truncate() {
   std::lock_guard<std::mutex> append_lock(append_mu_);
-  std::lock_guard<std::mutex> sync_lock(*sync_mu_);
-  if (::ftruncate(fd_, 0) != 0) {
-    return Status::Internal(StrCat("ftruncate of WAL ", path_, " failed"));
-  }
-  if (::lseek(fd_, 0, SEEK_SET) < 0) {
-    return Status::Internal(StrCat("lseek of WAL ", path_, " failed"));
-  }
-  TXMOD_RETURN_IF_ERROR(WriteFully(fd_, StrCat(kWalHeader, "\n")));
-  if (::fsync(fd_) != 0) {
-    return Status::Internal(StrCat("fsync of WAL ", path_, " failed"));
-  }
+  std::unique_lock<std::mutex> sync_lock(*sync_mu_);
+  if (broken_.load()) return BrokenStatusLocked();
+  TXMOD_RETURN_IF_ERROR(file_->Truncate(0));
+  // From here on the file is headerless: any failure before the header
+  // is back and durable leaves a log recovery cannot even open, so it
+  // poisons — writers must not pile records onto a broken prefix.
+  auto poison = [&](const Status& why) {
+    if (!broken_.load()) broken_cause_guarded_ = why.message();
+    broken_.store(true);
+    sync_cv_->notify_all();
+    return why;
+  };
+  const Status header =
+      WriteFullyTo(file_.get(), StrCat(kWalHeader, "\n"), "WAL header");
+  if (!header.ok()) return poison(header);
+  const Status synced = file_->Sync();
+  if (!synced.ok()) return poison(synced);
+  // The truncate rewrote the file in place (same directory entry), but a
+  // metadata journal may still order it after a pending rename of the
+  // sibling checkpoint — sync the directory so checkpoint + empty log
+  // become durable together.
+  const Status dir = vfs_->SyncParentDirectory(path_);
+  if (!dir.ok()) return poison(dir);
   // LSNs stay monotonic; everything appended so far is durably gone, so
   // the durable horizon catches up to the append horizon.
   durable_lsn_guarded_ = appended_lsn_.load();

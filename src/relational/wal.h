@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/vfs.h"
 #include "src/relational/database.h"
 
 namespace txmod {
@@ -69,7 +70,10 @@ class WriteAheadLog {
  public:
   /// Opens `path` for appending, creating it (with the header line) when
   /// absent or empty. Refuses files that do not start with the header.
-  static Result<WriteAheadLog> Open(const std::string& path);
+  /// All writes/fsyncs go through `vfs` (nullptr = the real POSIX
+  /// environment); reads stay on the plain filesystem.
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    Vfs* vfs = nullptr);
 
   WriteAheadLog(WriteAheadLog&& other) noexcept;
   WriteAheadLog& operator=(WriteAheadLog&&) = delete;
@@ -96,11 +100,23 @@ class WriteAheadLog {
   uint64_t fsync_count() const { return fsync_count_.load(); }
   uint64_t sync_requests() const { return sync_requests_.load(); }
 
+  /// True once the log is poisoned (see broken_ below); `cause` (when
+  /// non-null) receives the original failure message.
+  bool broken(std::string* cause = nullptr) const;
+
  private:
-  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+  WriteAheadLog(std::string path, Vfs* vfs)
+      : path_(std::move(path)), vfs_(vfs) {}
+
+  /// Poisons the log, recording the first cause. Must NOT hold sync_mu_.
+  void MarkBroken(const std::string& cause);
+  /// The canonical poisoned-log error: Unavailable, naming the original
+  /// cause. Requires sync_mu_.
+  Status BrokenStatusLocked() const;
 
   std::string path_;
-  int fd_ = -1;
+  Vfs* vfs_ = nullptr;
+  std::unique_ptr<VfsFile> file_;
 
   std::mutex append_mu_;  // serializes write() calls
   std::atomic<uint64_t> appended_lsn_{0};
@@ -116,9 +132,12 @@ class WriteAheadLog {
   std::atomic<uint64_t> fsync_count_{0};
   std::atomic<uint64_t> sync_requests_{0};
   // Poisoned after a failed fsync or an un-truncatable torn append:
-  // every later Append/Sync fails instead of reporting durability the
-  // kernel can no longer provide.
+  // every later Append/Sync fails with Unavailable instead of reporting
+  // durability the kernel can no longer provide. The first failure
+  // message is kept (broken_cause_guarded_, under sync_mu_) so every
+  // later error names the original cause.
   std::atomic<bool> broken_{false};
+  std::string broken_cause_guarded_;
 };
 
 /// Outcome details of a WAL read/recovery.

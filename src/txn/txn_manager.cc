@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -91,6 +92,8 @@ Result<std::unique_ptr<TxnManager>> TxnManager::Create(
   std::unique_ptr<TxnManager> manager(
       new TxnManager(subsystem, std::move(options)));
   const TxnManagerOptions& opts = manager->options_;
+  manager->vfs_ = opts.vfs != nullptr ? opts.vfs : Vfs::Default();
+  Vfs* vfs = manager->vfs_;
   // Session snapshots inherit the mode from the master via Clone().
   manager->db_->set_overlay_enabled(opts.overlay_sessions);
   if (!opts.wal_path.empty()) {
@@ -99,7 +102,7 @@ Result<std::unique_ptr<TxnManager>> TxnManager::Create(
       // The WAL holds only differentials; seed the base state the first
       // recovery will replay onto.
       TXMOD_RETURN_IF_ERROR(CheckpointDatabaseToFile(
-          *manager->db_, opts.checkpoint_path));
+          *manager->db_, opts.checkpoint_path, vfs));
     }
     // A crash can leave a torn record at the WAL tail; appending after
     // it would make every later record unreachable to recovery (which
@@ -113,23 +116,20 @@ Result<std::unique_ptr<TxnManager>> TxnManager::Create(
       // A crash during a previous repair can leave a stale (possibly
       // itself torn) .repair file; appending to it would corrupt the
       // repaired log or brick startup. Start from nothing.
-      std::remove(tmp.c_str());
+      TXMOD_RETURN_IF_ERROR(vfs->Remove(tmp));
       {
         TXMOD_ASSIGN_OR_RETURN(WriteAheadLog fresh,
-                               WriteAheadLog::Open(tmp));
+                               WriteAheadLog::Open(tmp, vfs));
         for (const WalRecord& rec : valid) {
           TXMOD_RETURN_IF_ERROR(fresh.Append(rec).status());
         }
         TXMOD_RETURN_IF_ERROR(fresh.Sync(fresh.appended_lsn()));
       }
-      if (std::rename(tmp.c_str(), opts.wal_path.c_str()) != 0) {
-        return Status::Internal(StrCat("cannot replace torn WAL ",
-                                       opts.wal_path));
-      }
-      TXMOD_RETURN_IF_ERROR(FsyncParentDirectory(opts.wal_path));
+      TXMOD_RETURN_IF_ERROR(vfs->Rename(tmp, opts.wal_path));
+      TXMOD_RETURN_IF_ERROR(vfs->SyncParentDirectory(opts.wal_path));
     }
     TXMOD_ASSIGN_OR_RETURN(WriteAheadLog wal,
-                           WriteAheadLog::Open(opts.wal_path));
+                           WriteAheadLog::Open(opts.wal_path, vfs));
     manager->wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
   }
   return manager;
@@ -188,12 +188,68 @@ Status TxnManager::DropRule(const std::string& name) {
       "DropRule", [&] { return subsystem_->DropRule(name); });
 }
 
+int64_t TxnManager::ComputeBackoffMicros(const TxnManagerOptions& options,
+                                         uint64_t run_seq, int attempt) {
+  if (options.retry_backoff_initial_micros <= 0 || attempt < 2) return 0;
+  const int64_t max = std::max(options.retry_backoff_max_micros,
+                               options.retry_backoff_initial_micros);
+  // Bounded exponential: initial << (attempt - 2), clamped (shift guarded
+  // against overflow by clamping first).
+  int64_t base = options.retry_backoff_initial_micros;
+  for (int i = 2; i < attempt && base < max; ++i) base *= 2;
+  base = std::min(base, max);
+  // Deterministic jitter in [base/2, base]: splitmix64 over
+  // (seed, run_seq, attempt) — same seed, same schedule, every run.
+  uint64_t x = options.retry_jitter_seed ^
+               (run_seq * UINT64_C(0x9E3779B97F4A7C15)) ^
+               static_cast<uint64_t>(attempt);
+  x += UINT64_C(0x9E3779B97F4A7C15);
+  x = (x ^ (x >> 30)) * UINT64_C(0xBF58476D1CE4E5B9);
+  x = (x ^ (x >> 27)) * UINT64_C(0x94D049BB133111EB);
+  x ^= x >> 31;
+  const int64_t half = base / 2;
+  return half + static_cast<int64_t>(
+                    x % static_cast<uint64_t>(base - half + 1));
+}
+
 Result<TxnResult> TxnManager::Run(const algebra::Transaction& txn) {
+  const uint64_t run_seq = run_seq_.fetch_add(1);
+  const int64_t deadline =
+      options_.run_timeout_micros > 0
+          ? vfs_->NowMicros() + options_.run_timeout_micros
+          : 0;
   TxnResult last;
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Conflict loser about to retry: back off (bounded exponential,
+      // jittered) without overrunning the caller's time budget. The
+      // sleep and the clock both go through the Vfs, so tests drive
+      // this deterministically with a virtual clock.
+      const int64_t backoff = ComputeBackoffMicros(options_, run_seq,
+                                                   attempt);
+      if (deadline > 0 && vfs_->NowMicros() + backoff > deadline) {
+        {
+          std::lock_guard<std::mutex> lock(commit_mu_);
+          ++stats_.deadlines_exceeded;
+        }
+        return Status::DeadlineExceeded(
+            StrCat("transaction gave up after ", attempt - 1,
+                   " attempt(s); last conflict: ", last.abort_reason));
+      }
+      if (backoff > 0) {
+        vfs_->SleepMicros(backoff);
+        std::lock_guard<std::mutex> lock(commit_mu_);
+        ++stats_.backoff_sleeps;
+      }
+      {
+        std::lock_guard<std::mutex> lock(commit_mu_);
+        ++stats_.retries;
+      }
+    }
     std::unique_ptr<TxnSession> session = Begin();
     TXMOD_ASSIGN_OR_RETURN(TxnResult executed, session->Execute(txn));
     (void)executed;  // outcome folded into Commit's validated result
+    if (run_probe_) run_probe_(attempt);
     TXMOD_ASSIGN_OR_RETURN(TxnResult result, session->Commit());
     result.attempts = static_cast<uint32_t>(attempt);
     if (!result.conflict) return result;
@@ -250,11 +306,20 @@ bool TxnManager::HasConflictLocked(const TxnSession& session,
   return false;
 }
 
+void TxnManager::EnterDegradedLocked(const std::string& cause) {
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_cause_ = cause;
+  ++stats_.wal_failures;
+}
+
 Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
   TxnResult result = session->accumulated_;
   const bool aborted = session->state_ == TxnSession::State::kAborted;
   uint64_t lsn = 0;
   bool need_sync = false;
+  WalRecord wal_record;  // outlives the lock: the sync-failure unwind
+                         // reverse-applies its deltas
   {
     std::lock_guard<std::mutex> lock(commit_mu_);
     std::string reason;
@@ -275,7 +340,6 @@ Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
 
     // Collect the net differentials. Relations whose changes netted out
     // publish nothing — serially equivalent and keeps the WAL dense.
-    WalRecord wal_record;
     CommitRecord commit_record;
     for (const auto& [name, diff] : session->ctx_.AllDiffs()) {
       if (diff.plus.empty() && diff.minus.empty()) continue;
@@ -305,6 +369,15 @@ Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
       return result;
     }
 
+    // Write-ful commit: degraded mode rejects it up front (read-only
+    // commits took the return above on purpose — they need no log).
+    if (degraded_) {
+      ++stats_.unavailable_rejections;
+      return Status::Unavailable(
+          StrCat("manager is in read-only degraded mode (",
+                 degraded_cause_, "); TryReopenWal() to restore writes"));
+    }
+
     const uint64_t version = db_->logical_time() + 1;
     wal_record.version = version;
     commit_record.version = version;
@@ -312,7 +385,18 @@ Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
     // Log before install: a commit may only become visible to new
     // snapshots once its differential is at least on its way to the log.
     if (wal_ != nullptr) {
-      TXMOD_ASSIGN_OR_RETURN(lsn, wal_->Append(wal_record));
+      Result<uint64_t> appended = wal_->Append(wal_record);
+      if (!appended.ok()) {
+        // Nothing installed yet: the commit simply fails, and the
+        // manager degrades so later writers fail fast instead of
+        // piling onto broken storage.
+        EnterDegradedLocked(appended.status().message());
+        return Status::Unavailable(
+            StrCat("commit ", version, " failed to log: ",
+                   appended.status().message(),
+                   "; manager is now in read-only degraded mode"));
+      }
+      lsn = *appended;
       ++stats_.wal_appends;
       need_sync = options_.sync_commits;
     }
@@ -368,7 +452,39 @@ Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
   // Group-commit boundary, outside the commit lock: concurrent
   // committers batch into one fsync while the next commit proceeds.
   if (need_sync) {
-    TXMOD_RETURN_IF_ERROR(wal_->Sync(lsn));
+    const Status synced = wal_->Sync(lsn);
+    if (!synced.ok()) {
+      // The record may not be durable: never acknowledge. The commit is
+      // already installed in memory, though — un-install it when it is
+      // still the newest one (reverse-apply the deltas), so an unacked
+      // commit does not linger visible. With concurrent commits stacked
+      // on top the unwind is impossible; that commit's outcome is
+      // "unknown" (classic in-doubt), and recovery decides.
+      std::lock_guard<std::mutex> lock(commit_mu_);
+      EnterDegradedLocked(synced.message());
+      if (db_->logical_time() == result.commit_version) {
+        bool unwound = true;
+        for (const WalDelta& delta : wal_record.deltas) {
+          Result<Relation*> rel = db_->FindMutable(delta.relation);
+          if (!rel.ok()) {
+            unwound = false;  // unreachable in practice; stay installed
+            break;
+          }
+          for (const Tuple& t : delta.plus) (*rel)->Erase(t);
+          for (const Tuple& t : delta.minus) (*rel)->Insert(t);
+        }
+        if (unwound) {
+          db_->RewindTime();
+          recent_.pop_back();
+          --stats_.commits;
+          result.installed = false;
+        }
+      }
+      return Status::Unavailable(
+          StrCat("commit ", result.commit_version, " not durable: ",
+                 synced.message(),
+                 "; manager is now in read-only degraded mode"));
+    }
   }
   return result;
 }
@@ -378,15 +494,72 @@ Status TxnManager::Checkpoint() {
     return Status::FailedPrecondition("no checkpoint_path configured");
   }
   std::lock_guard<std::mutex> lock(commit_mu_);
+  if (degraded_) {
+    return Status::Unavailable(
+        StrCat("manager is in read-only degraded mode (", degraded_cause_,
+               "); TryReopenWal() performs the recovery checkpoint"));
+  }
   TXMOD_RETURN_IF_ERROR(
-      CheckpointDatabaseToFile(*db_, options_.checkpoint_path));
+      CheckpointDatabaseToFile(*db_, options_.checkpoint_path, vfs_));
   if (wal_ != nullptr) {
     // Safe ordering: the checkpoint is durably renamed into place first,
     // so a crash between the two steps merely leaves WAL records the
     // replay will skip (version <= checkpoint time).
-    TXMOD_RETURN_IF_ERROR(wal_->Truncate());
+    const Status truncated = wal_->Truncate();
+    if (!truncated.ok()) {
+      // A half-truncated log (e.g. header write failed) is poisoned;
+      // degrade so writers fail fast rather than append to it.
+      std::string cause;
+      if (wal_->broken(&cause)) EnterDegradedLocked(cause);
+      return truncated;
+    }
   }
   ++stats_.checkpoints;
+  return Status::OK();
+}
+
+bool TxnManager::degraded(std::string* cause) const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (cause != nullptr) *cause = degraded_cause_;
+  return degraded_;
+}
+
+Status TxnManager::TryReopenWal() {
+  if (options_.wal_path.empty()) {
+    return Status::FailedPrecondition("no WAL configured");
+  }
+  if (options_.checkpoint_path.empty()) {
+    return Status::FailedPrecondition(
+        "recovery needs a checkpoint_path: the poisoned log's tail is "
+        "untrustworthy, so a fresh checkpoint must supersede it");
+  }
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (!degraded_ && wal_ != nullptr && !wal_->broken()) {
+    return Status::OK();  // nothing to recover
+  }
+  if (!degraded_) {
+    // Broken log but not yet degraded (no writer hit it yet): degrade
+    // now, so a failure in any step below leaves writers fenced off —
+    // never silently committing without a log.
+    std::string cause = "WAL unavailable";
+    if (wal_ != nullptr) wal_->broken(&cause);
+    EnterDegradedLocked(cause);
+  }
+  // The committed in-memory state is the authority now; checkpoint it so
+  // the poisoned log (whose durable suffix is unknowable) is obsolete.
+  TXMOD_RETURN_IF_ERROR(
+      CheckpointDatabaseToFile(*db_, options_.checkpoint_path, vfs_));
+  // Only now is it safe to discard the old log. While any of these steps
+  // fail the manager stays degraded (wal_ may be null; the degraded_
+  // guard keeps every writer away from it).
+  wal_.reset();
+  TXMOD_RETURN_IF_ERROR(vfs_->Remove(options_.wal_path));
+  TXMOD_ASSIGN_OR_RETURN(WriteAheadLog fresh,
+                         WriteAheadLog::Open(options_.wal_path, vfs_));
+  wal_ = std::make_unique<WriteAheadLog>(std::move(fresh));
+  degraded_ = false;
+  degraded_cause_.clear();
+  ++stats_.wal_reopens;
   return Status::OK();
 }
 
@@ -409,6 +582,12 @@ TxnManagerStats TxnManager::stats() const {
   std::lock_guard<std::mutex> lock(commit_mu_);
   TxnManagerStats out = stats_;
   if (wal_ != nullptr) out.wal_fsyncs = wal_->fsync_count();
+  out.degraded = degraded_;
+  out.degraded_cause = degraded_cause_;
+  out.cow_relation_clones = CowStats::relation_clones.load();
+  out.cow_overlays_created = CowStats::overlays_created.load();
+  out.cow_overlay_merges = CowStats::overlay_merges.load();
+  out.cow_overlay_collapses = CowStats::overlay_collapses.load();
   return out;
 }
 

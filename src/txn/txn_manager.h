@@ -1,14 +1,17 @@
 #ifndef TXMOD_TXN_TXN_MANAGER_H_
 #define TXMOD_TXN_TXN_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 
+#include "src/common/vfs.h"
 #include "src/core/subsystem.h"
 #include "src/relational/wal.h"
 #include "src/txn/executor.h"
@@ -53,9 +56,36 @@ struct TxnManagerOptions {
   /// writes pay the legacy O(|R|) copy-on-write clone — kept as the
   /// baseline the overlay-vs-clone oracle compares against.
   bool overlay_sessions = true;
+
+  /// Storage-and-clock environment every WAL/checkpoint byte and every
+  /// backoff clock read goes through. nullptr = the real POSIX
+  /// environment; tests substitute a FaultInjectingVfs. Must outlive the
+  /// manager.
+  Vfs* vfs = nullptr;
+
+  /// Retry backoff for TxnManager::Run conflict losers: the base sleep
+  /// before the second attempt, doubling each further attempt (bounded
+  /// exponential), with deterministic jitter in [base/2, base] drawn
+  /// from retry_jitter_seed. 0 (default) disables backoff — the
+  /// conflict-heavy oracles and benchmarks retry hot on purpose.
+  int64_t retry_backoff_initial_micros = 0;
+  /// Clamp for a single backoff sleep.
+  int64_t retry_backoff_max_micros = 100000;
+  /// Seed of the jitter sequence; two managers with equal seeds produce
+  /// identical backoff schedules (per Run sequence number and attempt).
+  uint64_t retry_jitter_seed = 0;
+
+  /// Per-Run time budget in Vfs-clock microseconds; <= 0 means none.
+  /// When an attempt's backoff would overrun the budget — or the budget
+  /// is already spent before an attempt — Run stops with
+  /// DeadlineExceeded instead of burning the remaining attempts.
+  /// Conflicts are retried within the budget; terminal errors
+  /// (integrity aborts, I/O faults, Unavailable) never retry.
+  int64_t run_timeout_micros = 0;
 };
 
-/// Counters describing the manager's life so far (all monotonic).
+/// A snapshot of the manager's life so far: monotonic counters plus the
+/// current degraded-mode state and the process-wide CowStats counters.
 struct TxnManagerStats {
   uint64_t commits = 0;            // write-ful + read-only commits
   uint64_t readonly_commits = 0;   // commits that installed nothing
@@ -64,6 +94,22 @@ struct TxnManagerStats {
   uint64_t wal_appends = 0;
   uint64_t wal_fsyncs = 0;
   uint64_t checkpoints = 0;
+  uint64_t retries = 0;            // Run re-executions after conflicts
+  uint64_t backoff_sleeps = 0;     // backoff waits Run performed
+  uint64_t deadlines_exceeded = 0;  // Runs stopped by their time budget
+  uint64_t wal_failures = 0;       // storage faults that degraded the manager
+  uint64_t wal_reopens = 0;        // successful TryReopenWal recoveries
+  uint64_t unavailable_rejections = 0;  // writers refused while degraded
+
+  /// Current state, not counters: read-only degraded mode and why.
+  bool degraded = false;
+  std::string degraded_cause;
+
+  /// Copy-on-write / overlay instrumentation (process-wide CowStats).
+  uint64_t cow_relation_clones = 0;
+  uint64_t cow_overlays_created = 0;
+  uint64_t cow_overlay_merges = 0;
+  uint64_t cow_overlay_collapses = 0;
 };
 
 class TxnManager;
@@ -179,6 +225,13 @@ class TxnSession {
 /// (group commit). Recover() replays the WAL over the latest checkpoint
 /// and restores exactly the durable committed prefix.
 ///
+/// Failure: any WAL fault (failed append, failed fsync) flips the
+/// manager into read-only degraded mode instead of silently poisoning
+/// every later commit — reads and read-only commits keep working,
+/// write-ful commits fail fast with Unavailable naming the original
+/// cause, and TryReopenWal() restores write service (checkpoint + fresh
+/// log) once storage works again.
+///
 /// Rule definition: DefineConstraint/DefineRule/DropRule on this manager
 /// enforce the quiesce contract — they serialize against Begin/commit
 /// and fail with FailedPrecondition while any session is live, instead
@@ -198,9 +251,13 @@ class TxnManager {
   std::unique_ptr<TxnSession> Begin();
 
   /// Begin + Execute + Commit with automatic retry of conflict losers
-  /// (fresh snapshot per attempt, up to options.max_attempts). The
-  /// returned result's `attempts` counts executions; `conflict` is true
-  /// only when every attempt lost validation.
+  /// (fresh snapshot per attempt, up to options.max_attempts, with
+  /// bounded-exponential jittered backoff between attempts when
+  /// options.retry_backoff_initial_micros > 0, all under the optional
+  /// options.run_timeout_micros budget). The returned result's
+  /// `attempts` counts executions; `conflict` is true only when every
+  /// attempt lost validation. Only conflicts retry: integrity aborts,
+  /// I/O faults, and Unavailable (degraded mode) are terminal.
   Result<TxnResult> Run(const algebra::Transaction& txn);
 
   /// Parses against the committed schema, then Run.
@@ -231,10 +288,39 @@ class TxnManager {
   static Result<Database> Recover(const TxnManagerOptions& options,
                                   WalReplayStats* stats = nullptr);
 
+  /// True while the manager is in read-only degraded mode after a
+  /// storage fault; `cause` (when non-null) receives the original
+  /// failure. Reads and read-only commits keep working in this state;
+  /// write-ful commits fail fast with Unavailable naming the cause.
+  bool degraded(std::string* cause = nullptr) const;
+
+  /// Attempts to restore write service after a storage fault: writes a
+  /// fresh checkpoint of the current committed state, replaces the
+  /// poisoned WAL file with a new empty log, and clears degraded mode.
+  /// Fails (and the manager stays degraded) while storage still faults.
+  /// Caution: a commit that was installed in memory but whose WAL fsync
+  /// failed ("unknown outcome" for its caller) is part of the committed
+  /// state and becomes durable with this checkpoint.
+  Status TryReopenWal();
+
+  /// The deterministic backoff schedule: the jittered sleep Run performs
+  /// before `attempt` (>= 2) of its `run_seq`-th invocation. Exposed so
+  /// tests assert the exact schedule instead of timing sleeps.
+  static int64_t ComputeBackoffMicros(const TxnManagerOptions& options,
+                                      uint64_t run_seq, int attempt);
+
+  /// Test seam: called between Execute and Commit of every Run attempt
+  /// (with the 1-based attempt number) — lets a test deterministically
+  /// sneak a conflicting commit under a running attempt.
+  void set_run_probe(std::function<void(int)> probe) {
+    run_probe_ = std::move(probe);
+  }
+
   uint64_t committed_version() const;
   TxnManagerStats stats() const;
   const WriteAheadLog* wal() const { return wal_.get(); }
   core::IntegritySubsystem* subsystem() { return subsystem_; }
+  Vfs* vfs() const { return vfs_; }
 
  private:
   friend class TxnSession;
@@ -267,10 +353,17 @@ class TxnManager {
   template <typename Fn>
   Status WithQuiescedSessions(const char* what, Fn&& mutate);
 
+  /// Flips into read-only degraded mode (first cause wins). Caller
+  /// holds commit_mu_.
+  void EnterDegradedLocked(const std::string& cause);
+
   core::IntegritySubsystem* subsystem_;
   Database* db_;
   TxnManagerOptions options_;
+  Vfs* vfs_ = nullptr;  // options_.vfs resolved against Vfs::Default()
   std::unique_ptr<WriteAheadLog> wal_;
+  std::function<void(int)> run_probe_;
+  std::atomic<uint64_t> run_seq_{0};
 
   /// Serializes Begin (snapshot creation) against commit application —
   /// the copy-on-write contract — and orders commits (= the
@@ -279,6 +372,8 @@ class TxnManager {
   std::deque<CommitRecord> recent_;  // rolling validation window
   TxnManagerStats stats_;
   uint64_t active_sessions_ = 0;  // guarded by commit_mu_
+  bool degraded_ = false;         // guarded by commit_mu_
+  std::string degraded_cause_;    // guarded by commit_mu_
 };
 
 }  // namespace txmod::txn

@@ -335,5 +335,82 @@ TEST_F(RecoveryTest, GroupCommitCountersAreCoherent) {
   EXPECT_EQ(ReadFile(options_.wal_path), "txmod-wal 1\n");
 }
 
+// ---------------------------------------------------------------------------
+// Poisoned-WAL contract: after any failed fsync, the log must never again
+// report durability — every later Append/Sync fails, naming the original
+// cause. ("fsyncgate": retrying fsync after a failure silently loses the
+// pages the kernel already dropped.)
+// ---------------------------------------------------------------------------
+
+TEST_F(RecoveryTest, FailedFsyncPoisonsEveryLaterAppendAndSync) {
+  FaultInjectingVfs vfs;
+  TXMOD_ASSERT_OK_AND_ASSIGN(WriteAheadLog wal,
+                             WriteAheadLog::Open(options_.wal_path, &vfs));
+  WalRecord rec;
+  rec.version = 1;
+  TXMOD_ASSERT_OK_AND_ASSIGN(uint64_t lsn, wal.Append(rec));
+
+  FaultSpec fault;
+  fault.op = VfsOp::kFsync;
+  fault.kind = FaultKind::kEIO;
+  fault.path_substring = "wal";
+  vfs.InjectFault(fault);  // one-shot: the NEXT fsync fails, later ones "work"
+
+  const Status failed = wal.Sync(lsn);
+  ASSERT_FALSE(failed.ok());
+  const std::string original_cause = failed.message();
+  EXPECT_NE(original_cause.find("injected"), std::string::npos);
+
+  std::string cause;
+  EXPECT_TRUE(wal.broken(&cause));
+  EXPECT_EQ(cause, original_cause);
+
+  // The fault was one-shot — the OS-level fsync would now "succeed". The
+  // log must refuse anyway: those pages are gone.
+  rec.version = 2;
+  const Status later_append = wal.Append(rec).status();
+  ASSERT_FALSE(later_append.ok());
+  EXPECT_EQ(later_append.code(), StatusCode::kUnavailable);
+  EXPECT_NE(later_append.message().find("poisoned"), std::string::npos);
+  EXPECT_NE(later_append.message().find(original_cause), std::string::npos)
+      << "the error must name the original failure, got: "
+      << later_append.message();
+
+  const Status later_sync = wal.Sync(lsn);
+  ASSERT_FALSE(later_sync.ok());
+  EXPECT_EQ(later_sync.code(), StatusCode::kUnavailable);
+  EXPECT_NE(later_sync.message().find(original_cause), std::string::npos);
+
+  const Status later_truncate = wal.Truncate();
+  ASSERT_FALSE(later_truncate.ok());
+  EXPECT_EQ(later_truncate.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(RecoveryTest, FsyncGateNeverAcksAfterTheFirstFailure) {
+  // The gate variant: fsync fails once, then LIES (reports success while
+  // dropping writes). The poison bit must make the lie unreachable.
+  FaultInjectingVfs vfs;
+  TXMOD_ASSERT_OK_AND_ASSIGN(WriteAheadLog wal,
+                             WriteAheadLog::Open(options_.wal_path, &vfs));
+  WalRecord rec;
+  rec.version = 1;
+  TXMOD_ASSERT_OK_AND_ASSIGN(uint64_t lsn, wal.Append(rec));
+
+  FaultSpec fault;
+  fault.op = VfsOp::kFsync;
+  fault.kind = FaultKind::kFsyncGate;
+  fault.path_substring = "wal";
+  vfs.InjectFault(fault);
+
+  ASSERT_FALSE(wal.Sync(lsn).ok());
+  EXPECT_LT(wal.durable_lsn(), lsn) << "a failed fsync must not advance "
+                                       "durability";
+  // No combination of later calls may ever report the record durable.
+  EXPECT_FALSE(wal.Sync(lsn).ok());
+  EXPECT_FALSE(wal.Append(rec).ok());
+  EXPECT_LT(wal.durable_lsn(), lsn);
+  EXPECT_TRUE(wal.broken());
+}
+
 }  // namespace
 }  // namespace txmod::txn

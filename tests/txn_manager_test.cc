@@ -6,8 +6,11 @@
 // serial ExecuteTransaction path. The randomized multi-threaded oracle
 // lives in tests/concurrent_oracle_test.cc.
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "bench/workload.h"
@@ -438,6 +441,138 @@ TEST(TxnManagerQuiesceTest, EverySessionEndReleasesTheSlot) {
   dropped.reset();
   EXPECT_EQ(f.manager->active_sessions(), 0u);
   TXMOD_ASSERT_OK(f.manager->DropRule("domain"));
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff and deadlines (deterministic: virtual clock, no wall
+// sleeps — the injected Vfs advances time instantly).
+// ---------------------------------------------------------------------------
+
+TEST(TxnRetryTest, BackoffScheduleIsDeterministicAndBounded) {
+  TxnManagerOptions options;
+  options.retry_backoff_initial_micros = 1000;
+  options.retry_backoff_max_micros = 8000;
+  options.retry_jitter_seed = 42;
+
+  EXPECT_EQ(TxnManager::ComputeBackoffMicros(options, 0, 1), 0)
+      << "the first attempt never waits";
+  int64_t expected_base = 1000;
+  for (int attempt = 2; attempt <= 10; ++attempt) {
+    const int64_t sleep =
+        TxnManager::ComputeBackoffMicros(options, 7, attempt);
+    EXPECT_GE(sleep, expected_base / 2) << "attempt " << attempt;
+    EXPECT_LE(sleep, expected_base) << "attempt " << attempt;
+    // Same (options, run_seq, attempt) -> the same sleep, every time.
+    EXPECT_EQ(sleep, TxnManager::ComputeBackoffMicros(options, 7, attempt));
+    expected_base = std::min<int64_t>(expected_base * 2, 8000);
+  }
+  // Different runs get different jitter (decorrelated herds), same seed
+  // reproduces both.
+  EXPECT_NE(TxnManager::ComputeBackoffMicros(options, 1, 4),
+            TxnManager::ComputeBackoffMicros(options, 2, 4));
+
+  TxnManagerOptions disabled;  // default: backoff off
+  EXPECT_EQ(TxnManager::ComputeBackoffMicros(disabled, 0, 5), 0);
+}
+
+TEST(TxnRetryTest, RunBacksOffOnConflictsThroughTheInjectedClock) {
+  FaultInjectingVfs vfs;
+  TxnManagerOptions options;
+  options.vfs = &vfs;
+  options.retry_backoff_initial_micros = 1000;
+  options.retry_backoff_max_micros = 8000;
+  options.retry_jitter_seed = 7;
+  Fixture f(options);
+
+  // Force the first two attempts to lose validation: the probe commits
+  // a brewery write under the running attempt, and the outer insert
+  // reads brewery (referential check) — a read-write conflict.
+  int breweries = 0;
+  f.manager->set_run_probe([&](int attempt) {
+    if (attempt > 2) return;
+    auto saboteur = f.manager->Begin();
+    TXMOD_ASSERT_OK(
+        saboteur
+            ->ExecuteText(StrCat("insert(brewery, {(\"pb", breweries++,
+                                 "\", \"x\", \"nl\")});"))
+            .status());
+    TXMOD_ASSERT_OK(saboteur->Commit().status());
+  });
+
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult result,
+                             f.manager->RunText(InsertBeerText("retried")));
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.attempts, 3u);
+
+  // The exact backoff schedule, reproduced from the same seed. No wall
+  // clock was involved: the virtual clock advanced instantly.
+  const std::vector<int64_t> sleeps = vfs.sleep_log();
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], TxnManager::ComputeBackoffMicros(options, 0, 2));
+  EXPECT_EQ(sleeps[1], TxnManager::ComputeBackoffMicros(options, 0, 3));
+
+  const TxnManagerStats stats = f.manager->stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.backoff_sleeps, 2u);
+  EXPECT_EQ(stats.conflicts, 2u);
+  EXPECT_EQ(stats.deadlines_exceeded, 0u);
+}
+
+TEST(TxnRetryTest, DeadlineStopsRetriesWithDeadlineExceeded) {
+  FaultInjectingVfs vfs;
+  TxnManagerOptions options;
+  options.vfs = &vfs;
+  options.max_attempts = 100;
+  options.retry_backoff_initial_micros = 1000;
+  options.retry_backoff_max_micros = 8000;
+  // Budget below even one backoff sleep: the first conflict exhausts it.
+  options.run_timeout_micros = 400;
+  Fixture f(options);
+
+  int breweries = 0;
+  f.manager->set_run_probe([&](int) {
+    auto saboteur = f.manager->Begin();
+    TXMOD_ASSERT_OK(
+        saboteur
+            ->ExecuteText(StrCat("insert(brewery, {(\"pb", breweries++,
+                                 "\", \"x\", \"nl\")});"))
+            .status());
+    TXMOD_ASSERT_OK(saboteur->Commit().status());
+  });
+
+  auto result = f.manager->RunText(InsertBeerText("never"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(vfs.sleep_log().empty())
+      << "a sleep that would overrun the deadline must not happen";
+  EXPECT_EQ(f.manager->stats().deadlines_exceeded, 1u);
+  EXPECT_FALSE(HasBeer(f.db, "never"));
+}
+
+TEST(TxnRetryTest, DefaultRetriesAreImmediateAndUncounted) {
+  FaultInjectingVfs vfs;
+  TxnManagerOptions options;  // backoff disabled by default
+  options.vfs = &vfs;
+  Fixture f(options);
+
+  int breweries = 0;
+  f.manager->set_run_probe([&](int attempt) {
+    if (attempt > 1) return;
+    auto saboteur = f.manager->Begin();
+    TXMOD_ASSERT_OK(
+        saboteur
+            ->ExecuteText(StrCat("insert(brewery, {(\"pb", breweries++,
+                                 "\", \"x\", \"nl\")});"))
+            .status());
+    TXMOD_ASSERT_OK(saboteur->Commit().status());
+  });
+  TXMOD_ASSERT_OK_AND_ASSIGN(TxnResult result,
+                             f.manager->RunText(InsertBeerText("hot")));
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_TRUE(vfs.sleep_log().empty()) << "no backoff by default";
+  EXPECT_EQ(f.manager->stats().retries, 1u);
+  EXPECT_EQ(f.manager->stats().backoff_sleeps, 0u);
 }
 
 }  // namespace

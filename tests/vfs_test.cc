@@ -1,0 +1,294 @@
+// Unit battery for the storage environment (src/common/vfs.h): POSIX
+// round trips, fault-schedule mechanics (nth, sticky, path filters),
+// short/torn writes through WriteFullyTo, and — the part everything
+// else builds on — the crash-durability model: data survives to the
+// last honest fsync, directory entries survive only once the parent
+// directory is synced, renames roll back, removals reappear, and a
+// poisoned file (fsync-gate/-lie) drops its post-poison bytes no matter
+// what later Syncs report.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/common/str_util.h"
+#include "src/common/vfs.h"
+#include "tests/test_util.h"
+
+namespace txmod {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           StrCat("txmod_vfs_", ::getpid(), "_", info->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+  FaultInjectingVfs vfs_;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST_F(VfsTest, PosixRoundTrip) {
+  Vfs* posix = Vfs::Default();
+  const std::string path = Path("plain.txt");
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto file, posix->OpenAppend(path));
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "hello ", "test"));
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "world", "test"));
+  TXMOD_ASSERT_OK(file->Sync());
+  TXMOD_ASSERT_OK_AND_ASSIGN(uint64_t size, file->Size());
+  EXPECT_EQ(size, 11u);
+  TXMOD_ASSERT_OK(file->Truncate(5));
+  file.reset();
+  EXPECT_EQ(ReadFile(path), "hello");
+  TXMOD_ASSERT_OK(posix->Rename(path, Path("renamed.txt")));
+  TXMOD_ASSERT_OK(posix->SyncParentDirectory(Path("renamed.txt")));
+  EXPECT_EQ(ReadFile(Path("renamed.txt")), "hello");
+  TXMOD_ASSERT_OK(posix->Remove(Path("renamed.txt")));
+  TXMOD_ASSERT_OK(posix->Remove(Path("renamed.txt")));  // idempotent
+}
+
+TEST_F(VfsTest, NthFaultFiresExactlyOnce) {
+  FaultSpec spec;
+  spec.op = VfsOp::kWrite;
+  spec.kind = FaultKind::kEIO;
+  spec.nth = 2;
+  vfs_.InjectFault(spec);
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "a", "test"));
+  const Status second = WriteFullyTo(file.get(), "b", "test");
+  EXPECT_FALSE(second.ok());
+  EXPECT_NE(second.message().find("injected"), std::string::npos);
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "c", "test"));  // 3rd: clean
+  EXPECT_EQ(vfs_.faults_fired(), 1u);
+  EXPECT_EQ(vfs_.op_count(VfsOp::kWrite), 3u);
+}
+
+TEST_F(VfsTest, StickyFaultKeepsFiringUntilCleared) {
+  FaultSpec spec;
+  spec.op = VfsOp::kWrite;
+  spec.kind = FaultKind::kENOSPC;
+  spec.nth = 1;
+  spec.sticky = true;
+  vfs_.InjectFault(spec);
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+  for (int i = 0; i < 3; ++i) {
+    const Status st = WriteFullyTo(file.get(), "x", "test");
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("no space left"), std::string::npos);
+  }
+  vfs_.ClearFaults();
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "x", "test"));
+  EXPECT_EQ(vfs_.faults_fired(), 3u);
+}
+
+TEST_F(VfsTest, PathSubstringScopesTheFault) {
+  FaultSpec spec;
+  spec.op = VfsOp::kWrite;
+  spec.kind = FaultKind::kEIO;
+  spec.path_substring = "wal";
+  spec.sticky = true;
+  vfs_.InjectFault(spec);
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto wal, vfs_.OpenAppend(Path("wal.log")));
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto ckpt, vfs_.OpenAppend(Path("ckpt.db")));
+  EXPECT_FALSE(WriteFullyTo(wal.get(), "x", "test").ok());
+  TXMOD_ASSERT_OK(WriteFullyTo(ckpt.get(), "x", "test"));
+}
+
+TEST_F(VfsTest, ShortWriteIsLegalAndWriteFullyLoops) {
+  FaultSpec spec;
+  spec.op = VfsOp::kWrite;
+  spec.kind = FaultKind::kShortWrite;
+  vfs_.InjectFault(spec);
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+  // The first Write lands only half; WriteFullyTo must loop and finish.
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "0123456789", "test"));
+  file.reset();
+  EXPECT_EQ(ReadFile(Path("f")), "0123456789");
+  EXPECT_EQ(vfs_.faults_fired(), 1u);
+}
+
+TEST_F(VfsTest, TornWriteLandsAPrefixAndFails) {
+  FaultSpec spec;
+  spec.op = VfsOp::kWrite;
+  spec.kind = FaultKind::kTornWrite;
+  vfs_.InjectFault(spec);
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+  EXPECT_FALSE(WriteFullyTo(file.get(), "0123456789", "test").ok());
+  file.reset();
+  EXPECT_EQ(ReadFile(Path("f")), "01234") << "exactly half must land";
+}
+
+TEST_F(VfsTest, CrashDropsBytesAfterTheLastSync) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "durable", "test"));
+  TXMOD_ASSERT_OK(file->Sync());
+  TXMOD_ASSERT_OK(vfs_.SyncParentDirectory(Path("f")));  // entry durable
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), " lost", "test"));
+  file.reset();
+  EXPECT_EQ(ReadFile(Path("f")), "durable lost");
+  vfs_.SimulateCrash();
+  EXPECT_EQ(ReadFile(Path("f")), "durable");
+}
+
+TEST_F(VfsTest, CrashBeforeDirectorySyncDropsTheWholeFile) {
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "data", "test"));
+  TXMOD_ASSERT_OK(file->Sync());  // data synced, entry NOT
+  file.reset();
+  vfs_.SimulateCrash();
+  EXPECT_FALSE(std::filesystem::exists(Path("f")))
+      << "a created file without a directory sync must vanish at crash";
+}
+
+TEST_F(VfsTest, UnsyncedRenameRollsBackAtCrash) {
+  // Durable original under both names' parent dir.
+  {
+    TXMOD_ASSERT_OK_AND_ASSIGN(auto old_file, vfs_.OpenAppend(Path("old")));
+    TXMOD_ASSERT_OK(WriteFullyTo(old_file.get(), "old-content", "test"));
+    TXMOD_ASSERT_OK(old_file->Sync());
+    TXMOD_ASSERT_OK_AND_ASSIGN(auto new_file, vfs_.OpenAppend(Path("new")));
+    TXMOD_ASSERT_OK(WriteFullyTo(new_file.get(), "target", "test"));
+    TXMOD_ASSERT_OK(new_file->Sync());
+    TXMOD_ASSERT_OK(vfs_.SyncParentDirectory(Path("old")));
+  }
+  TXMOD_ASSERT_OK(vfs_.Rename(Path("old"), Path("new")));
+  EXPECT_EQ(ReadFile(Path("new")), "old-content");
+  vfs_.SimulateCrash();  // rename never dir-synced: both names roll back
+  EXPECT_EQ(ReadFile(Path("old")), "old-content");
+  EXPECT_EQ(ReadFile(Path("new")), "target");
+}
+
+TEST_F(VfsTest, SyncedRenameSurvivesCrash) {
+  {
+    TXMOD_ASSERT_OK_AND_ASSIGN(auto old_file, vfs_.OpenAppend(Path("old")));
+    TXMOD_ASSERT_OK(WriteFullyTo(old_file.get(), "old-content", "test"));
+    TXMOD_ASSERT_OK(old_file->Sync());
+    TXMOD_ASSERT_OK(vfs_.SyncParentDirectory(Path("old")));
+  }
+  TXMOD_ASSERT_OK(vfs_.Rename(Path("old"), Path("new")));
+  TXMOD_ASSERT_OK(vfs_.SyncParentDirectory(Path("new")));
+  vfs_.SimulateCrash();
+  EXPECT_FALSE(std::filesystem::exists(Path("old")));
+  EXPECT_EQ(ReadFile(Path("new")), "old-content");
+}
+
+TEST_F(VfsTest, UnsyncedRemoveReappearsAtCrash) {
+  {
+    TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+    TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "keep", "test"));
+    TXMOD_ASSERT_OK(file->Sync());
+    TXMOD_ASSERT_OK(vfs_.SyncParentDirectory(Path("f")));
+  }
+  TXMOD_ASSERT_OK(vfs_.Remove(Path("f")));
+  EXPECT_FALSE(std::filesystem::exists(Path("f")));
+  vfs_.SimulateCrash();
+  EXPECT_EQ(ReadFile(Path("f")), "keep");
+}
+
+TEST_F(VfsTest, FsyncGateFailsOnceThenLiesForever) {
+  FaultSpec spec;
+  spec.op = VfsOp::kFsync;
+  spec.kind = FaultKind::kFsyncGate;
+  vfs_.InjectFault(spec);
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+  TXMOD_ASSERT_OK(vfs_.SyncParentDirectory(Path("f")));
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "lost", "test"));
+  EXPECT_FALSE(file->Sync().ok()) << "the gate fsync must fail";
+  // The trap: later Syncs report success without restoring the bytes.
+  TXMOD_ASSERT_OK(file->Sync());
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), " more", "test"));
+  TXMOD_ASSERT_OK(file->Sync());
+  file.reset();
+  vfs_.SimulateCrash();
+  EXPECT_EQ(ReadFile(Path("f")), "")
+      << "nothing after the poison point may survive";
+}
+
+TEST_F(VfsTest, FsyncLieReportsSuccessButDropsBytes) {
+  FaultSpec spec;
+  spec.op = VfsOp::kFsync;
+  spec.kind = FaultKind::kFsyncLie;
+  vfs_.InjectFault(spec);
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+  TXMOD_ASSERT_OK(vfs_.SyncParentDirectory(Path("f")));
+  TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "acked-but-lost", "test"));
+  TXMOD_ASSERT_OK(file->Sync());  // the lie: success reported
+  file.reset();
+  vfs_.SimulateCrash();
+  EXPECT_EQ(ReadFile(Path("f")), "");
+}
+
+TEST_F(VfsTest, CrashResetsDurabilityToCurrentContent) {
+  {
+    TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+    TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "base", "test"));
+    TXMOD_ASSERT_OK(file->Sync());
+    TXMOD_ASSERT_OK(vfs_.SyncParentDirectory(Path("f")));
+  }
+  vfs_.SimulateCrash();
+  // Continue after the crash: new unsynced bytes drop at the NEXT crash,
+  // but the pre-crash survivors stay (the model re-baselined).
+  {
+    TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("f")));
+    TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "+unsynced", "test"));
+  }
+  vfs_.SimulateCrash();
+  EXPECT_EQ(ReadFile(Path("f")), "base");
+}
+
+TEST_F(VfsTest, VirtualClockAdvancesBySleepingInstantly) {
+  EXPECT_EQ(vfs_.NowMicros(), 0);
+  vfs_.SleepMicros(250);
+  vfs_.SleepMicros(750);
+  EXPECT_EQ(vfs_.NowMicros(), 1000);
+  vfs_.AdvanceClock(500);
+  EXPECT_EQ(vfs_.NowMicros(), 1500);
+  const std::vector<int64_t> sleeps = vfs_.sleep_log();
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], 250);
+  EXPECT_EQ(sleeps[1], 750);
+}
+
+TEST_F(VfsTest, RenameAndDirSyncFaultsFire) {
+  {
+    FaultSpec spec;
+    spec.op = VfsOp::kRename;
+    spec.kind = FaultKind::kEIO;
+    vfs_.InjectFault(spec);
+  }
+  {
+    TXMOD_ASSERT_OK_AND_ASSIGN(auto file, vfs_.OpenAppend(Path("a")));
+    TXMOD_ASSERT_OK(WriteFullyTo(file.get(), "x", "test"));
+    TXMOD_ASSERT_OK(file->Sync());
+  }
+  const Status renamed = vfs_.Rename(Path("a"), Path("b"));
+  EXPECT_FALSE(renamed.ok());
+  EXPECT_TRUE(std::filesystem::exists(Path("a"))) << "failed rename is a no-op";
+  vfs_.ClearFaults();
+  FaultSpec dir_spec;
+  dir_spec.op = VfsOp::kDirSync;
+  dir_spec.kind = FaultKind::kEIO;
+  vfs_.InjectFault(dir_spec);
+  EXPECT_FALSE(vfs_.SyncParentDirectory(Path("a")).ok());
+}
+
+}  // namespace
+}  // namespace txmod
