@@ -132,9 +132,11 @@ BENCHMARK(BM_ConcurrentCommit)
     ->Args({2, 0})
     ->Args({4, 0})
     ->Args({8, 0})
+    ->Args({16, 0})
     ->Args({4, 10})
     ->Args({4, 50})
     ->Args({8, 50})
+    ->Args({16, 50})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -194,14 +196,16 @@ BENCHMARK(BM_SessionFirstWrite)
 
 void BM_GroupCommitFsync(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
   const std::filesystem::path dir =
       std::filesystem::temp_directory_path() /
-      StrCat("txmod_bench_wal_", ::getpid(), "_", threads);
+      StrCat("txmod_bench_wal_", ::getpid(), "_", threads, "_", shards);
   std::filesystem::create_directories(dir);
   txn::TxnManagerOptions options;
   options.wal_path = (dir / "wal.log").string();
   options.checkpoint_path = (dir / "checkpoint.db").string();
   options.sync_commits = true;
+  options.wal_shards = static_cast<uint32_t>(shards);
   ManagerFixture f(options);
 
   uint64_t committed_total = 0;
@@ -239,11 +243,14 @@ void BM_GroupCommitFsync(benchmark::State& state) {
 }
 
 BENCHMARK(BM_GroupCommitFsync)
-    ->ArgNames({"threads"})
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgNames({"threads", "shards"})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({4, 4})
+    ->Args({8, 4})
+    ->Args({16, 4})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -9,19 +9,20 @@
 #   scripts/bench.sh --smoke          one tiny pass of every bench_* binary
 #                                     (CI bit-rot gate; ~seconds per binary)
 #   scripts/bench.sh --update-baseline
-#                                     also refresh BENCH_table1.json and
-#                                     BENCH_parallel.json at the repo root
-#                                     from this machine's run
+#                                     also refresh BENCH_table1.json,
+#                                     BENCH_parallel.json and
+#                                     BENCH_concurrency.json at the repo
+#                                     root from this machine's run
 #
 # The checked-in BENCH_table1.json (Table 1 workloads, plus the
 # BM_AdHocRepeatedShape shaped-plan-cache series: cached vs
-# fresh-compile-every-statement) and BENCH_parallel.json (E5 scaling +
-# the join-heavy enforcement series) are the recorded baselines; their
-# "context" blocks name the machine and compiler they were captured on.
-# bench_concurrency (BM_ConcurrentCommit thread/conflict sweeps,
-# BM_GroupCommitFsync batching factors) reports under
-# build/bench-results/ like the rest; it has no checked-in baseline yet —
-# wall-clock thread scaling is too machine-dependent to pin.
+# fresh-compile-every-statement), BENCH_parallel.json (E5 scaling +
+# the join-heavy enforcement series) and BENCH_concurrency.json
+# (BM_ConcurrentCommit thread/conflict sweeps, BM_GroupCommitFsync
+# sharded group-commit batching factors) are the recorded baselines;
+# their "context" blocks name the machine and compiler they were
+# captured on — read thread-scaling numbers against that machine's core
+# count, not in the absolute.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,7 +87,9 @@ esac
 if [ "$update_baseline" = 1 ]; then
   cp "$outdir/bench_table1.json" BENCH_table1.json
   cp "$outdir/bench_parallel.json" BENCH_parallel.json
-  echo "refreshed BENCH_table1.json and BENCH_parallel.json"
+  cp "$outdir/bench_concurrency.json" BENCH_concurrency.json
+  echo "refreshed BENCH_table1.json, BENCH_parallel.json and" \
+       "BENCH_concurrency.json"
 fi
 
 echo "JSON reports in $outdir/"

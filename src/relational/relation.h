@@ -220,6 +220,18 @@ class Relation {
     return base_ != nullptr && minus_.count(t) == 0 && base_->Contains(t);
   }
 
+  /// The stored node equal to `t`, or nullptr when not visible. The
+  /// returned pointer is stable while the relation (and its overlay
+  /// chain) lives and is not mutated — unordered_set nodes keep their
+  /// addresses even across container moves, which is what lets the
+  /// transaction manager key its validation index by tuple node.
+  const Tuple* FindTuple(const Tuple& t) const {
+    auto it = tuples_.find(t);
+    if (it != tuples_.end()) return &*it;
+    if (base_ != nullptr && minus_.count(t) == 0) return base_->FindTuple(t);
+    return nullptr;
+  }
+
   /// Inserts `t`; returns true when the tuple was not visible before.
   /// The tuple must already be schema-checked / coerced by the caller.
   bool Insert(Tuple t);

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "src/algebra/parser.h"
@@ -104,34 +105,18 @@ Result<std::unique_ptr<TxnManager>> TxnManager::Create(
       TXMOD_RETURN_IF_ERROR(CheckpointDatabaseToFile(
           *manager->db_, opts.checkpoint_path, vfs));
     }
-    // A crash can leave a torn record at the WAL tail; appending after
-    // it would make every later record unreachable to recovery (which
-    // stops at the first invalid record). Repair by rewriting the valid
-    // prefix before reopening for append.
-    WalReplayStats replay;
-    TXMOD_ASSIGN_OR_RETURN(std::vector<WalRecord> valid,
-                           ReadWal(opts.wal_path, &replay));
-    if (replay.tail_dropped) {
-      const std::string tmp = StrCat(opts.wal_path, ".repair");
-      // A crash during a previous repair can leave a stale (possibly
-      // itself torn) .repair file; appending to it would corrupt the
-      // repaired log or brick startup. Start from nothing.
-      TXMOD_RETURN_IF_ERROR(vfs->Remove(tmp));
-      {
-        TXMOD_ASSIGN_OR_RETURN(WriteAheadLog fresh,
-                               WriteAheadLog::Open(tmp, vfs));
-        for (const WalRecord& rec : valid) {
-          TXMOD_RETURN_IF_ERROR(fresh.Append(rec).status());
-        }
-        TXMOD_RETURN_IF_ERROR(fresh.Sync(fresh.appended_lsn()));
-      }
-      TXMOD_RETURN_IF_ERROR(vfs->Rename(tmp, opts.wal_path));
-      TXMOD_RETURN_IF_ERROR(vfs->SyncParentDirectory(opts.wal_path));
-    }
-    TXMOD_ASSIGN_OR_RETURN(WriteAheadLog wal,
-                           WriteAheadLog::Open(opts.wal_path, vfs));
-    manager->wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
+    // ShardedWal::Open repairs torn per-stream tails (rewriting each
+    // valid prefix) and adopts the on-disk shard layout when one exists.
+    TXMOD_ASSIGN_OR_RETURN(
+        std::shared_ptr<ShardedWal> wal,
+        ShardedWal::Open(opts.wal_path, opts.wal_shards, vfs));
+    manager->wal_ = std::move(wal);
   }
+  // The state the manager starts from is durable (recovered checkpoint +
+  // WAL, or the freshly seeded checkpoint): the durability horizon and
+  // the no-unwind floor both start here.
+  manager->checkpoint_time_ = manager->db_->logical_time();
+  manager->durable_floor_ = manager->db_->logical_time();
   return manager;
 }
 
@@ -141,30 +126,30 @@ std::unique_ptr<TxnSession> TxnManager::Begin() {
   // nobody mutates the master while its relation pointers are copied.
   Database snapshot = db_->Clone();
   const uint64_t version = db_->logical_time();
-  ++active_sessions_;  // released by TxnSession::Finish
+  active_sessions_.fetch_add(1);  // released by TxnSession::Finish
   return std::unique_ptr<TxnSession>(
       new TxnSession(this, std::move(snapshot), version));
 }
 
-void TxnManager::ReleaseSession() {
-  std::lock_guard<std::mutex> lock(commit_mu_);
-  --active_sessions_;
-}
+void TxnManager::ReleaseSession() { active_sessions_.fetch_sub(1); }
 
 uint64_t TxnManager::active_sessions() const {
-  std::lock_guard<std::mutex> lock(commit_mu_);
-  return active_sessions_;
+  return active_sessions_.load();
 }
 
 template <typename Fn>
 Status TxnManager::WithQuiescedSessions(const char* what, Fn&& mutate) {
+  // commit_mu_ blocks Begin for the duration, so no session can START
+  // while the mutation runs; the atomic count rejects the ones already
+  // live.
   std::lock_guard<std::mutex> lock(commit_mu_);
-  if (active_sessions_ > 0) {
+  const uint64_t live = active_sessions_.load();
+  if (live > 0) {
     // Recompiling rule plans (and re-declaring indexes) while sessions
     // execute against them is a race by contract; reject with the count
     // so the caller knows what to drain.
     return Status::FailedPrecondition(
-        StrCat(what, " requires quiesced sessions: ", active_sessions_,
+        StrCat(what, " requires quiesced sessions: ", live,
                " live session(s); commit, abort, or destroy them first"));
   }
   return mutate();
@@ -228,23 +213,16 @@ Result<TxnResult> TxnManager::Run(const algebra::Transaction& txn) {
       const int64_t backoff = ComputeBackoffMicros(options_, run_seq,
                                                    attempt);
       if (deadline > 0 && vfs_->NowMicros() + backoff > deadline) {
-        {
-          std::lock_guard<std::mutex> lock(commit_mu_);
-          ++stats_.deadlines_exceeded;
-        }
+        stats_.deadlines_exceeded.fetch_add(1);
         return Status::DeadlineExceeded(
             StrCat("transaction gave up after ", attempt - 1,
                    " attempt(s); last conflict: ", last.abort_reason));
       }
       if (backoff > 0) {
         vfs_->SleepMicros(backoff);
-        std::lock_guard<std::mutex> lock(commit_mu_);
-        ++stats_.backoff_sleeps;
+        stats_.backoff_sleeps.fetch_add(1);
       }
-      {
-        std::lock_guard<std::mutex> lock(commit_mu_);
-        ++stats_.retries;
-      }
+      stats_.retries.fetch_add(1);
     }
     std::unique_ptr<TxnSession> session = Begin();
     TXMOD_ASSIGN_OR_RETURN(TxnResult executed, session->Execute(txn));
@@ -276,71 +254,184 @@ bool TxnManager::HasConflictLocked(const TxnSession& session,
     *reason = "snapshot predates the validation window";
     return true;
   }
-  const std::set<std::string>& reads = session.ctx_.BaseReads();
-  const std::map<std::string, Relation>& footprint =
-      session.ctx_.WriteFootprint();
-  for (const CommitRecord& record : recent_) {
-    if (record.version <= snap) continue;
-    for (const auto& [rel, writes] : record.writes) {
-      if (reads.count(rel) > 0) {
-        *reason = StrCat("read-write conflict on ", rel,
-                         " with transaction ", record.version);
-        return true;
-      }
-      auto fp = footprint.find(rel);
-      if (fp == footprint.end()) continue;
-      // Tuple-granularity overlap; probe the smaller side.
-      const Relation& small =
-          fp->second.size() <= writes.size() ? fp->second : writes;
-      const Relation& large =
-          fp->second.size() <= writes.size() ? writes : fp->second;
-      for (const Tuple& t : small) {
-        if (large.Contains(t)) {
-          *reason = StrCat("write-write conflict on ", rel,
-                           " with transaction ", record.version);
-          return true;
-        }
+  // Probe the per-relation index instead of scanning the window: cost is
+  // O(|reads| + |footprint|), independent of how many commits landed
+  // since the snapshot. The smallest conflicting version (read-write
+  // before write-write at a tie) is reported, mirroring the scan order
+  // of the old linear validation.
+  uint64_t best_version = 0;
+  const std::string* best_rel = nullptr;
+  bool best_is_read = false;
+  auto consider = [&](uint64_t version, const std::string& rel,
+                      bool is_read) {
+    if (best_rel == nullptr || version < best_version ||
+        (version == best_version &&
+         (rel < *best_rel || (rel == *best_rel && is_read && !best_is_read)))) {
+      best_version = version;
+      best_rel = &rel;
+      best_is_read = is_read;
+    }
+  };
+  for (const std::string& rel : session.ctx_.BaseReads()) {
+    const auto it = write_index_.find(rel);
+    if (it == write_index_.end()) continue;
+    const std::deque<uint64_t>& versions = it->second.versions;
+    const auto pos = std::upper_bound(versions.begin(), versions.end(), snap);
+    if (pos != versions.end()) consider(*pos, rel, /*is_read=*/true);
+  }
+  for (const auto& [rel, footprint] : session.ctx_.WriteFootprint()) {
+    const auto it = write_index_.find(rel);
+    if (it == write_index_.end()) continue;
+    const RelWriteIndex& index = it->second;
+    if (index.versions.empty() || index.versions.back() <= snap) continue;
+    for (const Tuple& t : footprint) {
+      const auto writer = index.writers.find(&t);
+      if (writer != index.writers.end() && writer->second > snap) {
+        consider(writer->second, rel, /*is_read=*/false);
+        break;  // one overlapping tuple convicts the relation
       }
     }
   }
-  return false;
+  if (best_rel == nullptr) return false;
+  *reason = StrCat(best_is_read ? "read-write" : "write-write",
+                   " conflict on ", *best_rel, " with transaction ",
+                   best_version);
+  return true;
+}
+
+void TxnManager::PublishCommitLocked(const CommitRecord& record) {
+  for (const auto& [rel, writes] : record.writes) {
+    RelWriteIndex& index = write_index_[rel];
+    index.versions.push_back(record.version);
+    for (const Tuple& t : writes) {
+      // Re-key onto THIS record's node: the entry must always name the
+      // newest writer, and its key must live at least as long as the
+      // value's record (eviction erases only entries it still owns).
+      const auto it = index.writers.find(&t);
+      if (it != index.writers.end()) index.writers.erase(it);
+      index.writers.emplace(&t, record.version);
+    }
+  }
+}
+
+void TxnManager::EvictFromIndexLocked(const CommitRecord& record) {
+  for (const auto& [rel, writes] : record.writes) {
+    const auto found = write_index_.find(rel);
+    if (found == write_index_.end()) continue;
+    RelWriteIndex& index = found->second;
+    if (!index.versions.empty() && index.versions.front() == record.version) {
+      index.versions.pop_front();
+    }
+    for (const Tuple& t : writes) {
+      const auto it = index.writers.find(&t);
+      // A newer record re-keyed entries for tuples it re-wrote; erase
+      // only the ones this record still owns.
+      if (it != index.writers.end() && it->second == record.version) {
+        index.writers.erase(it);
+      }
+    }
+    if (index.versions.empty()) write_index_.erase(found);
+  }
+}
+
+void TxnManager::UnpublishNewestLocked() {
+  const CommitRecord& record = recent_.back();
+  for (const auto& [rel, writes] : record.writes) {
+    const auto found = write_index_.find(rel);
+    if (found == write_index_.end()) continue;
+    RelWriteIndex& index = found->second;
+    if (!index.versions.empty() && index.versions.back() == record.version) {
+      index.versions.pop_back();
+    }
+    for (const Tuple& t : writes) {
+      const auto it = index.writers.find(&t);
+      if (it == index.writers.end() || it->second != record.version) continue;
+      index.writers.erase(it);
+      // Publishing this record re-keyed away any older writer of the
+      // same tuple; restore the most recent one still in the window so
+      // its conflicts are not forgotten.
+      for (auto older = recent_.rbegin() + 1; older != recent_.rend();
+           ++older) {
+        const auto w = older->writes.find(rel);
+        if (w == older->writes.end()) continue;
+        const Tuple* node = w->second.FindTuple(t);
+        if (node != nullptr) {
+          index.writers.emplace(node, older->version);
+          break;
+        }
+      }
+    }
+    if (index.versions.empty()) write_index_.erase(found);
+  }
+  recent_.pop_back();
 }
 
 void TxnManager::EnterDegradedLocked(const std::string& cause) {
-  if (degraded_) return;
-  degraded_ = true;
-  degraded_cause_ = cause;
-  ++stats_.wal_failures;
+  if (degraded_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(degraded_cause_mu_);
+    degraded_cause_ = cause;
+  }
+  degraded_.store(true, std::memory_order_release);
+  stats_.wal_failures.fetch_add(1);
+}
+
+// ---------------------------------------------------------------------------
+// The contiguous durability horizon (commit acknowledgement order).
+// ---------------------------------------------------------------------------
+
+void TxnManager::MarkDurable(uint64_t version) {
+  std::lock_guard<std::mutex> lock(ack_mu_);
+  if (version > durable_floor_) {
+    durable_above_.insert(version);
+    while (!durable_above_.empty() &&
+           *durable_above_.begin() == durable_floor_ + 1) {
+      ++durable_floor_;
+      durable_above_.erase(durable_above_.begin());
+    }
+  }
+  ack_cv_.notify_all();
+}
+
+void TxnManager::MarkDurabilityFailed(uint64_t version) {
+  std::lock_guard<std::mutex> lock(ack_mu_);
+  failed_version_ = std::min(failed_version_, version);
+  ack_cv_.notify_all();
+}
+
+Status TxnManager::WaitDurableThrough(uint64_t version) {
+  std::unique_lock<std::mutex> lock(ack_mu_);
+  ack_cv_.wait(lock, [&] {
+    return durable_floor_ >= version || failed_version_ <= version;
+  });
+  if (durable_floor_ >= version) return Status::OK();
+  return Status::Unavailable(
+      StrCat("commit ", version, " cannot be acknowledged: commit ",
+             failed_version_, " was not durable, so the log has a hole "
+             "below it; recovery decides the outcome"));
+}
+
+void TxnManager::ResetDurabilityHorizon(uint64_t floor) {
+  std::lock_guard<std::mutex> lock(ack_mu_);
+  durable_floor_ = std::max(durable_floor_, floor);
+  durable_above_.clear();
+  failed_version_ = kNoFailedVersion;
+  ack_cv_.notify_all();
 }
 
 Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
   TxnResult result = session->accumulated_;
   const bool aborted = session->state_ == TxnSession::State::kAborted;
-  uint64_t lsn = 0;
-  bool need_sync = false;
-  WalRecord wal_record;  // outlives the lock: the sync-failure unwind
-                         // reverse-applies its deltas
-  {
-    std::lock_guard<std::mutex> lock(commit_mu_);
-    std::string reason;
-    if (HasConflictLocked(*session, &reason)) {
-      ++stats_.conflicts;
-      result.committed = false;
-      result.conflict = true;
-      result.abort_reason = std::move(reason);
-      return result;
-    }
-    if (aborted) {
-      // The integrity-abort decision is consistent with the current
-      // committed state (validation passed); report it as final.
-      ++stats_.integrity_aborts;
-      result.committed = false;
-      return result;
-    }
 
-    // Collect the net differentials. Relations whose changes netted out
-    // publish nothing — serially equivalent and keeps the WAL dense.
-    CommitRecord commit_record;
+  // -- Stage A: collect (no lock) --------------------------------------
+  // Net-delta collection and record assembly read only session-private
+  // state, so they run before the critical section. Relations whose
+  // changes netted out publish nothing — serially equivalent and keeps
+  // the WAL dense.
+  WalRecord wal_record;  // outlives stage B: the durability-failure
+                         // unwind reverse-applies its deltas
+  CommitRecord commit_record;
+  if (!aborted) {
     for (const auto& [name, diff] : session->ctx_.AllDiffs()) {
       if (diff.plus.empty() && diff.minus.empty()) continue;
       WalDelta delta;
@@ -357,13 +448,38 @@ Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
       wal_record.deltas.push_back(std::move(delta));
       commit_record.writes.emplace(name, std::move(touched));
     }
+  }
+
+  // -- Stage B: validate, reserve, install, publish (commit_mu_) -------
+  uint64_t version = 0;
+  bool need_sync = false;
+  std::shared_ptr<ShardedWal> wal;  // handle pinned under the lock; a
+                                    // concurrent TryReopenWal swap never
+                                    // strands this commit's stage C
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    std::string reason;
+    if (HasConflictLocked(*session, &reason)) {
+      stats_.conflicts.fetch_add(1);
+      result.committed = false;
+      result.conflict = true;
+      result.abort_reason = std::move(reason);
+      return result;
+    }
+    if (aborted) {
+      // The integrity-abort decision is consistent with the current
+      // committed state (validation passed); report it as final.
+      stats_.integrity_aborts.fetch_add(1);
+      result.committed = false;
+      return result;
+    }
 
     if (wal_record.deltas.empty()) {
       // Read-only (or fully netted-out) transaction: nothing to install,
       // no version consumed, no log record — but the reads were
       // validated above, so the outcome is serially consistent.
-      ++stats_.commits;
-      ++stats_.readonly_commits;
+      stats_.commits.fetch_add(1);
+      stats_.readonly_commits.fetch_add(1);
       result.committed = true;
       result.commit_version = db_->logical_time();
       return result;
@@ -371,35 +487,21 @@ Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
 
     // Write-ful commit: degraded mode rejects it up front (read-only
     // commits took the return above on purpose — they need no log).
-    if (degraded_) {
-      ++stats_.unavailable_rejections;
+    if (degraded_.load(std::memory_order_acquire)) {
+      stats_.unavailable_rejections.fetch_add(1);
+      std::string cause;
+      {
+        std::lock_guard<std::mutex> cause_lock(degraded_cause_mu_);
+        cause = degraded_cause_;
+      }
       return Status::Unavailable(
-          StrCat("manager is in read-only degraded mode (",
-                 degraded_cause_, "); TryReopenWal() to restore writes"));
+          StrCat("manager is in read-only degraded mode (", cause,
+                 "); TryReopenWal() to restore writes"));
     }
 
-    const uint64_t version = db_->logical_time() + 1;
+    version = db_->logical_time() + 1;
     wal_record.version = version;
     commit_record.version = version;
-
-    // Log before install: a commit may only become visible to new
-    // snapshots once its differential is at least on its way to the log.
-    if (wal_ != nullptr) {
-      Result<uint64_t> appended = wal_->Append(wal_record);
-      if (!appended.ok()) {
-        // Nothing installed yet: the commit simply fails, and the
-        // manager degrades so later writers fail fast instead of
-        // piling onto broken storage.
-        EnterDegradedLocked(appended.status().message());
-        return Status::Unavailable(
-            StrCat("commit ", version, " failed to log: ",
-                   appended.status().message(),
-                   "; manager is now in read-only degraded mode"));
-      }
-      lsn = *appended;
-      ++stats_.wal_appends;
-      need_sync = options_.sync_commits;
-    }
 
     // Install into the committed master. Fast path: when nothing
     // committed since this session's snapshot, the session's private
@@ -442,51 +544,90 @@ Result<TxnResult> TxnManager::CommitSession(TxnSession* session) {
     db_->AdvanceTime();
 
     recent_.push_back(std::move(commit_record));
-    while (recent_.size() > options_.validation_window) recent_.pop_front();
-    ++stats_.commits;
+    PublishCommitLocked(recent_.back());
+    while (recent_.size() > options_.validation_window) {
+      EvictFromIndexLocked(recent_.front());
+      recent_.pop_front();
+    }
+    stats_.commits.fetch_add(1);
     result.committed = true;
     result.commit_version = version;
     result.installed = true;
+
+    wal = wal_;
+    need_sync = options_.sync_commits;
   }
 
-  // Group-commit boundary, outside the commit lock: concurrent
-  // committers batch into one fsync while the next commit proceeds.
-  if (need_sync) {
-    const Status synced = wal_->Sync(lsn);
-    if (!synced.ok()) {
-      // The record may not be durable: never acknowledge. The commit is
-      // already installed in memory, though — un-install it when it is
-      // still the newest one (reverse-apply the deltas), so an unacked
-      // commit does not linger visible. With concurrent commits stacked
-      // on top the unwind is impossible; that commit's outcome is
-      // "unknown" (classic in-doubt), and recovery decides.
-      std::lock_guard<std::mutex> lock(commit_mu_);
-      EnterDegradedLocked(synced.message());
-      if (db_->logical_time() == result.commit_version) {
-        bool unwound = true;
-        for (const WalDelta& delta : wal_record.deltas) {
-          Result<Relation*> rel = db_->FindMutable(delta.relation);
-          if (!rel.ok()) {
-            unwound = false;  // unreachable in practice; stay installed
-            break;
-          }
-          for (const Tuple& t : delta.plus) (*rel)->Erase(t);
-          for (const Tuple& t : delta.minus) (*rel)->Insert(t);
-        }
-        if (unwound) {
-          db_->RewindTime();
-          recent_.pop_back();
-          --stats_.commits;
-          result.installed = false;
-        }
+  // -- Stage C: log and acknowledge (no lock) --------------------------
+  // The commit is visible to new snapshots (ordering is decided), but it
+  // is acknowledged only once it — and every commit below it — is
+  // durable. Logging outside the lock lets commit N+1 validate and
+  // install while commit N's record is still being encoded and fsynced;
+  // per-shard group commit batches concurrent committers into one fsync
+  // per shard.
+  if (wal != nullptr) {
+    Result<std::vector<ShardedWal::Position>> appended =
+        wal->AppendCommit(wal_record);
+    if (!appended.ok()) {
+      return HandleLogFailure(version, wal_record, appended.status(),
+                              &result);
+    }
+    stats_.wal_appends.fetch_add(1);
+    if (need_sync) {
+      const Status synced = wal->SyncPositions(*appended);
+      if (!synced.ok()) {
+        return HandleLogFailure(version, wal_record, synced, &result);
       }
-      return Status::Unavailable(
-          StrCat("commit ", result.commit_version, " not durable: ",
-                 synced.message(),
-                 "; manager is now in read-only degraded mode"));
     }
   }
+  MarkDurable(version);
+  // Even with our own record durable, acknowledging is only safe once
+  // every earlier version is durable too — otherwise a crash could
+  // recover a prefix that is missing a commit below an acked one.
+  TXMOD_RETURN_IF_ERROR(WaitDurableThrough(version));
   return result;
+}
+
+Status TxnManager::HandleLogFailure(uint64_t version,
+                                    const WalRecord& wal_record,
+                                    const Status& cause, TxnResult* result) {
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    EnterDegradedLocked(cause.message());
+    // The record may not be durable: never acknowledge. The commit is
+    // already installed in memory, though — un-install it when it is
+    // still the newest one (reverse-apply the deltas), so an unacked
+    // commit does not linger visible. With concurrent commits stacked on
+    // top the unwind is impossible; that commit's outcome is "unknown"
+    // (classic in-doubt), and recovery decides. A commit at or below the
+    // durable checkpoint is never unwound: the checkpoint already made
+    // it durable, so the failed log record is irrelevant to its fate.
+    if (db_->logical_time() == version && version > checkpoint_time_) {
+      bool unwound = true;
+      for (const WalDelta& delta : wal_record.deltas) {
+        Result<Relation*> rel = db_->FindMutable(delta.relation);
+        if (!rel.ok()) {
+          unwound = false;  // unreachable in practice; stay installed
+          break;
+        }
+        for (const Tuple& t : delta.plus) (*rel)->Erase(t);
+        for (const Tuple& t : delta.minus) (*rel)->Insert(t);
+      }
+      if (unwound) {
+        UnpublishNewestLocked();
+        db_->RewindTime();
+        stats_.commits.fetch_sub(1);
+        result->installed = false;
+      }
+    }
+  }
+  // Wake committers stacked above this version: their records cannot be
+  // acknowledged over a hole, so they fail over to the same degraded
+  // outcome instead of waiting forever.
+  MarkDurabilityFailed(version);
+  return Status::Unavailable(
+      StrCat("commit ", version, " not durable: ", cause.message(),
+             "; manager is now in read-only degraded mode"));
 }
 
 Status TxnManager::Checkpoint() {
@@ -494,9 +635,14 @@ Status TxnManager::Checkpoint() {
     return Status::FailedPrecondition("no checkpoint_path configured");
   }
   std::lock_guard<std::mutex> lock(commit_mu_);
-  if (degraded_) {
+  if (degraded_.load(std::memory_order_acquire)) {
+    std::string cause;
+    {
+      std::lock_guard<std::mutex> cause_lock(degraded_cause_mu_);
+      cause = degraded_cause_;
+    }
     return Status::Unavailable(
-        StrCat("manager is in read-only degraded mode (", degraded_cause_,
+        StrCat("manager is in read-only degraded mode (", cause,
                "); TryReopenWal() performs the recovery checkpoint"));
   }
   TXMOD_RETURN_IF_ERROR(
@@ -514,14 +660,21 @@ Status TxnManager::Checkpoint() {
       return truncated;
     }
   }
-  ++stats_.checkpoints;
+  // Every version the checkpoint covers is durable regardless of the
+  // log's fate; move both the no-unwind floor and the ack horizon.
+  checkpoint_time_ = db_->logical_time();
+  ResetDurabilityHorizon(db_->logical_time());
+  stats_.checkpoints.fetch_add(1);
   return Status::OK();
 }
 
 bool TxnManager::degraded(std::string* cause) const {
-  std::lock_guard<std::mutex> lock(commit_mu_);
-  if (cause != nullptr) *cause = degraded_cause_;
-  return degraded_;
+  const bool is = degraded_.load(std::memory_order_acquire);
+  if (cause != nullptr) {
+    std::lock_guard<std::mutex> lock(degraded_cause_mu_);
+    *cause = degraded_cause_;
+  }
+  return is;
 }
 
 Status TxnManager::TryReopenWal() {
@@ -534,10 +687,11 @@ Status TxnManager::TryReopenWal() {
         "untrustworthy, so a fresh checkpoint must supersede it");
   }
   std::lock_guard<std::mutex> lock(commit_mu_);
-  if (!degraded_ && wal_ != nullptr && !wal_->broken()) {
+  if (!degraded_.load(std::memory_order_acquire) && wal_ != nullptr &&
+      !wal_->broken()) {
     return Status::OK();  // nothing to recover
   }
-  if (!degraded_) {
+  if (!degraded_.load(std::memory_order_acquire)) {
     // Broken log but not yet degraded (no writer hit it yet): degrade
     // now, so a failure in any step below leaves writers fenced off —
     // never silently committing without a log.
@@ -551,15 +705,41 @@ Status TxnManager::TryReopenWal() {
       CheckpointDatabaseToFile(*db_, options_.checkpoint_path, vfs_));
   // Only now is it safe to discard the old log. While any of these steps
   // fail the manager stays degraded (wal_ may be null; the degraded_
-  // guard keeps every writer away from it).
-  wal_.reset();
+  // guard keeps every writer away from it). In-flight stage-C appenders
+  // that pinned the old handle keep a live (poisoned) object; their
+  // commits are covered by the checkpoint above, so the no-unwind floor
+  // makes their failure harmless.
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_ptr_mu_);
+    wal_.reset();
+  }
   TXMOD_RETURN_IF_ERROR(vfs_->Remove(options_.wal_path));
-  TXMOD_ASSIGN_OR_RETURN(WriteAheadLog fresh,
-                         WriteAheadLog::Open(options_.wal_path, vfs_));
-  wal_ = std::make_unique<WriteAheadLog>(std::move(fresh));
-  degraded_ = false;
-  degraded_cause_.clear();
-  ++stats_.wal_reopens;
+  // Discard stale shard streams too, probing cheaply first so a
+  // non-sharded reopen issues no extra vfs operations (fault-injection
+  // schedules on the main path stay stable). Probe EVERY index — a
+  // failed previous wipe can leave holes, and a stale higher shard
+  // surviving the wipe would collide with reused versions on the fresh
+  // log.
+  for (uint32_t k = 0; k < ShardedWal::kMaxProbeShards; ++k) {
+    const std::string shard_path = ShardedWal::ShardPath(options_.wal_path, k);
+    if (!std::ifstream(shard_path).good()) continue;
+    TXMOD_RETURN_IF_ERROR(vfs_->Remove(shard_path));
+  }
+  TXMOD_ASSIGN_OR_RETURN(
+      std::shared_ptr<ShardedWal> fresh,
+      ShardedWal::Open(options_.wal_path, options_.wal_shards, vfs_));
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_ptr_mu_);
+    wal_ = std::move(fresh);
+  }
+  checkpoint_time_ = db_->logical_time();
+  ResetDurabilityHorizon(db_->logical_time());
+  {
+    std::lock_guard<std::mutex> cause_lock(degraded_cause_mu_);
+    degraded_cause_.clear();
+  }
+  degraded_.store(false, std::memory_order_release);
+  stats_.wal_reopens.fetch_add(1);
   return Status::OK();
 }
 
@@ -578,12 +758,34 @@ uint64_t TxnManager::committed_version() const {
   return db_->logical_time();
 }
 
+std::shared_ptr<const ShardedWal> TxnManager::wal() const {
+  std::lock_guard<std::mutex> lock(wal_ptr_mu_);
+  return wal_;
+}
+
 TxnManagerStats TxnManager::stats() const {
-  std::lock_guard<std::mutex> lock(commit_mu_);
-  TxnManagerStats out = stats_;
-  if (wal_ != nullptr) out.wal_fsyncs = wal_->fsync_count();
-  out.degraded = degraded_;
-  out.degraded_cause = degraded_cause_;
+  // Deliberately lock-free with respect to commit_mu_: a monitoring
+  // probe (e.g. the REPL's \stats) must never stall the commit pipeline.
+  TxnManagerStats out;
+  out.commits = stats_.commits.load();
+  out.readonly_commits = stats_.readonly_commits.load();
+  out.conflicts = stats_.conflicts.load();
+  out.integrity_aborts = stats_.integrity_aborts.load();
+  out.wal_appends = stats_.wal_appends.load();
+  out.checkpoints = stats_.checkpoints.load();
+  out.retries = stats_.retries.load();
+  out.backoff_sleeps = stats_.backoff_sleeps.load();
+  out.deadlines_exceeded = stats_.deadlines_exceeded.load();
+  out.wal_failures = stats_.wal_failures.load();
+  out.wal_reopens = stats_.wal_reopens.load();
+  out.unavailable_rejections = stats_.unavailable_rejections.load();
+  const std::shared_ptr<const ShardedWal> log = wal();
+  if (log != nullptr) out.wal_fsyncs = log->fsync_count();
+  out.degraded = degraded_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(degraded_cause_mu_);
+    out.degraded_cause = degraded_cause_;
+  }
   out.cow_relation_clones = CowStats::relation_clones.load();
   out.cow_overlays_created = CowStats::overlays_created.load();
   out.cow_overlay_merges = CowStats::overlay_merges.load();

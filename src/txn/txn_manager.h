@@ -2,6 +2,7 @@
 #define TXMOD_TXN_TXN_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -10,6 +11,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 
 #include "src/common/vfs.h"
 #include "src/core/subsystem.h"
@@ -82,6 +84,17 @@ struct TxnManagerOptions {
   /// Conflicts are retried within the budget; terminal errors
   /// (integrity aborts, I/O faults, Unavailable) never retry.
   int64_t run_timeout_micros = 0;
+
+  /// Number of WAL append streams. 1 (default) keeps the single
+  /// v1-format file at wal_path — byte-for-byte the pre-shard layout.
+  /// N >= 2 shards committed deltas by relation-name hash across
+  /// `<wal_path>.shard<k>` streams with independent group-commit fsync
+  /// leaders, so commits with disjoint shard footprints never share an
+  /// append mutex or an fsync; recovery stitches the streams back into
+  /// commit-version order. An existing log's on-disk shard count always
+  /// wins over this setting (see ShardedWal::Open); TryReopenWal is the
+  /// point where a changed setting takes effect.
+  uint32_t wal_shards = 1;
 };
 
 /// A snapshot of the manager's life so far: monotonic counters plus the
@@ -219,11 +232,30 @@ class TxnSession {
 /// subsystem (commit states satisfy every constraint) carries over
 /// unchanged.
 ///
+/// Commit pipeline (three stages; only stage B holds the commit lock):
+///
+///   A. collect — the session's net differentials and validation
+///      footprint are gathered into the WAL record and commit record
+///      with no lock held (session state is private to its thread);
+///   B. validate → reserve → publish — under commit_mu_: hash-indexed
+///      conflict validation against the rolling window, version
+///      assignment, in-memory install (pointer-swap fast path), and
+///      publication of the write set into the validation index;
+///   C. log + ack — outside the lock: the record fans out to the
+///      sharded WAL, group-commit fsyncs run per shard, and the commit
+///      is acknowledged only once every version up to its own is
+///      durable (the contiguous durability horizon — out-of-order
+///      shard fsync completions never ack a commit above a hole).
+///
+/// Disjoint-footprint commits therefore validate, append, and fsync in
+/// parallel; the serialized region is the short stage B.
+///
 /// Durability: committed differentials — the same dplus/dminus sets the
 /// paper's transaction modification computes — are appended to the WAL
 /// before the commit is reported; concurrent committers share fsyncs
-/// (group commit). Recover() replays the WAL over the latest checkpoint
-/// and restores exactly the durable committed prefix.
+/// per shard (group commit). Recover() replays the stitched WAL over
+/// the latest checkpoint and restores exactly the durable committed
+/// prefix.
 ///
 /// Failure: any WAL fault (failed append, failed fsync) flips the
 /// manager into read-only degraded mode instead of silently poisoning
@@ -317,8 +349,14 @@ class TxnManager {
   }
 
   uint64_t committed_version() const;
+  /// Counter snapshot. Lock-free on the commit path's mutex: counters
+  /// are atomics and the degraded flag has its own tiny lock, so a
+  /// monitoring loop (the REPL's \stats) can never stall committers.
   TxnManagerStats stats() const;
-  const WriteAheadLog* wal() const { return wal_.get(); }
+  /// The live log handle (shared: TryReopenWal may swap the log under
+  /// in-flight commits, which keep their own handle). Null when the
+  /// manager runs volatile or while a reopen is in progress.
+  std::shared_ptr<const ShardedWal> wal() const;
   core::IntegritySubsystem* subsystem() { return subsystem_; }
   Vfs* vfs() const { return vfs_; }
 
@@ -333,16 +371,87 @@ class TxnManager {
     std::map<std::string, Relation> writes;
   };
 
+  /// Hash/equality over the pointed-to tuple VALUE, so the validation
+  /// index can be probed with any tuple's address while its keys are
+  /// nodes inside the window records' Relations (unordered_set nodes
+  /// keep their addresses across container moves and deque growth).
+  struct TupleNodeHash {
+    std::size_t operator()(const Tuple* t) const { return TupleHasher{}(*t); }
+  };
+  struct TupleNodeEq {
+    bool operator()(const Tuple* a, const Tuple* b) const { return *a == *b; }
+  };
+
+  /// The per-relation hash index over the validation window that
+  /// replaces the linear recent_ scan: a commit validates in
+  /// O(|reads| + |footprint|) regardless of how many commits the window
+  /// holds, so disjoint-footprint validations stop paying for each
+  /// other's history.
+  struct RelWriteIndex {
+    /// Window versions that wrote this relation, ascending. Read
+    /// validation asks for the first entry > snapshot (binary search).
+    std::deque<uint64_t> versions;
+    /// Newest window writer per tuple. Keys point into the OWNING
+    /// CommitRecord's writes Relation — re-keyed onto the newest record
+    /// on publish so an evicted record never leaves a dangling key.
+    std::unordered_map<const Tuple*, uint64_t, TupleNodeHash, TupleNodeEq>
+        writers;
+  };
+
+  /// Monotonic counters, atomics so stats() and the Run retry path
+  /// never touch commit_mu_.
+  struct Counters {
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> readonly_commits{0};
+    std::atomic<uint64_t> conflicts{0};
+    std::atomic<uint64_t> integrity_aborts{0};
+    std::atomic<uint64_t> wal_appends{0};
+    std::atomic<uint64_t> checkpoints{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> backoff_sleeps{0};
+    std::atomic<uint64_t> deadlines_exceeded{0};
+    std::atomic<uint64_t> wal_failures{0};
+    std::atomic<uint64_t> wal_reopens{0};
+    std::atomic<uint64_t> unavailable_rejections{0};
+  };
+
   TxnManager(core::IntegritySubsystem* subsystem, TxnManagerOptions options)
       : subsystem_(subsystem), db_(subsystem->database()),
         options_(std::move(options)) {}
 
-  /// The commit protocol (called by TxnSession::Commit).
+  /// The commit protocol (called by TxnSession::Commit) — the staged
+  /// pipeline described in the class comment.
   Result<TxnResult> CommitSession(TxnSession* session);
 
-  /// True when `session` conflicts with any commit after its snapshot.
-  /// Caller holds commit_mu_. Sets `reason`.
+  /// True when `session` conflicts with any commit after its snapshot,
+  /// answered from the validation index. Caller holds commit_mu_. Sets
+  /// `reason`.
   bool HasConflictLocked(const TxnSession& session, std::string* reason);
+
+  /// Validation-index maintenance. All require commit_mu_.
+  void PublishCommitLocked(const CommitRecord& record);
+  void EvictFromIndexLocked(const CommitRecord& record);
+  /// Unwinds the newest record (recent_.back()) out of the index —
+  /// re-pointing each tuple entry at the most recent older writer still
+  /// in the window — and pops it from recent_. The WAL-failure unwind.
+  void UnpublishNewestLocked();
+
+  /// Contiguous durability horizon: a commit is acknowledged only when
+  /// every version up to its own is durable, so out-of-order per-shard
+  /// fsync completions can never ack a commit that recovery would have
+  /// to drop for a hole below it.
+  void MarkDurable(uint64_t version);
+  void MarkDurabilityFailed(uint64_t version);
+  Status WaitDurableThrough(uint64_t version);
+  /// Checkpoint/reopen: everything at or below `floor` is covered by
+  /// the durable checkpoint; pending failures are obsolete.
+  void ResetDurabilityHorizon(uint64_t floor);
+
+  /// Stage-C failure path: degrades the manager, unwinds the commit
+  /// when it is still the newest one and not already covered by a
+  /// checkpoint, and marks the version failed for later waiters.
+  Status HandleLogFailure(uint64_t version, const WalRecord& wal_record,
+                          const Status& cause, TxnResult* result);
 
   /// Releases one active-session slot (TxnSession::Finish).
   void ReleaseSession();
@@ -354,26 +463,51 @@ class TxnManager {
   Status WithQuiescedSessions(const char* what, Fn&& mutate);
 
   /// Flips into read-only degraded mode (first cause wins). Caller
-  /// holds commit_mu_.
+  /// holds commit_mu_ (transitions are serialized by it; the flag and
+  /// cause themselves are readable without it).
   void EnterDegradedLocked(const std::string& cause);
 
   core::IntegritySubsystem* subsystem_;
   Database* db_;
   TxnManagerOptions options_;
   Vfs* vfs_ = nullptr;  // options_.vfs resolved against Vfs::Default()
-  std::unique_ptr<WriteAheadLog> wal_;
   std::function<void(int)> run_probe_;
   std::atomic<uint64_t> run_seq_{0};
 
+  /// The live log. shared_ptr because stage C appends outside
+  /// commit_mu_ while TryReopenWal may concurrently swap in a fresh
+  /// log: each commit captures its handle under commit_mu_ in stage B
+  /// and the old log stays alive (poisoned) until the last holder
+  /// drops it. The pointer itself is guarded by wal_ptr_mu_ for
+  /// lock-free-commit-path readers (stats, wal()).
+  std::shared_ptr<ShardedWal> wal_;
+  mutable std::mutex wal_ptr_mu_;
+
   /// Serializes Begin (snapshot creation) against commit application —
   /// the copy-on-write contract — and orders commits (= the
-  /// serialization order). Execution itself never holds it.
+  /// serialization order). Execution never holds it; stage A and C of
+  /// the commit pipeline don't either.
   mutable std::mutex commit_mu_;
   std::deque<CommitRecord> recent_;  // rolling validation window
-  TxnManagerStats stats_;
-  uint64_t active_sessions_ = 0;  // guarded by commit_mu_
-  bool degraded_ = false;         // guarded by commit_mu_
-  std::string degraded_cause_;    // guarded by commit_mu_
+  std::unordered_map<std::string, RelWriteIndex> write_index_;  // commit_mu_
+  /// Logical time covered by the latest durable checkpoint; a commit at
+  /// or below it must never be unwound (it is durable regardless of its
+  /// log record's fate). Guarded by commit_mu_.
+  uint64_t checkpoint_time_ = 0;
+
+  /// Durability-horizon state (ack_mu_; lock order commit_mu_ -> ack_mu_).
+  mutable std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
+  uint64_t durable_floor_ = 0;        // all versions <= this are durable
+  std::set<uint64_t> durable_above_;  // durable versions > floor
+  uint64_t failed_version_ = kNoFailedVersion;
+  static constexpr uint64_t kNoFailedVersion = ~uint64_t{0};
+
+  Counters stats_;
+  std::atomic<uint64_t> active_sessions_{0};
+  std::atomic<bool> degraded_{false};
+  mutable std::mutex degraded_cause_mu_;
+  std::string degraded_cause_;  // guarded by degraded_cause_mu_
 };
 
 }  // namespace txmod::txn

@@ -270,5 +270,204 @@ INSTANTIATE_TEST_SUITE_P(ThreadCounts, ConcurrentOracleTest,
                            return StrCat(param.param, "threads");
                          });
 
+// ---------------------------------------------------------------------------
+// High-contention, multi-relation oracle: 16 threads over 8 relations
+// with a mix of thread-disjoint and deliberately overlapping footprints,
+// committing through a 4-way sharded WAL (multi-relation transactions
+// fan out across shards). The final state must still equal the serial
+// replay of the committed transactions in commit-version order, and
+// stitched recovery must reproduce it exactly.
+// ---------------------------------------------------------------------------
+
+constexpr int kOracleRelations = 8;
+constexpr int kHighContentionThreads = 16;
+constexpr int kSharedIds = 6;  // tiny shared id range => real conflicts
+
+std::string OracleRelName(int r) { return StrCat("acct", r); }
+
+Database MakeMultiRelationDatabase() {
+  Database db;
+  for (int r = 0; r < kOracleRelations; ++r) {
+    TXMOD_BENCH_CHECK_OK(db.CreateRelation(RelationSchema(
+        OracleRelName(r), {Attribute{"id", AttrType::kInt},
+                           Attribute{"tag", AttrType::kString}})));
+    Relation* rel = *db.FindMutable(OracleRelName(r));
+    for (int i = 0; i < kSharedIds; ++i) {
+      rel->Insert(Tuple({Value::Int(i), Value::String("seed")}));
+    }
+  }
+  return db;
+}
+
+/// One statement per touched relation. Footprints mix three shapes:
+/// thread-private inserts (never conflict), shared-id deletes and
+/// re-inserts (tuple-granularity write-write conflicts), and
+/// multi-relation transactions whose statements span 2-3 relations —
+/// the sharded WAL's fan-out case.
+std::vector<WorkItem> MakeMultiRelationWorkload(int thread_id,
+                                                unsigned seed) {
+  std::mt19937 rng(seed);
+  auto pick = [&](int n) {
+    return static_cast<int>(rng() % static_cast<unsigned>(n));
+  };
+  auto insert_stmt = [](int r, Tuple t) {
+    return algebra::Statement::Insert(
+        OracleRelName(r), algebra::RelExpr::Literal({std::move(t)}, 2));
+  };
+  auto delete_stmt = [](int r, Tuple t) {
+    return algebra::Statement::Delete(
+        OracleRelName(r), algebra::RelExpr::Literal({std::move(t)}, 2));
+  };
+  std::vector<WorkItem> items;
+  int next_id = 1'000'000 + thread_id * 100'000;
+  for (int i = 0; i < kTxnsPerThread; ++i) {
+    Transaction txn;
+    std::string trace;
+    switch (pick(4)) {
+      case 0: {  // disjoint: private ids into this thread's home relation
+        const int r = thread_id % kOracleRelations;
+        txn.program.statements.push_back(insert_stmt(
+            r, Tuple({Value::Int(next_id++), Value::String("mine")})));
+        trace = "private insert";
+        break;
+      }
+      case 1: {  // overlapping: toggle a shared id in a random relation
+        const int r = pick(kOracleRelations);
+        Tuple shared({Value::Int(pick(kSharedIds)), Value::String("seed")});
+        if (pick(2) == 0) {
+          txn.program.statements.push_back(delete_stmt(r, shared));
+          trace = "shared delete";
+        } else {
+          txn.program.statements.push_back(insert_stmt(r, std::move(shared)));
+          trace = "shared insert";
+        }
+        break;
+      }
+      case 2: {  // multi-relation fan-out, disjoint ids (2-3 relations)
+        const int span = 2 + pick(2);
+        for (int s = 0; s < span; ++s) {
+          txn.program.statements.push_back(insert_stmt(
+              (thread_id + s) % kOracleRelations,
+              Tuple({Value::Int(next_id++), Value::String("fanout")})));
+        }
+        trace = "multi-relation insert";
+        break;
+      }
+      default: {  // multi-relation with one contended statement
+        const int r = pick(kOracleRelations);
+        txn.program.statements.push_back(insert_stmt(
+            (r + 1) % kOracleRelations,
+            Tuple({Value::Int(next_id++), Value::String("mixed")})));
+        txn.program.statements.push_back(delete_stmt(
+            r, Tuple({Value::Int(pick(kSharedIds)), Value::String("seed")})));
+        trace = "mixed fan-out";
+        break;
+      }
+    }
+    items.push_back(WorkItem{std::move(txn), std::move(trace)});
+  }
+  return items;
+}
+
+TEST(HighContentionMultiRelationTest,
+     SixteenThreadsOverShardedWalMatchSerialReplay) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      StrCat("txmod_oracle_multirel_", ::getpid());
+  std::filesystem::create_directories(dir);
+  TxnManagerOptions options;
+  options.wal_path = (dir / "wal.log").string();
+  options.checkpoint_path = (dir / "checkpoint.db").string();
+  options.wal_shards = 4;
+
+  Database db = MakeMultiRelationDatabase();
+  Database initial = db.Clone();
+  core::IntegritySubsystem ics(&db);  // no constraints: conflicts, not aborts
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto manager,
+                             TxnManager::Create(&ics, options));
+  ASSERT_TRUE(manager->wal()->sharded());
+  ASSERT_EQ(manager->wal()->shard_count(), 4u);
+
+  std::vector<std::vector<WorkItem>> workloads;
+  for (int t = 0; t < kHighContentionThreads; ++t) {
+    workloads.push_back(
+        MakeMultiRelationWorkload(t, 104'729u * static_cast<unsigned>(t + 1)));
+  }
+
+  std::vector<std::vector<CommittedTxn>> committed_per_thread(
+      kHighContentionThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kHighContentionThreads);
+  for (int t = 0; t < kHighContentionThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        auto result = manager->Run(workloads[static_cast<std::size_t>(t)]
+                                       [static_cast<std::size_t>(i)]
+                                           .txn);
+        if (!result.ok()) {
+          ++failures;
+          return;
+        }
+        if (result->committed) {
+          committed_per_thread[static_cast<std::size_t>(t)].push_back(
+              CommittedTxn{result->commit_version, result->installed, t, i});
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0) << "a Run() returned an error status";
+
+  std::vector<CommittedTxn> order;
+  for (const auto& per_thread : committed_per_thread) {
+    order.insert(order.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(order.begin(), order.end(),
+            [](const CommittedTxn& a, const CommittedTxn& b) {
+              if (a.commit_version != b.commit_version) {
+                return a.commit_version < b.commit_version;
+              }
+              return a.installed && !b.installed;
+            });
+
+  Database replay_db = initial.Clone();
+  core::IntegritySubsystem replay_ics(&replay_db);
+  for (const CommittedTxn& c : order) {
+    TXMOD_ASSERT_OK_AND_ASSIGN(
+        TxnResult replayed,
+        replay_ics.Execute(
+            workloads[static_cast<std::size_t>(c.thread_id)]
+                     [static_cast<std::size_t>(c.txn_index)]
+                         .txn));
+    ASSERT_TRUE(replayed.committed)
+        << "transaction committed concurrently at version "
+        << c.commit_version << " but aborts in serial replay ("
+        << workloads[static_cast<std::size_t>(c.thread_id)]
+                    [static_cast<std::size_t>(c.txn_index)]
+                        .trace
+        << ")";
+  }
+  EXPECT_TRUE(db.SameState(replay_db))
+      << "concurrent final state differs from serial replay in commit "
+       "order";
+
+  const uint64_t installed = static_cast<uint64_t>(std::count_if(
+      order.begin(), order.end(),
+      [](const CommittedTxn& c) { return c.installed; }));
+  EXPECT_EQ(manager->committed_version(),
+            initial.logical_time() + installed);
+
+  // Stitched sharded recovery reproduces the live state exactly.
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database recovered,
+                             TxnManager::Recover(options));
+  EXPECT_TRUE(recovered.SameState(db))
+      << "sharded checkpoint+WAL recovery diverges from the live state";
+  EXPECT_EQ(recovered.logical_time(), db.logical_time());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
 }  // namespace
 }  // namespace txmod::txn

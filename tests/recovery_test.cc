@@ -342,6 +342,180 @@ TEST_F(RecoveryTest, GroupCommitCountersAreCoherent) {
 // pages the kernel already dropped.)
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Sharded WAL: per-shard streams, commit fan-out, stitched recovery.
+// ---------------------------------------------------------------------------
+
+/// DefaultWorkload plus one transaction touching BOTH relations, so at
+/// least one commit fans out across shards whenever fk_rel and key_rel
+/// route differently.
+std::vector<std::string> FanOutWorkload() {
+  std::vector<std::string> texts = DefaultWorkload();
+  texts.push_back(
+      "insert(key_rel, {(\"fresh2\", \"payload\")}); "
+      "insert(fk_rel, {(7000, \"fresh2\", 2.5)});");
+  return texts;
+}
+
+TEST_F(RecoveryTest, ShardedWalRoundTrip) {
+  options_.wal_shards = 3;
+  LiveRun run = RunWorkload(options_, FanOutWorkload());
+  // The log lives in per-shard streams; nothing at the legacy path.
+  EXPECT_FALSE(std::filesystem::exists(options_.wal_path));
+  for (uint32_t k = 0; k < 3; ++k) {
+    EXPECT_TRUE(std::filesystem::exists(
+        ShardedWal::ShardPath(options_.wal_path, k)))
+        << "missing shard stream " << k;
+  }
+  WalReplayStats stats;
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database recovered,
+                             TxnManager::Recover(options_, &stats));
+  EXPECT_TRUE(recovered.SameState(run.db, /*compare_time=*/true));
+  EXPECT_FALSE(stats.tail_dropped) << stats.tail_error;
+  EXPECT_EQ(stats.records_read, run.prefix_states.size() - 1);
+}
+
+TEST_F(RecoveryTest, ShardedTornTailRestoresACommittedPrefix) {
+  options_.wal_shards = 2;
+  LiveRun run = RunWorkload(options_, FanOutWorkload());
+  // Tear the tail of each shard stream in turn: recovery must still
+  // restore exactly some committed prefix — the contiguity cut drops
+  // every version at or above the torn one, on every stream.
+  for (uint32_t torn = 0; torn < 2; ++torn) {
+    const std::string sp = ShardedWal::ShardPath(options_.wal_path, torn);
+    const std::string intact = ReadFile(sp);
+    ASSERT_GT(intact.size(), 10u);
+    WriteFile(sp, intact.substr(0, intact.size() - 7));
+    TXMOD_ASSERT_OK_AND_ASSIGN(Database recovered,
+                               TxnManager::Recover(options_));
+    bool is_prefix = false;
+    for (const Database& prefix : run.prefix_states) {
+      if (recovered.SameState(prefix, /*compare_time=*/true)) {
+        is_prefix = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(is_prefix)
+        << "recovery after tearing shard " << torn
+        << " is not a committed prefix";
+    WriteFile(sp, intact);  // restore for the next round
+  }
+}
+
+TEST_F(RecoveryTest, OnDiskShardCountWinsOverConfigurationOnReopen) {
+  options_.wal_shards = 3;
+  LiveRun run = RunWorkload(options_, FanOutWorkload());
+  TXMOD_ASSERT_OK_AND_ASSIGN(uint32_t discovered,
+                             ShardedWal::DiscoverShardCount(options_.wal_path));
+  EXPECT_EQ(discovered, 3u);
+
+  // Reopen under a mismatched configuration: the on-disk count must win
+  // (re-routing existing records would scramble the streams).
+  options_.wal_shards = 5;
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database recovered,
+                             TxnManager::Recover(options_));
+  ASSERT_TRUE(recovered.SameState(run.db, /*compare_time=*/true));
+  core::IntegritySubsystem ics(&recovered);
+  TXMOD_ASSERT_OK(ics.DefineConstraint("domain", bench::DomainConstraint()));
+  TXMOD_ASSERT_OK(ics.DefineConstraint("refint", bench::RefIntConstraint()));
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto manager,
+                             TxnManager::Create(&ics, options_));
+  EXPECT_EQ(manager->wal()->shard_count(), 3u);
+  TXMOD_ASSERT_OK(
+      manager->RunText("insert(fk_rel, {(8100, \"k3\", 2.0)});").status());
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database after, TxnManager::Recover(options_));
+  EXPECT_TRUE(after.SameState(recovered, /*compare_time=*/true));
+}
+
+TEST_F(RecoveryTest, PreShardLegacyLogIsStitchedAsThePrefixStream) {
+  // Life begins unsharded: a v1 log at the legacy path.
+  LiveRun run = RunWorkload(options_, DefaultWorkload());
+  ASSERT_TRUE(std::filesystem::exists(options_.wal_path));
+
+  // Reopen under a sharded configuration: the legacy file stays behind
+  // as the read-only prefix stream, new commits fan out to the shards,
+  // and stitched recovery reads the union in version order.
+  options_.wal_shards = 2;
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database recovered,
+                             TxnManager::Recover(options_));
+  ASSERT_TRUE(recovered.SameState(run.db, /*compare_time=*/true));
+  core::IntegritySubsystem ics(&recovered);
+  TXMOD_ASSERT_OK(ics.DefineConstraint("domain", bench::DomainConstraint()));
+  TXMOD_ASSERT_OK(ics.DefineConstraint("refint", bench::RefIntConstraint()));
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto manager,
+                             TxnManager::Create(&ics, options_));
+  ASSERT_TRUE(manager->wal()->sharded());
+  EXPECT_TRUE(std::filesystem::exists(options_.wal_path))
+      << "adopting sharding must not discard the legacy prefix stream";
+  TXMOD_ASSERT_OK(
+      manager->RunText("insert(fk_rel, {(8200, \"k4\", 3.0)});").status());
+  TXMOD_ASSERT_OK(
+      manager
+          ->RunText(
+              "delete(key_rel, {(\"x1\", \"payload\")}); "
+              "insert(fk_rel, {(8201, \"k5\", 1.0)});")
+          .status());
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database stitched, TxnManager::Recover(options_));
+  EXPECT_TRUE(stitched.SameState(recovered, /*compare_time=*/true));
+
+  // The next checkpoint covers the legacy records; Truncate removes the
+  // lingering prefix stream.
+  TXMOD_ASSERT_OK(manager->Checkpoint());
+  EXPECT_FALSE(std::filesystem::exists(options_.wal_path));
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database after_ckpt,
+                             TxnManager::Recover(options_));
+  EXPECT_TRUE(after_ckpt.SameState(recovered, /*compare_time=*/true));
+}
+
+TEST_F(RecoveryTest, PartialFanOutIsDroppedTogetherWithEverythingAbove) {
+  options_.wal_shards = 2;
+  LiveRun run = RunWorkload(options_, DefaultWorkload());
+
+  // Hand-craft the crash between the shard appends of one commit: a
+  // record declaring parts=2 lands on shard 0 only. Recovery must treat
+  // the version as absent (the commit was never acknowledged) and drop
+  // it — plus a later complete record above it, which sits beyond the
+  // contiguity cut.
+  const uint64_t next_version = run.db.logical_time() + 1;
+  {
+    TXMOD_ASSERT_OK_AND_ASSIGN(
+        WriteAheadLog shard0,
+        WriteAheadLog::OpenShard(
+            ShardedWal::ShardPath(options_.wal_path, 0), 0, 2));
+    WalRecord partial;
+    partial.version = next_version;
+    partial.parts = 2;  // declares a second part that never made it
+    partial.deltas.push_back(WalDelta{
+        "fk_rel",
+        {Tuple({Value::Int(9500), Value::String("k1"), Value::Double(1.0)})},
+        {}});
+    TXMOD_ASSERT_OK_AND_ASSIGN(uint64_t lsn, shard0.Append(partial));
+    WalRecord above;
+    above.version = next_version + 1;
+    above.deltas.push_back(WalDelta{
+        "fk_rel",
+        {Tuple({Value::Int(9501), Value::String("k2"), Value::Double(1.0)})},
+        {}});
+    TXMOD_ASSERT_OK_AND_ASSIGN(lsn, shard0.Append(above));
+    TXMOD_ASSERT_OK(shard0.Sync(lsn));
+  }
+  WalReplayStats stats;
+  TXMOD_ASSERT_OK_AND_ASSIGN(Database recovered,
+                             TxnManager::Recover(options_, &stats));
+  EXPECT_TRUE(recovered.SameState(run.db, /*compare_time=*/true))
+      << "a partial fan-out leaked into recovery";
+  EXPECT_TRUE(stats.tail_dropped);
+  EXPECT_NE(stats.tail_error.find("incomplete fan-out"), std::string::npos)
+      << stats.tail_error;
+}
+
+// ---------------------------------------------------------------------------
+// Poisoned-WAL contract: after any failed fsync, the log must never again
+// report durability — every later Append/Sync fails, naming the original
+// cause. ("fsyncgate": retrying fsync after a failure silently loses the
+// pages the kernel already dropped.)
+// ---------------------------------------------------------------------------
+
 TEST_F(RecoveryTest, FailedFsyncPoisonsEveryLaterAppendAndSync) {
   FaultInjectingVfs vfs;
   TXMOD_ASSERT_OK_AND_ASSIGN(WriteAheadLog wal,
