@@ -14,8 +14,17 @@
 //   txmod> help
 //
 // Also scriptable:  ./build/examples/repl < script.txt
+//
+// Network modes (src/net wire protocol):
+//   repl --serve PORT [--setup FILE]   serve the database over TCP; FILE
+//                                      holds REPL commands (relations,
+//                                      constraints) run before listening
+//   repl --connect HOST PORT           interactive client against a
+//                                      served instance (begin/execute/
+//                                      commit/abort/run/show/policy/stats)
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -25,6 +34,8 @@
 #include "src/common/lexer.h"
 #include "src/common/str_util.h"
 #include "src/core/subsystem.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
 #include "src/relational/persist.h"
 #include "src/txn/txn_manager.h"
 
@@ -124,6 +135,24 @@ class Repl {
     }
     std::cout << "bye\n";
   }
+
+  /// Runs a file of REPL commands (no prompt); stops at the first I/O
+  /// failure. Used by --serve to define schema + constraints up front.
+  Status RunScript(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      return Status::InvalidArgument(StrCat("cannot open script: ", path));
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line.rfind("--", 0) == 0) continue;
+      std::cout << "txmod> " << line << "\n";
+      if (!Dispatch(line)) break;
+    }
+    return Status::OK();
+  }
+
+  txmod::txn::TxnManager* manager() { return manager_.get(); }
 
  private:
   static std::pair<std::string, std::string> SplitCommand(
@@ -273,9 +302,161 @@ class Repl {
   std::unique_ptr<txmod::txn::TxnManager> manager_;
 };
 
+/// --serve: expose the REPL's database over the wire protocol. Blocks
+/// until stdin closes (or `quit` is typed), then shuts down cleanly.
+int Serve(uint16_t port, const std::string& setup_path) {
+  Repl repl;
+  if (!setup_path.empty()) {
+    const Status st = repl.RunScript(setup_path);
+    if (!st.ok()) {
+      std::cerr << "setup failed: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  txmod::net::ServerOptions options;
+  options.port = port;
+  txmod::net::Server server(repl.manager(), options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "serve failed: " << started.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "serving on 127.0.0.1:" << server.port()
+            << " — press enter or close stdin to stop\n"
+            << std::flush;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit" || line.empty()) break;
+  }
+  server.Stop();
+  std::cout << "server stopped\n";
+  return 0;
+}
+
+/// --connect: a thin interactive client. Commands map 1:1 onto protocol
+/// verbs; multi-word bodies pass through verbatim.
+int ConnectRepl(const std::string& host, uint16_t port) {
+  auto connected = txmod::net::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::cerr << "connect failed: " << connected.status().ToString() << "\n";
+    return 1;
+  }
+  txmod::net::Client client = std::move(*connected);
+  std::cout << "connected to " << host << ":" << port
+            << " — begin | execute TXN | commit | abort | run TXN | "
+               "show REL | policy k=v ... | stats | ping | quit\n";
+  const auto print_outcome = [](const txmod::net::Outcome& outcome) {
+    if (outcome.committed) {
+      std::cout << "committed (version " << outcome.commit_version
+                << ", attempts " << outcome.attempts << ")\n";
+    } else if (outcome.conflict) {
+      std::cout << "conflict after " << outcome.attempts << " attempts\n";
+    } else {
+      std::cout << "aborted: " << outcome.reason << "\n";
+    }
+  };
+  const auto report = [](const Status& st) {
+    if (st.ok()) {
+      std::cout << "ok\n";
+    } else {
+      std::cout << "error: " << st.ToString() << "\n";
+    }
+  };
+  std::string line;
+  while (true) {
+    std::cout << "txmod@" << host << "> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    std::string rest;
+    std::getline(in, rest);
+    const std::size_t start = rest.find_first_not_of(" \t");
+    rest = start == std::string::npos ? "" : rest.substr(start);
+    command = txmod::AsciiToLower(command);
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "ping") {
+      report(client.Ping());
+    } else if (command == "begin") {
+      auto version = client.Begin();
+      if (version.ok()) {
+        std::cout << "session open at version " << *version << "\n";
+      } else {
+        report(version.status());
+      }
+    } else if (command == "execute") {
+      auto outcome = client.Execute(rest);
+      outcome.ok() ? print_outcome(*outcome) : report(outcome.status());
+    } else if (command == "commit") {
+      auto outcome = client.Commit();
+      outcome.ok() ? print_outcome(*outcome) : report(outcome.status());
+    } else if (command == "abort") {
+      report(client.Abort());
+    } else if (command == "run") {
+      auto outcome = client.Run(rest);
+      outcome.ok() ? print_outcome(*outcome) : report(outcome.status());
+    } else if (command == "show") {
+      auto shown = client.Show(rest);
+      if (shown.ok()) {
+        std::cout << *shown;
+      } else {
+        report(shown.status());
+      }
+    } else if (command == "policy") {
+      std::map<std::string, std::string> fields;
+      std::istringstream args(rest);
+      std::string pair;
+      bool parsed = true;
+      while (args >> pair) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          std::cout << "error: expected key=value, got '" << pair << "'\n";
+          parsed = false;
+          break;
+        }
+        fields[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+      if (parsed) report(client.SetPolicy(fields));
+    } else if (command == "stats") {
+      auto stats = client.Stats();
+      if (!stats.ok()) {
+        report(stats.status());
+      } else {
+        for (const auto& [key, value] : *stats) {
+          std::cout << key << " = " << value << "\n";
+        }
+      }
+    } else {
+      std::cout << "unknown command '" << command << "'\n";
+    }
+    if (!client.connected()) {
+      std::cout << "connection lost\n";
+      return 1;
+    }
+  }
+  std::cout << "bye\n";
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--serve") {
+    const int port = std::atoi(argv[2]);
+    std::string setup;
+    if (argc >= 5 && std::string(argv[3]) == "--setup") setup = argv[4];
+    return Serve(static_cast<uint16_t>(port), setup);
+  }
+  if (argc >= 4 && std::string(argv[1]) == "--connect") {
+    return ConnectRepl(argv[2],
+                       static_cast<uint16_t>(std::atoi(argv[3])));
+  }
+  if (argc > 1) {
+    std::cerr << "usage: " << argv[0]
+              << " [--serve PORT [--setup FILE] | --connect HOST PORT]\n";
+    return 2;
+  }
   Repl repl;
   repl.Run();
   return 0;

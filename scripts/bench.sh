@@ -3,15 +3,17 @@
 # reports (the harness's --json flag; see bench/workload.h).
 #
 #   scripts/bench.sh                  run bench_table1 + bench_modification
-#                                     + bench_parallel + bench_concurrency,
-#                                     JSON under build/bench-results/
+#                                     + bench_parallel + bench_concurrency
+#                                     + bench_server, JSON under
+#                                     build/bench-results/
 #   scripts/bench.sh --all            run every bench_* binary
 #   scripts/bench.sh --smoke          one tiny pass of every bench_* binary
 #                                     (CI bit-rot gate; ~seconds per binary)
 #   scripts/bench.sh --update-baseline
 #                                     also refresh BENCH_table1.json,
-#                                     BENCH_parallel.json and
-#                                     BENCH_concurrency.json at the repo
+#                                     BENCH_parallel.json,
+#                                     BENCH_concurrency.json and
+#                                     BENCH_server.json at the repo
 #                                     root from this machine's run
 #
 # The checked-in BENCH_table1.json (Table 1 workloads, plus the
@@ -19,7 +21,10 @@
 # fresh-compile-every-statement), BENCH_parallel.json (E5 scaling +
 # the join-heavy enforcement series) and BENCH_concurrency.json
 # (BM_ConcurrentCommit thread/conflict sweeps, BM_GroupCommitFsync
-# sharded group-commit batching factors) are the recorded baselines;
+# sharded group-commit batching factors) and BENCH_server.json (the
+# bench_server network load driver: commits/sec and p50/p99 request
+# latency over loopback TCP, durability-verified) are the recorded
+# baselines;
 # their "context" blocks name the machine and compiler they were
 # captured on — read thread-scaling numbers against that machine's core
 # count, not in the absolute.
@@ -81,6 +86,9 @@ case "$mode" in
     run_one build/bench/bench_modification
     run_one build/bench/bench_parallel
     run_one build/bench/bench_concurrency
+    # The network load driver verifies durability (recover + check every
+    # acked commit) on top of recording throughput/latency.
+    run_one build/bench/bench_server --verify
     ;;
 esac
 
@@ -88,8 +96,9 @@ if [ "$update_baseline" = 1 ]; then
   cp "$outdir/bench_table1.json" BENCH_table1.json
   cp "$outdir/bench_parallel.json" BENCH_parallel.json
   cp "$outdir/bench_concurrency.json" BENCH_concurrency.json
-  echo "refreshed BENCH_table1.json, BENCH_parallel.json and" \
-       "BENCH_concurrency.json"
+  cp "$outdir/bench_server.json" BENCH_server.json
+  echo "refreshed BENCH_table1.json, BENCH_parallel.json," \
+       "BENCH_concurrency.json and BENCH_server.json"
 fi
 
 echo "JSON reports in $outdir/"

@@ -1,0 +1,38 @@
+#include "src/common/frame.h"
+
+namespace txmod {
+
+void AppendFrame(const std::string& payload, std::string* out) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  out->push_back(static_cast<char>(n & 0xff));
+  out->push_back(static_cast<char>((n >> 8) & 0xff));
+  out->push_back(static_cast<char>((n >> 16) & 0xff));
+  out->push_back(static_cast<char>((n >> 24) & 0xff));
+  out->append(payload);
+}
+
+FrameDecode TryDecodeFrame(const std::string& buffer, std::size_t offset,
+                           std::size_t max_payload, std::string* payload,
+                           std::size_t* consumed) {
+  if (buffer.size() - offset < kFrameHeaderBytes) {
+    return FrameDecode::kNeedMore;
+  }
+  const auto byte = [&](std::size_t i) {
+    return static_cast<uint32_t>(
+        static_cast<unsigned char>(buffer[offset + i]));
+  };
+  const uint32_t n = byte(0) | (byte(1) << 8) | (byte(2) << 16) |
+                     (byte(3) << 24);
+  if (n > max_payload) {
+    *consumed = 0;
+    return FrameDecode::kTooLarge;
+  }
+  if (buffer.size() - offset - kFrameHeaderBytes < n) {
+    return FrameDecode::kNeedMore;
+  }
+  payload->assign(buffer, offset + kFrameHeaderBytes, n);
+  *consumed = kFrameHeaderBytes + n;
+  return FrameDecode::kFrame;
+}
+
+}  // namespace txmod

@@ -1,0 +1,49 @@
+#ifndef TXMOD_COMMON_FRAME_H_
+#define TXMOD_COMMON_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace txmod {
+
+/// Length-prefixed framing for the wire protocol (and any other stream
+/// transport): a frame is a 4-byte little-endian payload length followed
+/// by exactly that many payload bytes. Pure buffer-level functions —
+/// sockets, files, and tests all share them.
+///
+/// Limits are the receiver's defense against malicious or corrupt peers:
+/// a frame longer than the receiver's limit is a protocol error (the
+/// whole stream is unsynchronized from that point — close it), never a
+/// truncation. Zero-length frames are legal (payload semantics decide).
+constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// The default per-frame payload limit (1 MiB): generous for request
+/// text and stats bodies, small enough that a hostile length prefix
+/// cannot balloon the receiver's buffer.
+constexpr std::size_t kDefaultMaxFramePayload = 1u << 20;
+
+/// Appends the frame (header + payload) for `payload` to `out`.
+void AppendFrame(const std::string& payload, std::string* out);
+
+/// Outcome of TryDecodeFrame.
+enum class FrameDecode {
+  kFrame,      // one complete frame consumed into *payload
+  kNeedMore,   // buffer holds only a partial frame; read more bytes
+  kTooLarge,   // declared length exceeds max_payload: protocol error
+};
+
+/// Attempts to decode one frame from buffer[offset...). On kFrame,
+/// *payload receives the payload and *consumed the total frame size
+/// (header + payload) so the caller can advance its offset. On
+/// kNeedMore / kTooLarge nothing is consumed; kTooLarge sets *consumed
+/// to 0 and leaves the stream unsynchronized (callers must close).
+FrameDecode TryDecodeFrame(const std::string& buffer, std::size_t offset,
+                           std::size_t max_payload, std::string* payload,
+                           std::size_t* consumed);
+
+}  // namespace txmod
+
+#endif  // TXMOD_COMMON_FRAME_H_

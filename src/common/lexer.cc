@@ -1,6 +1,8 @@
 #include "src/common/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "src/common/str_util.h"
@@ -71,12 +73,32 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       }
       const std::string text = input.substr(i, j - i);
       tok.text = text;
+      // strtoll/strtod report overflow only through errno, and silently
+      // saturate the return value (LLONG_MAX / HUGE_VAL) — without the
+      // ERANGE check an out-of-range literal would lex to a *wrong*
+      // number instead of an error. Full-consumption is checked too so a
+      // scanner bug can never feed a partially-numeric text through.
+      char* end = nullptr;
+      errno = 0;
       if (is_float) {
         tok.kind = TokenKind::kFloat;
-        tok.float_value = std::strtod(text.c_str(), nullptr);
+        tok.float_value = std::strtod(text.c_str(), &end);
+        if (errno == ERANGE && std::fabs(tok.float_value) == HUGE_VAL) {
+          return Status::InvalidArgument(
+              StrCat("float literal out of range: ", text, " at offset ", i));
+        }
       } else {
         tok.kind = TokenKind::kInt;
-        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        tok.int_value = std::strtoll(text.c_str(), &end, 10);
+        if (errno == ERANGE) {
+          return Status::InvalidArgument(
+              StrCat("integer literal out of range (does not fit int64): ",
+                     text, " at offset ", i));
+        }
+      }
+      if (end != text.c_str() + text.size()) {
+        return Status::InvalidArgument(
+            StrCat("malformed numeric literal: ", text, " at offset ", i));
       }
       i = j;
     } else if (c == '"') {

@@ -1,0 +1,93 @@
+#include "src/net/client.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace txmod::net {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  TXMOD_ASSIGN_OR_RETURN(Socket sock, ConnectTcp(host, port));
+  return Client(std::move(sock));
+}
+
+Result<Response> Client::Call(const Request& request) {
+  if (!sock_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  TXMOD_RETURN_IF_ERROR(SendFrame(sock_.fd(), EncodeRequest(request)));
+  std::string payload;
+  Status recv = RecvFrame(sock_.fd(), max_frame_payload_, &payload);
+  if (!recv.ok()) {
+    // A failed round trip leaves request/response framing unsynchronized.
+    sock_.Close();
+    return recv;
+  }
+  return DecodeResponse(payload);
+}
+
+namespace {
+
+/// Collapses a response into its body (err responses become their Status).
+Result<std::string> BodyOf(Result<Response> response) {
+  TXMOD_RETURN_IF_ERROR(response.status());
+  if (!response->ok()) return ResponseStatus(*response);
+  return std::move(response->body);
+}
+
+}  // namespace
+
+Result<Outcome> Client::CallForOutcome(Verb verb, const std::string& body) {
+  TXMOD_ASSIGN_OR_RETURN(const std::string response_body,
+                         BodyOf(Call({verb, body})));
+  return DecodeOutcome(response_body);
+}
+
+Status Client::Ping() { return BodyOf(Call({Verb::kPing, ""})).status(); }
+
+Result<uint64_t> Client::Begin() {
+  TXMOD_ASSIGN_OR_RETURN(const std::string body,
+                         BodyOf(Call({Verb::kBegin, ""})));
+  TXMOD_ASSIGN_OR_RETURN(const auto kv, DecodeKeyValues(body));
+  const auto it = kv.find("version");
+  if (it == kv.end()) {
+    return Status::InvalidArgument("begin response missing version");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("begin response version not a number");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<Outcome> Client::Execute(const std::string& txn_text) {
+  return CallForOutcome(Verb::kExecute, txn_text);
+}
+
+Result<Outcome> Client::Commit() {
+  return CallForOutcome(Verb::kCommit, "");
+}
+
+Status Client::Abort() { return BodyOf(Call({Verb::kAbort, ""})).status(); }
+
+Result<Outcome> Client::Run(const std::string& txn_text) {
+  return CallForOutcome(Verb::kRun, txn_text);
+}
+
+Result<std::string> Client::Show(const std::string& relation_name) {
+  return BodyOf(Call({Verb::kShow, relation_name}));
+}
+
+Status Client::SetPolicy(const std::map<std::string, std::string>& fields) {
+  return BodyOf(Call({Verb::kPolicy, EncodeKeyValues(fields)})).status();
+}
+
+Result<std::map<std::string, std::string>> Client::Stats() {
+  TXMOD_ASSIGN_OR_RETURN(const std::string body,
+                         BodyOf(Call({Verb::kStats, ""})));
+  return DecodeKeyValues(body);
+}
+
+}  // namespace txmod::net

@@ -1,0 +1,64 @@
+#ifndef TXMOD_NET_CLIENT_H_
+#define TXMOD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/frame.h"
+#include "src/common/result.h"
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+
+namespace txmod::net {
+
+/// Blocking wire-protocol client over one connection. Each method sends
+/// one request frame and waits for the matching response frame (the
+/// protocol is strictly request/response). Not thread-safe; use one
+/// Client per thread.
+///
+/// Error surface: methods return the server's err-response Status
+/// verbatim (kUnavailable = backpressure or degraded mode — back off and
+/// retry; kDeadlineExceeded = the run policy's budget expired;
+/// kFailedPrecondition = session-state misuse) or a transport-level
+/// kUnavailable/kInvalidArgument when the connection itself failed.
+class Client {
+ public:
+  Client() = default;
+
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+
+  Status Ping();
+  /// Opens this connection's session; returns the pinned snapshot version.
+  Result<uint64_t> Begin();
+  Result<Outcome> Execute(const std::string& txn_text);
+  Result<Outcome> Commit();
+  Status Abort();
+  /// One-shot Begin+Execute+Commit with server-side conflict retry under
+  /// this connection's policy.
+  Result<Outcome> Run(const std::string& txn_text);
+  /// Sorted tuples of a relation, one line per tuple of space-separated
+  /// EncodeValueText encodings.
+  Result<std::string> Show(const std::string& relation_name);
+  /// Overrides this connection's run policy (see protocol.h `policy`).
+  Status SetPolicy(const std::map<std::string, std::string>& fields);
+  Result<std::map<std::string, std::string>> Stats();
+
+  /// Escape hatch for tests: one raw request/response round trip.
+  Result<Response> Call(const Request& request);
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  Result<Outcome> CallForOutcome(Verb verb, const std::string& body);
+
+  Socket sock_;
+  std::size_t max_frame_payload_ = kDefaultMaxFramePayload;
+};
+
+}  // namespace txmod::net
+
+#endif  // TXMOD_NET_CLIENT_H_

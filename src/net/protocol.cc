@@ -1,0 +1,219 @@
+#include "src/net/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/common/status.h"
+#include "src/common/str_util.h"
+
+namespace txmod::net {
+
+namespace {
+
+/// Splits "first line" / "remainder after the first '\n'".
+void SplitFirstLine(const std::string& payload, std::string* line,
+                    std::string* rest) {
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string::npos) {
+    *line = payload;
+    rest->clear();
+  } else {
+    *line = payload.substr(0, nl);
+    *rest = payload.substr(nl + 1);
+  }
+}
+
+/// Strict non-negative integer parse (the codec-hygiene discipline: no
+/// trailing garbage, no silent saturation).
+Result<uint64_t> ParseU64(const std::string& text) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') {
+    return Status::InvalidArgument(StrCat("bad number: '", text, "'"));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument(StrCat("bad number: '", text, "'"));
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kPing: return "ping";
+    case Verb::kBegin: return "begin";
+    case Verb::kExecute: return "execute";
+    case Verb::kCommit: return "commit";
+    case Verb::kAbort: return "abort";
+    case Verb::kRun: return "run";
+    case Verb::kShow: return "show";
+    case Verb::kPolicy: return "policy";
+    case Verb::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out = VerbName(request.verb);
+  out += '\n';
+  out += request.body;
+  return out;
+}
+
+Result<Request> DecodeRequest(const std::string& payload) {
+  Request request;
+  std::string verb;
+  SplitFirstLine(payload, &verb, &request.body);
+  static const struct { const char* name; Verb verb; } kVerbs[] = {
+      {"ping", Verb::kPing},       {"begin", Verb::kBegin},
+      {"execute", Verb::kExecute}, {"commit", Verb::kCommit},
+      {"abort", Verb::kAbort},     {"run", Verb::kRun},
+      {"show", Verb::kShow},       {"policy", Verb::kPolicy},
+      {"stats", Verb::kStats},
+  };
+  for (const auto& entry : kVerbs) {
+    if (verb == entry.name) {
+      request.verb = entry.verb;
+      return request;
+    }
+  }
+  return Status::InvalidArgument(StrCat("unknown request verb '", verb, "'"));
+}
+
+std::string EncodeResponse(const Response& response) {
+  if (response.ok()) {
+    std::string out = "ok\n";
+    out += response.body;
+    return out;
+  }
+  std::string out = StrCat("err ", response.code, "\n");
+  out += response.message;
+  return out;
+}
+
+Result<Response> DecodeResponse(const std::string& payload) {
+  Response response;
+  std::string head, rest;
+  SplitFirstLine(payload, &head, &rest);
+  if (head == "ok") {
+    response.body = std::move(rest);
+    return response;
+  }
+  if (head.rfind("err ", 0) == 0) {
+    TXMOD_ASSIGN_OR_RETURN(const uint64_t code, ParseU64(head.substr(4)));
+    if (code == 0 || code > static_cast<uint64_t>(
+                                StatusCode::kDeadlineExceeded)) {
+      return Status::InvalidArgument(
+          StrCat("bad response status code ", code));
+    }
+    response.code = static_cast<int>(code);
+    response.message = std::move(rest);
+    return response;
+  }
+  return Status::InvalidArgument(
+      StrCat("malformed response header '", head, "'"));
+}
+
+Response ErrorResponse(const Status& status) {
+  Response response;
+  response.code = static_cast<int>(status.code());
+  response.message = status.message();
+  if (response.code == 0) {
+    // Defensive: an OK status has no error encoding.
+    response.code = static_cast<int>(StatusCode::kInternal);
+    response.message = "error response built from OK status";
+  }
+  return response;
+}
+
+Status ResponseStatus(const Response& response) {
+  if (response.ok()) return Status::OK();
+  return Status(static_cast<StatusCode>(response.code), response.message);
+}
+
+std::string EncodeOutcome(const Outcome& outcome) {
+  // reason is last and unterminated: it consumes the remainder on
+  // decode, so arbitrary text (multiline conflict chains) survives.
+  return StrCat("committed=", outcome.committed ? 1 : 0,
+                "\nconflict=", outcome.conflict ? 1 : 0,
+                "\ninstalled=", outcome.installed ? 1 : 0,
+                "\nversion=", outcome.commit_version,
+                "\nattempts=", outcome.attempts, "\nreason=", outcome.reason);
+}
+
+Result<Outcome> DecodeOutcome(const std::string& body) {
+  Outcome outcome;
+  std::size_t pos = 0;
+  const auto next_field = [&](const char* key) -> Result<std::string> {
+    const std::string prefix = StrCat(key, "=");
+    if (body.compare(pos, prefix.size(), prefix) != 0) {
+      return Status::InvalidArgument(
+          StrCat("outcome field '", key, "' missing at offset ", pos));
+    }
+    pos += prefix.size();
+    const std::size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat("outcome field '", key, "' unterminated"));
+    }
+    std::string value = body.substr(pos, nl - pos);
+    pos = nl + 1;
+    return value;
+  };
+  const auto bool_field = [&](const char* key) -> Result<bool> {
+    TXMOD_ASSIGN_OR_RETURN(const std::string v, next_field(key));
+    if (v == "0") return false;
+    if (v == "1") return true;
+    return Status::InvalidArgument(
+        StrCat("outcome field '", key, "' not a flag: '", v, "'"));
+  };
+  TXMOD_ASSIGN_OR_RETURN(outcome.committed, bool_field("committed"));
+  TXMOD_ASSIGN_OR_RETURN(outcome.conflict, bool_field("conflict"));
+  TXMOD_ASSIGN_OR_RETURN(outcome.installed, bool_field("installed"));
+  TXMOD_ASSIGN_OR_RETURN(const std::string version, next_field("version"));
+  TXMOD_ASSIGN_OR_RETURN(outcome.commit_version, ParseU64(version));
+  TXMOD_ASSIGN_OR_RETURN(const std::string attempts, next_field("attempts"));
+  TXMOD_ASSIGN_OR_RETURN(const uint64_t attempts_v, ParseU64(attempts));
+  outcome.attempts = static_cast<uint32_t>(attempts_v);
+  const std::string reason_prefix = "reason=";
+  if (body.compare(pos, reason_prefix.size(), reason_prefix) != 0) {
+    return Status::InvalidArgument("outcome field 'reason' missing");
+  }
+  outcome.reason = body.substr(pos + reason_prefix.size());
+  return outcome;
+}
+
+std::string EncodeKeyValues(const std::map<std::string, std::string>& kv) {
+  std::string out;
+  for (const auto& [key, value] : kv) {
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::map<std::string, std::string>> DecodeKeyValues(
+    const std::string& body) {
+  std::map<std::string, std::string> kv;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) nl = body.size();
+    const std::string line = body.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrCat("malformed key=value line '", line, "'"));
+    }
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return kv;
+}
+
+}  // namespace txmod::net

@@ -1,0 +1,115 @@
+#ifndef TXMOD_NET_PROTOCOL_H_
+#define TXMOD_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace txmod::net {
+
+/// The request/response message codec of the txmod wire protocol.
+///
+/// Transport: every message travels as one frame (src/common/frame.h —
+/// u32 little-endian length + payload). The payload is line-oriented
+/// text, chosen over a binary layout for the same reason as the WAL and
+/// checkpoint formats: inspectable with cat, diffable in tests, and the
+/// value codec (EncodeValueText) already escapes everything that needs
+/// escaping.
+///
+/// Request payload:   "<verb>\n<body>"     (body may be empty / multiline)
+/// Response payload:  "ok\n<body>"         success
+///                    "err <code>\n<msg>"  failure; <code> is the numeric
+///                                         txmod StatusCode, <msg> the
+///                                         full message (may be multiline)
+///
+/// Verbs:
+///   ping                 liveness probe; body empty -> ok
+///   begin                open this connection's session (one at a time)
+///   execute <txn text>   run a transaction in the open session
+///   commit               first-committer-wins commit of the session
+///   abort                discard the session
+///   run <txn text>       one-shot Begin+Execute+Commit with server-side
+///                        conflict retry under this connection's policy
+///   show <relation>      sorted tuples of a relation, one line per tuple
+///                        of space-separated EncodeValueText encodings,
+///                        read from a fresh committed snapshot
+///   policy <body>        set this connection's run policy (key=value
+///                        lines: deadline_micros, max_attempts,
+///                        backoff_initial_micros, backoff_max_micros)
+///   stats                server + transaction-manager counters as
+///                        key=value lines
+///
+/// execute/commit/run answer with an encoded Outcome (below). A
+/// transaction that aborts cleanly (integrity alarm, validated conflict
+/// after all retries) is an OK response whose Outcome says so; err
+/// responses mean the request itself failed (parse error, session state,
+/// Unavailable backpressure/degraded mode, DeadlineExceeded).
+enum class Verb {
+  kPing,
+  kBegin,
+  kExecute,
+  kCommit,
+  kAbort,
+  kRun,
+  kShow,
+  kPolicy,
+  kStats,
+};
+
+const char* VerbName(Verb verb);
+
+struct Request {
+  Verb verb = Verb::kPing;
+  std::string body;
+};
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(const std::string& payload);
+
+struct Response {
+  /// Numeric txmod StatusCode; 0 (kOk) for success.
+  int code = 0;
+  /// Error message (err responses only).
+  std::string message;
+  /// Result payload (ok responses only).
+  std::string body;
+
+  bool ok() const { return code == 0; }
+};
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(const std::string& payload);
+
+/// Converts an error Status into an err response (status must not be OK).
+Response ErrorResponse(const Status& status);
+/// Reconstructs the Status an err response carries.
+Status ResponseStatus(const Response& response);
+
+/// The transaction outcome carried by execute/commit/run ok responses —
+/// the wire image of txn::TxnResult's client-relevant fields.
+struct Outcome {
+  bool committed = false;
+  bool conflict = false;
+  bool installed = false;
+  uint64_t commit_version = 0;
+  uint32_t attempts = 1;
+  /// Abort reason; ALWAYS the last field on the wire, consuming the
+  /// remainder of the body, so it may contain anything (newlines
+  /// included).
+  std::string reason;
+};
+
+std::string EncodeOutcome(const Outcome& outcome);
+Result<Outcome> DecodeOutcome(const std::string& body);
+
+/// key=value per line; values must not contain '\n' (stats counters and
+/// policy fields never do).
+std::string EncodeKeyValues(const std::map<std::string, std::string>& kv);
+Result<std::map<std::string, std::string>> DecodeKeyValues(
+    const std::string& body);
+
+}  // namespace txmod::net
+
+#endif  // TXMOD_NET_PROTOCOL_H_

@@ -1,0 +1,170 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/frame.h"
+#include "src/common/str_util.h"
+
+namespace txmod::net {
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+namespace {
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrCat("not an IPv4 address literal: '", host, "'"));
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  TXMOD_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return Status::Internal(StrCat("socket(): ", std::strerror(errno)));
+  }
+  // The protocol is strictly request/response per connection; disabling
+  // Nagle keeps small frames from waiting on delayed ACKs.
+  int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::Unavailable(StrCat("connect to ", host, ":", port,
+                                      " failed: ", std::strerror(errno)));
+  }
+  return sock;
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port, int backlog,
+                         uint16_t* bound_port) {
+  TXMOD_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return Status::Internal(StrCat("socket(): ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Unavailable(StrCat("bind to ", host, ":", port,
+                                      " failed: ", std::strerror(errno)));
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    return Status::Internal(StrCat("listen(): ", std::strerror(errno)));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual),
+                      &len) != 0) {
+      return Status::Internal(StrCat("getsockname(): ",
+                                     std::strerror(errno)));
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Status SendFrame(int fd, const std::string& payload) {
+  std::string framed;
+  framed.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(payload, &framed);
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(StrCat("send failed: ",
+                                        std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads exactly n bytes; `mid_message` picks the error for a premature
+/// close (clean close before the first byte of a frame is a protocol
+/// event, mid-frame it is corruption).
+Status RecvExact(int fd, char* buf, std::size_t n, bool* clean_close) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(StrCat("recv failed: ",
+                                        std::strerror(errno)));
+    }
+    if (r == 0) {
+      if (got == 0 && clean_close != nullptr) {
+        *clean_close = true;
+        return Status::Unavailable("connection closed by peer");
+      }
+      return Status::InvalidArgument("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RecvFrame(int fd, std::size_t max_payload, std::string* payload) {
+  char header[kFrameHeaderBytes];
+  bool clean_close = false;
+  TXMOD_RETURN_IF_ERROR(
+      RecvExact(fd, header, kFrameHeaderBytes, &clean_close));
+  const auto byte = [&](std::size_t i) {
+    return static_cast<uint32_t>(static_cast<unsigned char>(header[i]));
+  };
+  const uint32_t n = byte(0) | (byte(1) << 8) | (byte(2) << 16) |
+                     (byte(3) << 24);
+  if (n > max_payload) {
+    return Status::InvalidArgument(
+        StrCat("frame payload of ", n, " bytes exceeds the ", max_payload,
+               "-byte limit"));
+  }
+  payload->resize(n);
+  if (n > 0) {
+    TXMOD_RETURN_IF_ERROR(RecvExact(fd, payload->data(), n, nullptr));
+  }
+  return Status::OK();
+}
+
+}  // namespace txmod::net

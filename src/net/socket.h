@@ -1,0 +1,52 @@
+#ifndef TXMOD_NET_SOCKET_H_
+#define TXMOD_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace txmod::net {
+
+/// Minimal RAII wrapper over a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { Close(); }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// Releases ownership without closing.
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (host is a dotted-quad IPv4 literal; the
+/// loopback service layer needs no resolver).
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Binds and listens on host:port. port 0 binds an ephemeral port;
+/// *bound_port always receives the actual port.
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog, uint16_t* bound_port);
+
+/// Blocking framed I/O (src/common/frame.h framing) over a socket.
+/// SendFrame loops over short writes with SIGPIPE suppressed; RecvFrame
+/// reads exactly one frame, enforcing `max_payload` before buffering.
+/// A clean peer close at a frame boundary returns kUnavailable
+/// ("connection closed by peer"); a close mid-frame returns
+/// kInvalidArgument (truncated frame).
+Status SendFrame(int fd, const std::string& payload);
+Status RecvFrame(int fd, std::size_t max_payload, std::string* payload);
+
+}  // namespace txmod::net
+
+#endif  // TXMOD_NET_SOCKET_H_

@@ -3,8 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cctype>
+#include <cerrno>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -60,11 +64,55 @@ std::string EncodeValueText(const Value& v) {
 
 Result<Value> DecodeValueText(const std::string& text) {
   if (text == "null") return Value::Null();
+  // The i:/d: paths must be strict: a checksum passes on the whole line,
+  // so a corrupted-but-plausible payload ("i:12junk", an out-of-range
+  // digit string) would otherwise decode to a *wrong value* instead of
+  // an error — silent corruption past a passing checksum. strtoll/strtod
+  // report overflow only via errno (the return saturates), and trailing
+  // bytes only via the end pointer; both are checked.
   if (text.rfind("i:", 0) == 0) {
-    return Value::Int(std::strtoll(text.c_str() + 2, nullptr, 10));
+    const char* payload = text.c_str() + 2;
+    // strtoll/strtod skip leading whitespace; the encoder never emits
+    // any, so "i: 1" is corruption too.
+    if (std::isspace(static_cast<unsigned char>(payload[0]))) {
+      return Status::InvalidArgument(
+          StrCat("malformed int encoding: ", text));
+    }
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(payload, &end, 10);
+    if (end == payload || *end != '\0') {
+      return Status::InvalidArgument(
+          StrCat("malformed int encoding: ", text));
+    }
+    if (errno == ERANGE) {
+      return Status::InvalidArgument(
+          StrCat("int encoding out of range (does not fit int64): ", text));
+    }
+    return Value::Int(v);
   }
   if (text.rfind("d:", 0) == 0) {
-    return Value::Double(std::strtod(text.c_str() + 2, nullptr));
+    const char* payload = text.c_str() + 2;
+    if (std::isspace(static_cast<unsigned char>(payload[0]))) {
+      return Status::InvalidArgument(
+          StrCat("malformed double encoding: ", text));
+    }
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(payload, &end);
+    if (end == payload || *end != '\0') {
+      return Status::InvalidArgument(
+          StrCat("malformed double encoding: ", text));
+    }
+    // Overflow saturates to +-HUGE_VAL with ERANGE set. Underflow also
+    // sets ERANGE but yields an exactly-representable 0/denormal — the
+    // encoder's hex-float output round-trips denormals exactly, so only
+    // the saturating case is corruption.
+    if (errno == ERANGE && std::fabs(v) == HUGE_VAL) {
+      return Status::InvalidArgument(
+          StrCat("double encoding out of range: ", text));
+    }
+    return Value::Double(v);
   }
   if (text.rfind("s:\"", 0) == 0 && text.size() >= 4 && text.back() == '"') {
     std::string out;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -46,9 +47,15 @@ bool ParseWalHeader(const std::string& line, WalShardInfo* info) {
     if (i == slash) continue;
     if (!std::isdigit(static_cast<unsigned char>(rest[i]))) return false;
   }
+  // Same strtoull hygiene as the value codec: overflow saturates to
+  // ULLONG_MAX with only errno to tell — an absurd digit string must
+  // read as "not a header", not as a huge shard count. The digits-only
+  // scan above already guarantees full consumption.
+  errno = 0;
   const uint64_t k = std::strtoull(rest.substr(0, slash).c_str(), nullptr, 10);
   const uint64_t n = std::strtoull(rest.substr(slash + 1).c_str(), nullptr, 10);
-  if (n < 2 || k >= n) return false;
+  if (errno == ERANGE) return false;
+  if (n < 2 || n > kMaxProbeShards || k >= n) return false;
   info->sharded = true;
   info->shard = static_cast<uint32_t>(k);
   info->shard_count = static_cast<uint32_t>(n);
@@ -492,7 +499,10 @@ Result<std::unique_ptr<ShardedWal>> ShardedWal::Open(const std::string& path,
                                                      uint32_t shard_count,
                                                      Vfs* vfs) {
   if (vfs == nullptr) vfs = Vfs::Default();
-  uint32_t n = std::max<uint32_t>(1, shard_count);
+  // Clamp to the probe bound: discovery, reopen-wipe, and header
+  // validation all probe at most kMaxProbeShards streams, so a larger
+  // layout could be written but never fully read back.
+  uint32_t n = std::min(std::max<uint32_t>(1, shard_count), kMaxProbeShards);
   // An existing sharded layout wins over the configured count: adopting
   // a different n would scramble the routing the on-disk records were
   // written under. (A legacy v1 file alone does not constrain n — it

@@ -198,19 +198,39 @@ int64_t TxnManager::ComputeBackoffMicros(const TxnManagerOptions& options,
 }
 
 Result<TxnResult> TxnManager::Run(const algebra::Transaction& txn) {
+  return Run(txn, RunPolicy{});
+}
+
+Result<TxnResult> TxnManager::Run(const algebra::Transaction& txn,
+                                  const RunPolicy& policy) {
+  // Resolve the effective policy: per-call overrides where set, the
+  // manager-wide options otherwise. The jitter seed is never overridden —
+  // one manager, one deterministic schedule.
+  TxnManagerOptions effective = options_;
+  if (policy.max_attempts > 0) effective.max_attempts = policy.max_attempts;
+  if (policy.retry_backoff_initial_micros >= 0) {
+    effective.retry_backoff_initial_micros =
+        policy.retry_backoff_initial_micros;
+  }
+  if (policy.retry_backoff_max_micros >= 0) {
+    effective.retry_backoff_max_micros = policy.retry_backoff_max_micros;
+  }
+  if (policy.run_timeout_micros >= 0) {
+    effective.run_timeout_micros = policy.run_timeout_micros;
+  }
   const uint64_t run_seq = run_seq_.fetch_add(1);
   const int64_t deadline =
-      options_.run_timeout_micros > 0
-          ? vfs_->NowMicros() + options_.run_timeout_micros
+      effective.run_timeout_micros > 0
+          ? vfs_->NowMicros() + effective.run_timeout_micros
           : 0;
   TxnResult last;
-  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+  for (int attempt = 1; attempt <= effective.max_attempts; ++attempt) {
     if (attempt > 1) {
       // Conflict loser about to retry: back off (bounded exponential,
       // jittered) without overrunning the caller's time budget. The
       // sleep and the clock both go through the Vfs, so tests drive
       // this deterministically with a virtual clock.
-      const int64_t backoff = ComputeBackoffMicros(options_, run_seq,
+      const int64_t backoff = ComputeBackoffMicros(effective, run_seq,
                                                    attempt);
       if (deadline > 0 && vfs_->NowMicros() + backoff > deadline) {
         stats_.deadlines_exceeded.fetch_add(1);
@@ -237,10 +257,15 @@ Result<TxnResult> TxnManager::Run(const algebra::Transaction& txn) {
 }
 
 Result<TxnResult> TxnManager::RunText(const std::string& txn_text) {
+  return RunText(txn_text, RunPolicy{});
+}
+
+Result<TxnResult> TxnManager::RunText(const std::string& txn_text,
+                                      const RunPolicy& policy) {
   algebra::AlgebraParser parser(&db_->schema());
   TXMOD_ASSIGN_OR_RETURN(algebra::Transaction txn,
                          parser.ParseTransaction(txn_text));
-  return Run(txn);
+  return Run(txn, policy);
 }
 
 bool TxnManager::HasConflictLocked(const TxnSession& session,

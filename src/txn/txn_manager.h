@@ -125,6 +125,19 @@ struct TxnManagerStats {
   uint64_t cow_overlay_collapses = 0;
 };
 
+/// Per-call overrides of TxnManager::Run's retry/deadline policy — the
+/// network layer applies one per client connection so two clients of one
+/// manager can run under different deadlines and backoff schedules.
+/// Negative (or, for max_attempts, non-positive) fields inherit the
+/// manager-wide TxnManagerOptions value; timeout_micros = 0 explicitly
+/// disables the deadline even when the manager has one.
+struct RunPolicy {
+  int max_attempts = 0;
+  int64_t retry_backoff_initial_micros = -1;
+  int64_t retry_backoff_max_micros = -1;
+  int64_t run_timeout_micros = -1;
+};
+
 class TxnManager;
 
 /// One optimistic transaction's lifecycle against a pinned snapshot:
@@ -292,8 +305,15 @@ class TxnManager {
   /// I/O faults, and Unavailable (degraded mode) are terminal.
   Result<TxnResult> Run(const algebra::Transaction& txn);
 
+  /// Run under per-call policy overrides (see RunPolicy): the same retry
+  /// loop, but attempts/backoff/deadline come from `policy` where set.
+  Result<TxnResult> Run(const algebra::Transaction& txn,
+                        const RunPolicy& policy);
+
   /// Parses against the committed schema, then Run.
   Result<TxnResult> RunText(const std::string& txn_text);
+  Result<TxnResult> RunText(const std::string& txn_text,
+                            const RunPolicy& policy);
 
   /// Checkpoints the committed state (atomic temp+rename+fsync) and
   /// truncates the WAL. Commits are blocked for the duration. Requires

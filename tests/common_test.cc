@@ -1,3 +1,4 @@
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -154,6 +155,47 @@ TEST(LexerTest, DescribePosition) {
   auto tokens = Tokenize("a\nbb ccc");
   ASSERT_TRUE(tokens.ok());
   EXPECT_EQ(DescribePosition("a\nbb ccc", (*tokens)[2]), "line 2, column 4");
+}
+
+TEST(LexerTest, Int64BoundariesLexExactly) {
+  auto tokens = Tokenize("9223372036854775807");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[0].int_value, INT64_MAX);
+  // INT64_MIN's digits: the lexer sees '-' as an operator, so the
+  // magnitude 9223372036854775808 alone must be rejected — it does not
+  // fit int64 as a positive literal.
+  EXPECT_FALSE(Tokenize("9223372036854775808").ok());
+}
+
+TEST(LexerTest, IntOverflowIsAnErrorNotSaturation) {
+  // Pre-fix, strtoll silently saturated these to INT64_MAX: a literal
+  // the user wrote was replaced by a different number.
+  for (const char* text :
+       {"9223372036854775808", "99999999999999999999",
+        "184467440737095516150", "123456789012345678901234567890"}) {
+    auto tokens = Tokenize(text);
+    ASSERT_FALSE(tokens.ok()) << text;
+    EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(tokens.status().message().find("out of range"),
+              std::string::npos)
+        << tokens.status().ToString();
+  }
+}
+
+TEST(LexerTest, FloatOverflowIsAnErrorUnderflowIsNot) {
+  // Overflow saturates strtod to +-HUGE_VAL with ERANGE: reject.
+  EXPECT_FALSE(Tokenize("1e999").ok());
+  EXPECT_FALSE(Tokenize("1e309").ok());
+  // Large-but-representable is fine.
+  auto big = Tokenize("1e308");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ((*big)[0].kind, TokenKind::kFloat);
+  // Underflow also raises ERANGE but yields a representable denormal or
+  // zero — a usable value, not silent corruption; it must lex.
+  auto tiny = Tokenize("1e-400");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ((*tiny)[0].kind, TokenKind::kFloat);
 }
 
 }  // namespace

@@ -10,7 +10,9 @@
 #include "gtest/gtest.h"
 #include "src/algebra/parser.h"
 #include "src/calculus/parser.h"
+#include "src/common/frame.h"
 #include "src/common/str_util.h"
+#include "src/net/protocol.h"
 #include "src/rules/rule_parser.h"
 #include "tests/test_util.h"
 
@@ -103,6 +105,55 @@ TEST_P(FuzzTest, TruncationsOfValidInputsFailCleanly) {
   for (int i = 0; i < 100; ++i) {
     (void)calculus::ParseFormula(valid_formula.substr(0, cut_formula(gen)));
     (void)parser.ParseProgram(valid_program.substr(0, cut_program(gen)));
+  }
+}
+
+TEST_P(FuzzTest, WireCodecsNeverCrashOnRandomBytes) {
+  // The network-facing decoders (frame, request, response, outcome,
+  // key-value) accept bytes straight off a socket: arbitrary input must
+  // produce a message or a clean error, never a crash, hang, or
+  // out-of-bounds read.
+  std::mt19937 gen(GetParam() + 400);
+  std::uniform_int_distribution<int> len(0, 120);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int i = 0; i < 300; ++i) {
+    std::string input;
+    const int n = len(gen);
+    for (int b = 0; b < n; ++b) {
+      input.push_back(static_cast<char>(byte(gen)));
+    }
+    std::string payload;
+    std::size_t consumed = 0;
+    (void)TryDecodeFrame(input, 0, 4096, &payload, &consumed);
+    (void)net::DecodeRequest(input);
+    (void)net::DecodeResponse(input);
+    (void)net::DecodeOutcome(input);
+    (void)net::DecodeKeyValues(input);
+  }
+}
+
+TEST_P(FuzzTest, WireCodecMutationsOfValidMessagesFailCleanly) {
+  // Truncations and single-byte corruptions of well-formed messages:
+  // decoding either succeeds (the mutation kept it well-formed) or
+  // fails with a Status — and every successful decode re-encodes.
+  net::Outcome outcome;
+  outcome.committed = true;
+  outcome.commit_version = 1234567;
+  outcome.attempts = 3;
+  outcome.reason = "multi\nline reason";
+  const std::string valid = net::EncodeOutcome(outcome);
+  std::mt19937 gen(GetParam() + 500);
+  std::uniform_int_distribution<std::size_t> cut(0, valid.size());
+  std::uniform_int_distribution<std::size_t> pos(0, valid.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int i = 0; i < 200; ++i) {
+    (void)net::DecodeOutcome(valid.substr(0, cut(gen)));
+    std::string mutated = valid;
+    mutated[pos(gen)] = static_cast<char>(byte(gen));
+    auto decoded = net::DecodeOutcome(mutated);
+    if (decoded.ok()) {
+      (void)net::EncodeOutcome(*decoded);
+    }
   }
 }
 

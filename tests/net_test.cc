@@ -1,0 +1,239 @@
+// Wire-protocol codec semantics, no sockets: frame encode/decode over
+// partial buffers and the over-limit path, request/response/outcome/
+// key-value message codecs, and their hostile-input rejections. The
+// live server (threads + TCP) is exercised in tests/net_server_test.cc.
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/common/frame.h"
+#include "src/net/protocol.h"
+#include "tests/test_util.h"
+
+namespace txmod::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+TEST(FrameTest, RoundTripsPayloads) {
+  for (const std::string& payload :
+       {std::string(), std::string("x"), std::string("hello\nworld"),
+        std::string(100000, 'q'), std::string("\0\xff\x7f binary", 10)}) {
+    std::string buffer;
+    AppendFrame(payload, &buffer);
+    ASSERT_EQ(buffer.size(), kFrameHeaderBytes + payload.size());
+    std::string decoded;
+    std::size_t consumed = 0;
+    ASSERT_EQ(TryDecodeFrame(buffer, 0, kDefaultMaxFramePayload, &decoded,
+                             &consumed),
+              FrameDecode::kFrame);
+    EXPECT_EQ(decoded, payload);
+    EXPECT_EQ(consumed, buffer.size());
+  }
+}
+
+TEST(FrameTest, NeedsMoreOnEveryPartialPrefix) {
+  std::string buffer;
+  AppendFrame("partial-frame-payload", &buffer);
+  std::string decoded;
+  std::size_t consumed = 0;
+  for (std::size_t len = 0; len < buffer.size(); ++len) {
+    EXPECT_EQ(TryDecodeFrame(buffer.substr(0, len), 0,
+                             kDefaultMaxFramePayload, &decoded, &consumed),
+              FrameDecode::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(FrameTest, DecodesBackToBackFramesAtOffsets) {
+  std::string buffer;
+  AppendFrame("first", &buffer);
+  AppendFrame("", &buffer);
+  AppendFrame("third", &buffer);
+  std::size_t offset = 0;
+  std::string decoded;
+  std::size_t consumed = 0;
+  ASSERT_EQ(TryDecodeFrame(buffer, offset, kDefaultMaxFramePayload, &decoded,
+                           &consumed),
+            FrameDecode::kFrame);
+  EXPECT_EQ(decoded, "first");
+  offset += consumed;
+  ASSERT_EQ(TryDecodeFrame(buffer, offset, kDefaultMaxFramePayload, &decoded,
+                           &consumed),
+            FrameDecode::kFrame);
+  EXPECT_EQ(decoded, "");
+  offset += consumed;
+  ASSERT_EQ(TryDecodeFrame(buffer, offset, kDefaultMaxFramePayload, &decoded,
+                           &consumed),
+            FrameDecode::kFrame);
+  EXPECT_EQ(decoded, "third");
+  offset += consumed;
+  EXPECT_EQ(offset, buffer.size());
+  EXPECT_EQ(TryDecodeFrame(buffer, offset, kDefaultMaxFramePayload, &decoded,
+                           &consumed),
+            FrameDecode::kNeedMore);
+}
+
+TEST(FrameTest, RejectsOverLimitDeclaredLength) {
+  std::string buffer;
+  AppendFrame("0123456789", &buffer);
+  std::string decoded;
+  std::size_t consumed = 123;
+  EXPECT_EQ(TryDecodeFrame(buffer, 0, /*max_payload=*/9, &decoded, &consumed),
+            FrameDecode::kTooLarge);
+  EXPECT_EQ(consumed, 0u) << "an over-limit frame must not be consumed";
+  // The limit is inclusive.
+  EXPECT_EQ(TryDecodeFrame(buffer, 0, /*max_payload=*/10, &decoded,
+                           &consumed),
+            FrameDecode::kFrame);
+}
+
+// ---------------------------------------------------------------------------
+// Request codec.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTripsEveryVerb) {
+  for (const Verb verb :
+       {Verb::kPing, Verb::kBegin, Verb::kExecute, Verb::kCommit,
+        Verb::kAbort, Verb::kRun, Verb::kShow, Verb::kPolicy, Verb::kStats}) {
+    Request request{verb, "body line 1\nline 2"};
+    TXMOD_ASSERT_OK_AND_ASSIGN(const Request decoded,
+                               DecodeRequest(EncodeRequest(request)));
+    EXPECT_EQ(decoded.verb, verb);
+    EXPECT_EQ(decoded.body, request.body);
+  }
+}
+
+TEST(ProtocolTest, RequestRejectsUnknownVerbs) {
+  for (const std::string& payload :
+       {std::string("frobnicate\n"), std::string(""), std::string("PING\n"),
+        std::string("begin extra-token\n"), std::string(" begin\n")}) {
+    EXPECT_FALSE(DecodeRequest(payload).ok()) << "payload: " << payload;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Response codec.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, ResponseRoundTripsOkAndErr) {
+  Response ok;
+  ok.body = "line\nanother";
+  TXMOD_ASSERT_OK_AND_ASSIGN(Response decoded,
+                             DecodeResponse(EncodeResponse(ok)));
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.body, ok.body);
+
+  const Status unavailable =
+      Status::Unavailable("commit budget saturated\nsecond line");
+  TXMOD_ASSERT_OK_AND_ASSIGN(
+      decoded, DecodeResponse(EncodeResponse(ErrorResponse(unavailable))));
+  EXPECT_FALSE(decoded.ok());
+  const Status restored = ResponseStatus(decoded);
+  EXPECT_EQ(restored.code(), unavailable.code());
+  EXPECT_EQ(restored.message(), unavailable.message());
+}
+
+TEST(ProtocolTest, ResponseRejectsMalformedHeaders) {
+  for (const std::string& payload :
+       {std::string("yes\n"), std::string("err\nmsg"),
+        std::string("err \nmsg"), std::string("err 0\nmsg"),
+        std::string("err 99\nmsg"), std::string("err -3\nmsg"),
+        std::string("err 3x\nmsg"), std::string("ok extra\nbody")}) {
+    EXPECT_FALSE(DecodeResponse(payload).ok()) << "payload: " << payload;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Outcome codec.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, OutcomeRoundTripsIncludingMultilineReason) {
+  Outcome outcome;
+  outcome.committed = false;
+  outcome.conflict = true;
+  outcome.installed = false;
+  outcome.commit_version = 0xFFFFFFFFFFFFFFFFull;
+  outcome.attempts = 8;
+  outcome.reason = "conflict chain:\n  v12 wrote fk_rel\n  v13 wrote key=1";
+  TXMOD_ASSERT_OK_AND_ASSIGN(const Outcome decoded,
+                             DecodeOutcome(EncodeOutcome(outcome)));
+  EXPECT_EQ(decoded.committed, outcome.committed);
+  EXPECT_EQ(decoded.conflict, outcome.conflict);
+  EXPECT_EQ(decoded.installed, outcome.installed);
+  EXPECT_EQ(decoded.commit_version, outcome.commit_version);
+  EXPECT_EQ(decoded.attempts, outcome.attempts);
+  EXPECT_EQ(decoded.reason, outcome.reason);
+}
+
+TEST(ProtocolTest, OutcomeRejectsMissingAndMalformedFields) {
+  const std::string good = EncodeOutcome(Outcome{});
+  ASSERT_TRUE(DecodeOutcome(good).ok());
+  for (const std::string& body :
+       {std::string(""), std::string("committed=1\n"),
+        std::string("committed=2\nconflict=0\ninstalled=0\nversion=0\n"
+                    "attempts=1\nreason="),
+        std::string("committed=1\nconflict=0\ninstalled=0\nversion=-1\n"
+                    "attempts=1\nreason="),
+        std::string("committed=1\nconflict=0\ninstalled=0\nversion=1x\n"
+                    "attempts=1\nreason="),
+        std::string("conflict=0\ncommitted=1\ninstalled=0\nversion=0\n"
+                    "attempts=1\nreason=")}) {
+    EXPECT_FALSE(DecodeOutcome(body).ok()) << "body: " << body;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Key-value codec.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, KeyValuesRoundTrip) {
+  std::map<std::string, std::string> kv = {
+      {"deadline_micros", "250000"},
+      {"max_attempts", "4"},
+      {"note", "spaces and = inside values are fine"},
+  };
+  TXMOD_ASSERT_OK_AND_ASSIGN(const auto decoded,
+                             DecodeKeyValues(EncodeKeyValues(kv)));
+  EXPECT_EQ(decoded, kv);
+  TXMOD_ASSERT_OK_AND_ASSIGN(const auto empty, DecodeKeyValues(""));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ProtocolTest, KeyValuesRejectMalformedLines) {
+  EXPECT_FALSE(DecodeKeyValues("no-equals-sign\n").ok());
+  EXPECT_FALSE(DecodeKeyValues("=value-without-key\n").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized codec battery: arbitrary bytes must never round-trip into
+// a different message, and decoding must never crash.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, RandomizedRequestBodiesSurviveRoundTrip) {
+  std::mt19937 rng(20260808);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string body;
+    const std::size_t len = rng() % 200;
+    for (std::size_t i = 0; i < len; ++i) {
+      body.push_back(static_cast<char>(rng() % 256));
+    }
+    const Request request{Verb::kExecute, body};
+    TXMOD_ASSERT_OK_AND_ASSIGN(const Request decoded,
+                               DecodeRequest(EncodeRequest(request)));
+    EXPECT_EQ(decoded.body, body);
+
+    Outcome outcome;
+    outcome.reason = body;  // reason consumes the remainder: any bytes
+    TXMOD_ASSERT_OK_AND_ASSIGN(const Outcome round,
+                               DecodeOutcome(EncodeOutcome(outcome)));
+    EXPECT_EQ(round.reason, body);
+  }
+}
+
+}  // namespace
+}  // namespace txmod::net
