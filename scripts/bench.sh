@@ -60,12 +60,49 @@ fi
 outdir=build/bench-results
 mkdir -p "$outdir"
 
+# Stamps hardware metadata into a bench JSON's "context" block: core
+# count, CPU model, and the 1-minute load average at capture time.
+# Thread-scaling numbers are meaningless without the first two, and the
+# load average flags runs taken on a busy machine (treat those with
+# suspicion). Every JSON written by this script carries the stamp —
+# including the checked-in BENCH_*.json baselines on --update-baseline.
+stamp_hardware() {
+  local json="$1"
+  python3 - "$json" <<'PY'
+import json, os, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+
+model = "unknown"
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.startswith("model name"):
+                model = line.split(":", 1)[1].strip()
+                break
+except OSError:
+    pass
+
+report.setdefault("context", {})["hardware"] = {
+    "nproc": os.cpu_count() or 0,
+    "cpu_model": model,
+    "load_avg_1m": round(os.getloadavg()[0], 2),
+}
+with open(path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+PY
+}
+
 run_one() {
   local bin="$1"; shift
   local name
   name=$(basename "$bin")
   echo "== $name =="
   "$bin" --json="$outdir/$name.json" "$@"
+  stamp_hardware "$outdir/$name.json"
 }
 
 case "$mode" in

@@ -145,6 +145,26 @@ class EmptyCursor : public TupleCursor {
   }
 };
 
+/// Scans a run of tuple pointers — the morsel input stream of
+/// NodeLocalKernel. The pointers alias tuples owned elsewhere (fragment
+/// relations), which must stay alive and unmodified for the cursor's
+/// lifetime.
+class VectorScanCursor : public TupleCursor {
+ public:
+  VectorScanCursor(const Tuple* const* tuples, std::size_t count)
+      : tuples_(tuples), count_(count) {}
+
+  Result<const Tuple*> Next() override {
+    if (i_ == count_) return static_cast<const Tuple*>(nullptr);
+    return tuples_[i_++];
+  }
+
+ private:
+  const Tuple* const* tuples_;
+  std::size_t count_;
+  std::size_t i_ = 0;
+};
+
 /// Re-yields one already-pulled tuple ahead of the rest of the stream:
 /// the peek-then-continue pattern. The short-circuit joins peek their
 /// differential-bounded side to decide whether the base side needs
@@ -284,11 +304,16 @@ class ProductCursor : public TupleCursor {
 /// extra non-equality conjuncts) stay correct.
 class HashJoinCursor : public TupleCursor {
  public:
+  /// `shared_table` (morsel execution): a table over the build side
+  /// prepared once per fragment and shared, read-only, by every morsel's
+  /// cursor — this cursor then does no build work, like the
+  /// RelationIndexView fast path.
   HashJoinCursor(RelExprKind kind, const ScalarExpr* pred, Stream left,
                  RelHandle right, RelationIndexView view,
                  std::vector<int> lattrs, std::vector<int> rattrs,
                  std::size_t out_arity, EvalStats* stats,
-                 const std::vector<Value>* params)
+                 const std::vector<Value>* params,
+                 const RelationIndex::Map* shared_table = nullptr)
       : kind_(kind),
         pred_(pred),
         left_(std::move(left)),
@@ -298,11 +323,14 @@ class HashJoinCursor : public TupleCursor {
         stats_(stats),
         params_(params),
         scratch_(std::vector<Value>(out_arity)) {
-    if (!view_.valid()) {
+    if (shared_table != nullptr) {
+      table_ = shared_table;
+    } else if (!view_.valid()) {
       own_table_.reserve(right_.get().size());
       for (const Tuple& rt : right_.get()) {
         own_table_.emplace(EquiKeyHash(rt, rattrs), &rt);
       }
+      table_ = &own_table_;
     }
   }
 
@@ -327,7 +355,7 @@ class HashJoinCursor : public TupleCursor {
         CountProbe(stats_, 1);
         cand_ = view_.Probe(h);
       } else {
-        auto [begin, end] = std::as_const(own_table_).equal_range(h);
+        auto [begin, end] = table_->equal_range(h);
         it_ = begin;
         end_ = end;
       }
@@ -369,6 +397,7 @@ class HashJoinCursor : public TupleCursor {
   EvalStats* stats_;
   const std::vector<Value>* params_;
   RelationIndex::Map own_table_;
+  const RelationIndex::Map* table_ = nullptr;  // own_table_ or shared
   Tuple scratch_;
   const Tuple* lt_ = nullptr;
   RelationIndexView::Candidates cand_;
@@ -1632,6 +1661,184 @@ Result<Relation> ExecuteNodeLocal(const PhysicalNode& n, const Relation& left,
                  " is not a fragment-local operator"));
   }
   return Drain(&s);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-granular kernels (NodeLocalKernel): the per-fragment prepared
+// state plus a per-morsel cursor run. The cursor choices mirror
+// ExecuteNodeLocal exactly; only the left stream (a pointer slice instead
+// of a fragment scan) and the hash-join build (shared across morsels
+// instead of per call) differ.
+// ---------------------------------------------------------------------------
+
+struct NodeLocalKernel::State {
+  const PhysicalNode* node = nullptr;
+  std::shared_ptr<const RelationSchema> left_schema;
+  std::shared_ptr<const RelationSchema> out_schema;
+  const Relation* right = nullptr;
+  const std::vector<Value>* params = nullptr;
+  /// Equality joins: the build-side table, built once in Prepare and
+  /// probed read-only by every morsel's cursor.
+  RelationIndex::Map table;
+  bool hash_join = false;
+};
+
+NodeLocalKernel::NodeLocalKernel(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+NodeLocalKernel::NodeLocalKernel(NodeLocalKernel&&) noexcept = default;
+NodeLocalKernel& NodeLocalKernel::operator=(NodeLocalKernel&&) noexcept =
+    default;
+NodeLocalKernel::~NodeLocalKernel() = default;
+
+const std::shared_ptr<const RelationSchema>& NodeLocalKernel::output_schema()
+    const {
+  return state_->out_schema;
+}
+
+Result<NodeLocalKernel> NodeLocalKernel::Prepare(
+    const PhysicalNode& node,
+    std::shared_ptr<const RelationSchema> left_schema, const Relation* right,
+    EvalStats* stats, const std::vector<Value>* params) {
+  auto st = std::make_unique<State>();
+  st->node = &node;
+  st->left_schema = std::move(left_schema);
+  st->right = right;
+  st->params = params;
+  const RelExpr& e = *node.logical;
+  switch (node.op) {
+    case PhysOpKind::kSelect:
+      st->out_schema = st->left_schema;
+      break;
+    case PhysOpKind::kProject: {
+      const std::vector<ProjectionItem>& items = e.projections();
+      std::vector<Attribute> attrs;
+      attrs.reserve(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        attrs.push_back(
+            Attribute{ProjectionItemName(items[i], *st->left_schema, i),
+                      InferScalarType(items[i].expr, *st->left_schema,
+                                      params)});
+      }
+      st->out_schema = MakeSchema(std::move(attrs));
+      break;
+    }
+    case PhysOpKind::kHashJoin:
+    case PhysOpKind::kIndexLookupJoin:
+    case PhysOpKind::kNestedLoopJoin: {
+      if (right == nullptr) return Status::Internal("join needs a right");
+      st->out_schema =
+          e.kind() == RelExprKind::kJoin
+              ? MakeSchema(ConcatAttrs(*st->left_schema, right->schema()))
+              : st->left_schema;
+      CountScan(stats, right->size());
+      if (!node.right_keys.empty()) {
+        st->hash_join = true;
+        st->table.reserve(right->size());
+        for (const Tuple& rt : *right) {
+          st->table.emplace(EquiKeyHash(rt, node.right_keys), &rt);
+        }
+      }
+      break;
+    }
+    case PhysOpKind::kUnion: {
+      if (right == nullptr) return Status::Internal("union needs a right");
+      if (st->left_schema->arity() != right->arity()) {
+        return Status::InvalidArgument(
+            "set operation over different arities");
+      }
+      st->out_schema = st->left_schema;
+      break;
+    }
+    case PhysOpKind::kHashSetOp:
+    case PhysOpKind::kIndexSetOp: {
+      if (right == nullptr) return Status::Internal("set op needs a right");
+      if (st->left_schema->arity() != right->arity()) {
+        return Status::InvalidArgument(
+            "set operation over different arities");
+      }
+      st->out_schema = st->left_schema;
+      CountScan(stats, right->size());
+      break;
+    }
+    case PhysOpKind::kScan:
+    case PhysOpKind::kLiteral:
+    case PhysOpKind::kProduct:
+    case PhysOpKind::kAggregate:
+      return Status::Internal(
+          StrCat(PhysOpKindToString(node.op),
+                 " has no morsel-granular form"));
+  }
+  return NodeLocalKernel(std::move(st));
+}
+
+Status NodeLocalKernel::RunMorsel(const Tuple* const* tuples,
+                                  std::size_t count, std::vector<Tuple>* out,
+                                  EvalStats* stats) const {
+  const State& st = *state_;
+  const PhysicalNode& n = *st.node;
+  const RelExpr& e = *n.logical;
+  Stream left;
+  left.schema = st.left_schema;
+  left.cursor = std::make_unique<VectorScanCursor>(tuples, count);
+  Stream s;
+  s.schema = st.out_schema;
+  switch (n.op) {
+    case PhysOpKind::kSelect:
+      s.cursor = std::make_unique<SelectCursor>(std::move(left),
+                                                &e.predicate(), stats,
+                                                st.params);
+      break;
+    case PhysOpKind::kProject:
+      s.cursor = std::make_unique<ProjectCursor>(std::move(left),
+                                                 &e.projections(), stats,
+                                                 st.params);
+      break;
+    case PhysOpKind::kHashJoin:
+    case PhysOpKind::kIndexLookupJoin:
+    case PhysOpKind::kNestedLoopJoin:
+      if (st.hash_join) {
+        s.cursor = std::make_unique<HashJoinCursor>(
+            e.kind(), &e.predicate(), std::move(left),
+            RelHandle::Borrowed(st.right), /*view=*/RelationIndexView(),
+            n.left_keys, n.right_keys, st.out_schema->arity(), stats,
+            st.params, &st.table);
+      } else {
+        s.cursor = std::make_unique<NestedJoinCursor>(
+            e.kind(), &e.predicate(), std::move(left),
+            RelHandle::Borrowed(st.right), st.out_schema->arity(), stats,
+            st.params);
+      }
+      break;
+    case PhysOpKind::kUnion: {
+      // Left- and right-side morsels pass through identically; the empty
+      // second stream keeps UnionCursor's per-tuple counting intact.
+      Stream none;
+      none.schema = st.out_schema;
+      none.cursor = std::make_unique<EmptyCursor>();
+      s.cursor = std::make_unique<UnionCursor>(std::move(left),
+                                               std::move(none), stats);
+      break;
+    }
+    case PhysOpKind::kHashSetOp:
+    case PhysOpKind::kIndexSetOp:
+      s.cursor = std::make_unique<FilterSetOpCursor>(
+          std::move(left), RelHandle::Borrowed(st.right),
+          /*want_in=*/e.kind() == RelExprKind::kIntersect, stats);
+      break;
+    case PhysOpKind::kScan:
+    case PhysOpKind::kLiteral:
+    case PhysOpKind::kProduct:
+    case PhysOpKind::kAggregate:
+      return Status::Internal(
+          StrCat(PhysOpKindToString(n.op),
+                 " has no morsel-granular form"));
+  }
+  for (;;) {
+    TXMOD_ASSIGN_OR_RETURN(const Tuple* t, s.cursor->Next());
+    if (t == nullptr) break;
+    out->push_back(*t);
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

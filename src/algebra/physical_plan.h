@@ -145,6 +145,53 @@ Result<Relation> ExecuteNodeLocal(const PhysicalNode& node,
                                   EvalStats* stats = nullptr,
                                   const std::vector<Value>* params = nullptr);
 
+/// Morsel-granular form of ExecuteNodeLocal for the parallel runtime's
+/// work-stealing phases. Prepare does the once-per-fragment work — output
+/// schema resolution, build-side scan counting, and the transient hash
+/// table over `right` for equality joins — and the returned kernel then
+/// executes fixed-size runs ("morsels") of input-tuple pointers through
+/// the same cursor implementations serial execution runs, so operator
+/// semantics cannot diverge between morsel and whole-fragment execution.
+///
+/// RunMorsel is const and thread-safe for concurrent calls: morsels only
+/// read the prepared state, and each call owns its output buffer and
+/// EvalStats (per-worker counters — no shared counter to contend on or
+/// false-share). Union nodes treat left- and right-side tuples
+/// identically, so callers feed both sides' tuples as morsels; every
+/// other operator morselizes the left (probe) side only, with `right`
+/// borrowed for the whole phase. `node`, `right`, and `params` must
+/// outlive the kernel; the tuples behind the pointers must stay alive and
+/// unmodified until the phase ends.
+class NodeLocalKernel {
+ public:
+  /// `left_schema` is the schema of the fragments whose tuples the
+  /// morsels slice; build-side charges land in `stats` here, exactly
+  /// once per fragment, matching ExecuteNodeLocal's accounting.
+  static Result<NodeLocalKernel> Prepare(
+      const PhysicalNode& node,
+      std::shared_ptr<const RelationSchema> left_schema,
+      const Relation* right, EvalStats* stats,
+      const std::vector<Value>* params = nullptr);
+
+  NodeLocalKernel(NodeLocalKernel&&) noexcept;
+  NodeLocalKernel& operator=(NodeLocalKernel&&) noexcept;
+  ~NodeLocalKernel();
+
+  /// Executes the operator over the `count` tuples at `tuples`, appending
+  /// every output row to `out` (duplicates included; the caller's merge
+  /// into a set-semantics Relation dedups, so morsel boundaries and merge
+  /// order cannot change the final state).
+  Status RunMorsel(const Tuple* const* tuples, std::size_t count,
+                   std::vector<Tuple>* out, EvalStats* stats) const;
+
+  const std::shared_ptr<const RelationSchema>& output_schema() const;
+
+ private:
+  struct State;
+  explicit NodeLocalKernel(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
+};
+
 /// Materializes a literal node (validates per-tuple arity, infers column
 /// types). Shared by both engines. A canonical literal
 /// (literal_param_base() >= 0) materializes from `params` instead of its

@@ -9,8 +9,10 @@ namespace txmod::parallel {
 
 /// Deterministic cost model of the simulated POOMA multiprocessor [22].
 ///
-/// The reproduction host is a single-core machine, so the E5 scaling
-/// experiment cannot measure wall-clock speedup; instead every parallel
+/// Kept as the opt-in *simulate* mode next to the real threaded runtime:
+/// the simulated makespan is a deterministic function of the data alone,
+/// so the determinism suite can diff threaded runs against it, and the
+/// scaling experiments keep a machine-independent series. Every parallel
 /// operator phase records per-node local work and inter-node transfers,
 /// and the simulated makespan is
 ///
@@ -28,7 +30,23 @@ struct CostModel {
   double per_message_us = 1000.0;    // per node-to-node message setup
 };
 
-/// Work accounting for one parallel execution.
+/// One recorded operator phase: the simulated charge next to the wall
+/// clock actually measured on this host. `wall_us` is 0 in simulate mode
+/// (phases run inline; only the model parallelizes them) and measured
+/// around the pool phase in threaded mode.
+struct PhaseTiming {
+  const char* label = "phase";
+  double simulated_us = 0;
+  double wall_us = 0;
+  uint64_t max_local = 0;     // widest node's local tuple count
+  uint64_t transferred = 0;   // tuples that crossed the interconnect
+  uint64_t messages = 0;      // simulated message setups (cost model)
+};
+
+/// Work accounting for one parallel execution: the simulated POOMA
+/// makespan (unchanged math, pinned by the cost tests) plus per-phase
+/// measured wall-clock timings and exchange-queue traffic from the
+/// threaded runtime.
 class ParallelStats {
  public:
   explicit ParallelStats(int num_nodes = 1)
@@ -38,33 +56,57 @@ class ParallelStats {
   /// `transferred` tuples crossed the interconnect in `messages` messages.
   void AddPhase(const std::vector<uint64_t>& local, uint64_t transferred,
                 uint64_t messages, const CostModel& model) {
+    AddPhaseTimed("phase", local, transferred, messages, model,
+                  /*wall_us=*/0);
+  }
+
+  /// AddPhase plus the phase's label and measured wall-clock duration.
+  /// The simulated charge is computed identically in both modes — it
+  /// depends only on the tuple counts, never on the real timing.
+  void AddPhaseTimed(const char* label, const std::vector<uint64_t>& local,
+                     uint64_t transferred, uint64_t messages,
+                     const CostModel& model, double wall_us) {
     uint64_t max_local = 0;
     for (uint64_t l : local) max_local = std::max(max_local, l);
-    simulated_us_ += static_cast<double>(max_local) * model.per_tuple_local_us;
-    simulated_us_ += static_cast<double>(transferred) /
-                     static_cast<double>(num_nodes_) *
-                     model.per_tuple_comm_us;
-    simulated_us_ += static_cast<double>(messages) * model.per_message_us;
+    double sim = static_cast<double>(max_local) * model.per_tuple_local_us;
+    sim += static_cast<double>(transferred) /
+           static_cast<double>(num_nodes_) * model.per_tuple_comm_us;
+    sim += static_cast<double>(messages) * model.per_message_us;
+    simulated_us_ += sim;
+    measured_us_ += wall_us;
     tuples_transferred_ += transferred;
     messages_ += messages;
     ++phases_;
     for (uint64_t l : local) total_local_tuples_ += l;
+    timings_.push_back(
+        PhaseTiming{label, sim, wall_us, max_local, transferred, messages});
   }
 
+  /// Real exchange-queue batches moved during threaded redistribution
+  /// (the measured counterpart of the simulated `messages`).
+  void AddExchangeBatches(uint64_t batches) { exchange_batches_ += batches; }
+
   double simulated_us() const { return simulated_us_; }
+  /// Measured wall-clock total across phases; 0 in simulate mode.
+  double measured_us() const { return measured_us_; }
   uint64_t tuples_transferred() const { return tuples_transferred_; }
   uint64_t messages() const { return messages_; }
+  uint64_t exchange_batches() const { return exchange_batches_; }
   uint64_t total_local_tuples() const { return total_local_tuples_; }
   int phases() const { return phases_; }
   int num_nodes() const { return num_nodes_; }
+  const std::vector<PhaseTiming>& phase_timings() const { return timings_; }
 
  private:
   int num_nodes_;
   double simulated_us_ = 0;
+  double measured_us_ = 0;
   uint64_t tuples_transferred_ = 0;
   uint64_t messages_ = 0;
+  uint64_t exchange_batches_ = 0;
   uint64_t total_local_tuples_ = 0;
   int phases_ = 0;
+  std::vector<PhaseTiming> timings_;
 };
 
 }  // namespace txmod::parallel

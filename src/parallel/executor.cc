@@ -1,8 +1,10 @@
 #include "src/parallel/executor.h"
 
+#include <chrono>
 #include <functional>
 #include <optional>
 #include <thread>
+#include <utility>
 
 #include "src/algebra/physical_plan.h"
 #include "src/common/str_util.h"
@@ -57,7 +59,26 @@ std::vector<Attribute> ConcatAttrs(const RelationSchema& a,
 /// size_t. One named conversion point instead of a cast per call site.
 constexpr std::size_t U(int node) { return static_cast<std::size_t>(node); }
 
+/// Wall clock around one operator phase (the measured side of
+/// ParallelStats, next to the simulated makespan).
+class PhaseTimer {
+ public:
+  PhaseTimer() : t0_(std::chrono::steady_clock::now()) {}
+  double us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
 }  // namespace
+
+bool DefaultUseThreads() {
+  return std::thread::hardware_concurrency() > 1;
+}
 
 // ---------------------------------------------------------------------------
 // Implementation: one Impl per transaction execution.
@@ -66,10 +87,11 @@ constexpr std::size_t U(int node) { return static_cast<std::size_t>(node); }
 class ParallelExecutor::Impl {
  public:
   Impl(ParallelDatabase* db, const ParallelOptions& options,
-       algebra::PlanCache* plan_cache)
+       algebra::PlanCache* plan_cache, ThreadPool* pool)
       : db_(db),
         options_(options),
         plan_cache_(plan_cache),
+        pool_(pool),
         nodes_(db->num_nodes()),
         width_(U(db->num_nodes())),
         result_{false, "", ParallelStats(db->num_nodes()),
@@ -130,7 +152,10 @@ class ParallelExecutor::Impl {
                            db_->FindMutable(stmt.target));
     const RelationSchema& schema = target->fragments[0].schema();
     // Route every produced tuple to its owning fragment; a tuple produced
-    // on a different node is a transfer.
+    // on a different node is a transfer. Mutation stays on the
+    // coordinator: the differential bookkeeping below is the transaction's
+    // undo log and must observe one total order of changes.
+    const PhaseTimer timer;
     uint64_t transferred = 0;
     std::vector<uint64_t> local(width_, 0);
     for (std::size_t src = 0; src < width_; ++src) {
@@ -143,8 +168,9 @@ class ParallelExecutor::Impl {
         ApplyInsert(stmt.target, target, dst, std::move(t));
       }
     }
-    result_.stats.AddPhase(local, transferred, transferred > 0 ? 1 : 0,
-                           options_.cost_model);
+    result_.stats.AddPhaseTimed("insert", local, transferred,
+                                transferred > 0 ? 1 : 0,
+                                options_.cost_model, Wall(timer));
     return Status::OK();
   }
 
@@ -153,6 +179,7 @@ class ParallelExecutor::Impl {
     TXMOD_ASSIGN_OR_RETURN(FragmentedRelation * target,
                            db_->FindMutable(stmt.target));
     const RelationSchema& schema = target->fragments[0].schema();
+    const PhaseTimer timer;
     uint64_t transferred = 0;
     std::vector<uint64_t> local(width_, 0);
     for (std::size_t src = 0; src < width_; ++src) {
@@ -164,8 +191,9 @@ class ParallelExecutor::Impl {
         ApplyDelete(stmt.target, target, dst, t);
       }
     }
-    result_.stats.AddPhase(local, transferred, transferred > 0 ? 1 : 0,
-                           options_.cost_model);
+    result_.stats.AddPhaseTimed("delete", local, transferred,
+                                transferred > 0 ? 1 : 0,
+                                options_.cost_model, Wall(timer));
     return Status::OK();
   }
 
@@ -173,6 +201,7 @@ class ParallelExecutor::Impl {
     TXMOD_ASSIGN_OR_RETURN(FragmentedRelation * target,
                            db_->FindMutable(stmt.target));
     const RelationSchema& schema = target->fragments[0].schema();
+    const PhaseTimer timer;
     uint64_t transferred = 0;
     std::vector<uint64_t> local(width_, 0);
     for (std::size_t node = 0; node < width_; ++node) {
@@ -199,8 +228,9 @@ class ParallelExecutor::Impl {
         ApplyInsert(stmt.target, target, dst, std::move(new_tuple));
       }
     }
-    result_.stats.AddPhase(local, transferred, transferred > 0 ? 1 : 0,
-                           options_.cost_model);
+    result_.stats.AddPhaseTimed("update", local, transferred,
+                                transferred > 0 ? 1 : 0,
+                                options_.cost_model, Wall(timer));
     return Status::OK();
   }
 
@@ -257,12 +287,13 @@ class ParallelExecutor::Impl {
   /// statement *shape* and reused under this statement's constant binding
   /// — this executor decides *where* each operator's work happens
   /// (alignment, redistribution, broadcast — charged to the cost model),
-  /// and the shared fragment-local kernels (algebra::ExecuteNodeLocal)
-  /// decide *how* a fragment's tuples are joined, filtered, and
-  /// projected. The distribution decisions ride with the cached tree:
-  /// redistribution keys and the partition-vs-broadcast choice are read
-  /// off the plan nodes' equality-key metadata, so a cache hit skips
-  /// re-deriving them as well.
+  /// and the shared fragment-local kernels (algebra::ExecuteNodeLocal /
+  /// algebra::NodeLocalKernel) decide *how* a fragment's tuples are
+  /// joined, filtered, and projected. The distribution decisions ride
+  /// with the cached tree: redistribution keys and the
+  /// partition-vs-broadcast choice are read off the plan nodes'
+  /// equality-key metadata, so a cache hit skips re-deriving them as
+  /// well.
   Result<FragRel> EvalExpr(const RelExpr& e) {
     if (plan_cache_ == nullptr || plan_cache_->shape_capacity() == 0) {
       // Reference mode: one-shot compile of the statement's own tree
@@ -389,28 +420,396 @@ class ParallelExecutor::Impl {
     return out;
   }
 
-  /// Runs `fn(node)` for every node, optionally on real threads, and
-  /// records the per-node scan counts as one phase.
-  Status ParallelPhase(const std::vector<uint64_t>& scanned,
-                       const std::function<Status(std::size_t)>& fn,
-                       uint64_t transferred = 0, uint64_t messages = 0) {
-    std::vector<Status> statuses(width_);
-    if (options_.use_threads && width_ > 1) {
-      std::vector<std::thread> threads;
-      threads.reserve(width_);
+  // --- phase machinery -------------------------------------------------------
+
+  /// Wall-clock charge for a phase: measured in threaded mode, 0 in
+  /// simulate mode (inline phases keep the stats fully deterministic).
+  double Wall(const PhaseTimer& timer) const {
+    return pool_ != nullptr ? timer.us() : 0.0;
+  }
+
+  /// Per-phase steal seed: distinct per phase so interleavings vary
+  /// across phases, deterministic per (options seed, phase ordinal).
+  uint64_t PhaseSeed() {
+    return options_.steal_seed * 0x9e3779b97f4a7c15ULL + phase_ordinal_++;
+  }
+
+  /// One fragment-local operator phase through the shared kernels.
+  ///
+  /// Simulate mode runs whole fragments inline (ExecuteNodeLocal).
+  /// Threaded mode morselizes: each shard's input tuples are sliced into
+  /// fixed-size pointer runs queued on the shard's work queue; the pool
+  /// executes them with work stealing, each morsel writing its own output
+  /// buffer and EvalStats (merged afterward in deterministic shard/morsel
+  /// order). Union nodes feed both sides' tuples as morsels; the other
+  /// operators morselize the left side with the right fragment borrowed
+  /// (hash-join builds happen once per shard in a preparation step).
+  /// Because fragment results are set-semantics Relations, morsel
+  /// boundaries, worker count, and steal order cannot change the merged
+  /// outcome — final states are identical across modes.
+  Result<FragRel> RunKernelPhase(const char* label, const PhysicalNode& n,
+                                 const FragRel& l, const FragRel* r,
+                                 Alignment align, int attr,
+                                 bool maybe_dup) {
+    FragRel out;
+    out.alignment = align;
+    out.attr = attr;
+    out.maybe_duplicated = maybe_dup;
+    out.frags.resize(width_);
+    std::vector<uint64_t> scanned(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
+      scanned[i] =
+          l.frags[i].size() + (r != nullptr ? r->frags[i].size() : 0);
+    }
+    const PhaseTimer timer;
+    if (pool_ == nullptr) {
+      std::vector<algebra::EvalStats> node_stats(width_);
       for (std::size_t i = 0; i < width_; ++i) {
-        threads.emplace_back([&, i] { statuses[i] = fn(i); });
+        TXMOD_ASSIGN_OR_RETURN(
+            out.frags[i],
+            algebra::ExecuteNodeLocal(n, l.frags[i],
+                                      r != nullptr ? &r->frags[i] : nullptr,
+                                      &node_stats[i], cur_params_));
       }
-      for (std::thread& t : threads) t.join();
+      MergeNodeStats(node_stats);
     } else {
-      for (std::size_t i = 0; i < width_; ++i) statuses[i] = fn(i);
+      TXMOD_RETURN_IF_ERROR(MorselPhase(n, l, r, &out));
     }
-    for (const Status& st : statuses) {
-      TXMOD_RETURN_IF_ERROR(st);
+    result_.stats.AddPhaseTimed(label, scanned, 0, 0, options_.cost_model,
+                                Wall(timer));
+    return out;
+  }
+
+  Status MorselPhase(const PhysicalNode& n, const FragRel& l,
+                     const FragRel* r, FragRel* out) {
+    const std::size_t msize =
+        options_.morsel_tuples > 0 ? options_.morsel_tuples : 1;
+    const bool union_op = n.op == PhysOpKind::kUnion;
+    struct Shard {
+      std::optional<algebra::NodeLocalKernel> kernel;
+      Status prep_status;
+      algebra::EvalStats prep_stats;
+      std::vector<const Tuple*> input;
+      std::size_t morsels = 0;
+      std::vector<std::vector<Tuple>> morsel_out;
+      std::vector<Status> morsel_status;
+      std::vector<algebra::EvalStats> morsel_stats;
+    };
+    std::vector<Shard> shards(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
+      Shard& sh = shards[i];
+      sh.input.reserve(l.frags[i].size() +
+                       (union_op && r != nullptr ? r->frags[i].size() : 0));
+      for (const Tuple& t : l.frags[i]) sh.input.push_back(&t);
+      if (union_op && r != nullptr) {
+        for (const Tuple& t : r->frags[i]) sh.input.push_back(&t);
+      }
+      sh.morsels = (sh.input.size() + msize - 1) / msize;
+      sh.morsel_out.resize(sh.morsels);
+      sh.morsel_status.assign(sh.morsels, Status::OK());
+      sh.morsel_stats.resize(sh.morsels);
     }
-    result_.stats.AddPhase(scanned, transferred, messages,
-                           options_.cost_model);
+    // Preparation: per-shard build sides (hash tables, output schemas),
+    // one task per shard on the pool.
+    {
+      PhasePlan plan;
+      plan.steal_seed = PhaseSeed();
+      plan.queues.resize(width_);
+      for (std::size_t i = 0; i < width_; ++i) {
+        Shard& sh = shards[i];
+        const Relation& left = l.frags[i];
+        const Relation* right = r != nullptr ? &r->frags[i] : nullptr;
+        const std::vector<Value>* params = cur_params_;
+        plan.queues[i].push_back([&n, &sh, &left, right, params] {
+          Result<algebra::NodeLocalKernel> k =
+              algebra::NodeLocalKernel::Prepare(n, left.schema_ptr(), right,
+                                                &sh.prep_stats, params);
+          if (k.ok()) {
+            sh.kernel.emplace(std::move(k).value());
+          } else {
+            sh.prep_status = k.status();
+          }
+        });
+      }
+      pool_->Run(std::move(plan));
+    }
+    for (const Shard& sh : shards) {
+      TXMOD_RETURN_IF_ERROR(sh.prep_status);
+    }
+    // Morsels: the work-stealing heart of the phase.
+    {
+      PhasePlan plan;
+      plan.steal_seed = PhaseSeed();
+      plan.queues.resize(width_);
+      for (std::size_t i = 0; i < width_; ++i) {
+        Shard& sh = shards[i];
+        for (std::size_t m = 0; m < sh.morsels; ++m) {
+          const Tuple* const* base = sh.input.data() + m * msize;
+          const std::size_t count =
+              std::min(msize, sh.input.size() - m * msize);
+          plan.queues[i].push_back([&sh, m, base, count] {
+            sh.morsel_status[m] = sh.kernel->RunMorsel(
+                base, count, &sh.morsel_out[m], &sh.morsel_stats[m]);
+          });
+        }
+      }
+      pool_->Run(std::move(plan));
+    }
+    // Deterministic fold: stats and errors in (shard, morsel) order.
+    for (Shard& sh : shards) {
+      result_.eval_stats.Add(sh.prep_stats);
+      for (std::size_t m = 0; m < sh.morsels; ++m) {
+        TXMOD_RETURN_IF_ERROR(sh.morsel_status[m]);
+        result_.eval_stats.Add(sh.morsel_stats[m]);
+      }
+    }
+    // Merge morsel outputs into set-semantics fragments, one task per
+    // shard (disjoint destinations — no synchronization needed).
+    {
+      PhasePlan plan;
+      plan.steal_seed = PhaseSeed();
+      plan.queues.resize(width_);
+      for (std::size_t i = 0; i < width_; ++i) {
+        Shard& sh = shards[i];
+        Relation* dst = &out->frags[i];
+        plan.queues[i].push_back([&sh, dst] {
+          *dst = Relation(sh.kernel->output_schema());
+          for (std::vector<Tuple>& mo : sh.morsel_out) {
+            for (Tuple& t : mo) dst->Insert(std::move(t));
+          }
+        });
+      }
+      pool_->Run(std::move(plan));
+    }
     return Status::OK();
+  }
+
+  /// One redistribution phase: every input tuple moves to the shard
+  /// `route` names. Simulate mode routes inline; threaded mode runs
+  /// morselized producer tasks that batch tuples into per-destination
+  /// ExchangeQueues, with one consumer per destination scheduled as a
+  /// phase follower (see ExchangeQueue for the deadlock-freedom
+  /// contract). Cost-model charges (transfers, messages) are computed
+  /// from the deterministic per-(src,dst) tallies in both modes, so the
+  /// simulated makespan never depends on batching or timing.
+  template <typename RouteFn>
+  FragRel ExchangePhase(const char* label, const FragRel& in, RouteFn route,
+                        Alignment align, int attr, bool maybe_dup,
+                        bool per_pair_messages) {
+    FragRel out;
+    out.frags.assign(width_, Relation(in.frags[0].schema_ptr()));
+    out.alignment = align;
+    out.attr = attr;
+    out.maybe_duplicated = maybe_dup;
+    std::vector<uint64_t> scanned(width_, 0);
+    for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
+    uint64_t transferred = 0;
+    std::vector<std::vector<bool>> pair_used(
+        width_, std::vector<bool>(width_, false));
+    const PhaseTimer timer;
+    if (pool_ == nullptr) {
+      for (std::size_t src = 0; src < width_; ++src) {
+        for (const Tuple& t : in.frags[src]) {
+          const std::size_t dst = route(t);
+          if (dst != src) {
+            ++transferred;
+            pair_used[src][dst] = true;
+          }
+          out.frags[dst].Insert(t);
+        }
+      }
+    } else {
+      const std::size_t msize =
+          options_.morsel_tuples > 0 ? options_.morsel_tuples : 1;
+      const std::size_t batch = options_.exchange_batch_tuples > 0
+                                    ? options_.exchange_batch_tuples
+                                    : 1;
+      struct Producer {
+        std::size_t src = 0;
+        const Tuple* const* base = nullptr;
+        std::size_t count = 0;
+        std::vector<uint64_t> sent;  // per destination
+      };
+      std::vector<std::vector<const Tuple*>> inputs(width_);
+      std::vector<Producer> producers;
+      for (std::size_t src = 0; src < width_; ++src) {
+        inputs[src].reserve(in.frags[src].size());
+        for (const Tuple& t : in.frags[src]) inputs[src].push_back(&t);
+        for (std::size_t off = 0; off < inputs[src].size(); off += msize) {
+          Producer p;
+          p.src = src;
+          p.base = inputs[src].data() + off;
+          p.count = std::min(msize, inputs[src].size() - off);
+          p.sent.assign(width_, 0);
+          producers.push_back(std::move(p));
+        }
+      }
+      std::vector<std::unique_ptr<ExchangeQueue>> queues;
+      queues.reserve(width_);
+      for (std::size_t dst = 0; dst < width_; ++dst) {
+        queues.push_back(std::make_unique<ExchangeQueue>(
+            options_.exchange_capacity, producers.size()));
+      }
+      PhasePlan plan;
+      plan.steal_seed = PhaseSeed();
+      plan.queues.resize(width_);
+      for (Producer& p : producers) {
+        Producer* pp = &p;
+        plan.queues[p.src].push_back([pp, &queues, route, batch, this] {
+          std::vector<std::vector<Tuple>> bufs(width_);
+          for (std::size_t k = 0; k < pp->count; ++k) {
+            const Tuple& t = *pp->base[k];
+            const std::size_t dst = route(t);
+            ++pp->sent[dst];
+            bufs[dst].push_back(t);
+            if (bufs[dst].size() >= batch) {
+              queues[dst]->Push(std::move(bufs[dst]));
+              bufs[dst] = {};
+            }
+          }
+          for (std::size_t dst = 0; dst < width_; ++dst) {
+            if (!bufs[dst].empty()) queues[dst]->Push(std::move(bufs[dst]));
+            queues[dst]->ProducerDone();
+          }
+        });
+      }
+      for (std::size_t dst = 0; dst < width_; ++dst) {
+        Relation* target = &out.frags[dst];
+        ExchangeQueue* q = queues[dst].get();
+        plan.followers.push_back([target, q] {
+          std::vector<Tuple> b;
+          while (q->Pop(&b)) {
+            for (Tuple& t : b) target->Insert(std::move(t));
+          }
+        });
+      }
+      pool_->Run(std::move(plan));
+      uint64_t batches = 0;
+      for (const auto& q : queues) batches += q->batches();
+      result_.stats.AddExchangeBatches(batches);
+      for (const Producer& p : producers) {
+        for (std::size_t dst = 0; dst < width_; ++dst) {
+          if (dst == p.src || p.sent[dst] == 0) continue;
+          transferred += p.sent[dst];
+          pair_used[p.src][dst] = true;
+        }
+      }
+    }
+    uint64_t messages = 0;
+    if (per_pair_messages) {
+      for (std::size_t s = 0; s < width_; ++s) {
+        for (std::size_t d = 0; d < width_; ++d) {
+          if (pair_used[s][d]) ++messages;
+        }
+      }
+    } else {
+      messages = transferred > 0 ? 1 : 0;
+    }
+    result_.stats.AddPhaseTimed(label, scanned, transferred, messages,
+                                options_.cost_model, Wall(timer));
+    return out;
+  }
+
+  /// Hash-redistributes `in` on attribute `attr` (FragmentOfValue).
+  FragRel RedistributeOnAttr(const FragRel& in, int attr) {
+    const int nodes = nodes_;
+    return ExchangePhase(
+        "redistribute-attr", in,
+        [attr, nodes](const Tuple& t) {
+          return U(FragmentOfValue(t.at(U(attr)), nodes));
+        },
+        Alignment::kAttr, attr, in.maybe_duplicated,
+        /*per_pair_messages=*/true);
+  }
+
+  /// Hash-redistributes on the whole tuple (set-operation alignment).
+  FragRel RedistributeWholeTuple(const FragRel& in) {
+    const std::size_t w = width_;
+    return ExchangePhase(
+        "redistribute-tuple", in,
+        [w](const Tuple& t) { return t.Hash() % w; },
+        Alignment::kWholeTuple, /*attr=*/-1,
+        /*maybe_dup=*/false,  // equal tuples co-locate and dedup
+        /*per_pair_messages=*/false);
+  }
+
+  /// Replicates every right-side tuple to every node (join predicates
+  /// without equality conjuncts). Threaded mode pushes each producer
+  /// batch into every destination's ExchangeQueue.
+  FragRel BroadcastAll(const FragRel& r, std::size_t right_total) {
+    FragRel bc;
+    bc.frags.assign(width_, Relation(r.frags[0].schema_ptr()));
+    bc.alignment = Alignment::kNone;
+    const PhaseTimer timer;
+    if (pool_ == nullptr) {
+      for (std::size_t i = 0; i < width_; ++i) {
+        for (std::size_t src = 0; src < width_; ++src) {
+          for (const Tuple& t : r.frags[src]) bc.frags[i].Insert(t);
+        }
+      }
+    } else {
+      const std::size_t msize =
+          options_.morsel_tuples > 0 ? options_.morsel_tuples : 1;
+      struct Producer {
+        const Tuple* const* base = nullptr;
+        std::size_t count = 0;
+      };
+      std::vector<std::vector<const Tuple*>> inputs(width_);
+      std::vector<Producer> producers;
+      std::vector<std::size_t> producer_src;
+      for (std::size_t src = 0; src < width_; ++src) {
+        inputs[src].reserve(r.frags[src].size());
+        for (const Tuple& t : r.frags[src]) inputs[src].push_back(&t);
+        for (std::size_t off = 0; off < inputs[src].size(); off += msize) {
+          producers.push_back(
+              Producer{inputs[src].data() + off,
+                       std::min(msize, inputs[src].size() - off)});
+          producer_src.push_back(src);
+        }
+      }
+      std::vector<std::unique_ptr<ExchangeQueue>> queues;
+      queues.reserve(width_);
+      for (std::size_t dst = 0; dst < width_; ++dst) {
+        queues.push_back(std::make_unique<ExchangeQueue>(
+            options_.exchange_capacity, producers.size()));
+      }
+      PhasePlan plan;
+      plan.steal_seed = PhaseSeed();
+      plan.queues.resize(width_);
+      for (std::size_t pi = 0; pi < producers.size(); ++pi) {
+        Producer* pp = &producers[pi];
+        plan.queues[producer_src[pi]].push_back([pp, &queues, this] {
+          std::vector<Tuple> buf;
+          buf.reserve(pp->count);
+          for (std::size_t k = 0; k < pp->count; ++k) {
+            buf.push_back(*pp->base[k]);
+          }
+          for (std::size_t dst = 0; dst < width_; ++dst) {
+            if (!buf.empty()) queues[dst]->Push(buf);
+            queues[dst]->ProducerDone();
+          }
+        });
+      }
+      for (std::size_t dst = 0; dst < width_; ++dst) {
+        Relation* target = &bc.frags[dst];
+        ExchangeQueue* q = queues[dst].get();
+        plan.followers.push_back([target, q] {
+          std::vector<Tuple> b;
+          while (q->Pop(&b)) {
+            for (Tuple& t : b) target->Insert(std::move(t));
+          }
+        });
+      }
+      pool_->Run(std::move(plan));
+      uint64_t batches = 0;
+      for (const auto& q : queues) batches += q->batches();
+      result_.stats.AddExchangeBatches(batches);
+    }
+    result_.stats.AddPhaseTimed(
+        "broadcast", std::vector<uint64_t>(width_, 0),
+        static_cast<uint64_t>(right_total) * (width_ - 1),
+        width_ > 1 ? width_ - 1 : 0, options_.cost_model, Wall(timer));
+    return bc;
   }
 
   /// Selections and projections run fragment-local through the shared
@@ -418,101 +817,37 @@ class ParallelExecutor::Impl {
   Result<FragRel> EvalUnary(const PhysicalNode& n) {
     TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(n.child(0)));
     const RelExpr& e = *n.logical;
-    FragRel out;
-    out.frags.assign(width_, Relation());
+    Alignment align;
+    int attr;
+    bool maybe_dup;
     if (n.op == PhysOpKind::kSelect) {
-      out.alignment = in.alignment;
-      out.attr = in.attr;
-      out.maybe_duplicated = in.maybe_duplicated;
+      align = in.alignment;
+      attr = in.attr;
+      maybe_dup = in.maybe_duplicated;
     } else {
       // Partitioning survives when some output item is exactly the
       // input's partitioning attribute.
-      out.alignment = Alignment::kNone;
-      out.attr = -1;
-      out.maybe_duplicated = true;
+      align = Alignment::kNone;
+      attr = -1;
+      maybe_dup = true;
       if (in.alignment == Alignment::kAttr) {
         for (std::size_t i = 0; i < e.projections().size(); ++i) {
           const ScalarExpr& pe = e.projections()[i].expr;
           if (pe.op() == ScalarOp::kAttrRef && pe.attr_index() == in.attr) {
-            out.alignment = Alignment::kAttr;
-            out.attr = static_cast<int>(i);
-            out.maybe_duplicated = false;  // equal keys co-locate
+            align = Alignment::kAttr;
+            attr = static_cast<int>(i);
+            maybe_dup = false;  // equal keys co-locate
             break;
           }
         }
       }
       if (in.alignment == Alignment::kCoordinator) {
-        out.alignment = Alignment::kCoordinator;
-        out.maybe_duplicated = false;
+        align = Alignment::kCoordinator;
+        maybe_dup = false;
       }
     }
-    std::vector<uint64_t> scanned(width_);
-    for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
-    std::vector<algebra::EvalStats> node_stats(width_);
-    TXMOD_RETURN_IF_ERROR(
-        ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          TXMOD_ASSIGN_OR_RETURN(
-              out.frags[i],
-              algebra::ExecuteNodeLocal(n, in.frags[i], nullptr,
-                                        &node_stats[i], cur_params_));
-          return Status::OK();
-        }));
-    MergeNodeStats(node_stats);
-    return out;
-  }
-
-  /// Hash-redistributes `in` on attribute `attr` (FragmentOfValue).
-  FragRel RedistributeOnAttr(FragRel in, int attr) {
-    FragRel out;
-    out.frags.assign(width_, Relation(in.frags[0].schema_ptr()));
-    out.alignment = Alignment::kAttr;
-    out.attr = attr;
-    out.maybe_duplicated = in.maybe_duplicated;
-    uint64_t transferred = 0;
-    std::vector<uint64_t> scanned(width_, 0);
-    std::vector<std::vector<bool>> pair_used(
-        width_, std::vector<bool>(width_, false));
-    for (std::size_t src = 0; src < width_; ++src) {
-      scanned[src] = in.frags[src].size();
-      for (const Tuple& t : in.frags[src]) {
-        const std::size_t dst = U(FragmentOfValue(t.at(U(attr)), nodes_));
-        if (dst != src) {
-          ++transferred;
-          pair_used[src][dst] = true;
-        }
-        out.frags[dst].Insert(t);
-      }
-    }
-    uint64_t messages = 0;
-    for (std::size_t s = 0; s < width_; ++s) {
-      for (std::size_t d = 0; d < width_; ++d) {
-        if (pair_used[s][d]) ++messages;
-      }
-    }
-    result_.stats.AddPhase(scanned, transferred, messages,
-                           options_.cost_model);
-    return out;
-  }
-
-  /// Hash-redistributes on the whole tuple (set-operation alignment).
-  FragRel RedistributeWholeTuple(FragRel in) {
-    FragRel out;
-    out.frags.assign(width_, Relation(in.frags[0].schema_ptr()));
-    out.alignment = Alignment::kWholeTuple;
-    out.maybe_duplicated = false;  // equal tuples co-locate and dedup
-    uint64_t transferred = 0;
-    std::vector<uint64_t> scanned(width_, 0);
-    for (std::size_t src = 0; src < width_; ++src) {
-      scanned[src] = in.frags[src].size();
-      for (const Tuple& t : in.frags[src]) {
-        const std::size_t dst = t.Hash() % width_;
-        if (dst != src) ++transferred;
-        out.frags[dst].Insert(t);
-      }
-    }
-    result_.stats.AddPhase(scanned, transferred,
-                           transferred > 0 ? 1 : 0, options_.cost_model);
-    return out;
+    return RunKernelPhase(algebra::PhysOpKindToString(n.op), n, in, nullptr,
+                          align, attr, maybe_dup);
   }
 
   bool SetOpAligned(const FragRel& a, const FragRel& b) const {
@@ -542,29 +877,11 @@ class ParallelExecutor::Impl {
       return Status::InvalidArgument("set operation over different arities");
     }
     if (!SetOpAligned(l, r)) {
-      l = RedistributeWholeTuple(std::move(l));
-      r = RedistributeWholeTuple(std::move(r));
+      l = RedistributeWholeTuple(l);
+      r = RedistributeWholeTuple(r);
     }
-    FragRel out;
-    out.frags.assign(width_, Relation());
-    out.alignment = l.alignment;
-    out.attr = l.attr;
-    out.maybe_duplicated = false;
-    std::vector<uint64_t> scanned(width_);
-    for (std::size_t i = 0; i < width_; ++i) {
-      scanned[i] = l.frags[i].size() + r.frags[i].size();
-    }
-    std::vector<algebra::EvalStats> node_stats(width_);
-    TXMOD_RETURN_IF_ERROR(
-        ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          TXMOD_ASSIGN_OR_RETURN(
-              out.frags[i],
-              algebra::ExecuteNodeLocal(n, l.frags[i], &r.frags[i],
-                                        &node_stats[i], cur_params_));
-          return Status::OK();
-        }));
-    MergeNodeStats(node_stats);
-    return out;
+    return RunKernelPhase(algebra::PhysOpKindToString(n.op), n, l, &r,
+                          l.alignment, l.attr, /*maybe_dup=*/false);
   }
 
   Result<FragRel> EvalJoinLike(const PhysicalNode& n) {
@@ -597,48 +914,18 @@ class ParallelExecutor::Impl {
                         (l.alignment == Alignment::kAttr && l.attr == la);
       const bool r_ok = width_ == 1 ||
                         (r.alignment == Alignment::kAttr && r.attr == ra);
-      if (!l_ok) l = RedistributeOnAttr(std::move(l), la);
-      if (!r_ok) r = RedistributeOnAttr(std::move(r), ra);
+      if (!l_ok) l = RedistributeOnAttr(l, la);
+      if (!r_ok) r = RedistributeOnAttr(r, ra);
     } else {
       // No equality: broadcast the right operand to every node.
-      FragRel bc;
-      bc.frags.assign(width_, Relation(r.frags[0].schema_ptr()));
-      for (std::size_t i = 0; i < width_; ++i) {
-        for (std::size_t src = 0; src < width_; ++src) {
-          for (const Tuple& t : r.frags[src]) bc.frags[i].Insert(t);
-        }
-      }
-      result_.stats.AddPhase(
-          std::vector<uint64_t>(width_, 0),
-          static_cast<uint64_t>(right_total) * (width_ - 1),
-          width_ > 1 ? width_ - 1 : 0, options_.cost_model);
-      bc.alignment = Alignment::kNone;
-      r = std::move(bc);
+      r = BroadcastAll(r, right_total);
     }
 
     // Fragment-local join execution through the shared kernel: a hash
     // join (build over the smaller right fragment, probe the left) for
     // equality predicates, nested loops otherwise.
-    FragRel out;
-    out.frags.assign(width_, Relation());
-    out.alignment = l.alignment;
-    out.attr = l.attr;
-    out.maybe_duplicated = l.maybe_duplicated;
-    std::vector<uint64_t> scanned(width_);
-    for (std::size_t i = 0; i < width_; ++i) {
-      scanned[i] = l.frags[i].size() + r.frags[i].size();
-    }
-    std::vector<algebra::EvalStats> node_stats(width_);
-    TXMOD_RETURN_IF_ERROR(
-        ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          TXMOD_ASSIGN_OR_RETURN(
-              out.frags[i],
-              algebra::ExecuteNodeLocal(n, l.frags[i], &r.frags[i],
-                                        &node_stats[i], cur_params_));
-          return Status::OK();
-        }));
-    MergeNodeStats(node_stats);
-    return out;
+    return RunKernelPhase(algebra::PhysOpKindToString(n.op), n, l, &r,
+                          l.alignment, l.attr, l.maybe_duplicated);
   }
 
   Result<FragRel> EvalAggregate(const PhysicalNode& n) {
@@ -651,27 +938,62 @@ class ParallelExecutor::Impl {
     TXMOD_ASSIGN_OR_RETURN(FragRel in, Eval(n.child(0)));
     // Set semantics: counting a possibly-duplicated intermediate would
     // overcount; dedup by whole-tuple redistribution first.
-    if (in.maybe_duplicated) in = RedistributeWholeTuple(std::move(in));
+    if (in.maybe_duplicated) in = RedistributeWholeTuple(in);
 
     // Node-local partials through the shared aggregate kernel, merged at
     // the coordinator: one partial record per node crosses the
-    // interconnect.
+    // interconnect. Fragment granularity in both modes (no morsels):
+    // partials then merge in the same order everywhere, so even
+    // floating-point sums cannot differ between modes or steal orders.
     std::vector<AggPartial> partials(width_);
     std::vector<uint64_t> scanned(width_);
     for (std::size_t i = 0; i < width_; ++i) scanned[i] = in.frags[i].size();
     std::vector<algebra::EvalStats> node_stats(width_);
-    TXMOD_RETURN_IF_ERROR(
-        ParallelPhase(scanned, [&](std::size_t i) -> Status {
-          TXMOD_ASSIGN_OR_RETURN(
-              partials[i],
-              algebra::AggregateLocal(n, in.frags[i], &node_stats[i]));
-          return Status::OK();
-        }));
+    std::vector<Status> statuses(width_, Status::OK());
+    const PhaseTimer timer;
+    if (pool_ == nullptr) {
+      for (std::size_t i = 0; i < width_; ++i) {
+        Result<AggPartial> p =
+            algebra::AggregateLocal(n, in.frags[i], &node_stats[i]);
+        if (p.ok()) {
+          partials[i] = std::move(p).value();
+        } else {
+          statuses[i] = p.status();
+        }
+      }
+    } else {
+      PhasePlan plan;
+      plan.steal_seed = PhaseSeed();
+      plan.queues.resize(width_);
+      for (std::size_t i = 0; i < width_; ++i) {
+        const Relation* frag = &in.frags[i];
+        AggPartial* partial = &partials[i];
+        algebra::EvalStats* stats = &node_stats[i];
+        Status* status = &statuses[i];
+        plan.queues[i].push_back([&n, frag, partial, stats, status] {
+          Result<AggPartial> p = algebra::AggregateLocal(n, *frag, stats);
+          if (p.ok()) {
+            *partial = std::move(p).value();
+          } else {
+            *status = p.status();
+          }
+        });
+      }
+      pool_->Run(std::move(plan));
+    }
+    for (const Status& st : statuses) {
+      TXMOD_RETURN_IF_ERROR(st);
+    }
     MergeNodeStats(node_stats);
-    result_.stats.AddPhase(std::vector<uint64_t>(width_, 0),
-                           static_cast<uint64_t>(width_ - 1),
-                           width_ > 1 ? static_cast<uint64_t>(width_ - 1) : 0,
-                           options_.cost_model);
+    result_.stats.AddPhaseTimed("aggregate", scanned, 0, 0,
+                                options_.cost_model, Wall(timer));
+    result_.stats.AddPhaseTimed("aggregate-merge",
+                                std::vector<uint64_t>(width_, 0),
+                                static_cast<uint64_t>(width_ - 1),
+                                width_ > 1
+                                    ? static_cast<uint64_t>(width_ - 1)
+                                    : 0,
+                                options_.cost_model, 0);
     AggPartial total;
     for (const AggPartial& p : partials) total.Merge(p);
     TXMOD_ASSIGN_OR_RETURN(Value result,
@@ -688,8 +1010,8 @@ class ParallelExecutor::Impl {
 
   /// Folds per-node kernel counters into the transaction's EvalStats.
   /// Kernels write disjoint per-node records during a threaded phase; the
-  /// merge happens after the join, so no counter is ever shared across
-  /// threads.
+  /// merge happens after the pool phase completes, so no counter is ever
+  /// shared across threads.
   void MergeNodeStats(const std::vector<algebra::EvalStats>& node_stats) {
     for (const algebra::EvalStats& s : node_stats) {
       result_.eval_stats.Add(s);
@@ -699,9 +1021,11 @@ class ParallelExecutor::Impl {
   ParallelDatabase* db_;
   const ParallelOptions& options_;
   algebra::PlanCache* plan_cache_;
+  ThreadPool* pool_;         // null = simulate mode (inline phases)
   const int nodes_;          // node count for the fragmentation API
   const std::size_t width_;  // the same count, as a container extent
   ParallelTxnResult result_;
+  uint64_t phase_ordinal_ = 0;  // feeds PhaseSeed
   /// Binding vector of the statement currently being evaluated (null in
   /// reference mode); read-only during threaded phases.
   const std::vector<Value>* cur_params_ = nullptr;
@@ -713,11 +1037,21 @@ ParallelExecutor::ParallelExecutor(ParallelDatabase* db,
                                    ParallelOptions options)
     : db_(db), options_(std::move(options)) {
   plan_cache_.set_shape_capacity(options_.plan_cache_capacity);
+  if (options_.use_threads) {
+    if (options_.pool != nullptr) {
+      pool_ = options_.pool;
+    } else if (options_.num_workers > 0) {
+      owned_pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+      pool_ = owned_pool_.get();
+    } else {
+      pool_ = &ThreadPool::Shared();
+    }
+  }
 }
 
 Result<ParallelTxnResult> ParallelExecutor::Execute(
     const algebra::Transaction& txn) {
-  Impl impl(db_, options_, &plan_cache_);
+  Impl impl(db_, options_, &plan_cache_, pool_);
   return impl.Run(txn);
 }
 

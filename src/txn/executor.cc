@@ -1,7 +1,11 @@
 #include "src/txn/executor.h"
 
+#include <mutex>
+#include <set>
+
 #include "src/algebra/evaluator.h"
 #include "src/common/str_util.h"
+#include "src/parallel/thread_pool.h"
 
 namespace txmod::txn {
 
@@ -109,6 +113,117 @@ Status ExecuteAlarm(const Statement& stmt, TxnContext* ctx,
   return Status::Aborted(std::move(reason));
 }
 
+// ---------------------------------------------------------------------------
+// Parallel integrity-check runs.
+//
+// Compiled integrity programs are alarm-only (TransC emits one alarm per
+// rule; the transaction modifier appends triggered programs back to
+// back), so a modified transaction ends in a run of consecutive alarm
+// statements — independent, read-only checks over the same intermediate
+// state. When the context carries a check pool, such runs evaluate
+// concurrently, one task per alarm, against a locked proxy context; the
+// results fold back serially in statement order so the abort decision,
+// abort message, statement counters, and optimistic read set are
+// byte-identical to serial execution.
+// ---------------------------------------------------------------------------
+
+/// EvalContext proxy for one concurrent check task. All resolution is
+/// funneled through one shared mutex: TxnContext's const Resolve fills
+/// mutable caches (old() views, empty differentials) and is therefore
+/// only thread-compatible. Relation reads themselves happen lock-free on
+/// the evaluator side — the lock covers resolution only, so concurrency
+/// is lost solely on the (cached, cheap) name→relation step. Base reads
+/// are recorded per task and merged later in statement order, keeping the
+/// optimistic footprint identical to serial execution.
+class LockedCheckContext : public algebra::EvalContext {
+ public:
+  LockedCheckContext(const TxnContext* parent, std::mutex* mu,
+                     std::set<std::string>* reads)
+      : parent_(parent), mu_(mu), reads_(reads) {}
+
+  Result<const Relation*> Resolve(algebra::RelRefKind kind,
+                                  const std::string& name) const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (kind == algebra::RelRefKind::kBase ||
+        kind == algebra::RelRefKind::kOld) {
+      reads_->insert(name);
+    }
+    return parent_->ResolveUnrecorded(kind, name);
+  }
+
+  Result<const Relation*> ResolveSchemaOnly(
+      algebra::RelRefKind kind, const std::string& name) const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return parent_->ResolveSchemaOnly(kind, name);
+  }
+
+ private:
+  const TxnContext* parent_;
+  std::mutex* mu_;
+  std::set<std::string>* reads_;
+};
+
+/// One check task's outcome: the alarm's verdict plus the evaluation
+/// work and reads it performed, folded into the transaction serially.
+struct CheckOutcome {
+  Status status;
+  algebra::EvalStats stats;
+  std::set<std::string> reads;
+};
+
+/// Evaluates one alarm statement against `eval_ctx` (same plan-cache
+/// discipline as EvalStatementExpr; same abort message as ExecuteAlarm).
+/// PlanCache is safe here: the pinned side is read-only after rule
+/// definition and the shaped side serializes internally.
+Status EvalAlarmTask(const Statement& stmt, algebra::PlanCache* cache,
+                     const algebra::EvalContext& eval_ctx,
+                     algebra::EvalStats* stats) {
+  Result<Relation> value = [&]() -> Result<Relation> {
+    if (cache != nullptr) {
+      if (const algebra::PhysicalPlan* plan = cache->Lookup(stmt.expr.get())) {
+        return plan->Execute(eval_ctx, stats);
+      }
+      TXMOD_ASSIGN_OR_RETURN(algebra::BoundPlan bound,
+                             cache->GetOrCompileShaped(*stmt.expr, stats));
+      return bound.plan->Execute(eval_ctx, stats, &bound.params);
+    }
+    return EvaluateRelExpr(*stmt.expr, eval_ctx, stats);
+  }();
+  if (!value.ok()) return value.status();
+  if (value->empty()) return Status::OK();  // Definition 5.1: no effect
+  std::string reason = stmt.message.empty()
+                           ? StrCat("alarm raised: ", stmt.expr->ToString(),
+                                    " is non-empty (", value->size(),
+                                    " tuple(s))")
+                           : stmt.message;
+  return Status::Aborted(std::move(reason));
+}
+
+/// Runs alarm statements [begin, end) of `stmts` concurrently on the
+/// context's check pool, one task per alarm on its own work queue (idle
+/// workers steal across queues). Outcomes are written into disjoint
+/// slots; the caller folds them in statement order.
+void RunChecksParallel(const std::vector<Statement>& stmts,
+                       std::size_t begin, std::size_t end, TxnContext* ctx,
+                       std::vector<CheckOutcome>* outcomes) {
+  std::mutex resolve_mu;
+  // Pre-resolve nothing: first access materializes old() views under the
+  // shared lock, later accesses hit the context's caches.
+  parallel::PhasePlan plan;
+  plan.queues.resize(end - begin);
+  for (std::size_t k = 0; k < end - begin; ++k) {
+    const Statement* stmt = &stmts[begin + k];
+    CheckOutcome* out = &(*outcomes)[k];
+    algebra::PlanCache* cache = ctx->plan_cache();
+    const TxnContext* parent = ctx;
+    plan.queues[k].push_back([stmt, out, cache, parent, &resolve_mu] {
+      LockedCheckContext eval_ctx(parent, &resolve_mu, &out->reads);
+      out->status = EvalAlarmTask(*stmt, cache, eval_ctx, &out->stats);
+    });
+  }
+  ctx->check_pool()->Run(std::move(plan));
+}
+
 }  // namespace
 
 Status ExecuteStatement(const Statement& stmt, TxnContext* ctx,
@@ -134,11 +249,54 @@ Status ExecuteStatement(const Statement& stmt, TxnContext* ctx,
 Result<TxnResult> ExecuteProgram(const algebra::Transaction& txn,
                                  TxnContext* ctx) {
   TxnResult result;
-  for (std::size_t i = 0; i < txn.program.statements.size(); ++i) {
-    const Status st = ExecuteStatement(txn.program.statements[i], ctx,
-                                       &result);
+  const std::vector<Statement>& stmts = txn.program.statements;
+  for (std::size_t i = 0; i < stmts.size();) {
+    // A run of >= 2 consecutive alarms with a check pool available:
+    // evaluate concurrently, fold serially.
+    std::size_t run_end = i;
+    if (ctx->check_pool() != nullptr) {
+      while (run_end < stmts.size() &&
+             stmts[run_end].kind == StatementKind::kAlarm) {
+        ++run_end;
+      }
+    }
+    if (run_end - i >= 2) {
+      std::vector<CheckOutcome> outcomes(run_end - i);
+      RunChecksParallel(stmts, i, run_end, ctx, &outcomes);
+      Status run_status = Status::OK();
+      std::size_t k = 0;
+      for (; k < outcomes.size(); ++k) {
+        // Merge in statement order, stopping at the first failing check:
+        // its own work counts (the serial engine evaluated it too), later
+        // tasks' work and reads are discarded — serial execution never
+        // reached them.
+        result.stats.Add(outcomes[k].stats);
+        for (const std::string& r : outcomes[k].reads) {
+          ctx->RecordBaseRead(r);
+        }
+        if (!outcomes[k].status.ok()) {
+          run_status = outcomes[k].status;
+          break;
+        }
+        ++result.statements_executed;
+      }
+      if (!run_status.ok()) {
+        ctx->Rollback();
+        if (run_status.code() == StatusCode::kAborted) {
+          result.committed = false;
+          result.abort_reason = run_status.message();
+          result.aborting_statement = static_cast<int>(i + k);
+          return result;
+        }
+        return run_status;
+      }
+      i = run_end;
+      continue;
+    }
+    const Status st = ExecuteStatement(stmts[i], ctx, &result);
     if (st.ok()) {
       ++result.statements_executed;
+      ++i;
       continue;
     }
     ctx->Rollback();

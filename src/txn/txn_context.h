@@ -11,6 +11,10 @@
 #include "src/common/result.h"
 #include "src/relational/database.h"
 
+namespace txmod::parallel {
+class ThreadPool;
+}  // namespace txmod::parallel
+
 namespace txmod::txn {
 
 /// Net changes of one transaction to one relation, maintained with the
@@ -64,6 +68,33 @@ class TxnContext : public algebra::EvalContext {
   /// LRU state.
   void set_plan_cache(algebra::PlanCache* cache) { plan_cache_ = cache; }
   algebra::PlanCache* plan_cache() const { return plan_cache_; }
+
+  /// Optional worker pool for integrity-check evaluation: when set, the
+  /// statement executor evaluates runs of consecutive alarm statements
+  /// (the shape TransC + the transaction modifier emit — independent,
+  /// read-only rule checks) concurrently on this pool instead of one by
+  /// one. Null = serial checks (the default; TxnManager wires a pool in
+  /// when TxnManagerOptions::parallel_check_workers > 0).
+  void set_check_pool(parallel::ThreadPool* pool) { check_pool_ = pool; }
+  parallel::ThreadPool* check_pool() const { return check_pool_; }
+
+  /// Resolve without touching the conflict read set — the data access of
+  /// a concurrent check task, whose reads are recorded separately (in
+  /// statement order, only up to an aborting alarm) via RecordBaseRead so
+  /// the optimistic footprint stays identical to serial execution.
+  /// Thread-compatible, NOT thread-safe: kOld and kDeltaPlus/kDeltaMinus
+  /// fill mutable caches — concurrent callers must serialize (the
+  /// executor's LockedCheckContext holds one mutex across all tasks).
+  Result<const Relation*> ResolveUnrecorded(algebra::RelRefKind kind,
+                                            const std::string& name) const {
+    return ResolveData(kind, name);
+  }
+
+  /// Records one base-relation read into the optimistic read set, as if
+  /// Resolve(kBase/kOld, name) had run under conflict tracking.
+  void RecordBaseRead(const std::string& name) const {
+    if (track_conflicts_) base_reads_.insert(name);
+  }
 
   /// Stores (replaces) a temporary relation.
   void SetTemp(const std::string& name, Relation value);
@@ -137,6 +168,7 @@ class TxnContext : public algebra::EvalContext {
 
   Database* db_;
   algebra::PlanCache* plan_cache_ = nullptr;
+  parallel::ThreadPool* check_pool_ = nullptr;
   std::map<std::string, Relation> temps_;
   std::map<std::string, Differential> diffs_;
   // Conflict footprint (see BaseReads/WriteFootprint). base_reads_ is

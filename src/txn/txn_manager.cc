@@ -25,6 +25,7 @@ TxnSession::TxnSession(TxnManager* manager, Database snapshot,
       ctx_(&snapshot_db_) {
   ctx_.set_plan_cache(manager_->subsystem_->shared_plan_cache());
   ctx_.EnableConflictTracking();  // commit validation consumes the sets
+  ctx_.set_check_pool(manager_->check_pool_.get());
 }
 
 Result<TxnResult> TxnSession::Execute(const algebra::Transaction& txn) {
@@ -94,6 +95,10 @@ Result<std::unique_ptr<TxnManager>> TxnManager::Create(
       new TxnManager(subsystem, std::move(options)));
   const TxnManagerOptions& opts = manager->options_;
   manager->vfs_ = opts.vfs != nullptr ? opts.vfs : Vfs::Default();
+  if (opts.parallel_check_workers > 0) {
+    manager->check_pool_ = std::make_unique<parallel::ThreadPool>(
+        opts.parallel_check_workers);
+  }
   Vfs* vfs = manager->vfs_;
   // Session snapshots inherit the mode from the master via Clone().
   manager->db_->set_overlay_enabled(opts.overlay_sessions);

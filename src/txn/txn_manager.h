@@ -15,6 +15,7 @@
 
 #include "src/common/vfs.h"
 #include "src/core/subsystem.h"
+#include "src/parallel/thread_pool.h"
 #include "src/relational/wal.h"
 #include "src/txn/executor.h"
 #include "src/txn/txn_context.h"
@@ -95,6 +96,15 @@ struct TxnManagerOptions {
   /// wins over this setting (see ShardedWal::Open); TryReopenWal is the
   /// point where a changed setting takes effect.
   uint32_t wal_shards = 1;
+
+  /// Worker threads for concurrent integrity-check evaluation inside
+  /// sessions: runs of consecutive alarm statements (the shape the
+  /// transaction modifier emits) evaluate in parallel on a pool owned by
+  /// the manager, with outcomes folded back in statement order — the
+  /// abort decision, counters, and optimistic read set stay identical to
+  /// serial execution (pinned by the serial-vs-parallel oracle tests).
+  /// 0 (default) = serial checks.
+  std::size_t parallel_check_workers = 0;
 };
 
 /// A snapshot of the manager's life so far: monotonic counters plus the
@@ -490,6 +500,9 @@ class TxnManager {
   core::IntegritySubsystem* subsystem_;
   Database* db_;
   TxnManagerOptions options_;
+  /// Check-evaluation pool handed to every session's context when
+  /// options_.parallel_check_workers > 0 (see TxnManagerOptions).
+  std::unique_ptr<parallel::ThreadPool> check_pool_;
   Vfs* vfs_ = nullptr;  // options_.vfs resolved against Vfs::Default()
   std::function<void(int)> run_probe_;
   std::atomic<uint64_t> run_seq_{0};

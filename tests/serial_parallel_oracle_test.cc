@@ -17,6 +17,7 @@
 #include "src/common/str_util.h"
 #include "src/core/subsystem.h"
 #include "src/parallel/executor.h"
+#include "src/txn/txn_manager.h"
 #include "tests/test_util.h"
 
 namespace txmod::parallel {
@@ -30,6 +31,13 @@ using txmod::testing::MakeBeerDatabase;
 struct OracleParam {
   int nodes;
   bool use_threads;
+  /// Threaded-mode knobs (ignored when use_threads is false): pool width
+  /// (0 = shared pool), steal-order perturbation, and morsel size — tiny
+  /// morsels force many work-stealing decisions per phase, so sweeping
+  /// seed × workers pins that interleaving cannot change final states.
+  std::size_t workers = 0;
+  uint64_t steal_seed = 0;
+  std::size_t morsel_tuples = 1024;
 };
 
 /// Both engines execute the same modified transaction against their own
@@ -37,14 +45,17 @@ struct OracleParam {
 /// `serial_db` and `pdb` evolve statefully across calls so multi-
 /// transaction histories stay comparable.
 void StepBothEngines(const Transaction& modified, Database* serial_db,
-                     ParallelDatabase* pdb, bool use_threads,
+                     ParallelDatabase* pdb, const OracleParam& param,
                      const std::string& trace) {
   SCOPED_TRACE(trace);
   auto serial = txn::ExecuteTransaction(modified, serial_db);
   ASSERT_TRUE(serial.ok()) << serial.status().ToString();
 
   ParallelOptions options;
-  options.use_threads = use_threads;
+  options.use_threads = param.use_threads;
+  options.num_workers = param.workers;
+  options.steal_seed = param.steal_seed;
+  options.morsel_tuples = param.morsel_tuples;
   ParallelExecutor exec(pdb, options);
   TXMOD_ASSERT_OK_AND_ASSIGN(ParallelTxnResult parallel,
                              exec.Execute(modified));
@@ -107,7 +118,7 @@ TEST_P(OracleTest, BeerBreweryWorkloadAgrees) {
     TXMOD_ASSERT_OK_AND_ASSIGN(Transaction txn,
                                parser.ParseTransaction(workload[i]));
     TXMOD_ASSERT_OK_AND_ASSIGN(Transaction modified, ics.Modify(txn));
-    StepBothEngines(modified, &serial_db, &pdb, GetParam().use_threads,
+    StepBothEngines(modified, &serial_db, &pdb, GetParam(),
                     StrCat("beer workload #", i, ": ", workload[i]));
   }
 }
@@ -202,8 +213,78 @@ TEST_P(OracleTest, RandomizedKeyFkWorkloadAgrees) {
       }
     }
     TXMOD_ASSERT_OK_AND_ASSIGN(Transaction modified, ics.Modify(txn));
-    StepBothEngines(modified, &serial_db, &pdb, GetParam().use_threads,
+    StepBothEngines(modified, &serial_db, &pdb, GetParam(),
                     StrCat("random step ", step, ": ", trace));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transaction-manager integration: sessions with a parallel check pool
+// (runs of consecutive alarms evaluated concurrently) must agree with
+// serial-check sessions transaction by transaction — outcome, abort
+// attribution, statement counters, evaluation work, and final state.
+// ---------------------------------------------------------------------------
+
+TEST(TxnManagerParallelChecksTest, AgreesWithSerialChecks) {
+  Database serial_db = MakeBeerDatabase();
+  AddBrewery(&serial_db, "heineken", "amsterdam", "nl");
+  for (int i = 0; i < 16; ++i) {
+    AddBeer(&serial_db, StrCat("beer", i), "lager", "heineken",
+            4.0 + (i % 5));
+  }
+  Database pooled_db = serial_db.Clone();
+
+  core::IntegritySubsystem serial_ics(&serial_db);
+  core::IntegritySubsystem pooled_ics(&pooled_db);
+  for (core::IntegritySubsystem* ics : {&serial_ics, &pooled_ics}) {
+    TXMOD_ASSERT_OK(ics->DefineConstraint(
+        "domain", "forall x (x in beer implies x.alcohol >= 0)"));
+    TXMOD_ASSERT_OK(ics->DefineConstraint(
+        "refint",
+        "forall x (x in beer implies exists y (y in brewery and "
+        "x.brewery = y.name))"));
+  }
+
+  txn::TxnManagerOptions serial_opts;  // parallel_check_workers = 0
+  txn::TxnManagerOptions pooled_opts;
+  pooled_opts.parallel_check_workers = 4;
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto serial_mgr,
+                             txn::TxnManager::Create(&serial_ics,
+                                                     serial_opts));
+  TXMOD_ASSERT_OK_AND_ASSIGN(auto pooled_mgr,
+                             txn::TxnManager::Create(&pooled_ics,
+                                                     pooled_opts));
+
+  const std::vector<std::string> workload = {
+      "insert(beer, {(\"fresh\", \"ale\", \"heineken\", 6.0)});",
+      "insert(beer, {(\"bad\", \"ale\", \"nowhere\", 6.0)});",   // refint
+      "insert(beer, {(\"neg\", \"ale\", \"heineken\", -1.0)});",  // domain
+      "delete(brewery, select[name = \"heineken\"](brewery));",   // refint
+      "insert(brewery, {(\"plzen\", \"pilsen\", \"cz\")});",
+      // Violates both constraints: abort attribution (which alarm fires
+      // first) must match serial statement order, not completion order.
+      "insert(beer, {(\"dual\", \"ale\", \"nowhere\", -3.0)});",
+  };
+  algebra::AlgebraParser parser(&serial_db.schema());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    SCOPED_TRACE(StrCat("workload #", i, ": ", workload[i]));
+    TXMOD_ASSERT_OK_AND_ASSIGN(Transaction txn,
+                               parser.ParseTransaction(workload[i]));
+    auto serial = serial_mgr->Run(txn);
+    auto pooled = pooled_mgr->Run(txn);
+    TXMOD_ASSERT_OK(serial.status());
+    TXMOD_ASSERT_OK(pooled.status());
+    EXPECT_EQ(serial->committed, pooled->committed);
+    EXPECT_EQ(serial->abort_reason, pooled->abort_reason);
+    EXPECT_EQ(serial->aborting_statement, pooled->aborting_statement);
+    EXPECT_EQ(serial->statements_executed, pooled->statements_executed);
+    const algebra::EvalStats a = serial->stats.WithoutCacheCounters();
+    const algebra::EvalStats b = pooled->stats.WithoutCacheCounters();
+    EXPECT_EQ(a.tuples_scanned, b.tuples_scanned);
+    EXPECT_EQ(a.tuples_emitted, b.tuples_emitted);
+    EXPECT_EQ(a.operators, b.operators);
+    EXPECT_EQ(a.index_probes, b.index_probes);
+    EXPECT_TRUE(serial_db.SameState(pooled_db));
   }
 }
 
@@ -216,6 +297,26 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<OracleParam>& param_info) {
       return StrCat(param_info.param.nodes, "nodes_",
                     param_info.param.use_threads ? "threads" : "sequential");
+    });
+
+// Threaded determinism sweep: 1/2/4/8 workers × perturbed steal seeds,
+// with tiny morsels so every phase schedules many stealable tasks. Final
+// states must match the serial engine (and hence simulate mode, covered
+// above) for every combination.
+INSTANTIATE_TEST_SUITE_P(
+    WorkerAndStealSweep, OracleTest,
+    ::testing::Values(OracleParam{4, true, 1, 1, 3},
+                      OracleParam{4, true, 2, 7, 3},
+                      OracleParam{4, true, 2, 1234567, 3},
+                      OracleParam{4, true, 4, 7, 3},
+                      OracleParam{4, true, 4, 99991, 1},
+                      OracleParam{8, true, 8, 7, 3},
+                      OracleParam{8, true, 8, 424243, 2}),
+    [](const ::testing::TestParamInfo<OracleParam>& param_info) {
+      return StrCat(param_info.param.nodes, "nodes_w",
+                    param_info.param.workers, "_seed",
+                    param_info.param.steal_seed, "_m",
+                    param_info.param.morsel_tuples);
     });
 
 }  // namespace
